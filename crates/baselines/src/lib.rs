@@ -1,0 +1,45 @@
+//! `baselines` — the two slicing comparators the paper positions path
+//! slicing against (§1, Related Work).
+//!
+//! * [`StaticSlicer`] — a conservative flow-insensitive whole-program
+//!   backward slicer (Weiser-style relevant-cell closure), and
+//!   [`PdgSlicer`] — a flow-sensitive program-dependence-graph slicer
+//!   (Horwitz–Reps–Binkley style). Both reason over *all* paths at once,
+//!   so a value that flows into the criterion along *any* path keeps its
+//!   producers in the slice: on Ex1 (Fig. 2) both retain `complex()`,
+//!   which path slicing eliminates — the paper's motivating comparison.
+//! * [`DynamicSlicer`] — a dynamic slicer over a single *executed*
+//!   (feasible) trace with concrete dependences: strong kills everywhere
+//!   (every dereference is resolved by re-execution) and postdominator
+//!   control dependence only. Unlike path slicing it does not protect
+//!   against *other* paths writing live lvalues, so its output is not a
+//!   sound witness for path variants — it answers "what affected this
+//!   run", not "is some variant feasible".
+
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ast = imp::parse(
+//!     "global a, noise; fn main() { noise = 9; if (a > 0) { error(); } }",
+//! )?;
+//! let program = cfa::lower(&ast)?;
+//! let analyses = dataflow::Analyses::build(&program);
+//! let err = program.cfa(program.main()).error_locs()[0];
+//! let slice = baselines::StaticSlicer::new(&analyses).slice(err);
+//! let a = program.vars().lookup("a").unwrap();
+//! let noise = program.vars().lookup("noise").unwrap();
+//! assert!(slice.relevant_cells.contains(a.index()));
+//! assert!(!slice.relevant_cells.contains(noise.index()));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod dynamic;
+pub mod pdg;
+pub mod staticsl;
+
+pub use dynamic::DynamicSlicer;
+pub use pdg::{PdgSlice, PdgSlicer};
+pub use staticsl::{StaticSlice, StaticSlicer};

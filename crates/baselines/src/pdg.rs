@@ -1,0 +1,396 @@
+//! A program-dependence-graph backward slicer (Horwitz–Reps–Binkley
+//! style, context-insensitive) — the *flow-sensitive* static baseline.
+//!
+//! Compared with [`crate::StaticSlicer`] (flow-insensitive relevant-cell
+//! closure), this slicer tracks dependences per program point:
+//!
+//! * **data dependence** via per-CFA reaching definitions
+//!   ([`dataflow::ReachingDefs`]), with call edges as `Mods` summaries
+//!   that are expanded into the callee's writing edges on demand;
+//! * **control dependence** via postdominators
+//!   ([`dataflow::PostDominators`]);
+//! * **interprocedural closure**: values entering a function from its
+//!   callers (globals and the `f::argN` transfer variables) pull in the
+//!   definitions reaching each call site, and any sliced edge pulls in
+//!   the call edges (and their controlling branches) needed to reach its
+//!   function.
+//!
+//! Even with flow sensitivity, Ex1's `complex()` stays in the static
+//! slice — its result *does* flow into the criterion along the
+//! then-branch. Only path slicing, which commits to one path, removes
+//! it; that is the paper's point, and the tests pin it.
+
+use cfa::{EdgeId, FuncId, Loc, Op, Program};
+use dataflow::{Analyses, BitSet, PostDominators, ReachingDefs};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// The result of a PDG slice.
+#[derive(Debug, Clone)]
+pub struct PdgSlice {
+    /// Edges in the slice.
+    pub edges: BTreeSet<EdgeId>,
+}
+
+impl PdgSlice {
+    /// Slice size as a percentage of the program's edge count.
+    pub fn ratio_percent(&self, program: &Program) -> f64 {
+        let total = program.n_edges();
+        if total == 0 {
+            return 0.0;
+        }
+        self.edges.len() as f64 * 100.0 / total as f64
+    }
+
+    /// Whether any edge of `f` is in the slice.
+    pub fn touches_function(&self, f: FuncId) -> bool {
+        self.edges.iter().any(|e| e.func == f)
+    }
+}
+
+/// The PDG-based backward slicer. Builds per-function dependence
+/// information lazily.
+pub struct PdgSlicer<'a> {
+    analyses: &'a Analyses<'a>,
+    postdom: HashMap<FuncId, PostDominators>,
+    reachdef: HashMap<FuncId, ReachingDefs>,
+}
+
+impl<'a> PdgSlicer<'a> {
+    /// Creates a PDG slicer over `analyses`.
+    pub fn new(analyses: &'a Analyses<'a>) -> Self {
+        PdgSlicer {
+            analyses,
+            postdom: HashMap::new(),
+            reachdef: HashMap::new(),
+        }
+    }
+
+    fn postdom(&mut self, f: FuncId) -> &PostDominators {
+        let program = self.analyses.program();
+        self.postdom
+            .entry(f)
+            .or_insert_with(|| PostDominators::build(program.cfa(f)))
+    }
+
+    fn reachdef(&mut self, f: FuncId) -> &ReachingDefs {
+        let program = self.analyses.program();
+        let analyses = self.analyses;
+        self.reachdef.entry(f).or_insert_with(|| {
+            ReachingDefs::build(program.cfa(f), analyses.alias(), &|g| {
+                analyses.mods(g).clone()
+            })
+        })
+    }
+
+    /// Branch edges of `f` that location `l` is control-dependent on.
+    fn control_edges_of(&mut self, f: FuncId, l: Loc) -> Vec<EdgeId> {
+        let program = self.analyses.program();
+        let cfa = program.cfa(f);
+        let pd = self.postdom(f);
+        (0..cfa.edges().len() as u32)
+            .filter(|&i| cfa.edge(i).op.is_assume() && pd.control_dependent(l, cfa, i))
+            .map(|i| EdgeId { func: f, idx: i })
+            .collect()
+    }
+
+    /// Computes the backward PDG slice for reaching `target`.
+    pub fn slice(&mut self, target: Loc) -> PdgSlice {
+        let program = self.analyses.program();
+        let n_vars = program.vars().len();
+        let mut slice: BTreeSet<EdgeId> = BTreeSet::new();
+        let mut queue: VecDeque<EdgeId> = VecDeque::new();
+        let mut reached_fns: BTreeSet<FuncId> = BTreeSet::new();
+        // Cells whose *incoming* (pre-entry) value is relevant per
+        // function — triggers call-site closure.
+        let mut inflow: HashMap<FuncId, BitSet> = HashMap::new();
+        // Cells demanded *from* a callee: a call edge was used as the
+        // reaching definition of these cells, so the callee's writes to
+        // them (and only them) are relevant.
+        let mut callee_demand: HashMap<FuncId, BitSet> = HashMap::new();
+        let mut demand_processed: HashMap<FuncId, BitSet> = HashMap::new();
+
+        let push = |e: EdgeId, slice: &mut BTreeSet<EdgeId>, queue: &mut VecDeque<EdgeId>| {
+            if slice.insert(e) {
+                queue.push_back(e);
+            }
+        };
+
+        // Seed: the branches controlling the target location, plus the
+        // requirement that the target's function be reached.
+        for e in self.control_edges_of(target.func, target) {
+            push(e, &mut slice, &mut queue);
+        }
+        reached_fns.insert(target.func);
+        let mut fn_frontier: Vec<FuncId> = vec![target.func];
+        // Inflow demands already propagated to call sites.
+        let mut processed: HashMap<FuncId, BitSet> = HashMap::new();
+
+        loop {
+            // Function-containment closure: call edges to every reached
+            // function join the slice.
+            while let Some(f) = fn_frontier.pop() {
+                for cfa in program.cfas() {
+                    for (i, e) in cfa.edges().iter().enumerate() {
+                        if matches!(e.op, Op::Call(g) if g == f) {
+                            push(
+                                EdgeId {
+                                    func: cfa.func(),
+                                    idx: i as u32,
+                                },
+                                &mut slice,
+                                &mut queue,
+                            );
+                            if reached_fns.insert(cfa.func()) {
+                                fn_frontier.push(cfa.func());
+                            }
+                        }
+                    }
+                }
+            }
+
+            let Some(node) = queue.pop_front() else {
+                // Drain pending callee demands: pull in the callee's
+                // edges that write the demanded cells; nested calls
+                // forward the demand.
+                let mut new_demand = false;
+                let pending_callees: Vec<(FuncId, BitSet)> = callee_demand
+                    .iter()
+                    .filter_map(|(&g, cells)| {
+                        let fresh = match demand_processed.get(&g) {
+                            None => !cells.is_empty(),
+                            Some(d) => !cells.is_subset(d),
+                        };
+                        fresh.then(|| (g, cells.clone()))
+                    })
+                    .collect();
+                for (g, cells) in pending_callees {
+                    new_demand = true;
+                    demand_processed
+                        .entry(g)
+                        .or_insert_with(|| BitSet::new(n_vars))
+                        .union_with(&cells);
+                    let callee = program.cfa(g);
+                    for (i, ce) in callee.edges().iter().enumerate() {
+                        let id = EdgeId {
+                            func: g,
+                            idx: i as u32,
+                        };
+                        if !self.analyses.edge_write_cells(id).intersects(&cells) {
+                            continue;
+                        }
+                        match &ce.op {
+                            Op::Assign(..) | Op::Havoc(..) => {
+                                push(id, &mut slice, &mut queue);
+                            }
+                            Op::Call(h) => {
+                                push(id, &mut slice, &mut queue);
+                                callee_demand
+                                    .entry(*h)
+                                    .or_insert_with(|| BitSet::new(n_vars))
+                                    .union_with(&cells);
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                if new_demand {
+                    continue;
+                }
+                // Drain pending inflow demands: for each function whose
+                // pre-entry values are relevant, pull in the reaching
+                // definitions at every call site, and propagate the
+                // demand to the callers. Cells-per-function only grow,
+                // so tracking what was already processed guarantees
+                // convergence.
+                let mut new_demand = false;
+                let pending: Vec<(FuncId, BitSet)> = inflow
+                    .iter()
+                    .filter_map(|(&f, cells)| {
+                        let done = processed.get(&f);
+                        let fresh = match done {
+                            None => !cells.is_empty(),
+                            Some(d) => !cells.is_subset(d),
+                        };
+                        fresh.then(|| (f, cells.clone()))
+                    })
+                    .collect();
+                for (f, cells) in pending {
+                    new_demand = true;
+                    processed
+                        .entry(f)
+                        .or_insert_with(|| BitSet::new(n_vars))
+                        .union_with(&cells);
+                    for cfa in program.cfas() {
+                        for e in cfa.edges() {
+                            if matches!(e.op, Op::Call(g) if g == f) {
+                                let caller = cfa.func();
+                                let site = e.src;
+                                let defs: Vec<u32> = {
+                                    let rd = self.reachdef(caller);
+                                    rd.defs_for(site, &cells)
+                                };
+                                for d in defs {
+                                    push(
+                                        EdgeId {
+                                            func: caller,
+                                            idx: d,
+                                        },
+                                        &mut slice,
+                                        &mut queue,
+                                    );
+                                }
+                                // The value may also flow *through* the
+                                // caller from its own callers.
+                                inflow
+                                    .entry(caller)
+                                    .or_insert_with(|| BitSet::new(n_vars))
+                                    .union_with(&cells);
+                            }
+                        }
+                    }
+                }
+                if !new_demand && queue.is_empty() {
+                    break;
+                }
+                continue;
+            };
+
+            let f = node.func;
+            let edge = program.edge(node);
+            if reached_fns.insert(f) {
+                fn_frontier.push(f);
+            }
+
+            // Control dependence of this edge's source.
+            for b in self.control_edges_of(f, edge.src) {
+                push(b, &mut slice, &mut queue);
+            }
+
+            // Data dependence: definitions of the cells this op reads.
+            let reads = edge.op.reads();
+            if !reads.is_empty() {
+                let cells = self.analyses.alias().read_cells_of(&reads);
+                let defs: Vec<u32> = {
+                    let rd = self.reachdef(f);
+                    rd.defs_for(edge.src, &cells)
+                };
+                for d in defs {
+                    push(EdgeId { func: f, idx: d }, &mut slice, &mut queue);
+                    // A call edge as a definition summarizes writes
+                    // inside the callee: demand exactly these cells.
+                    if let Op::Call(g) = program.cfa(f).edge(d).op {
+                        callee_demand
+                            .entry(g)
+                            .or_insert_with(|| BitSet::new(n_vars))
+                            .union_with(&cells);
+                    }
+                }
+                // Conservatively, the value may predate this function's
+                // entry: record the inflow demand.
+                inflow
+                    .entry(f)
+                    .or_insert_with(|| BitSet::new(n_vars))
+                    .union_with(&cells);
+            }
+        }
+
+        PdgSlice { edges: slice }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(src: &str) -> cfa::Program {
+        cfa::lower(&imp::parse(src).unwrap()).unwrap()
+    }
+
+    const EX1: &str = r#"
+        global a, x;
+        fn complex() { local t; t = nondet(); return t; }
+        fn main() {
+            local r;
+            if (a > 0) { r = complex(); x = r; } else { x = 0 - 1; }
+            if (x < 0) { error(); }
+        }
+    "#;
+
+    #[test]
+    fn pdg_slice_still_keeps_complex_on_ex1() {
+        let p = setup(EX1);
+        let an = Analyses::build(&p);
+        let target = p.cfa(p.main()).error_locs()[0];
+        let mut slicer = PdgSlicer::new(&an);
+        let s = slicer.slice(target);
+        assert!(
+            s.touches_function(p.func_id("complex").unwrap()),
+            "flow-sensitive static slicing cannot drop complex() either (paper Example 6)"
+        );
+    }
+
+    #[test]
+    fn pdg_slice_is_no_coarser_than_flow_insensitive() {
+        let src = r#"
+            global a, b, c;
+            fn main() {
+                b = 7;
+                a = b + 1;
+                b = 100;
+                c = 1;
+                if (a > 0) { error(); }
+            }
+        "#;
+        let p = setup(src);
+        let an = Analyses::build(&p);
+        let target = p.cfa(p.main()).error_locs()[0];
+        let pdg = PdgSlicer::new(&an).slice(target);
+        let coarse = crate::StaticSlicer::new(&an).slice(target);
+        assert!(pdg.edges.len() <= coarse.edges.len());
+        // Flow sensitivity pays off: the b := 100 after the last read of
+        // b is NOT in the PDG slice; c := 1 is irrelevant for both.
+        let rendered: Vec<String> = pdg.edges.iter().map(|&e| p.fmt_op(&p.edge(e).op)).collect();
+        assert!(rendered.contains(&"b := 7".to_string()), "{rendered:?}");
+        assert!(!rendered.contains(&"b := 100".to_string()), "{rendered:?}");
+        assert!(!rendered.contains(&"c := 1".to_string()), "{rendered:?}");
+    }
+
+    #[test]
+    fn interprocedural_inflow_reaches_caller_defs() {
+        let src = r#"
+            global g;
+            fn check() { if (g == 0) { error(); } }
+            fn main() { g = 41; g = g + 1; check(); }
+        "#;
+        let p = setup(src);
+        let an = Analyses::build(&p);
+        let check = p.func_id("check").unwrap();
+        let target = p.cfa(check).error_locs()[0];
+        let mut slicer = PdgSlicer::new(&an);
+        let s = slicer.slice(target);
+        let rendered: Vec<String> = s.edges.iter().map(|&e| p.fmt_op(&p.edge(e).op)).collect();
+        assert!(rendered.contains(&"g := 41".to_string()), "{rendered:?}");
+        assert!(
+            rendered.contains(&"g := (g + 1)".to_string()),
+            "{rendered:?}"
+        );
+        assert!(
+            rendered.iter().any(|s| s.contains("call check")),
+            "{rendered:?}"
+        );
+    }
+
+    #[test]
+    fn unrelated_functions_stay_out() {
+        let src = r#"
+            global a, noise;
+            fn churn() { local i; for (i = 0; i < 9; i = i + 1) { noise = noise + i; } }
+            fn main() { churn(); if (a > 0) { error(); } }
+        "#;
+        let p = setup(src);
+        let an = Analyses::build(&p);
+        let target = p.cfa(p.main()).error_locs()[0];
+        let s = PdgSlicer::new(&an).slice(target);
+        assert!(!s.touches_function(p.func_id("churn").unwrap()));
+    }
+}

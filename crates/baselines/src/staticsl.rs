@@ -1,0 +1,249 @@
+//! A conservative static (whole-program) backward slicer.
+//!
+//! The slicing criterion is a target location (an error location). The
+//! algorithm alternates two closure steps until fixpoint:
+//!
+//! 1. **Data**: any edge that may write a relevant cell joins the slice,
+//!    and its reads become relevant.
+//! 2. **Control**: any branch that can both reach and bypass an *anchor*
+//!    (the target, a slice edge, or a call site of a function containing
+//!    slice edges) joins the slice, and its reads become relevant.
+//!    Containing call chains are kept alive transitively.
+//!
+//! Both steps are flow-insensitive in the relevant-cell set, which is
+//! exactly the conservatism the paper (and citation 21 in its
+//! bibliography) attributes to static slicing: everything that *may*
+//! matter along *some* path stays in.
+
+use cfa::{EdgeId, FuncId, Loc, Op, Program};
+use dataflow::{Analyses, BitSet};
+use std::collections::BTreeSet;
+
+/// The result of a static slice: the kept edges and the relevant cells.
+#[derive(Debug, Clone)]
+pub struct StaticSlice {
+    /// Edges in the slice.
+    pub edges: BTreeSet<EdgeId>,
+    /// Cells (variables) the criterion transitively depends on.
+    pub relevant_cells: BitSet,
+}
+
+impl StaticSlice {
+    /// Slice size as a percentage of the program's total edge count.
+    pub fn ratio_percent(&self, program: &Program) -> f64 {
+        let total = program.n_edges();
+        if total == 0 {
+            return 0.0;
+        }
+        self.edges.len() as f64 * 100.0 / total as f64
+    }
+
+    /// Whether any edge of function `f` is in the slice.
+    pub fn touches_function(&self, f: FuncId) -> bool {
+        self.edges.iter().any(|e| e.func == f)
+    }
+}
+
+/// Whole-program backward slicer. See the module docs.
+#[derive(Debug, Clone, Copy)]
+pub struct StaticSlicer<'a> {
+    analyses: &'a Analyses<'a>,
+}
+
+impl<'a> StaticSlicer<'a> {
+    /// Creates a static slicer over `analyses`.
+    pub fn new(analyses: &'a Analyses<'a>) -> Self {
+        StaticSlicer { analyses }
+    }
+
+    /// Computes the backward slice with respect to reaching `target`.
+    pub fn slice(&self, target: Loc) -> StaticSlice {
+        let program = self.analyses.program();
+        let n_vars = program.vars().len();
+        let mut relevant = BitSet::new(n_vars);
+        let mut slice: BTreeSet<EdgeId> = BTreeSet::new();
+        // Functions whose *being reached* matters for the criterion.
+        let mut anchored_fns: BTreeSet<FuncId> = BTreeSet::new();
+        anchored_fns.insert(target.func);
+
+        loop {
+            let mut changed = false;
+
+            // Anchors: the target itself plus every call site of an
+            // anchored function (control must reach those locations).
+            let mut anchors: Vec<(FuncId, Loc)> = vec![(target.func, target)];
+            for cfa in program.cfas() {
+                for e in cfa.edges() {
+                    if let Op::Call(g) = e.op {
+                        if anchored_fns.contains(&g) {
+                            anchors.push((cfa.func(), e.src));
+                            if anchored_fns.insert(cfa.func()) {
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Control closure: branches that can both reach and bypass
+            // an anchor decide whether it is reached; keep them, and the
+            // call edges to anchored functions.
+            for &(f, anchor) in &anchors {
+                let cfa = program.cfa(f);
+                for (i, e) in cfa.edges().iter().enumerate() {
+                    let id = EdgeId {
+                        func: f,
+                        idx: i as u32,
+                    };
+                    let keep = match &e.op {
+                        Op::Assume(_) => {
+                            self.analyses.reaches(e.src, anchor)
+                                && self.analyses.can_bypass(e.src, anchor)
+                        }
+                        Op::Call(g) => anchored_fns.contains(g),
+                        _ => false,
+                    };
+                    if keep && slice.insert(id) {
+                        changed = true;
+                        for lv in e.op.reads() {
+                            relevant.union_with(&self.analyses.alias().may_write_cells(lv));
+                        }
+                    }
+                }
+            }
+
+            // Data closure: edges writing relevant cells join; their
+            // reads become relevant; a relevant write inside a callee
+            // anchors the callee (control must reach its call sites).
+            for cfa in program.cfas() {
+                for (i, e) in cfa.edges().iter().enumerate() {
+                    let id = EdgeId {
+                        func: cfa.func(),
+                        idx: i as u32,
+                    };
+                    if slice.contains(&id) {
+                        continue;
+                    }
+                    if !self.analyses.edge_write_cells(id).intersects(&relevant) {
+                        continue;
+                    }
+                    match &e.op {
+                        Op::Assign(..) | Op::Havoc(..) => {
+                            slice.insert(id);
+                            changed = true;
+                            if anchored_fns.insert(cfa.func()) {
+                                changed = true;
+                            }
+                            for lv in e.op.reads() {
+                                relevant.union_with(&self.analyses.alias().may_write_cells(lv));
+                            }
+                        }
+                        Op::Call(g) => {
+                            slice.insert(id);
+                            changed = true;
+                            if anchored_fns.insert(*g) {
+                                changed = true;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+
+            if !changed {
+                break;
+            }
+        }
+
+        StaticSlice {
+            edges: slice,
+            relevant_cells: relevant,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(src: &str) -> cfa::Program {
+        cfa::lower(&imp::parse(src).unwrap()).unwrap()
+    }
+
+    const EX1: &str = r#"
+        global a, x;
+        fn complex() { local t; t = nondet(); return t; }
+        fn main() {
+            local r;
+            if (a > 0) { r = complex(); x = r; } else { x = 0 - 1; }
+            if (x < 0) { error(); }
+        }
+    "#;
+
+    #[test]
+    fn static_slice_retains_complex_unlike_path_slice() {
+        let p = setup(EX1);
+        let an = Analyses::build(&p);
+        let target = p.cfa(p.main()).error_locs()[0];
+        let s = StaticSlicer::new(&an).slice(target);
+        let complex = p.func_id("complex").unwrap();
+        // The paper's point (Example 6): a static slice cannot remove
+        // complex() because its result flows into x on the then-path.
+        assert!(s.touches_function(complex), "static slice keeps complex()");
+        // And x, a, r are all relevant.
+        for v in ["x", "a", "main::r"] {
+            let id = p.vars().lookup(v).unwrap();
+            assert!(s.relevant_cells.contains(id.index()), "{v} relevant");
+        }
+    }
+
+    #[test]
+    fn static_slice_drops_truly_unrelated_code() {
+        let src = r#"
+            global a, noise;
+            fn unrelated() { noise = noise + 1; }
+            fn main() {
+                unrelated();
+                if (a > 0) { error(); }
+            }
+        "#;
+        let p = setup(src);
+        let an = Analyses::build(&p);
+        let target = p.cfa(p.main()).error_locs()[0];
+        let s = StaticSlicer::new(&an).slice(target);
+        let unrelated = p.func_id("unrelated").unwrap();
+        assert!(
+            !s.touches_function(unrelated),
+            "noise updates are not relevant"
+        );
+        assert!(!s
+            .relevant_cells
+            .contains(p.vars().lookup("noise").unwrap().index()));
+    }
+
+    #[test]
+    fn guards_of_calls_on_the_chain_are_kept() {
+        let src = r#"
+            global a, b;
+            fn f() { if (b > 0) { error(); } }
+            fn main() { if (a > 0) { f(); } }
+        "#;
+        let p = setup(src);
+        let an = Analyses::build(&p);
+        let f = p.func_id("f").unwrap();
+        let target = p.cfa(f).error_locs()[0];
+        let s = StaticSlicer::new(&an).slice(target);
+        // Both a (controls the call) and b (controls the error) relevant.
+        assert!(s
+            .relevant_cells
+            .contains(p.vars().lookup("a").unwrap().index()));
+        assert!(s
+            .relevant_cells
+            .contains(p.vars().lookup("b").unwrap().index()));
+        // The call edge is in the slice.
+        assert!(s
+            .edges
+            .iter()
+            .any(|e| matches!(p.edge(*e).op, Op::Call(g) if g == f)));
+    }
+}

@@ -1,0 +1,173 @@
+//! Criterion micro-benchmarks (experiment B1 in `DESIGN.md`).
+//!
+//! * `pathslice/ops=N` — Theorem 1: `PathSlice.π` is computed in time
+//!   linear in `|π|` (with a linear number of `WrBt`/`By` queries, which
+//!   are memoized). Throughput should stay flat as N grows.
+//! * `analyses/build` — the precomputation cost (`In`/`Out`, alias,
+//!   `Mods`).
+//! * `solver/conjunction` — the decision procedure on trace-shaped
+//!   conjunctions.
+//! * `frontend/compile` — lex+parse+resolve+lower throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dataflow::Analyses;
+use semantics::{ExecOutcome, Interp, ReplayOracle, State};
+use slicer::{PathSlicer, SliceOptions};
+use workloads::{gen::generate, suite, Scale};
+
+/// A single-module program whose bug trace length is `~6 × bound`.
+fn trace_of_length(bound: i64) -> (cfa::Program, cfa::Path) {
+    let mut spec = suite(Scale::Small)
+        .into_iter()
+        .find(|s| s.name == "make")
+        .unwrap();
+    spec.loop_bound = bound;
+    let g = generate(&spec);
+    let program = g.lower();
+    let inputs = g.inputs_reaching_bug(spec.buggy_modules[0]);
+    let run = Interp::run(
+        &program,
+        State::zeroed(&program),
+        &mut ReplayOracle::new(inputs),
+        200_000_000,
+    );
+    assert!(matches!(run.outcome, ExecOutcome::ReachedError(_)));
+    (program, run.path)
+}
+
+fn bench_pathslice_linear(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pathslice");
+    for bound in [50i64, 200, 800, 3200] {
+        let (program, path) = trace_of_length(bound);
+        let analyses = Analyses::build(&program);
+        let slicer = PathSlicer::new(&analyses);
+        group.throughput(Throughput::Elements(path.len() as u64));
+        group.bench_with_input(BenchmarkId::new("ops", path.len()), &path, |b, path| {
+            b.iter(|| slicer.slice(path, SliceOptions::default()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_analyses_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyses");
+    for scale in [Scale::Small, Scale::Medium] {
+        let spec = suite(scale)
+            .into_iter()
+            .find(|s| s.name == "openssh")
+            .unwrap();
+        let program = generate(&spec).lower();
+        group.throughput(Throughput::Elements(program.n_edges() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("build_edges", program.n_edges()),
+            &program,
+            |b, p| b.iter(|| Analyses::build(p)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_solver_conjunction(c: &mut Criterion) {
+    use lia::{Atom, Formula, LinTerm, Solver, SymId};
+    let mut group = c.benchmark_group("solver");
+    for n in [16usize, 64, 256] {
+        // x0 = 0, x_{i+1} = x_i + 1, x_n <= n (sat) — the shape of an
+        // unrolled-loop trace formula.
+        let mut parts = Vec::new();
+        parts.push(Formula::Atom(Atom::eq(LinTerm::sym(SymId(0)))));
+        for i in 0..n {
+            let step = LinTerm::sym(SymId(i as u32 + 1))
+                .checked_sub(&LinTerm::sym(SymId(i as u32)))
+                .unwrap()
+                .checked_add_const(-1)
+                .unwrap();
+            parts.push(Formula::Atom(Atom::eq(step)));
+        }
+        parts.push(Formula::Atom(Atom::le(
+            LinTerm::sym(SymId(n as u32))
+                .checked_add_const(-(n as i128))
+                .unwrap(),
+        )));
+        let f = Formula::And(parts);
+        let solver = Solver::new();
+        group.bench_with_input(BenchmarkId::new("chain", n), &f, |b, f| {
+            b.iter(|| {
+                let r = solver.check(f);
+                assert!(r.is_sat());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_frontend_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontend");
+    let spec = suite(Scale::Medium)
+        .into_iter()
+        .find(|s| s.name == "openssh")
+        .unwrap();
+    let g = generate(&spec);
+    group.throughput(Throughput::Bytes(g.source.len() as u64));
+    group.bench_with_input(
+        BenchmarkId::new("compile_loc", g.loc),
+        &g.source,
+        |b, src| {
+            b.iter(|| {
+                let ast = imp::parse(src).unwrap();
+                cfa::lower(&ast).unwrap()
+            })
+        },
+    );
+    group.finish();
+}
+
+/// The §5 future-work comparison: the `By` relation computed with dense
+/// bitsets (our production implementation) vs. BDDs (the paper's
+/// proposed scaling technique). All-pairs queries over the largest CFA
+/// of the openssh-like program.
+fn bench_by_relation(c: &mut Criterion) {
+    let spec = suite(Scale::Small)
+        .into_iter()
+        .find(|s| s.name == "openssh")
+        .unwrap();
+    let program = generate(&spec).lower();
+    let cfa = program
+        .cfas()
+        .iter()
+        .max_by_key(|c| c.n_locs())
+        .expect("nonempty program");
+    let mut group = c.benchmark_group("by_relation");
+    group.throughput(Throughput::Elements((cfa.n_locs() * cfa.n_locs()) as u64));
+    group.bench_function(BenchmarkId::new("bitset_allpairs", cfa.n_locs()), |b| {
+        b.iter(|| {
+            let an = Analyses::build(&program);
+            let mut hits = 0usize;
+            for avoid in cfa.locs() {
+                for pc in cfa.locs() {
+                    hits += usize::from(an.can_bypass(pc, avoid));
+                }
+            }
+            hits
+        })
+    });
+    group.bench_function(BenchmarkId::new("bdd_allpairs", cfa.n_locs()), |b| {
+        b.iter(|| {
+            let mut by = dataflow::BddBy::build(cfa);
+            let mut hits = 0usize;
+            for avoid in cfa.locs() {
+                for pc in cfa.locs() {
+                    hits += usize::from(by.can_bypass(pc, avoid));
+                }
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pathslice_linear, bench_analyses_build, bench_solver_conjunction, bench_frontend_compile, bench_by_relation
+}
+criterion_main!(benches);

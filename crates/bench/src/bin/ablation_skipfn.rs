@@ -1,0 +1,64 @@
+//! Ablation **A2** — the §4.2 "Skipping Functions" optimization: on
+//! paths with deep call stacks, slices shrink further because the guards
+//! on the way into each frame are dropped (at the cost of completeness).
+//!
+//! Usage: `ablation_skipfn [small|medium|full]`.
+
+use dataflow::Analyses;
+use semantics::{ExecOutcome, Interp, ReplayOracle, State};
+use slicer::{PathSlicer, SliceOptions};
+
+fn main() {
+    let scale = bench::scale_from_args();
+    println!("# A2 — skip-functions optimization (slice sizes on executed bug traces)");
+    println!(
+        "{:<10} {:>7} {:>12} {:>12} {:>12} {:>9}",
+        "program", "module", "trace_ops", "plain", "skip_fns", "shrink_%"
+    );
+    for mut spec in workloads::suite(scale) {
+        // Deepen the wrapper stacks to make the effect visible.
+        spec.wrapper_depth = spec.wrapper_depth.max(3) + 2;
+        if spec.buggy_modules.is_empty() {
+            continue;
+        }
+        let g = workloads::gen::generate(&spec);
+        let program = g.lower();
+        let analyses = Analyses::build(&program);
+        let slicer = PathSlicer::new(&analyses);
+        for &m in &spec.buggy_modules {
+            let inputs = g.inputs_reaching_bug(m);
+            let run = Interp::run(
+                &program,
+                State::zeroed(&program),
+                &mut ReplayOracle::new(inputs),
+                200_000_000,
+            );
+            if !matches!(run.outcome, ExecOutcome::ReachedError(_)) {
+                continue;
+            }
+            let plain = slicer.slice(&run.path, SliceOptions::default());
+            let skip = slicer.slice(
+                &run.path,
+                SliceOptions {
+                    early_unsat: false,
+                    skip_functions: true,
+                },
+            );
+            let shrink = if plain.kept.is_empty() {
+                0.0
+            } else {
+                100.0 * (plain.kept.len() - skip.kept.len()) as f64 / plain.kept.len() as f64
+            };
+            println!(
+                "{:<10} {:>7} {:>12} {:>12} {:>12} {:>9.1}",
+                spec.name,
+                m,
+                run.path.len(),
+                plain.kept.len(),
+                skip.kept.len(),
+                shrink
+            );
+        }
+    }
+    println!("# expected shape: skip_fns <= plain on every row (guards on the stack dropped)");
+}

@@ -1,0 +1,59 @@
+//! Ablation **A1** — the paper's central claim (§1, §5): *without* path
+//! slicing, the counterexample analysis does not scale; the refinement
+//! chases irrelevant loop unrollings and the checks time out, while the
+//! path-slicing configuration finishes.
+//!
+//! Runs the same checks with the identity reducer and with path slicing
+//! and prints the outcome matrix side by side.
+//!
+//! Usage: `ablation_slicing [small|medium|full]`.
+
+use blastlite::{CheckerConfig, Reducer};
+use std::time::Duration;
+
+fn main() {
+    let scale = bench::scale_from_args();
+    let budget = Duration::from_secs(20);
+    println!("# A1 — counterexample reduction ablation ({budget:?}/check)");
+    println!(
+        "{:<10} | {:>4} {:>4} {:>4} {:>9} | {:>4} {:>4} {:>4} {:>9}",
+        "", "safe", "err", "t/o", "time(s)", "safe", "err", "t/o", "time(s)"
+    );
+    println!(
+        "{:<10} | {:^24} | {:^24}",
+        "program", "identity reducer", "path slicing"
+    );
+    println!("{}", "-".repeat(64));
+    for spec in workloads::suite(scale) {
+        eprintln!("checking {} ...", spec.name);
+        let ident = bench::run_workload(
+            &spec,
+            CheckerConfig {
+                reducer: Reducer::Identity,
+                time_budget: budget,
+                ..CheckerConfig::default()
+            },
+        );
+        let sliced = bench::run_workload(
+            &spec,
+            CheckerConfig {
+                reducer: Reducer::path_slice(),
+                time_budget: budget,
+                ..CheckerConfig::default()
+            },
+        );
+        println!(
+            "{:<10} | {:>4} {:>4} {:>4} {:>9.1} | {:>4} {:>4} {:>4} {:>9.1}",
+            spec.name,
+            ident.safe,
+            ident.errors,
+            ident.timeouts,
+            ident.total_time.as_secs_f64(),
+            sliced.safe,
+            sliced.errors,
+            sliced.timeouts,
+            sliced.total_time.as_secs_f64(),
+        );
+    }
+    println!("# expected shape: identity column accumulates timeouts; slicing column none");
+}

@@ -1,0 +1,128 @@
+//! Baseline comparison — quantifies the Related-Work claim that static
+//! slicing "manage\[s\] to retain a large percentage of the original
+//! program" while path slices stay tiny:
+//!
+//! * static slice (flow-insensitive) and PDG slice (flow-sensitive) of
+//!   each planted bug's error location, as % of program edges;
+//! * path slice of the executed bug trace, as % of trace operations;
+//! * dynamic slice of the same trace, for the single-execution regime.
+//!
+//! Usage: `baseline_compare [small|medium|full]`.
+
+use baselines::{DynamicSlicer, PdgSlicer, StaticSlicer};
+use dataflow::Analyses;
+use semantics::{ExecOutcome, Interp, ReplayOracle, State};
+use slicer::{PathSlicer, SliceOptions};
+
+fn main() {
+    let scale = bench::scale_from_args();
+    println!("# baseline comparison — slice sizes per planted bug");
+    println!(
+        "{:<10} {:>6} {:>10} {:>10} {:>11} {:>11} {:>11}",
+        "program", "module", "static_%", "pdg_%", "trace_ops", "dynamic_%", "pathslice_%"
+    );
+    for spec in workloads::suite(scale) {
+        if spec.buggy_modules.is_empty() {
+            continue;
+        }
+        let g = workloads::gen::generate(&spec);
+        let program = g.lower();
+        let analyses = Analyses::build(&program);
+        let path_slicer = PathSlicer::new(&analyses);
+        let static_slicer = StaticSlicer::new(&analyses);
+        let mut pdg_slicer = PdgSlicer::new(&analyses);
+        for &m in &spec.buggy_modules {
+            let read_fn = program.func_id(&format!("m{m}_read")).expect("read fn");
+            let target = program.cfa(read_fn).error_locs()[0];
+            let st = static_slicer.slice(target);
+            let pdg = pdg_slicer.slice(target);
+
+            let inputs = g.inputs_reaching_bug(m);
+            let init = State::zeroed(&program);
+            let run = Interp::run(
+                &program,
+                init.clone(),
+                &mut ReplayOracle::new(inputs),
+                200_000_000,
+            );
+            if !matches!(run.outcome, ExecOutcome::ReachedError(_)) {
+                continue;
+            }
+            let ps = path_slicer.slice(&run.path, SliceOptions::default());
+            let dynamic = DynamicSlicer::new(&analyses).slice(&run.path, &init, &run.drawn);
+            println!(
+                "{:<10} {:>6} {:>10.2} {:>10.2} {:>11} {:>11.3} {:>11.3}",
+                spec.name,
+                m,
+                st.ratio_percent(&program),
+                pdg.ratio_percent(&program),
+                run.path.len(),
+                dynamic.len() as f64 * 100.0 / run.path.len() as f64,
+                ps.ratio_percent(run.path.len()),
+            );
+        }
+    }
+    println!("# note: the generated protocol workloads keep handle state cleanly apart");
+    println!("# from the noise computation, so even static slices are small here. The");
+    println!("# paper's static-slicing pathology needs *entangled* dataflow — measured");
+    println!("# next on Ex1-at-scale.");
+    println!();
+
+    // ---- Ex1 at scale: the guard value flows out of the "complex" ----
+    // helper chain on one branch, so every static slicer must retain the
+    // whole chain; the path slice of the else-branch path drops it.
+    println!("# Ex1-at-scale — entangled dataflow (Fig. 2 grown to program size)");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>14} {:>16}",
+        "chains", "edges", "static_%", "pdg_%", "pathslice_ops", "pathslice_prog_%"
+    );
+    for chains in [4usize, 8, 16] {
+        let mut src = String::from("global a, x;\n");
+        for c in 0..chains {
+            for k in (0..6).rev() {
+                let call_next = if k < 5 {
+                    format!("t = c{c}_h{}(t);", k + 1)
+                } else {
+                    String::new()
+                };
+                src.push_str(&format!(
+                    "fn c{c}_h{k}(v) {{ local t, j; t = v; \
+                     for (j = 0; j < 40; j = j + 1) {{ t = t + j; }} \
+                     if (t > 50) {{ t = t - 9; }} {call_next} return t; }}\n"
+                ));
+            }
+        }
+        src.push_str("fn main() {\n    local r;\n");
+        src.push_str("    if (a > 0) {\n");
+        for c in 0..chains {
+            src.push_str(&format!("        r = c{c}_h0(r);\n"));
+        }
+        src.push_str("        x = r;\n    } else { x = 0 - 1; }\n");
+        src.push_str("    if (x < 0) { error(); }\n}\n");
+        let ast = imp::parse(&src).expect("generated Ex1 parses");
+        let program = cfa::lower(&ast).expect("lowers");
+        let analyses = Analyses::build(&program);
+        let target = program.cfa(program.main()).error_locs()[0];
+        let st = StaticSlicer::new(&analyses).slice(target);
+        let pdg = PdgSlicer::new(&analyses).slice(target);
+        // Drive the else path (a <= 0): complex chains never run.
+        let mut init = State::zeroed(&program);
+        init.set(program.vars().lookup("a").unwrap(), -1);
+        let run = Interp::run(&program, init, &mut ReplayOracle::new(vec![]), 10_000_000);
+        assert!(matches!(run.outcome, ExecOutcome::ReachedError(_)));
+        let ps = PathSlicer::new(&analyses).slice(&run.path, SliceOptions::default());
+        println!(
+            "{:<8} {:>10} {:>10.2} {:>10.2} {:>14} {:>16.3}",
+            chains,
+            program.n_edges(),
+            st.ratio_percent(&program),
+            pdg.ratio_percent(&program),
+            ps.kept.len(),
+            ps.kept.len() as f64 * 100.0 / program.n_edges() as f64,
+        );
+    }
+    println!("# expected shape: static/pdg percentages stay high and flat (the chains");
+    println!("# are always retained — the paper's Example 6); the path slice of the");
+    println!("# else-branch path is a constant 3 operations no matter how much complex");
+    println!("# computation the other branch carries.");
+}

@@ -1,0 +1,51 @@
+//! Regenerates **Figure 6**: trace projection results for the gcc-scale
+//! program. The paper's largest counterexample had 82,695 basic blocks
+//! and sliced to 43 operations; larger counterexamples slice below 0.1 %.
+//!
+//! Usage: `fig6 [small|medium|full]`.
+
+use blastlite::{CheckerConfig, Reducer, SearchOrder};
+use std::time::Duration;
+
+fn main() {
+    let scale = bench::scale_from_args();
+    let mut points = Vec::new();
+
+    // Checker counterexamples on the gcc-like program (DFS).
+    let spec = workloads::gcc_like(scale);
+    let config = CheckerConfig {
+        reducer: Reducer::path_slice(),
+        time_budget: Duration::from_secs(45),
+        search_order: SearchOrder::Dfs,
+        ..CheckerConfig::default()
+    };
+    eprintln!("collecting checker traces from {} ...", spec.name);
+    let row = bench::run_workload(&spec, config);
+    points.extend(row.traces.iter().map(|t| bench::FigPoint {
+        trace_ops: t.trace_ops,
+        slice_ops: t.slice_ops,
+    }));
+
+    // Very long concrete traces: sweep the loop bound into the tens of
+    // thousands of operations.
+    for bound in [100i64, 400, 1500, 6000, 25_000] {
+        let mut v = workloads::gcc_like(scale);
+        v.loop_bound = bound;
+        eprintln!("driving gcc-like with loop bound {bound} ...");
+        let g = workloads::gen::generate(&v);
+        points.extend(bench::executed_trace_points(&g));
+    }
+
+    bench::maybe_write_svg("Figure 6 - trace projection (gcc)", &points);
+    if bench::json_requested() {
+        bench::print_fig_points_json(&mut points);
+        return;
+    }
+    bench::print_fig_points("Figure 6 — trace projection results (gcc)", &mut points);
+    if let Some(p) = points.iter().max_by_key(|p| p.trace_ops) {
+        println!(
+            "# largest counterexample: {} ops -> {} ops (paper: 82,695 blocks -> 43 ops)",
+            p.trace_ops, p.slice_ops
+        );
+    }
+}

@@ -1,0 +1,402 @@
+//! `bench` — the experiment harness regenerating every table and figure
+//! of the paper's evaluation (§5). See `DESIGN.md` for the experiment
+//! index and `EXPERIMENTS.md` for recorded results.
+//!
+//! Binaries:
+//!
+//! * `table1` — Table 1: per-program LOC, procedures, checks, results,
+//!   times, refinement counts.
+//! * `fig5` — Figure 5: trace size vs. slice percentage over all
+//!   counterexamples of the application suite.
+//! * `fig6` — Figure 6: the same scatter for the gcc-scale program.
+//! * `ablation_slicing` — A1: identity reducer vs. path slicing.
+//! * `ablation_skipfn` — A2: the §4.2 skip-functions optimization.
+//! * `ablation_earlyunsat` — A3: the §4.2 early-unsat optimization.
+//!
+//! Criterion benches (`cargo bench -p bench`) cover the Theorem 1
+//! linear-time claim and the supporting analyses.
+
+use blastlite::{check_program, CheckOutcome, CheckerConfig, TraceRecord};
+use dataflow::Analyses;
+use semantics::{ExecOutcome, Interp, ReplayOracle, State};
+use slicer::{PathSlicer, SliceOptions};
+use std::time::Duration;
+use workloads::{GeneratedProgram, Scale, WorkloadSpec};
+
+/// Parses a scale name from argv (`small` / `medium` / `full`).
+pub fn scale_from_args() -> Scale {
+    match std::env::args().nth(1).as_deref() {
+        Some("small") => Scale::Small,
+        Some("full") => Scale::Full,
+        _ => Scale::Medium,
+    }
+}
+
+/// Whether `--json` was passed anywhere on the command line.
+pub fn json_requested() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// The Table 1 row for one benchmark program.
+#[derive(Debug, Clone)]
+pub struct ProgramRow {
+    /// Program name.
+    pub name: String,
+    /// Non-blank generated source lines.
+    pub loc: usize,
+    /// Number of procedures.
+    pub procedures: usize,
+    /// Check clusters (functions that can call `error`).
+    pub checks: usize,
+    /// Total instrumented error sites.
+    pub sites: usize,
+    /// Checks proven safe.
+    pub safe: usize,
+    /// Checks with a confirmed error trace.
+    pub errors: usize,
+    /// Checks that hit a budget.
+    pub timeouts: usize,
+    /// Total time over finished checks.
+    pub total_time: Duration,
+    /// Maximum single-check time (finished checks).
+    pub max_time: Duration,
+    /// Total refinement iterations (= abstract counterexamples).
+    pub refinements: usize,
+    /// Total abstract states explored across all checks.
+    pub abstract_states: usize,
+    /// Every (trace, slice) size pair seen (for Figure 5).
+    pub traces: Vec<TraceRecord>,
+}
+
+/// Runs the full per-function check battery on one workload.
+pub fn run_workload(spec: &WorkloadSpec, config: CheckerConfig) -> ProgramRow {
+    let generated = workloads::gen::generate(spec);
+    let program = generated.lower();
+    let analyses = Analyses::build(&program);
+    let reports = check_program(&analyses, config);
+    let mut row = ProgramRow {
+        name: spec.name.clone(),
+        loc: generated.loc,
+        procedures: generated.n_functions,
+        checks: generated.n_check_clusters,
+        sites: generated.n_error_sites,
+        safe: 0,
+        errors: 0,
+        timeouts: 0,
+        total_time: Duration::ZERO,
+        max_time: Duration::ZERO,
+        refinements: 0,
+        abstract_states: 0,
+        traces: Vec::new(),
+    };
+    for r in reports {
+        match &r.report.outcome {
+            CheckOutcome::Safe => row.safe += 1,
+            CheckOutcome::Bug { .. } => row.errors += 1,
+            CheckOutcome::Timeout(_) => row.timeouts += 1,
+        }
+        if !r.report.outcome.is_timeout() {
+            row.total_time += r.report.wall;
+            row.max_time = row.max_time.max(r.report.wall);
+        }
+        row.refinements += r.report.refinements;
+        row.abstract_states += r.report.abstract_states;
+        row.traces.extend(r.report.traces.iter().copied());
+    }
+    row
+}
+
+/// Prints Table 1 in the paper's column layout.
+pub fn print_table1(rows: &[ProgramRow]) {
+    println!(
+        "{:<10} {:>7} {:>10} {:>9} {:>12} {:>11} {:>10} {:>12}",
+        "Program", "LOC", "Procedures", "Checks", "Results", "Total(s)", "Max(s)", "Refinements"
+    );
+    println!("{}", "-".repeat(89));
+    for r in rows {
+        println!(
+            "{:<10} {:>7} {:>10} {:>6}/{:<3} {:>4}/{}/{:<3} {:>11.2} {:>10.2} {:>12}",
+            r.name,
+            r.loc,
+            r.procedures,
+            r.checks,
+            r.sites,
+            r.safe,
+            r.errors,
+            r.timeouts,
+            r.total_time.as_secs_f64(),
+            r.max_time.as_secs_f64(),
+            r.refinements,
+        );
+    }
+}
+
+/// A Figure 5/6 scatter point.
+#[derive(Debug, Clone, Copy)]
+pub struct FigPoint {
+    /// Original trace size (operations).
+    pub trace_ops: usize,
+    /// Slice size (operations).
+    pub slice_ops: usize,
+}
+
+impl FigPoint {
+    /// Slice size as a percentage of trace size.
+    pub fn ratio_percent(&self) -> f64 {
+        if self.trace_ops == 0 {
+            return 0.0;
+        }
+        self.slice_ops as f64 * 100.0 / self.trace_ops as f64
+    }
+}
+
+/// Drives a concrete execution into each planted bug of `generated`
+/// (sweeping loop bounds happens at the caller), slices the resulting
+/// long feasible trace, and returns the scatter points.
+pub fn executed_trace_points(generated: &GeneratedProgram) -> Vec<FigPoint> {
+    let program = generated.lower();
+    let analyses = Analyses::build(&program);
+    let slicer = PathSlicer::new(&analyses);
+    let mut out = Vec::new();
+    for &m in &generated.spec.buggy_modules {
+        let inputs = generated.inputs_reaching_bug(m);
+        let run = Interp::run(
+            &program,
+            State::zeroed(&program),
+            &mut ReplayOracle::new(inputs),
+            200_000_000,
+        );
+        if !matches!(run.outcome, ExecOutcome::ReachedError(_)) {
+            continue;
+        }
+        let result = slicer.slice(&run.path, SliceOptions::default());
+        out.push(FigPoint {
+            trace_ops: run.path.len(),
+            slice_ops: result.kept.len(),
+        });
+    }
+    out
+}
+
+/// Prints a Figure 5/6 series as JSON lines (one `{"trace_ops": …,
+/// "slice_ops": …, "ratio_percent": …}` object per line) for plotting.
+pub fn print_fig_points_json(points: &mut [FigPoint]) {
+    points.sort_by_key(|p| p.trace_ops);
+    for p in points.iter() {
+        println!(
+            "{{\"trace_ops\": {}, \"slice_ops\": {}, \"ratio_percent\": {:.6}}}",
+            p.trace_ops,
+            p.slice_ops,
+            p.ratio_percent()
+        );
+    }
+}
+
+/// Prints a Figure 5/6-style series sorted by trace size, plus the
+/// paper's summary statistics (average ratio; ratio bands by size).
+pub fn print_fig_points(label: &str, points: &mut [FigPoint]) {
+    points.sort_by_key(|p| p.trace_ops);
+    println!("# {label}");
+    println!("{:>12} {:>12} {:>10}", "trace_ops", "slice_ops", "ratio_%");
+    for p in points.iter() {
+        println!(
+            "{:>12} {:>12} {:>10.4}",
+            p.trace_ops,
+            p.slice_ops,
+            p.ratio_percent()
+        );
+    }
+    if points.is_empty() {
+        return;
+    }
+    let avg: f64 = points.iter().map(FigPoint::ratio_percent).sum::<f64>() / points.len() as f64;
+    println!("# points: {}", points.len());
+    println!("# average ratio: {avg:.3}%");
+    for (lo, hi) in [(0usize, 1000usize), (1000, 5000), (5000, usize::MAX)] {
+        let band: Vec<&FigPoint> = points
+            .iter()
+            .filter(|p| p.trace_ops >= lo && p.trace_ops < hi)
+            .collect();
+        if band.is_empty() {
+            continue;
+        }
+        let worst = band
+            .iter()
+            .map(|p| p.ratio_percent())
+            .fold(0.0f64, f64::max);
+        println!(
+            "# traces in [{lo}, {}): {} points, worst ratio {worst:.4}%",
+            if hi == usize::MAX {
+                "inf".into()
+            } else {
+                hi.to_string()
+            },
+            band.len(),
+        );
+    }
+}
+
+/// Renders a Figure 5/6-style log-log scatter (trace size vs. slice
+/// percentage) as a standalone SVG, mirroring the paper's axes: x =
+/// original trace size (log), y = slice size as % of the original (log).
+pub fn svg_scatter(title: &str, points: &[FigPoint]) -> String {
+    use std::fmt::Write as _;
+    let (w, h) = (720.0f64, 480.0f64);
+    let (ml, mr, mt, mb) = (70.0, 20.0, 40.0, 55.0);
+    let (pw, ph) = (w - ml - mr, h - mt - mb);
+    let xmax = points
+        .iter()
+        .map(|p| p.trace_ops)
+        .max()
+        .unwrap_or(10)
+        .max(10) as f64;
+    let xlog_max = xmax.log10().ceil().max(1.0);
+    // y spans 0.001% .. 100%.
+    let (ylog_min, ylog_max) = (-3.0f64, 2.0f64);
+    let xpix = |v: f64| ml + (v.max(1.0).log10() / xlog_max) * pw;
+    let ypix = |v: f64| mt + (1.0 - (v.max(0.001).log10() - ylog_min) / (ylog_max - ylog_min)) * ph;
+
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \
+         viewBox=\"0 0 {w} {h}\" font-family=\"sans-serif\" font-size=\"12\">"
+    );
+    let _ = writeln!(s, "<rect width=\"{w}\" height=\"{h}\" fill=\"white\"/>");
+    let _ = writeln!(
+        s,
+        "<text x=\"{}\" y=\"24\" text-anchor=\"middle\" font-size=\"15\">{}</text>",
+        w / 2.0,
+        title
+    );
+    // Gridlines + ticks.
+    for e in 0..=(xlog_max as i32) {
+        let x = xpix(10f64.powi(e));
+        let _ = writeln!(
+            s,
+            "<line x1=\"{x:.1}\" y1=\"{mt}\" x2=\"{x:.1}\" y2=\"{:.1}\" stroke=\"#ddd\"/>",
+            mt + ph
+        );
+        let _ = writeln!(
+            s,
+            "<text x=\"{x:.1}\" y=\"{:.1}\" text-anchor=\"middle\">1e{e}</text>",
+            mt + ph + 18.0
+        );
+    }
+    for e in (ylog_min as i32)..=(ylog_max as i32) {
+        let y = ypix(10f64.powi(e));
+        let _ = writeln!(
+            s,
+            "<line x1=\"{ml}\" y1=\"{y:.1}\" x2=\"{:.1}\" y2=\"{y:.1}\" stroke=\"#ddd\"/>",
+            ml + pw
+        );
+        let _ = writeln!(
+            s,
+            "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">1e{e}%</text>",
+            ml - 6.0,
+            y + 4.0
+        );
+    }
+    // Axes.
+    let _ = writeln!(
+        s,
+        "<rect x=\"{ml}\" y=\"{mt}\" width=\"{pw}\" height=\"{ph}\" fill=\"none\" stroke=\"#333\"/>"
+    );
+    let _ = writeln!(
+        s,
+        "<text x=\"{}\" y=\"{:.1}\" text-anchor=\"middle\">original trace size (operations)</text>",
+        ml + pw / 2.0,
+        h - 12.0
+    );
+    let _ = writeln!(
+        s,
+        "<text x=\"16\" y=\"{:.1}\" text-anchor=\"middle\" transform=\"rotate(-90 16 {:.1})\">\
+         slice size (% of trace)</text>",
+        mt + ph / 2.0,
+        mt + ph / 2.0
+    );
+    // Points.
+    for p in points {
+        let _ = writeln!(
+            s,
+            "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"3\" fill=\"#1f77b4\" fill-opacity=\"0.55\"/>",
+            xpix(p.trace_ops as f64),
+            ypix(p.ratio_percent())
+        );
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+/// If `--svg <path>` was passed, writes the scatter there and reports.
+pub fn maybe_write_svg(title: &str, points: &[FigPoint]) {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--svg" {
+            if let Some(path) = args.get(i + 1) {
+                let svg = svg_scatter(title, points);
+                match std::fs::write(path, svg) {
+                    Ok(()) => eprintln!("wrote {path}"),
+                    Err(e) => eprintln!("cannot write {path}: {e}"),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blastlite::Reducer;
+
+    #[test]
+    fn small_fcron_checks_all_safe() {
+        let spec = &workloads::suite(Scale::Small)[0];
+        let config = CheckerConfig {
+            reducer: Reducer::path_slice(),
+            time_budget: Duration::from_secs(30),
+            ..CheckerConfig::default()
+        };
+        let row = run_workload(spec, config);
+        assert_eq!(row.errors, 0, "{row:?}");
+        assert_eq!(row.timeouts, 0, "{row:?}");
+        assert_eq!(row.safe, row.checks, "{row:?}");
+        assert!(row.refinements >= row.checks, "each check needs refinement");
+    }
+
+    #[test]
+    fn svg_scatter_is_wellformed() {
+        let points = vec![
+            FigPoint {
+                trace_ops: 50,
+                slice_ops: 10,
+            },
+            FigPoint {
+                trace_ops: 5_000,
+                slice_ops: 12,
+            },
+            FigPoint {
+                trace_ops: 80_000,
+                slice_ops: 30,
+            },
+        ];
+        let svg = svg_scatter("test", &points);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert!(svg.contains("1e4"), "x axis reaches 1e4+: {svg}");
+    }
+
+    #[test]
+    fn executed_points_slice_below_one_percent() {
+        let mut spec = workloads::suite(Scale::Small)[1].clone(); // wuftpd
+        spec.loop_bound = 200;
+        let g = workloads::gen::generate(&spec);
+        let points = executed_trace_points(&g);
+        assert_eq!(points.len(), spec.buggy_modules.len());
+        for p in &points {
+            assert!(p.trace_ops > 1000, "{p:?}");
+            assert!(p.ratio_percent() < 1.0, "{p:?}");
+        }
+    }
+}

@@ -1,0 +1,583 @@
+//! The CEGAR loop and the per-function check driver (§5 methodology).
+
+use crate::abst::PredicatePool;
+use crate::reach::{reachable_with, ReachResult, SearchOrder};
+use crate::refine::mine_predicates;
+use cfa::{EdgeId, FuncId, Loc, Op, Path};
+use dataflow::Analyses;
+use lia::{Formula, SatResult, Solver};
+use semantics::TraceEncoder;
+use slicer::{PathSlicer, SliceOptions};
+use std::time::{Duration, Instant};
+
+/// How abstract counterexamples are reduced before analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reducer {
+    /// No reduction — BLAST before path slicing (the A1 ablation).
+    Identity,
+    /// The paper's contribution.
+    PathSlice(ReducerSliceOptions),
+}
+
+/// Copyable mirror of [`SliceOptions`] for [`Reducer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReducerSliceOptions {
+    /// §4.2 early-unsat stop.
+    pub early_unsat: bool,
+    /// §4.2 function skipping.
+    pub skip_functions: bool,
+}
+
+impl From<ReducerSliceOptions> for SliceOptions {
+    fn from(o: ReducerSliceOptions) -> SliceOptions {
+        SliceOptions {
+            early_unsat: o.early_unsat,
+            skip_functions: o.skip_functions,
+        }
+    }
+}
+
+impl Reducer {
+    /// The paper's default configuration: path slicing with the
+    /// early-unsat optimization.
+    pub fn path_slice() -> Reducer {
+        Reducer::PathSlice(ReducerSliceOptions {
+            early_unsat: true,
+            skip_functions: false,
+        })
+    }
+}
+
+/// Budgets and strategy for one check.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckerConfig {
+    /// Counterexample reducer.
+    pub reducer: Reducer,
+    /// Maximum CEGAR iterations.
+    pub max_refinements: usize,
+    /// Maximum abstract states per reachability run.
+    pub max_states: usize,
+    /// Wall-clock budget for the whole check (the paper used 1000 s).
+    pub time_budget: Duration,
+    /// Abstract-reachability exploration order.
+    pub search_order: SearchOrder,
+    /// Track function-local predicates only inside their function
+    /// (lazy-abstraction-style locality). Sound; shrinks the abstract
+    /// state space at some precision cost outside the owning function.
+    pub scoped_predicates: bool,
+}
+
+impl Default for CheckerConfig {
+    fn default() -> Self {
+        CheckerConfig {
+            reducer: Reducer::path_slice(),
+            max_refinements: 128,
+            max_states: 400_000,
+            time_budget: Duration::from_secs(60),
+            search_order: SearchOrder::Bfs,
+            scoped_predicates: false,
+        }
+    }
+}
+
+/// Why a check gave up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeoutReason {
+    /// The wall-clock budget elapsed.
+    WallClock,
+    /// Abstract reachability exceeded its state budget.
+    StateBudget,
+    /// The refinement-iteration budget elapsed.
+    RefinementBudget,
+    /// Refinement produced no new predicates (divergence detected).
+    NoProgress,
+    /// The decision procedure gave up on a trace formula (the paper §5:
+    /// "the size of trace formulas generated is usually beyond the limit
+    /// of current decision procedures").
+    SolverGaveUp,
+}
+
+/// The verdict of one check.
+#[derive(Debug, Clone)]
+pub enum CheckOutcome {
+    /// No error location is reachable.
+    Safe,
+    /// A feasible (modulo termination, §3.2) error witness was found.
+    Bug {
+        /// The abstract counterexample path.
+        path: Path,
+        /// The reduced witness the user inspects (equals the path's
+        /// edges under [`Reducer::Identity`]).
+        slice: Vec<EdgeId>,
+    },
+    /// The check exhausted a budget.
+    Timeout(TimeoutReason),
+}
+
+impl CheckOutcome {
+    /// Whether this outcome is [`CheckOutcome::Safe`].
+    pub fn is_safe(&self) -> bool {
+        matches!(self, CheckOutcome::Safe)
+    }
+
+    /// Whether this outcome is a [`CheckOutcome::Bug`].
+    pub fn is_bug(&self) -> bool {
+        matches!(self, CheckOutcome::Bug { .. })
+    }
+
+    /// Whether this outcome is a [`CheckOutcome::Timeout`].
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, CheckOutcome::Timeout(_))
+    }
+}
+
+/// One abstract counterexample and its reduction (a Figure 5/6 point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Operations in the abstract counterexample.
+    pub trace_ops: usize,
+    /// Operations kept by the reducer.
+    pub slice_ops: usize,
+}
+
+impl TraceRecord {
+    /// Slice size as a percentage of trace size.
+    pub fn ratio_percent(&self) -> f64 {
+        if self.trace_ops == 0 {
+            return 0.0;
+        }
+        self.slice_ops as f64 * 100.0 / self.trace_ops as f64
+    }
+}
+
+/// The full record of one check.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// The verdict.
+    pub outcome: CheckOutcome,
+    /// Number of refinement iterations performed.
+    pub refinements: usize,
+    /// Every abstract counterexample seen, with its reduction.
+    pub traces: Vec<TraceRecord>,
+    /// Wall-clock time spent.
+    pub wall: Duration,
+    /// Final predicate-pool size.
+    pub n_predicates: usize,
+    /// Abstract states explored, summed over all reachability runs.
+    pub abstract_states: usize,
+}
+
+/// The CEGAR model checker.
+#[derive(Debug, Clone, Copy)]
+pub struct Checker<'a> {
+    analyses: &'a Analyses<'a>,
+    config: CheckerConfig,
+}
+
+impl<'a> Checker<'a> {
+    /// Creates a checker over `analyses` with `config`.
+    pub fn new(analyses: &'a Analyses<'a>, config: CheckerConfig) -> Self {
+        Checker { analyses, config }
+    }
+
+    /// Checks whether any of `targets` is reachable.
+    pub fn check(&self, targets: &[Loc]) -> CheckReport {
+        let program = self.analyses.program();
+        let start = Instant::now();
+        let deadline = start + self.config.time_budget;
+        let mut pool = PredicatePool::new();
+        let mut traces = Vec::new();
+        let mut refinements = 0usize;
+        // A single trace formula must never eat the whole check budget
+        // (§5: unreduced trace formulas overwhelm decision procedures),
+        // so the feasibility solver gets a per-call slice of it.
+        let solver = Solver::with_config(lia::SolverConfig {
+            time_budget: Some((self.config.time_budget / 8).max(Duration::from_millis(500))),
+            ..lia::SolverConfig::default()
+        });
+        let slicer = PathSlicer::new(self.analyses);
+
+        let mut abstract_states = 0usize;
+        macro_rules! finish {
+            ($outcome:expr, $refinements:expr, $traces:expr, $pool:expr) => {
+                CheckReport {
+                    outcome: $outcome,
+                    refinements: $refinements,
+                    traces: $traces,
+                    wall: start.elapsed(),
+                    n_predicates: $pool.len(),
+                    abstract_states,
+                }
+            };
+        }
+
+        loop {
+            if Instant::now() > deadline {
+                return finish!(
+                    CheckOutcome::Timeout(TimeoutReason::WallClock),
+                    refinements,
+                    traces,
+                    &pool
+                );
+            }
+            let result = reachable_with(
+                program,
+                self.analyses,
+                &mut pool,
+                targets,
+                self.config.max_states,
+                deadline,
+                self.config.search_order,
+                self.config.scoped_predicates,
+            );
+            abstract_states += result.explored();
+            let path = match result {
+                ReachResult::Safe { .. } => {
+                    return finish!(CheckOutcome::Safe, refinements, traces, &pool);
+                }
+                ReachResult::BudgetExceeded { .. } => {
+                    let reason = if Instant::now() > deadline {
+                        TimeoutReason::WallClock
+                    } else {
+                        TimeoutReason::StateBudget
+                    };
+                    return finish!(CheckOutcome::Timeout(reason), refinements, traces, &pool);
+                }
+                ReachResult::ErrorPath { path, .. } => path,
+            };
+
+            // Reduce the abstract counterexample.
+            let (slice_edges, already_unsat) = match self.config.reducer {
+                Reducer::Identity => (path.edges().to_vec(), false),
+                Reducer::PathSlice(opts) => {
+                    let r = slicer.slice(&path, opts.into());
+                    (r.edges, r.stopped_unsat)
+                }
+            };
+            traces.push(TraceRecord {
+                trace_ops: path.len(),
+                slice_ops: slice_edges.len(),
+            });
+
+            // Decide feasibility of the reduced trace: encode each
+            // operation's constraint (backwards, §4.2 SSA style) so an
+            // unsat verdict comes with per-operation granularity for
+            // core extraction.
+            let ops: Vec<&Op> = slice_edges.iter().map(|&e| &program.edge(e).op).collect();
+            let mut enc = TraceEncoder::new(self.analyses.alias());
+            let mut parts: Vec<(usize, Formula)> = Vec::new();
+            for (i, op) in ops.iter().enumerate().rev() {
+                let f = enc.op_backward(op);
+                if f != Formula::True {
+                    parts.push((i, f));
+                }
+            }
+            let conj = Formula::And(parts.iter().map(|(_, f)| f.clone()).collect());
+            let verdict = if already_unsat {
+                SatResult::Unsat
+            } else {
+                solver.check(&conj)
+            };
+            match verdict {
+                SatResult::Sat(_) => {
+                    return finish!(
+                        CheckOutcome::Bug {
+                            path,
+                            slice: slice_edges
+                        },
+                        refinements,
+                        traces,
+                        &pool
+                    );
+                }
+                SatResult::Unknown => {
+                    return finish!(
+                        CheckOutcome::Timeout(TimeoutReason::SolverGaveUp),
+                        refinements,
+                        traces,
+                        &pool
+                    );
+                }
+                SatResult::Unsat => {
+                    // Refine from the atoms of one infeasibility reason:
+                    // a deletion-minimized unsat core of the constraint
+                    // set (our stand-in for BLAST's proof-based
+                    // predicate discovery), falling back to the whole
+                    // reduced trace if the core yields nothing new.
+                    let core = unsat_core(&solver, &parts, deadline);
+                    let core_ops: Vec<&Op> = core.iter().map(|&i| ops[i]).collect();
+                    let mut grew = false;
+                    for p in mine_predicates(core_ops) {
+                        grew |= pool.add_scoped(program, p);
+                    }
+                    if !grew {
+                        for p in mine_predicates(ops) {
+                            grew |= pool.add_scoped(program, p);
+                        }
+                    }
+                    if !grew {
+                        return finish!(
+                            CheckOutcome::Timeout(TimeoutReason::NoProgress),
+                            refinements,
+                            traces,
+                            &pool
+                        );
+                    }
+                    refinements += 1;
+                    if refinements >= self.config.max_refinements {
+                        return finish!(
+                            CheckOutcome::Timeout(TimeoutReason::RefinementBudget),
+                            refinements,
+                            traces,
+                            &pool
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Deletion-based unsat-core extraction over per-operation constraints:
+/// returns the (ascending) op indices whose constraints form an
+/// unsatisfiable subset. Falls back to the full set when the deadline
+/// hits mid-minimization.
+fn unsat_core(solver: &Solver, parts: &[(usize, Formula)], deadline: Instant) -> Vec<usize> {
+    let mut keep: Vec<bool> = vec![true; parts.len()];
+    // Deletion minimization is quadratic in the constraint count; on the
+    // huge unsliced traces of the identity-reducer ablation it would eat
+    // the whole budget, so only attempt it on reducer-sized inputs.
+    const MAX_MINIMIZABLE: usize = 600;
+    if parts.len() > MAX_MINIMIZABLE {
+        return parts.iter().map(|(i, _)| *i).collect();
+    }
+    for k in 0..parts.len() {
+        if Instant::now() > deadline {
+            break;
+        }
+        keep[k] = false;
+        let conj = Formula::And(
+            parts
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| keep[*i])
+                .map(|(_, (_, f))| f.clone())
+                .collect(),
+        );
+        if !solver.check(&conj).is_unsat() {
+            keep[k] = true;
+        }
+    }
+    let mut idxs: Vec<usize> = parts
+        .iter()
+        .zip(&keep)
+        .filter(|(_, &k)| k)
+        .map(|((i, _), _)| *i)
+        .collect();
+    idxs.sort_unstable();
+    idxs
+}
+
+/// One per-function cluster of error sites, checked independently
+/// (the paper's §5 methodology: "we cluster calls to `__error__`
+/// according to their calling functions, and then check each function
+/// … independently").
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// The function whose error sites were checked.
+    pub func: FuncId,
+    /// Its source name.
+    pub func_name: String,
+    /// Number of instrumented error sites in the cluster.
+    pub n_sites: usize,
+    /// The check's report.
+    pub report: CheckReport,
+}
+
+/// Runs one check per function that contains error locations, in
+/// [`FuncId`] order. Returns the per-cluster reports.
+pub fn check_program(analyses: &Analyses<'_>, config: CheckerConfig) -> Vec<ClusterReport> {
+    let program = analyses.program();
+    let mut out = Vec::new();
+    for cfa in program.cfas() {
+        if cfa.error_locs().is_empty() {
+            continue;
+        }
+        let checker = Checker::new(analyses, config);
+        let report = checker.check(cfa.error_locs());
+        out.push(ClusterReport {
+            func: cfa.func(),
+            func_name: cfa.name().to_owned(),
+            n_sites: cfa.error_locs().len(),
+            report,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(src: &str) -> cfa::Program {
+        cfa::lower(&imp::parse(src).unwrap()).unwrap()
+    }
+
+    fn check_with(src: &str, reducer: Reducer) -> Vec<ClusterReport> {
+        let p = setup(src);
+        let an = Analyses::build(&p);
+        let config = CheckerConfig {
+            reducer,
+            ..CheckerConfig::default()
+        };
+        check_program(&an, config)
+    }
+
+    #[test]
+    fn proves_simple_safety_after_refinement() {
+        let reports = check_with(
+            "global x; fn main() { x = 1; if (x == 2) { error(); } }",
+            Reducer::path_slice(),
+        );
+        assert_eq!(reports.len(), 1);
+        assert!(
+            reports[0].report.outcome.is_safe(),
+            "{:?}",
+            reports[0].report.outcome
+        );
+        assert!(reports[0].report.refinements >= 1);
+    }
+
+    #[test]
+    fn finds_real_bug_with_witness() {
+        let reports = check_with(
+            "fn main() { local a; a = nondet(); if (a > 41) { error(); } }",
+            Reducer::path_slice(),
+        );
+        let report = &reports[0].report;
+        assert!(report.outcome.is_bug(), "{:?}", report.outcome);
+        if let CheckOutcome::Bug { path, slice } = &report.outcome {
+            assert!(slice.len() <= path.len());
+        }
+    }
+
+    #[test]
+    fn conditional_safety_needs_relevant_predicate() {
+        // Safe: x is set to 1 exactly when a >= 0 (Ex2 shaded, no loop).
+        let src = r#"
+            global a, x;
+            fn main() {
+                x = 0;
+                if (a >= 0) { x = 1; }
+                if (a >= 0) { if (x == 0) { error(); } }
+            }
+        "#;
+        let reports = check_with(src, Reducer::path_slice());
+        assert!(
+            reports[0].report.outcome.is_safe(),
+            "{:?}",
+            reports[0].report.outcome
+        );
+    }
+
+    #[test]
+    fn ex2_with_loop_slicing_converges_identity_does_not() {
+        // The paper's motivating scenario (§1): an irrelevant loop
+        // between the error-relevant branches. With path slicing the
+        // loop never enters the slice and CEGAR converges; without it
+        // the refinement chases loop unrollings until a budget trips.
+        let src = r#"
+            global a, x;
+            fn main() {
+                local i;
+                x = 0;
+                if (a >= 0) { x = 1; }
+                for (i = 1; i <= 50; i = i + 1) { skip; }
+                if (a >= 0) { if (x == 0) { error(); } }
+            }
+        "#;
+        let with_slicing = check_with(src, Reducer::path_slice());
+        assert!(
+            with_slicing[0].report.outcome.is_safe(),
+            "{:?}",
+            with_slicing[0].report.outcome
+        );
+        assert!(with_slicing[0].report.refinements <= 3);
+
+        let p = setup(src);
+        let an = Analyses::build(&p);
+        let config = CheckerConfig {
+            reducer: Reducer::Identity,
+            max_refinements: 10,
+            time_budget: Duration::from_secs(20),
+            ..CheckerConfig::default()
+        };
+        let without = check_program(&an, config);
+        assert!(
+            without[0].report.outcome.is_timeout(),
+            "identity reducer should diverge: {:?}",
+            without[0].report.outcome
+        );
+    }
+
+    #[test]
+    fn unreachable_error_behind_infeasible_branch_chain() {
+        let src = r#"
+            global a, b;
+            fn main() {
+                a = 3;
+                b = a + 1;
+                if (b < a) { error(); }
+            }
+        "#;
+        let reports = check_with(src, Reducer::path_slice());
+        assert!(reports[0].report.outcome.is_safe());
+    }
+
+    #[test]
+    fn interprocedural_bug_through_transfer_globals() {
+        let src = r#"
+            global g;
+            fn store(v) { g = v; }
+            fn main() { local a; a = nondet(); store(a); if (g == 7) { error(); } }
+        "#;
+        let reports = check_with(src, Reducer::path_slice());
+        assert!(
+            reports[0].report.outcome.is_bug(),
+            "{:?}",
+            reports[0].report.outcome
+        );
+    }
+
+    #[test]
+    fn clusters_are_per_function() {
+        let src = r#"
+            global a;
+            fn f() { if (a > 0) { error(); } }
+            fn g() { if (a < 0) { error(); } error(); }
+            fn main() { f(); g(); }
+        "#;
+        let reports = check_with(src, Reducer::path_slice());
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports.iter().map(|r| r.n_sites).sum::<usize>(), 3);
+        assert!(reports.iter().all(|r| r.report.outcome.is_bug()));
+    }
+
+    #[test]
+    fn trace_records_measure_reduction() {
+        let src = r#"
+            global a, x, s;
+            fn main() {
+                local i;
+                for (i = 0; i < 20; i = i + 1) { s = s + i; }
+                if (a > 0) { if (x == 0) { error(); } }
+            }
+        "#;
+        let reports = check_with(src, Reducer::path_slice());
+        let report = &reports[0].report;
+        assert!(report.outcome.is_bug());
+        assert!(!report.traces.is_empty());
+        let last = report.traces.last().unwrap();
+        assert!(last.slice_ops <= 4, "loop sliced away: {last:?}");
+    }
+}

@@ -1,0 +1,271 @@
+//! Predicate mining from infeasible (sliced) traces.
+//!
+//! A simplified "abstractions from proofs" refinement [16 in the paper's
+//! bibliography]: walk the reduced trace backwards carrying the *pending*
+//! branch atoms, rewriting each through every assignment it crosses (the
+//! syntactic WP step `φ[e/x]`, constant-folded). Every intermediate
+//! rewrite is a candidate predicate — these are the facts the abstraction
+//! needs at the intermediate locations to refute the trace.
+//!
+//! On an unrolled loop this produces the classic divergent ladder
+//! (`i ≥ 1000`, `i+1 ≥ 1000`, `i+2 ≥ 1000`, …): one new predicate per
+//! unrolling, which is exactly why refinement over *unsliced* traces
+//! fails to converge on irrelevant loops (§1) while sliced traces yield
+//! only the property-relevant atoms.
+
+use crate::abst::atoms_of;
+use cfa::{CBool, CExpr, CLval, Op, VarId};
+use imp::ast::BinOp;
+
+/// Caps the node count of rewritten atoms; larger atoms are dropped.
+const MAX_EXPR_NODES: usize = 64;
+
+/// Caps the number of pending atoms carried backwards.
+const MAX_PENDING: usize = 128;
+
+fn expr_nodes(e: &CExpr) -> usize {
+    match e {
+        CExpr::Int(_) | CExpr::Lval(_) | CExpr::AddrOf(_) => 1,
+        CExpr::ArrLoad(_, idx) => 1 + expr_nodes(idx),
+        CExpr::Neg(i) => 1 + expr_nodes(i),
+        CExpr::Bin(_, a, b) => 1 + expr_nodes(a) + expr_nodes(b),
+    }
+}
+
+fn atom_nodes(b: &CBool) -> usize {
+    match b {
+        CBool::True | CBool::False => 1,
+        CBool::Cmp(_, x, y) => expr_nodes(x) + expr_nodes(y),
+        CBool::Not(i) => 1 + atom_nodes(i),
+        CBool::And(x, y) | CBool::Or(x, y) => 1 + atom_nodes(x) + atom_nodes(y),
+    }
+}
+
+/// Constant-folds an expression bottom-up (partial: only full-constant
+/// subtrees fold).
+fn fold(e: CExpr) -> CExpr {
+    match e {
+        CExpr::Neg(i) => {
+            let i = fold(*i);
+            if let CExpr::Int(n) = i {
+                CExpr::Int(n.wrapping_neg())
+            } else {
+                CExpr::Neg(Box::new(i))
+            }
+        }
+        CExpr::Bin(op, a, b) => {
+            let a = fold(*a);
+            let b = fold(*b);
+            if let (CExpr::Int(x), CExpr::Int(y)) = (&a, &b) {
+                let v = match op {
+                    BinOp::Add => Some(x.wrapping_add(*y)),
+                    BinOp::Sub => Some(x.wrapping_sub(*y)),
+                    BinOp::Mul => Some(x.wrapping_mul(*y)),
+                    BinOp::Div if *y != 0 => Some(x.wrapping_div(*y)),
+                    BinOp::Rem if *y != 0 => Some(x.wrapping_rem(*y)),
+                    _ => None,
+                };
+                if let Some(v) = v {
+                    return CExpr::Int(v);
+                }
+            }
+            CExpr::Bin(op, Box::new(a), Box::new(b))
+        }
+        other => other,
+    }
+}
+
+fn subst_one(e: &CExpr, x: VarId, rhs: &CExpr) -> CExpr {
+    match e {
+        CExpr::Int(_) | CExpr::AddrOf(_) => e.clone(),
+        CExpr::Lval(CLval::Var(v)) if *v == x => rhs.clone(),
+        CExpr::Lval(_) => e.clone(),
+        CExpr::ArrLoad(a, idx) => CExpr::ArrLoad(*a, Box::new(subst_one(idx, x, rhs))),
+        CExpr::Neg(i) => CExpr::Neg(Box::new(subst_one(i, x, rhs))),
+        CExpr::Bin(op, a, b) => CExpr::Bin(
+            *op,
+            Box::new(subst_one(a, x, rhs)),
+            Box::new(subst_one(b, x, rhs)),
+        ),
+    }
+}
+
+fn atom_subst(b: &CBool, x: VarId, rhs: &CExpr) -> CBool {
+    match b {
+        CBool::True | CBool::False => b.clone(),
+        CBool::Cmp(op, l, r) => {
+            CBool::Cmp(*op, fold(subst_one(l, x, rhs)), fold(subst_one(r, x, rhs)))
+        }
+        CBool::Not(i) => CBool::Not(Box::new(atom_subst(i, x, rhs))),
+        CBool::And(l, r) => CBool::And(
+            Box::new(atom_subst(l, x, rhs)),
+            Box::new(atom_subst(r, x, rhs)),
+        ),
+        CBool::Or(l, r) => CBool::Or(
+            Box::new(atom_subst(l, x, rhs)),
+            Box::new(atom_subst(r, x, rhs)),
+        ),
+    }
+}
+
+fn reads_var(b: &CBool, x: VarId) -> bool {
+    let mut reads = Vec::new();
+    b.collect_reads(&mut reads);
+    reads.iter().any(|lv| lv.base() == x)
+}
+
+fn is_constant_atom(b: &CBool) -> bool {
+    let mut reads = Vec::new();
+    b.collect_reads(&mut reads);
+    reads.is_empty()
+}
+
+/// Mines candidate refinement predicates from a trace's operations
+/// (forward order; typically the kept operations of a slice).
+pub fn mine_predicates<'o>(ops: impl IntoIterator<Item = &'o Op>) -> Vec<CBool> {
+    let ops: Vec<&Op> = ops.into_iter().collect();
+    let mut pending: Vec<CBool> = Vec::new();
+    let mut out: Vec<CBool> = Vec::new();
+    let emit = |atom: &CBool, out: &mut Vec<CBool>| {
+        if !is_constant_atom(atom) && !out.contains(atom) {
+            out.push(atom.clone());
+        }
+    };
+    for op in ops.into_iter().rev() {
+        match op {
+            Op::Assume(p) => {
+                let mut atoms = Vec::new();
+                atoms_of(p, &mut atoms);
+                for a in atoms {
+                    emit(&a, &mut out);
+                    if pending.len() < MAX_PENDING && !pending.contains(&a) {
+                        pending.push(a);
+                    }
+                }
+            }
+            Op::Assign(CLval::Var(x), e) => {
+                let mut next = Vec::with_capacity(pending.len());
+                for a in pending.drain(..) {
+                    if !reads_var(&a, *x) {
+                        next.push(a);
+                        continue;
+                    }
+                    let rewritten = atom_subst(&a, *x, e);
+                    if is_constant_atom(&rewritten) || atom_nodes(&rewritten) > MAX_EXPR_NODES {
+                        // Fully decided or too big: stop carrying it.
+                        continue;
+                    }
+                    emit(&rewritten, &mut out);
+                    next.push(rewritten);
+                }
+                pending = next;
+            }
+            Op::Assign(CLval::Deref(_), _) | Op::Havoc(CLval::Deref(_)) => {
+                // Unknown cells written: conservatively drop everything
+                // pending (precision only; rare on slices).
+                pending.clear();
+            }
+            Op::Assign(CLval::Arr(a), _) | Op::Havoc(CLval::Arr(a)) => {
+                let a = *a;
+                pending.retain(|at| !reads_var(at, a));
+            }
+            Op::ArrStore(a, _, _) => {
+                // Weak array write: atoms reading the array become
+                // untrackable, others survive.
+                let a = *a;
+                pending.retain(|at| !reads_var(at, a));
+            }
+            Op::Havoc(CLval::Var(x)) => {
+                pending.retain(|a| !reads_var(a, *x));
+            }
+            Op::Call(_) | Op::Return => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops_of(src: &str) -> (cfa::Program, Vec<Op>) {
+        let p = cfa::lower(&imp::parse(src).unwrap()).unwrap();
+        let ops = p
+            .cfa(p.main())
+            .edges()
+            .iter()
+            .map(|e| e.op.clone())
+            .collect();
+        (p, ops)
+    }
+
+    fn rendered(p: &cfa::Program, preds: &[CBool]) -> Vec<String> {
+        preds.iter().map(|b| p.fmt_bool(b)).collect()
+    }
+
+    #[test]
+    fn mines_raw_branch_atoms() {
+        let (p, ops) = ops_of("global x; fn main() { x = 1; assume(x == 2); }");
+        let preds = mine_predicates(ops.iter());
+        let r = rendered(&p, &preds);
+        assert!(r.contains(&"x == 2".to_string()), "{r:?}");
+        // The rewrite 1 == 2 is constant and filtered out.
+        assert!(!r.iter().any(|s| s == "1 == 2"), "{r:?}");
+    }
+
+    #[test]
+    fn loop_unrollings_yield_the_divergence_ladder() {
+        let (p, ops) =
+            ops_of("global i; fn main() { i = 0; i = i + 1; i = i + 1; assume(i >= 5); }");
+        let preds = mine_predicates(ops.iter());
+        let r = rendered(&p, &preds);
+        assert!(r.contains(&"i >= 5".to_string()), "{r:?}");
+        assert!(
+            r.contains(&"(i + 1) >= 5".to_string()),
+            "one unrolling in: {r:?}"
+        );
+        assert!(
+            r.contains(&"((i + 1) + 1) >= 5".to_string()),
+            "two unrollings in: {r:?}"
+        );
+        // A deeper unrolling yields a strictly larger ladder.
+        let (_, ops2) = ops_of(
+            "global i; fn main() { i = 0; i = i + 1; i = i + 1; i = i + 1; assume(i >= 5); }",
+        );
+        let preds2 = mine_predicates(ops2.iter());
+        assert!(preds2.len() > preds.len());
+    }
+
+    #[test]
+    fn havoc_stops_rewriting() {
+        let (p, ops) = ops_of("global x; fn main() { x = 7; x = nondet(); assume(x == 2); }");
+        let preds = mine_predicates(ops.iter());
+        let r = rendered(&p, &preds);
+        assert_eq!(r, vec!["x == 2".to_string()], "{r:?}");
+    }
+
+    #[test]
+    fn compound_conditions_decompose() {
+        let (p, ops) = ops_of("global a, b; fn main() { assume(a > 0 && b < 3); }");
+        let preds = mine_predicates(ops.iter());
+        let r = rendered(&p, &preds);
+        assert!(r.contains(&"a > 0".to_string()), "{r:?}");
+        assert!(r.contains(&"b < 3".to_string()), "{r:?}");
+    }
+
+    #[test]
+    fn rewrites_through_dependent_assignments() {
+        let (p, ops) = ops_of("global x, y; fn main() { y = x + 1; assume(y > 9); }");
+        let preds = mine_predicates(ops.iter());
+        let r = rendered(&p, &preds);
+        assert!(r.contains(&"y > 9".to_string()), "{r:?}");
+        assert!(r.contains(&"(x + 1) > 9".to_string()), "{r:?}");
+    }
+
+    #[test]
+    fn unrelated_assignments_leave_atoms_alone() {
+        let (_, ops) = ops_of("global x, y; fn main() { y = 3; assume(x > 0); }");
+        let preds = mine_predicates(ops.iter());
+        assert_eq!(preds.len(), 1);
+    }
+}

@@ -1,0 +1,128 @@
+//! Human-readable rendering: operation formatting and Graphviz export.
+
+use crate::ir::{CBool, CExpr, CLval, Cfa, Op, Program};
+use std::fmt::Write as _;
+
+impl Program {
+    /// Renders an lvalue with source-level variable names.
+    pub fn fmt_lval(&self, lv: CLval) -> String {
+        match lv {
+            CLval::Var(v) => self.vars().name(v).to_owned(),
+            CLval::Deref(v) => format!("*{}", self.vars().name(v)),
+            CLval::Arr(v) => format!("{}[·]", self.vars().name(v)),
+        }
+    }
+
+    /// Renders an expression with source-level variable names.
+    pub fn fmt_expr(&self, e: &CExpr) -> String {
+        match e {
+            CExpr::Int(n) => n.to_string(),
+            CExpr::Lval(lv) => self.fmt_lval(*lv),
+            CExpr::ArrLoad(a, idx) => {
+                format!("{}[{}]", self.vars().name(*a), self.fmt_expr(idx))
+            }
+            CExpr::AddrOf(v) => format!("&{}", self.vars().name(*v)),
+            CExpr::Neg(i) => format!("-({})", self.fmt_expr(i)),
+            CExpr::Bin(op, a, b) => {
+                format!("({} {} {})", self.fmt_expr(a), op, self.fmt_expr(b))
+            }
+        }
+    }
+
+    /// Renders a boolean predicate with source-level variable names.
+    pub fn fmt_bool(&self, b: &CBool) -> String {
+        match b {
+            CBool::True => "true".to_owned(),
+            CBool::False => "false".to_owned(),
+            CBool::Cmp(op, a, b) => format!("{} {} {}", self.fmt_expr(a), op, self.fmt_expr(b)),
+            CBool::Not(i) => format!("!({})", self.fmt_bool(i)),
+            CBool::And(a, b) => format!("({} && {})", self.fmt_bool(a), self.fmt_bool(b)),
+            CBool::Or(a, b) => format!("({} || {})", self.fmt_bool(a), self.fmt_bool(b)),
+        }
+    }
+
+    /// Renders an operation with source-level variable names.
+    pub fn fmt_op(&self, op: &Op) -> String {
+        match op {
+            Op::Assign(lv, e) => format!("{} := {}", self.fmt_lval(*lv), self.fmt_expr(e)),
+            Op::ArrStore(a, idx, val) => format!(
+                "{}[{}] := {}",
+                self.vars().name(*a),
+                self.fmt_expr(idx),
+                self.fmt_expr(val)
+            ),
+            Op::Havoc(lv) => format!("{} := nondet()", self.fmt_lval(*lv)),
+            Op::Assume(p) => format!("assume({})", self.fmt_bool(p)),
+            Op::Call(f) => format!("call {}()", self.cfa(*f).name()),
+            Op::Return => "return".to_owned(),
+        }
+    }
+
+    /// Emits one CFA as a Graphviz `digraph`.
+    pub fn to_dot(&self, cfa: &Cfa) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", cfa.name());
+        let _ = writeln!(out, "  rankdir=TB; node [shape=circle, fontsize=10];");
+        let _ = writeln!(
+            out,
+            "  pc{} [shape=doublecircle, label=\"entry\"];",
+            cfa.entry().idx
+        );
+        let _ = writeln!(
+            out,
+            "  pc{} [shape=doublecircle, label=\"exit\"];",
+            cfa.exit().idx
+        );
+        for &err in cfa.error_locs() {
+            let _ = writeln!(
+                out,
+                "  pc{} [shape=octagon, color=red, label=\"ERR\"];",
+                err.idx
+            );
+        }
+        for e in cfa.edges() {
+            let label = self.fmt_op(&e.op).replace('"', "\\\"");
+            let _ = writeln!(
+                out,
+                "  pc{} -> pc{} [label=\"{}\"];",
+                e.src.idx, e.dst.idx, label
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lower;
+
+    #[test]
+    fn dot_output_contains_edges_and_error() {
+        let p = lower(
+            &imp::parse("fn main() { local a; if (a > 0) { error(); } a = a * 2 + 1; }").unwrap(),
+        )
+        .unwrap();
+        let dot = p.to_dot(p.cfa(p.main()));
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("ERR"));
+        assert!(dot.contains("assume"));
+        assert!(dot.contains(":="));
+    }
+
+    #[test]
+    fn fmt_op_is_readable() {
+        let p = lower(&imp::parse("global x; fn main() { local p; p = &x; *p = 5; }").unwrap())
+            .unwrap();
+        let m = p.cfa(p.main());
+        let rendered: Vec<String> = m.edges().iter().map(|e| p.fmt_op(&e.op)).collect();
+        assert!(
+            rendered.iter().any(|s| s == "main::p := &x"),
+            "{rendered:?}"
+        );
+        assert!(
+            rendered.iter().any(|s| s == "*main::p := 5"),
+            "{rendered:?}"
+        );
+    }
+}

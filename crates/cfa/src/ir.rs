@@ -1,0 +1,759 @@
+//! The CFA intermediate representation.
+//!
+//! Mirrors the paper's §3.1/§4 definitions: a program is a set of CFAs
+//! `C_f = (PC_f, pc_0, pc_out, E_f, V_f)`; edges are labeled with
+//! assignment, assume, call, or return operations. We add a `havoc`
+//! operation (`lv := nondet()`) for external input and distinguished
+//! *error locations* (the reachability targets produced by `error()` /
+//! failed `assert`).
+
+use imp::ast::{BinOp, CmpOp};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifies a variable in a [`Program`]'s interned variable table.
+///
+/// Local variables of different functions have disjoint ids (the paper's
+/// assumption (3) in §4), achieved by interning locals under qualified
+/// names (`f::x`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The id as a dense array index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifies a function (and its CFA) in a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u32);
+
+impl FuncId {
+    /// The id as a dense array index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A control location (program counter) inside one function's CFA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Loc {
+    /// The function whose CFA this location belongs to.
+    pub func: FuncId,
+    /// Dense index within the CFA.
+    pub idx: u32,
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}:pc{}", self.func.0, self.idx)
+    }
+}
+
+/// Whether a variable is a global, a (qualified) local, or an array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarKind {
+    /// A program global (including generated `f::argN` / `f::ret`
+    /// transfer variables).
+    Global,
+    /// A local (parameter or `local` declaration) of the given function.
+    Local(FuncId),
+    /// A global array with the given length; its [`VarId`] denotes the
+    /// summary cell.
+    Array(u32),
+}
+
+/// An lvalue: a variable, a single pointer dereference (§3.4), or the
+/// *summary cell* of an array.
+///
+/// Arrays extend the paper's memory model the way BLAST handled them:
+/// one abstract cell per array, updated **weakly** (an element store may
+/// or may not change the value an element load sees), so
+/// `MustAlias(a[·], a[·])` is false even for the same array while
+/// `MayAlias` is true. Concrete indexing only exists at the
+/// operation level ([`Op::ArrStore`], [`CExpr::ArrLoad`]) where the
+/// interpreter needs it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CLval {
+    /// The memory cell of variable `x`.
+    Var(VarId),
+    /// The cell pointed to by the current value of `p` (`*p`).
+    Deref(VarId),
+    /// The summary cell of array `a` (all of `a[0..len]`).
+    Arr(VarId),
+}
+
+impl CLval {
+    /// The underlying variable.
+    pub fn base(self) -> VarId {
+        match self {
+            CLval::Var(v) | CLval::Deref(v) | CLval::Arr(v) => v,
+        }
+    }
+
+    /// Whether this lvalue is a dereference.
+    pub fn is_deref(self) -> bool {
+        matches!(self, CLval::Deref(_))
+    }
+}
+
+/// Integer expressions over interned variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CExpr {
+    /// Integer constant.
+    Int(i64),
+    /// Read of an lvalue.
+    Lval(CLval),
+    /// An array element read `a[e]`.
+    ArrLoad(VarId, Box<CExpr>),
+    /// `&x`.
+    AddrOf(VarId),
+    /// Unary minus.
+    Neg(Box<CExpr>),
+    /// Binary arithmetic.
+    Bin(BinOp, Box<CExpr>, Box<CExpr>),
+}
+
+impl CExpr {
+    /// Convenience constructor for a variable read.
+    pub fn var(v: VarId) -> CExpr {
+        CExpr::Lval(CLval::Var(v))
+    }
+
+    /// Collects the lvalues read by this expression (the paper's `Lvs.e`,
+    /// §3.3), including the pointer variable itself for each `*p`.
+    pub fn collect_reads(&self, out: &mut Vec<CLval>) {
+        match self {
+            CExpr::Int(_) | CExpr::AddrOf(_) => {}
+            CExpr::Lval(lv) => {
+                if let CLval::Deref(p) = lv {
+                    out.push(CLval::Var(*p));
+                }
+                out.push(*lv);
+            }
+            CExpr::ArrLoad(a, idx) => {
+                out.push(CLval::Arr(*a));
+                idx.collect_reads(out);
+            }
+            CExpr::Neg(e) => e.collect_reads(out),
+            CExpr::Bin(_, a, b) => {
+                a.collect_reads(out);
+                b.collect_reads(out);
+            }
+        }
+    }
+}
+
+/// Boolean expressions (assume predicates), including pointer equality.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CBool {
+    /// Constant true.
+    True,
+    /// Constant false.
+    False,
+    /// Arithmetic (or pointer) comparison.
+    Cmp(CmpOp, CExpr, CExpr),
+    /// Negation.
+    Not(Box<CBool>),
+    /// Conjunction.
+    And(Box<CBool>, Box<CBool>),
+    /// Disjunction.
+    Or(Box<CBool>, Box<CBool>),
+}
+
+impl CBool {
+    /// Logical negation, flipping comparisons in place.
+    pub fn negate(&self) -> CBool {
+        match self {
+            CBool::True => CBool::False,
+            CBool::False => CBool::True,
+            CBool::Cmp(op, a, b) => CBool::Cmp(op.negate(), a.clone(), b.clone()),
+            CBool::Not(b) => (**b).clone(),
+            other => CBool::Not(Box::new(other.clone())),
+        }
+    }
+
+    /// Collects the lvalues read by this predicate.
+    pub fn collect_reads(&self, out: &mut Vec<CLval>) {
+        match self {
+            CBool::True | CBool::False => {}
+            CBool::Cmp(_, a, b) => {
+                a.collect_reads(out);
+                b.collect_reads(out);
+            }
+            CBool::Not(b) => b.collect_reads(out),
+            CBool::And(a, b) | CBool::Or(a, b) => {
+                a.collect_reads(out);
+                b.collect_reads(out);
+            }
+        }
+    }
+}
+
+/// The operation labeling a CFA edge (paper Fig. 3 rows).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// `lv := e`.
+    Assign(CLval, CExpr),
+    /// `a[idx] := e` — an array element store (a *weak* update of the
+    /// array's summary cell for every analysis; exact for the
+    /// interpreter).
+    ArrStore(VarId, CExpr, CExpr),
+    /// `lv := nondet()` — external input.
+    Havoc(CLval),
+    /// `assume(p)` — the edge may be traversed only in states satisfying
+    /// `p`.
+    Assume(CBool),
+    /// A call to `f`; control jumps to `f`'s entry location. Identity on
+    /// the state (arguments were passed through transfer globals).
+    Call(FuncId),
+    /// Return; control transfers to the successor of the matching call
+    /// edge. Identity on the state.
+    Return,
+}
+
+impl Op {
+    /// The lvalues read by this operation (the paper's `Rd.op`).
+    ///
+    /// Calls and returns read nothing (Fig. 3); assignment reads `Lvs.e`
+    /// (plus the pointer for a `*p :=` write); assumes read `Lvs.p`.
+    pub fn reads(&self) -> Vec<CLval> {
+        let mut out = Vec::new();
+        match self {
+            Op::Assign(lv, e) => {
+                if let CLval::Deref(p) = lv {
+                    // Writing through `*p` reads the pointer `p`.
+                    out.push(CLval::Var(*p));
+                }
+                e.collect_reads(&mut out);
+            }
+            Op::ArrStore(_, idx, val) => {
+                idx.collect_reads(&mut out);
+                val.collect_reads(&mut out);
+            }
+            Op::Havoc(lv) => {
+                if let CLval::Deref(p) = lv {
+                    out.push(CLval::Var(*p));
+                }
+            }
+            Op::Assume(p) => p.collect_reads(&mut out),
+            Op::Call(_) | Op::Return => {}
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The lvalue *syntactically* assigned by this operation, if any.
+    ///
+    /// Alias-aware may/must write sets (the paper's generalized `Wt`,
+    /// §3.4) are computed in the `dataflow` crate on top of this.
+    pub fn write(&self) -> Option<CLval> {
+        match self {
+            Op::Assign(lv, _) | Op::Havoc(lv) => Some(*lv),
+            Op::ArrStore(a, _, _) => Some(CLval::Arr(*a)),
+            Op::Assume(_) | Op::Call(_) | Op::Return => None,
+        }
+    }
+
+    /// Whether this op is an assume.
+    pub fn is_assume(&self) -> bool {
+        matches!(self, Op::Assume(_))
+    }
+}
+
+/// A CFA edge `(pc, op, pc')`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    /// Source location.
+    pub src: Loc,
+    /// The labeling operation.
+    pub op: Op,
+    /// Target location.
+    pub dst: Loc,
+}
+
+/// The control flow automaton of one function.
+#[derive(Debug, Clone)]
+pub struct Cfa {
+    func: FuncId,
+    name: String,
+    entry: Loc,
+    exit: Loc,
+    error_locs: Vec<Loc>,
+    params: Vec<VarId>,
+    locals: Vec<VarId>,
+    n_locs: u32,
+    edges: Vec<Edge>,
+    succs: Vec<Vec<u32>>,
+    preds: Vec<Vec<u32>>,
+}
+
+impl Cfa {
+    /// This CFA's function id.
+    pub fn func(&self) -> FuncId {
+        self.func
+    }
+
+    /// The function's source name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The start location `pc_0`.
+    pub fn entry(&self) -> Loc {
+        self.entry
+    }
+
+    /// The exit location `pc_out`.
+    pub fn exit(&self) -> Loc {
+        self.exit
+    }
+
+    /// The error locations created by `error()` / failed `assert` in this
+    /// function, in source order. Error locations have no outgoing edges
+    /// and are distinct from `pc_out`.
+    pub fn error_locs(&self) -> &[Loc] {
+        &self.error_locs
+    }
+
+    /// Parameter variables (already interned as qualified locals).
+    pub fn params(&self) -> &[VarId] {
+        &self.params
+    }
+
+    /// All locals, including parameters.
+    pub fn locals(&self) -> &[VarId] {
+        &self.locals
+    }
+
+    /// Number of locations in this CFA.
+    pub fn n_locs(&self) -> usize {
+        self.n_locs as usize
+    }
+
+    /// All edges, indexable by the `idx` field of [`crate::EdgeId`].
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The edge with the given dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn edge(&self, idx: u32) -> &Edge {
+        &self.edges[idx as usize]
+    }
+
+    /// Outgoing edge indices of a location.
+    pub fn succ_edges(&self, loc: Loc) -> &[u32] {
+        debug_assert_eq!(loc.func, self.func);
+        &self.succs[loc.idx as usize]
+    }
+
+    /// Incoming edge indices of a location.
+    pub fn pred_edges(&self, loc: Loc) -> &[u32] {
+        debug_assert_eq!(loc.func, self.func);
+        &self.preds[loc.idx as usize]
+    }
+
+    /// Iterates over all locations of this CFA.
+    pub fn locs(&self) -> impl Iterator<Item = Loc> + '_ {
+        let func = self.func;
+        (0..self.n_locs).map(move |idx| Loc { func, idx })
+    }
+}
+
+/// Interned variable table shared by all CFAs of a program.
+#[derive(Debug, Clone, Default)]
+pub struct VarTable {
+    names: Vec<String>,
+    kinds: Vec<VarKind>,
+    index: HashMap<String, VarId>,
+}
+
+impl VarTable {
+    /// Interns (or finds) a variable by its fully qualified name.
+    pub fn intern(&mut self, name: &str, kind: VarKind) -> VarId {
+        if let Some(&v) = self.index.get(name) {
+            return v;
+        }
+        let v = VarId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.kinds.push(kind);
+        self.index.insert(name.to_owned(), v);
+        v
+    }
+
+    /// Looks up a variable by qualified name.
+    pub fn lookup(&self, name: &str) -> Option<VarId> {
+        self.index.get(name).copied()
+    }
+
+    /// The qualified name of a variable.
+    pub fn name(&self, v: VarId) -> &str {
+        &self.names[v.index()]
+    }
+
+    /// The kind (global / local-of) of a variable.
+    pub fn kind(&self, v: VarId) -> VarKind {
+        self.kinds[v.index()]
+    }
+
+    /// Number of interned variables.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// A whole program: one CFA per function plus the shared variable table.
+#[derive(Debug, Clone)]
+pub struct Program {
+    vars: VarTable,
+    cfas: Vec<Cfa>,
+    func_index: HashMap<String, FuncId>,
+    globals: Vec<VarId>,
+    main: FuncId,
+}
+
+impl Program {
+    /// The `main` function's id.
+    pub fn main(&self) -> FuncId {
+        self.main
+    }
+
+    /// The CFA of function `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not a function of this program.
+    pub fn cfa(&self, f: FuncId) -> &Cfa {
+        &self.cfas[f.index()]
+    }
+
+    /// All CFAs, indexable by [`FuncId`].
+    pub fn cfas(&self) -> &[Cfa] {
+        &self.cfas
+    }
+
+    /// Looks up a function id by source name.
+    pub fn func_id(&self, name: &str) -> Option<FuncId> {
+        self.func_index.get(name).copied()
+    }
+
+    /// The shared variable table.
+    pub fn vars(&self) -> &VarTable {
+        &self.vars
+    }
+
+    /// Program globals (including generated transfer variables).
+    pub fn globals(&self) -> &[VarId] {
+        &self.globals
+    }
+
+    /// The edge identified by `id`.
+    pub fn edge(&self, id: crate::EdgeId) -> &Edge {
+        self.cfa(id.func).edge(id.idx)
+    }
+
+    /// The declared length of array `v`, or `None` if `v` is not an
+    /// array.
+    pub fn array_len(&self, v: VarId) -> Option<u32> {
+        match self.vars.kind(v) {
+            VarKind::Array(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Total number of CFA edges across all functions.
+    pub fn n_edges(&self) -> usize {
+        self.cfas.iter().map(|c| c.edges().len()).sum()
+    }
+
+    /// Total number of locations across all functions.
+    pub fn n_locs(&self) -> usize {
+        self.cfas.iter().map(|c| c.n_locs()).sum()
+    }
+}
+
+/// Incremental builder used by the lowering pass (and by tests that
+/// construct CFAs directly).
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    vars: VarTable,
+    cfas: Vec<Cfa>,
+    func_index: HashMap<String, FuncId>,
+    globals: Vec<VarId>,
+}
+
+impl Default for ProgramBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        ProgramBuilder {
+            vars: VarTable::default(),
+            cfas: Vec::new(),
+            func_index: HashMap::new(),
+            globals: Vec::new(),
+        }
+    }
+
+    /// Interns a global variable.
+    pub fn global(&mut self, name: &str) -> VarId {
+        let v = self.vars.intern(name, VarKind::Global);
+        if !self.globals.contains(&v) {
+            self.globals.push(v);
+        }
+        v
+    }
+
+    /// Interns a global array of `len` elements.
+    pub fn array(&mut self, name: &str, len: u32) -> VarId {
+        let v = self.vars.intern(name, VarKind::Array(len));
+        if !self.globals.contains(&v) {
+            self.globals.push(v);
+        }
+        v
+    }
+
+    /// Reserves a function id (so calls can be lowered before the callee's
+    /// body is built). The CFA body must later be supplied via
+    /// [`CfaBuilder::finish`] in the same order ids were reserved.
+    pub fn declare_function(&mut self, name: &str) -> FuncId {
+        let id = FuncId(self.func_index.len() as u32);
+        let prev = self.func_index.insert(name.to_owned(), id);
+        assert!(prev.is_none(), "function `{name}` declared twice");
+        id
+    }
+
+    /// Access to the variable table for interning locals.
+    pub fn vars_mut(&mut self) -> &mut VarTable {
+        &mut self.vars
+    }
+
+    /// Starts building the CFA for a declared function.
+    pub fn cfa_builder(&mut self, func: FuncId, name: &str) -> CfaBuilder {
+        CfaBuilder {
+            func,
+            name: name.to_owned(),
+            edges: Vec::new(),
+            n_locs: 0,
+            entry: None,
+            exit: None,
+            error_locs: Vec::new(),
+            params: Vec::new(),
+            locals: Vec::new(),
+        }
+    }
+
+    /// Adds a finished CFA. Must be called in [`FuncId`] order.
+    pub fn push_cfa(&mut self, cfa: Cfa) {
+        assert_eq!(
+            cfa.func.index(),
+            self.cfas.len(),
+            "CFAs must be pushed in FuncId order"
+        );
+        self.cfas.push(cfa);
+    }
+
+    /// Finalizes the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `main` was never declared or some declared function has
+    /// no CFA.
+    pub fn finish(self) -> Program {
+        let main = *self
+            .func_index
+            .get("main")
+            .expect("program must define `main`");
+        assert_eq!(
+            self.cfas.len(),
+            self.func_index.len(),
+            "missing CFA for a declared function"
+        );
+        Program {
+            vars: self.vars,
+            cfas: self.cfas,
+            func_index: self.func_index,
+            globals: self.globals,
+            main,
+        }
+    }
+}
+
+/// Builder for a single function's CFA.
+#[derive(Debug)]
+pub struct CfaBuilder {
+    func: FuncId,
+    name: String,
+    edges: Vec<Edge>,
+    n_locs: u32,
+    entry: Option<Loc>,
+    exit: Option<Loc>,
+    error_locs: Vec<Loc>,
+    params: Vec<VarId>,
+    locals: Vec<VarId>,
+}
+
+impl CfaBuilder {
+    /// Allocates a fresh location.
+    pub fn fresh_loc(&mut self) -> Loc {
+        let l = Loc {
+            func: self.func,
+            idx: self.n_locs,
+        };
+        self.n_locs += 1;
+        l
+    }
+
+    /// Records the entry location.
+    pub fn set_entry(&mut self, l: Loc) {
+        self.entry = Some(l);
+    }
+
+    /// Records the exit location.
+    pub fn set_exit(&mut self, l: Loc) {
+        self.exit = Some(l);
+    }
+
+    /// Marks `l` as an error location.
+    pub fn add_error_loc(&mut self, l: Loc) {
+        self.error_locs.push(l);
+    }
+
+    /// Records a parameter variable.
+    pub fn add_param(&mut self, v: VarId) {
+        self.params.push(v);
+        self.locals.push(v);
+    }
+
+    /// Records a non-parameter local.
+    pub fn add_local(&mut self, v: VarId) {
+        self.locals.push(v);
+    }
+
+    /// Adds an edge and returns its dense index.
+    pub fn add_edge(&mut self, src: Loc, op: Op, dst: Loc) -> u32 {
+        debug_assert_eq!(src.func, self.func);
+        debug_assert_eq!(dst.func, self.func);
+        let idx = self.edges.len() as u32;
+        self.edges.push(Edge { src, op, dst });
+        idx
+    }
+
+    /// The function this builder is for.
+    pub fn func(&self) -> FuncId {
+        self.func
+    }
+
+    /// Finalizes the CFA, computing successor/predecessor adjacency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if entry or exit was never set.
+    pub fn finish(self) -> Cfa {
+        let entry = self.entry.expect("entry not set");
+        let exit = self.exit.expect("exit not set");
+        let mut succs = vec![Vec::new(); self.n_locs as usize];
+        let mut preds = vec![Vec::new(); self.n_locs as usize];
+        for (i, e) in self.edges.iter().enumerate() {
+            succs[e.src.idx as usize].push(i as u32);
+            preds[e.dst.idx as usize].push(i as u32);
+        }
+        Cfa {
+            func: self.func,
+            name: self.name,
+            entry,
+            exit,
+            error_locs: self.error_locs,
+            params: self.params,
+            locals: self.locals,
+            n_locs: self.n_locs,
+            edges: self.edges,
+            succs,
+            preds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfa() -> (Program, FuncId) {
+        let mut pb = ProgramBuilder::new();
+        let x = pb.global("x");
+        let f = pb.declare_function("main");
+        let mut cb = pb.cfa_builder(f, "main");
+        let l0 = cb.fresh_loc();
+        let l1 = cb.fresh_loc();
+        let l2 = cb.fresh_loc();
+        cb.set_entry(l0);
+        cb.set_exit(l2);
+        cb.add_edge(l0, Op::Assign(CLval::Var(x), CExpr::Int(1)), l1);
+        cb.add_edge(l1, Op::Return, l2);
+        pb.push_cfa(cb.finish());
+        (pb.finish(), f)
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let (p, f) = tiny_cfa();
+        let c = p.cfa(f);
+        assert_eq!(c.edges().len(), 2);
+        assert_eq!(c.succ_edges(c.entry()), &[0]);
+        assert_eq!(c.pred_edges(c.exit()), &[1]);
+        assert_eq!(p.vars().name(VarId(0)), "x");
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = VarTable::default();
+        let a = t.intern("a", VarKind::Global);
+        let a2 = t.intern("a", VarKind::Global);
+        assert_eq!(a, a2);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn op_reads_and_writes() {
+        let p = VarId(0);
+        let x = VarId(1);
+        // *p := x + 1 reads {p, x} and writes *p.
+        let op = Op::Assign(
+            CLval::Deref(p),
+            CExpr::Bin(BinOp::Add, Box::new(CExpr::var(x)), Box::new(CExpr::Int(1))),
+        );
+        assert_eq!(op.reads(), vec![CLval::Var(p), CLval::Var(x)]);
+        assert_eq!(op.write(), Some(CLval::Deref(p)));
+        // assume(*p > 0) reads {p, *p}.
+        let op = Op::Assume(CBool::Cmp(
+            CmpOp::Gt,
+            CExpr::Lval(CLval::Deref(p)),
+            CExpr::Int(0),
+        ));
+        assert_eq!(op.reads(), vec![CLval::Var(p), CLval::Deref(p)]);
+        assert_eq!(op.write(), None);
+        assert_eq!(Op::Return.reads(), vec![]);
+    }
+
+    #[test]
+    fn cbool_negate_involution_on_cmp() {
+        let c = CBool::Cmp(CmpOp::Le, CExpr::var(VarId(0)), CExpr::Int(3));
+        assert_eq!(c.negate().negate(), c);
+    }
+}

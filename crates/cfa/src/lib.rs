@@ -1,0 +1,37 @@
+//! `cfa` — control flow automata, the program representation of the paper.
+//!
+//! A program is a set of CFAs, one per function (§3.1, §4): a rooted
+//! directed graph whose locations are program counters and whose edges are
+//! labeled with operations — assignments, `assume` predicates, calls, and
+//! returns. This crate defines the IR ([`ir`]), the lowering from the
+//! [`imp`] AST ([`fn@lower`]), program paths with the paper's `Call.i`
+//! bookkeeping ([`path`]), a structural validator ([`fn@validate`]), and a
+//! Graphviz exporter ([`dot`]).
+//!
+//! Parameter passing follows the paper's §4 formalization literally:
+//! arguments and return values travel through per-function global transfer
+//! variables (`f::arg0`, `f::ret`), so call and return edges are identity
+//! transitions.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ast = imp::parse("fn main() { local a; if (a > 0) { error(); } }")?;
+//! let program = cfa::lower(&ast)?;
+//! let main = program.cfa(program.main());
+//! assert_eq!(main.error_locs().len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod dot;
+pub mod ir;
+pub mod lower;
+pub mod path;
+pub mod validate;
+
+pub use ir::{CBool, CExpr, CLval, Cfa, Edge, FuncId, Loc, Op, Program, VarId, VarKind};
+pub use lower::{lower, LowerError};
+pub use path::{EdgeId, Path, PathError, PathStats};
+pub use validate::{validate, ValidateError};

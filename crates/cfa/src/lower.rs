@@ -1,0 +1,613 @@
+//! Lowering from the [`imp`] AST to control flow automata.
+//!
+//! The lowering follows the paper's conventions:
+//!
+//! * one CFA per function; branch statements become pairs of `assume`
+//!   edges (condition / negated condition);
+//! * `assert(c)` becomes a branch whose false arm enters a fresh *error
+//!   location*; `error()` marks the current location as an error location;
+//! * parameters and return values are passed through generated global
+//!   transfer variables `f::argN` / `f::ret` (§4), so `call` and `return`
+//!   edges are identity transitions;
+//! * locals of function `f` are interned under qualified names `f::x`,
+//!   realizing the paper's disjoint-local-names assumption;
+//! * all `return` edges lead to the function's exit location.
+//!
+//! Join points are realized by *location unification* (a union–find over
+//! builder locations) rather than by inserting `assume(true)` "goto"
+//! edges, so the CFA contains no spurious unconditional branches — every
+//! `assume` edge in a lowered CFA corresponds to a real branch decision.
+//! This matters for slice-size measurements: the slicer never has to
+//! consider edges that exist only as lowering artifacts.
+
+use crate::ir::*;
+use imp::ast;
+use std::collections::HashMap;
+use std::fmt;
+
+/// An error produced during lowering.
+///
+/// The resolver in [`imp`] catches all user-facing problems; lowering
+/// errors indicate constructs the CFA language cannot express (currently
+/// none — the type exists for interface stability and future extensions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerError(String);
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lowering error: {}", self.0)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Union–find over builder-local location indices, used to merge join
+/// points without emitting edges.
+#[derive(Debug, Default)]
+struct LocUnify {
+    parent: Vec<u32>,
+}
+
+impl LocUnify {
+    fn ensure(&mut self, idx: u32) {
+        while self.parent.len() <= idx as usize {
+            self.parent.push(self.parent.len() as u32);
+        }
+    }
+
+    fn find(&mut self, idx: u32) -> u32 {
+        self.ensure(idx);
+        let mut root = idx;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = idx;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn unify(&mut self, a: u32, b: u32) {
+        self.ensure(a.max(b));
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[ra as usize] = rb;
+        }
+    }
+}
+
+struct FuncLowerer<'a> {
+    cb: CfaBuilder,
+    uf: LocUnify,
+    /// Source name -> VarId for this function's scope (globals overlaid
+    /// with qualified locals).
+    scope: HashMap<String, VarId>,
+    funcs: &'a HashMap<String, FuncId>,
+    /// `f::argN` transfer variables, per function.
+    arg_vars: &'a HashMap<FuncId, Vec<VarId>>,
+    /// `f::ret` transfer variables, per function.
+    ret_vars: &'a HashMap<FuncId, VarId>,
+    /// Stack of (continue-target, break-target).
+    loops: Vec<(Loc, Loc)>,
+    exit: Loc,
+    ret_var: VarId,
+    /// Per-function scratch local for lowering `a[i] = nondet()`.
+    scratch: VarId,
+}
+
+impl<'a> FuncLowerer<'a> {
+    /// Lowers a non-array lvalue.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Lvalue::Elem` — array stores carry their index in the
+    /// operation, so they go through [`FuncLowerer::assign_to`].
+    fn lval(&self, lv: &ast::Lvalue) -> CLval {
+        match lv {
+            ast::Lvalue::Var(x) => CLval::Var(self.scope[x.as_str()]),
+            ast::Lvalue::Deref(p) => CLval::Deref(self.scope[p.as_str()]),
+            ast::Lvalue::Elem(..) => unreachable!("array stores lower via assign_to"),
+        }
+    }
+
+    fn expr(&self, e: &ast::Expr) -> CExpr {
+        match e {
+            ast::Expr::Int(n) => CExpr::Int(*n),
+            ast::Expr::Lval(ast::Lvalue::Elem(a, idx)) => {
+                CExpr::ArrLoad(self.scope[a.as_str()], Box::new(self.expr(idx)))
+            }
+            ast::Expr::Lval(lv) => CExpr::Lval(self.lval(lv)),
+            ast::Expr::AddrOf(x) => CExpr::AddrOf(self.scope[x.as_str()]),
+            ast::Expr::Neg(i) => CExpr::Neg(Box::new(self.expr(i))),
+            ast::Expr::Bin(op, a, b) => {
+                CExpr::Bin(*op, Box::new(self.expr(a)), Box::new(self.expr(b)))
+            }
+        }
+    }
+
+    /// Emits the edge(s) assigning the CFA expression `rhs` to the AST
+    /// lvalue `lv` (array stores become [`Op::ArrStore`]).
+    fn assign_to(&mut self, cur: Loc, lv: &ast::Lvalue, rhs: CExpr) -> Loc {
+        match lv {
+            ast::Lvalue::Elem(a, idx) => {
+                let arr = self.scope[a.as_str()];
+                let idx = self.expr(idx);
+                self.step(cur, Op::ArrStore(arr, idx, rhs))
+            }
+            other => {
+                let clv = self.lval(other);
+                self.step(cur, Op::Assign(clv, rhs))
+            }
+        }
+    }
+
+    fn cond(&self, c: &ast::BoolExpr) -> CBool {
+        match c {
+            ast::BoolExpr::True => CBool::True,
+            ast::BoolExpr::False => CBool::False,
+            ast::BoolExpr::Cmp(op, a, b) => CBool::Cmp(*op, self.expr(a), self.expr(b)),
+            ast::BoolExpr::Not(i) => CBool::Not(Box::new(self.cond(i))),
+            ast::BoolExpr::And(a, b) => CBool::And(Box::new(self.cond(a)), Box::new(self.cond(b))),
+            ast::BoolExpr::Or(a, b) => CBool::Or(Box::new(self.cond(a)), Box::new(self.cond(b))),
+        }
+    }
+
+    /// Lowers a statement list starting at `cur`. Returns the end
+    /// location and whether it is reachable from `cur` (false after
+    /// `return` / `break` / `continue`).
+    fn stmts(&mut self, stmts: &[ast::Stmt], mut cur: Loc, mut alive: bool) -> (Loc, bool) {
+        for s in stmts {
+            let (next, a) = self.stmt(s, cur, alive);
+            cur = next;
+            alive = a;
+        }
+        (cur, alive)
+    }
+
+    fn step(&mut self, cur: Loc, op: Op) -> Loc {
+        let next = self.cb.fresh_loc();
+        self.cb.add_edge(cur, op, next);
+        next
+    }
+
+    fn stmt(&mut self, s: &ast::Stmt, cur: Loc, alive: bool) -> (Loc, bool) {
+        match s {
+            ast::Stmt::Skip(_) => (cur, alive),
+            ast::Stmt::Assign(_, lv, e) => {
+                let rhs = self.expr(e);
+                (self.assign_to(cur, lv, rhs), alive)
+            }
+            ast::Stmt::Havoc(_, lv) => match lv {
+                ast::Lvalue::Elem(..) => {
+                    // `a[i] = nondet()` — havoc into a scratch local,
+                    // then store it.
+                    let tmp = self.scratch;
+                    let cur = self.step(cur, Op::Havoc(CLval::Var(tmp)));
+                    (self.assign_to(cur, lv, CExpr::var(tmp)), alive)
+                }
+                _ => (self.step(cur, Op::Havoc(self.lval(lv))), alive),
+            },
+            ast::Stmt::Call(_, dst, fname, args) => {
+                let fid = self.funcs[fname.as_str()];
+                let mut cur = cur;
+                let arg_vars = self.arg_vars[&fid].clone();
+                for (i, a) in args.iter().enumerate() {
+                    let op = Op::Assign(CLval::Var(arg_vars[i]), self.expr(a));
+                    cur = self.step(cur, op);
+                }
+                cur = self.step(cur, Op::Call(fid));
+                if let Some(lv) = dst {
+                    let rv = self.ret_vars[&fid];
+                    cur = self.assign_to(cur, lv, CExpr::var(rv));
+                }
+                (cur, alive)
+            }
+            ast::Stmt::If(_, c, then, els) => {
+                let cb = self.cond(c);
+                let t_entry = self.cb.fresh_loc();
+                let e_entry = self.cb.fresh_loc();
+                self.cb.add_edge(cur, Op::Assume(cb.clone()), t_entry);
+                self.cb.add_edge(cur, Op::Assume(cb.negate()), e_entry);
+                let (t_end, t_alive) = self.stmts(then, t_entry, alive);
+                let (e_end, e_alive) = self.stmts(els, e_entry, alive);
+                match (t_alive, e_alive) {
+                    (true, true) => {
+                        self.uf.unify(e_end.idx, t_end.idx);
+                        (t_end, alive)
+                    }
+                    (true, false) => (t_end, alive),
+                    (false, true) => (e_end, alive),
+                    (false, false) => (self.cb.fresh_loc(), false),
+                }
+            }
+            ast::Stmt::While(_, c, body) => {
+                let head = cur;
+                let cb = self.cond(c);
+                let b_entry = self.cb.fresh_loc();
+                let after = self.cb.fresh_loc();
+                self.cb.add_edge(head, Op::Assume(cb.clone()), b_entry);
+                self.cb.add_edge(head, Op::Assume(cb.negate()), after);
+                self.loops.push((head, after));
+                let (b_end, b_alive) = self.stmts(body, b_entry, alive);
+                self.loops.pop();
+                if b_alive {
+                    self.uf.unify(b_end.idx, head.idx);
+                }
+                (after, alive)
+            }
+            ast::Stmt::Assume(_, c) => {
+                let cb = self.cond(c);
+                (self.step(cur, Op::Assume(cb)), alive)
+            }
+            ast::Stmt::Assert(_, c) => {
+                // assert(c) ≡ if (!c) { error(); }   (paper §1: the branch
+                // at 6: models the check, ERR is reached on violation).
+                let cb = self.cond(c);
+                let err = self.cb.fresh_loc();
+                let ok = self.cb.fresh_loc();
+                self.cb.add_edge(cur, Op::Assume(cb.negate()), err);
+                self.cb.add_edge(cur, Op::Assume(cb), ok);
+                self.cb.add_error_loc(err);
+                (ok, alive)
+            }
+            ast::Stmt::Error(_) => {
+                // The current location *is* the error location; whatever
+                // edge last targeted `cur` leads straight into it.
+                self.cb.add_error_loc(cur);
+                (self.cb.fresh_loc(), false)
+            }
+            ast::Stmt::Return(_, e) => {
+                let mut cur = cur;
+                if let Some(e) = e {
+                    let op = Op::Assign(CLval::Var(self.ret_var), self.expr(e));
+                    cur = self.step(cur, op);
+                }
+                self.cb.add_edge(cur, Op::Return, self.exit);
+                (self.cb.fresh_loc(), false)
+            }
+            ast::Stmt::Break(_) => {
+                let (_, after) = *self
+                    .loops
+                    .last()
+                    .expect("resolver checked break is in a loop");
+                if alive {
+                    self.uf.unify(cur.idx, after.idx);
+                }
+                (self.cb.fresh_loc(), false)
+            }
+            ast::Stmt::Continue(_) => {
+                let (head, _) = *self
+                    .loops
+                    .last()
+                    .expect("resolver checked continue is in a loop");
+                if alive {
+                    self.uf.unify(cur.idx, head.idx);
+                }
+                (self.cb.fresh_loc(), false)
+            }
+        }
+    }
+}
+
+/// Applies the union–find and compacts location indices, rebuilding the
+/// CFA through a fresh builder.
+fn compact(cb: CfaBuilder, mut uf: LocUnify, pb: &mut ProgramBuilder, name: &str) -> Cfa {
+    let old = cb.finish();
+    let func = old.func();
+    // Map every union–find root to a dense new index, in first-seen order
+    // (entry first, then exit, then edge endpoints) so output is
+    // deterministic.
+    let mut remap: HashMap<u32, u32> = HashMap::new();
+    let mut n_new = 0u32;
+    let mut resolve = |idx: u32| -> u32 {
+        let root = uf.find(idx);
+        *remap.entry(root).or_insert_with(|| {
+            let v = n_new;
+            n_new += 1;
+            v
+        })
+    };
+    let entry_idx = resolve(old.entry().idx);
+    let exit_idx = resolve(old.exit().idx);
+    let edges: Vec<(u32, Op, u32)> = old
+        .edges()
+        .iter()
+        .map(|e| (resolve(e.src.idx), e.op.clone(), resolve(e.dst.idx)))
+        .collect();
+    let mut err_idxs: Vec<u32> = old.error_locs().iter().map(|l| resolve(l.idx)).collect();
+    err_idxs.dedup();
+    // End the mutable borrow of `remap`/`n_new` held by the closure.
+    #[allow(clippy::drop_non_drop)]
+    drop(resolve);
+
+    let mut nb = pb.cfa_builder(func, name);
+    let locs: Vec<Loc> = (0..n_new).map(|_| nb.fresh_loc()).collect();
+    nb.set_entry(locs[entry_idx as usize]);
+    nb.set_exit(locs[exit_idx as usize]);
+    for (s, op, d) in edges {
+        nb.add_edge(locs[s as usize], op, locs[d as usize]);
+    }
+    for e in err_idxs {
+        nb.add_error_loc(locs[e as usize]);
+    }
+    for &p in old.params() {
+        nb.add_param(p);
+    }
+    for &l in old.locals() {
+        if !old.params().contains(&l) {
+            nb.add_local(l);
+        }
+    }
+    nb.finish()
+}
+
+/// Lowers a resolved [`imp`] program into a CFA [`Program`].
+///
+/// # Errors
+///
+/// Currently infallible for programs accepted by [`imp::parse`]; the
+/// `Result` is part of the stable interface.
+///
+/// # Panics
+///
+/// Panics if `ast` was not resolved (undeclared names, missing `main`).
+pub fn lower(ast: &ast::Program) -> Result<Program, LowerError> {
+    let mut pb = ProgramBuilder::new();
+    // Globals first, in declaration order, then arrays.
+    let mut global_scope: HashMap<String, VarId> = HashMap::new();
+    for g in &ast.globals {
+        let v = pb.global(g);
+        global_scope.insert(g.clone(), v);
+    }
+    for (a, len) in &ast.arrays {
+        let v = pb.array(a, *len);
+        global_scope.insert(a.clone(), v);
+    }
+    // Declare all functions and their transfer variables.
+    let mut funcs: HashMap<String, FuncId> = HashMap::new();
+    let mut arg_vars: HashMap<FuncId, Vec<VarId>> = HashMap::new();
+    let mut ret_vars: HashMap<FuncId, VarId> = HashMap::new();
+    for f in &ast.functions {
+        let fid = pb.declare_function(&f.name);
+        funcs.insert(f.name.clone(), fid);
+        let args = (0..f.params.len())
+            .map(|i| pb.global(&format!("{}::arg{}", f.name, i)))
+            .collect::<Vec<_>>();
+        arg_vars.insert(fid, args);
+        ret_vars.insert(fid, pb.global(&format!("{}::ret", f.name)));
+    }
+    // Lower each function.
+    for f in &ast.functions {
+        let fid = funcs[&f.name];
+        let mut scope = global_scope.clone();
+        let mut params = Vec::new();
+        let mut locals = Vec::new();
+        for p in &f.params {
+            let v = pb
+                .vars_mut()
+                .intern(&format!("{}::{}", f.name, p), VarKind::Local(fid));
+            scope.insert(p.clone(), v);
+            params.push(v);
+        }
+        for l in &f.locals {
+            let v = pb
+                .vars_mut()
+                .intern(&format!("{}::{}", f.name, l), VarKind::Local(fid));
+            scope.insert(l.clone(), v);
+            locals.push(v);
+        }
+        let mut cb = pb.cfa_builder(fid, &f.name);
+        let entry = cb.fresh_loc();
+        let exit = cb.fresh_loc();
+        cb.set_entry(entry);
+        cb.set_exit(exit);
+        for &p in &params {
+            cb.add_param(p);
+        }
+        for &l in &locals {
+            cb.add_local(l);
+        }
+        let ret_var = ret_vars[&fid];
+        let scratch = pb
+            .vars_mut()
+            .intern(&format!("{}::$scratch", f.name), VarKind::Local(fid));
+        let mut fl = FuncLowerer {
+            cb,
+            uf: LocUnify::default(),
+            scope,
+            funcs: &funcs,
+            arg_vars: &arg_vars,
+            ret_vars: &ret_vars,
+            loops: Vec::new(),
+            exit,
+            ret_var,
+            scratch,
+        };
+        // Prologue: copy transfer arguments into the formals (§4).
+        let mut cur = entry;
+        let f_args = fl.arg_vars[&fid].clone();
+        for (i, &p) in params.iter().enumerate() {
+            cur = fl.step(cur, Op::Assign(CLval::Var(p), CExpr::var(f_args[i])));
+        }
+        let (end, alive) = fl.stmts(&f.body, cur, true);
+        if alive {
+            fl.cb.add_edge(end, Op::Return, exit);
+        }
+        let FuncLowerer { cb, uf, .. } = fl;
+        let cfa = compact(cb, uf, &mut pb, &f.name);
+        pb.push_cfa(cfa);
+    }
+    Ok(pb.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Op;
+
+    fn lower_src(src: &str) -> Program {
+        lower(&imp::parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn lowers_straight_line() {
+        let p = lower_src("fn main() { local a; a = 1; a = a + 1; }");
+        let m = p.cfa(p.main());
+        // a=1, a=a+1, implicit return.
+        assert_eq!(m.edges().len(), 3);
+        assert!(matches!(m.edges().last().unwrap().op, Op::Return));
+        assert_eq!(m.edges().last().unwrap().dst, m.exit());
+    }
+
+    #[test]
+    fn if_branches_share_join_without_goto_edges() {
+        let p = lower_src("fn main() { local a, b; if (a > 0) { b = 1; } else { b = 2; } a = 3; }");
+        let m = p.cfa(p.main());
+        // 2 assumes + 2 assigns + 1 join assign + return = 6 edges, and no
+        // assume(true) goto edges.
+        assert_eq!(m.edges().len(), 6);
+        let assumes: Vec<_> = m.edges().iter().filter(|e| e.op.is_assume()).collect();
+        assert_eq!(assumes.len(), 2);
+        // The two branch assigns end at the same location.
+        let assigns: Vec<_> = m
+            .edges()
+            .iter()
+            .filter(|e| matches!(e.op, Op::Assign(..)))
+            .collect();
+        assert_eq!(
+            assigns[0].dst, assigns[1].dst,
+            "branch ends unified at join"
+        );
+    }
+
+    #[test]
+    fn while_loop_has_back_edge_by_unification() {
+        let p = lower_src("fn main() { local i; while (i < 3) { i = i + 1; } }");
+        let m = p.cfa(p.main());
+        // assume(i<3), assume(i>=3), i=i+1 (targets head), return.
+        assert_eq!(m.edges().len(), 4);
+        let head = m.entry();
+        let body_assign = m
+            .edges()
+            .iter()
+            .find(|e| matches!(e.op, Op::Assign(..)))
+            .unwrap();
+        assert_eq!(body_assign.dst, head, "loop body flows back to the head");
+    }
+
+    #[test]
+    fn error_marks_location_without_extra_edges() {
+        let p = lower_src("fn main() { local a; if (a > 0) { error(); } }");
+        let m = p.cfa(p.main());
+        assert_eq!(m.error_locs().len(), 1);
+        let err = m.error_locs()[0];
+        assert!(
+            m.succ_edges(err).is_empty(),
+            "error location has no successors"
+        );
+        // The then-branch assume edge leads directly to the error loc.
+        let into_err = m.pred_edges(err);
+        assert_eq!(into_err.len(), 1);
+        assert!(m.edge(into_err[0]).op.is_assume());
+    }
+
+    #[test]
+    fn assert_lowers_to_branch_with_error_arm() {
+        let p = lower_src("fn main() { local a; assert(a == 0); a = 1; }");
+        let m = p.cfa(p.main());
+        assert_eq!(m.error_locs().len(), 1);
+        let err = m.error_locs()[0];
+        let pred = m.pred_edges(err);
+        assert_eq!(pred.len(), 1);
+        // The error arm is the negated assertion.
+        match &m.edge(pred[0]).op {
+            Op::Assume(CBool::Cmp(op, _, _)) => assert_eq!(*op, imp::ast::CmpOp::Ne),
+            other => panic!("unexpected op {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_passes_through_transfer_globals() {
+        let p = lower_src("fn f(x) { return x + 1; } fn main() { local a; a = f(2); }");
+        let m = p.cfa(p.main());
+        let fid = p.func_id("f").unwrap();
+        let arg0 = p.vars().lookup("f::arg0").unwrap();
+        let ret = p.vars().lookup("f::ret").unwrap();
+        // main: f::arg0 := 2 ; call f ; a := f::ret ; return.
+        assert_eq!(m.edges().len(), 4);
+        assert!(matches!(&m.edges()[0].op, Op::Assign(CLval::Var(v), CExpr::Int(2)) if *v == arg0));
+        assert!(matches!(m.edges()[1].op, Op::Call(f) if f == fid));
+        assert!(matches!(&m.edges()[2].op, Op::Assign(_, CExpr::Lval(CLval::Var(v))) if *v == ret));
+        // f: x := f::arg0 ; f::ret := x + 1 ; return.
+        let fc = p.cfa(fid);
+        assert_eq!(fc.edges().len(), 3);
+        let x = p.vars().lookup("f::x").unwrap();
+        assert!(matches!(&fc.edges()[0].op, Op::Assign(CLval::Var(v), _) if *v == x));
+        assert!(matches!(&fc.edges()[1].op, Op::Assign(CLval::Var(v), _) if *v == ret));
+        assert!(matches!(fc.edges()[2].op, Op::Return));
+    }
+
+    #[test]
+    fn break_and_continue_target_loop_locs() {
+        let p = lower_src(
+            "fn main() { local i; while (i < 10) { if (i == 5) { break; } if (i == 3) { continue; } i = i + 1; } i = 99; }",
+        );
+        let m = p.cfa(p.main());
+        // Must be a well-formed graph; the final assignment is reachable.
+        let last_assign = m
+            .edges()
+            .iter()
+            .rev()
+            .find(|e| matches!(e.op, Op::Assign(..)))
+            .unwrap();
+        assert!(matches!(last_assign.op, Op::Assign(..)));
+        crate::validate(&p).unwrap();
+    }
+
+    #[test]
+    fn locals_are_qualified_per_function() {
+        let p = lower_src("fn f() { local a; a = 1; } fn main() { local a; a = 2; f(); }");
+        assert!(p.vars().lookup("f::a").is_some());
+        assert!(p.vars().lookup("main::a").is_some());
+        assert_ne!(p.vars().lookup("f::a"), p.vars().lookup("main::a"));
+    }
+
+    #[test]
+    fn dead_code_after_return_gets_no_implicit_return() {
+        let p = lower_src("fn main() { return; }");
+        let m = p.cfa(p.main());
+        assert_eq!(
+            m.edges()
+                .iter()
+                .filter(|e| matches!(e.op, Op::Return))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn ex2_from_the_paper_lowers() {
+        // Figure 1(A), including the shaded lines.
+        let src = r#"
+            global a; global x;
+            fn f() { }
+            fn main() {
+                local i;
+                x = 0;
+                if (a >= 0) { x = 1; }
+                for (i = 1; i <= 1000; i = i + 1) { f(); }
+                if (a >= 0) {
+                    if (x == 0) { error(); }
+                }
+            }
+        "#;
+        let p = lower_src(src);
+        crate::validate(&p).unwrap();
+        assert_eq!(p.cfa(p.main()).error_locs().len(), 1);
+    }
+}

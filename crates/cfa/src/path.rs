@@ -1,0 +1,425 @@
+//! Program paths over CFAs (paper §3.1 "Program Paths" and §4).
+//!
+//! A path is a sequence of CFA edges in which intra-function flow is
+//! edge-to-edge contiguous, a call edge is followed by the first edge of
+//! the callee (starting at its entry location), and a return edge is
+//! followed by a successor of the matching call edge. The matching is
+//! captured by the paper's `Call.i` function, exposed here as
+//! [`Path::call_origins`].
+
+use crate::ir::{FuncId, Loc, Op, Program};
+use std::fmt;
+
+/// Identifies one edge of one CFA in a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId {
+    /// The owning function.
+    pub func: FuncId,
+    /// Dense index into [`crate::Cfa::edges`].
+    pub idx: u32,
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}:e{}", self.func.0, self.idx)
+    }
+}
+
+/// A structural problem found while checking a path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathError {
+    /// An [`EdgeId`] does not exist in the program.
+    UnknownEdge {
+        /// Position in the path.
+        at: usize,
+    },
+    /// Within a function, consecutive edges do not connect.
+    BrokenFlow {
+        /// Position of the second edge of the broken pair.
+        at: usize,
+        /// Where the previous edge ended.
+        expected: Loc,
+        /// Where the offending edge starts.
+        found: Loc,
+    },
+    /// The edge after a call does not start at the callee's entry.
+    CallEntryMismatch {
+        /// Position of the edge after the call.
+        at: usize,
+    },
+    /// The edge after a return is not a successor of the matching call.
+    ReturnMismatch {
+        /// Position of the edge after the return.
+        at: usize,
+    },
+    /// A return appears with no matching call frame (the path would
+    /// return out of the frame it started in).
+    UnbalancedReturn {
+        /// Position of the offending return edge.
+        at: usize,
+    },
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathError::UnknownEdge { at } => write!(f, "edge {at} does not exist in the program"),
+            PathError::BrokenFlow {
+                at,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "edge {at} starts at {found} but the previous edge ended at {expected}"
+                )
+            }
+            PathError::CallEntryMismatch { at } => {
+                write!(
+                    f,
+                    "edge {at} does not start at the callee entry after a call"
+                )
+            }
+            PathError::ReturnMismatch { at } => {
+                write!(
+                    f,
+                    "edge {at} does not continue from the matching call after a return"
+                )
+            }
+            PathError::UnbalancedReturn { at } => {
+                write!(f, "return at {at} has no matching call in the path")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+/// A checked program path: a sequence of edges satisfying the paper's
+/// program-path conditions.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Path {
+    edges: Vec<EdgeId>,
+}
+
+impl Path {
+    /// Builds a path after checking the program-path conditions of §4.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PathError`] found, if any.
+    pub fn new(program: &Program, edges: Vec<EdgeId>) -> Result<Path, PathError> {
+        check_edges(program, &edges)?;
+        Ok(Path { edges })
+    }
+
+    /// Builds a path without validity checks. Intended for callers that
+    /// construct paths by valid-by-construction traversal (the
+    /// interpreter, the model checker); debug builds still verify.
+    pub fn new_unchecked(program: &Program, edges: Vec<EdgeId>) -> Path {
+        debug_assert!(check_edges(program, &edges).is_ok(), "invalid path");
+        let _ = program;
+        Path { edges }
+    }
+
+    /// The edges of the path.
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Number of edges (the paper's `|π|`).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the path is empty.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The location the path ends at (target of the last edge).
+    pub fn target(&self, program: &Program) -> Option<Loc> {
+        self.edges.last().map(|&e| program.edge(e).dst)
+    }
+
+    /// The location the path starts at (source of the first edge).
+    pub fn source(&self, program: &Program) -> Option<Loc> {
+        self.edges.first().map(|&e| program.edge(e).src)
+    }
+
+    /// The paper's `Call.i` (0-based): for each position `i`, the position
+    /// of the call edge that opened the frame `π.i` executes in, or `None`
+    /// for positions in the outermost frame.
+    ///
+    /// Defined by (§4): `Call.1 = 1` and
+    ///
+    /// ```text
+    /// Call.i = i-1                    if π.(i-1) is a call
+    ///        = Call.(Call.(i-1))      if π.(i-1) is a return
+    ///        = Call.(i-1)             otherwise
+    /// ```
+    pub fn call_origins(&self, program: &Program) -> Vec<Option<usize>> {
+        let mut out = Vec::with_capacity(self.edges.len());
+        for i in 0..self.edges.len() {
+            if i == 0 {
+                out.push(None);
+                continue;
+            }
+            let prev = &program.edge(self.edges[i - 1]).op;
+            let v = match prev {
+                Op::Call(_) => Some(i - 1),
+                Op::Return => {
+                    // Pop one frame: the frame of position i is the frame
+                    // the matching call edge itself executed in.
+                    match out[i - 1] {
+                        Some(call_pos) => out[call_pos],
+                        None => None,
+                    }
+                }
+                _ => out[i - 1],
+            };
+            out.push(v);
+        }
+        out
+    }
+
+    /// The operations labeling the path, in order (the paper's `Tr.π`).
+    pub fn trace<'p>(&self, program: &'p Program) -> Vec<&'p Op> {
+        self.edges.iter().map(|&e| &program.edge(e).op).collect()
+    }
+
+    /// Number of `assume` operations on the path (one per branch
+    /// decision; a rough analogue of the paper's basic-block count).
+    pub fn n_branches(&self, program: &Program) -> usize {
+        self.edges
+            .iter()
+            .filter(|&&e| program.edge(e).op.is_assume())
+            .count()
+    }
+
+    /// Aggregate statistics over the path (op-kind counts, functions
+    /// visited, maximum call depth).
+    pub fn stats(&self, program: &Program) -> PathStats {
+        let mut st = PathStats::default();
+        let mut depth = 0usize;
+        let mut fns: Vec<FuncId> = Vec::new();
+        for &e in &self.edges {
+            let edge = program.edge(e);
+            if !fns.contains(&e.func) {
+                fns.push(e.func);
+            }
+            match &edge.op {
+                Op::Assign(..) | Op::ArrStore(..) => st.assignments += 1,
+                Op::Havoc(_) => st.havocs += 1,
+                Op::Assume(_) => st.assumes += 1,
+                Op::Call(_) => {
+                    st.calls += 1;
+                    depth += 1;
+                    st.max_call_depth = st.max_call_depth.max(depth);
+                }
+                Op::Return => {
+                    st.returns += 1;
+                    depth = depth.saturating_sub(1);
+                }
+            }
+        }
+        st.functions_visited = fns.len();
+        st
+    }
+}
+
+/// Aggregate path statistics (see [`Path::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PathStats {
+    /// Assignment operations (including array stores).
+    pub assignments: usize,
+    /// `nondet()` operations.
+    pub havocs: usize,
+    /// Branch (`assume`) operations.
+    pub assumes: usize,
+    /// Call edges.
+    pub calls: usize,
+    /// Return edges.
+    pub returns: usize,
+    /// Distinct functions whose edges appear on the path.
+    pub functions_visited: usize,
+    /// Deepest call nesting relative to the path start.
+    pub max_call_depth: usize,
+}
+
+impl fmt::Display for PathStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} assign, {} nondet, {} branch, {} call/{} return, {} function(s), depth {}",
+            self.assignments,
+            self.havocs,
+            self.assumes,
+            self.calls,
+            self.returns,
+            self.functions_visited,
+            self.max_call_depth
+        )
+    }
+}
+
+fn check_edges(program: &Program, edges: &[EdgeId]) -> Result<(), PathError> {
+    // Existence.
+    for (at, e) in edges.iter().enumerate() {
+        let Some(cfa) = program.cfas().get(e.func.index()) else {
+            return Err(PathError::UnknownEdge { at });
+        };
+        if e.idx as usize >= cfa.edges().len() {
+            return Err(PathError::UnknownEdge { at });
+        }
+    }
+    // Flow conditions, with an explicit call stack of call positions.
+    let mut stack: Vec<usize> = Vec::new();
+    for i in 1..edges.len() {
+        let prev = program.edge(edges[i - 1]);
+        let cur = program.edge(edges[i]);
+        match &prev.op {
+            Op::Call(f) => {
+                stack.push(i - 1);
+                let callee = program.cfa(*f);
+                if cur.src != callee.entry() {
+                    return Err(PathError::CallEntryMismatch { at: i });
+                }
+            }
+            Op::Return => {
+                let Some(call_pos) = stack.pop() else {
+                    return Err(PathError::UnbalancedReturn { at: i });
+                };
+                let call_edge = program.edge(edges[call_pos]);
+                if cur.src != call_edge.dst {
+                    return Err(PathError::ReturnMismatch { at: i });
+                }
+            }
+            _ => {
+                if cur.src != prev.dst {
+                    return Err(PathError::BrokenFlow {
+                        at: i,
+                        expected: prev.dst,
+                        found: cur.src,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower;
+
+    /// Builds the canonical interprocedural example:
+    /// `fn f(x){return x;} fn main(){ local a; a = f(1); }`.
+    fn prog() -> Program {
+        lower(&imp::parse("fn f(x) { return x; } fn main() { local a; a = f(1); }").unwrap())
+            .unwrap()
+    }
+
+    /// The unique full execution path of `prog()`: main's edges with f's
+    /// body spliced in after the call edge.
+    fn full_path(p: &Program) -> Vec<EdgeId> {
+        let main = p.main();
+        let f = p.func_id("f").unwrap();
+        let m = |idx| EdgeId { func: main, idx };
+        let g = |idx| EdgeId { func: f, idx };
+        // main: arg0:=1, call, a:=ret, return ; f: x:=arg0, ret:=x, return
+        vec![m(0), m(1), g(0), g(1), g(2), m(2), m(3)]
+    }
+
+    #[test]
+    fn accepts_valid_interprocedural_path() {
+        let p = prog();
+        let path = Path::new(&p, full_path(&p)).unwrap();
+        assert_eq!(path.len(), 7);
+    }
+
+    #[test]
+    fn call_origins_match_paper_definition() {
+        let p = prog();
+        let path = Path::new(&p, full_path(&p)).unwrap();
+        let co = path.call_origins(&p);
+        // positions: 0 arg0:=1 (main), 1 call (main), 2..4 inside f,
+        // 5 a:=ret (main, after return), 6 return (main).
+        assert_eq!(co, vec![None, None, Some(1), Some(1), Some(1), None, None]);
+    }
+
+    #[test]
+    fn rejects_broken_flow() {
+        let p = prog();
+        let main = p.main();
+        let bad = vec![EdgeId { func: main, idx: 0 }, EdgeId { func: main, idx: 3 }];
+        assert!(matches!(
+            Path::new(&p, bad),
+            Err(PathError::BrokenFlow { at: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_callee_entry() {
+        let p = prog();
+        let main = p.main();
+        let f = p.func_id("f").unwrap();
+        // Jump into the middle of f after the call edge.
+        let bad = vec![
+            EdgeId { func: main, idx: 0 },
+            EdgeId { func: main, idx: 1 },
+            EdgeId { func: f, idx: 1 },
+        ];
+        assert!(matches!(
+            Path::new(&p, bad),
+            Err(PathError::CallEntryMismatch { at: 2 })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_edge() {
+        let p = prog();
+        let bad = vec![EdgeId {
+            func: p.main(),
+            idx: 99,
+        }];
+        assert!(matches!(
+            Path::new(&p, bad),
+            Err(PathError::UnknownEdge { at: 0 })
+        ));
+    }
+
+    #[test]
+    fn rejects_return_to_wrong_continuation() {
+        let p = prog();
+        let main = p.main();
+        let f = p.func_id("f").unwrap();
+        let m = |idx| EdgeId { func: main, idx };
+        let g = |idx| EdgeId { func: f, idx };
+        // After f's return, skip main's a:=ret edge and jump to main's
+        // return edge — not a successor of the call edge.
+        let bad = vec![m(0), m(1), g(0), g(1), g(2), m(3)];
+        assert!(matches!(
+            Path::new(&p, bad),
+            Err(PathError::ReturnMismatch { at: 5 })
+        ));
+    }
+
+    #[test]
+    fn trace_and_counts() {
+        let p = prog();
+        let path = Path::new(&p, full_path(&p)).unwrap();
+        assert_eq!(path.trace(&p).len(), 7);
+        assert_eq!(path.n_branches(&p), 0);
+        assert_eq!(path.source(&p), Some(p.cfa(p.main()).entry()));
+        assert_eq!(path.target(&p), Some(p.cfa(p.main()).exit()));
+        let st = path.stats(&p);
+        assert_eq!(st.calls, 1);
+        assert_eq!(st.returns, 2, "f's return plus main's");
+        assert_eq!(st.functions_visited, 2);
+        assert_eq!(st.max_call_depth, 1);
+        assert_eq!(st.assignments, 4, "arg0:=1, x:=arg0, ret:=x, a:=ret");
+        assert!(format!("{st}").contains("2 function(s)"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Structural well-formedness checks for lowered programs.
+
+use crate::ir::{Op, Program};
+use std::fmt;
+
+/// A structural defect found by [`validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError(String);
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid CFA program: {}", self.0)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Checks the invariants every lowered [`Program`] must satisfy:
+///
+/// * every edge connects locations of its own CFA, within bounds;
+/// * every `return` edge targets the exit location (§4: "all return
+///   statements lead to the exit location");
+/// * every `call` edge names a function of the program;
+/// * error locations have no outgoing edges and are distinct from the
+///   exit;
+/// * the exit location has no outgoing edges.
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant.
+pub fn validate(program: &Program) -> Result<(), ValidateError> {
+    for cfa in program.cfas() {
+        let n = cfa.n_locs() as u32;
+        let name = cfa.name();
+        if cfa.entry().idx >= n || cfa.exit().idx >= n {
+            return Err(ValidateError(format!("`{name}`: entry/exit out of bounds")));
+        }
+        for (i, e) in cfa.edges().iter().enumerate() {
+            if e.src.func != cfa.func() || e.dst.func != cfa.func() {
+                return Err(ValidateError(format!("`{name}` edge {i}: crosses CFAs")));
+            }
+            if e.src.idx >= n || e.dst.idx >= n {
+                return Err(ValidateError(format!(
+                    "`{name}` edge {i}: location out of bounds"
+                )));
+            }
+            match &e.op {
+                Op::Return if e.dst != cfa.exit() => {
+                    return Err(ValidateError(format!(
+                        "`{name}` edge {i}: return does not target the exit location"
+                    )));
+                }
+                Op::Call(f) if f.index() >= program.cfas().len() => {
+                    return Err(ValidateError(format!(
+                        "`{name}` edge {i}: call to unknown function"
+                    )));
+                }
+                _ => {}
+            }
+        }
+        if !cfa.succ_edges(cfa.exit()).is_empty() {
+            return Err(ValidateError(format!(
+                "`{name}`: exit location has outgoing edges"
+            )));
+        }
+        for &err in cfa.error_locs() {
+            if err == cfa.exit() {
+                return Err(ValidateError(format!(
+                    "`{name}`: exit marked as error location"
+                )));
+            }
+            if !cfa.succ_edges(err).is_empty() {
+                return Err(ValidateError(format!(
+                    "`{name}`: error location {err} has outgoing edges"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::*;
+
+    #[test]
+    fn validates_lowered_program() {
+        let ast = imp::parse(
+            "global g; fn f(x) { if (x > 0) { return x; } return 0 - x; } \
+             fn main() { local a; a = f(g); while (a > 0) { a = a - 1; } assert(a == 0); }",
+        )
+        .unwrap();
+        let p = crate::lower(&ast).unwrap();
+        validate(&p).unwrap();
+    }
+
+    #[test]
+    fn rejects_return_not_to_exit() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main");
+        let mut cb = pb.cfa_builder(f, "main");
+        let l0 = cb.fresh_loc();
+        let l1 = cb.fresh_loc();
+        let l2 = cb.fresh_loc();
+        cb.set_entry(l0);
+        cb.set_exit(l2);
+        cb.add_edge(l0, Op::Return, l1); // wrong: should target exit
+        cb.add_edge(l1, Op::Return, l2);
+        pb.push_cfa(cb.finish());
+        let p = pb.finish();
+        assert!(validate(&p).is_err());
+    }
+
+    #[test]
+    fn rejects_error_loc_with_successors() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("main");
+        let mut cb = pb.cfa_builder(f, "main");
+        let l0 = cb.fresh_loc();
+        let l1 = cb.fresh_loc();
+        cb.set_entry(l0);
+        cb.set_exit(l1);
+        cb.add_error_loc(l0);
+        cb.add_edge(l0, Op::Return, l1);
+        pb.push_cfa(cb.finish());
+        let p = pb.finish();
+        assert!(validate(&p).is_err());
+    }
+}

@@ -1,0 +1,375 @@
+//! Implementation of the `pathslice` command-line tool.
+//!
+//! ```text
+//! pathslice check <file.imp> [--no-slicing] [--timeout <secs>] [--dfs]
+//! pathslice slice <file.imp> [--skip-functions] [--no-early-unsat]
+//! pathslice run   <file.imp> [--input v1,v2,...] [--fuel <n>]
+//! pathslice dot   <file.imp> [<function>]
+//! ```
+//!
+//! * `check` — CEGAR-verify every error cluster (per-function, §5
+//!   methodology) and print verdicts; with a bug, print the witness
+//!   slice.
+//! * `slice` — take the first abstract error path the checker's
+//!   reachability produces and print its path slice with reasons.
+//! * `run` — execute the program concretely with the given `nondet()`
+//!   inputs.
+//! * `dot` — emit Graphviz for a function's CFA.
+//!
+//! All logic lives here (testable); `main.rs` is a thin shim.
+
+use pathslicing::prelude::*;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Runs one CLI invocation. `args` excludes the binary name. Output is
+/// appended to `out`; the return value is the process exit code.
+///
+/// # Errors
+///
+/// Returns a message (for stderr) on usage errors, I/O errors, or
+/// front-end failures.
+pub fn run_command(args: &[String], out: &mut String) -> Result<i32, String> {
+    let mut it = args.iter();
+    let cmd = it.next().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "check" => cmd_check(&args[1..], out),
+        "slice" => cmd_slice(&args[1..], out),
+        "run" => cmd_run(&args[1..], out),
+        "dot" => cmd_dot(&args[1..], out),
+        "help" | "--help" | "-h" => {
+            out.push_str(USAGE);
+            Ok(0)
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+const USAGE: &str = "\
+pathslice — path slicing (PLDI 2005) toolchain
+
+USAGE:
+    pathslice check <file.imp> [--no-slicing] [--timeout <secs>] [--dfs]
+    pathslice slice <file.imp> [--skip-functions] [--no-early-unsat]
+    pathslice run   <file.imp> [--input v1,v2,...] [--fuel <n>]
+    pathslice dot   <file.imp> [<function>]
+";
+
+fn load(path: &str) -> Result<Program, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    // Front-end errors render with a source snippet and caret.
+    let ast = pathslicing::imp::parse(&src).map_err(|e| format!("{path}: {}", e.render(&src)))?;
+    let program = pathslicing::cfa::lower(&ast).map_err(|e| format!("{path}: {e}"))?;
+    pathslicing::cfa::validate(&program).map_err(|e| format!("{path}: {e}"))?;
+    Ok(program)
+}
+
+fn cmd_check(args: &[String], out: &mut String) -> Result<i32, String> {
+    let (file, flags) = split_flags(args)?;
+    let program = load(&file)?;
+    let analyses = Analyses::build(&program);
+    let mut config = CheckerConfig {
+        reducer: if flags.iter().any(|f| f == "--no-slicing") {
+            Reducer::Identity
+        } else {
+            Reducer::path_slice()
+        },
+        ..CheckerConfig::default()
+    };
+    if let Some(t) = flag_value(&flags, "--timeout")? {
+        config.time_budget = Duration::from_secs(
+            t.parse()
+                .map_err(|_| format!("bad --timeout value `{t}`"))?,
+        );
+    }
+    if flags.iter().any(|f| f == "--dfs") {
+        config.search_order = SearchOrder::Dfs;
+    }
+    let reports = check_program(&analyses, config);
+    if reports.is_empty() {
+        let _ = writeln!(out, "no error locations — nothing to check");
+        return Ok(0);
+    }
+    let mut worst = 0;
+    for r in &reports {
+        let verdict = match &r.report.outcome {
+            CheckOutcome::Safe => "SAFE".to_owned(),
+            CheckOutcome::Bug { .. } => {
+                worst = worst.max(1);
+                "BUG".to_owned()
+            }
+            CheckOutcome::Timeout(reason) => {
+                worst = worst.max(2);
+                format!("TIMEOUT({reason:?})")
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{:<24} {:>4} site(s)  {:<18} {:>3} refinement(s)  {:?}",
+            r.func_name, r.n_sites, verdict, r.report.refinements, r.report.wall
+        );
+        if let CheckOutcome::Bug { slice, .. } = &r.report.outcome {
+            for &e in slice {
+                let edge = program.edge(e);
+                let _ = writeln!(
+                    out,
+                    "    {:<16} {}",
+                    program.cfa(e.func).name(),
+                    program.fmt_op(&edge.op)
+                );
+            }
+        }
+    }
+    Ok(worst)
+}
+
+fn cmd_slice(args: &[String], out: &mut String) -> Result<i32, String> {
+    let (file, flags) = split_flags(args)?;
+    let program = load(&file)?;
+    let analyses = Analyses::build(&program);
+    let targets: Vec<_> = program
+        .cfas()
+        .iter()
+        .flat_map(|c| c.error_locs().iter().copied())
+        .collect();
+    if targets.is_empty() {
+        return Err("program has no error locations".into());
+    }
+    let mut pool = pathslicing::blastlite::PredicatePool::new();
+    let reach = pathslicing::blastlite::reach::reachable(
+        &program,
+        &analyses,
+        &mut pool,
+        &targets,
+        1_000_000,
+        Instant::now() + Duration::from_secs(60),
+        SearchOrder::Dfs,
+    );
+    let pathslicing::blastlite::reach::ReachResult::ErrorPath { path, .. } = reach else {
+        let _ = writeln!(
+            out,
+            "no abstract path to any error location (program is safe)"
+        );
+        return Ok(0);
+    };
+    let options = SliceOptions {
+        early_unsat: !flags.iter().any(|f| f == "--no-early-unsat"),
+        skip_functions: flags.iter().any(|f| f == "--skip-functions"),
+    };
+    let result = PathSlicer::new(&analyses).slice(&path, options);
+    let _ = writeln!(out, "abstract path: {}", path.stats(&program));
+    out.push_str(&render_slice(&program, &path, &result));
+    Ok(0)
+}
+
+fn cmd_run(args: &[String], out: &mut String) -> Result<i32, String> {
+    let (file, flags) = split_flags(args)?;
+    let program = load(&file)?;
+    let inputs: Vec<i64> = match flag_value(&flags, "--input")? {
+        Some(list) => list
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|_| format!("bad input value `{s}`"))
+            })
+            .collect::<Result<_, _>>()?,
+        None => Vec::new(),
+    };
+    let fuel = match flag_value(&flags, "--fuel")? {
+        Some(f) => f.parse().map_err(|_| format!("bad --fuel value `{f}`"))?,
+        None => 1_000_000,
+    };
+    let run = Interp::run(
+        &program,
+        State::zeroed(&program),
+        &mut ReplayOracle::new(inputs),
+        fuel,
+    );
+    let _ = writeln!(out, "executed {} operation(s)", run.path.len());
+    match run.outcome {
+        ExecOutcome::Completed => {
+            let _ = writeln!(out, "outcome: completed");
+            Ok(0)
+        }
+        ExecOutcome::ReachedError(loc) => {
+            let _ = writeln!(
+                out,
+                "outcome: reached ERROR in `{}`",
+                program.cfa(loc.func).name()
+            );
+            Ok(1)
+        }
+        ExecOutcome::OutOfFuel => {
+            let _ = writeln!(out, "outcome: out of fuel (possibly diverging)");
+            Ok(2)
+        }
+        ExecOutcome::Stuck(loc, why) => {
+            let _ = writeln!(
+                out,
+                "outcome: stuck at {loc} in `{}` ({why:?})",
+                program.cfa(loc.func).name()
+            );
+            Ok(2)
+        }
+    }
+}
+
+fn cmd_dot(args: &[String], out: &mut String) -> Result<i32, String> {
+    let (file, rest) = split_flags(args)?;
+    let program = load(&file)?;
+    let cfa = match rest.first() {
+        Some(name) => {
+            let f = program
+                .func_id(name)
+                .ok_or_else(|| format!("no function named `{name}`"))?;
+            program.cfa(f)
+        }
+        None => program.cfa(program.main()),
+    };
+    out.push_str(&program.to_dot(cfa));
+    Ok(0)
+}
+
+/// Splits `[file, flags...]`, requiring the file first.
+fn split_flags(args: &[String]) -> Result<(String, Vec<String>), String> {
+    let Some(file) = args.first() else {
+        return Err(format!("missing input file\n{USAGE}"));
+    };
+    if file.starts_with('-') {
+        return Err(format!("expected input file, found flag `{file}`\n{USAGE}"));
+    }
+    Ok((file.clone(), args[1..].to_vec()))
+}
+
+/// Looks up `--flag value` in the flag list.
+fn flag_value(flags: &[String], name: &str) -> Result<Option<String>, String> {
+    for (i, f) in flags.iter().enumerate() {
+        if f == name {
+            return match flags.get(i + 1) {
+                Some(v) => Ok(Some(v.clone())),
+                None => Err(format!("{name} requires a value")),
+            };
+        }
+        if let Some(v) = f.strip_prefix(&format!("{name}=")) {
+            return Ok(Some(v.to_owned()));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, contents: &str) -> String {
+        let dir = std::env::temp_dir().join("pathslice-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, contents).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    const BUGGY: &str = r#"
+        global limit;
+        fn main() {
+            local amount, w;
+            w = 13;
+            amount = nondet();
+            if (amount > limit) { if (limit == 0) { error(); } }
+        }
+    "#;
+
+    const SAFE: &str = r#"
+        global x;
+        fn main() { x = 1; if (x == 2) { error(); } }
+    "#;
+
+    fn run_ok(args: &[&str]) -> (i32, String) {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = String::new();
+        let code = run_command(&args, &mut out).unwrap();
+        (code, out)
+    }
+
+    #[test]
+    fn check_reports_bug_with_witness() {
+        let f = write_temp("buggy.imp", BUGGY);
+        let (code, out) = run_ok(&["check", &f]);
+        assert_eq!(code, 1);
+        assert!(out.contains("BUG"), "{out}");
+        assert!(out.contains("assume"), "witness printed: {out}");
+    }
+
+    #[test]
+    fn check_reports_safe() {
+        let f = write_temp("safe.imp", SAFE);
+        let (code, out) = run_ok(&["check", &f]);
+        assert_eq!(code, 0);
+        assert!(out.contains("SAFE"), "{out}");
+    }
+
+    #[test]
+    fn slice_prints_reasons() {
+        let f = write_temp("buggy2.imp", BUGGY);
+        let (code, out) = run_ok(&["slice", &f]);
+        assert_eq!(code, 0);
+        assert!(out.contains("path slice"), "{out}");
+        assert!(out.contains("bypass"), "{out}");
+        assert!(
+            !out.contains("w :="),
+            "irrelevant assignment sliced away: {out}"
+        );
+    }
+
+    #[test]
+    fn run_executes_with_inputs() {
+        let f = write_temp("buggy3.imp", BUGGY);
+        let (code, out) = run_ok(&["run", &f, "--input", "5"]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("reached ERROR"), "{out}");
+        let (code, out) = run_ok(&["run", &f, "--input", "-5"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("completed"), "{out}");
+    }
+
+    #[test]
+    fn dot_emits_graphviz() {
+        let f = write_temp("safe2.imp", SAFE);
+        let (code, out) = run_ok(&["dot", &f]);
+        assert_eq!(code, 0);
+        assert!(out.starts_with("digraph"), "{out}");
+    }
+
+    #[test]
+    fn usage_errors() {
+        let mut out = String::new();
+        assert!(run_command(&["check".into()], &mut out).is_err());
+        assert!(run_command(&["bogus".into()], &mut out).is_err());
+        let f = write_temp("bad.imp", "fn main() {");
+        assert!(run_command(&["check".into(), f], &mut out).is_err());
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let (code, out) = run_ok(&["help"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn flag_value_forms() {
+        let flags = vec![
+            "--timeout".to_string(),
+            "5".to_string(),
+            "--fuel=9".to_string(),
+        ];
+        assert_eq!(
+            flag_value(&flags, "--timeout").unwrap().as_deref(),
+            Some("5")
+        );
+        assert_eq!(flag_value(&flags, "--fuel").unwrap().as_deref(), Some("9"));
+        assert_eq!(flag_value(&flags, "--other").unwrap(), None);
+    }
+}

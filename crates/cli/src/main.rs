@@ -1,0 +1,17 @@
+//! The `pathslice` binary — see [`cli::run_command`] for the commands.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::new();
+    match cli::run_command(&args, &mut out) {
+        Ok(code) => {
+            print!("{out}");
+            std::process::exit(code);
+        }
+        Err(msg) => {
+            print!("{out}");
+            eprintln!("error: {msg}");
+            std::process::exit(64);
+        }
+    }
+}

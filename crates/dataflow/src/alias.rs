@@ -1,0 +1,422 @@
+//! Flow-insensitive may-points-to (Andersen-style) and must-alias.
+//!
+//! The paper (§3.4) requires a `MayAlias` over-approximation (used to
+//! generalize the write set `Wt` feeding `WrBt`/`Mods`) and a `MustAlias`
+//! under-approximation (used for the strong-update kill in the slicer's
+//! live-set update). We compute:
+//!
+//! * inclusion-based points-to sets from the four pointer assignment
+//!   forms `p := &x`, `p := q`, `p := *q`, `*p := …`;
+//! * a *wild* flag for pointers whose value may come from arbitrary data
+//!   (arithmetic, `nondet()`): dereferencing a wild pointer conservatively
+//!   touches every address-taken variable. Assigning a pure constant
+//!   (e.g. `p := 0`, a null pointer) does not make a pointer wild.
+//!
+//! `MustAlias` holds only for identical lvalues and for `*p` vs. `x` when
+//! `p` is non-wild with the singleton points-to set `{x}` — a sound
+//! under-approximation.
+
+use crate::bitset::BitSet;
+use cfa::{CExpr, CLval, Op, Program, VarId};
+
+/// The result of the pointer analysis. Build once per program with
+/// [`AliasInfo::build`].
+#[derive(Debug, Clone)]
+pub struct AliasInfo {
+    /// Resolved points-to set per variable (wild pointers already
+    /// expanded to the address-taken set).
+    resolved: Vec<BitSet>,
+    wild: Vec<bool>,
+    addr_taken: BitSet,
+    n_vars: usize,
+}
+
+/// The pointer-assignment forms we track precisely.
+enum PtrRhs {
+    /// `&x`
+    Addr(VarId),
+    /// `q`
+    Copy(VarId),
+    /// `*q`
+    Load(VarId),
+    /// A constant (null-like): contributes nothing.
+    Constant,
+    /// Arbitrary data (arithmetic over variables, `&x + 1`, …): taints,
+    /// and any `&x` appearing inside still flows into the points-to set.
+    Data(Vec<VarId>),
+}
+
+fn classify_rhs(e: &CExpr) -> PtrRhs {
+    match e {
+        CExpr::Int(_) => PtrRhs::Constant,
+        CExpr::AddrOf(x) => PtrRhs::Addr(*x),
+        CExpr::Lval(CLval::Var(q)) => PtrRhs::Copy(*q),
+        CExpr::Lval(CLval::Deref(q)) => PtrRhs::Load(*q),
+        CExpr::Lval(CLval::Arr(_)) => PtrRhs::Data(Vec::new()),
+        other => {
+            // Arithmetic. Pure-constant arithmetic is still a constant.
+            let mut addrs = Vec::new();
+            let mut reads_vars = false;
+            collect(other, &mut addrs, &mut reads_vars);
+            if !reads_vars && addrs.is_empty() {
+                PtrRhs::Constant
+            } else {
+                PtrRhs::Data(addrs)
+            }
+        }
+    }
+}
+
+fn collect(e: &CExpr, addrs: &mut Vec<VarId>, reads_vars: &mut bool) {
+    match e {
+        CExpr::Int(_) => {}
+        CExpr::AddrOf(x) => addrs.push(*x),
+        CExpr::Lval(_) | CExpr::ArrLoad(..) => *reads_vars = true,
+        CExpr::Neg(i) => collect(i, addrs, reads_vars),
+        CExpr::Bin(_, a, b) => {
+            collect(a, addrs, reads_vars);
+            collect(b, addrs, reads_vars);
+        }
+    }
+}
+
+impl AliasInfo {
+    /// Runs the fixpoint over all edges of `program`.
+    pub fn build(program: &Program) -> Self {
+        let n = program.vars().len();
+        let mut pts: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+        let mut wild = vec![false; n];
+        let mut addr_taken = BitSet::new(n);
+
+        // Collect the assignment constraints once.
+        struct Store {
+            dst: VarId,
+            rhs: PtrRhs,
+            via_deref: bool,
+        }
+        let mut constraints: Vec<Store> = Vec::new();
+        for cfa in program.cfas() {
+            for e in cfa.edges() {
+                match &e.op {
+                    Op::Assign(lv, rhs) => {
+                        let rhs = classify_rhs(rhs);
+                        if let PtrRhs::Addr(x) = &rhs {
+                            addr_taken.insert(x.index());
+                        }
+                        if let PtrRhs::Data(addrs) = &rhs {
+                            for x in addrs {
+                                addr_taken.insert(x.index());
+                            }
+                        }
+                        constraints.push(Store {
+                            dst: lv.base(),
+                            rhs,
+                            via_deref: lv.is_deref(),
+                        });
+                    }
+                    Op::Havoc(lv) => {
+                        constraints.push(Store {
+                            dst: lv.base(),
+                            rhs: PtrRhs::Data(Vec::new()),
+                            via_deref: lv.is_deref(),
+                        });
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Naive fixpoint: re-evaluate all constraints until stable. The
+        // constraint count is linear in program size and pointer chains
+        // are shallow in practice, so this converges in a few rounds.
+        loop {
+            let mut changed = false;
+            for c in &constraints {
+                // Destinations: the variable itself, or — through a
+                // dereference — everything it may point to.
+                let dsts: Vec<usize> = if c.via_deref {
+                    let base = c.dst.index();
+                    let mut d: Vec<usize> = pts[base].iter().collect();
+                    if wild[base] {
+                        d.extend(addr_taken.iter());
+                        d.sort_unstable();
+                        d.dedup();
+                    }
+                    d
+                } else {
+                    vec![c.dst.index()]
+                };
+                // Source contribution as (points-to bits, wildness).
+                let (src_bits, src_wild): (BitSet, bool) = match &c.rhs {
+                    PtrRhs::Constant => (BitSet::new(n), false),
+                    PtrRhs::Addr(x) => {
+                        let mut b = BitSet::new(n);
+                        b.insert(x.index());
+                        (b, false)
+                    }
+                    PtrRhs::Copy(q) => (pts[q.index()].clone(), wild[q.index()]),
+                    PtrRhs::Load(q) => {
+                        let mut b = BitSet::new(n);
+                        let mut w = wild[q.index()];
+                        let mut srcs: Vec<usize> = pts[q.index()].iter().collect();
+                        if wild[q.index()] {
+                            srcs.extend(addr_taken.iter());
+                        }
+                        for r in srcs {
+                            b.union_with(&pts[r]);
+                            w |= wild[r];
+                        }
+                        (b, w)
+                    }
+                    PtrRhs::Data(addrs) => {
+                        let mut b = BitSet::new(n);
+                        for x in addrs {
+                            b.insert(x.index());
+                        }
+                        (b, true)
+                    }
+                };
+                for d in dsts {
+                    changed |= pts[d].union_with(&src_bits);
+                    if src_wild && !wild[d] {
+                        wild[d] = true;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Resolve: wild pointers point to every address-taken variable.
+        let mut resolved = pts;
+        for (i, r) in resolved.iter_mut().enumerate() {
+            if wild[i] {
+                r.union_with(&addr_taken);
+            }
+        }
+        AliasInfo {
+            resolved,
+            wild,
+            addr_taken,
+            n_vars: n,
+        }
+    }
+
+    /// The resolved may-points-to set of `p` (wild pointers already
+    /// include every address-taken variable).
+    pub fn points_to(&self, p: VarId) -> &BitSet {
+        &self.resolved[p.index()]
+    }
+
+    /// Whether `p` may hold an arbitrary (data-derived) pointer value.
+    pub fn is_wild(&self, p: VarId) -> bool {
+        self.wild[p.index()]
+    }
+
+    /// Every variable whose address is taken somewhere in the program.
+    pub fn addr_taken(&self) -> &BitSet {
+        &self.addr_taken
+    }
+
+    /// The memory cells (variables) that *may* be written by assigning to
+    /// `lv` — the paper's generalized `Wt` (§3.4): `{x}` for `x := …`,
+    /// `pts(p)` for `*p := …`.
+    pub fn may_write_cells(&self, lv: CLval) -> BitSet {
+        match lv {
+            CLval::Var(x) | CLval::Arr(x) => {
+                let mut b = BitSet::new(self.n_vars);
+                b.insert(x.index());
+                b
+            }
+            CLval::Deref(p) => self.resolved[p.index()].clone(),
+        }
+    }
+
+    /// The memory cells that *may* be read by evaluating `lv`.
+    pub fn read_cells(&self, lv: CLval) -> BitSet {
+        match lv {
+            CLval::Var(x) | CLval::Arr(x) => {
+                let mut b = BitSet::new(self.n_vars);
+                b.insert(x.index());
+                b
+            }
+            CLval::Deref(p) => {
+                // Reading *p reads the pointer p and some pointee cell.
+                let mut b = self.resolved[p.index()].clone();
+                b.insert(p.index());
+                b
+            }
+        }
+    }
+
+    /// Union of [`AliasInfo::read_cells`] over a set of lvalues.
+    pub fn read_cells_of(&self, lvs: &[CLval]) -> BitSet {
+        let mut out = BitSet::new(self.n_vars);
+        for lv in lvs {
+            out.union_with(&self.read_cells(*lv));
+        }
+        out
+    }
+
+    /// The paper's `MayAlias`: may `a` and `b` denote the same cell?
+    pub fn may_alias(&self, a: CLval, b: CLval) -> bool {
+        match (a, b) {
+            (CLval::Var(x), CLval::Var(y)) => x == y,
+            // Array summary cells alias only their own array (their
+            // address is never taken, so no pointer can reach them).
+            (CLval::Arr(x), CLval::Arr(y)) => x == y,
+            (CLval::Arr(_), _) | (_, CLval::Arr(_)) => false,
+            (CLval::Var(x), CLval::Deref(p)) | (CLval::Deref(p), CLval::Var(x)) => {
+                self.resolved[p.index()].contains(x.index())
+            }
+            (CLval::Deref(p), CLval::Deref(q)) => {
+                p == q || self.resolved[p.index()].intersects(&self.resolved[q.index()])
+            }
+        }
+    }
+
+    /// The paper's `MustAlias`: do `a` and `b` certainly denote the same
+    /// cell? Sound under-approximation.
+    pub fn must_alias(&self, a: CLval, b: CLval) -> bool {
+        // Array summary cells are never must-aliases — not even of
+        // themselves: `a[i] := …` may leave `a[j]` untouched, so the
+        // kill in the slicer's live update must stay weak.
+        if matches!(a, CLval::Arr(_)) || matches!(b, CLval::Arr(_)) {
+            return false;
+        }
+        if a == b {
+            return true;
+        }
+        let singleton = |p: VarId| -> Option<usize> {
+            if self.wild[p.index()] {
+                return None;
+            }
+            let s = &self.resolved[p.index()];
+            if s.count() == 1 {
+                s.iter().next()
+            } else {
+                None
+            }
+        };
+        match (a, b) {
+            (CLval::Var(x), CLval::Deref(p)) | (CLval::Deref(p), CLval::Var(x)) => {
+                singleton(p) == Some(x.index())
+            }
+            (CLval::Deref(p), CLval::Deref(q)) => {
+                matches!((singleton(p), singleton(q)), (Some(x), Some(y)) if x == y)
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfa::Program;
+
+    fn build(src: &str) -> (Program, AliasInfo) {
+        let p = cfa::lower(&imp::parse(src).unwrap()).unwrap();
+        let a = AliasInfo::build(&p);
+        (p, a)
+    }
+
+    fn v(p: &Program, name: &str) -> VarId {
+        p.vars()
+            .lookup(name)
+            .unwrap_or_else(|| panic!("no var {name}"))
+    }
+
+    #[test]
+    fn addr_of_flows_to_pointer() {
+        let (p, a) = build("global x, y; fn main() { local p; p = &x; *p = 1; y = *p; }");
+        let pp = v(&p, "main::p");
+        assert!(a.points_to(pp).contains(v(&p, "x").index()));
+        assert!(!a.points_to(pp).contains(v(&p, "y").index()));
+        assert!(!a.is_wild(pp));
+        assert!(a.may_alias(CLval::Deref(pp), CLval::Var(v(&p, "x"))));
+        assert!(
+            a.must_alias(CLval::Deref(pp), CLval::Var(v(&p, "x"))),
+            "singleton pts is must"
+        );
+    }
+
+    #[test]
+    fn copy_and_branch_join_points_to() {
+        let (p, a) = build(
+            "global x, y; fn main() { local p, q, c; if (c > 0) { p = &x; } else { p = &y; } q = p; *q = 1; }",
+        );
+        let q = v(&p, "main::q");
+        assert!(a.points_to(q).contains(v(&p, "x").index()));
+        assert!(a.points_to(q).contains(v(&p, "y").index()));
+        assert!(
+            !a.must_alias(CLval::Deref(q), CLval::Var(v(&p, "x"))),
+            "two targets: not must"
+        );
+        assert!(a.may_alias(CLval::Deref(q), CLval::Var(v(&p, "y"))));
+    }
+
+    #[test]
+    fn null_constant_is_not_wild() {
+        let (p, a) = build("global x; fn main() { local p; p = 0; p = &x; *p = 1; }");
+        assert!(!a.is_wild(v(&p, "main::p")));
+    }
+
+    #[test]
+    fn data_derived_pointer_is_wild() {
+        let (p, a) =
+            build("global x, y; fn main() { local p, q; q = &x; p = q + 1; y = &y; *p = 5; }");
+        let pp = v(&p, "main::p");
+        assert!(a.is_wild(pp));
+        // Wild pointers may touch every address-taken var (x and y here).
+        assert!(a.points_to(pp).contains(v(&p, "x").index()));
+        assert!(a.points_to(pp).contains(v(&p, "y").index()));
+        assert!(!a.must_alias(CLval::Deref(pp), CLval::Var(v(&p, "x"))));
+    }
+
+    #[test]
+    fn havoc_pointer_is_wild() {
+        let (p, a) = build("global x; fn main() { local p, h; h = &x; p = nondet(); *p = 1; }");
+        assert!(a.is_wild(v(&p, "main::p")));
+    }
+
+    #[test]
+    fn load_through_pointer_chain() {
+        // pp -> p -> x: q = *pp gives q -> x.
+        let (p, a) =
+            build("global x; fn main() { local p, pp, q; p = &x; pp = &p; q = *pp; *q = 3; }");
+        let q = v(&p, "main::q");
+        assert!(a.points_to(q).contains(v(&p, "x").index()));
+        assert!(!a.is_wild(q));
+    }
+
+    #[test]
+    fn store_through_pointer_updates_pointees() {
+        // *pp = &y where pp -> p makes p -> y.
+        let (p, a) =
+            build("global x, y; fn main() { local p, pp; p = &x; pp = &p; *pp = &y; *p = 1; }");
+        let pv = v(&p, "main::p");
+        assert!(a.points_to(pv).contains(v(&p, "y").index()));
+    }
+
+    #[test]
+    fn may_write_and_read_cells() {
+        let (p, a) = build("global x, y; fn main() { local p, c; if (c > 0) { p = &x; } else { p = &y; } *p = 1; }");
+        let pp = v(&p, "main::p");
+        let w = a.may_write_cells(CLval::Deref(pp));
+        assert!(w.contains(v(&p, "x").index()) && w.contains(v(&p, "y").index()));
+        let r = a.read_cells(CLval::Deref(pp));
+        assert!(r.contains(pp.index()), "reading *p reads p itself");
+        let wx = a.may_write_cells(CLval::Var(v(&p, "x")));
+        assert_eq!(wx.count(), 1);
+    }
+
+    #[test]
+    fn integers_never_alias() {
+        let (p, a) = build("global x, y; fn main() { x = 1; y = x + 2; }");
+        assert!(!a.may_alias(CLval::Var(v(&p, "x")), CLval::Var(v(&p, "y"))));
+        assert!(a.must_alias(CLval::Var(v(&p, "x")), CLval::Var(v(&p, "x"))));
+    }
+}

@@ -1,0 +1,504 @@
+//! The bundled analysis results consulted by the path slicer.
+
+use crate::alias::AliasInfo;
+use crate::bitset::BitSet;
+use crate::callgraph::CallGraph;
+use crate::reach::EdgeReach;
+use cfa::{CLval, EdgeId, FuncId, Loc, Op, Program};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// All precomputed relations for one program: alias information, per-CFA
+/// edge reachability, per-edge may-write cell sets, transitive `Mods`,
+/// and a memoized `By` (bypass) relation.
+///
+/// Build once with [`Analyses::build`]; queries are cheap and (except for
+/// the first `By` query per step location) allocation-free.
+#[derive(Debug)]
+pub struct Analyses<'p> {
+    program: &'p Program,
+    alias: AliasInfo,
+    callgraph: CallGraph,
+    reach: Vec<EdgeReach>,
+    /// `mods[f]`: cells possibly written by `f` or its transitive callees.
+    mods: Vec<BitSet>,
+    /// `edge_writes[f][e]`: cells possibly written by edge `e` of CFA `f`
+    /// (call edges carry the callee's `Mods` set).
+    edge_writes: Vec<Vec<BitSet>>,
+    /// Memoized `By.pc'` sets: locations (of `pc'.func`) that can reach
+    /// the exit without visiting `pc'`.
+    by_cache: RefCell<HashMap<Loc, BitSet>>,
+    n_vars: usize,
+}
+
+impl<'p> Analyses<'p> {
+    /// Runs every analysis for `program`.
+    pub fn build(program: &'p Program) -> Self {
+        let n_vars = program.vars().len();
+        let alias = AliasInfo::build(program);
+        let callgraph = CallGraph::build(program);
+        let reach: Vec<EdgeReach> = program.cfas().iter().map(EdgeReach::build).collect();
+
+        // Direct writes per function, then transitive Mods in
+        // callee-first topological order (programs are non-recursive).
+        let mut mods: Vec<BitSet> = vec![BitSet::new(n_vars); program.cfas().len()];
+        for &f in callgraph.topo_callees_first() {
+            let mut m = BitSet::new(n_vars);
+            for e in program.cfa(f).edges() {
+                match &e.op {
+                    Op::Call(g) => {
+                        m.union_with(&mods[g.index()]);
+                    }
+                    other => {
+                        if let Some(lv) = other.write() {
+                            m.union_with(&alias.may_write_cells(lv));
+                        }
+                    }
+                }
+            }
+            mods[f.index()] = m;
+        }
+
+        // Per-edge may-write cells, with call edges summarized by Mods.
+        let edge_writes: Vec<Vec<BitSet>> = program
+            .cfas()
+            .iter()
+            .map(|cfa| {
+                cfa.edges()
+                    .iter()
+                    .map(|e| match &e.op {
+                        Op::Call(g) => mods[g.index()].clone(),
+                        other => match other.write() {
+                            Some(lv) => alias.may_write_cells(lv),
+                            None => BitSet::new(n_vars),
+                        },
+                    })
+                    .collect()
+            })
+            .collect();
+
+        Analyses {
+            program,
+            alias,
+            callgraph,
+            reach,
+            mods,
+            edge_writes,
+            by_cache: RefCell::new(HashMap::new()),
+            n_vars,
+        }
+    }
+
+    /// The program these analyses describe.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// The pointer analysis results.
+    pub fn alias(&self) -> &AliasInfo {
+        &self.alias
+    }
+
+    /// The call graph.
+    pub fn callgraph(&self) -> &CallGraph {
+        &self.callgraph
+    }
+
+    /// Number of interned variables (the cell-set capacity).
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// The paper's `Mods.f`: cells that `f` may (transitively) modify.
+    pub fn mods(&self, f: FuncId) -> &BitSet {
+        &self.mods[f.index()]
+    }
+
+    /// Cells possibly written by one CFA edge (`Wt`, with call edges
+    /// summarized by `Mods` — Fig. 3 row 3).
+    pub fn edge_write_cells(&self, e: EdgeId) -> &BitSet {
+        &self.edge_writes[e.func.index()][e.idx as usize]
+    }
+
+    /// Converts a set of live lvalues into the set of memory cells whose
+    /// mutation could change them: `x ↦ {x}`, `*p ↦ pts(p)`.
+    pub fn cells_of<'a>(&self, lvs: impl IntoIterator<Item = &'a CLval>) -> BitSet {
+        let mut out = BitSet::new(self.n_vars);
+        for lv in lvs {
+            out.union_with(&self.alias.may_write_cells(*lv));
+        }
+        out
+    }
+
+    /// The paper's `WrBt.(pc, pc').L` on cell sets: does some intra-CFA
+    /// path from `pc` to `pc'` contain an edge that may write a cell in
+    /// `cells`? Call edges on the way count with their `Mods` summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` and `pc'` are in different CFAs (the algorithm only
+    /// ever issues intraprocedural queries — §4.1).
+    pub fn writes_between(&self, pc: Loc, pc2: Loc, cells: &BitSet) -> bool {
+        assert_eq!(pc.func, pc2.func, "WrBt query must be intraprocedural");
+        if cells.is_empty() {
+            return false;
+        }
+        let r = &self.reach[pc.func.index()];
+        let out = r.out(pc);
+        let inn = r.inn(pc2);
+        let writes = &self.edge_writes[pc.func.index()];
+        // Iterate the (usually small) Out set, filtering by In.
+        for e in out.iter() {
+            if inn.contains(e) && writes[e].intersects(cells) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether edge `edge_idx` (of `pc`'s CFA) is reachable from `pc`
+    /// (i.e. lies in the paper's `Out.pc` set).
+    pub fn edge_reachable_from(&self, pc: Loc, edge_idx: u32) -> bool {
+        self.reach[pc.func.index()]
+            .out(pc)
+            .contains(edge_idx as usize)
+    }
+
+    /// Whether `to` is intraprocedurally reachable from `from` (same CFA).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the locations are in different CFAs.
+    pub fn reaches(&self, from: Loc, to: Loc) -> bool {
+        assert_eq!(
+            from.func, to.func,
+            "reachability query must be intraprocedural"
+        );
+        if from == to {
+            return true;
+        }
+        let cfa = self.program.cfa(from.func);
+        cfa.pred_edges(to)
+            .iter()
+            .any(|&ei| self.edge_reachable_from(from, ei))
+    }
+
+    /// The paper's `By`: can control reach the function exit from `pc`
+    /// without visiting `avoid`? (`pc ∈ By.avoid`.) Results are memoized
+    /// per `avoid` location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` and `avoid` are in different CFAs.
+    pub fn can_bypass(&self, pc: Loc, avoid: Loc) -> bool {
+        assert_eq!(pc.func, avoid.func, "By query must be intraprocedural");
+        let mut cache = self.by_cache.borrow_mut();
+        let set = cache.entry(avoid).or_insert_with(|| self.compute_by(avoid));
+        set.contains(pc.idx as usize)
+    }
+
+    /// Computes the full `By.avoid` set: least fixpoint of
+    /// `By.pc = ({pc_out} ∪ {pc' | ∃(pc',·,pc'') ∈ E. pc'' ∈ By.pc}) \ {avoid}`
+    /// realized as a reverse reachability from the exit that never
+    /// expands through `avoid`.
+    fn compute_by(&self, avoid: Loc) -> BitSet {
+        let cfa = self.program.cfa(avoid.func);
+        let mut by = BitSet::new(cfa.n_locs());
+        let exit = cfa.exit();
+        if exit == avoid {
+            return by; // By.pc_out ≡ ∅.
+        }
+        by.insert(exit.idx as usize);
+        let mut work = vec![exit];
+        while let Some(l) = work.pop() {
+            for &ei in cfa.pred_edges(l) {
+                let src = cfa.edge(ei).src;
+                if src != avoid && by.insert(src.idx as usize) {
+                    work.push(src);
+                }
+            }
+        }
+        by
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(src: &str) -> (Program, ()) {
+        let p = cfa::lower(&imp::parse(src).unwrap()).unwrap();
+        (p, ())
+    }
+
+    fn var(p: &Program, name: &str) -> CLval {
+        CLval::Var(
+            p.vars()
+                .lookup(name)
+                .unwrap_or_else(|| panic!("no var {name}")),
+        )
+    }
+
+    #[test]
+    fn mods_is_transitive() {
+        let (p, _) = build(
+            "global g, h; fn leaf() { g = 1; } fn mid() { leaf(); } fn main() { local a; mid(); h = 2; a = 3; }",
+        );
+        let a = Analyses::build(&p);
+        let g = p.vars().lookup("g").unwrap();
+        let h = p.vars().lookup("h").unwrap();
+        assert!(a.mods(p.func_id("leaf").unwrap()).contains(g.index()));
+        assert!(
+            a.mods(p.func_id("mid").unwrap()).contains(g.index()),
+            "transitive"
+        );
+        assert!(!a.mods(p.func_id("mid").unwrap()).contains(h.index()));
+        assert!(a.mods(p.main()).contains(h.index()));
+        assert!(a.mods(p.main()).contains(g.index()));
+    }
+
+    #[test]
+    fn mods_through_pointer() {
+        let (p, _) = build("global x; fn f(q) { *q = 1; } fn main() { local p; p = &x; f(p); }");
+        let a = Analyses::build(&p);
+        let x = p.vars().lookup("x").unwrap();
+        assert!(
+            a.mods(p.func_id("f").unwrap()).contains(x.index()),
+            "write through *q hits x"
+        );
+    }
+
+    #[test]
+    fn writes_between_sees_loop_body() {
+        let (p, _) = build(
+            "global x, y; fn main() { local i; while (i < 10) { x = x + 1; i = i + 1; } y = 1; }",
+        );
+        let a = Analyses::build(&p);
+        let m = p.cfa(p.main());
+        let entry = m.entry();
+        let exit = m.exit();
+        let xcells = a.cells_of([&var(&p, "x")]);
+        let ycells = a.cells_of([&var(&p, "y")]);
+        assert!(a.writes_between(entry, exit, &xcells));
+        assert!(a.writes_between(entry, exit, &ycells));
+        // After the loop, x is no longer written: find y=1's source.
+        let ysrc = (0..m.edges().len() as u32)
+            .find(|&i| {
+                a.edge_write_cells(EdgeId {
+                    func: p.main(),
+                    idx: i,
+                })
+                .intersects(&ycells)
+            })
+            .map(|i| m.edge(i).src)
+            .unwrap();
+        assert!(!a.writes_between(ysrc, exit, &xcells));
+    }
+
+    #[test]
+    fn writes_between_respects_direction() {
+        let (p, _) = build("global x; fn main() { local a; x = 1; a = 2; }");
+        let a = Analyses::build(&p);
+        let m = p.cfa(p.main());
+        let xcells = a.cells_of([&var(&p, "x")]);
+        // From the location after x=1 (source of a=2), x is not written.
+        let after_x = m.edges()[1].src;
+        assert!(a.writes_between(m.entry(), m.exit(), &xcells));
+        assert!(!a.writes_between(after_x, m.exit(), &xcells));
+    }
+
+    #[test]
+    fn writes_between_call_edge_uses_mods() {
+        let (p, _) = build("global x; fn f() { x = 5; } fn main() { local a; f(); a = 1; }");
+        let a = Analyses::build(&p);
+        let m = p.cfa(p.main());
+        let xcells = a.cells_of([&var(&p, "x")]);
+        assert!(
+            a.writes_between(m.entry(), m.exit(), &xcells),
+            "call edge carries callee Mods"
+        );
+    }
+
+    #[test]
+    fn bypass_matches_postdominance() {
+        // if (a>0) { b=1; } else { b=2; } b=3;
+        let (p, _) =
+            build("fn main() { local a, b; if (a > 0) { b = 1; } else { b = 2; } b = 3; }");
+        let a = Analyses::build(&p);
+        let m = p.cfa(p.main());
+        // The join (source of b=3) postdominates entry: entry cannot bypass it.
+        let assigns: Vec<&cfa::Edge> = m
+            .edges()
+            .iter()
+            .filter(|e| matches!(e.op, Op::Assign(..)))
+            .collect();
+        let join = assigns[2].src;
+        assert!(!a.can_bypass(m.entry(), join));
+        // But entry CAN bypass the then-arm's target (take the else branch).
+        let then_dst = assigns[0].src;
+        assert!(a.can_bypass(m.entry(), then_dst));
+        // Nothing bypasses the exit's avoid-set (By.pc_out = ∅).
+        assert!(!a.can_bypass(m.entry(), m.exit()));
+    }
+
+    mod overapprox {
+        use super::*;
+        use proptest::prelude::*;
+        use std::fmt::Write as _;
+
+        /// Random single-function programs from nested ifs/whiles and
+        /// assignments over three globals.
+        fn arb_src() -> impl Strategy<Value = String> {
+            fn stmt(depth: u32) -> BoxedStrategy<String> {
+                let assign = (prop_oneof![Just("x"), Just("y"), Just("z")], 0i64..5)
+                    .prop_map(|(v, k)| format!("{v} = {v} + {k};"));
+                if depth == 0 {
+                    assign.boxed()
+                } else {
+                    let inner = move || proptest::collection::vec(stmt(depth - 1), 1..3);
+                    prop_oneof![
+                        2 => assign,
+                        1 => (prop_oneof![Just("x"), Just("y")], inner(), inner()).prop_map(
+                            |(v, t, e)| format!(
+                                "if ({v} > 1) {{ {} }} else {{ {} }}",
+                                t.join(" "),
+                                e.join(" ")
+                            )
+                        ),
+                        1 => inner().prop_map(|b| format!(
+                            "while (z < 2) {{ {} z = z + 1; }}",
+                            b.join(" ")
+                        )),
+                    ]
+                    .boxed()
+                }
+            }
+            proptest::collection::vec(stmt(2), 1..5).prop_map(|stmts| {
+                let mut src = String::from("global x, y, z;\nfn main() {\n");
+                for st in stmts {
+                    let _ = writeln!(src, "    {st}");
+                }
+                src.push_str("}\n");
+                src
+            })
+        }
+
+        /// Enumerates CFA paths from `from` up to `depth` edges and
+        /// reports whether one reaches `to` writing a cell of `cells`.
+        fn brute_writes_between(
+            p: &Program,
+            a: &Analyses<'_>,
+            from: Loc,
+            to: Loc,
+            cells: &BitSet,
+            depth: usize,
+        ) -> bool {
+            let cfa = p.cfa(from.func);
+            let mut stack = vec![(from, false, 0usize)];
+            // DFS over (loc, wrote-already, length): bounded, may revisit.
+            while let Some((l, wrote, len)) = stack.pop() {
+                if l == to && wrote {
+                    return true;
+                }
+                if len >= depth {
+                    continue;
+                }
+                for &ei in cfa.succ_edges(l) {
+                    let e = cfa.edge(ei);
+                    let w = wrote
+                        || a.edge_write_cells(EdgeId {
+                            func: from.func,
+                            idx: ei,
+                        })
+                        .intersects(cells);
+                    stack.push((e.dst, w, len + 1));
+                }
+            }
+            false
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// `WrBt` is an over-approximation: whenever a bounded path
+            /// enumeration finds a writing path, `writes_between` must
+            /// say true. (A miss here would make `Take` drop a needed
+            /// branch — a soundness bug in slicing.)
+            #[test]
+            fn writes_between_overapproximates_paths(src in arb_src(), cell in 0usize..3) {
+                let p = cfa::lower(&imp::parse(&src).unwrap()).unwrap();
+                let a = Analyses::build(&p);
+                let m = p.cfa(p.main());
+                let name = ["x", "y", "z"][cell];
+                let v = p.vars().lookup(name).unwrap();
+                let mut cells = BitSet::new(p.vars().len());
+                cells.insert(v.index());
+                let n = m.n_locs().min(10);
+                for fi in 0..n as u32 {
+                    for ti in 0..n as u32 {
+                        let from = Loc { func: p.main(), idx: fi };
+                        let to = Loc { func: p.main(), idx: ti };
+                        if brute_writes_between(&p, &a, from, to, &cells, 12)
+                            && !a.writes_between(from, to, &cells)
+                        {
+                            prop_assert!(
+                                false,
+                                "WrBt missed a writing path {from}->{to} for {name} in\n{src}"
+                            );
+                        }
+                    }
+                }
+            }
+
+            /// `By` agrees with brute-force avoid-reachability.
+            #[test]
+            fn bypass_overapproximates_paths(src in arb_src()) {
+                let p = cfa::lower(&imp::parse(&src).unwrap()).unwrap();
+                let a = Analyses::build(&p);
+                let m = p.cfa(p.main());
+                let n = m.n_locs().min(9);
+                for pcx in 0..n as u32 {
+                    for avx in 0..n as u32 {
+                        let pc = Loc { func: p.main(), idx: pcx };
+                        let avoid = Loc { func: p.main(), idx: avx };
+                        // Brute: BFS from pc to exit skipping avoid.
+                        let mut seen = vec![false; m.n_locs()];
+                        let mut work = vec![];
+                        if pc != avoid {
+                            work.push(pc);
+                            seen[pc.idx as usize] = true;
+                        }
+                        let mut reach = false;
+                        while let Some(l) = work.pop() {
+                            if l == m.exit() {
+                                reach = true;
+                                break;
+                            }
+                            for &ei in m.succ_edges(l) {
+                                let d = m.edge(ei).dst;
+                                if d != avoid && !seen[d.idx as usize] {
+                                    seen[d.idx as usize] = true;
+                                    work.push(d);
+                                }
+                            }
+                        }
+                        prop_assert_eq!(a.can_bypass(pc, avoid), reach, "pc={} avoid={}", pc, avoid);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bypass_from_error_location_is_false() {
+        let (p, _) = build("fn main() { local a; if (a > 0) { error(); } a = 1; }");
+        let a = Analyses::build(&p);
+        let m = p.cfa(p.main());
+        let err = m.error_locs()[0];
+        // The error location cannot reach the exit at all, so it can
+        // bypass nothing.
+        assert!(!a.can_bypass(err, m.entry()));
+        // Entry can bypass the error location (take the other branch).
+        assert!(a.can_bypass(m.entry(), err));
+    }
+}

@@ -1,0 +1,220 @@
+//! BDD-backed computation of the `By` (bypass) relation — the paper's
+//! proposed scaling technique (§5: on gcc "the time was dominated by the
+//! computation of `By` and `WrBt`. We believe that efficient
+//! implementations … using state-of-the-art techniques like BDDs … can
+//! ensure that the techniques scale to large programs").
+//!
+//! Locations are encoded in binary over *even* BDD variables, with the
+//! primed copy interleaved on odd variables; a CFA's edge set becomes a
+//! transition relation `T(x, x′)`, and `By.avoid` is the backward
+//! reachability fixpoint from the exit that never passes through
+//! `avoid`, computed with relational products. The bitset implementation
+//! in [`crate::Analyses::can_bypass`] is the reference; differential
+//! tests keep the two in lockstep, and the Criterion benches compare
+//! their scaling.
+
+use bdd::{Bdd, Manager};
+use cfa::{Cfa, Loc};
+use std::collections::HashMap;
+
+/// BDD-backed `By` oracle for one CFA.
+#[derive(Debug)]
+pub struct BddBy<'c> {
+    cfa: &'c Cfa,
+    mgr: Manager,
+    bits: u32,
+    /// `T(x, x′)`: an edge from the location encoded on the even
+    /// (current) variables to the one on the odd (primed) variables.
+    trans: Bdd,
+    /// Memoized `By.avoid` sets (over current variables).
+    cache: HashMap<Loc, Bdd>,
+}
+
+impl<'c> BddBy<'c> {
+    /// Builds the transition relation for `cfa`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CFA has more than 2³¹ locations (far beyond any
+    /// real function).
+    pub fn build(cfa: &'c Cfa) -> Self {
+        let n = cfa.n_locs().max(2);
+        let bits = (usize::BITS - (n - 1).leading_zeros()).max(1);
+        assert!(bits <= 31, "CFA too large for the interleaved encoding");
+        let mut mgr = Manager::new();
+        let mut trans = Bdd::FALSE;
+        for e in cfa.edges() {
+            let src = encode(&mut mgr, bits, e.src.idx, 0);
+            let dst = encode(&mut mgr, bits, e.dst.idx, 1);
+            let pair = mgr.and(src, dst);
+            trans = mgr.or(trans, pair);
+        }
+        BddBy {
+            cfa,
+            mgr,
+            bits,
+            trans,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The mask of all current (even) variables.
+    fn current_mask(&self) -> u64 {
+        let mut m = 0u64;
+        for i in 0..self.bits {
+            m |= 1u64 << (2 * i);
+        }
+        m
+    }
+
+    /// Whether `pc ∈ By.avoid`: control can reach the exit from `pc`
+    /// without visiting `avoid`.
+    pub fn can_bypass(&mut self, pc: Loc, avoid: Loc) -> bool {
+        let set = match self.cache.get(&avoid) {
+            Some(&s) => s,
+            None => {
+                let s = self.compute_by(avoid);
+                self.cache.insert(avoid, s);
+                s
+            }
+        };
+        self.mgr.eval(set, spread(pc.idx, 0))
+    }
+
+    /// Backward reachability from the exit, never expanding through
+    /// `avoid`, as a fixpoint of relational products.
+    fn compute_by(&mut self, avoid: Loc) -> Bdd {
+        let exit = self.cfa.exit();
+        if exit == avoid {
+            return Bdd::FALSE; // By.pc_out ≡ ∅ (paper §4.1)
+        }
+        let avoid_cur = encode(&mut self.mgr, self.bits, avoid.idx, 0);
+        let not_avoid = self.mgr.not(avoid_cur);
+        let mut set = encode(&mut self.mgr, self.bits, exit.idx, 0);
+        let cur_mask = self.current_mask();
+        loop {
+            // pre(set) = ∃x′. T(x, x′) ∧ set[x → x′]
+            let primed = self.mgr.rename_shift(set, 1);
+            let pre = self.mgr.and_exists(self.trans, primed, cur_mask << 1);
+            let pre = self.mgr.and(pre, not_avoid);
+            let next = self.mgr.or(set, pre);
+            if next == set {
+                return set;
+            }
+            set = next;
+        }
+    }
+
+    /// Number of BDD nodes currently allocated (for the bench report).
+    pub fn n_nodes(&self) -> usize {
+        self.mgr.len()
+    }
+}
+
+/// Encodes location index `idx` over the interleaved variables with
+/// parity `offset` (0 = current, 1 = primed).
+fn encode(mgr: &mut Manager, bits: u32, idx: u32, offset: u32) -> Bdd {
+    let mut acc = Bdd::TRUE;
+    for i in 0..bits {
+        let var = 2 * i + offset;
+        let lit = if idx & (1 << i) != 0 {
+            mgr.var(var)
+        } else {
+            mgr.nvar(var)
+        };
+        acc = mgr.and(acc, lit);
+    }
+    acc
+}
+
+/// Spreads the bits of `idx` onto the interleaved assignment positions
+/// with parity `offset`.
+fn spread(idx: u32, offset: u32) -> u64 {
+    let mut a = 0u64;
+    for i in 0..32 {
+        if idx & (1 << i) != 0 {
+            let pos = 2 * i + offset;
+            if pos < 64 {
+                a |= 1u64 << pos;
+            }
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyses::Analyses;
+    use cfa::Program;
+
+    fn lower(src: &str) -> Program {
+        cfa::lower(&imp::parse(src).unwrap()).unwrap()
+    }
+
+    /// Exhaustive differential check of BDD-By vs. bitset-By over every
+    /// (pc, avoid) pair of main's CFA.
+    fn check_agreement(src: &str) {
+        let p = lower(src);
+        let an = Analyses::build(&p);
+        let m = p.cfa(p.main());
+        let mut bdd_by = BddBy::build(m);
+        for avoid in m.locs() {
+            for pc in m.locs() {
+                assert_eq!(
+                    bdd_by.can_bypass(pc, avoid),
+                    an.can_bypass(pc, avoid),
+                    "disagreement at pc={pc}, avoid={avoid} in:\n{src}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_on_branching_program() {
+        check_agreement(
+            "fn main() { local a, b; if (a > 0) { b = 1; } else { b = 2; } b = 3; if (b > 1) { b = 4; } }",
+        );
+    }
+
+    #[test]
+    fn agrees_on_loops() {
+        check_agreement(
+            "fn main() { local i, s; while (i < 5) { if (s > 2) { s = 0; } s = s + i; i = i + 1; } }",
+        );
+    }
+
+    #[test]
+    fn agrees_with_error_locations() {
+        check_agreement(
+            "fn main() { local a; if (a > 0) { error(); } a = 1; if (a == 1) { error(); } }",
+        );
+    }
+
+    #[test]
+    fn agrees_on_generated_module() {
+        // A realistic function-sized CFA from the workload generator
+        // shape: loop + guards + straight-line padding.
+        check_agreement(
+            r#"fn main() {
+                local t, j, u;
+                t = 4;
+                for (j = 0; j < 9; j = j + 1) { t = t + j * 2; }
+                if (t > 20) { t = t - 3; } else { t = t + 3; }
+                if (t % 5 == 1) { t = t + 1; }
+                u = t + 1;
+                if (u != 700) { t = 0; }
+            }"#,
+        );
+    }
+
+    #[test]
+    fn by_of_exit_is_empty() {
+        let p = lower("fn main() { local a; a = 1; }");
+        let m = p.cfa(p.main());
+        let mut by = BddBy::build(m);
+        for pc in m.locs() {
+            assert!(!by.can_bypass(pc, m.exit()));
+        }
+    }
+}

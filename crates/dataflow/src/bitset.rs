@@ -1,0 +1,273 @@
+//! A dense fixed-capacity bit set.
+//!
+//! The dataflow fixpoints (`In`/`Out` edge reachability, `By`, `Mods`)
+//! manipulate sets of edges, locations, and variables with dense small
+//! ids; a packed `u64` representation keeps the per-query cost of the
+//! slicer's `WrBt`/`By` lookups low — the paper notes (§5, gcc) that
+//! these two analyses dominate runtime, and recommends succinct set
+//! representations.
+
+/// A set of `usize` ids drawn from `0..capacity`, stored one bit each.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set with room for ids `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// The capacity this set was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `i`, returning whether the set changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= capacity`.
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(
+            i < self.capacity,
+            "bit {i} out of capacity {}",
+            self.capacity
+        );
+        let w = &mut self.words[i / 64];
+        let m = 1u64 << (i % 64);
+        let added = *w & m == 0;
+        *w |= m;
+        added
+    }
+
+    /// Removes `i`, returning whether the set changed.
+    pub fn remove(&mut self, i: usize) -> bool {
+        if i >= self.capacity {
+            return false;
+        }
+        let w = &mut self.words[i / 64];
+        let m = 1u64 << (i % 64);
+        let had = *w & m != 0;
+        *w &= !m;
+        had
+    }
+
+    /// Whether `i` is in the set.
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.capacity && self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Unions `other` into `self`, returning whether `self` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a | *b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// Whether `self` and `other` share any element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Whether every element of `self` is in `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Number of elements.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Iterates over elements in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collects ids into a set sized to the largest id + 1.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let ids: Vec<usize> = iter.into_iter().collect();
+        let cap = ids.iter().max().map_or(0, |m| m + 1);
+        let mut s = BitSet::new(cap);
+        for i in ids {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+impl Extend<usize> for BitSet {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for i in iter {
+            self.insert(i);
+        }
+    }
+}
+
+/// Iterator over the elements of a [`BitSet`] (see [`BitSet::iter`]).
+#[derive(Debug)]
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a BitSet {
+    type Item = usize;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(100);
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(!s.insert(64));
+        assert!(s.contains(63));
+        assert!(s.contains(64));
+        assert!(!s.contains(65));
+        assert!(s.remove(63));
+        assert!(!s.remove(63));
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn union_and_intersects() {
+        let mut a = BitSet::new(130);
+        let mut b = BitSet::new(130);
+        a.insert(0);
+        a.insert(129);
+        b.insert(64);
+        assert!(!a.intersects(&b));
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b), "second union is a no-op");
+        assert!(a.intersects(&b));
+        assert_eq!(a.count(), 3);
+        assert!(b.is_subset(&a));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn iter_yields_sorted_elements() {
+        let s: BitSet = [5usize, 1, 99, 64, 63].into_iter().collect();
+        let v: Vec<usize> = s.iter().collect();
+        assert_eq!(v, vec![1, 5, 63, 64, 99]);
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+        assert!(!s.contains(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_out_of_range_panics() {
+        BitSet::new(10).insert(10);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_btreeset_model(ops in proptest::collection::vec((0usize..200, any::<bool>()), 0..200)) {
+            let mut s = BitSet::new(200);
+            let mut model = BTreeSet::new();
+            for (i, ins) in ops {
+                if ins {
+                    prop_assert_eq!(s.insert(i), model.insert(i));
+                } else {
+                    prop_assert_eq!(s.remove(i), model.remove(&i));
+                }
+            }
+            prop_assert_eq!(s.count(), model.len());
+            let got: Vec<usize> = s.iter().collect();
+            let want: Vec<usize> = model.into_iter().collect();
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn union_is_set_union(a in proptest::collection::btree_set(0usize..128, 0..40),
+                              b in proptest::collection::btree_set(0usize..128, 0..40)) {
+            let mut sa = BitSet::new(128);
+            sa.extend(a.iter().copied());
+            let mut sb = BitSet::new(128);
+            sb.extend(b.iter().copied());
+            let inter: Vec<_> = a.intersection(&b).collect();
+            prop_assert_eq!(sa.intersects(&sb), !inter.is_empty());
+            sa.union_with(&sb);
+            let want: Vec<usize> = a.union(&b).copied().collect();
+            let got: Vec<usize> = sa.iter().collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

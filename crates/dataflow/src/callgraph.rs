@@ -1,0 +1,133 @@
+//! The static call graph and its topological order.
+//!
+//! Used to compute the transitive `Mods` relation bottom-up. Programs are
+//! non-recursive (enforced by the `imp` resolver, assumed by the paper's
+//! §4), so a topological order of the call graph always exists.
+
+use cfa::{FuncId, Op, Program};
+
+/// Call relationships between the functions of a program.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    callees: Vec<Vec<FuncId>>,
+    callers: Vec<Vec<FuncId>>,
+    topo: Vec<FuncId>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `program`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the call graph contains a cycle (recursion), which the
+    /// frontend rejects before lowering.
+    pub fn build(program: &Program) -> Self {
+        let n = program.cfas().len();
+        let mut callees: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        let mut callers: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        for cfa in program.cfas() {
+            for e in cfa.edges() {
+                if let Op::Call(g) = e.op {
+                    if !callees[cfa.func().index()].contains(&g) {
+                        callees[cfa.func().index()].push(g);
+                        callers[g.index()].push(cfa.func());
+                    }
+                }
+            }
+        }
+        // Kahn's algorithm for a callee-first topological order.
+        let mut indeg: Vec<usize> = vec![0; n];
+        for cs in &callees {
+            for c in cs {
+                indeg[c.index()] += 1;
+            }
+        }
+        let mut queue: Vec<FuncId> = (0..n)
+            .filter(|&i| indeg[i] == 0)
+            .map(|i| FuncId(i as u32))
+            .collect();
+        let mut order_caller_first = Vec::with_capacity(n);
+        while let Some(f) = queue.pop() {
+            order_caller_first.push(f);
+            for &g in &callees[f.index()] {
+                indeg[g.index()] -= 1;
+                if indeg[g.index()] == 0 {
+                    queue.push(g);
+                }
+            }
+        }
+        assert_eq!(
+            order_caller_first.len(),
+            n,
+            "call graph has a cycle (recursion)"
+        );
+        order_caller_first.reverse();
+        CallGraph {
+            callees,
+            callers,
+            topo: order_caller_first,
+        }
+    }
+
+    /// Functions directly called by `f` (no duplicates).
+    pub fn callees(&self, f: FuncId) -> &[FuncId] {
+        &self.callees[f.index()]
+    }
+
+    /// Functions that directly call `f` (no duplicates).
+    pub fn callers(&self, f: FuncId) -> &[FuncId] {
+        &self.callers[f.index()]
+    }
+
+    /// A callee-first (leaves-first) topological order of all functions.
+    pub fn topo_callees_first(&self) -> &[FuncId] {
+        &self.topo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(src: &str) -> (Program, CallGraph) {
+        let p = cfa::lower(&imp::parse(src).unwrap()).unwrap();
+        let cg = CallGraph::build(&p);
+        (p, cg)
+    }
+
+    #[test]
+    fn linear_chain() {
+        let (p, cg) = build("fn h() { } fn g() { h(); } fn f() { g(); } fn main() { f(); }");
+        let f = p.func_id("f").unwrap();
+        let g = p.func_id("g").unwrap();
+        let h = p.func_id("h").unwrap();
+        let main = p.main();
+        assert_eq!(cg.callees(main), &[f]);
+        assert_eq!(cg.callees(f), &[g]);
+        assert_eq!(cg.callers(h), &[g]);
+        let topo = cg.topo_callees_first();
+        let pos = |x: FuncId| topo.iter().position(|&y| y == x).unwrap();
+        assert!(pos(h) < pos(g));
+        assert!(pos(g) < pos(f));
+        assert!(pos(f) < pos(main));
+    }
+
+    #[test]
+    fn diamond_calls_deduplicated() {
+        let (p, cg) =
+            build("fn d() { } fn b() { d(); d(); } fn c() { d(); } fn main() { b(); c(); }");
+        let d = p.func_id("d").unwrap();
+        let b = p.func_id("b").unwrap();
+        assert_eq!(cg.callees(b), &[d], "duplicate call sites collapse");
+        assert_eq!(cg.callers(d).len(), 2);
+        let topo = cg.topo_callees_first();
+        assert_eq!(topo.last(), Some(&p.main()));
+    }
+
+    #[test]
+    fn uncalled_function_still_ordered() {
+        let (p, cg) = build("fn lonely() { } fn main() { }");
+        assert_eq!(cg.topo_callees_first().len(), 2);
+        assert!(cg.callers(p.func_id("lonely").unwrap()).is_empty());
+    }
+}

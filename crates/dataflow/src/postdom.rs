@@ -1,0 +1,183 @@
+//! Postdominators and control dependence.
+//!
+//! The paper's `By` relation is the complement of postdominance
+//! ("the set of locations that `pc'` does not postdominate", §3.3);
+//! this module computes the postdominator sets directly, plus the
+//! classic Ferrante–Ottenstein–Warren control-dependence relation used
+//! by the PDG-based static slicing baseline.
+
+use crate::bitset::BitSet;
+use cfa::{Cfa, Loc};
+
+/// Postdominator sets for one CFA: `postdom(l)` = the locations on every
+/// path from `l` to the exit (including `l` itself). Locations that
+/// cannot reach the exit (e.g. error locations) postdominate nothing and
+/// have the conventional "all locations" set, which the control-
+/// dependence computation treats correctly.
+#[derive(Debug, Clone)]
+pub struct PostDominators {
+    sets: Vec<BitSet>,
+    exit: Loc,
+}
+
+impl PostDominators {
+    /// Computes postdominator sets by the standard iterative fixpoint
+    /// `postdom(l) = {l} ∪ ⋂_{s ∈ succ(l)} postdom(s)`.
+    pub fn build(cfa: &Cfa) -> Self {
+        let n = cfa.n_locs();
+        let full = {
+            let mut b = BitSet::new(n);
+            for i in 0..n {
+                b.insert(i);
+            }
+            b
+        };
+        let mut sets: Vec<BitSet> = vec![full; n];
+        let exit = cfa.exit();
+        let mut exit_only = BitSet::new(n);
+        exit_only.insert(exit.idx as usize);
+        sets[exit.idx as usize] = exit_only;
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for l in cfa.locs() {
+                if l == exit {
+                    continue;
+                }
+                let succs = cfa.succ_edges(l);
+                if succs.is_empty() {
+                    continue; // dead ends keep the full set
+                }
+                let mut inter: Option<BitSet> = None;
+                for &ei in succs {
+                    let d = cfa.edge(ei).dst;
+                    let s = &sets[d.idx as usize];
+                    inter = Some(match inter {
+                        None => s.clone(),
+                        Some(mut acc) => {
+                            // acc ∩= s
+                            let mut out = BitSet::new(n);
+                            for i in acc.iter() {
+                                if s.contains(i) {
+                                    out.insert(i);
+                                }
+                            }
+                            acc = out;
+                            acc
+                        }
+                    });
+                }
+                let mut new = inter.expect("nonempty succs");
+                new.insert(l.idx as usize);
+                if new != sets[l.idx as usize] {
+                    sets[l.idx as usize] = new;
+                    changed = true;
+                }
+            }
+        }
+        PostDominators { sets, exit }
+    }
+
+    /// Whether `a` postdominates `b` (every exit-reaching path from `b`
+    /// passes through `a`).
+    pub fn postdominates(&self, a: Loc, b: Loc) -> bool {
+        self.sets[b.idx as usize].contains(a.idx as usize)
+    }
+
+    /// The exit location of the underlying CFA.
+    pub fn exit(&self) -> Loc {
+        self.exit
+    }
+
+    /// Classic control dependence: location `l` is control-dependent on
+    /// branch edge `e = (pc, ·, dst)` iff `l` postdominates `dst` (or is
+    /// `dst`) but does not postdominate `pc`.
+    pub fn control_dependent(&self, l: Loc, cfa: &Cfa, edge_idx: u32) -> bool {
+        let e = cfa.edge(edge_idx);
+        if cfa.succ_edges(e.src).len() < 2 {
+            return false; // not a branch
+        }
+        (l == e.dst || self.postdominates(l, e.dst)) && !self.postdominates(l, e.src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfa::{Op, Program};
+
+    fn build(src: &str) -> (Program, PostDominators) {
+        let p = cfa::lower(&imp::parse(src).unwrap()).unwrap();
+        let pd = PostDominators::build(p.cfa(p.main()));
+        (p, pd)
+    }
+
+    #[test]
+    fn join_postdominates_both_branches() {
+        let (p, pd) =
+            build("fn main() { local a, b; if (a > 0) { b = 1; } else { b = 2; } b = 3; }");
+        let m = p.cfa(p.main());
+        let assigns: Vec<&cfa::Edge> = m
+            .edges()
+            .iter()
+            .filter(|e| matches!(e.op, Op::Assign(..)))
+            .collect();
+        let join = assigns[2].src;
+        assert!(pd.postdominates(join, m.entry()));
+        assert!(pd.postdominates(m.exit(), m.entry()));
+        assert!(
+            !pd.postdominates(assigns[0].src, m.entry()),
+            "then-arm is avoidable"
+        );
+    }
+
+    #[test]
+    fn branch_controls_its_arms_not_the_join() {
+        let (p, pd) =
+            build("fn main() { local a, b; if (a > 0) { b = 1; } else { b = 2; } b = 3; }");
+        let m = p.cfa(p.main());
+        let assumes: Vec<u32> = (0..m.edges().len() as u32)
+            .filter(|&i| m.edge(i).op.is_assume())
+            .collect();
+        let assigns: Vec<&cfa::Edge> = m
+            .edges()
+            .iter()
+            .filter(|e| matches!(e.op, Op::Assign(..)))
+            .collect();
+        let then_loc = assigns[0].src;
+        let join = assigns[2].src;
+        // The then-arm is control-dependent on the then assume edge.
+        assert!(pd.control_dependent(then_loc, m, assumes[0]));
+        // The join is control-dependent on neither arm.
+        assert!(!pd.control_dependent(join, m, assumes[0]));
+        assert!(!pd.control_dependent(join, m, assumes[1]));
+    }
+
+    #[test]
+    fn error_location_is_control_dependent_on_its_guard() {
+        let (p, pd) = build("fn main() { local a; if (a > 0) { error(); } a = 1; }");
+        let m = p.cfa(p.main());
+        let err = m.error_locs()[0];
+        let guard = m.pred_edges(err)[0];
+        assert!(pd.control_dependent(err, m, guard));
+        // And err postdominates nothing else (it cannot reach exit).
+        assert!(!pd.postdominates(m.exit(), err) || m.succ_edges(err).is_empty());
+    }
+
+    #[test]
+    fn loop_body_control_depends_on_loop_condition() {
+        let (p, pd) = build("fn main() { local i, s; while (i < 5) { s = s + 1; i = i + 1; } }");
+        let m = p.cfa(p.main());
+        let body_loc = m
+            .edges()
+            .iter()
+            .find(|e| matches!(e.op, Op::Assign(..)))
+            .map(|e| e.src)
+            .unwrap();
+        let cond_edge = (0..m.edges().len() as u32)
+            .find(|&i| m.edge(i).op.is_assume() && m.edge(i).dst == body_loc)
+            .unwrap();
+        assert!(pd.control_dependent(body_loc, m, cond_edge));
+    }
+}

@@ -1,0 +1,175 @@
+//! Intraprocedural edge-reachability fixpoints (§4.1).
+//!
+//! For each location `pc` of a CFA we compute
+//!
+//! * `Out.pc` — the set of edges reachable from `pc`, as the least
+//!   fixpoint of `Out.pc = ∪_{e=(pc,·,pc')} {e} ∪ Out.pc'`, and
+//! * `In.pc` — the set of edges that can reach `pc`, the dual fixpoint.
+//!
+//! `WrBt.(pc, pc').l` then asks whether some edge in
+//! `Out.pc ∩ In.pc'` writes `l` (paper §4.1).
+
+use crate::bitset::BitSet;
+use cfa::{Cfa, Loc};
+
+/// The `In`/`Out` edge sets of one CFA.
+#[derive(Debug, Clone)]
+pub struct EdgeReach {
+    out: Vec<BitSet>,
+    inn: Vec<BitSet>,
+}
+
+impl EdgeReach {
+    /// Computes both fixpoints for `cfa` by worklist iteration.
+    pub fn build(cfa: &Cfa) -> Self {
+        let n_locs = cfa.n_locs();
+        let n_edges = cfa.edges().len();
+        // Out: propagate backwards along edges (Out.src ⊇ {e} ∪ Out.dst).
+        let mut out: Vec<BitSet> = (0..n_locs).map(|_| BitSet::new(n_edges)).collect();
+        let mut dirty = vec![true; n_locs];
+        let mut work: Vec<usize> = (0..n_locs).rev().collect();
+        while let Some(l) = work.pop() {
+            if !std::mem::replace(&mut dirty[l], false) {
+                continue;
+            }
+            // Recompute Out.l from its outgoing edges.
+            let mut new = BitSet::new(n_edges);
+            for &ei in cfa.succ_edges(Loc {
+                func: cfa.func(),
+                idx: l as u32,
+            }) {
+                new.insert(ei as usize);
+                new.union_with(&out[cfa.edge(ei).dst.idx as usize]);
+            }
+            if new != out[l] {
+                out[l] = new;
+                for &pi in cfa.pred_edges(Loc {
+                    func: cfa.func(),
+                    idx: l as u32,
+                }) {
+                    let p = cfa.edge(pi).src.idx as usize;
+                    if !dirty[p] {
+                        dirty[p] = true;
+                        work.push(p);
+                    }
+                }
+            }
+        }
+        // In: propagate forwards (In.dst ⊇ {e} ∪ In.src).
+        let mut inn: Vec<BitSet> = (0..n_locs).map(|_| BitSet::new(n_edges)).collect();
+        let mut dirty = vec![true; n_locs];
+        let mut work: Vec<usize> = (0..n_locs).collect();
+        while let Some(l) = work.pop() {
+            if !std::mem::replace(&mut dirty[l], false) {
+                continue;
+            }
+            let mut new = BitSet::new(n_edges);
+            for &ei in cfa.pred_edges(Loc {
+                func: cfa.func(),
+                idx: l as u32,
+            }) {
+                new.insert(ei as usize);
+                new.union_with(&inn[cfa.edge(ei).src.idx as usize]);
+            }
+            if new != inn[l] {
+                inn[l] = new;
+                for &si in cfa.succ_edges(Loc {
+                    func: cfa.func(),
+                    idx: l as u32,
+                }) {
+                    let s = cfa.edge(si).dst.idx as usize;
+                    if !dirty[s] {
+                        dirty[s] = true;
+                        work.push(s);
+                    }
+                }
+            }
+        }
+        EdgeReach { out, inn }
+    }
+
+    /// Edges reachable from `pc` (the paper's `Out.pc`).
+    pub fn out(&self, pc: Loc) -> &BitSet {
+        &self.out[pc.idx as usize]
+    }
+
+    /// Edges that can reach `pc` (the paper's `In.pc`).
+    pub fn inn(&self, pc: Loc) -> &BitSet {
+        &self.inn[pc.idx as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfa::Program;
+
+    fn build(src: &str) -> (Program, EdgeReach) {
+        let p = cfa::lower(&imp::parse(src).unwrap()).unwrap();
+        let r = EdgeReach::build(p.cfa(p.main()));
+        (p, r)
+    }
+
+    #[test]
+    fn straight_line_reach() {
+        let (p, r) = build("fn main() { local a; a = 1; a = 2; }");
+        let m = p.cfa(p.main());
+        // Entry reaches all 3 edges (2 assigns + return); exit reaches none.
+        assert_eq!(r.out(m.entry()).count(), 3);
+        assert_eq!(r.out(m.exit()).count(), 0);
+        assert_eq!(r.inn(m.exit()).count(), 3);
+        assert_eq!(r.inn(m.entry()).count(), 0);
+    }
+
+    #[test]
+    fn loop_edges_reach_themselves() {
+        let (p, r) = build("fn main() { local i; while (i < 5) { i = i + 1; } }");
+        let m = p.cfa(p.main());
+        // The body assign edge must be in Out of its own source (cycle).
+        let (ai, ae) = m
+            .edges()
+            .iter()
+            .enumerate()
+            .find(|(_, e)| matches!(e.op, cfa::Op::Assign(..)))
+            .unwrap();
+        assert!(r.out(ae.src).contains(ai));
+        assert!(r.inn(ae.src).contains(ai), "via the back edge");
+    }
+
+    #[test]
+    fn branch_arms_do_not_reach_each_other() {
+        let (p, r) =
+            build("fn main() { local a, b; if (a > 0) { b = 1; } else { b = 2; } b = 3; }");
+        let m = p.cfa(p.main());
+        let assigns: Vec<usize> = m
+            .edges()
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e.op, cfa::Op::Assign(..)))
+            .map(|(i, _)| i)
+            .collect();
+        let (b1, b2, b3) = (assigns[0], assigns[1], assigns[2]);
+        let src_b1 = m.edges()[b1].src;
+        assert!(
+            !r.out(src_b1).contains(b2),
+            "then-arm cannot reach else-arm"
+        );
+        assert!(
+            r.out(src_b1).contains(b3),
+            "then-arm reaches the join assign"
+        );
+        assert!(r.inn(m.edges()[b3].src).contains(b1));
+        assert!(r.inn(m.edges()[b3].src).contains(b2));
+    }
+
+    #[test]
+    fn unreachable_error_suffix_not_in_out() {
+        let (p, r) = build("fn main() { local a; if (a > 0) { error(); } a = 1; }");
+        let m = p.cfa(p.main());
+        let err = m.error_locs()[0];
+        // In of the error location: the assume arm that leads there plus
+        // everything before it.
+        assert!(r.inn(err).count() >= 1);
+        assert_eq!(r.out(err).count(), 0);
+    }
+}

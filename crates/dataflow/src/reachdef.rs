@@ -1,0 +1,202 @@
+//! Reaching definitions — the data-dependence half of the PDG baseline.
+//!
+//! Standard gen/kill bitvector dataflow over one CFA: a *definition* is
+//! an edge that writes memory (assignment, havoc, or a call edge via its
+//! `Mods` summary); `reach_in(l)` is the set of definition edges that
+//! may reach location `l` without an intervening *strong* kill of their
+//! cell. Kills are strong only for plain-variable writes and singleton
+//! non-wild dereferences (the may/must asymmetry of §3.4).
+
+use crate::alias::AliasInfo;
+use crate::bitset::BitSet;
+use cfa::{CLval, Cfa, Loc, Op, VarId};
+
+/// Reaching-definition sets for one CFA.
+#[derive(Debug, Clone)]
+pub struct ReachingDefs {
+    /// Per location: the definition edges reaching it.
+    reach_in: Vec<BitSet>,
+    /// Per edge: the cells it may write (empty for non-defs).
+    def_cells: Vec<BitSet>,
+    /// Per edge: the single cell it strongly kills, if any.
+    strong_kill: Vec<Option<VarId>>,
+}
+
+impl ReachingDefs {
+    /// Runs the fixpoint for `cfa`. Call edges contribute their `Mods`
+    /// summary through `call_mods` (indexable by callee).
+    pub fn build(cfa: &Cfa, alias: &AliasInfo, call_mods: &dyn Fn(cfa::FuncId) -> BitSet) -> Self {
+        let n_locs = cfa.n_locs();
+        let n_edges = cfa.edges().len();
+        let n_vars = alias.addr_taken().capacity();
+
+        let mut def_cells: Vec<BitSet> = Vec::with_capacity(n_edges);
+        let mut strong_kill: Vec<Option<VarId>> = Vec::with_capacity(n_edges);
+        for e in cfa.edges() {
+            match &e.op {
+                Op::Assign(lv, _) | Op::Havoc(lv) => {
+                    def_cells.push(alias.may_write_cells(*lv));
+                    strong_kill.push(match lv {
+                        CLval::Var(v) => Some(*v),
+                        // Array summary writes are always weak.
+                        CLval::Arr(_) => None,
+                        CLval::Deref(p) => {
+                            if !alias.is_wild(*p) && alias.points_to(*p).count() == 1 {
+                                alias.points_to(*p).iter().next().map(|i| VarId(i as u32))
+                            } else {
+                                None
+                            }
+                        }
+                    });
+                }
+                Op::ArrStore(a, _, _) => {
+                    def_cells.push(alias.may_write_cells(CLval::Arr(*a)));
+                    strong_kill.push(None); // weak
+                }
+                Op::Call(g) => {
+                    def_cells.push(call_mods(*g));
+                    strong_kill.push(None);
+                }
+                _ => {
+                    def_cells.push(BitSet::new(n_vars));
+                    strong_kill.push(None);
+                }
+            }
+        }
+
+        let mut reach_in: Vec<BitSet> = vec![BitSet::new(n_edges); n_locs];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (i, e) in cfa.edges().iter().enumerate() {
+                // out(e) = (reach_in(src) minus defs strongly killed) ∪ {e if def}
+                let mut out = reach_in[e.src.idx as usize].clone();
+                if let Some(killed) = strong_kill[i] {
+                    // Remove defs whose only written cell is `killed`.
+                    let doomed: Vec<usize> = out
+                        .iter()
+                        .filter(|&d| {
+                            let cells = &def_cells[d];
+                            cells.count() == 1 && cells.contains(killed.index())
+                        })
+                        .collect();
+                    for d in doomed {
+                        out.remove(d);
+                    }
+                }
+                if !def_cells[i].is_empty() {
+                    out.insert(i);
+                }
+                changed |= reach_in[e.dst.idx as usize].union_with(&out);
+            }
+        }
+        ReachingDefs {
+            reach_in,
+            def_cells,
+            strong_kill,
+        }
+    }
+
+    /// Definition edges that may reach `l`.
+    pub fn reach_in(&self, l: Loc) -> &BitSet {
+        &self.reach_in[l.idx as usize]
+    }
+
+    /// The cells edge `e` may define.
+    pub fn def_cells(&self, e: u32) -> &BitSet {
+        &self.def_cells[e as usize]
+    }
+
+    /// The definition edges reaching `l` that may define a cell in
+    /// `cells` — the data dependences of a use at `l`.
+    pub fn defs_for(&self, l: Loc, cells: &BitSet) -> Vec<u32> {
+        self.reach_in(l)
+            .iter()
+            .filter(|&d| self.def_cells[d].intersects(cells))
+            .map(|d| d as u32)
+            .collect()
+    }
+
+    /// The strong kill of edge `e`, if any.
+    pub fn strong_kill(&self, e: u32) -> Option<VarId> {
+        self.strong_kill[e as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfa::Program;
+
+    fn build(src: &str) -> (Program, AliasInfo, ReachingDefs) {
+        let p = cfa::lower(&imp::parse(src).unwrap()).unwrap();
+        let alias = AliasInfo::build(&p);
+        let n_vars = p.vars().len();
+        let rd = ReachingDefs::build(p.cfa(p.main()), &alias, &|_| BitSet::new(n_vars));
+        (p, alias, rd)
+    }
+
+    fn cells(p: &Program, alias: &AliasInfo, name: &str) -> BitSet {
+        alias.may_write_cells(CLval::Var(p.vars().lookup(name).unwrap()))
+    }
+
+    #[test]
+    fn later_write_kills_earlier_one() {
+        let (p, alias, rd) = build("global x, y; fn main() { x = 1; x = 2; y = x; }");
+        let m = p.cfa(p.main());
+        // At the use of x (source of y = x), only x = 2 reaches.
+        let use_loc = m.edges()[2].src;
+        let defs = rd.defs_for(use_loc, &cells(&p, &alias, "x"));
+        assert_eq!(defs, vec![1], "x := 2 is edge 1 and the only reaching def");
+    }
+
+    #[test]
+    fn both_branch_writes_reach_the_join() {
+        let (p, alias, rd) =
+            build("global x, c, y; fn main() { if (c > 0) { x = 1; } else { x = 2; } y = x; }");
+        let m = p.cfa(p.main());
+        let use_edge = m
+            .edges()
+            .iter()
+            .position(|e| matches!(&e.op, Op::Assign(CLval::Var(v), _) if p.vars().name(*v) == "y"))
+            .unwrap();
+        let use_loc = m.edges()[use_edge].src;
+        let defs = rd.defs_for(use_loc, &cells(&p, &alias, "x"));
+        assert_eq!(defs.len(), 2, "both arms' writes reach the join");
+    }
+
+    #[test]
+    fn loop_carried_definition_reaches_its_own_head() {
+        let (p, alias, rd) = build("global i; fn main() { i = 0; while (i < 5) { i = i + 1; } }");
+        let m = p.cfa(p.main());
+        let inc_edge = m
+            .edges()
+            .iter()
+            .position(|e| matches!(&e.op, Op::Assign(_, cfa::CExpr::Bin(..))))
+            .unwrap();
+        let head = m.edges()[inc_edge].dst; // back edge to the head
+        let defs = rd.defs_for(head, &cells(&p, &alias, "i"));
+        assert!(
+            defs.contains(&(inc_edge as u32)),
+            "increment reaches the loop head"
+        );
+        assert!(defs.contains(&0), "initial i := 0 also reaches it");
+    }
+
+    #[test]
+    fn weak_pointer_write_does_not_kill() {
+        let (p, alias, rd) = build(
+            "global x, y; fn main() { local pt, pt2; x = 1; pt = &x; pt2 = &y; pt = pt2; *pt = 9; y = x; }",
+        );
+        let m = p.cfa(p.main());
+        let use_edge = m
+            .edges()
+            .iter()
+            .position(|e| matches!(&e.op, Op::Assign(CLval::Var(v), _) if p.vars().name(*v) == "y"))
+            .unwrap();
+        let use_loc = m.edges()[use_edge].src;
+        let defs = rd.defs_for(use_loc, &cells(&p, &alias, "x"));
+        // Both x := 1 and the weak *pt := 9 reach (two-target points-to).
+        assert!(defs.len() >= 2, "{defs:?}");
+    }
+}

@@ -1,0 +1,399 @@
+//! Abstract syntax tree for IMP programs.
+//!
+//! The AST deliberately mirrors the language of the paper (§3.1, §4):
+//! integer variables, pointer dereference/address-of, `assume`, branches,
+//! loops, and procedure calls. Calls may appear only as statements (either
+//! `f(args);` or `x = f(args);`), never nested inside expressions, which
+//! keeps the CFA lowering a direct transcription of the paper's edge
+//! language.
+
+use crate::token::Pos;
+use std::fmt;
+
+/// Binary operators on integer expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (truncating division; division by zero halts execution)
+    Div,
+    /// `%` (remainder; by zero halts execution)
+    Rem,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Comparison operators, used to build atomic boolean expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// The comparison with swapped operands (`a < b` ⟺ `b > a`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// The logical negation (`<` ⟺ `>=`, `==` ⟺ `!=`, …).
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// Evaluates the comparison on concrete integers.
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An lvalue: the paper's memory locations (§3.4) — a declared variable,
+/// a single dereference of a pointer variable, or an array element
+/// (arrays extend the paper's language; the analyses summarize each
+/// array as one weakly-updated cell, the way BLAST treated them).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Lvalue {
+    /// A named variable `x`.
+    Var(String),
+    /// A dereference `*p` of a pointer-valued variable.
+    Deref(String),
+    /// An array element `a[e]`.
+    Elem(String, Box<Expr>),
+}
+
+impl Lvalue {
+    /// The underlying variable name (`x` for `x`, `*x`, and `x[e]`).
+    pub fn base(&self) -> &str {
+        match self {
+            Lvalue::Var(s) | Lvalue::Deref(s) | Lvalue::Elem(s, _) => s,
+        }
+    }
+
+    /// Whether this is a dereference.
+    pub fn is_deref(&self) -> bool {
+        matches!(self, Lvalue::Deref(_))
+    }
+}
+
+impl fmt::Display for Lvalue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lvalue::Var(s) => f.write_str(s),
+            Lvalue::Deref(s) => write!(f, "*{s}"),
+            Lvalue::Elem(s, e) => write!(f, "{s}[{}]", crate::pretty::expr_to_string(e)),
+        }
+    }
+}
+
+/// Integer-valued expressions.
+///
+/// `nondet()` is represented as a distinct statement form
+/// ([`Stmt::Havoc`]), not an expression, so every expression is
+/// deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// An integer constant.
+    Int(i64),
+    /// A read of an lvalue (`x` or `*p`).
+    Lval(Lvalue),
+    /// `&x` — the address of a variable.
+    AddrOf(String),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// A binary arithmetic operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for a variable read.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Lval(Lvalue::Var(name.into()))
+    }
+
+    /// Collects every lvalue *read* by this expression into `out`.
+    ///
+    /// Following the paper's `Lvs.e`, a dereference `*p` contributes both
+    /// the memory location `*p` and the pointer variable `p` (the pointer
+    /// value itself is read to know which cell to access); an element
+    /// read `a[e]` contributes the element plus the reads of `e`. `&x`
+    /// reads neither `x` nor `*x`.
+    pub fn collect_reads(&self, out: &mut Vec<Lvalue>) {
+        match self {
+            Expr::Int(_) | Expr::AddrOf(_) => {}
+            Expr::Lval(lv) => {
+                match lv {
+                    Lvalue::Deref(p) => out.push(Lvalue::Var(p.clone())),
+                    Lvalue::Elem(_, idx) => idx.collect_reads(out),
+                    Lvalue::Var(_) => {}
+                }
+                out.push(lv.clone());
+            }
+            Expr::Neg(e) => e.collect_reads(out),
+            Expr::Bin(_, a, b) => {
+                a.collect_reads(out);
+                b.collect_reads(out);
+            }
+        }
+    }
+}
+
+/// Boolean expressions (branch and `assume` conditions).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BoolExpr {
+    /// Literal `true` (written `1 == 1` has the same meaning; `true` has
+    /// no surface syntax and appears only in lowered/derived forms).
+    True,
+    /// Literal `false`.
+    False,
+    /// An arithmetic comparison.
+    Cmp(CmpOp, Expr, Expr),
+    /// Logical negation.
+    Not(Box<BoolExpr>),
+    /// Conjunction.
+    And(Box<BoolExpr>, Box<BoolExpr>),
+    /// Disjunction.
+    Or(Box<BoolExpr>, Box<BoolExpr>),
+}
+
+impl BoolExpr {
+    /// The negation of this condition, pushing `!` inward one level where
+    /// it is free to do so (comparisons flip their operator).
+    pub fn negate(&self) -> BoolExpr {
+        match self {
+            BoolExpr::True => BoolExpr::False,
+            BoolExpr::False => BoolExpr::True,
+            BoolExpr::Cmp(op, a, b) => BoolExpr::Cmp(op.negate(), a.clone(), b.clone()),
+            BoolExpr::Not(b) => (**b).clone(),
+            other => BoolExpr::Not(Box::new(other.clone())),
+        }
+    }
+
+    /// Collects every lvalue read by this condition into `out`.
+    pub fn collect_reads(&self, out: &mut Vec<Lvalue>) {
+        match self {
+            BoolExpr::True | BoolExpr::False => {}
+            BoolExpr::Cmp(_, a, b) => {
+                a.collect_reads(out);
+                b.collect_reads(out);
+            }
+            BoolExpr::Not(b) => b.collect_reads(out),
+            BoolExpr::And(a, b) | BoolExpr::Or(a, b) => {
+                a.collect_reads(out);
+                b.collect_reads(out);
+            }
+        }
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `skip;` — no effect.
+    Skip(Pos),
+    /// `lv = e;`
+    Assign(Pos, Lvalue, Expr),
+    /// `lv = nondet();` — assigns an arbitrary integer (external input).
+    Havoc(Pos, Lvalue),
+    /// `f(args);` or `lv = f(args);`
+    Call(Pos, Option<Lvalue>, String, Vec<Expr>),
+    /// `if (c) { then } else { els }` (else may be empty).
+    If(Pos, BoolExpr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (c) { body }`
+    While(Pos, BoolExpr, Vec<Stmt>),
+    /// `assume(c);` — halts (silently) unless `c` holds.
+    Assume(Pos, BoolExpr),
+    /// `assert(c);` — reaches the error location unless `c` holds.
+    Assert(Pos, BoolExpr),
+    /// `error();` — jumps to the function's error location (the paper's
+    /// `__error__` instrumentation target).
+    Error(Pos),
+    /// `return;` or `return e;`
+    Return(Pos, Option<Expr>),
+    /// `break;` (inside a loop)
+    Break(Pos),
+    /// `continue;` (inside a loop)
+    Continue(Pos),
+}
+
+impl Stmt {
+    /// The source position of the statement's first token.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Stmt::Skip(p)
+            | Stmt::Assign(p, ..)
+            | Stmt::Havoc(p, ..)
+            | Stmt::Call(p, ..)
+            | Stmt::If(p, ..)
+            | Stmt::While(p, ..)
+            | Stmt::Assume(p, ..)
+            | Stmt::Assert(p, ..)
+            | Stmt::Error(p)
+            | Stmt::Return(p, ..)
+            | Stmt::Break(p)
+            | Stmt::Continue(p) => *p,
+        }
+    }
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// The function's name.
+    pub name: String,
+    /// Formal parameter names (call-by-value integers/pointers).
+    pub params: Vec<String>,
+    /// Names declared with `local` at the top of the body.
+    pub locals: Vec<String>,
+    /// The body statements.
+    pub body: Vec<Stmt>,
+    /// Position of the `fn` keyword.
+    pub pos: Pos,
+}
+
+/// A complete program: global declarations plus function definitions.
+///
+/// Execution begins at the function named `main`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Global variable names, in declaration order.
+    pub globals: Vec<String>,
+    /// Global array declarations `(name, length)`, in declaration order.
+    pub arrays: Vec<(String, u32)>,
+    /// Function definitions, in source order.
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_negate_roundtrip() {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
+            assert_eq!(op.negate().negate(), op);
+            assert_eq!(op.flip().flip(), op);
+        }
+    }
+
+    #[test]
+    fn cmp_negate_is_logical_negation() {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
+            for a in -2..=2 {
+                for b in -2..=2 {
+                    assert_eq!(op.eval(a, b), !op.negate().eval(a, b));
+                    assert_eq!(op.eval(a, b), op.flip().eval(b, a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deref_read_includes_pointer() {
+        let e = Expr::Lval(Lvalue::Deref("p".into()));
+        let mut reads = Vec::new();
+        e.collect_reads(&mut reads);
+        assert_eq!(
+            reads,
+            vec![Lvalue::Var("p".into()), Lvalue::Deref("p".into())]
+        );
+    }
+
+    #[test]
+    fn addrof_reads_nothing() {
+        let e = Expr::AddrOf("x".into());
+        let mut reads = Vec::new();
+        e.collect_reads(&mut reads);
+        assert!(reads.is_empty());
+    }
+
+    #[test]
+    fn bool_negate_flips_cmp() {
+        let c = BoolExpr::Cmp(CmpOp::Lt, Expr::var("a"), Expr::Int(0));
+        assert_eq!(
+            c.negate(),
+            BoolExpr::Cmp(CmpOp::Ge, Expr::var("a"), Expr::Int(0))
+        );
+        assert_eq!(c.negate().negate(), c);
+    }
+}

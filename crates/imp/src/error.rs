@@ -1,0 +1,140 @@
+//! Front-end error type shared by the lexer, parser, and resolver.
+
+use crate::token::Pos;
+use std::fmt;
+
+/// The category of a front-end [`Error`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// A character that cannot start any token, or a malformed literal.
+    Lex(String),
+    /// A syntax error (unexpected token).
+    Parse(String),
+    /// A name-resolution or arity error.
+    Resolve(String),
+}
+
+/// An error produced while lexing, parsing, or resolving IMP source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    kind: ErrorKind,
+    pos: Pos,
+}
+
+impl Error {
+    /// Creates a lexical error at `pos`.
+    pub fn lex(msg: impl Into<String>, pos: Pos) -> Self {
+        Error {
+            kind: ErrorKind::Lex(msg.into()),
+            pos,
+        }
+    }
+
+    /// Creates a syntax error at `pos`.
+    pub fn parse(msg: impl Into<String>, pos: Pos) -> Self {
+        Error {
+            kind: ErrorKind::Parse(msg.into()),
+            pos,
+        }
+    }
+
+    /// Creates a resolution error at `pos`.
+    pub fn resolve(msg: impl Into<String>, pos: Pos) -> Self {
+        Error {
+            kind: ErrorKind::Resolve(msg.into()),
+            pos,
+        }
+    }
+
+    /// The category of this error.
+    pub fn kind(&self) -> &ErrorKind {
+        &self.kind
+    }
+
+    /// The source position the error points at.
+    pub fn pos(&self) -> Pos {
+        self.pos
+    }
+}
+
+impl Error {
+    /// Renders the error with the offending source line and a caret,
+    /// compiler-style:
+    ///
+    /// ```text
+    /// parse error at 2:10: expected `;`, found `}`
+    ///   2 |     skip }
+    ///     |          ^
+    /// ```
+    ///
+    /// Errors with a default position (e.g. "no `main` function") render
+    /// without a snippet.
+    pub fn render(&self, src: &str) -> String {
+        let mut out = format!("{self}");
+        let line_no = self.pos.line as usize;
+        if line_no == 0 {
+            return out;
+        }
+        let Some(line) = src.lines().nth(line_no - 1) else {
+            return out;
+        };
+        let gutter = line_no.to_string();
+        out.push_str(&format!("\n  {gutter} | {line}\n"));
+        let col = (self.pos.col as usize).saturating_sub(1);
+        out.push_str(&format!(
+            "  {} | {}^",
+            " ".repeat(gutter.len()),
+            " ".repeat(col)
+        ));
+        out
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (stage, msg) = match &self.kind {
+            ErrorKind::Lex(m) => ("lex", m),
+            ErrorKind::Parse(m) => ("parse", m),
+            ErrorKind::Resolve(m) => ("resolve", m),
+        };
+        write!(f, "{} error at {}: {}", stage, self.pos, msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn render_points_at_the_offending_token() {
+        let src = "fn main() {\n    skip }\n";
+        let err = crate::parse(src).unwrap_err();
+        let rendered = err.render(src);
+        assert!(rendered.contains("expected `;`"), "{rendered}");
+        assert!(rendered.contains("    skip }"), "{rendered}");
+        let caret_line = rendered.lines().last().unwrap();
+        let caret_col = caret_line.find('^').unwrap();
+        let snippet_line = rendered.lines().nth(1).unwrap();
+        assert_eq!(
+            &snippet_line[caret_col..caret_col + 1],
+            "}",
+            "caret under the `}}`"
+        );
+    }
+
+    #[test]
+    fn render_without_position_is_just_the_message() {
+        let src = "fn f() { }";
+        let err = crate::parse(src).unwrap_err(); // no `main`
+        let rendered = err.render(src);
+        assert!(rendered.contains("no `main`"));
+    }
+
+    #[test]
+    fn render_survives_out_of_range_positions() {
+        let src = "fn main() { skip; }";
+        let err = crate::parse("fn main() {\n\n\nx = 1; }").unwrap_err();
+        // Render against a *different* (shorter) source: no panic.
+        let _ = err.render(src);
+    }
+}

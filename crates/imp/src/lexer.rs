@@ -1,0 +1,337 @@
+//! Hand-written lexer for IMP source text.
+
+use crate::error::Error;
+use crate::token::{Pos, Token, TokenKind};
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            i: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos::new(self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.i).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.i + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), Error> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(Error::lex("unterminated block comment", start));
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn ident_or_keyword(&mut self) -> Token {
+        let pos = self.pos();
+        let start = self.i;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else if c == b':' && self.peek2() == Some(b':') {
+                // Allow `::` inside identifiers so that compiler-generated
+                // transfer variables (`f::arg0`) survive a pretty-print /
+                // re-parse round trip.
+                self.bump();
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.i]).expect("ascii ident");
+        let kind = match text {
+            "fn" => TokenKind::Fn,
+            "global" => TokenKind::Global,
+            "local" => TokenKind::Local,
+            "if" => TokenKind::If,
+            "else" => TokenKind::Else,
+            "while" => TokenKind::While,
+            "for" => TokenKind::For,
+            "return" => TokenKind::Return,
+            "break" => TokenKind::Break,
+            "continue" => TokenKind::Continue,
+            "skip" => TokenKind::Skip,
+            "assume" => TokenKind::Assume,
+            "assert" => TokenKind::Assert,
+            "error" => TokenKind::Error,
+            "nondet" => TokenKind::Nondet,
+            _ => TokenKind::Ident(text.to_owned()),
+        };
+        Token::new(kind, pos)
+    }
+
+    fn number(&mut self) -> Result<Token, Error> {
+        let pos = self.pos();
+        let start = self.i;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.i]).expect("ascii digits");
+        let value: i64 = text
+            .parse()
+            .map_err(|_| Error::lex(format!("integer literal `{text}` out of range"), pos))?;
+        Ok(Token::new(TokenKind::Int(value), pos))
+    }
+
+    fn next_token(&mut self) -> Result<Token, Error> {
+        self.skip_trivia()?;
+        let pos = self.pos();
+        let Some(c) = self.peek() else {
+            return Ok(Token::new(TokenKind::Eof, pos));
+        };
+        if c.is_ascii_alphabetic() || c == b'_' {
+            return Ok(self.ident_or_keyword());
+        }
+        if c.is_ascii_digit() {
+            return self.number();
+        }
+        // Punctuation.
+        macro_rules! tok {
+            ($kind:expr) => {{
+                self.bump();
+                Ok(Token::new($kind, pos))
+            }};
+        }
+        match c {
+            b'(' => tok!(TokenKind::LParen),
+            b')' => tok!(TokenKind::RParen),
+            b'{' => tok!(TokenKind::LBrace),
+            b'}' => tok!(TokenKind::RBrace),
+            b'[' => tok!(TokenKind::LBracket),
+            b']' => tok!(TokenKind::RBracket),
+            b';' => tok!(TokenKind::Semi),
+            b',' => tok!(TokenKind::Comma),
+            b'+' => tok!(TokenKind::Plus),
+            b'-' => tok!(TokenKind::Minus),
+            b'*' => tok!(TokenKind::Star),
+            b'/' => tok!(TokenKind::Slash),
+            b'%' => tok!(TokenKind::Percent),
+            b'=' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Ok(Token::new(TokenKind::EqEq, pos))
+                } else {
+                    Ok(Token::new(TokenKind::Assign, pos))
+                }
+            }
+            b'!' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Ok(Token::new(TokenKind::NotEq, pos))
+                } else {
+                    Ok(Token::new(TokenKind::Not, pos))
+                }
+            }
+            b'<' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Ok(Token::new(TokenKind::Le, pos))
+                } else {
+                    Ok(Token::new(TokenKind::Lt, pos))
+                }
+            }
+            b'>' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Ok(Token::new(TokenKind::Ge, pos))
+                } else {
+                    Ok(Token::new(TokenKind::Gt, pos))
+                }
+            }
+            b'&' => {
+                self.bump();
+                if self.peek() == Some(b'&') {
+                    self.bump();
+                    Ok(Token::new(TokenKind::AndAnd, pos))
+                } else {
+                    Ok(Token::new(TokenKind::Amp, pos))
+                }
+            }
+            b'|' => {
+                self.bump();
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    Ok(Token::new(TokenKind::OrOr, pos))
+                } else {
+                    Err(Error::lex("expected `||`", pos))
+                }
+            }
+            other => Err(Error::lex(
+                format!("unexpected character `{}`", other as char),
+                pos,
+            )),
+        }
+    }
+}
+
+/// Tokenizes IMP source text.
+///
+/// The returned vector always ends with a single [`TokenKind::Eof`] token.
+/// Line comments (`// …`) and block comments (`/* … */`, non-nesting) are
+/// skipped.
+///
+/// # Errors
+///
+/// Returns an error on characters that cannot begin a token, on a bare
+/// `|`, on unterminated block comments, and on out-of-range integer
+/// literals.
+pub fn lex(src: &str) -> Result<Vec<Token>, Error> {
+    let mut lx = Lexer::new(src);
+    let mut out = Vec::new();
+    loop {
+        let t = lx.next_token()?;
+        let done = t.kind == TokenKind::Eof;
+        out.push(t);
+        if done {
+            return Ok(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_assignment() {
+        assert_eq!(
+            kinds("x = 42;"),
+            vec![Ident("x".into()), Assign, Int(42), Semi, Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("fn iff whilex while"),
+            vec![Fn, Ident("iff".into()), Ident("whilex".into()), While, Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        assert_eq!(
+            kinds("== != <= >= && || < >"),
+            vec![EqEq, NotEq, Le, Ge, AndAnd, OrOr, Lt, Gt, Eof]
+        );
+    }
+
+    #[test]
+    fn distinguishes_amp_from_andand() {
+        assert_eq!(
+            kinds("&x && y"),
+            vec![Amp, Ident("x".into()), AndAnd, Ident("y".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn skips_line_and_block_comments() {
+        assert_eq!(
+            kinds("a // c\n /* b\nb */ b"),
+            vec![Ident("a".into()), Ident("b".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let toks = lex("x\n  y").unwrap();
+        assert_eq!(toks[0].pos.line, 1);
+        assert_eq!(toks[0].pos.col, 1);
+        assert_eq!(toks[1].pos.line, 2);
+        assert_eq!(toks[1].pos.col, 3);
+    }
+
+    #[test]
+    fn lexes_namespaced_identifier() {
+        assert_eq!(kinds("f::arg0"), vec![Ident("f::arg0".into()), Eof]);
+    }
+
+    #[test]
+    fn rejects_unterminated_block_comment() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn rejects_bare_pipe() {
+        assert!(lex("a | b").is_err());
+    }
+
+    #[test]
+    fn rejects_huge_literal() {
+        assert!(lex("99999999999999999999").is_err());
+    }
+}

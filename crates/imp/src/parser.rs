@@ -1,0 +1,677 @@
+//! Recursive-descent parser for IMP.
+//!
+//! The grammar (informally):
+//!
+//! ```text
+//! program  := (("global" decl ("," decl)* ";") | function)*
+//! decl     := ident | ident "[" int "]"
+//! function := "fn" ident "(" params? ")" block
+//! block    := "{" stmt* "}"
+//! stmt     := "skip" ";" | "local" ident ("," ident)* ";"
+//!           | lvalue "=" rhs ";" | ident "(" args? ")" ";"
+//!           | "if" "(" cond ")" block ("else" (block | if-stmt))?
+//!           | "while" "(" cond ")" block
+//!           | "for" "(" simple? ";" cond? ";" simple? ")" block
+//!           | "assume" "(" cond ")" ";" | "assert" "(" cond ")" ";"
+//!           | "error" "(" ")" ";" | "return" expr? ";"
+//!           | "break" ";" | "continue" ";"
+//! rhs      := "nondet" "(" ")" | ident "(" args? ")" | expr
+//! lvalue   := ident | "*" ident | ident "[" expr "]"
+//! cond     := or; or := and ("||" and)*; and := batom ("&&" batom)*
+//! batom    := "!" batom | "(" cond ")" | expr cmp expr
+//! expr     := term (("+"|"-") term)*; term := factor (("*"|"/"|"%") factor)*
+//! factor   := "-" factor | "*" ident | "&" ident | int | ident
+//!           | ident "[" expr "]" | "(" expr ")"
+//! ```
+//!
+//! `for` loops are desugared into `while` loops during parsing, so the AST
+//! has no `for` node. `local` declarations may appear anywhere in a
+//! function body and are hoisted into [`Function::locals`].
+
+use crate::ast::*;
+use crate::error::Error;
+use crate::token::{Pos, Token, TokenKind};
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    i: usize,
+}
+
+type PResult<T> = Result<T, Error>;
+
+impl<'a> Parser<'a> {
+    fn new(toks: &'a [Token]) -> Self {
+        Parser { toks, i: 0 }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.toks[self.i].kind
+    }
+
+    fn pos(&self) -> Pos {
+        self.toks[self.i].pos
+    }
+
+    fn bump(&mut self) -> &TokenKind {
+        let k = &self.toks[self.i].kind;
+        if self.i + 1 < self.toks.len() {
+            self.i += 1;
+        }
+        k
+    }
+
+    fn eat(&mut self, k: &TokenKind) -> bool {
+        if self.peek() == k {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, k: TokenKind) -> PResult<()> {
+        if self.peek() == &k {
+            self.bump();
+            Ok(())
+        } else {
+            Err(Error::parse(
+                format!("expected {}, found {}", k, self.peek()),
+                self.pos(),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> PResult<String> {
+        match self.peek() {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            other => Err(Error::parse(
+                format!("expected identifier, found {other}"),
+                self.pos(),
+            )),
+        }
+    }
+
+    // ---- programs -------------------------------------------------------
+
+    fn program(&mut self) -> PResult<Program> {
+        let mut prog = Program::default();
+        loop {
+            match self.peek() {
+                TokenKind::Eof => return Ok(prog),
+                TokenKind::Global => {
+                    self.bump();
+                    loop {
+                        let name = self.expect_ident()?;
+                        if self.eat(&TokenKind::LBracket) {
+                            let pos = self.pos();
+                            let TokenKind::Int(n) = self.peek().clone() else {
+                                return Err(Error::parse(
+                                    format!("expected array length, found {}", self.peek()),
+                                    pos,
+                                ));
+                            };
+                            self.bump();
+                            if n <= 0 || n > u32::MAX as i64 {
+                                return Err(Error::parse(
+                                    format!("array length {n} out of range"),
+                                    pos,
+                                ));
+                            }
+                            self.expect(TokenKind::RBracket)?;
+                            prog.arrays.push((name, n as u32));
+                        } else {
+                            prog.globals.push(name);
+                        }
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::Semi)?;
+                }
+                TokenKind::Fn => prog.functions.push(self.function()?),
+                other => {
+                    return Err(Error::parse(
+                        format!("expected `global` or `fn` at top level, found {other}"),
+                        self.pos(),
+                    ))
+                }
+            }
+        }
+    }
+
+    fn function(&mut self) -> PResult<Function> {
+        let pos = self.pos();
+        self.expect(TokenKind::Fn)?;
+        let name = self.expect_ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != &TokenKind::RParen {
+            loop {
+                params.push(self.expect_ident()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        let mut locals = Vec::new();
+        let body = self.block(&mut locals)?;
+        Ok(Function {
+            name,
+            params,
+            locals,
+            body,
+            pos,
+        })
+    }
+
+    // ---- statements -----------------------------------------------------
+
+    fn block(&mut self, locals: &mut Vec<String>) -> PResult<Vec<Stmt>> {
+        self.expect(TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != &TokenKind::RBrace {
+            if self.peek() == &TokenKind::Eof {
+                return Err(Error::parse("unterminated block: expected `}`", self.pos()));
+            }
+            self.stmt_into(&mut stmts, locals)?;
+        }
+        self.expect(TokenKind::RBrace)?;
+        Ok(stmts)
+    }
+
+    /// Parses one statement (which may expand to zero — `local` — or
+    /// several — desugared `for` — AST statements) into `out`.
+    fn stmt_into(&mut self, out: &mut Vec<Stmt>, locals: &mut Vec<String>) -> PResult<()> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            TokenKind::Skip => {
+                self.bump();
+                self.expect(TokenKind::Semi)?;
+                out.push(Stmt::Skip(pos));
+            }
+            TokenKind::Local => {
+                self.bump();
+                loop {
+                    locals.push(self.expect_ident()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(TokenKind::Semi)?;
+            }
+            TokenKind::If => out.push(self.if_stmt(locals)?),
+            TokenKind::While => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.cond()?;
+                self.expect(TokenKind::RParen)?;
+                let body = self.block(locals)?;
+                out.push(Stmt::While(pos, cond, body));
+            }
+            TokenKind::For => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                if self.peek() != &TokenKind::Semi {
+                    self.simple_stmt_into(out, locals)?;
+                }
+                self.expect(TokenKind::Semi)?;
+                let cond = if self.peek() == &TokenKind::Semi {
+                    BoolExpr::True
+                } else {
+                    self.cond()?
+                };
+                self.expect(TokenKind::Semi)?;
+                let mut step = Vec::new();
+                if self.peek() != &TokenKind::RParen {
+                    self.simple_stmt_into(&mut step, locals)?;
+                }
+                self.expect(TokenKind::RParen)?;
+                let mut body = self.block(locals)?;
+                body.extend(step);
+                out.push(Stmt::While(pos, cond, body));
+            }
+            TokenKind::Assume => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let c = self.cond()?;
+                self.expect(TokenKind::RParen)?;
+                self.expect(TokenKind::Semi)?;
+                out.push(Stmt::Assume(pos, c));
+            }
+            TokenKind::Assert => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let c = self.cond()?;
+                self.expect(TokenKind::RParen)?;
+                self.expect(TokenKind::Semi)?;
+                out.push(Stmt::Assert(pos, c));
+            }
+            TokenKind::Error => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                self.expect(TokenKind::RParen)?;
+                self.expect(TokenKind::Semi)?;
+                out.push(Stmt::Error(pos));
+            }
+            TokenKind::Return => {
+                self.bump();
+                let e = if self.peek() == &TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(TokenKind::Semi)?;
+                out.push(Stmt::Return(pos, e));
+            }
+            TokenKind::Break => {
+                self.bump();
+                self.expect(TokenKind::Semi)?;
+                out.push(Stmt::Break(pos));
+            }
+            TokenKind::Continue => {
+                self.bump();
+                self.expect(TokenKind::Semi)?;
+                out.push(Stmt::Continue(pos));
+            }
+            TokenKind::Ident(_) | TokenKind::Star => {
+                self.simple_stmt_into(out, locals)?;
+                self.expect(TokenKind::Semi)?;
+            }
+            other => {
+                return Err(Error::parse(
+                    format!("expected a statement, found {other}"),
+                    pos,
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn if_stmt(&mut self, locals: &mut Vec<String>) -> PResult<Stmt> {
+        let pos = self.pos();
+        self.expect(TokenKind::If)?;
+        self.expect(TokenKind::LParen)?;
+        let cond = self.cond()?;
+        self.expect(TokenKind::RParen)?;
+        let then = self.block(locals)?;
+        let els = if self.eat(&TokenKind::Else) {
+            if self.peek() == &TokenKind::If {
+                vec![self.if_stmt(locals)?]
+            } else {
+                self.block(locals)?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If(pos, cond, then, els))
+    }
+
+    /// An assignment, havoc, or call statement — the forms allowed in
+    /// `for` headers (no trailing `;` consumed here).
+    fn simple_stmt_into(&mut self, out: &mut Vec<Stmt>, _locals: &mut [String]) -> PResult<()> {
+        let pos = self.pos();
+        // `*p = e`
+        if self.eat(&TokenKind::Star) {
+            let p = self.expect_ident()?;
+            self.expect(TokenKind::Assign)?;
+            let lv = Lvalue::Deref(p);
+            out.push(self.rhs_into_stmt(pos, lv)?);
+            return Ok(());
+        }
+        let name = self.expect_ident()?;
+        if self.peek() == &TokenKind::LParen {
+            // `f(args)`
+            let args = self.call_args()?;
+            out.push(Stmt::Call(pos, None, name, args));
+            return Ok(());
+        }
+        // `a[e] = rhs`
+        if self.eat(&TokenKind::LBracket) {
+            let idx = self.expr()?;
+            self.expect(TokenKind::RBracket)?;
+            self.expect(TokenKind::Assign)?;
+            out.push(self.rhs_into_stmt(pos, Lvalue::Elem(name, Box::new(idx)))?);
+            return Ok(());
+        }
+        self.expect(TokenKind::Assign)?;
+        out.push(self.rhs_into_stmt(pos, Lvalue::Var(name))?);
+        Ok(())
+    }
+
+    fn rhs_into_stmt(&mut self, pos: Pos, lv: Lvalue) -> PResult<Stmt> {
+        match self.peek().clone() {
+            TokenKind::Nondet => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                self.expect(TokenKind::RParen)?;
+                Ok(Stmt::Havoc(pos, lv))
+            }
+            TokenKind::Ident(f) if self.toks[self.i + 1].kind == TokenKind::LParen => {
+                self.bump();
+                let args = self.call_args()?;
+                Ok(Stmt::Call(pos, Some(lv), f, args))
+            }
+            _ => Ok(Stmt::Assign(pos, lv, self.expr()?)),
+        }
+    }
+
+    fn call_args(&mut self) -> PResult<Vec<Expr>> {
+        self.expect(TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() != &TokenKind::RParen {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        Ok(args)
+    }
+
+    // ---- conditions -----------------------------------------------------
+
+    fn cond(&mut self) -> PResult<BoolExpr> {
+        let mut lhs = self.cond_and()?;
+        while self.eat(&TokenKind::OrOr) {
+            let rhs = self.cond_and()?;
+            lhs = BoolExpr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cond_and(&mut self) -> PResult<BoolExpr> {
+        let mut lhs = self.cond_atom()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let rhs = self.cond_atom()?;
+            lhs = BoolExpr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cond_atom(&mut self) -> PResult<BoolExpr> {
+        if self.eat(&TokenKind::Not) {
+            return Ok(BoolExpr::Not(Box::new(self.cond_atom()?)));
+        }
+        // A `(` may open either a parenthesized condition or a
+        // parenthesized arithmetic operand; try the condition reading
+        // first and backtrack on failure.
+        if self.peek() == &TokenKind::LParen {
+            let snapshot = self.i;
+            self.bump();
+            if let Ok(inner) = self.cond() {
+                if self.eat(&TokenKind::RParen) {
+                    return Ok(inner);
+                }
+            }
+            self.i = snapshot;
+        }
+        let lhs = self.expr()?;
+        let op = match self.peek() {
+            TokenKind::EqEq => CmpOp::Eq,
+            TokenKind::NotEq => CmpOp::Ne,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            other => {
+                return Err(Error::parse(
+                    format!("expected a comparison operator, found {other}"),
+                    self.pos(),
+                ))
+            }
+        };
+        self.bump();
+        let rhs = self.expr()?;
+        Ok(BoolExpr::Cmp(op, lhs, rhs))
+    }
+
+    // ---- arithmetic expressions ------------------------------------------
+
+    fn expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.term()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn term(&mut self) -> PResult<Expr> {
+        let mut lhs = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.factor()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn factor(&mut self) -> PResult<Expr> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            TokenKind::Minus => {
+                self.bump();
+                Ok(Expr::Neg(Box::new(self.factor()?)))
+            }
+            TokenKind::Star => {
+                self.bump();
+                let p = self.expect_ident()?;
+                Ok(Expr::Lval(Lvalue::Deref(p)))
+            }
+            TokenKind::Amp => {
+                self.bump();
+                let x = self.expect_ident()?;
+                Ok(Expr::AddrOf(x))
+            }
+            TokenKind::Int(n) => {
+                self.bump();
+                Ok(Expr::Int(n))
+            }
+            TokenKind::Ident(x) => {
+                self.bump();
+                if self.eat(&TokenKind::LBracket) {
+                    let idx = self.expr()?;
+                    self.expect(TokenKind::RBracket)?;
+                    Ok(Expr::Lval(Lvalue::Elem(x, Box::new(idx))))
+                } else {
+                    Ok(Expr::var(x))
+                }
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            other => Err(Error::parse(
+                format!("expected an expression, found {other}"),
+                pos,
+            )),
+        }
+    }
+}
+
+/// Parses a token stream (as produced by [`crate::lex`]) into an
+/// unresolved [`Program`].
+///
+/// # Errors
+///
+/// Returns the first syntax error encountered.
+///
+/// # Panics
+///
+/// Panics if `toks` is empty; [`crate::lex`] always appends an EOF token.
+pub fn parse_tokens(toks: &[Token]) -> Result<Program, Error> {
+    assert!(!toks.is_empty(), "token stream must end with Eof");
+    Parser::new(toks).program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex;
+
+    fn parse(src: &str) -> Program {
+        parse_tokens(&lex(src).unwrap()).unwrap()
+    }
+
+    fn parse_err(src: &str) -> Error {
+        parse_tokens(&lex(src).unwrap()).unwrap_err()
+    }
+
+    #[test]
+    fn parses_globals_and_empty_fn() {
+        let p = parse("global a, b; global c; fn main() { }");
+        assert_eq!(p.globals, vec!["a", "b", "c"]);
+        assert_eq!(p.functions.len(), 1);
+        assert!(p.functions[0].body.is_empty());
+    }
+
+    #[test]
+    fn parses_assignment_precedence() {
+        let p = parse("fn main() { local x; x = 1 + 2 * 3; }");
+        let Stmt::Assign(_, _, e) = &p.functions[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(
+            *e,
+            Expr::Bin(
+                BinOp::Add,
+                Box::new(Expr::Int(1)),
+                Box::new(Expr::Bin(
+                    BinOp::Mul,
+                    Box::new(Expr::Int(2)),
+                    Box::new(Expr::Int(3))
+                )),
+            )
+        );
+    }
+
+    #[test]
+    fn parses_if_else_chain() {
+        let p = parse("fn main() { local a; if (a > 0) { a = 1; } else if (a < 0) { a = 2; } else { a = 3; } }");
+        let Stmt::If(_, _, _, els) = &p.functions[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(els[0], Stmt::If(..)));
+    }
+
+    #[test]
+    fn desugars_for_loop() {
+        let p = parse("fn main() { local i, s; for (i = 0; i < 10; i = i + 1) { s = s + i; } }");
+        let body = &p.functions[0].body;
+        assert!(
+            matches!(body[0], Stmt::Assign(..)),
+            "init hoisted before loop"
+        );
+        let Stmt::While(_, cond, wbody) = &body[1] else {
+            panic!("expected while")
+        };
+        assert!(matches!(cond, BoolExpr::Cmp(CmpOp::Lt, _, _)));
+        assert_eq!(wbody.len(), 2, "body + step");
+    }
+
+    #[test]
+    fn parses_parenthesized_bool_vs_arith() {
+        let p = parse("fn main() { local a, b; if ((a > 0) && !(b == 1)) { skip; } if ((a + 1) * 2 < b) { skip; } }");
+        let Stmt::If(_, c, _, _) = &p.functions[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(c, BoolExpr::And(_, _)));
+        let Stmt::If(_, c2, _, _) = &p.functions[0].body[1] else {
+            panic!()
+        };
+        assert!(matches!(c2, BoolExpr::Cmp(CmpOp::Lt, _, _)));
+    }
+
+    #[test]
+    fn parses_calls_and_havoc() {
+        let p =
+            parse("fn f(x) { return x; } fn main() { local a; a = nondet(); a = f(a + 1); f(a); }");
+        let body = &p.functions[1].body;
+        assert!(matches!(body[0], Stmt::Havoc(..)));
+        assert!(matches!(&body[1], Stmt::Call(_, Some(_), f, args) if f == "f" && args.len() == 1));
+        assert!(matches!(&body[2], Stmt::Call(_, None, _, _)));
+    }
+
+    #[test]
+    fn parses_pointer_forms() {
+        let p = parse("fn main() { local p, x; p = &x; *p = 3; x = *p + 1; }");
+        let body = &p.functions[0].body;
+        assert!(matches!(&body[0], Stmt::Assign(_, _, Expr::AddrOf(v)) if v == "x"));
+        assert!(matches!(&body[1], Stmt::Assign(_, Lvalue::Deref(v), _) if v == "p"));
+    }
+
+    #[test]
+    fn locals_hoist_from_nested_blocks() {
+        let p = parse("fn main() { local a; if (a > 0) { local b; b = 1; } }");
+        assert_eq!(p.functions[0].locals, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn rejects_missing_semi() {
+        let e = parse_err("fn main() { skip }");
+        assert!(e.to_string().contains("expected `;`"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bool_in_arith_position() {
+        assert!(parse_tokens(&lex("fn main() { local x; x = 1 < 2; }").unwrap()).is_err());
+    }
+
+    #[test]
+    fn rejects_truthy_condition() {
+        assert!(parse_tokens(&lex("fn main() { local x; if (x) { } }").unwrap()).is_err());
+    }
+
+    #[test]
+    fn parses_assume_assert_error() {
+        let p = parse("fn main() { local a; assume(a > 0); assert(a != 0); error(); }");
+        let b = &p.functions[0].body;
+        assert!(matches!(b[0], Stmt::Assume(..)));
+        assert!(matches!(b[1], Stmt::Assert(..)));
+        assert!(matches!(b[2], Stmt::Error(..)));
+    }
+
+    #[test]
+    fn parses_array_declarations_and_uses() {
+        let p = parse("global buf[8], n; fn main() { local i; buf[0] = 1; buf[i + 1] = buf[i] * 2; n = buf[7]; }");
+        assert_eq!(p.arrays, vec![("buf".to_string(), 8)]);
+        assert_eq!(p.globals, vec!["n"]);
+        let body = &p.functions[0].body;
+        assert!(matches!(&body[0], Stmt::Assign(_, Lvalue::Elem(a, _), _) if a == "buf"));
+        let Stmt::Assign(_, _, rhs) = &body[1] else {
+            panic!()
+        };
+        assert!(matches!(rhs, Expr::Bin(..)));
+    }
+
+    #[test]
+    fn rejects_bad_array_lengths() {
+        assert!(parse_tokens(&lex("global a[0]; fn main() { }").unwrap()).is_err());
+        assert!(parse_tokens(&lex("global a[x]; fn main() { }").unwrap()).is_err());
+    }
+
+    #[test]
+    fn parses_break_continue_return() {
+        let p = parse("fn main() { local i; while (i < 3) { if (i == 1) { break; } else { continue; } } return; }");
+        assert_eq!(p.functions[0].body.len(), 2);
+    }
+}

@@ -1,0 +1,275 @@
+//! Pretty-printer for IMP ASTs.
+//!
+//! The printer emits source text that re-parses to the same AST (modulo
+//! `for`-desugaring, which happens at parse time, and source positions).
+//! This round-trip property is checked by property tests in the
+//! `pathslicing` facade crate.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a whole program as IMP source text.
+pub fn program_to_string(p: &Program) -> String {
+    let mut out = String::new();
+    for g in &p.globals {
+        let _ = writeln!(out, "global {g};");
+    }
+    for (a, n) in &p.arrays {
+        let _ = writeln!(out, "global {a}[{n}];");
+    }
+    if !p.globals.is_empty() || !p.arrays.is_empty() {
+        out.push('\n');
+    }
+    for f in &p.functions {
+        function_to_string_into(f, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one function definition.
+pub fn function_to_string(f: &Function) -> String {
+    let mut out = String::new();
+    function_to_string_into(f, &mut out);
+    out
+}
+
+fn function_to_string_into(f: &Function, out: &mut String) {
+    let _ = write!(out, "fn {}(", f.name);
+    for (i, p) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(p);
+    }
+    out.push_str(") {\n");
+    if !f.locals.is_empty() {
+        let _ = writeln!(out, "    local {};", f.locals.join(", "));
+    }
+    for s in &f.body {
+        stmt_into(s, 1, out);
+    }
+    out.push_str("}\n");
+}
+
+fn indent(n: usize, out: &mut String) {
+    for _ in 0..n {
+        out.push_str("    ");
+    }
+}
+
+fn stmt_into(s: &Stmt, depth: usize, out: &mut String) {
+    indent(depth, out);
+    match s {
+        Stmt::Skip(_) => out.push_str("skip;\n"),
+        Stmt::Assign(_, lv, e) => {
+            let _ = writeln!(out, "{lv} = {};", expr_to_string(e));
+        }
+        Stmt::Havoc(_, lv) => {
+            let _ = writeln!(out, "{lv} = nondet();");
+        }
+        Stmt::Call(_, dst, f, args) => {
+            if let Some(lv) = dst {
+                let _ = write!(out, "{lv} = ");
+            }
+            let _ = write!(out, "{f}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&expr_to_string(a));
+            }
+            out.push_str(");\n");
+        }
+        Stmt::If(_, c, t, e) => {
+            let _ = writeln!(out, "if ({}) {{", cond_to_string(c));
+            for s in t {
+                stmt_into(s, depth + 1, out);
+            }
+            indent(depth, out);
+            if e.is_empty() {
+                out.push_str("}\n");
+            } else {
+                out.push_str("} else {\n");
+                for s in e {
+                    stmt_into(s, depth + 1, out);
+                }
+                indent(depth, out);
+                out.push_str("}\n");
+            }
+        }
+        Stmt::While(_, c, body) => {
+            let _ = writeln!(out, "while ({}) {{", cond_to_string(c));
+            for s in body {
+                stmt_into(s, depth + 1, out);
+            }
+            indent(depth, out);
+            out.push_str("}\n");
+        }
+        Stmt::Assume(_, c) => {
+            let _ = writeln!(out, "assume({});", cond_to_string(c));
+        }
+        Stmt::Assert(_, c) => {
+            let _ = writeln!(out, "assert({});", cond_to_string(c));
+        }
+        Stmt::Error(_) => out.push_str("error();\n"),
+        Stmt::Return(_, None) => out.push_str("return;\n"),
+        Stmt::Return(_, Some(e)) => {
+            let _ = writeln!(out, "return {};", expr_to_string(e));
+        }
+        Stmt::Break(_) => out.push_str("break;\n"),
+        Stmt::Continue(_) => out.push_str("continue;\n"),
+    }
+}
+
+/// Renders an arithmetic expression, parenthesizing to preserve structure.
+pub fn expr_to_string(e: &Expr) -> String {
+    let mut s = String::new();
+    expr_into(e, 0, &mut s);
+    s
+}
+
+/// Precedence levels: 0 = additive, 1 = multiplicative, 2 = unary/atom.
+fn expr_into(e: &Expr, min_prec: u8, out: &mut String) {
+    match e {
+        Expr::Int(n) => {
+            if *n < 0 {
+                // Negative literals print parenthesized so that e.g.
+                // `a - (-1)` re-parses with the same tree.
+                let _ = write!(out, "(0 - {})", n.unsigned_abs());
+            } else {
+                let _ = write!(out, "{n}");
+            }
+        }
+        Expr::Lval(lv) => {
+            let _ = write!(out, "{lv}");
+        }
+        Expr::AddrOf(x) => {
+            let _ = write!(out, "&{x}");
+        }
+        Expr::Neg(inner) => {
+            out.push('-');
+            expr_into(inner, 2, out);
+        }
+        Expr::Bin(op, a, b) => {
+            let prec = match op {
+                BinOp::Add | BinOp::Sub => 0,
+                BinOp::Mul | BinOp::Div | BinOp::Rem => 1,
+            };
+            let need_paren = prec < min_prec;
+            if need_paren {
+                out.push('(');
+            }
+            expr_into(a, prec, out);
+            let _ = write!(out, " {op} ");
+            // Right operand gets one level tighter so `a - (b - c)` keeps
+            // its parentheses (operators are left-associative).
+            expr_into(b, prec + 1, out);
+            if need_paren {
+                out.push(')');
+            }
+        }
+    }
+}
+
+/// Renders a boolean condition.
+pub fn cond_to_string(c: &BoolExpr) -> String {
+    let mut s = String::new();
+    cond_into(c, 0, &mut s);
+    s
+}
+
+/// Precedence: 0 = `||`, 1 = `&&`, 2 = atom/negation.
+fn cond_into(c: &BoolExpr, min_prec: u8, out: &mut String) {
+    match c {
+        BoolExpr::True => out.push_str("0 == 0"),
+        BoolExpr::False => out.push_str("0 != 0"),
+        BoolExpr::Cmp(op, a, b) => {
+            let _ = write!(out, "{} {op} {}", expr_to_string(a), expr_to_string(b));
+        }
+        BoolExpr::Not(inner) => {
+            out.push_str("!(");
+            cond_into(inner, 0, out);
+            out.push(')');
+        }
+        BoolExpr::And(a, b) => {
+            let need = min_prec > 1;
+            if need {
+                out.push('(');
+            }
+            cond_into(a, 1, out);
+            out.push_str(" && ");
+            cond_into(b, 2, out);
+            if need {
+                out.push(')');
+            }
+        }
+        BoolExpr::Or(a, b) => {
+            let need = min_prec > 0;
+            if need {
+                out.push('(');
+            }
+            cond_into(a, 0, out);
+            out.push_str(" || ");
+            cond_into(b, 1, out);
+            if need {
+                out.push(')');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn roundtrip(src: &str) {
+        let p1 = parse(src).unwrap();
+        let printed = program_to_string(&p1);
+        let p2 = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(strip(&p1), strip(&p2), "printed:\n{printed}");
+    }
+
+    /// Positions differ after printing; compare the printed forms instead.
+    fn strip(p: &Program) -> String {
+        program_to_string(p)
+    }
+
+    #[test]
+    fn roundtrips_arith_precedence() {
+        roundtrip("fn main() { local a, b, c; a = a - (b - c); b = (a + b) * c; c = a * b + c; }");
+    }
+
+    #[test]
+    fn roundtrips_bool_structure() {
+        roundtrip(
+            "fn main() { local a, b; if ((a > 0 || b < 1) && !(a == b)) { skip; } else { error(); } }",
+        );
+    }
+
+    #[test]
+    fn roundtrips_pointers_and_calls() {
+        roundtrip(
+            "global g; fn f(x, y) { return x + y; } fn main() { local p, v; p = &g; *p = f(1, *p); v = nondet(); }",
+        );
+    }
+
+    #[test]
+    fn roundtrips_loops() {
+        roundtrip("fn main() { local i; while (i < 10) { i = i + 1; if (i == 5) { break; } } }");
+    }
+
+    #[test]
+    fn roundtrips_arrays() {
+        roundtrip(
+            "global buf[16], n; fn main() { local i; buf[i * 2 + 1] = buf[i] + n; n = buf[0]; }",
+        );
+    }
+
+    #[test]
+    fn negative_literal_roundtrips() {
+        let p = parse("fn main() { local a; a = 0 - 5; }").unwrap();
+        roundtrip(&program_to_string(&p));
+    }
+}

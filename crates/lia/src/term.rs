@@ -1,0 +1,384 @@
+//! Linear terms and normalized atoms.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An interned symbol (a variable of the arithmetic theory). The mapping
+/// to program lvalues/SSA versions is maintained by the client (the
+/// `semantics` crate's trace encoder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymId(pub u32);
+
+impl fmt::Display for SymId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A linear term `Σ aᵢ·xᵢ + c` with `i128` coefficients (program values
+/// are `i64`; the headroom absorbs intermediate arithmetic).
+///
+/// The representation is canonical: no zero coefficients are stored, so
+/// structural equality is semantic equality of term syntax.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct LinTerm {
+    coeffs: BTreeMap<SymId, i128>,
+    constant: i128,
+}
+
+impl LinTerm {
+    /// The zero term.
+    pub fn zero() -> LinTerm {
+        LinTerm::default()
+    }
+
+    /// The constant term `c`.
+    pub fn constant(c: i128) -> LinTerm {
+        LinTerm {
+            coeffs: BTreeMap::new(),
+            constant: c,
+        }
+    }
+
+    /// The term `1·x`.
+    pub fn sym(x: SymId) -> LinTerm {
+        let mut t = LinTerm::default();
+        t.coeffs.insert(x, 1);
+        t
+    }
+
+    /// The coefficient of `x` (0 if absent).
+    pub fn coeff(&self, x: SymId) -> i128 {
+        self.coeffs.get(&x).copied().unwrap_or(0)
+    }
+
+    /// The constant part.
+    pub fn constant_part(&self) -> i128 {
+        self.constant
+    }
+
+    /// Iterates over `(symbol, coefficient)` pairs with nonzero
+    /// coefficients, in symbol order.
+    pub fn iter(&self) -> impl Iterator<Item = (SymId, i128)> + '_ {
+        self.coeffs.iter().map(|(&s, &c)| (s, c))
+    }
+
+    /// The symbols with nonzero coefficients.
+    pub fn symbols(&self) -> impl Iterator<Item = SymId> + '_ {
+        self.coeffs.keys().copied()
+    }
+
+    /// Whether the term is a constant.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// `self + other`, or `None` on arithmetic overflow.
+    pub fn checked_add(&self, other: &LinTerm) -> Option<LinTerm> {
+        let mut out = self.clone();
+        for (s, c) in other.iter() {
+            let v = out.coeffs.entry(s).or_insert(0);
+            *v = v.checked_add(c)?;
+            if *v == 0 {
+                out.coeffs.remove(&s);
+            }
+        }
+        out.constant = out.constant.checked_add(other.constant)?;
+        Some(out)
+    }
+
+    /// `self - other`, or `None` on overflow.
+    pub fn checked_sub(&self, other: &LinTerm) -> Option<LinTerm> {
+        self.checked_add(&other.checked_scale(-1)?)
+    }
+
+    /// `k · self`, or `None` on overflow.
+    pub fn checked_scale(&self, k: i128) -> Option<LinTerm> {
+        if k == 0 {
+            return Some(LinTerm::zero());
+        }
+        let mut out = LinTerm::default();
+        for (s, c) in self.iter() {
+            out.coeffs.insert(s, c.checked_mul(k)?);
+        }
+        out.constant = self.constant.checked_mul(k)?;
+        Some(out)
+    }
+
+    /// `self + c`, or `None` on overflow.
+    pub fn checked_add_const(&self, c: i128) -> Option<LinTerm> {
+        let mut out = self.clone();
+        out.constant = out.constant.checked_add(c)?;
+        Some(out)
+    }
+
+    /// Substitutes `x := t` (eliminating `x`), or `None` on overflow.
+    pub fn substitute(&self, x: SymId, t: &LinTerm) -> Option<LinTerm> {
+        let a = self.coeff(x);
+        if a == 0 {
+            return Some(self.clone());
+        }
+        let mut rest = self.clone();
+        rest.coeffs.remove(&x);
+        rest.checked_add(&t.checked_scale(a)?)
+    }
+
+    /// Evaluates under a total assignment. Missing symbols evaluate as 0.
+    pub fn eval(&self, model: &crate::formula::Model) -> i128 {
+        let mut v = self.constant;
+        for (s, c) in self.iter() {
+            v += c * i128::from(model.get(s));
+        }
+        v
+    }
+}
+
+impl fmt::Display for LinTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (s, c) in self.iter() {
+            if first {
+                if c == 1 {
+                    write!(f, "{s}")?;
+                } else if c == -1 {
+                    write!(f, "-{s}")?;
+                } else {
+                    write!(f, "{c}·{s}")?;
+                }
+                first = false;
+            } else if c >= 0 {
+                if c == 1 {
+                    write!(f, " + {s}")?;
+                } else {
+                    write!(f, " + {c}·{s}")?;
+                }
+            } else if c == -1 {
+                write!(f, " - {s}")?;
+            } else {
+                write!(f, " - {}·{s}", -c)?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant > 0 {
+            write!(f, " + {}", self.constant)?;
+        } else if self.constant < 0 {
+            write!(f, " - {}", -self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+/// The relation of a normalized atom. Strict inequalities are normalized
+/// away at construction (`t < 0 ⟺ t + 1 ≤ 0` over ℤ).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rel {
+    /// `t ≤ 0`
+    Le,
+    /// `t = 0`
+    Eq,
+    /// `t ≠ 0`
+    Ne,
+}
+
+/// A normalized linear constraint `t ⋈ 0`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// The left-hand term.
+    pub term: LinTerm,
+    /// The relation against zero.
+    pub rel: Rel,
+}
+
+impl Atom {
+    /// `t ≤ 0`.
+    pub fn le(term: LinTerm) -> Atom {
+        Atom { term, rel: Rel::Le }
+    }
+
+    /// `t < 0`, normalized to `t + 1 ≤ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on coefficient overflow (beyond `i128` headroom).
+    pub fn lt(term: LinTerm) -> Atom {
+        Atom {
+            term: term.checked_add_const(1).expect("overflow in lt"),
+            rel: Rel::Le,
+        }
+    }
+
+    /// `t = 0`.
+    pub fn eq(term: LinTerm) -> Atom {
+        Atom { term, rel: Rel::Eq }
+    }
+
+    /// `t ≠ 0`.
+    pub fn ne(term: LinTerm) -> Atom {
+        Atom { term, rel: Rel::Ne }
+    }
+
+    /// The logical negation of this atom.
+    ///
+    /// # Panics
+    ///
+    /// Panics on coefficient overflow.
+    pub fn negate(&self) -> Atom {
+        match self.rel {
+            // ¬(t ≤ 0) ⟺ t ≥ 1 ⟺ -t + 1 ≤ 0.
+            Rel::Le => Atom::le(
+                self.term
+                    .checked_scale(-1)
+                    .and_then(|t| t.checked_add_const(1))
+                    .expect("overflow in negate"),
+            ),
+            Rel::Eq => Atom::ne(self.term.clone()),
+            Rel::Ne => Atom::eq(self.term.clone()),
+        }
+    }
+
+    /// Evaluates under a total assignment.
+    pub fn eval(&self, model: &crate::formula::Model) -> bool {
+        let v = self.term.eval(model);
+        match self.rel {
+            Rel::Le => v <= 0,
+            Rel::Eq => v == 0,
+            Rel::Ne => v != 0,
+        }
+    }
+
+    /// The symbols mentioned by the atom.
+    pub fn symbols(&self) -> impl Iterator<Item = SymId> + '_ {
+        self.term.symbols()
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rel = match self.rel {
+            Rel::Le => "<=",
+            Rel::Eq => "==",
+            Rel::Ne => "!=",
+        };
+        write!(f, "{} {rel} 0", self.term)
+    }
+}
+
+/// Greatest common divisor (non-negative; `gcd(0, 0) = 0`).
+pub(crate) fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::Model;
+
+    fn x() -> SymId {
+        SymId(0)
+    }
+    fn y() -> SymId {
+        SymId(1)
+    }
+
+    #[test]
+    fn add_cancels_to_canonical_form() {
+        let t = LinTerm::sym(x()).checked_add(&LinTerm::sym(y())).unwrap();
+        let u = t.checked_sub(&LinTerm::sym(y())).unwrap();
+        assert_eq!(u, LinTerm::sym(x()), "y cancels and is removed");
+        assert!(u.coeff(y()) == 0);
+    }
+
+    #[test]
+    fn scale_and_constants() {
+        let t = LinTerm::sym(x())
+            .checked_scale(3)
+            .unwrap()
+            .checked_add_const(-7)
+            .unwrap();
+        assert_eq!(t.coeff(x()), 3);
+        assert_eq!(t.constant_part(), -7);
+        assert_eq!(t.checked_scale(0).unwrap(), LinTerm::zero());
+    }
+
+    #[test]
+    fn substitute_eliminates_symbol() {
+        // t = 2x + y + 1, x := y - 3  ⇒  2y - 6 + y + 1 = 3y - 5.
+        let t = LinTerm::sym(x())
+            .checked_scale(2)
+            .unwrap()
+            .checked_add(&LinTerm::sym(y()))
+            .unwrap()
+            .checked_add_const(1)
+            .unwrap();
+        let sub = LinTerm::sym(y()).checked_add_const(-3).unwrap();
+        let r = t.substitute(x(), &sub).unwrap();
+        assert_eq!(r.coeff(x()), 0);
+        assert_eq!(r.coeff(y()), 3);
+        assert_eq!(r.constant_part(), -5);
+    }
+
+    #[test]
+    fn atom_negation_is_involutive_on_le_pairs() {
+        let a = Atom::le(LinTerm::sym(x()));
+        let na = a.negate(); // -x + 1 <= 0 i.e. x >= 1
+        let mut m = Model::default();
+        for v in -3..=3 {
+            m.set(x(), v);
+            assert_eq!(a.eval(&m), !na.eval(&m), "x = {v}");
+        }
+    }
+
+    #[test]
+    fn lt_normalizes_to_le() {
+        let a = Atom::lt(LinTerm::sym(x())); // x < 0 ⇒ x + 1 <= 0
+        assert_eq!(a.rel, Rel::Le);
+        let mut m = Model::default();
+        m.set(x(), -1);
+        assert!(a.eval(&m));
+        m.set(x(), 0);
+        assert!(!a.eval(&m));
+    }
+
+    #[test]
+    fn eval_matches_arithmetic() {
+        let t = LinTerm::sym(x())
+            .checked_scale(2)
+            .unwrap()
+            .checked_sub(&LinTerm::sym(y()).checked_scale(5).unwrap())
+            .unwrap()
+            .checked_add_const(4)
+            .unwrap();
+        let mut m = Model::default();
+        m.set(x(), 3);
+        m.set(y(), 2);
+        assert_eq!(t.eval(&m), 2 * 3 - 5 * 2 + 4);
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(-12, 18), 6);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(0, 0), 0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let t = LinTerm::sym(x())
+            .checked_scale(2)
+            .unwrap()
+            .checked_sub(&LinTerm::sym(y()))
+            .unwrap()
+            .checked_add_const(-3)
+            .unwrap();
+        assert_eq!(format!("{}", Atom::le(t)), "2·s0 - s1 - 3 <= 0");
+        assert_eq!(format!("{}", Atom::eq(LinTerm::constant(0))), "0 == 0");
+    }
+}

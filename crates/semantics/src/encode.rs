@@ -1,0 +1,460 @@
+//! SSA-style constraint encoding of traces (§4.2).
+//!
+//! "An alternative way to compute the weakest precondition of a trace τ
+//! is to first rename the variables so that they are in SSA form, so that
+//! the weakest precondition is the conjunction of a set of constraints,
+//! with each constraint directly corresponding to a (SSA-renamed)
+//! operation."
+//!
+//! The encoder consumes operations **backwards** — the same direction the
+//! slicer iterates — maintaining, for every memory cell, the symbol that
+//! the already-encoded suffix reads for it. Processing `x := e` equates
+//! that symbol with the encoding of `e` over *pre-state* symbols;
+//! processing `assume(p)` contributes `p` over current symbols;
+//! `nondet()` simply severs the binding (the suffix value is
+//! unconstrained); calls and returns are identity.
+//!
+//! Precision notes (all over-approximations of feasibility — they can
+//! only make a trace *look* feasible, mirroring BLAST's imprecise heap
+//! modeling that the paper reports in §5 "Limitations"):
+//!
+//! * `*p` resolves precisely when the points-to set of `p` is a non-wild
+//!   singleton; otherwise the read is a fresh symbol and the write is a
+//!   weak update (severs all possibly-written bindings);
+//! * non-linear arithmetic (`x*y`, `/`, `%` with non-constant operands)
+//!   becomes a fresh symbol.
+
+use cfa::{CBool, CExpr, CLval, Op, VarId};
+use dataflow::AliasInfo;
+use imp::ast::{BinOp, CmpOp};
+use lia::{Atom, Formula, LinTerm, SatResult, Solver, SymId};
+use std::collections::HashMap;
+
+/// Incremental backward trace encoder. See the module docs.
+#[derive(Debug)]
+pub struct TraceEncoder<'a> {
+    alias: &'a AliasInfo,
+    next: u32,
+    /// Cell → the symbol the encoded suffix reads for that cell.
+    cur: HashMap<VarId, SymId>,
+    /// Symbol → the program lvalue it versions (absent for opaque
+    /// symbols from non-linear operations or unresolved dereferences).
+    prov: HashMap<SymId, CLval>,
+    /// See [`TraceEncoder::last_havoc_symbol`].
+    last_havoc: Option<SymId>,
+}
+
+impl<'a> TraceEncoder<'a> {
+    /// Creates an encoder using `alias` to resolve dereferences.
+    pub fn new(alias: &'a AliasInfo) -> Self {
+        TraceEncoder {
+            alias,
+            next: 0,
+            cur: HashMap::new(),
+            prov: HashMap::new(),
+            last_havoc: None,
+        }
+    }
+
+    /// The program lvalue a symbol versions, if any. Used by CEGAR
+    /// refinement to map constraint atoms back to predicates over
+    /// program variables.
+    pub fn provenance(&self, s: SymId) -> Option<CLval> {
+        self.prov.get(&s).copied()
+    }
+
+    /// The *initial-state* symbols: after the whole trace has been fed
+    /// (backwards), the remaining binding of each cell is the symbol the
+    /// trace reads for that cell's value **at the start of the trace**.
+    /// Solving the constraints and evaluating these symbols yields a
+    /// concrete start state that can execute the trace — the basis of
+    /// witness concretization.
+    pub fn initial_bindings(&self) -> impl Iterator<Item = (VarId, SymId)> + '_ {
+        self.cur.iter().map(|(&v, &s)| (v, s))
+    }
+
+    /// The symbol that the most recent [`TraceEncoder::op_backward`] call
+    /// severed for a `Havoc` operation, i.e. the value the suffix
+    /// observed for that `nondet()`. `None` if the last op was not a
+    /// havoc or its value was never read.
+    pub fn last_havoc_symbol(&self) -> Option<SymId> {
+        self.last_havoc
+    }
+
+    /// Number of symbols allocated so far.
+    pub fn n_symbols(&self) -> usize {
+        self.next as usize
+    }
+
+    fn fresh(&mut self, prov: Option<CLval>) -> SymId {
+        let s = SymId(self.next);
+        self.next += 1;
+        if let Some(lv) = prov {
+            self.prov.insert(s, lv);
+        }
+        s
+    }
+
+    fn sym_for(&mut self, v: VarId) -> SymId {
+        if let Some(&s) = self.cur.get(&v) {
+            return s;
+        }
+        let s = self.fresh(Some(CLval::Var(v)));
+        self.cur.insert(v, s);
+        s
+    }
+
+    /// The unique non-wild pointee of `p`, if any.
+    fn singleton(&self, p: VarId) -> Option<VarId> {
+        if self.alias.is_wild(p) {
+            return None;
+        }
+        let pts = self.alias.points_to(p);
+        if pts.count() == 1 {
+            pts.iter().next().map(|i| VarId(i as u32))
+        } else {
+            None
+        }
+    }
+
+    fn encode_expr(&mut self, e: &CExpr) -> LinTerm {
+        match e {
+            CExpr::Int(n) => LinTerm::constant(i128::from(*n)),
+            CExpr::Lval(CLval::Var(v)) => LinTerm::sym(self.sym_for(*v)),
+            CExpr::Lval(CLval::Deref(p)) => match self.singleton(*p) {
+                Some(cell) => LinTerm::sym(self.sym_for(cell)),
+                None => LinTerm::sym(self.fresh(None)),
+            },
+            // Array summary reads and element loads are opaque: fresh
+            // symbol per occurrence (weak semantics, like multi-target
+            // dereferences).
+            CExpr::Lval(CLval::Arr(_)) => LinTerm::sym(self.fresh(None)),
+            CExpr::ArrLoad(a, idx) => {
+                let _ = self.encode_expr(idx); // index reads still allocate symbols
+                let _ = a;
+                LinTerm::sym(self.fresh(None))
+            }
+            CExpr::AddrOf(v) => LinTerm::constant(crate::state::State::addr_of(*v) as i128),
+            CExpr::Neg(i) => {
+                let t = self.encode_expr(i);
+                t.checked_scale(-1)
+                    .unwrap_or_else(|| LinTerm::sym(self.fresh(None)))
+            }
+            CExpr::Bin(op, a, b) => {
+                let ta = self.encode_expr(a);
+                let tb = self.encode_expr(b);
+                let lin = match op {
+                    BinOp::Add => ta.checked_add(&tb),
+                    BinOp::Sub => ta.checked_sub(&tb),
+                    BinOp::Mul => {
+                        if ta.is_constant() {
+                            tb.checked_scale(ta.constant_part())
+                        } else if tb.is_constant() {
+                            ta.checked_scale(tb.constant_part())
+                        } else {
+                            None
+                        }
+                    }
+                    BinOp::Div | BinOp::Rem => {
+                        if ta.is_constant() && tb.is_constant() && tb.constant_part() != 0 {
+                            let (a, b) = (ta.constant_part(), tb.constant_part());
+                            Some(LinTerm::constant(if *op == BinOp::Div {
+                                a.wrapping_div(b)
+                            } else {
+                                a.wrapping_rem(b)
+                            }))
+                        } else {
+                            None
+                        }
+                    }
+                };
+                lin.unwrap_or_else(|| LinTerm::sym(self.fresh(None)))
+            }
+        }
+    }
+
+    fn encode_bool(&mut self, b: &CBool) -> Formula {
+        match b {
+            CBool::True => Formula::True,
+            CBool::False => Formula::False,
+            CBool::Cmp(op, a, b) => {
+                let ta = self.encode_expr(a);
+                let tb = self.encode_expr(b);
+                let Some(d) = ta.checked_sub(&tb) else {
+                    // Overflow: treat the comparison as unconstrained.
+                    return Formula::True;
+                };
+                Formula::Atom(match op {
+                    CmpOp::Eq => Atom::eq(d),
+                    CmpOp::Ne => Atom::ne(d),
+                    CmpOp::Lt => Atom::lt(d),
+                    CmpOp::Le => Atom::le(d),
+                    CmpOp::Gt => match tb.checked_sub(&ta) {
+                        Some(r) => Atom::lt(r),
+                        None => return Formula::True,
+                    },
+                    CmpOp::Ge => match tb.checked_sub(&ta) {
+                        Some(r) => Atom::le(r),
+                        None => return Formula::True,
+                    },
+                })
+            }
+            CBool::Not(i) => Formula::not(self.encode_bool(i)),
+            CBool::And(a, b) => Formula::and(self.encode_bool(a), self.encode_bool(b)),
+            CBool::Or(a, b) => Formula::or(self.encode_bool(a), self.encode_bool(b)),
+        }
+    }
+
+    /// Encodes one operation, **fed in reverse trace order**, returning
+    /// the constraint it contributes.
+    pub fn op_backward(&mut self, op: &Op) -> Formula {
+        self.last_havoc = None;
+        match op {
+            Op::Assume(p) => self.encode_bool(p),
+            Op::Assign(CLval::Var(x), e) => match self.cur.remove(x) {
+                // The suffix never reads x: the assignment constrains
+                // nothing that is visible.
+                None => Formula::True,
+                Some(s) => {
+                    let t = self.encode_expr(e);
+                    match LinTerm::sym(s).checked_sub(&t) {
+                        Some(d) => Formula::Atom(Atom::eq(d)),
+                        None => Formula::True,
+                    }
+                }
+            },
+            Op::Assign(CLval::Arr(_), e) => {
+                // Weak summary write: constrains nothing visible.
+                let _ = self.encode_expr(e);
+                Formula::True
+            }
+            Op::ArrStore(_, idx, val) => {
+                // Weak element write: evaluate subexpressions for symbol
+                // allocation, constrain nothing (sound over-approximation
+                // of feasibility, like the multi-target pointer case).
+                let _ = self.encode_expr(idx);
+                let _ = self.encode_expr(val);
+                Formula::True
+            }
+            Op::Assign(CLval::Deref(p), e) => match self.singleton(*p) {
+                Some(cell) => self.op_backward(&Op::Assign(CLval::Var(cell), e.clone())),
+                None => {
+                    // Weak update: every possibly-written cell loses its
+                    // binding (its pre-state value is unconstrained).
+                    for c in self.alias.points_to(*p).iter() {
+                        self.cur.remove(&VarId(c as u32));
+                    }
+                    Formula::True
+                }
+            },
+            Op::Havoc(lv) => {
+                match lv {
+                    CLval::Arr(_) => {}
+                    CLval::Var(x) => {
+                        self.last_havoc = self.cur.remove(x);
+                    }
+                    CLval::Deref(p) => match self.singleton(*p) {
+                        Some(cell) => {
+                            self.last_havoc = self.cur.remove(&cell);
+                        }
+                        None => {
+                            for c in self.alias.points_to(*p).iter() {
+                                self.cur.remove(&VarId(c as u32));
+                            }
+                        }
+                    },
+                }
+                Formula::True
+            }
+            Op::Call(_) | Op::Return => Formula::True,
+        }
+    }
+}
+
+/// Encodes a whole trace (given in forward order) and checks its
+/// feasibility. Returns the constraint conjunction, the verdict, and the
+/// encoder (for provenance lookups).
+pub fn trace_feasibility<'a, 'o>(
+    alias: &'a AliasInfo,
+    ops: impl IntoIterator<Item = &'o Op, IntoIter: DoubleEndedIterator>,
+    solver: &Solver,
+) -> (Formula, SatResult, TraceEncoder<'a>) {
+    let mut enc = TraceEncoder::new(alias);
+    let mut parts = Vec::new();
+    for op in ops.into_iter().rev() {
+        let f = enc.op_backward(op);
+        if f != Formula::True {
+            parts.push(f);
+        }
+    }
+    let formula = Formula::And(parts);
+    let verdict = solver.check(&formula);
+    (formula, verdict, enc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfa::Program;
+    use dataflow::AliasInfo;
+
+    fn setup(src: &str) -> (Program, AliasInfo) {
+        let p = cfa::lower(&imp::parse(src).unwrap()).unwrap();
+        let a = AliasInfo::build(&p);
+        (p, a)
+    }
+
+    /// Feasibility of main's full straight-line edge sequence.
+    fn feasibility(src: &str) -> SatResult {
+        let (p, a) = setup(src);
+        let ops: Vec<&Op> = p.cfa(p.main()).edges().iter().map(|e| &e.op).collect();
+        let (_, r, _) = trace_feasibility(&a, ops, &Solver::new());
+        r
+    }
+
+    #[test]
+    fn feasible_straight_line() {
+        assert!(feasibility("global x; fn main() { x = 1; assume(x == 1); }").is_sat());
+    }
+
+    #[test]
+    fn infeasible_contradiction() {
+        assert!(feasibility("global x; fn main() { x = 1; assume(x == 2); }").is_unsat());
+    }
+
+    #[test]
+    fn assignment_chain_is_tracked() {
+        assert!(
+            feasibility("global x, y; fn main() { x = 5; y = x + 1; assume(y != 6); }").is_unsat()
+        );
+    }
+
+    #[test]
+    fn havoc_breaks_the_chain() {
+        assert!(
+            feasibility("global x; fn main() { x = 1; x = nondet(); assume(x == 2); }").is_sat()
+        );
+        // But the pre-havoc value is still pinned for earlier reads.
+        assert!(feasibility(
+            "global x, y; fn main() { x = 1; y = x; x = nondet(); assume(x == 2); assume(y == 1); }"
+        )
+        .is_sat());
+        assert!(feasibility(
+            "global x, y; fn main() { x = 1; y = x; x = nondet(); assume(y == 0); }"
+        )
+        .is_unsat());
+    }
+
+    #[test]
+    fn self_referencing_assignment() {
+        // x := x + 1 relates the suffix symbol to a fresh pre-state one.
+        assert!(
+            feasibility("global x; fn main() { assume(x == 1); x = x + 1; assume(x == 2); }")
+                .is_sat()
+        );
+        assert!(
+            feasibility("global x; fn main() { assume(x == 1); x = x + 1; assume(x == 3); }")
+                .is_unsat()
+        );
+    }
+
+    #[test]
+    fn the_initial_state_is_unconstrained() {
+        // No writes: `assume(a == 42)` is feasible from some initial state.
+        assert!(feasibility("global a; fn main() { assume(a == 42); }").is_sat());
+    }
+
+    #[test]
+    fn singleton_pointer_is_precise() {
+        assert!(
+            feasibility("global x; fn main() { local pt; pt = &x; *pt = 7; assume(x != 7); }")
+                .is_unsat()
+        );
+    }
+
+    #[test]
+    fn multi_target_pointer_is_weak() {
+        // With two possible targets the write is a weak update: the
+        // contradiction is *not* detected (documented imprecision).
+        let r = feasibility(
+            "global x, y; fn main() { local pt, pt2; pt = &x; pt2 = &y; pt = pt2; *pt = 7; assume(x != 7); assume(y != 7); }",
+        );
+        assert!(r.is_sat());
+    }
+
+    #[test]
+    fn address_comparison_uses_cell_addresses() {
+        // pt = &x implies pt != 0.
+        assert!(
+            feasibility("global x; fn main() { local pt; pt = &x; assume(pt == 0); }").is_unsat()
+        );
+    }
+
+    #[test]
+    fn nonlinear_multiplication_is_opaque() {
+        // x*y == 7 with x = y = 2 would be false, but non-linear terms are
+        // over-approximated by fresh symbols, so this reads as feasible.
+        assert!(feasibility(
+            "global x, y, z; fn main() { x = 2; y = 2; z = x * y; assume(z == 7); }"
+        )
+        .is_sat());
+        // Constant folding keeps linear multiplications precise.
+        assert!(
+            feasibility("global x, z; fn main() { x = 3; z = x * 2; assume(z == 7); }").is_unsat()
+        );
+    }
+
+    #[test]
+    fn array_stores_are_weak_for_feasibility() {
+        // Concretely infeasible (buf[0] really is 7), but the summary
+        // semantics cannot see it — mirrors the heap imprecision.
+        assert!(
+            feasibility("global buf[4]; fn main() { buf[0] = 7; assume(buf[0] != 7); }").is_sat()
+        );
+        // Scalars flowing around arrays stay precise.
+        assert!(
+            feasibility("global buf[4], x; fn main() { x = 1; buf[x] = 2; assume(x == 1); }")
+                .is_sat()
+        );
+        assert!(
+            feasibility("global buf[4], x; fn main() { x = 1; buf[x] = 2; assume(x == 2); }")
+                .is_unsat()
+        );
+    }
+
+    #[test]
+    fn provenance_maps_symbols_to_lvalues() {
+        let (p, a) = setup("global x; fn main() { x = 1; assume(x == 2); }");
+        let ops: Vec<&Op> = p.cfa(p.main()).edges().iter().map(|e| &e.op).collect();
+        let (formula, r, enc) = trace_feasibility(&a, ops, &Solver::new());
+        assert!(r.is_unsat());
+        let mut syms = Vec::new();
+        formula.collect_symbols(&mut syms);
+        let x = p.vars().lookup("x").unwrap();
+        assert!(syms
+            .iter()
+            .any(|&s| enc.provenance(s) == Some(CLval::Var(x))));
+    }
+
+    #[test]
+    fn interprocedural_trace_via_transfer_globals() {
+        let (p, a) = setup(
+            "global g; fn inc(v) { return v + 1; } fn main() { g = inc(1); assume(g != 2); }",
+        );
+        // Build the full interprocedural trace by splicing inc's edges
+        // after the call edge.
+        let main = p.cfa(p.main());
+        let inc = p.cfa(p.func_id("inc").unwrap());
+        let mut ops: Vec<&Op> = Vec::new();
+        for e in main.edges() {
+            ops.push(&e.op);
+            if matches!(e.op, Op::Call(_)) {
+                for fe in inc.edges() {
+                    ops.push(&fe.op);
+                }
+            }
+        }
+        let (_, r, _) = trace_feasibility(&a, ops, &Solver::new());
+        assert!(r.is_unsat(), "g = inc(1) = 2 contradicts g != 2");
+    }
+}

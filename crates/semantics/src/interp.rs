@@ -1,0 +1,338 @@
+//! A bounded operational interpreter for CFA programs.
+
+use crate::state::{State, Stuck};
+use cfa::{EdgeId, Loc, Op, Path, Program};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Supplies the external inputs of an execution: `nondet()` results.
+pub trait Oracle {
+    /// The next `nondet()` value.
+    fn next_value(&mut self) -> i64;
+
+    /// The `nondet()` value for a *specific* havoc edge. The default
+    /// ignores the edge; witness replay ([`crate::witness::EdgeOracle`])
+    /// keys values by edge.
+    fn value_for_edge(&mut self, edge: EdgeId) -> i64 {
+        let _ = edge;
+        self.next_value()
+    }
+}
+
+/// An oracle drawing values from a seeded RNG, biased toward small
+/// integers (which exercise branch conditions) with occasional wide
+/// values.
+#[derive(Debug)]
+pub struct RngOracle {
+    rng: StdRng,
+    /// Half-width of the "small" range.
+    pub small_range: i64,
+}
+
+impl RngOracle {
+    /// Creates an oracle from a seed.
+    pub fn new(seed: u64) -> Self {
+        RngOracle {
+            rng: StdRng::seed_from_u64(seed),
+            small_range: 8,
+        }
+    }
+}
+
+impl Oracle for RngOracle {
+    fn next_value(&mut self) -> i64 {
+        if self.rng.gen_ratio(9, 10) {
+            self.rng.gen_range(-self.small_range..=self.small_range)
+        } else {
+            self.rng.gen_range(-1_000_000..=1_000_000)
+        }
+    }
+}
+
+/// An oracle replaying a fixed list of values (0 when exhausted).
+#[derive(Debug, Clone, Default)]
+pub struct ReplayOracle {
+    values: Vec<i64>,
+    pos: usize,
+}
+
+impl ReplayOracle {
+    /// Creates a replay oracle over `values`.
+    pub fn new(values: Vec<i64>) -> Self {
+        ReplayOracle { values, pos: 0 }
+    }
+}
+
+impl Oracle for ReplayOracle {
+    fn next_value(&mut self) -> i64 {
+        let v = self.values.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        v
+    }
+}
+
+/// How an execution ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecOutcome {
+    /// Execution reached an error location.
+    ReachedError(Loc),
+    /// `main` returned.
+    Completed,
+    /// The fuel budget ran out (the execution may be diverging).
+    OutOfFuel,
+    /// No outgoing edge could execute (blocked `assume`, fault, or a
+    /// dead-end location).
+    Stuck(Loc, Stuck),
+}
+
+/// The record of one bounded execution.
+#[derive(Debug, Clone)]
+pub struct ExecResult {
+    /// Why execution stopped.
+    pub outcome: ExecOutcome,
+    /// The program path actually executed (always a valid path).
+    pub path: Path,
+    /// The state at the end.
+    pub final_state: State,
+    /// The `nondet()` values drawn, in order (for replay).
+    pub drawn: Vec<i64>,
+}
+
+/// The interpreter. See [`Interp::run`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Interp;
+
+impl Interp {
+    /// Executes `program` from `main`'s entry in `state`, consuming at
+    /// most `fuel` edges. Branches are deterministic in the state (the
+    /// lowering produces complementary `assume` pairs); external input
+    /// enters only through `nondet()` and the chosen initial state.
+    pub fn run(
+        program: &Program,
+        mut state: State,
+        oracle: &mut dyn Oracle,
+        fuel: usize,
+    ) -> ExecResult {
+        let mut cur = program.cfa(program.main()).entry();
+        let mut stack: Vec<Loc> = Vec::new();
+        let mut edges: Vec<EdgeId> = Vec::new();
+        let mut drawn: Vec<i64> = Vec::new();
+        let mut remaining = fuel;
+        loop {
+            let cfa = program.cfa(cur.func);
+            if cfa.error_locs().contains(&cur) {
+                return ExecResult {
+                    outcome: ExecOutcome::ReachedError(cur),
+                    path: Path::new_unchecked(program, edges),
+                    final_state: state,
+                    drawn,
+                };
+            }
+            let succ = cfa.succ_edges(cur);
+            if succ.is_empty() {
+                let outcome = if cur == cfa.exit() && stack.is_empty() {
+                    // Can only happen for a degenerate empty main.
+                    ExecOutcome::Completed
+                } else {
+                    ExecOutcome::Stuck(cur, Stuck::AssumeFalse)
+                };
+                return ExecResult {
+                    outcome,
+                    path: Path::new_unchecked(program, edges),
+                    final_state: state,
+                    drawn,
+                };
+            }
+            if remaining == 0 {
+                return ExecResult {
+                    outcome: ExecOutcome::OutOfFuel,
+                    path: Path::new_unchecked(program, edges),
+                    final_state: state,
+                    drawn,
+                };
+            }
+            // Pick the first executable edge (assume pairs are
+            // complementary, so at most one assume fires; other ops are
+            // single successors).
+            let mut chosen: Option<(u32, Result<State, Stuck>)> = None;
+            for &ei in succ {
+                let op = &cfa.edge(ei).op;
+                let mut next = state.clone();
+                let mut new_draw: Option<i64> = None;
+                let eid_for_draw = EdgeId {
+                    func: cur.func,
+                    idx: ei,
+                };
+                let r = next.step(op, || {
+                    let v = oracle.value_for_edge(eid_for_draw);
+                    new_draw = Some(v);
+                    v
+                });
+                match r {
+                    Ok(()) => {
+                        if let Some(v) = new_draw {
+                            drawn.push(v);
+                        }
+                        chosen = Some((ei, Ok(next)));
+                        break;
+                    }
+                    Err(s) => {
+                        if chosen.is_none() {
+                            chosen = Some((ei, Err(s)));
+                        }
+                    }
+                }
+            }
+            let (ei, res) = chosen.expect("nonempty successor list");
+            match res {
+                Err(stuck) => {
+                    return ExecResult {
+                        outcome: ExecOutcome::Stuck(cur, stuck),
+                        path: Path::new_unchecked(program, edges),
+                        final_state: state,
+                        drawn,
+                    };
+                }
+                Ok(next) => {
+                    state = next;
+                    edges.push(EdgeId {
+                        func: cur.func,
+                        idx: ei,
+                    });
+                    remaining -= 1;
+                    let edge = cfa.edge(ei);
+                    match &edge.op {
+                        Op::Call(f) => {
+                            stack.push(edge.dst);
+                            cur = program.cfa(*f).entry();
+                        }
+                        Op::Return => match stack.pop() {
+                            Some(k) => cur = k,
+                            None => {
+                                return ExecResult {
+                                    outcome: ExecOutcome::Completed,
+                                    path: Path::new_unchecked(program, edges),
+                                    final_state: state,
+                                    drawn,
+                                };
+                            }
+                        },
+                        _ => cur = edge.dst,
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prog(src: &str) -> Program {
+        cfa::lower(&imp::parse(src).unwrap()).unwrap()
+    }
+
+    fn run(src: &str, inputs: Vec<i64>) -> ExecResult {
+        let p = prog(src);
+        let mut o = ReplayOracle::new(inputs);
+        Interp::run(&p, State::zeroed(&p), &mut o, 100_000)
+    }
+
+    #[test]
+    fn completes_straight_line() {
+        let r = run("global x; fn main() { x = 1; x = x + 1; }", vec![]);
+        assert_eq!(r.outcome, ExecOutcome::Completed);
+        assert_eq!(r.path.len(), 3); // two assigns + implicit return
+    }
+
+    #[test]
+    fn loop_executes_bounded_iterations() {
+        let r = run(
+            "global s; fn main() { local i; for (i = 0; i < 10; i = i + 1) { s = s + i; } }",
+            vec![],
+        );
+        assert_eq!(r.outcome, ExecOutcome::Completed);
+        let p =
+            prog("global s; fn main() { local i; for (i = 0; i < 10; i = i + 1) { s = s + i; } }");
+        assert_eq!(r.final_state.get(p.vars().lookup("s").unwrap()), 45);
+    }
+
+    #[test]
+    fn reaches_error_depending_on_input() {
+        let src = "fn main() { local a; a = nondet(); if (a > 0) { error(); } }";
+        let r = run(src, vec![5]);
+        assert!(matches!(r.outcome, ExecOutcome::ReachedError(_)));
+        let r = run(src, vec![-5]);
+        assert_eq!(r.outcome, ExecOutcome::Completed);
+    }
+
+    #[test]
+    fn interprocedural_call_and_return() {
+        let src = "global g; fn add(a, b) { return a + b; } fn main() { g = add(20, 22); }";
+        let r = run(src, vec![]);
+        assert_eq!(r.outcome, ExecOutcome::Completed);
+        let p = prog(src);
+        assert_eq!(r.final_state.get(p.vars().lookup("g").unwrap()), 42);
+        // The recorded path must be a valid program path.
+        Path::new(&p, r.path.edges().to_vec()).unwrap();
+    }
+
+    #[test]
+    fn infinite_loop_exhausts_fuel() {
+        let r = run("global x; fn main() { while (x == 0) { skip; } }", vec![]);
+        assert_eq!(r.outcome, ExecOutcome::OutOfFuel);
+    }
+
+    #[test]
+    fn assume_blocks_execution() {
+        let r = run("global x; fn main() { assume(x == 1); x = 5; }", vec![]);
+        assert!(matches!(
+            r.outcome,
+            ExecOutcome::Stuck(_, Stuck::AssumeFalse)
+        ));
+        assert!(r.path.is_empty());
+    }
+
+    #[test]
+    fn null_deref_faults() {
+        let r = run("global x; fn main() { local pt; pt = 0; *pt = 1; }", vec![]);
+        assert!(matches!(r.outcome, ExecOutcome::Stuck(_, Stuck::BadDeref)));
+    }
+
+    #[test]
+    fn nested_calls_preserve_stack() {
+        let src = r#"
+            global g;
+            fn h(x) { return x * 2; }
+            fn f(x) { local t; t = h(x + 1); return t + 1; }
+            fn main() { g = f(10); }
+        "#;
+        let r = run(src, vec![]);
+        assert_eq!(r.outcome, ExecOutcome::Completed);
+        let p = prog(src);
+        assert_eq!(r.final_state.get(p.vars().lookup("g").unwrap()), 23);
+    }
+
+    #[test]
+    fn rng_oracle_is_deterministic_per_seed() {
+        let mut a = RngOracle::new(7);
+        let mut b = RngOracle::new(7);
+        for _ in 0..50 {
+            assert_eq!(a.next_value(), b.next_value());
+        }
+    }
+
+    #[test]
+    fn drawn_values_allow_replay() {
+        let src =
+            "fn main() { local a, b; a = nondet(); b = nondet(); if (a + b > 100) { error(); } }";
+        let p = prog(src);
+        let mut o = RngOracle::new(99);
+        let r1 = Interp::run(&p, State::zeroed(&p), &mut o, 10_000);
+        let mut replay = ReplayOracle::new(r1.drawn.clone());
+        let r2 = Interp::run(&p, State::zeroed(&p), &mut replay, 10_000);
+        assert_eq!(r1.outcome, r2.outcome);
+        assert_eq!(r1.path, r2.path);
+    }
+}

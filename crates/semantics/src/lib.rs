@@ -1,0 +1,50 @@
+//! `semantics` — concrete and symbolic semantics of CFA programs.
+//!
+//! Implements §3.1 of the paper:
+//!
+//! * [`State`] — valuations of the program variables, with `&x` realized
+//!   as small integer cell addresses so pointer comparisons are ordinary
+//!   arithmetic;
+//! * [`Interp`] — a bounded operational interpreter that executes a
+//!   program from `main`, resolving `nondet()` and initial values through
+//!   an [`Oracle`], and records the executed [`cfa::Path`] (used by the
+//!   dynamic-slicing baseline and by differential tests);
+//! * [`execute_trace`](state::execute_trace) — "state `s` can execute trace `τ`" (§3.1),
+//!   deciding feasibility of a concrete trace from a given start state;
+//! * [`wp`] — the syntactic weakest-precondition transformer of Fig. 3
+//!   for pointer-free operations;
+//! * [`encode`] — the SSA-style constraint encoder (§4.2 "an alternative
+//!   way to compute the weakest precondition of a trace is to first
+//!   rename the variables so that they are in SSA form"): it turns a
+//!   trace (fed backwards, matching the slicer's iteration order) into a
+//!   conjunction of [`lia`] constraints whose satisfiability is exactly
+//!   trace feasibility — up to the documented heap imprecision that the
+//!   paper's own implementation shares (§5 "Limitations").
+
+//!
+//! # Example
+//!
+//! ```
+//! use semantics::{ExecOutcome, Interp, ReplayOracle, State};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ast = imp::parse("fn main() { local a; a = nondet(); if (a > 3) { error(); } }")?;
+//! let program = cfa::lower(&ast)?;
+//! let run = Interp::run(&program, State::zeroed(&program), &mut ReplayOracle::new(vec![7]), 1000);
+//! assert!(matches!(run.outcome, ExecOutcome::ReachedError(_)));
+//! assert_eq!(run.drawn, vec![7]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod encode;
+pub mod interp;
+pub mod state;
+pub mod witness;
+pub mod wp;
+
+pub use encode::{trace_feasibility, TraceEncoder};
+pub use interp::{ExecOutcome, Interp, Oracle, ReplayOracle, RngOracle};
+pub use state::State;
+pub use witness::{concretize, replay, replay_with_fallback, EdgeOracle, Witness};
+pub use wp::{wp_bool, wp_trace};

@@ -1,0 +1,366 @@
+//! Concrete program states and single-operation transitions.
+
+use cfa::{CBool, CExpr, CLval, Op, Program, VarId, VarKind};
+use imp::ast::BinOp;
+use std::collections::HashMap;
+
+/// A concrete state: one `i64` cell per interned variable, plus concrete
+/// storage for each declared array.
+///
+/// Addresses: the address of variable `v` is `v.index() + 1` (so `0` is
+/// never a valid address and plays the role of `NULL`). `&x` evaluates to
+/// `x`'s address; `*p` reads/writes the cell whose address `p` holds.
+/// Array storage is separate and not addressable (`&a` is rejected by
+/// the frontend), so the summary-cell abstraction in the analyses never
+/// disagrees with concrete pointer behavior.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct State {
+    cells: Vec<i64>,
+    arrays: HashMap<VarId, Vec<i64>>,
+}
+
+/// Why an operation could not execute from a state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stuck {
+    /// An `assume` predicate evaluated to false.
+    AssumeFalse,
+    /// Division or remainder by zero.
+    DivByZero,
+    /// A dereference of an invalid address (`NULL` or out of range).
+    BadDeref,
+    /// An array access with an out-of-bounds index.
+    BadIndex,
+}
+
+impl State {
+    /// A state with all cells zero, sized for `program`.
+    pub fn zeroed(program: &Program) -> State {
+        let mut arrays = HashMap::new();
+        for i in 0..program.vars().len() {
+            let v = VarId(i as u32);
+            if let VarKind::Array(n) = program.vars().kind(v) {
+                arrays.insert(v, vec![0; n as usize]);
+            }
+        }
+        State {
+            cells: vec![0; program.vars().len()],
+            arrays,
+        }
+    }
+
+    /// A state with every cell drawn from `vals` (padded with zeros).
+    pub fn from_values(program: &Program, vals: &[i64]) -> State {
+        let mut st = State::zeroed(program);
+        for (c, v) in st.cells.iter_mut().zip(vals) {
+            *c = *v;
+        }
+        st
+    }
+
+    /// Reads array element `a[idx]`.
+    ///
+    /// # Errors
+    ///
+    /// [`Stuck::BadIndex`] if `idx` is out of bounds (or `a` is not an
+    /// array).
+    pub fn get_elem(&self, a: VarId, idx: i64) -> Result<i64, Stuck> {
+        let arr = self.arrays.get(&a).ok_or(Stuck::BadIndex)?;
+        usize::try_from(idx)
+            .ok()
+            .and_then(|i| arr.get(i).copied())
+            .ok_or(Stuck::BadIndex)
+    }
+
+    /// Writes array element `a[idx]`.
+    ///
+    /// # Errors
+    ///
+    /// [`Stuck::BadIndex`] on out-of-bounds access.
+    pub fn set_elem(&mut self, a: VarId, idx: i64, val: i64) -> Result<(), Stuck> {
+        let arr = self.arrays.get_mut(&a).ok_or(Stuck::BadIndex)?;
+        let slot = usize::try_from(idx)
+            .ok()
+            .and_then(|i| arr.get_mut(i))
+            .ok_or(Stuck::BadIndex)?;
+        *slot = val;
+        Ok(())
+    }
+
+    /// The address of variable `v` (never 0).
+    pub fn addr_of(v: VarId) -> i64 {
+        v.index() as i64 + 1
+    }
+
+    /// The variable whose address is `a`, if `a` is a valid address.
+    pub fn var_at(&self, a: i64) -> Option<VarId> {
+        if a >= 1 && (a as usize) <= self.cells.len() {
+            Some(VarId(a as u32 - 1))
+        } else {
+            None
+        }
+    }
+
+    /// Reads a variable cell.
+    pub fn get(&self, v: VarId) -> i64 {
+        self.cells[v.index()]
+    }
+
+    /// Writes a variable cell.
+    pub fn set(&mut self, v: VarId, val: i64) {
+        self.cells[v.index()] = val;
+    }
+
+    /// Evaluates an lvalue to the cell it denotes.
+    ///
+    /// # Errors
+    ///
+    /// [`Stuck::BadDeref`] if a dereferenced pointer holds an invalid
+    /// address.
+    pub fn resolve(&self, lv: CLval) -> Result<VarId, Stuck> {
+        match lv {
+            CLval::Var(v) => Ok(v),
+            CLval::Deref(p) => self.var_at(self.get(p)).ok_or(Stuck::BadDeref),
+            // The summary cell has no concrete counterpart; concrete
+            // array accesses go through get_elem/set_elem.
+            CLval::Arr(_) => Err(Stuck::BadIndex),
+        }
+    }
+
+    /// Evaluates an expression. Arithmetic wraps (like release-mode
+    /// two's-complement hardware).
+    ///
+    /// # Errors
+    ///
+    /// [`Stuck::DivByZero`] and [`Stuck::BadDeref`] as applicable.
+    pub fn eval(&self, e: &CExpr) -> Result<i64, Stuck> {
+        match e {
+            CExpr::Int(n) => Ok(*n),
+            CExpr::Lval(lv) => Ok(self.get(self.resolve(*lv)?)),
+            CExpr::ArrLoad(a, idx) => {
+                let i = self.eval(idx)?;
+                self.get_elem(*a, i)
+            }
+            CExpr::AddrOf(v) => Ok(State::addr_of(*v)),
+            CExpr::Neg(i) => Ok(self.eval(i)?.wrapping_neg()),
+            CExpr::Bin(op, a, b) => {
+                let a = self.eval(a)?;
+                let b = self.eval(b)?;
+                Ok(match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Div => {
+                        if b == 0 {
+                            return Err(Stuck::DivByZero);
+                        }
+                        a.wrapping_div(b)
+                    }
+                    BinOp::Rem => {
+                        if b == 0 {
+                            return Err(Stuck::DivByZero);
+                        }
+                        a.wrapping_rem(b)
+                    }
+                })
+            }
+        }
+    }
+
+    /// Evaluates a boolean predicate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation faults from subexpressions.
+    pub fn eval_bool(&self, b: &CBool) -> Result<bool, Stuck> {
+        Ok(match b {
+            CBool::True => true,
+            CBool::False => false,
+            CBool::Cmp(op, x, y) => op.eval(self.eval(x)?, self.eval(y)?),
+            CBool::Not(i) => !self.eval_bool(i)?,
+            CBool::And(a, b) => self.eval_bool(a)? && self.eval_bool(b)?,
+            CBool::Or(a, b) => self.eval_bool(a)? || self.eval_bool(b)?,
+        })
+    }
+
+    /// Executes one operation in place (the paper's transition relation
+    /// `s ~op~> s'`). `havoc_value` supplies the value for `Havoc`
+    /// operations; calls and returns are identity transitions.
+    ///
+    /// # Errors
+    ///
+    /// Returns the reason the state cannot execute `op`.
+    pub fn step(&mut self, op: &Op, havoc_value: impl FnOnce() -> i64) -> Result<(), Stuck> {
+        match op {
+            Op::Assign(lv, e) => {
+                let val = self.eval(e)?;
+                let cell = self.resolve(*lv)?;
+                self.set(cell, val);
+                Ok(())
+            }
+            Op::ArrStore(a, idx, val) => {
+                let i = self.eval(idx)?;
+                let v = self.eval(val)?;
+                self.set_elem(*a, i, v)
+            }
+            Op::Havoc(lv) => {
+                let cell = self.resolve(*lv)?;
+                self.set(cell, havoc_value());
+                Ok(())
+            }
+            Op::Assume(p) => {
+                if self.eval_bool(p)? {
+                    Ok(())
+                } else {
+                    Err(Stuck::AssumeFalse)
+                }
+            }
+            Op::Call(_) | Op::Return => Ok(()),
+        }
+    }
+}
+
+/// Executes a trace of operations from `state` (the paper's "state `s`
+/// can execute trace `τ`"). `havoc_values` supplies `nondet()` results in
+/// order (exhaustion yields 0).
+///
+/// Returns the final state, or the index and reason of the first
+/// operation that could not execute.
+pub fn execute_trace<'o, I>(
+    mut state: State,
+    ops: I,
+    havoc_values: &mut impl Iterator<Item = i64>,
+) -> Result<State, (usize, Stuck)>
+where
+    I: IntoIterator<Item = &'o Op>,
+{
+    for (i, op) in ops.into_iter().enumerate() {
+        state
+            .step(op, || havoc_values.next().unwrap_or(0))
+            .map_err(|s| (i, s))?;
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prog(src: &str) -> Program {
+        cfa::lower(&imp::parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn assign_and_eval() {
+        let p = prog("global x, y; fn main() { x = 2; y = x * 3 + 1; }");
+        let mut s = State::zeroed(&p);
+        let x = p.vars().lookup("x").unwrap();
+        let y = p.vars().lookup("y").unwrap();
+        for e in p.cfa(p.main()).edges() {
+            s.step(&e.op, || 0).unwrap();
+        }
+        assert_eq!(s.get(x), 2);
+        assert_eq!(s.get(y), 7);
+    }
+
+    #[test]
+    fn pointer_roundtrip() {
+        let p = prog("global x; fn main() { local pt, v; pt = &x; *pt = 41; v = *pt + 1; }");
+        let mut s = State::zeroed(&p);
+        for e in p.cfa(p.main()).edges() {
+            s.step(&e.op, || 0).unwrap();
+        }
+        assert_eq!(s.get(p.vars().lookup("x").unwrap()), 41);
+        assert_eq!(s.get(p.vars().lookup("main::v").unwrap()), 42);
+    }
+
+    #[test]
+    fn null_deref_is_stuck() {
+        let p = prog("global x; fn main() { local pt; pt = 0; *pt = 1; }");
+        let mut s = State::zeroed(&p);
+        let edges = p.cfa(p.main()).edges();
+        s.step(&edges[0].op, || 0).unwrap();
+        assert_eq!(s.step(&edges[1].op, || 0), Err(Stuck::BadDeref));
+    }
+
+    #[test]
+    fn assume_false_is_stuck() {
+        let p = prog("global x; fn main() { assume(x > 0); }");
+        let mut s = State::zeroed(&p);
+        let op = &p.cfa(p.main()).edges()[0].op;
+        assert_eq!(s.step(op, || 0), Err(Stuck::AssumeFalse));
+        s.set(p.vars().lookup("x").unwrap(), 1);
+        assert!(s.step(op, || 0).is_ok());
+    }
+
+    #[test]
+    fn div_by_zero_is_stuck() {
+        let p = prog("global x, y; fn main() { y = x / x; }");
+        let mut s = State::zeroed(&p);
+        let op = &p.cfa(p.main()).edges()[0].op;
+        assert_eq!(s.step(op, || 0), Err(Stuck::DivByZero));
+    }
+
+    #[test]
+    fn havoc_uses_supplied_value() {
+        let p = prog("global x; fn main() { x = nondet(); }");
+        let mut s = State::zeroed(&p);
+        s.step(&p.cfa(p.main()).edges()[0].op, || 77).unwrap();
+        assert_eq!(s.get(p.vars().lookup("x").unwrap()), 77);
+    }
+
+    #[test]
+    fn execute_trace_reports_first_failure() {
+        let p = prog("global x; fn main() { x = 1; assume(x == 2); x = 3; }");
+        let ops: Vec<&Op> = p.cfa(p.main()).edges().iter().map(|e| &e.op).collect();
+        let r = execute_trace(State::zeroed(&p), ops, &mut std::iter::empty());
+        assert_eq!(r.unwrap_err(), (1, Stuck::AssumeFalse));
+    }
+
+    #[test]
+    fn arrays_execute_concretely() {
+        let p = prog(
+            "global buf[4], s; fn main() { local i; \
+             for (i = 0; i < 4; i = i + 1) { buf[i] = i * 10; } \
+             s = buf[2] + buf[3]; }",
+        );
+        let mut st = State::zeroed(&p);
+        for e in collect_ops(&p) {
+            st.step(&e, || 0).unwrap();
+        }
+        assert_eq!(st.get(p.vars().lookup("s").unwrap()), 50);
+    }
+
+    #[test]
+    fn array_out_of_bounds_is_stuck() {
+        let p = prog("global buf[2]; fn main() { buf[5] = 1; }");
+        let mut st = State::zeroed(&p);
+        let op = &p.cfa(p.main()).edges()[0].op;
+        assert_eq!(st.step(op, || 0), Err(Stuck::BadIndex));
+        let p2 = prog("global buf[2], x; fn main() { x = buf[0 - 1]; }");
+        let mut st2 = State::zeroed(&p2);
+        let op2 = &p2.cfa(p2.main()).edges()[0].op;
+        assert_eq!(st2.step(op2, || 0), Err(Stuck::BadIndex));
+    }
+
+    /// Runs main's edges in execution order via the interpreter-free
+    /// straight-line trick only works without branches; use a tiny
+    /// executor for loops.
+    fn collect_ops(p: &Program) -> Vec<Op> {
+        use crate::interp::{Interp, ReplayOracle};
+        let r = Interp::run(p, State::zeroed(p), &mut ReplayOracle::new(vec![]), 100_000);
+        r.path
+            .edges()
+            .iter()
+            .map(|&e| p.edge(e).op.clone())
+            .collect()
+    }
+
+    #[test]
+    fn addresses_are_never_null() {
+        let p = prog("global a; fn main() { }");
+        assert!(State::addr_of(VarId(0)) > 0);
+        let s = State::zeroed(&p);
+        assert_eq!(s.var_at(0), None);
+        assert_eq!(s.var_at(1), Some(VarId(0)));
+    }
+}

@@ -1,0 +1,183 @@
+//! Witness concretization — from a feasible slice to a runnable input.
+//!
+//! The completeness theorem (§3.2) says every state satisfying
+//! `WP.true.(Tr.π')` reaches the target or diverges. This module makes
+//! that operational: solve the slice's SSA constraints, read the model
+//! back through symbol provenance into (a) a concrete initial state and
+//! (b) a `nondet()` value per havoc edge, and replay the program. This
+//! is the reproduction's nod to the test-generation line of work that
+//! grew out of BLAST's counterexample analyses.
+//!
+//! Replay is *best-effort* by nature: a feasible slice only guarantees
+//! that *some* path variant reaches the target, and if the same havoc
+//! edge executes several times (loops) one value per edge cannot
+//! distinguish occurrences. On the protocol-style programs of the
+//! evaluation, replays succeed and are asserted in integration tests.
+
+use crate::encode::TraceEncoder;
+use crate::interp::{ExecResult, Interp, Oracle};
+use crate::state::State;
+use cfa::{EdgeId, Op, Program};
+use dataflow::AliasInfo;
+use lia::{Formula, SatResult, Solver};
+use std::collections::HashMap;
+
+/// A concrete input reconstructed from a feasible slice.
+#[derive(Debug, Clone)]
+pub struct Witness {
+    /// The initial state (cells not constrained by the slice are 0).
+    pub initial: State,
+    /// The `nondet()` result to produce at each havoc edge of the slice.
+    pub havoc_values: HashMap<EdgeId, i64>,
+}
+
+/// An [`Oracle`] that answers `nondet()` per *edge*, falling back to a
+/// constant for edges outside the witness.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeOracle {
+    values: HashMap<EdgeId, i64>,
+    fallback: i64,
+}
+
+impl EdgeOracle {
+    /// Creates an oracle answering `values`, and `fallback` elsewhere.
+    pub fn new(values: HashMap<EdgeId, i64>, fallback: i64) -> Self {
+        EdgeOracle { values, fallback }
+    }
+}
+
+impl Oracle for EdgeOracle {
+    fn next_value(&mut self) -> i64 {
+        self.fallback
+    }
+
+    fn value_for_edge(&mut self, edge: EdgeId) -> i64 {
+        self.values.get(&edge).copied().unwrap_or(self.fallback)
+    }
+}
+
+/// Solves the constraints of a (sliced) trace and reconstructs a
+/// [`Witness`]. Returns `None` if the constraints are unsatisfiable or
+/// the solver gives up.
+pub fn concretize(program: &Program, alias: &AliasInfo, edges: &[EdgeId]) -> Option<Witness> {
+    let mut enc = TraceEncoder::new(alias);
+    let mut parts = Vec::new();
+    // (edge, symbol) for each havoc whose value the suffix observed.
+    let mut havoc_syms: Vec<(EdgeId, lia::SymId)> = Vec::new();
+    for &eid in edges.iter().rev() {
+        let op = &program.edge(eid).op;
+        let f = enc.op_backward(op);
+        if matches!(op, Op::Havoc(_)) {
+            if let Some(s) = enc.last_havoc_symbol() {
+                havoc_syms.push((eid, s));
+            }
+        }
+        if f != Formula::True {
+            parts.push(f);
+        }
+    }
+    let SatResult::Sat(model) = Solver::new().check(&Formula::And(parts)) else {
+        return None;
+    };
+    let mut initial = State::zeroed(program);
+    for (cell, sym) in enc.initial_bindings() {
+        initial.set(cell, model.get(sym));
+    }
+    let havoc_values = havoc_syms
+        .into_iter()
+        .map(|(e, s)| (e, model.get(s)))
+        .collect::<HashMap<_, _>>();
+    Some(Witness {
+        initial,
+        havoc_values,
+    })
+}
+
+/// Replays a witness through the interpreter (fallback `nondet()` = 0).
+pub fn replay(program: &Program, witness: &Witness, fuel: usize) -> ExecResult {
+    replay_with_fallback(program, witness, 0, fuel)
+}
+
+/// Replays a witness with an explicit fallback for `nondet()` edges the
+/// slice does not constrain. The slice leaves those values free; a
+/// caller that knows the domain (e.g. "non-zero means a healthy file
+/// handle") can steer unconstrained nondeterminism away from unrelated
+/// error sites.
+pub fn replay_with_fallback(
+    program: &Program,
+    witness: &Witness,
+    fallback: i64,
+    fuel: usize,
+) -> ExecResult {
+    let mut oracle = EdgeOracle::new(witness.havoc_values.clone(), fallback);
+    Interp::run(program, witness.initial.clone(), &mut oracle, fuel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::ExecOutcome;
+    use dataflow::AliasInfo;
+
+    fn setup(src: &str) -> (Program, AliasInfo) {
+        let p = cfa::lower(&imp::parse(src).unwrap()).unwrap();
+        let a = AliasInfo::build(&p);
+        (p, a)
+    }
+
+    #[test]
+    fn concretizes_initial_state_constraints() {
+        // Straight-line trace: assume(a > 10); assume(b == a + 1).
+        let (p, alias) = setup("global a, b; fn main() { assume(a > 10); assume(b == a + 1); }");
+        let edges: Vec<EdgeId> = (0..2)
+            .map(|i| EdgeId {
+                func: p.main(),
+                idx: i,
+            })
+            .collect();
+        let w = concretize(&p, &alias, &edges).expect("satisfiable");
+        let a = p.vars().lookup("a").unwrap();
+        let b = p.vars().lookup("b").unwrap();
+        assert!(w.initial.get(a) > 10);
+        assert_eq!(w.initial.get(b), w.initial.get(a) + 1);
+        // And the replay executes past both assumes.
+        let r = replay(&p, &w, 1000);
+        assert_eq!(r.outcome, ExecOutcome::Completed);
+    }
+
+    #[test]
+    fn concretizes_havoc_values() {
+        let (p, alias) = setup("fn main() { local h; h = nondet(); if (h > 99) { error(); } }");
+        let m = p.cfa(p.main());
+        // Full error path: havoc; assume(h > 99).
+        let err = m.error_locs()[0];
+        let into_err = m.pred_edges(err)[0];
+        let edges = vec![
+            EdgeId {
+                func: p.main(),
+                idx: m.succ_edges(m.entry())[0],
+            },
+            EdgeId {
+                func: p.main(),
+                idx: into_err,
+            },
+        ];
+        let w = concretize(&p, &alias, &edges).expect("satisfiable");
+        assert_eq!(w.havoc_values.len(), 1);
+        assert!(w.havoc_values.values().next().unwrap() > &99);
+        let r = replay(&p, &w, 1000);
+        assert!(matches!(r.outcome, ExecOutcome::ReachedError(_)));
+    }
+
+    #[test]
+    fn infeasible_trace_has_no_witness() {
+        let (p, alias) = setup("global a; fn main() { assume(a > 0); assume(a < 0); }");
+        let edges: Vec<EdgeId> = (0..2)
+            .map(|i| EdgeId {
+                func: p.main(),
+                idx: i,
+            })
+            .collect();
+        assert!(concretize(&p, &alias, &edges).is_none());
+    }
+}

@@ -1,0 +1,287 @@
+//! Syntactic weakest preconditions (Fig. 3, second column).
+//!
+//! `WP.φ.(l := e) = φ[e/l]` and `WP.φ.(assume p) = φ ∧ p`; calls and
+//! returns are identity. This transformer is exact for pointer-free,
+//! havoc-free operations and returns `None` otherwise (the SSA encoder in
+//! [`crate::encode`] is the general-purpose mechanism; `wp` is used for
+//! predicate abstraction posts in the model checker and as an independent
+//! oracle in differential tests).
+
+use cfa::{CBool, CExpr, CLval, Op, VarId};
+use imp::ast::CmpOp;
+use lia::{Atom, Formula, LinTerm, SymId};
+
+/// Substitutes `e` for every read of variable `x` in `target`.
+fn subst_expr(target: &CExpr, x: VarId, e: &CExpr) -> CExpr {
+    match target {
+        CExpr::Int(_) | CExpr::AddrOf(_) => target.clone(),
+        CExpr::Lval(CLval::Var(v)) if *v == x => e.clone(),
+        CExpr::Lval(_) => target.clone(),
+        CExpr::ArrLoad(a, idx) => CExpr::ArrLoad(*a, Box::new(subst_expr(idx, x, e))),
+        CExpr::Neg(i) => CExpr::Neg(Box::new(subst_expr(i, x, e))),
+        CExpr::Bin(op, a, b) => CExpr::Bin(
+            *op,
+            Box::new(subst_expr(a, x, e)),
+            Box::new(subst_expr(b, x, e)),
+        ),
+    }
+}
+
+/// Substitutes `e` for `x` in a predicate.
+fn subst_bool(target: &CBool, x: VarId, e: &CExpr) -> CBool {
+    match target {
+        CBool::True | CBool::False => target.clone(),
+        CBool::Cmp(op, a, b) => CBool::Cmp(*op, subst_expr(a, x, e), subst_expr(b, x, e)),
+        CBool::Not(i) => CBool::Not(Box::new(subst_bool(i, x, e))),
+        CBool::And(a, b) => {
+            CBool::And(Box::new(subst_bool(a, x, e)), Box::new(subst_bool(b, x, e)))
+        }
+        CBool::Or(a, b) => CBool::Or(Box::new(subst_bool(a, x, e)), Box::new(subst_bool(b, x, e))),
+    }
+}
+
+/// Whether a predicate or expression mentions any dereference or array
+/// access (both are imprecise for substitution-based WP).
+fn bool_has_deref(b: &CBool) -> bool {
+    let mut reads = Vec::new();
+    b.collect_reads(&mut reads);
+    reads
+        .iter()
+        .any(|lv| matches!(lv, CLval::Deref(_) | CLval::Arr(_)))
+}
+
+fn expr_has_deref(e: &CExpr) -> bool {
+    let mut reads = Vec::new();
+    e.collect_reads(&mut reads);
+    reads
+        .iter()
+        .any(|lv| matches!(lv, CLval::Deref(_) | CLval::Arr(_)))
+}
+
+/// The syntactic weakest precondition of `φ` with respect to one
+/// operation. Returns `None` when the operation (or `φ`) involves
+/// dereferences or `nondet()` on a variable `φ` reads, where substitution
+/// is not exact.
+pub fn wp_bool(phi: &CBool, op: &Op) -> Option<CBool> {
+    if bool_has_deref(phi) {
+        return None;
+    }
+    match op {
+        Op::Assign(CLval::Var(x), e) => {
+            if expr_has_deref(e) {
+                return None;
+            }
+            Some(subst_bool(phi, *x, e))
+        }
+        Op::Assign(CLval::Deref(_), _) | Op::Assign(CLval::Arr(_), _) => None,
+        Op::ArrStore(..) => {
+            // Weak array write: exact only if φ is array-free, which the
+            // bool_has_deref guard above already established.
+            Some(phi.clone())
+        }
+        Op::Havoc(CLval::Var(x)) => {
+            // ∃v. φ[v/x] — exact only if φ does not read x.
+            let mut reads = Vec::new();
+            phi.collect_reads(&mut reads);
+            if reads.iter().any(|lv| lv.base() == *x) {
+                None
+            } else {
+                Some(phi.clone())
+            }
+        }
+        Op::Havoc(CLval::Deref(_)) | Op::Havoc(CLval::Arr(_)) => None,
+        Op::Assume(p) => {
+            if bool_has_deref(p) {
+                None
+            } else {
+                Some(CBool::And(Box::new(p.clone()), Box::new(phi.clone())))
+            }
+        }
+        Op::Call(_) | Op::Return => Some(phi.clone()),
+    }
+}
+
+/// `WP.φ.τ` over a whole trace (forward order), by backward iteration.
+/// Returns `None` if any step is inexact.
+pub fn wp_trace<'o>(
+    phi: &CBool,
+    ops: impl IntoIterator<Item = &'o Op, IntoIter: DoubleEndedIterator>,
+) -> Option<CBool> {
+    let mut cur = phi.clone();
+    for op in ops.into_iter().rev() {
+        cur = wp_bool(&cur, op)?;
+    }
+    Some(cur)
+}
+
+/// Translates a pointer-free, linear predicate over program variables
+/// into a [`lia::Formula`] with the fixed symbol convention
+/// `SymId(v.0)` for variable `v`. Returns `None` on dereferences or
+/// non-linear arithmetic.
+///
+/// This is the "state formula" encoding used for predicate-abstraction
+/// entailment queries, where all predicates talk about the *same* program
+/// state (no SSA versions needed).
+pub fn cbool_to_formula(b: &CBool) -> Option<Formula> {
+    Some(match b {
+        CBool::True => Formula::True,
+        CBool::False => Formula::False,
+        CBool::Cmp(op, x, y) => {
+            let tx = cexpr_to_term(x)?;
+            let ty = cexpr_to_term(y)?;
+            let d = tx.checked_sub(&ty)?;
+            Formula::Atom(match op {
+                CmpOp::Eq => Atom::eq(d),
+                CmpOp::Ne => Atom::ne(d),
+                CmpOp::Lt => Atom::lt(d),
+                CmpOp::Le => Atom::le(d),
+                CmpOp::Gt => Atom::lt(ty.checked_sub(&tx)?),
+                CmpOp::Ge => Atom::le(ty.checked_sub(&tx)?),
+            })
+        }
+        CBool::Not(i) => Formula::not(cbool_to_formula(i)?),
+        CBool::And(a, b) => Formula::and(cbool_to_formula(a)?, cbool_to_formula(b)?),
+        CBool::Or(a, b) => Formula::or(cbool_to_formula(a)?, cbool_to_formula(b)?),
+    })
+}
+
+/// Expression-to-term companion of [`cbool_to_formula`].
+pub fn cexpr_to_term(e: &CExpr) -> Option<LinTerm> {
+    match e {
+        CExpr::Int(n) => Some(LinTerm::constant(i128::from(*n))),
+        CExpr::Lval(CLval::Var(v)) => Some(LinTerm::sym(SymId(v.0))),
+        CExpr::Lval(CLval::Deref(_)) | CExpr::Lval(CLval::Arr(_)) | CExpr::ArrLoad(..) => None,
+        CExpr::AddrOf(v) => Some(LinTerm::constant(crate::state::State::addr_of(*v) as i128)),
+        CExpr::Neg(i) => cexpr_to_term(i)?.checked_scale(-1),
+        CExpr::Bin(op, a, b) => {
+            let ta = cexpr_to_term(a)?;
+            let tb = cexpr_to_term(b)?;
+            match op {
+                imp::ast::BinOp::Add => ta.checked_add(&tb),
+                imp::ast::BinOp::Sub => ta.checked_sub(&tb),
+                imp::ast::BinOp::Mul => {
+                    if ta.is_constant() {
+                        tb.checked_scale(ta.constant_part())
+                    } else if tb.is_constant() {
+                        ta.checked_scale(tb.constant_part())
+                    } else {
+                        None
+                    }
+                }
+                imp::ast::BinOp::Div | imp::ast::BinOp::Rem => None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfa::Program;
+    use lia::Solver;
+
+    fn prog(src: &str) -> Program {
+        cfa::lower(&imp::parse(src).unwrap()).unwrap()
+    }
+
+    /// WP-based trace feasibility: WP.true.τ satisfiable?
+    fn wp_feasible(src: &str) -> Option<bool> {
+        let p = prog(src);
+        let ops: Vec<&Op> = p.cfa(p.main()).edges().iter().map(|e| &e.op).collect();
+        let wp = wp_trace(&CBool::True, ops)?;
+        let f = cbool_to_formula(&wp)?;
+        Some(Solver::new().check(&f).is_sat())
+    }
+
+    #[test]
+    fn wp_of_assignment_substitutes() {
+        let p = prog("global x; fn main() { x = x + 1; assume(x > 5); }");
+        let edges = p.cfa(p.main()).edges();
+        let Op::Assume(phi) = &edges[1].op else {
+            panic!()
+        };
+        let wp = wp_bool(phi, &edges[0].op).unwrap();
+        // WP(x > 5, x := x+1) = x+1 > 5.
+        assert_eq!(p.fmt_bool(&wp), "(x + 1) > 5");
+    }
+
+    #[test]
+    fn wp_trace_matches_paper_semantics() {
+        assert_eq!(
+            wp_feasible("global x; fn main() { x = 1; assume(x == 1); }"),
+            Some(true)
+        );
+        assert_eq!(
+            wp_feasible("global x; fn main() { x = 1; assume(x == 2); }"),
+            Some(false)
+        );
+        assert_eq!(
+            wp_feasible("global x, y; fn main() { y = x + 2; assume(y < x); }"),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn wp_gives_up_on_derefs() {
+        assert_eq!(
+            wp_feasible("global x; fn main() { local pt; pt = &x; *pt = 1; assume(x == 1); }"),
+            None
+        );
+    }
+
+    #[test]
+    fn wp_havoc_exact_when_phi_independent() {
+        let p = prog("global x, y; fn main() { x = nondet(); assume(y > 0); }");
+        let edges = p.cfa(p.main()).edges();
+        let Op::Assume(phi) = &edges[1].op else {
+            panic!()
+        };
+        assert!(wp_bool(phi, &edges[0].op).is_some(), "φ does not read x");
+        // And inexact when it does.
+        let p2 = prog("global x; fn main() { x = nondet(); assume(x > 0); }");
+        let edges2 = p2.cfa(p2.main()).edges();
+        let Op::Assume(phi2) = &edges2[1].op else {
+            panic!()
+        };
+        assert!(wp_bool(phi2, &edges2[0].op).is_none());
+    }
+
+    #[test]
+    fn wp_agrees_with_ssa_encoder_on_linear_traces() {
+        // Differential check on a handful of fixed programs.
+        for (src, expect) in [
+            (
+                "global a, b; fn main() { a = 3; b = a * 2; assume(b == 6); }",
+                true,
+            ),
+            (
+                "global a, b; fn main() { a = 3; b = a * 2; assume(b == 7); }",
+                false,
+            ),
+            (
+                "global a; fn main() { assume(a > 0); a = a - 1; assume(a < 0); }",
+                false,
+            ),
+            (
+                "global a; fn main() { assume(a > 0); a = a - 1; assume(a >= 0); }",
+                true,
+            ),
+        ] {
+            let p = prog(src);
+            let alias = dataflow::AliasInfo::build(&p);
+            let ops: Vec<&Op> = p.cfa(p.main()).edges().iter().map(|e| &e.op).collect();
+            let (_, enc_verdict, _) = crate::encode::trace_feasibility(&alias, ops, &Solver::new());
+            assert_eq!(enc_verdict.is_sat(), expect, "encoder on {src}");
+            assert_eq!(wp_feasible(src), Some(expect), "wp on {src}");
+        }
+    }
+
+    #[test]
+    fn cbool_to_formula_rejects_nonlinear() {
+        let p = prog("global x, y; fn main() { assume(x * y > 0); }");
+        let Op::Assume(phi) = &p.cfa(p.main()).edges()[0].op else {
+            panic!()
+        };
+        assert!(cbool_to_formula(phi).is_none());
+    }
+}

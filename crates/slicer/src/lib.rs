@@ -1,0 +1,64 @@
+//! `slicer` — the paper's contribution: **path slicing**.
+//!
+//! Given a (possibly infeasible) program path π to a target location,
+//! [`PathSlicer::slice`] computes a subsequence of π's edges — a *path
+//! slice* — that is
+//!
+//! * **sound**: if the slice's operation sequence is infeasible, π is
+//!   infeasible (`WP.true.(Tr.π) ⊆ WP.true.(Tr.π')`), and
+//! * **complete**: every state that can execute the slice either reaches
+//!   π's target along *some* program path, or diverges (§3.2).
+//!
+//! The algorithm (Fig. 3 + Algorithm 1, generalized to pointers in §3.4
+//! and procedures in §4) iterates backwards over the path maintaining the
+//! set of *live lvalues* and the *step location* (source of the last
+//! taken edge), and consults three precomputed relations from the
+//! [`dataflow`] crate: may-alias write sets, `WrBt` (written-between),
+//! `By` (bypass), and `Mods` (callee write summaries).
+//!
+//! Two optimizations from §4.2 are available through [`SliceOptions`]:
+//! early termination once the slice's constraints are unsatisfiable
+//! (sound and complete — the verdict is already decided) and
+//! *function-skipping* for deep call stacks (sound but **not** complete).
+//!
+//! # Example
+//!
+//! Ex1 from the paper (Fig. 2): the call to `complex()` is irrelevant to
+//! the error location along the else-branch path, and the slice drops it.
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use semantics::{ExecOutcome, Interp, ReplayOracle, State};
+//!
+//! let src = r#"
+//!     global a, x, counter;
+//!     fn complex() { local t; t = nondet(); return t; }
+//!     fn main() {
+//!         local r;
+//!         counter = counter + 1;
+//!         if (a > 0) { r = complex(); x = r; } else { x = 0 - 1; }
+//!         counter = counter + 1;
+//!         if (x < 0) { error(); }
+//!     }
+//! "#;
+//! let program = cfa::lower(&imp::parse(src)?)?;
+//! let analyses = dataflow::Analyses::build(&program);
+//!
+//! // Drive an execution that takes the else branch and reaches ERR.
+//! let mut st = State::zeroed(&program);
+//! st.set(program.vars().lookup("a").unwrap(), -1);
+//! let run = Interp::run(&program, st, &mut ReplayOracle::new(vec![]), 10_000);
+//! assert!(matches!(run.outcome, ExecOutcome::ReachedError(_)));
+//!
+//! let slicer = slicer::PathSlicer::new(&analyses);
+//! let result = slicer.slice(&run.path, slicer::SliceOptions::default());
+//! assert!(result.kept.len() < run.path.len());
+//! # Ok(())
+//! # }
+//! ```
+
+mod explain;
+mod slice;
+
+pub use explain::render_slice;
+pub use slice::{PathSlicer, SliceOptions, SliceResult, TakeReason};

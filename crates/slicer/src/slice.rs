@@ -1,0 +1,758 @@
+//! Algorithm `PathSlice` (Fig. 1 of the paper's algorithm listing).
+
+use cfa::{CLval, EdgeId, Loc, Op, Path};
+use dataflow::Analyses;
+use lia::{Ctx, Formula};
+use semantics::TraceEncoder;
+use std::collections::BTreeSet;
+
+/// Why an edge was taken into the slice (the disjuncts of `Take`,
+/// Fig. 3). Recorded per kept edge for explanation and testing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TakeReason {
+    /// An assignment (or `nondet()`) to a live lvalue.
+    AssignsLive,
+    /// An `assume` whose source can bypass the step location (`pc ∈
+    /// By.pc_s`): the branch decides whether control reaches the slice
+    /// suffix at all.
+    AssumeBypass,
+    /// An `assume` guarding a possible write to a live lvalue on an
+    /// alternative path (`WrBt.(pc, pc_s).L`).
+    AssumeWritesBetween,
+    /// A call edge (always taken — §4 keeps `WrBt`/`By` queries
+    /// intraprocedural).
+    Call,
+    /// A return edge from a function that may modify a live lvalue
+    /// (`Mods.f.L`).
+    ReturnMods,
+}
+
+/// Options for [`PathSlicer::slice`] (the §4.2 optimizations).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SliceOptions {
+    /// Stop as soon as the constraints of the taken operations are
+    /// unsatisfiable; the slice is already infeasible and further edges
+    /// cannot change that (§4.2 "Unsatisfiable Path Slices").
+    pub early_unsat: bool,
+    /// When an edge is dropped and no live lvalue can be written between
+    /// the enclosing function's entry and the current location, jump
+    /// straight to the call edge, skipping the guards on the path into
+    /// this frame (§4.2 "Skipping Functions"). Sound, **not** complete.
+    pub skip_functions: bool,
+}
+
+/// The output of [`PathSlicer::slice`].
+#[derive(Debug, Clone)]
+pub struct SliceResult {
+    /// Indices into the input path of the kept edges, ascending.
+    pub kept: Vec<usize>,
+    /// The kept edges themselves (the slice, as an edge subsequence).
+    pub edges: Vec<EdgeId>,
+    /// Why each kept edge was taken (parallel to `kept`).
+    pub reasons: Vec<TakeReason>,
+    /// True if `early_unsat` stopped the pass before reaching the path
+    /// start; the slice's constraint set is unsatisfiable.
+    pub stopped_unsat: bool,
+    /// The live lvalues at the point the pass stopped (path start unless
+    /// `stopped_unsat`).
+    pub final_live: Vec<CLval>,
+    /// The step location at the point the pass stopped.
+    pub final_step: Loc,
+}
+
+impl SliceResult {
+    /// Slice size as a fraction of the original path length (the paper's
+    /// Figures 5/6 metric), in percent.
+    pub fn ratio_percent(&self, original_len: usize) -> f64 {
+        if original_len == 0 {
+            return 0.0;
+        }
+        self.kept.len() as f64 * 100.0 / original_len as f64
+    }
+}
+
+/// The path slicing engine. Holds only a reference to the precomputed
+/// [`Analyses`]; each [`PathSlicer::slice`] call is independent.
+#[derive(Debug, Clone, Copy)]
+pub struct PathSlicer<'a> {
+    analyses: &'a Analyses<'a>,
+}
+
+impl<'a> PathSlicer<'a> {
+    /// Creates a slicer over `analyses`.
+    pub fn new(analyses: &'a Analyses<'a>) -> Self {
+        PathSlicer { analyses }
+    }
+
+    /// The `Take` predicate (Fig. 3, fifth column), returning the reason
+    /// if the edge must be kept.
+    fn take(
+        &self,
+        live: &BTreeSet<CLval>,
+        live_cells: &dataflow::BitSet,
+        pc_step: Loc,
+        edge_id: EdgeId,
+    ) -> Option<TakeReason> {
+        let program = self.analyses.program();
+        let edge = program.edge(edge_id);
+        match &edge.op {
+            Op::Assign(..) | Op::Havoc(..) | Op::ArrStore(..) => {
+                let lv = edge.op.write().expect("writing op");
+                let alias = self.analyses.alias();
+                if live.iter().any(|l| alias.may_alias(lv, *l)) {
+                    Some(TakeReason::AssignsLive)
+                } else {
+                    None
+                }
+            }
+            Op::Assume(_) => {
+                let pc = edge.src;
+                debug_assert_eq!(
+                    pc.func, pc_step.func,
+                    "assume queries are intraprocedural by construction"
+                );
+                if self.analyses.can_bypass(pc, pc_step) {
+                    Some(TakeReason::AssumeBypass)
+                } else if self.analyses.writes_between(pc, pc_step, live_cells) {
+                    Some(TakeReason::AssumeWritesBetween)
+                } else {
+                    None
+                }
+            }
+            Op::Call(_) => Some(TakeReason::Call),
+            Op::Return => {
+                // The function being returned from owns this edge.
+                let f = edge.src.func;
+                if self.analyses.mods(f).intersects(live_cells) {
+                    Some(TakeReason::ReturnMods)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Runs Algorithm `PathSlice` on `path`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is empty.
+    pub fn slice(&self, path: &Path, options: SliceOptions) -> SliceResult {
+        let program = self.analyses.program();
+        let edges = path.edges();
+        assert!(!edges.is_empty(), "cannot slice an empty path");
+        let call_origins = path.call_origins(program);
+
+        let mut live: BTreeSet<CLval> = BTreeSet::new();
+        // Cell view of the live set, kept in sync for WrBt/Mods queries.
+        let mut live_cells = self.analyses.cells_of(live.iter());
+        let mut pc_step: Loc = program.edge(*edges.last().expect("nonempty")).dst;
+
+        let mut kept_rev: Vec<usize> = Vec::new();
+        let mut reasons_rev: Vec<TakeReason> = Vec::new();
+        let mut stopped_unsat = false;
+
+        // Early-unsat machinery (§4.2): encode taken ops backwards.
+        let mut encoder = TraceEncoder::new(self.analyses.alias());
+        let mut ctx = Ctx::new();
+
+        let mut i = edges.len() as isize - 1;
+        while i >= 0 {
+            let idx = i as usize;
+            let edge_id = edges[idx];
+            let edge = program.edge(edge_id);
+            let reason = self.take(&live, &live_cells, pc_step, edge_id);
+            if let Some(reason) = reason {
+                kept_rev.push(idx);
+                reasons_rev.push(reason);
+                // Live := (Live \ Wt.op) ∪ Rd.op — with the §3.4
+                // generalization: the kill uses MustAlias, the gen uses
+                // syntactic reads. Calls and returns leave Live unchanged
+                // (their effects were already processed edge-by-edge when
+                // walking the callee body).
+                match &edge.op {
+                    Op::Assign(..) | Op::Havoc(..) | Op::ArrStore(..) => {
+                        let lv = edge.op.write().expect("writing op");
+                        let alias = self.analyses.alias();
+                        // MustAlias is false for array summaries, so
+                        // element stores never strong-kill (§3.4 weak
+                        // updates).
+                        live.retain(|l| !alias.must_alias(lv, *l));
+                        live.extend(edge.op.reads());
+                    }
+                    Op::Assume(_) => {
+                        live.extend(edge.op.reads());
+                    }
+                    Op::Call(_) | Op::Return => {}
+                }
+                live_cells = self.analyses.cells_of(live.iter());
+                pc_step = edge.src;
+                if options.early_unsat {
+                    let f = encoder.op_backward(&edge.op);
+                    if f != Formula::True {
+                        ctx.assert(f);
+                        if ctx.check().is_unsat() {
+                            stopped_unsat = true;
+                            break;
+                        }
+                    }
+                }
+                i -= 1;
+            } else {
+                // Dropped edge: the generalized index update (§4 line 12
+                // plus the §4.2 function-skipping variant).
+                if matches!(edge.op, Op::Return) {
+                    // Skip the entire callee frame, landing just before
+                    // the call edge. A return edge belongs to the frame
+                    // opened by its own call origin.
+                    let co = call_origins[idx].expect("return edges have a call origin");
+                    i = co as isize - 1;
+                } else if options.skip_functions {
+                    let pc0 = program.cfa(edge.src.func).entry();
+                    if !self.analyses.writes_between(pc0, edge.src, &live_cells) {
+                        // Jump to the call edge of the current frame (it
+                        // will be taken); for the outermost frame there
+                        // is no call edge and slicing is done.
+                        match call_origins[idx] {
+                            Some(co) => i = co as isize,
+                            None => break,
+                        }
+                    } else {
+                        i -= 1;
+                    }
+                } else {
+                    i -= 1;
+                }
+            }
+        }
+
+        kept_rev.reverse();
+        reasons_rev.reverse();
+        let slice_edges: Vec<EdgeId> = kept_rev.iter().map(|&k| edges[k]).collect();
+        SliceResult {
+            kept: kept_rev,
+            edges: slice_edges,
+            reasons: reasons_rev,
+            stopped_unsat,
+            final_live: live.into_iter().collect(),
+            final_step: pc_step,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfa::Program;
+    use semantics::{ExecOutcome, Interp, ReplayOracle, State};
+
+    fn setup(src: &str) -> Program {
+        cfa::lower(&imp::parse(src).unwrap()).unwrap()
+    }
+
+    /// Runs the program with the given initial values for the named
+    /// globals and returns the executed path (must reach ERR).
+    fn error_path(program: &Program, init: &[(&str, i64)], inputs: Vec<i64>) -> Path {
+        let mut st = State::zeroed(program);
+        for (name, v) in init {
+            st.set(program.vars().lookup(name).unwrap(), *v);
+        }
+        let r = Interp::run(program, st, &mut ReplayOracle::new(inputs), 1_000_000);
+        assert!(
+            matches!(r.outcome, ExecOutcome::ReachedError(_)),
+            "expected ERR, got {:?}",
+            r.outcome
+        );
+        r.path
+    }
+
+    fn ops_of(program: &Program, result: &SliceResult) -> Vec<String> {
+        result
+            .edges
+            .iter()
+            .map(|&e| program.fmt_op(&program.edge(e).op))
+            .collect()
+    }
+
+    /// Ex2, Figure 1, *without* the shaded lines: the thousand-iteration
+    /// loop and the call to f are irrelevant; the slice keeps only the
+    /// two branch assumes, and is feasible.
+    const EX2_PLAIN: &str = r#"
+        global a, x;
+        fn f() { local t; t = t + 1; }
+        fn main() {
+            local i;
+            for (i = 1; i <= 1000; i = i + 1) { f(); }
+            if (a >= 0) {
+                if (x == 0) { error(); }
+            }
+        }
+    "#;
+
+    #[test]
+    fn ex2_slice_drops_the_loop() {
+        let p = setup(EX2_PLAIN);
+        let a = Analyses::build(&p);
+        let path = error_path(&p, &[("a", 1)], vec![]);
+        assert!(
+            path.len() > 4000,
+            "the path unrolls the loop ({} edges)",
+            path.len()
+        );
+        let result = PathSlicer::new(&a).slice(&path, SliceOptions::default());
+        let ops = ops_of(&p, &result);
+        assert_eq!(
+            ops,
+            vec!["assume(a >= 0)", "assume(x == 0)"],
+            "paper Example 5"
+        );
+        assert!(!result.stopped_unsat);
+        assert!(result.ratio_percent(path.len()) < 0.1);
+    }
+
+    /// Ex2 *with* the shaded lines: x is set to 1 exactly when a >= 0, so
+    /// the target is unreachable; the slice keeps the initialization
+    /// branch and assignments and becomes infeasible — while still
+    /// dropping the loop (paper Example 4/5).
+    const EX2_SHADED: &str = r#"
+        global a, x;
+        fn f() { local t; t = t + 1; }
+        fn main() {
+            local i;
+            x = 0;
+            if (a >= 0) { x = 1; }
+            for (i = 1; i <= 1000; i = i + 1) { f(); }
+            if (a >= 0) {
+                if (x == 0) { error(); }
+            }
+        }
+    "#;
+
+    #[test]
+    fn ex2_shaded_slice_is_infeasible_but_small() {
+        let p = setup(EX2_SHADED);
+        let a = Analyses::build(&p);
+        // Force the interpreter down the buggy-looking branch: a >= 0.
+        // The path reaches the second `if (x == 0)` with x = 1, so the
+        // concrete run does NOT reach ERR; build the abstract path by
+        // hand instead: take the a >= 0 branch but pretend x == 0 held.
+        // Simplest honest construction: drive a run with a = -1 … which
+        // avoids ERR too. So we take the concrete path for a >= 0 and
+        // substitute its last branch: this is exactly the kind of
+        // abstract counterexample a model checker emits.
+        let mut st = State::zeroed(&p);
+        st.set(p.vars().lookup("a").unwrap(), 1);
+        let run = Interp::run(&p, st, &mut ReplayOracle::new(vec![]), 1_000_000);
+        assert_eq!(run.outcome, ExecOutcome::Completed);
+        // The executed path ends ... assume(a>=0); assume(x != 0); return.
+        // Replace the final x != 0 assume with its sibling x == 0 edge
+        // into ERR.
+        let mut edges = run.path.edges().to_vec();
+        assert!(matches!(p.edge(edges[edges.len() - 1]).op, Op::Return));
+        edges.pop(); // return
+        let last = *edges.last().unwrap();
+        let last_edge = p.edge(last);
+        assert!(last_edge.op.is_assume());
+        let sibling = p
+            .cfa(p.main())
+            .succ_edges(last_edge.src)
+            .iter()
+            .copied()
+            .find(|&ei| ei != last.idx)
+            .unwrap();
+        edges.pop();
+        edges.push(EdgeId {
+            func: p.main(),
+            idx: sibling,
+        });
+        let err_target = p.edge(*edges.last().unwrap()).dst;
+        assert!(p.cfa(p.main()).error_locs().contains(&err_target));
+        let path = Path::new(&p, edges).unwrap();
+
+        let result = PathSlicer::new(&a).slice(&path, SliceOptions::default());
+        let ops = ops_of(&p, &result);
+        // Loop and f() must be gone; the two branches on a plus the two
+        // x assignments must remain (paper Example 5, shaded case).
+        assert!(
+            ops.iter()
+                .all(|o| !o.contains("call") && !o.contains("main::i")),
+            "{ops:?}"
+        );
+        // `x := 0` is strong-killed by `x := 1` along this path and is
+        // correctly dropped; both branches on `a` and the shaded
+        // assignment remain — exactly the inconsistent core.
+        assert_eq!(
+            ops,
+            vec![
+                "assume(a >= 0)",
+                "x := 1",
+                "assume(a >= 0)",
+                "assume(x == 0)"
+            ],
+            "paper Example 5, shaded case"
+        );
+        // And the slice is infeasible.
+        let slice_ops: Vec<&Op> = result.edges.iter().map(|&e| &p.edge(e).op).collect();
+        let (_, verdict, _) =
+            semantics::trace_feasibility(a.alias(), slice_ops, &lia::Solver::new());
+        assert!(verdict.is_unsat(), "shaded Ex2 slice must be infeasible");
+    }
+
+    /// Ex1, Figure 2: along the else-branch path, `complex()` is sliced
+    /// away entirely (path slicing beats static slicing — Example 6).
+    const EX1: &str = r#"
+        global a, x;
+        fn complex() { local t; t = nondet(); return t; }
+        fn main() {
+            local r;
+            if (a > 0) { r = complex(); x = r; } else { x = 0 - 1; }
+            if (x < 0) { error(); }
+        }
+    "#;
+
+    #[test]
+    fn ex1_slice_eliminates_complex_on_else_path() {
+        let p = setup(EX1);
+        let a = Analyses::build(&p);
+        let path = error_path(&p, &[("a", -1)], vec![]);
+        let result = PathSlicer::new(&a).slice(&path, SliceOptions::default());
+        let ops = ops_of(&p, &result);
+        assert_eq!(
+            ops,
+            vec!["assume(a <= 0)", "x := (0 - 1)", "assume(x < 0)"],
+            "paper Figure 2(B)"
+        );
+        // The slice is feasible: every state with a <= 0 reaches ERR.
+        let slice_ops: Vec<&Op> = result.edges.iter().map(|&e| &p.edge(e).op).collect();
+        let (_, verdict, _) =
+            semantics::trace_feasibility(a.alias(), slice_ops, &lia::Solver::new());
+        assert!(verdict.is_sat());
+    }
+
+    #[test]
+    fn ex1_then_path_keeps_complex_call() {
+        // On the then-branch path the returned value flows into x: the
+        // call must be kept (its return writes a live transfer global).
+        let p = setup(EX1);
+        let a = Analyses::build(&p);
+        let path = error_path(&p, &[("a", 1)], vec![-5]);
+        let result = PathSlicer::new(&a).slice(&path, SliceOptions::default());
+        let ops = ops_of(&p, &result);
+        assert!(ops.iter().any(|o| o.contains("call complex")), "{ops:?}");
+        assert!(result.reasons.contains(&TakeReason::ReturnMods));
+    }
+
+    #[test]
+    fn irrelevant_interleaved_assignments_are_dropped() {
+        let src = r#"
+            global a, b, c;
+            fn main() {
+                b = 1; a = 2; b = b + 1; c = b; a = a + 1;
+                if (a > 2) { error(); }
+            }
+        "#;
+        let p = setup(src);
+        let an = Analyses::build(&p);
+        let path = error_path(&p, &[], vec![]);
+        let result = PathSlicer::new(&an).slice(&path, SliceOptions::default());
+        let ops = ops_of(&p, &result);
+        assert_eq!(ops, vec!["a := 2", "a := (a + 1)", "assume(a > 2)"]);
+    }
+
+    #[test]
+    fn live_kill_is_strong_for_plain_variables() {
+        // a = 5 kills liveness of the earlier a = nondet().
+        let src = r#"
+            global a;
+            fn main() { a = nondet(); a = 5; if (a == 5) { error(); } }
+        "#;
+        let p = setup(src);
+        let an = Analyses::build(&p);
+        let path = error_path(&p, &[], vec![0]);
+        let result = PathSlicer::new(&an).slice(&path, SliceOptions::default());
+        let ops = ops_of(&p, &result);
+        assert_eq!(
+            ops,
+            vec!["a := 5", "assume(a == 5)"],
+            "havoc killed by strong update"
+        );
+    }
+
+    #[test]
+    fn early_unsat_truncates_the_pass() {
+        let src = r#"
+            global a, b;
+            fn main() {
+                b = nondet();
+                a = 1;
+                if (a == 2) {
+                    if (b == 3) { error(); }
+                }
+            }
+        "#;
+        let p = setup(src);
+        let an = Analyses::build(&p);
+        // Build the abstract path by splicing: concrete execution never
+        // reaches ERR, so craft edges: b=nondet, a=1, assume(a==2),
+        // assume(b==3) into ERR.
+        let m = p.cfa(p.main());
+        let mut edges = Vec::new();
+        // Walk greedily toward the error by choosing assume edges that
+        // lead toward it (a hand-built abstract counterexample).
+        let mut cur = m.entry();
+        'outer: loop {
+            for &ei in m.succ_edges(cur) {
+                let e = m.edge(ei);
+                // Choose the branch that goes toward ERR: the assume(a==2)
+                // and assume(b==3) arms (their negations lower to `!=`).
+                let takes_err_branch = match &e.op {
+                    Op::Assume(pb) => !matches!(pb, cfa::CBool::Cmp(imp::ast::CmpOp::Ne, _, _)),
+                    _ => true,
+                };
+                if takes_err_branch {
+                    edges.push(EdgeId {
+                        func: p.main(),
+                        idx: ei,
+                    });
+                    cur = e.dst;
+                    if m.error_locs().contains(&cur) {
+                        break 'outer;
+                    }
+                    continue 'outer;
+                }
+            }
+            panic!("no progress toward error");
+        }
+        let path = Path::new(&p, edges).unwrap();
+        let with = PathSlicer::new(&an).slice(
+            &path,
+            SliceOptions {
+                early_unsat: true,
+                skip_functions: false,
+            },
+        );
+        assert!(with.stopped_unsat, "a := 1 contradicts assume(a == 2)");
+        // The truncated slice must not extend past the contradiction: the
+        // initial havoc of b is not reached.
+        let ops = ops_of(&p, &with);
+        assert!(!ops.iter().any(|o| o.contains("nondet")), "{ops:?}");
+    }
+
+    #[test]
+    fn skip_functions_drops_guards_on_the_call_stack() {
+        // Deep call chain with branch guards in each frame. The argument-
+        // transfer assignments between each guard and its call are not
+        // live (the callees' relevant code never reads the parameters),
+        // so they are dropped — and with `skip_functions` that drop
+        // short-circuits to the frame's call edge, skipping the guards
+        // (§4.2 "Skipping Functions").
+        let src = r#"
+            global x;
+            fn h(hv) { if (x != 99) { error(); } }
+            fn g(gv) { local t; t = nondet(); if (t > 0) { h(t); } }
+            fn f() { local s; s = nondet(); if (s > 0) { g(s); } }
+            fn main() { f(); }
+        "#;
+        let p = setup(src);
+        let an = Analyses::build(&p);
+        let path = error_path(&p, &[], vec![1, 1]);
+        let plain = PathSlicer::new(&an).slice(&path, SliceOptions::default());
+        let skipping = PathSlicer::new(&an).slice(
+            &path,
+            SliceOptions {
+                early_unsat: false,
+                skip_functions: true,
+            },
+        );
+        let plain_ops = ops_of(&p, &plain);
+        let skip_ops = ops_of(&p, &skipping);
+        // Without skipping, the guards (and the havocs feeding them) stay.
+        assert!(
+            plain_ops.iter().any(|o| o.contains("t > 0")),
+            "{plain_ops:?}"
+        );
+        // With skipping they are gone, but calls and the final check stay.
+        assert!(
+            !skip_ops.iter().any(|o| o.contains("t > 0")),
+            "{skip_ops:?}"
+        );
+        assert!(
+            skip_ops.iter().any(|o| o.contains("assume(x != 99)")),
+            "{skip_ops:?}"
+        );
+        assert!(skipping.kept.len() < plain.kept.len());
+    }
+
+    #[test]
+    fn skip_functions_loses_completeness_as_the_paper_warns() {
+        // §4.2: "However after this modification the resulting slice is
+        // not guaranteed to be complete." Construct the failure: the
+        // guard into the callee can never hold, so ERR is unreachable —
+        // but skip-functions drops the guard, leaving a *feasible* slice
+        // that would wrongly suggest reachability.
+        let src = r#"
+            global x;
+            fn inner(v) { if (x == 0) { error(); } }
+            fn outer() {
+                local g, pad;
+                g = nondet();
+                if (g > 10) {
+                    if (g < 5) {
+                        pad = 1;
+                        inner(pad);
+                    }
+                }
+            }
+            fn main() { outer(); }
+        "#;
+        let p = setup(src);
+        let an = Analyses::build(&p);
+        // ERR is truly unreachable (g > 10 ∧ g < 5 is vacuous): splice the
+        // abstract path by hand.
+        let outer = p.func_id("outer").unwrap();
+        let inner = p.func_id("inner").unwrap();
+        let main = p.main();
+        let oc = p.cfa(outer);
+        let ic = p.cfa(inner);
+        let mc = p.cfa(main);
+        let mut edges = Vec::new();
+        // main: call outer
+        let call_outer = (0..mc.edges().len() as u32)
+            .find(|&i| matches!(mc.edge(i).op, Op::Call(f) if f == outer))
+            .unwrap();
+        edges.push(EdgeId {
+            func: main,
+            idx: call_outer,
+        });
+        // outer: walk entry → havoc g → assume(g>10) → assume(g<5) → pad := 1
+        //        → inner::arg0 := pad → call inner
+        let mut cur = oc.entry();
+        'walk: loop {
+            for &ei in oc.succ_edges(cur) {
+                let e = oc.edge(ei);
+                let keep = match &e.op {
+                    Op::Assume(b) => !matches!(
+                        b,
+                        cfa::CBool::Cmp(imp::ast::CmpOp::Le, _, _)
+                            | cfa::CBool::Cmp(imp::ast::CmpOp::Ge, _, _)
+                    ),
+                    _ => true,
+                };
+                if keep {
+                    edges.push(EdgeId {
+                        func: outer,
+                        idx: ei,
+                    });
+                    cur = e.dst;
+                    if matches!(e.op, Op::Call(f) if f == inner) {
+                        break 'walk;
+                    }
+                    continue 'walk;
+                }
+            }
+            panic!("walk stuck at {cur}");
+        }
+        // inner: prologue → assume(x == 0) → ERR
+        let mut cur = ic.entry();
+        'walk2: loop {
+            for &ei in ic.succ_edges(cur) {
+                let e = ic.edge(ei);
+                let keep = match &e.op {
+                    Op::Assume(b) => matches!(b, cfa::CBool::Cmp(imp::ast::CmpOp::Eq, _, _)),
+                    _ => true,
+                };
+                if keep {
+                    edges.push(EdgeId {
+                        func: inner,
+                        idx: ei,
+                    });
+                    cur = e.dst;
+                    if ic.error_locs().contains(&cur) {
+                        break 'walk2;
+                    }
+                    continue 'walk2;
+                }
+            }
+            panic!("walk2 stuck at {cur}");
+        }
+        let path = Path::new(&p, edges).unwrap();
+
+        let feasible = |r: &SliceResult| {
+            let ops: Vec<&Op> = r.edges.iter().map(|&e| &p.edge(e).op).collect();
+            let (_, v, _) = semantics::trace_feasibility(an.alias(), ops, &lia::Solver::new());
+            v.is_sat()
+        };
+        // The faithful slice keeps the contradictory guards: infeasible,
+        // as completeness demands for an unreachable target.
+        let plain = PathSlicer::new(&an).slice(&path, SliceOptions::default());
+        assert!(!feasible(&plain), "complete slice must be infeasible");
+        // Skip-functions drops them: the slice becomes feasible even
+        // though ERR is unreachable — completeness is lost.
+        let skipping = PathSlicer::new(&an).slice(
+            &path,
+            SliceOptions {
+                early_unsat: false,
+                skip_functions: true,
+            },
+        );
+        assert!(
+            feasible(&skipping),
+            "skip-functions sacrifices completeness (paper §4.2): {:?}",
+            skipping.edges
+        );
+    }
+
+    #[test]
+    fn pointer_write_keeps_assignment_via_may_alias() {
+        let src = r#"
+            global x, y;
+            fn main() {
+                local pt, c;
+                c = nondet();
+                if (c > 0) { pt = &x; } else { pt = &y; }
+                *pt = 5;
+                if (x == 5) { error(); }
+            }
+        "#;
+        let p = setup(src);
+        let an = Analyses::build(&p);
+        let path = error_path(&p, &[], vec![1]);
+        let result = PathSlicer::new(&an).slice(&path, SliceOptions::default());
+        let ops = ops_of(&p, &result);
+        // *pt = 5 may-writes x (live): must be kept.
+        assert!(ops.iter().any(|o| o.contains("*main::pt := 5")), "{ops:?}");
+        // And since the kill is only may (two targets), x stays live:
+        // the branch assigning pt is kept through liveness of pt.
+        assert!(ops.iter().any(|o| o.contains("pt := &x")), "{ops:?}");
+    }
+
+    #[test]
+    fn slice_of_slice_is_identity_shaped() {
+        // Slicing is idempotent on the kept subsequence for loop-free
+        // single-function paths: re-slicing the slice keeps everything.
+        let src = r#"
+            global a, b, c;
+            fn main() {
+                a = 1; b = 2; c = 3;
+                if (a == 1) { if (b == 2) { if (c == 3) { error(); } } }
+            }
+        "#;
+        let p = setup(src);
+        let an = Analyses::build(&p);
+        let path = error_path(&p, &[], vec![]);
+        let r1 = PathSlicer::new(&an).slice(&path, SliceOptions::default());
+        // The kept subsequence here is itself a valid path (contiguous).
+        if let Ok(sub) = Path::new(&p, r1.edges.clone()) {
+            let r2 = PathSlicer::new(&an).slice(&sub, SliceOptions::default());
+            assert_eq!(r2.kept.len(), r1.kept.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot slice an empty path")]
+    fn empty_path_panics() {
+        let p = setup("fn main() { }");
+        let an = Analyses::build(&p);
+        let _ = PathSlicer::new(&an).slice(&Path::default(), SliceOptions::default());
+    }
+}

@@ -1,0 +1,397 @@
+//! Deterministic source-text generation from a [`WorkloadSpec`].
+//!
+//! Generating *source text* (rather than CFAs directly) exercises the
+//! full frontend pipeline — lexer, parser, resolver, lowering — at
+//! benchmark scale, the way BLAST's CIL frontend processed real C.
+
+use crate::spec::WorkloadSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// A generated benchmark program plus its headline statistics (the
+/// paper's Table 1 "LOC" / "Procedures" / "checks" columns).
+#[derive(Debug, Clone)]
+pub struct GeneratedProgram {
+    /// The generating spec.
+    pub spec: WorkloadSpec,
+    /// IMP source text.
+    pub source: String,
+    /// Non-blank source lines.
+    pub loc: usize,
+    /// Number of function definitions.
+    pub n_functions: usize,
+    /// Total instrumented error sites.
+    pub n_error_sites: usize,
+    /// Functions containing error sites (the per-function check
+    /// clusters of §5).
+    pub n_check_clusters: usize,
+}
+
+impl GeneratedProgram {
+    /// Parses and lowers the generated source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generator emitted invalid IMP (a bug caught by the
+    /// crate's tests).
+    pub fn lower(&self) -> cfa::Program {
+        let ast = imp::parse(&self.source).expect("generated source parses");
+        cfa::lower(&ast).expect("generated source lowers")
+    }
+
+    /// `nondet()` values that drive a concrete execution into the
+    /// planted bug of `target_module` (which must be listed in
+    /// `spec.buggy_modules`): earlier modules get healthy handles, the
+    /// target's `fopen` returns NULL.
+    pub fn inputs_reaching_bug(&self, target_module: usize) -> Vec<i64> {
+        assert!(
+            self.spec.buggy_modules.contains(&target_module),
+            "module {target_module} has no planted bug"
+        );
+        let mut draws = Vec::new();
+        for m in 0..self.spec.modules {
+            if m == target_module {
+                // popen: getrlimit succeeds (0), fopen returns NULL (0).
+                draws.extend([0, 0]);
+                break;
+            }
+            if self.spec.buggy_modules.contains(&m) {
+                draws.extend([0, 7]); // healthy handle through popen
+            } else {
+                draws.push(7); // healthy handle
+            }
+        }
+        draws
+    }
+}
+
+/// Generates the benchmark program for `spec`. Deterministic in
+/// `spec.seed`.
+pub fn generate(spec: &WorkloadSpec) -> GeneratedProgram {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut out = String::new();
+    let mut n_functions = 0usize;
+    let mut n_error_sites = 0usize;
+    let mut n_check_clusters = 0usize;
+
+    // Globals. Each module owns a scratch buffer (ijpeg-style array
+    // traffic that the slicer must see through).
+    for i in 0..spec.modules {
+        let _ = writeln!(out, "global fh{i}, st{i}, ns{i}, buf{i}[8];");
+    }
+    let _ = writeln!(out, "global acc;");
+    out.push('\n');
+
+    for i in 0..spec.modules {
+        let buggy = spec.buggy_modules.contains(&i);
+        let multi = i < spec.multi_site_modules;
+
+        // Arithmetic helper chain (protocol-irrelevant computation).
+        for k in (0..spec.helpers_per_module).rev() {
+            n_functions += 1;
+            let _ = writeln!(out, "fn m{i}_h{k}(v) {{");
+            let _ = writeln!(out, "    local t, j;");
+            let _ = writeln!(out, "    t = v + {};", rng.gen_range(1..9));
+            let _ = writeln!(
+                out,
+                "    for (j = 0; j < {}; j = j + 1) {{ buf{i}[j % 8] = t; t = t + j * {}; }}",
+                spec.loop_bound,
+                rng.gen_range(1..4)
+            );
+            let _ = writeln!(out, "    t = t + buf{i}[{}];", rng.gen_range(0..8));
+            // Padding arithmetic with data-dependent branches (the bulk
+            // of the "real program" mass the slicer has to see through).
+            for _ in 0..rng.gen_range(5..11) {
+                let c = rng.gen_range(2..50);
+                let d = rng.gen_range(1..9);
+                let _ = writeln!(
+                    out,
+                    "    if (t > {c}) {{ t = t - {d}; }} else {{ t = t + {d}; }}"
+                );
+            }
+            for _ in 0..rng.gen_range(2..5) {
+                let m = rng.gen_range(3..9);
+                let r = rng.gen_range(0..3);
+                let _ = writeln!(
+                    out,
+                    "    if (t % {m} == {r}) {{ t = t + {}; }}",
+                    rng.gen_range(1..5)
+                );
+            }
+            if k + 1 < spec.helpers_per_module {
+                let _ = writeln!(out, "    t = m{i}_h{}(t);", k + 1);
+            }
+            let _ = writeln!(out, "    return t;");
+            let _ = writeln!(out, "}}");
+            out.push('\n');
+        }
+
+        // A config-parsing style routine: loops over "entries" and
+        // accumulates — protocol-irrelevant, like privoxy's config reads.
+        n_functions += 1;
+        let _ = writeln!(out, "fn m{i}_cfg(k) {{");
+        let _ = writeln!(out, "    local v, j;");
+        let _ = writeln!(out, "    v = k;");
+        let _ = writeln!(
+            out,
+            "    for (j = 0; j < {}; j = j + 1) {{ v = v + j % {}; }}",
+            spec.loop_bound / 2 + 1,
+            rng.gen_range(2..6)
+        );
+        for _ in 0..rng.gen_range(2..6) {
+            let c = rng.gen_range(5..60);
+            let _ = writeln!(
+                out,
+                "    if (v > {c}) {{ v = v - {}; }}",
+                rng.gen_range(1..6)
+            );
+        }
+        let _ = writeln!(out, "    return v;");
+        let _ = writeln!(out, "}}");
+        out.push('\n');
+
+        // The open routine. Buggy modules get the Fig. 4 `ftpd_popen`
+        // shape: a resource-limit call that fails with NULL.
+        if buggy {
+            n_functions += 1;
+            let _ = writeln!(out, "fn m{i}_popen() {{");
+            let _ = writeln!(out, "    local rl, tmp, h;");
+            let _ = writeln!(out, "    rl = nondet();"); // getrlimit(7, &rlp)
+            let _ = writeln!(out, "    tmp = rl;");
+            let _ = writeln!(out, "    if (tmp != 0) {{ return 0; }}");
+            let _ = writeln!(out, "    h = nondet();"); // the FILE* from popen
+            let _ = writeln!(out, "    return h;");
+            let _ = writeln!(out, "}}");
+            n_functions += 1;
+            let _ = writeln!(out, "fn m{i}_open() {{");
+            let _ = writeln!(out, "    fh{i} = m{i}_popen();");
+            let _ = writeln!(
+                out,
+                "    if (fh{i} != 0) {{ st{i} = 1; }} else {{ st{i} = 0; }}"
+            );
+            let _ = writeln!(out, "}}");
+        } else {
+            n_functions += 1;
+            let _ = writeln!(out, "fn m{i}_open() {{");
+            let _ = writeln!(out, "    fh{i} = nondet();");
+            let _ = writeln!(
+                out,
+                "    if (fh{i} != 0) {{ st{i} = 1; }} else {{ st{i} = 0; }}"
+            );
+            let _ = writeln!(out, "}}");
+        }
+        out.push('\n');
+
+        // The instrumented read (fgets-like). Safe modules guard with
+        // the null check; buggy modules use the handle unguarded —
+        // exactly the wuftpd `statfilecmd` bug.
+        n_functions += 1;
+        n_check_clusters += 1;
+        let sites = if multi { 3 } else { 1 };
+        let _ = writeln!(out, "fn m{i}_read() {{");
+        if buggy {
+            for _ in 0..sites {
+                n_error_sites += 1;
+                let _ = writeln!(out, "    if (st{i} != 1) {{ error(); }}");
+                let _ = writeln!(out, "    ns{i} = ns{i} + 1;");
+            }
+        } else {
+            let _ = writeln!(out, "    if (fh{i} != 0) {{");
+            for _ in 0..sites {
+                n_error_sites += 1;
+                let _ = writeln!(out, "        if (st{i} != 1) {{ error(); }}");
+                let _ = writeln!(out, "        ns{i} = ns{i} + 1;");
+            }
+            let _ = writeln!(out, "    }}");
+        }
+        let _ = writeln!(out, "}}");
+        out.push('\n');
+
+        // The instrumented close.
+        n_functions += 1;
+        n_check_clusters += 1;
+        n_error_sites += 1;
+        let _ = writeln!(out, "fn m{i}_close() {{");
+        let _ = writeln!(out, "    if (fh{i} != 0) {{");
+        let _ = writeln!(out, "        if (st{i} != 1) {{ error(); }}");
+        let _ = writeln!(out, "        st{i} = 0;");
+        let _ = writeln!(out, "    }}");
+        let _ = writeln!(out, "}}");
+        out.push('\n');
+
+        // Wrapper chain burying the read under guards (deep call
+        // stacks, the §4.2 skip-functions motivation).
+        for d in 0..spec.wrapper_depth {
+            n_functions += 1;
+            let callee = if d == 0 {
+                format!("m{i}_read()")
+            } else {
+                format!("m{i}_w{}(u)", d - 1)
+            };
+            let _ = writeln!(out, "fn m{i}_w{d}(a) {{");
+            let _ = writeln!(out, "    local u, pad;");
+            let _ = writeln!(out, "    u = a + {};", rng.gen_range(1..5));
+            // The `pad` write between the guard and the call is what the
+            // §4.2 skip-functions optimization needs to short-circuit the
+            // frame (a not-taken edge whose prefix writes nothing live).
+            let _ = writeln!(
+                out,
+                "    if (u != {}) {{ pad = u - 1; ns{i} = ns{i} + pad; {callee}; }}",
+                rng.gen_range(100..999)
+            );
+            let _ = writeln!(out, "}}");
+            out.push('\n');
+        }
+
+        // The driver: open, crunch, read (through wrappers), close.
+        n_functions += 1;
+        let _ = writeln!(out, "fn m{i}_driver() {{");
+        let _ = writeln!(out, "    local r, q;");
+        let _ = writeln!(out, "    m{i}_open();");
+        let _ = writeln!(out, "    r = m{i}_cfg({});", rng.gen_range(1..9));
+        let _ = writeln!(out, "    r = m{i}_h0(r + {});", rng.gen_range(1..20));
+        let _ = writeln!(out, "    ns{i} = r;");
+        for _ in 0..spec.driver_loops {
+            let _ = writeln!(
+                out,
+                "    for (q = 0; q < {}; q = q + 1) {{ acc = acc + q; }}",
+                spec.loop_bound
+            );
+        }
+        // The wrappers are guarded by *control-flow plumbing* (small
+        // constants threaded down), not by the crunched data — like the
+        // paper's programs, where call-stack guards test flags and modes
+        // rather than the buffers being processed. Passing `r` here
+        // would make the entire helper chain data-relevant to the
+        // guards and inflate every slice.
+        if spec.wrapper_depth > 0 {
+            let _ = writeln!(
+                out,
+                "    m{i}_w{}({});",
+                spec.wrapper_depth - 1,
+                rng.gen_range(1..7)
+            );
+        } else {
+            let _ = writeln!(out, "    m{i}_read();");
+        }
+        let _ = writeln!(out, "    m{i}_close();");
+        let _ = writeln!(out, "}}");
+        out.push('\n');
+    }
+
+    // main.
+    let _ = writeln!(out, "fn main() {{");
+    for i in 0..spec.modules {
+        let _ = writeln!(out, "    fh{i} = 0; st{i} = 0; ns{i} = 0;");
+    }
+    let _ = writeln!(out, "    acc = 0;");
+    for i in 0..spec.modules {
+        let _ = writeln!(out, "    m{i}_driver();");
+    }
+    let _ = writeln!(out, "}}");
+    n_functions += 1;
+
+    let loc = out.lines().filter(|l| !l.trim().is_empty()).count();
+    GeneratedProgram {
+        spec: spec.clone(),
+        source: out,
+        loc,
+        n_functions,
+        n_error_sites,
+        n_check_clusters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{gcc_like, suite, Scale};
+    use semantics::{ExecOutcome, Interp, ReplayOracle, State};
+
+    #[test]
+    fn all_suite_programs_parse_and_lower() {
+        for spec in suite(Scale::Small) {
+            let g = generate(&spec);
+            let p = g.lower();
+            cfa::validate(&p).unwrap();
+            assert_eq!(p.cfas().len(), g.n_functions, "{}", spec.name);
+            let sites: usize = p.cfas().iter().map(|c| c.error_locs().len()).sum();
+            assert_eq!(sites, g.n_error_sites, "{}", spec.name);
+            let clusters = p
+                .cfas()
+                .iter()
+                .filter(|c| !c.error_locs().is_empty())
+                .count();
+            assert_eq!(clusters, g.n_check_clusters, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = &suite(Scale::Small)[1];
+        assert_eq!(generate(spec).source, generate(spec).source);
+    }
+
+    #[test]
+    fn gcc_like_is_substantially_larger() {
+        let small = generate(&suite(Scale::Small)[0]);
+        let gcc = generate(&gcc_like(Scale::Small));
+        assert!(gcc.loc > 4 * small.loc);
+        gcc.lower();
+    }
+
+    #[test]
+    fn planted_bugs_are_concretely_reachable() {
+        for spec in suite(Scale::Small) {
+            let g = generate(&spec);
+            if spec.buggy_modules.is_empty() {
+                continue;
+            }
+            let p = g.lower();
+            for &m in &spec.buggy_modules {
+                let inputs = g.inputs_reaching_bug(m);
+                let r = Interp::run(
+                    &p,
+                    State::zeroed(&p),
+                    &mut ReplayOracle::new(inputs),
+                    50_000_000,
+                );
+                assert!(
+                    matches!(r.outcome, ExecOutcome::ReachedError(_)),
+                    "{} module {m}: {:?}",
+                    spec.name,
+                    r.outcome
+                );
+                // And the error is in the buggy module's read function.
+                let ExecOutcome::ReachedError(loc) = r.outcome else {
+                    unreachable!()
+                };
+                assert_eq!(p.cfa(loc.func).name(), format!("m{m}_read"));
+            }
+        }
+    }
+
+    #[test]
+    fn safe_modules_never_error_on_random_inputs() {
+        let spec = &suite(Scale::Small)[0]; // fcron: no planted bugs
+        let g = generate(spec);
+        let p = g.lower();
+        for seed in 0..30 {
+            let mut oracle = semantics::RngOracle::new(seed);
+            let r = Interp::run(&p, State::zeroed(&p), &mut oracle, 50_000_000);
+            assert!(
+                matches!(r.outcome, ExecOutcome::Completed),
+                "seed {seed}: {:?}",
+                r.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn loc_grows_with_scale() {
+        let s: usize = suite(Scale::Small).iter().map(|sp| generate(sp).loc).sum();
+        let m: usize = suite(Scale::Medium).iter().map(|sp| generate(sp).loc).sum();
+        assert!(m > 2 * s, "{s} -> {m}");
+    }
+}

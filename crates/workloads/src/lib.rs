@@ -1,0 +1,40 @@
+//! `workloads` — synthetic benchmark programs modeled on the paper's
+//! §5 suite (fcron, wuftpd, make, privoxy, ijpeg, openssh, gcc).
+//!
+//! The paper checks the *file-handle protocol* on real C packages: the
+//! return value of `fopen`/`fdopen` is an open file pointer iff non-null;
+//! `fgets`/`fprintf`/`fputs` require an open file; `fclose` requires an
+//! open file and closes it. We cannot ship those packages' sources, so
+//! this crate generates IMP programs with the same *shape* (see
+//! `DESIGN.md` §5, substitutions): many procedures organized in modules,
+//! each module owning a file handle that is opened (`h = nondet()`
+//! models `fopen`'s result, with the instrumentation state variable set
+//! exactly when the handle is non-null), threaded through noisy
+//! computation — loops, arithmetic helper chains, deep call stacks — and
+//! finally used and closed, either *guarded* by the null check (safe) or
+//! *unguarded* (the planted bugs, mirroring the wuftpd `ftpd_popen`
+//! pattern of Fig. 4).
+//!
+//! What makes these programs interesting for path slicing is exactly
+//! what made the paper's programs interesting: the abstract
+//! counterexamples traverse mountains of protocol-irrelevant code, and
+//! the slices keep only the handful of handle operations.
+
+//!
+//! # Example
+//!
+//! ```
+//! let spec = &workloads::suite(workloads::Scale::Small)[0]; // fcron-like
+//! let generated = workloads::gen::generate(spec);
+//! assert!(generated.loc > 100);
+//! let program = generated.lower();
+//! assert_eq!(program.cfas().len(), generated.n_functions);
+//! ```
+
+pub mod gen;
+pub mod locks;
+pub mod spec;
+
+pub use gen::GeneratedProgram;
+pub use locks::{generate_locks, LockProgram, LockSpec};
+pub use spec::{gcc_like, suite, Scale, WorkloadSpec};

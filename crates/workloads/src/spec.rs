@@ -1,0 +1,209 @@
+//! Workload specifications mirroring the paper's Table 1 benchmarks.
+
+/// Global size multiplier for the generated suite.
+///
+/// The paper's packages range from 12 KLOC (fcron) to 114 KLOC
+/// (openssh, preprocessed). Generated IMP is denser than preprocessed C,
+/// and the experiment's *shape* (which configuration wins, how slice
+/// ratios scale with trace length) is insensitive to absolute size, so
+/// the default scale targets minutes-not-hours wall clock; `Full`
+/// approaches paper-scale line counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Quick CI-sized programs.
+    Small,
+    /// Default benchmarking scale.
+    #[default]
+    Medium,
+    /// Paper-scale programs (slow).
+    Full,
+}
+
+impl Scale {
+    fn mult(self) -> usize {
+        match self {
+            Scale::Small => 1,
+            Scale::Medium => 6,
+            Scale::Full => 20,
+        }
+    }
+}
+
+/// Parameters of one generated benchmark program.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Program name (matches the paper's Table 1 rows).
+    pub name: String,
+    /// RNG seed (generation is fully deterministic).
+    pub seed: u64,
+    /// Number of file-handle modules.
+    pub modules: usize,
+    /// Arithmetic helper functions chained per module.
+    pub helpers_per_module: usize,
+    /// Loop iterations inside each helper (drives trace length).
+    pub loop_bound: i64,
+    /// Noise loops in each driver.
+    pub driver_loops: usize,
+    /// Extra guard depth: helpers are called through this many nested
+    /// wrapper functions (deep call stacks, §4.2 motivation).
+    pub wrapper_depth: usize,
+    /// Indices of modules whose *use* of the handle skips the null
+    /// check — the planted, genuinely reachable bugs.
+    pub buggy_modules: Vec<usize>,
+    /// Modules whose read function contains several instrumented sites.
+    pub multi_site_modules: usize,
+}
+
+impl WorkloadSpec {
+    /// Number of planted bugs.
+    pub fn expected_bugs(&self) -> usize {
+        self.buggy_modules.len()
+    }
+}
+
+/// The six application benchmarks of Table 1. Module counts and code
+/// sizes scale with the paper's relative program sizes; wuftpd, make and
+/// privoxy carry the bugs the paper found (3, 1, 2 respectively).
+pub fn suite(scale: Scale) -> Vec<WorkloadSpec> {
+    let m = scale.mult();
+    vec![
+        WorkloadSpec {
+            name: "fcron".into(),
+            seed: 101,
+            modules: 2 * m,
+            helpers_per_module: 3,
+            loop_bound: 40,
+            driver_loops: 1,
+            wrapper_depth: 1,
+            buggy_modules: vec![],
+            multi_site_modules: 1,
+        },
+        WorkloadSpec {
+            name: "wuftpd".into(),
+            seed: 202,
+            modules: 4 * m,
+            helpers_per_module: 4,
+            loop_bound: 60,
+            driver_loops: 2,
+            wrapper_depth: 2,
+            buggy_modules: vec![1, 2, 3],
+            multi_site_modules: 2,
+        },
+        WorkloadSpec {
+            name: "make".into(),
+            seed: 303,
+            modules: 5 * m,
+            helpers_per_module: 4,
+            loop_bound: 50,
+            driver_loops: 2,
+            wrapper_depth: 1,
+            buggy_modules: vec![2],
+            multi_site_modules: 2,
+        },
+        WorkloadSpec {
+            name: "privoxy".into(),
+            seed: 404,
+            modules: 6 * m,
+            helpers_per_module: 4,
+            loop_bound: 60,
+            driver_loops: 2,
+            wrapper_depth: 2,
+            buggy_modules: vec![0, 4],
+            multi_site_modules: 2,
+        },
+        WorkloadSpec {
+            name: "ijpeg".into(),
+            seed: 505,
+            modules: 5 * m,
+            helpers_per_module: 5,
+            loop_bound: 80,
+            driver_loops: 3,
+            wrapper_depth: 1,
+            buggy_modules: vec![],
+            multi_site_modules: 2,
+        },
+        WorkloadSpec {
+            name: "openssh".into(),
+            seed: 606,
+            modules: 8 * m,
+            helpers_per_module: 5,
+            loop_bound: 70,
+            driver_loops: 3,
+            wrapper_depth: 3,
+            buggy_modules: vec![],
+            multi_site_modules: 3,
+        },
+    ]
+}
+
+/// The gcc-scale program used for Figure 6: far more modules and much
+/// larger loop bounds, so executed/unrolled traces reach the paper's
+/// tens-of-thousands-of-operations range.
+pub fn gcc_like(scale: Scale) -> WorkloadSpec {
+    let m = scale.mult();
+    WorkloadSpec {
+        name: "gcc".into(),
+        seed: 707,
+        modules: 12 * m,
+        helpers_per_module: 6,
+        loop_bound: 400,
+        driver_loops: 3,
+        wrapper_depth: 3,
+        buggy_modules: vec![5],
+        multi_site_modules: 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_paper_roster() {
+        let names: Vec<String> = suite(Scale::Small).into_iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            vec!["fcron", "wuftpd", "make", "privoxy", "ijpeg", "openssh"]
+        );
+    }
+
+    #[test]
+    fn planted_bug_counts_follow_the_paper() {
+        let by_name: Vec<(String, usize)> = suite(Scale::Small)
+            .into_iter()
+            .map(|s| (s.name.clone(), s.expected_bugs()))
+            .collect();
+        let get = |n: &str| by_name.iter().find(|(name, _)| name == n).unwrap().1;
+        assert_eq!(get("wuftpd"), 3, "paper found 3 violations in wuftpd");
+        assert_eq!(
+            get("privoxy"),
+            2,
+            "paper reported 2 error traces in privoxy"
+        );
+        assert_eq!(get("make"), 1);
+        assert_eq!(get("fcron") + get("ijpeg") + get("openssh"), 0);
+    }
+
+    #[test]
+    fn scales_are_monotone() {
+        for (a, b) in [(Scale::Small, Scale::Medium), (Scale::Medium, Scale::Full)] {
+            let sa: usize = suite(a).iter().map(|s| s.modules).sum();
+            let sb: usize = suite(b).iter().map(|s| s.modules).sum();
+            assert!(sa < sb);
+        }
+    }
+
+    #[test]
+    fn buggy_modules_are_in_range() {
+        for s in suite(Scale::Small).iter().chain([&gcc_like(Scale::Small)]) {
+            for &b in &s.buggy_modules {
+                assert!(
+                    b < s.modules,
+                    "{}: buggy module {b} out of {}",
+                    s.name,
+                    s.modules
+                );
+            }
+        }
+    }
+}

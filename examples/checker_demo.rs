@@ -1,0 +1,72 @@
+//! CEGAR walkthrough: how the checker, the slicer, and the refinement
+//! cooperate on a safe program with an irrelevant loop — the paper's §1
+//! motivation in miniature.
+//!
+//! Run with: `cargo run -p pathslicing --example checker_demo`
+
+use pathslicing::prelude::*;
+use std::time::Duration;
+
+const SRC: &str = r#"
+    global a, x, acc;
+    fn spin() {
+        local i;
+        for (i = 0; i < 200; i = i + 1) { acc = acc + i; }
+    }
+    fn main() {
+        x = 0;
+        if (a >= 0) { x = 1; }
+        spin();
+        if (a >= 0) {
+            if (x == 0) { error(); }
+        }
+    }
+"#;
+
+fn run(reducer: Reducer, label: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let program = pathslicing::compile(SRC)?;
+    let analyses = Analyses::build(&program);
+    let config = CheckerConfig {
+        reducer,
+        time_budget: Duration::from_secs(10),
+        max_refinements: 12,
+        ..CheckerConfig::default()
+    };
+    let reports = check_program(&analyses, config);
+    let r = &reports[0].report;
+    println!("--- {label} ---");
+    println!(
+        "outcome: {:>8?} | refinements: {:>2} | predicates: {:>2} | wall: {:?}",
+        match &r.outcome {
+            CheckOutcome::Safe => "SAFE",
+            CheckOutcome::Bug { .. } => "BUG",
+            CheckOutcome::Timeout(_) => "TIMEOUT",
+        },
+        r.refinements,
+        r.n_predicates,
+        r.wall
+    );
+    for (i, t) in r.traces.iter().enumerate() {
+        println!(
+            "  counterexample {}: {} ops, reduced to {} ({:.1}%)",
+            i + 1,
+            t.trace_ops,
+            t.slice_ops,
+            t.ratio_percent()
+        );
+    }
+    println!();
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("program: x set to 1 exactly when a >= 0; a 200-iteration loop in between;");
+    println!("ERR guarded by (a >= 0 && x == 0) — unreachable, but only with the right");
+    println!("predicates. Compare how the two reducers fare:\n");
+    run(Reducer::path_slice(), "CEGAR with path slicing (the paper)")?;
+    run(Reducer::Identity, "CEGAR without slicing (pre-paper BLAST)")?;
+    println!("path slicing keeps the loop out of every counterexample, so refinement");
+    println!("discovers only the x/a predicates; without it, refinement chases loop");
+    println!("unrollings (one more predicate per round) until a budget trips.");
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! The paper's Ex1 (Figure 2): path slicing vs. static slicing.
+//!
+//! `complex()` computes something hard to reason about; its result flows
+//! into `x` only on the then-branch. A static backward slice of the ERR
+//! location must keep `complex()` (some path uses its result), but the
+//! path slice of the else-branch path eliminates it entirely — and is
+//! feasible, proving ERR reachable from every state with `a <= 0`
+//! (Example 6 in the paper).
+//!
+//! Run with: `cargo run -p pathslicing --example ex1_complex`
+
+use pathslicing::prelude::*;
+
+const EX1: &str = r#"
+    global a, x;
+    fn complex() {
+        // stands in for "factors large numbers": opaque computation
+        local t;
+        t = nondet();
+        if (t < 0) { t = 0 - t; }
+        return t;
+    }
+    fn main() {
+        local r;
+        if (a > 0) {
+            r = complex();
+            x = r;
+        } else {
+            x = 0 - 1;
+        }
+        if (x < 0) { error(); }
+    }
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = pathslicing::compile(EX1)?;
+    let analyses = Analyses::build(&program);
+    let complex_fn = program.func_id("complex").expect("complex defined");
+
+    // --- static slicing (the baseline the paper contrasts with) -------
+    let err = program.cfa(program.main()).error_locs()[0];
+    let static_slice = StaticSlicer::new(&analyses).slice(err);
+    println!(
+        "static slice: {} of {} edges ({:.1}%), keeps complex(): {}",
+        static_slice.edges.len(),
+        program.n_edges(),
+        static_slice.ratio_percent(&program),
+        static_slice.touches_function(complex_fn),
+    );
+    assert!(
+        static_slice.touches_function(complex_fn),
+        "static slicing cannot drop complex()"
+    );
+
+    // --- path slicing on the else-branch path --------------------------
+    let mut init = State::zeroed(&program);
+    init.set(program.vars().lookup("a").unwrap(), -1);
+    let run = Interp::run(&program, init, &mut ReplayOracle::new(vec![]), 100_000);
+    assert!(matches!(run.outcome, ExecOutcome::ReachedError(_)));
+
+    let result = PathSlicer::new(&analyses).slice(&run.path, SliceOptions::default());
+    println!("\n{}", render_slice(&program, &run.path, &result));
+    let keeps_complex = result.edges.iter().any(|e| e.func == complex_fn)
+        || result.edges.iter().any(
+            |e| matches!(program.edge(*e).op, pathslicing::cfa::Op::Call(f) if f == complex_fn),
+        );
+    println!("path slice keeps complex(): {keeps_complex}");
+    assert!(
+        !keeps_complex,
+        "the paper's point: the path slice drops complex() entirely"
+    );
+
+    // --- and the slice is feasible: ERR is truly reachable -------------
+    let ops: Vec<&pathslicing::cfa::Op> =
+        result.edges.iter().map(|&e| &program.edge(e).op).collect();
+    let (_, verdict, _) = pathslicing::semantics::trace_feasibility(
+        analyses.alias(),
+        ops,
+        &pathslicing::lia::Solver::new(),
+    );
+    println!(
+        "slice feasible: {} (⟹ every state with a <= 0 reaches ERR)",
+        verdict.is_sat()
+    );
+    assert!(verdict.is_sat());
+    Ok(())
+}

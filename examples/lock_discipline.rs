@@ -1,0 +1,57 @@
+//! The lock-discipline property family: the SLAM/BLAST classic that the
+//! paper contrasts with its application-level checks ("counterexamples
+//! for such checks are typically two orders of magnitude smaller").
+//!
+//! Generates a lock workload with one planted double-acquire, checks it,
+//! and shows the witness slice telling the protocol story.
+//!
+//! Run with: `cargo run --release -p pathslicing --example lock_discipline`
+
+use pathslicing::prelude::*;
+use pathslicing::workloads::{generate_locks, LockSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = LockSpec::default();
+    let generated = generate_locks(&spec);
+    println!(
+        "generated lock program: {} LOC, {} instrumented lock operations",
+        generated.loc, generated.n_error_sites
+    );
+    let program = generated.lower();
+    let analyses = Analyses::build(&program);
+    let reports = check_program(&analyses, CheckerConfig::default());
+
+    let mut max_trace = 0usize;
+    for r in &reports {
+        let verdict = match &r.report.outcome {
+            CheckOutcome::Safe => "SAFE",
+            CheckOutcome::Bug { .. } => "BUG ",
+            CheckOutcome::Timeout(_) => "T/O ",
+        };
+        println!(
+            "  {:<16} {}  ({} refinement(s))",
+            r.func_name, verdict, r.report.refinements
+        );
+        for t in &r.report.traces {
+            max_trace = max_trace.max(t.trace_ops);
+        }
+        if let CheckOutcome::Bug { path, slice } = &r.report.outcome {
+            println!(
+                "    witness: {} of {} ops — the double-lock story:",
+                slice.len(),
+                path.len()
+            );
+            for &e in slice {
+                println!("      {}", program.fmt_op(&program.edge(e).op));
+            }
+        }
+    }
+    println!(
+        "\nlargest abstract counterexample: {max_trace} ops — protocol traces stay small,\n\
+         as the paper notes for device-driver-style checks, while the application\n\
+         suite's traces run into the thousands (see `fig5`)."
+    );
+    let bugs = reports.iter().filter(|r| r.report.outcome.is_bug()).count();
+    assert_eq!(bugs, spec.buggy_modules.len());
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Reproduces the paper's `muh` limitation (§5 "Limitations"): muh, an
+//! IRC proxy, keeps its file pointers in a hash table of linked lists,
+//! and "since we do not model the heap precisely, Blast was unable to
+//! reason about file pointers being put inside these linked lists" — 9
+//! of its checks failed with spurious errors or missing predicates.
+//!
+//! The analogue here: the open/closed state lives behind a multi-target
+//! pointer (a two-entry "table"). The program is actually safe, but
+//! writes through the pointer are weak updates for the whole pipeline —
+//! alias analysis, trace encoding, predicate abstraction — so the
+//! checker cannot verify it. This is the documented, faithful failure
+//! mode, not a bug in the reproduction.
+//!
+//! Run with: `cargo run -p pathslicing --example muh_limitation`
+
+use pathslicing::prelude::*;
+use std::time::Duration;
+
+const MUH: &str = r#"
+    global chan_a, chan_b, sel;
+    fn main() {
+        local entry;
+        // "hash lookup": pick a channel's state cell.
+        sel = nondet();
+        if (sel > 0) { entry = &chan_a; } else { entry = &chan_b; }
+        // open the selected channel (write through the table pointer)
+        *entry = 1;
+        // use the channel we just opened: really safe...
+        if (sel > 0) {
+            if (chan_a != 1) { error(); }
+        } else {
+            if (chan_b != 1) { error(); }
+        }
+    }
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = pathslicing::compile(MUH)?;
+    let analyses = Analyses::build(&program);
+
+    // Ground truth: no input reaches the error.
+    for seed in 0..200 {
+        let mut oracle = RngOracle::new(seed);
+        let run = Interp::run(&program, State::zeroed(&program), &mut oracle, 10_000);
+        assert!(
+            matches!(run.outcome, ExecOutcome::Completed),
+            "the program is concretely safe"
+        );
+    }
+    println!("concrete testing: 200 random runs, no error — the program is safe.");
+
+    // The pointer has two may-targets, so *entry := 1 is a weak update.
+    let entry = program.vars().lookup("main::entry").unwrap();
+    println!(
+        "points-to(entry) has {} targets → writes through it are weak updates",
+        analyses.alias().points_to(entry).count()
+    );
+
+    // The checker, like BLAST on muh, cannot verify it.
+    let config = CheckerConfig {
+        reducer: Reducer::path_slice(),
+        time_budget: Duration::from_secs(10),
+        max_refinements: 16,
+        ..CheckerConfig::default()
+    };
+    let reports = check_program(&analyses, config);
+    let outcome = &reports[0].report.outcome;
+    println!(
+        "checker verdict: {} — a false alarm / failed check, exactly the paper's muh result",
+        match outcome {
+            CheckOutcome::Safe => "SAFE (unexpected!)",
+            CheckOutcome::Bug { .. } => "BUG (spurious: heap imprecision)",
+            CheckOutcome::Timeout(_) => "CHECK FAILED (no heap predicates available)",
+        }
+    );
+    assert!(
+        !outcome.is_safe(),
+        "if this starts verifying, the heap model gained precision — update the docs!"
+    );
+    println!("\nthe paper's take (§5): \"We believe that techniques from shape analysis");
+    println!("may help in this example.\" — out of scope there, and out of scope here.");
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Quickstart: compile a program, execute it to an error, and slice the
+//! resulting path.
+//!
+//! Run with: `cargo run -p pathslicing --example quickstart`
+
+use pathslicing::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small program with an input-dependent bug buried behind
+    // irrelevant computation.
+    let src = r#"
+        global total, limit;
+        fn busywork(v) {
+            local t, i;
+            t = v;
+            for (i = 0; i < 100; i = i + 1) { t = t + i; }
+            return t;
+        }
+        fn main() {
+            local amount;
+            total = busywork(3);
+            amount = nondet();
+            total = total + 1;
+            if (amount > limit) {
+                if (limit == 0) { error(); }
+            }
+        }
+    "#;
+
+    // 1. Compile: lex → parse → resolve → lower to control flow automata.
+    let program = pathslicing::compile(src)?;
+    println!(
+        "compiled: {} functions, {} locations, {} edges",
+        program.cfas().len(),
+        program.n_locs(),
+        program.n_edges()
+    );
+
+    // 2. Build the dataflow analyses the slicer consults (By, WrBt,
+    //    Mods, alias information).
+    let analyses = Analyses::build(&program);
+
+    // 3. Execute the program with a concrete input that triggers the
+    //    error (amount = 5 with limit at its default 0).
+    let run = Interp::run(
+        &program,
+        State::zeroed(&program),
+        &mut ReplayOracle::new(vec![5]),
+        100_000,
+    );
+    let ExecOutcome::ReachedError(loc) = run.outcome else {
+        return Err("expected the execution to reach the error".into());
+    };
+    println!(
+        "\nexecution reached ERR in `{}` after {} operations",
+        program.cfa(loc.func).name(),
+        run.path.len()
+    );
+
+    // 4. Slice the executed path: only the operations relevant to
+    //    reaching ERR remain — busywork() and its 100-iteration loop
+    //    disappear.
+    let slicer = PathSlicer::new(&analyses);
+    let result = slicer.slice(&run.path, SliceOptions::default());
+    println!("\n{}", render_slice(&program, &run.path, &result));
+
+    // 5. The slice is tiny compared to the path.
+    println!(
+        "kept {} of {} operations ({:.2}%)",
+        result.kept.len(),
+        run.path.len(),
+        result.ratio_percent(run.path.len())
+    );
+    assert!(result.kept.len() < 10);
+    Ok(())
+}

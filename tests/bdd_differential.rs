@@ -1,0 +1,55 @@
+//! Whole-program differential check of the two `By` implementations:
+//! the dense-bitset fixpoint ([`dataflow::Analyses::can_bypass`], used in
+//! production) against symbolic backward reachability over BDDs
+//! ([`dataflow::BddBy`], the paper's §5 scaling proposal) — on every CFA
+//! of a generated benchmark program, for every (pc, avoid) pair.
+
+use dataflow::{Analyses, BddBy};
+use pathslicing::workloads::{self, Scale};
+
+#[test]
+fn bdd_and_bitset_by_agree_on_all_workload_cfas() {
+    let spec = &workloads::suite(Scale::Small)[1]; // wuftpd-like
+    let generated = workloads::gen::generate(spec);
+    let program = generated.lower();
+    let analyses = Analyses::build(&program);
+    let mut checked_pairs = 0usize;
+    for cfa in program.cfas() {
+        let mut bdd = BddBy::build(cfa);
+        for avoid in cfa.locs() {
+            for pc in cfa.locs() {
+                assert_eq!(
+                    bdd.can_bypass(pc, avoid),
+                    analyses.can_bypass(pc, avoid),
+                    "disagreement in `{}` at pc={pc} avoid={avoid}",
+                    cfa.name()
+                );
+                checked_pairs += 1;
+            }
+        }
+    }
+    assert!(
+        checked_pairs > 10_000,
+        "nontrivial coverage: {checked_pairs} pairs"
+    );
+}
+
+#[test]
+fn bdd_and_bitset_by_agree_on_lock_programs() {
+    let generated = workloads::generate_locks(&workloads::LockSpec::default());
+    let program = generated.lower();
+    let analyses = Analyses::build(&program);
+    for cfa in program.cfas() {
+        let mut bdd = BddBy::build(cfa);
+        for avoid in cfa.locs() {
+            for pc in cfa.locs() {
+                assert_eq!(
+                    bdd.can_bypass(pc, avoid),
+                    analyses.can_bypass(pc, avoid),
+                    "disagreement in `{}` at pc={pc} avoid={avoid}",
+                    cfa.name()
+                );
+            }
+        }
+    }
+}

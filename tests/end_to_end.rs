@@ -1,0 +1,211 @@
+//! End-to-end integration tests: source text → frontend → CFA →
+//! analyses → slicer → solver → checker, on the paper's own examples.
+
+use pathslicing::prelude::*;
+
+/// Figure 1(A), Ex2, including the shaded lines.
+const EX2_SHADED: &str = r#"
+    global a, x;
+    fn f() { local t; t = t + 1; }
+    fn main() {
+        local i;
+        x = 0;
+        if (a >= 0) { x = 1; }
+        for (i = 1; i <= 1000; i = i + 1) { f(); }
+        if (a >= 0) {
+            if (x == 0) { error(); }
+        }
+    }
+"#;
+
+/// Ex2 without the shaded lines: ERR genuinely reachable.
+const EX2_PLAIN: &str = r#"
+    global a, x;
+    fn f() { local t; t = t + 1; }
+    fn main() {
+        local i;
+        for (i = 1; i <= 1000; i = i + 1) { f(); }
+        if (a >= 0) {
+            if (x == 0) { error(); }
+        }
+    }
+"#;
+
+#[test]
+fn ex2_plain_checker_reports_bug_without_unrolling() {
+    let program = pathslicing::compile(EX2_PLAIN).unwrap();
+    let analyses = Analyses::build(&program);
+    let reports = check_program(&analyses, CheckerConfig::default());
+    assert_eq!(reports.len(), 1);
+    let report = &reports[0].report;
+    assert!(report.outcome.is_bug(), "{:?}", report.outcome);
+    // The witness slice must not mention the loop counter or f.
+    if let CheckOutcome::Bug { slice, .. } = &report.outcome {
+        let f = program.func_id("f").unwrap();
+        assert!(slice.iter().all(|e| e.func != f));
+        let rendered: Vec<String> = slice
+            .iter()
+            .map(|&e| program.fmt_op(&program.edge(e).op))
+            .collect();
+        assert!(
+            rendered.iter().all(|s| !s.contains("main::i")),
+            "loop sliced away: {rendered:?}"
+        );
+    }
+    // Convergence took a couple of refinements at most, never 1000.
+    assert!(
+        report.refinements <= 3,
+        "refinements: {}",
+        report.refinements
+    );
+}
+
+#[test]
+fn ex2_shaded_checker_proves_safety() {
+    let program = pathslicing::compile(EX2_SHADED).unwrap();
+    let analyses = Analyses::build(&program);
+    let reports = check_program(&analyses, CheckerConfig::default());
+    let report = &reports[0].report;
+    assert!(report.outcome.is_safe(), "{:?}", report.outcome);
+    assert!(
+        report.refinements <= 4,
+        "refinements: {}",
+        report.refinements
+    );
+}
+
+#[test]
+fn dynamic_slice_agrees_on_feasible_traces() {
+    // On a feasible executed trace, the dynamic slice is contained in
+    // the kept set of the path slice (path slicing adds WrBt branches).
+    let src = r#"
+        global a, b, c;
+        fn main() {
+            a = nondet();
+            b = a + 1;
+            c = 5;
+            if (b > 3) {
+                if (c == 5) { error(); }
+            }
+        }
+    "#;
+    let program = pathslicing::compile(src).unwrap();
+    let analyses = Analyses::build(&program);
+    let init = State::zeroed(&program);
+    let run = Interp::run(
+        &program,
+        init.clone(),
+        &mut ReplayOracle::new(vec![10]),
+        10_000,
+    );
+    assert!(matches!(run.outcome, ExecOutcome::ReachedError(_)));
+    let ps = PathSlicer::new(&analyses).slice(&run.path, SliceOptions::default());
+    let ds = DynamicSlicer::new(&analyses).slice(&run.path, &init, &run.drawn);
+    for idx in &ds {
+        assert!(
+            ps.kept.contains(idx),
+            "dynamic slice index {idx} missing from path slice {:?}",
+            ps.kept
+        );
+    }
+}
+
+#[test]
+fn static_slice_is_a_superset_story_on_ex1() {
+    // Static slicing keeps complex() (flows on the then-path); the path
+    // slice of the else path drops it. Both agree the guards matter.
+    let src = r#"
+        global a, x;
+        fn complex() { local t; t = nondet(); return t; }
+        fn main() {
+            local r;
+            if (a > 0) { r = complex(); x = r; } else { x = 0 - 1; }
+            if (x < 0) { error(); }
+        }
+    "#;
+    let program = pathslicing::compile(src).unwrap();
+    let analyses = Analyses::build(&program);
+    let complex = program.func_id("complex").unwrap();
+    let err = program.cfa(program.main()).error_locs()[0];
+    let st = StaticSlicer::new(&analyses).slice(err);
+    assert!(st.touches_function(complex));
+
+    let mut init = State::zeroed(&program);
+    init.set(program.vars().lookup("a").unwrap(), -2);
+    let run = Interp::run(&program, init, &mut ReplayOracle::new(vec![]), 10_000);
+    assert!(matches!(run.outcome, ExecOutcome::ReachedError(_)));
+    let ps = PathSlicer::new(&analyses).slice(&run.path, SliceOptions::default());
+    assert!(ps.edges.iter().all(|e| e.func != complex));
+}
+
+#[test]
+fn feasible_slice_model_replays_to_the_error() {
+    // Completeness in action: solve the slice's constraints, feed the
+    // model back as an initial state, and watch the interpreter reach
+    // the target.
+    let src = r#"
+        global a, x, noise;
+        fn main() {
+            noise = noise * 3;
+            if (a > 10) {
+                if (x == a + 1) { error(); }
+            }
+        }
+    "#;
+    let program = pathslicing::compile(src).unwrap();
+    let analyses = Analyses::build(&program);
+    // Abstract path straight to the error.
+    let mut pool = pathslicing::blastlite::PredicatePool::new();
+    let targets = program.cfa(program.main()).error_locs().to_vec();
+    let reach = pathslicing::blastlite::reach::reachable(
+        &program,
+        &analyses,
+        &mut pool,
+        &targets,
+        100_000,
+        std::time::Instant::now() + std::time::Duration::from_secs(20),
+        SearchOrder::Bfs,
+    );
+    let pathslicing::blastlite::reach::ReachResult::ErrorPath { path, .. } = reach else {
+        panic!("expected abstract path");
+    };
+    let result = PathSlicer::new(&analyses).slice(&path, SliceOptions::default());
+    // Brute-force a satisfying initial state over a small box (the
+    // constraint is a=11.., x=a+1): try a few candidates.
+    let a = program.vars().lookup("a").unwrap();
+    let x = program.vars().lookup("x").unwrap();
+    let mut reached = false;
+    for av in 11..13 {
+        let mut st = State::zeroed(&program);
+        st.set(a, av);
+        st.set(x, av + 1);
+        let run = Interp::run(&program, st, &mut ReplayOracle::new(vec![]), 10_000);
+        if matches!(run.outcome, ExecOutcome::ReachedError(_)) {
+            reached = true;
+            break;
+        }
+    }
+    assert!(reached, "states satisfying the slice constraints reach ERR");
+    assert!(
+        result.kept.len() <= 3,
+        "noise assignment dropped: {:?}",
+        result.kept
+    );
+}
+
+#[test]
+fn render_slice_is_presentable() {
+    let program = pathslicing::compile(
+        "global a; fn main() { local junk; junk = 1; if (a == 9) { error(); } }",
+    )
+    .unwrap();
+    let analyses = Analyses::build(&program);
+    let mut st = State::zeroed(&program);
+    st.set(program.vars().lookup("a").unwrap(), 9);
+    let run = Interp::run(&program, st, &mut ReplayOracle::new(vec![]), 1_000);
+    assert!(matches!(run.outcome, ExecOutcome::ReachedError(_)));
+    let r = PathSlicer::new(&analyses).slice(&run.path, SliceOptions::default());
+    let text = render_slice(&program, &run.path, &r);
+    assert!(text.contains("path slice"));
+    assert!(text.contains("assume(a == 9)"));
+}

@@ -1,0 +1,333 @@
+//! Frontend property tests: pretty-print/re-parse round trips and
+//! interpreter/lowering agreement on randomly generated ASTs.
+
+use imp::ast::*;
+use imp::pretty::program_to_string;
+use proptest::prelude::*;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    prop_oneof![Just("ax"), Just("by"), Just("cz")].prop_map(str::to_owned)
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i64..100).prop_map(Expr::Int),
+        arb_name().prop_map(Expr::var),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Bin(
+                BinOp::Add,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Bin(
+                BinOp::Sub,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Bin(
+                BinOp::Mul,
+                Box::new(a),
+                Box::new(b)
+            )),
+            inner.clone().prop_map(|a| Expr::Neg(Box::new(a))),
+        ]
+    })
+}
+
+fn arb_cond() -> impl Strategy<Value = BoolExpr> {
+    let atom = (
+        arb_expr(),
+        arb_expr(),
+        prop_oneof![
+            Just(CmpOp::Eq),
+            Just(CmpOp::Ne),
+            Just(CmpOp::Lt),
+            Just(CmpOp::Le),
+            Just(CmpOp::Gt),
+            Just(CmpOp::Ge)
+        ],
+    )
+        .prop_map(|(a, b, op)| BoolExpr::Cmp(op, a, b));
+    atom.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| BoolExpr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| BoolExpr::Or(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| BoolExpr::Not(Box::new(a))),
+        ]
+    })
+}
+
+fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
+    let pos = imp::token::Pos::default();
+    let assign =
+        (arb_name(), arb_expr()).prop_map(move |(v, e)| Stmt::Assign(pos, Lvalue::Var(v), e));
+    if depth == 0 {
+        assign.boxed()
+    } else {
+        let block = || proptest::collection::vec(arb_stmt(depth - 1), 0..3);
+        // Bounded loops over the dedicated counter `lc` (which no other
+        // statement writes), so every generated program terminates.
+        let wloop = (1i64..4, block()).prop_map(move |(n, mut body)| {
+            body.push(Stmt::Assign(
+                pos,
+                Lvalue::Var("lc".into()),
+                Expr::Bin(
+                    BinOp::Add,
+                    Box::new(Expr::var("lc")),
+                    Box::new(Expr::Int(1)),
+                ),
+            ));
+            Stmt::While(
+                pos,
+                BoolExpr::Cmp(CmpOp::Lt, Expr::var("lc"), Expr::Int(n)),
+                body,
+            )
+        });
+        prop_oneof![
+            4 => assign,
+            2 => (arb_cond(), block(), block())
+                .prop_map(move |(c, t, e)| Stmt::If(pos, c, t, e)),
+            1 => arb_cond().prop_map(move |c| Stmt::Assume(pos, c)),
+            1 => arb_name().prop_map(move |v| Stmt::Havoc(pos, Lvalue::Var(v))),
+            1 => wloop,
+            1 => Just(Stmt::Error(pos)),
+        ]
+        .boxed()
+    }
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    proptest::collection::vec(arb_stmt(2), 0..8).prop_map(|body| Program {
+        globals: vec!["ax".into(), "by".into(), "cz".into(), "lc".into()],
+        arrays: vec![],
+        functions: vec![Function {
+            name: "main".into(),
+            params: vec![],
+            locals: vec![],
+            body,
+            pos: imp::token::Pos::default(),
+        }],
+    })
+}
+
+/// Strips positions by printing (positions are not printed).
+fn canon(p: &Program) -> String {
+    program_to_string(p)
+}
+
+/// A direct big-step interpreter over the AST — an independent
+/// implementation of the language semantics used to differential-test
+/// the lowering + CFA interpreter pipeline.
+mod ast_interp {
+    use imp::ast::*;
+    use std::collections::HashMap;
+
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum Outcome {
+        Done,
+        Error,
+        AssumeStopped,
+    }
+
+    pub struct AstInterp {
+        pub vars: HashMap<String, i64>,
+        pub draws: Vec<i64>,
+        pub pos: usize,
+    }
+
+    impl AstInterp {
+        pub fn eval(&self, e: &Expr) -> i64 {
+            match e {
+                Expr::Int(n) => *n,
+                Expr::Lval(Lvalue::Var(v)) => self.vars.get(v).copied().unwrap_or(0),
+                Expr::Lval(Lvalue::Deref(_) | Lvalue::Elem(..)) | Expr::AddrOf(_) => {
+                    unreachable!("generator emits no pointers or arrays")
+                }
+                Expr::Neg(i) => self.eval(i).wrapping_neg(),
+                Expr::Bin(op, a, b) => {
+                    let (a, b) = (self.eval(a), self.eval(b));
+                    match op {
+                        BinOp::Add => a.wrapping_add(b),
+                        BinOp::Sub => a.wrapping_sub(b),
+                        BinOp::Mul => a.wrapping_mul(b),
+                        BinOp::Div => a.checked_div(b).unwrap_or(0),
+                        BinOp::Rem => a.checked_rem(b).unwrap_or(0),
+                    }
+                }
+            }
+        }
+
+        pub fn truth(&self, c: &BoolExpr) -> bool {
+            match c {
+                BoolExpr::True => true,
+                BoolExpr::False => false,
+                BoolExpr::Cmp(op, a, b) => op.eval(self.eval(a), self.eval(b)),
+                BoolExpr::Not(i) => !self.truth(i),
+                BoolExpr::And(a, b) => self.truth(a) && self.truth(b),
+                BoolExpr::Or(a, b) => self.truth(a) || self.truth(b),
+            }
+        }
+
+        pub fn run(&mut self, stmts: &[Stmt]) -> Outcome {
+            for s in stmts {
+                match s {
+                    Stmt::Skip(_) => {}
+                    Stmt::Assign(_, Lvalue::Var(v), e) => {
+                        let val = self.eval(e);
+                        self.vars.insert(v.clone(), val);
+                    }
+                    Stmt::Havoc(_, Lvalue::Var(v)) => {
+                        let val = self.draws.get(self.pos).copied().unwrap_or(0);
+                        self.pos += 1;
+                        self.vars.insert(v.clone(), val);
+                    }
+                    Stmt::If(_, c, t, e) => {
+                        let branch = if self.truth(c) { t } else { e };
+                        match self.run(branch) {
+                            Outcome::Done => {}
+                            stop => return stop,
+                        }
+                    }
+                    Stmt::While(_, c, body) => {
+                        while self.truth(c) {
+                            match self.run(body) {
+                                Outcome::Done => {}
+                                stop => return stop,
+                            }
+                        }
+                    }
+                    Stmt::Assume(_, c) => {
+                        if !self.truth(c) {
+                            return Outcome::AssumeStopped;
+                        }
+                    }
+                    Stmt::Error(_) => return Outcome::Error,
+                    other => unreachable!("generator does not emit {other:?}"),
+                }
+            }
+            Outcome::Done
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// print ∘ parse ∘ print = print — the printer emits valid IMP that
+    /// reparses to a structurally identical AST.
+    #[test]
+    fn pretty_print_roundtrip(p in arb_program()) {
+        let printed = canon(&p);
+        let reparsed = imp::parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        prop_assert_eq!(canon(&reparsed), printed);
+    }
+
+    /// Lowering random programs yields structurally valid CFAs.
+    #[test]
+    fn lowering_random_programs_validates(p in arb_program()) {
+        let printed = canon(&p);
+        let parsed = imp::parse(&printed).unwrap();
+        let program = cfa::lower(&parsed).unwrap();
+        cfa::validate(&program).unwrap();
+    }
+
+    /// Total robustness: the frontend returns `Err` (never panics) on
+    /// arbitrary input, including near-miss programs.
+    #[test]
+    fn frontend_never_panics(garbage in ".{0,200}") {
+        let _ = imp::parse(&garbage);
+    }
+
+    /// Near-miss robustness: mutate a valid program by deleting one
+    /// character; the frontend must still return cleanly.
+    #[test]
+    fn frontend_survives_single_deletions(p in arb_program(), del in 0usize..400) {
+        let printed = canon(&p);
+        if printed.is_empty() { return Ok(()); }
+        let pos = del % printed.len();
+        let mutated: String = printed
+            .char_indices()
+            .filter(|&(i, _)| i != pos)
+            .map(|(_, c)| c)
+            .collect();
+        let _ = imp::parse(&mutated);
+    }
+
+    /// Differential semantics: an independent big-step AST interpreter
+    /// and the lowering + CFA interpreter pipeline agree on outcome and
+    /// final global values on every random program.
+    #[test]
+    fn ast_and_cfa_interpreters_agree(
+        p in arb_program(),
+        draws in proptest::collection::vec(-5i64..5, 0..6),
+    ) {
+        use ast_interp::{AstInterp, Outcome};
+        use pathslicing::prelude::*;
+
+        let mut ai = AstInterp {
+            vars: Default::default(),
+            draws: draws.clone(),
+            pos: 0,
+        };
+        let a_outcome = ai.run(&p.functions[0].body);
+
+        let printed = canon(&p);
+        let parsed = imp::parse(&printed).unwrap();
+        let program = cfa::lower(&parsed).unwrap();
+        let run = Interp::run(
+            &program,
+            State::zeroed(&program),
+            &mut ReplayOracle::new(draws),
+            2_000_000,
+        );
+        match (a_outcome, &run.outcome) {
+            (Outcome::Done, ExecOutcome::Completed) => {}
+            (Outcome::Error, ExecOutcome::ReachedError(_)) => {}
+            (Outcome::AssumeStopped, ExecOutcome::Stuck(..)) => {}
+            (a, c) => {
+                return Err(TestCaseError::fail(format!(
+                    "outcome mismatch: ast={a:?} cfa={c:?}\n{printed}"
+                )));
+            }
+        }
+        for g in ["ax", "by", "cz", "lc"] {
+            let vid = program.vars().lookup(g).unwrap();
+            let ast_val = ai.vars.get(g).copied().unwrap_or(0);
+            prop_assert_eq!(
+                run.final_state.get(vid),
+                ast_val,
+                "global {} differs\n{}",
+                g,
+                printed
+            );
+        }
+    }
+
+    /// The interpreter and the SSA feasibility encoder agree: a path the
+    /// interpreter executed is never judged infeasible.
+    #[test]
+    fn executed_traces_encode_as_satisfiable(p in arb_program(), seed in 0u64..10) {
+        use pathslicing::prelude::*;
+        let printed = canon(&p);
+        let parsed = imp::parse(&printed).unwrap();
+        let program = cfa::lower(&parsed).unwrap();
+        let mut oracle = RngOracle::new(seed);
+        let run = Interp::run(&program, State::zeroed(&program), &mut oracle, 20_000);
+        // Any outcome is fine; the executed prefix must be satisfiable.
+        if run.path.is_empty() { return Ok(()); }
+        let alias = dataflow::AliasInfo::build(&program);
+        let ops: Vec<&cfa::Op> =
+            run.path.edges().iter().map(|&e| &program.edge(e).op).collect();
+        let (_, verdict, _) = pathslicing::semantics::trace_feasibility(
+            &alias,
+            ops,
+            &pathslicing::lia::Solver::new(),
+        );
+        prop_assert!(!verdict.is_unsat(), "executed trace judged infeasible:\n{printed}");
+    }
+}

@@ -1,0 +1,277 @@
+//! A golden catalog of slicing behaviors: small curated programs, each
+//! executed to its error location and sliced, with the *exact* expected
+//! slice pinned. Every case documents which rule of the paper's `Take`
+//! (Fig. 3) it exercises.
+
+use pathslicing::prelude::*;
+
+struct Case {
+    name: &'static str,
+    /// What part of the algorithm the case pins down.
+    exercises: &'static str,
+    source: &'static str,
+    /// Initial values for globals.
+    init: &'static [(&'static str, i64)],
+    /// `nondet()` draws.
+    inputs: &'static [i64],
+    /// Expected rendered slice operations, in path order.
+    expected: &'static [&'static str],
+}
+
+const CASES: &[Case] = &[
+    Case {
+        name: "constant_chain",
+        exercises: "assignment liveness chaining (Take row 1)",
+        source: "global a, b, c;
+                 fn main() { a = 1; b = a + 1; c = b + 1; if (c == 3) { error(); } }",
+        init: &[],
+        inputs: &[],
+        expected: &["a := 1", "b := (a + 1)", "c := (b + 1)", "assume(c == 3)"],
+    },
+    Case {
+        name: "dead_store_dropped",
+        exercises: "strong kill removes earlier write (Live update, line 10)",
+        source: "global a;
+                 fn main() { a = 99; a = 1; if (a == 1) { error(); } }",
+        init: &[],
+        inputs: &[],
+        expected: &["a := 1", "assume(a == 1)"],
+    },
+    Case {
+        name: "interleaved_irrelevant",
+        exercises: "independent variables do not enter the live set",
+        source: "global a, b;
+                 fn main() { b = 5; a = 1; b = b * 2; if (a == 1) { error(); } }",
+        init: &[],
+        inputs: &[],
+        expected: &["a := 1", "assume(a == 1)"],
+    },
+    Case {
+        name: "branch_bypass",
+        exercises: "assume kept by the By (bypass) disjunct (Take row 2)",
+        source: "global a;
+                 fn main() { if (a > 0) { error(); } a = 2; }",
+        init: &[("a", 1)],
+        inputs: &[],
+        expected: &["assume(a > 0)"],
+    },
+    Case {
+        name: "branch_wrbt",
+        exercises: "assume kept because the other arm writes a live lvalue (WrBt disjunct)",
+        source: "global a, x;
+                 fn main() { if (a > 0) { skip; } else { x = 1; } if (x == 0) { error(); } }",
+        init: &[("a", 1)],
+        inputs: &[],
+        expected: &["assume(a > 0)", "assume(x == 0)"],
+    },
+    Case {
+        name: "postdominated_branch_dropped",
+        exercises: "assume dropped: no bypass, no live writes on the other arm",
+        source: "global a, b, x;
+                 fn main() { if (a > 0) { b = 1; } else { b = 2; } if (x == 0) { error(); } }",
+        init: &[("a", 1)],
+        inputs: &[],
+        expected: &["assume(x == 0)"],
+    },
+    Case {
+        name: "irrelevant_loop",
+        exercises: "whole loops slice away (the paper's Ex2)",
+        source: "global x, s;
+                 fn main() { local i; for (i = 0; i < 50; i = i + 1) { s = s + i; }
+                             if (x == 0) { error(); } }",
+        init: &[],
+        inputs: &[],
+        expected: &["assume(x == 0)"],
+    },
+    Case {
+        name: "relevant_loop_kept",
+        exercises: "loops feeding the target stay (liveness through the back edge)",
+        source: "global x;
+                 fn main() { local i; for (i = 0; i < 2; i = i + 1) { x = x + 1; }
+                             if (x == 2) { error(); } }",
+        init: &[],
+        inputs: &[],
+        expected: &[
+            "main::i := 0",
+            "assume(main::i < 2)",
+            "x := (x + 1)",
+            "main::i := (main::i + 1)",
+            "assume(main::i < 2)",
+            "x := (x + 1)",
+            "main::i := (main::i + 1)",
+            "assume(main::i >= 2)",
+            "assume(x == 2)",
+        ],
+    },
+    Case {
+        name: "irrelevant_call_dropped",
+        exercises: "Return not taken when Mods ∩ Live = ∅ (Take row 4 + Call.i jump)",
+        source: "global x, n;
+                 fn bump() { n = n + 1; }
+                 fn main() { bump(); if (x == 0) { error(); } }",
+        init: &[],
+        inputs: &[],
+        expected: &["assume(x == 0)"],
+    },
+    Case {
+        name: "relevant_call_kept",
+        exercises: "Return taken when the callee writes a live lvalue",
+        source: "global x;
+                 fn set() { x = 1; }
+                 fn main() { set(); if (x == 1) { error(); } }",
+        init: &[],
+        inputs: &[],
+        expected: &["call set()", "x := 1", "return", "assume(x == 1)"],
+    },
+    Case {
+        name: "argument_chain",
+        exercises: "transfer globals carry liveness through the call boundary (§4)",
+        source: "global x;
+                 fn id(v) { return v; }
+                 fn main() { x = id(7); if (x == 7) { error(); } }",
+        init: &[],
+        inputs: &[],
+        expected: &[
+            "id::arg0 := 7",
+            "call id()",
+            "id::v := id::arg0",
+            "id::ret := id::v",
+            "return",
+            "x := id::ret",
+            "assume(x == 7)",
+        ],
+    },
+    Case {
+        name: "havoc_cuts_history",
+        exercises: "nondet() is a strong kill: earlier writes become dead",
+        source: "global a;
+                 fn main() { a = 55; a = nondet(); if (a == 1) { error(); } }",
+        init: &[],
+        inputs: &[1],
+        expected: &["a := nondet()", "assume(a == 1)"],
+    },
+    Case {
+        name: "singleton_pointer_strong",
+        exercises: "singleton points-to: *p writes are strong (§3.4 MustAlias kill)",
+        source: "global x;
+                 fn main() { local p; x = 9; p = &x; *p = 1; if (x == 1) { error(); } }",
+        init: &[],
+        inputs: &[],
+        expected: &["main::p := &x", "*main::p := 1", "assume(x == 1)"],
+    },
+    Case {
+        name: "multi_target_pointer_weak",
+        exercises: "two-target points-to: the pre-write value stays live (weak kill), \
+                    while the pointer itself is strongly killed by its reassignment",
+        source: "global x, y;
+                 fn main() { local p, q; x = 9; p = &x; q = &y; p = q; *p = 1;
+                             if (x == 9) { error(); } }",
+        init: &[],
+        inputs: &[],
+        // `p := &x` is dropped: `p := q` strongly kills p, so the earlier
+        // pointer value is dead. x stays live through the weak `*p` write.
+        expected: &[
+            "x := 9",
+            "main::q := &y",
+            "main::p := main::q",
+            "*main::p := 1",
+            "assume(x == 9)",
+        ],
+    },
+    Case {
+        name: "array_store_weak_kill",
+        exercises: "array element stores never strong-kill: both stores stay live \
+                    (summary-cell semantics, like BLAST's arrays)",
+        source: "global buf[4];
+                 fn main() { buf[0] = 1; buf[1] = 2; if (buf[0] == 1) { error(); } }",
+        init: &[],
+        inputs: &[],
+        expected: &["buf[0] := 1", "buf[1] := 2", "assume(buf[0] == 1)"],
+    },
+    Case {
+        name: "irrelevant_array_traffic_dropped",
+        exercises: "stores to a different array are not live",
+        source: "global buf[4], other[4], x;
+                 fn main() { local i; for (i = 0; i < 3; i = i + 1) { other[i] = i; }
+                             buf[0] = x; if (buf[0] == 0) { error(); } }",
+        init: &[],
+        inputs: &[],
+        expected: &["buf[0] := x", "assume(buf[0] == 0)"],
+    },
+    Case {
+        name: "second_site_same_cluster",
+        exercises: "an earlier error site does not control a later one: its branch \
+                    cannot *bypass* the step location (error locations are dead ends, \
+                    so completeness treats them like divergence — §3.2)",
+        source: "global a, b;
+                 fn main() { if (a == 1) { error(); } if (b == 2) { error(); } }",
+        init: &[("a", 0), ("b", 2)],
+        inputs: &[],
+        // assume(a != 1) is correctly dropped: taking a == 1 leads to the
+        // first error location, which cannot reach the exit, so the
+        // branch cannot bypass the slice suffix.
+        expected: &["assume(b == 2)"],
+    },
+];
+
+#[test]
+fn golden_catalog() {
+    let mut failures = Vec::new();
+    for case in CASES {
+        let program = match pathslicing::compile(case.source) {
+            Ok(p) => p,
+            Err(e) => {
+                failures.push(format!("{}: compile error: {e}", case.name));
+                continue;
+            }
+        };
+        let mut st = State::zeroed(&program);
+        for (name, v) in case.init {
+            st.set(program.vars().lookup(name).unwrap(), *v);
+        }
+        let run = Interp::run(
+            &program,
+            st,
+            &mut ReplayOracle::new(case.inputs.to_vec()),
+            1_000_000,
+        );
+        let ExecOutcome::ReachedError(_) = run.outcome else {
+            failures.push(format!(
+                "{}: expected ERR, got {:?}",
+                case.name, run.outcome
+            ));
+            continue;
+        };
+        let analyses = Analyses::build(&program);
+        let result = PathSlicer::new(&analyses).slice(&run.path, SliceOptions::default());
+        let rendered: Vec<String> = result
+            .edges
+            .iter()
+            .map(|&e| program.fmt_op(&program.edge(e).op))
+            .collect();
+        let expected: Vec<String> = case.expected.iter().map(|s| s.to_string()).collect();
+        if rendered != expected {
+            failures.push(format!(
+                "{} ({}):\n  expected {:?}\n  got      {:?}",
+                case.name, case.exercises, expected, rendered
+            ));
+        }
+        // Every catalog path was executed, so its slice must be
+        // satisfiable (soundness).
+        let ops: Vec<&pathslicing::cfa::Op> =
+            result.edges.iter().map(|&e| &program.edge(e).op).collect();
+        let (_, verdict, _) = pathslicing::semantics::trace_feasibility(
+            analyses.alias(),
+            ops,
+            &pathslicing::lia::Solver::new(),
+        );
+        if verdict.is_unsat() {
+            failures.push(format!("{}: slice of executed path is unsat!", case.name));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "catalog failures:\n{}",
+        failures.join("\n")
+    );
+}

@@ -1,0 +1,309 @@
+//! Property-based tests of the slicer's soundness and completeness
+//! theorems (§3.2, Theorem 1) on randomly generated programs.
+//!
+//! * **Soundness** (contrapositive form): if a path is *feasible* —
+//!   witnessed by an actual interpreter execution — then its slice's
+//!   operation sequence is satisfiable.
+//! * **Structure**: the slice is a subsequence; slicing is deterministic;
+//!   the last edge of a path ending in a branch into the target is kept.
+//! * **Reduction**: ratios never exceed 100 % and adding irrelevant
+//!   prefix operations never grows the slice.
+
+use pathslicing::prelude::*;
+use proptest::prelude::*;
+use std::fmt::Write as _;
+
+/// A small random-program generator: straight-line blocks, branches,
+/// bounded loops, and one error site, over three globals.
+#[derive(Debug, Clone)]
+struct RandProgram {
+    source: String,
+}
+
+fn arb_expr(depth: u32) -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        (0i64..10).prop_map(|n| n.to_string()),
+        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(str::to_owned),
+    ];
+    leaf.prop_recursive(depth, 8, 2, |inner| {
+        (
+            inner.clone(),
+            prop_oneof![Just("+"), Just("-"), Just("*")],
+            inner,
+        )
+            .prop_map(|(l, op, r)| format!("({l} {op} {r})"))
+    })
+}
+
+fn arb_cond() -> impl Strategy<Value = String> {
+    (
+        arb_expr(1),
+        prop_oneof![
+            Just("=="),
+            Just("!="),
+            Just("<"),
+            Just("<="),
+            Just(">"),
+            Just(">=")
+        ],
+        arb_expr(1),
+    )
+        .prop_map(|(l, op, r)| format!("{l} {op} {r}"))
+}
+
+fn arb_stmt(depth: u32) -> BoxedStrategy<String> {
+    let assign = (prop_oneof![Just("a"), Just("b"), Just("c")], arb_expr(2))
+        .prop_map(|(v, e)| format!("{v} = {e};"));
+    let havoc =
+        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(|v| format!("{v} = nondet();"));
+    if depth == 0 {
+        prop_oneof![assign, havoc].boxed()
+    } else {
+        let inner = || proptest::collection::vec(arb_stmt(depth - 1), 1..3);
+        let iff = (arb_cond(), inner(), inner()).prop_map(|(c, t, e)| {
+            format!("if ({c}) {{ {} }} else {{ {} }}", t.join(" "), e.join(" "))
+        });
+        let wloop = (0i64..4, inner())
+            .prop_map(|(n, b)| format!("i = 0; while (i < {n}) {{ {} i = i + 1; }}", b.join(" ")));
+        prop_oneof![3 => assign, 1 => havoc, 2 => iff, 1 => wloop].boxed()
+    }
+}
+
+fn arb_program() -> impl Strategy<Value = RandProgram> {
+    (proptest::collection::vec(arb_stmt(2), 1..6), arb_cond()).prop_map(|(stmts, guard)| {
+        let mut src = String::from("global a, b, c;\nfn main() {\n    local i;\n");
+        for s in &stmts {
+            let _ = writeln!(src, "    {s}");
+        }
+        let _ = writeln!(src, "    if ({guard}) {{ error(); }}");
+        src.push_str("}\n");
+        RandProgram { source: src }
+    })
+}
+
+/// Interprocedural variant: main calls a helper amid random statements;
+/// the helper mutates a global and returns a value.
+fn arb_interproc_program() -> impl Strategy<Value = RandProgram> {
+    (
+        proptest::collection::vec(arb_stmt(1), 1..4),
+        proptest::collection::vec(arb_stmt(1), 0..3),
+        arb_cond(),
+        arb_expr(1),
+        prop_oneof![Just("a"), Just("b"), Just("c")],
+    )
+        .prop_map(|(aux_body, main_pre, guard, ret, dst)| {
+            let mut src = String::from("global a, b, c;\n");
+            let _ = writeln!(src, "fn aux(p) {{\n    local i;");
+            let _ = writeln!(src, "    c = c + p;");
+            for s in &aux_body {
+                let _ = writeln!(src, "    {s}");
+            }
+            let _ = writeln!(src, "    return {ret};");
+            src.push_str("}\n");
+            src.push_str("fn main() {\n    local i;\n");
+            for s in &main_pre {
+                let _ = writeln!(src, "    {s}");
+            }
+            let _ = writeln!(src, "    {dst} = aux(b);");
+            let _ = writeln!(src, "    if ({guard}) {{ error(); }}");
+            src.push_str("}\n");
+            RandProgram { source: src }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Soundness, contrapositive: a concretely executed (hence feasible)
+    /// path to ERR has a satisfiable slice.
+    #[test]
+    fn feasible_paths_have_feasible_slices(p in arb_program(), seed in 0u64..50) {
+        let Ok(program) = pathslicing::compile(&p.source) else {
+            return Ok(()); // e.g. no main reachable-error; generator keeps it rare
+        };
+        let mut oracle = RngOracle::new(seed);
+        let run = Interp::run(&program, State::zeroed(&program), &mut oracle, 50_000);
+        let ExecOutcome::ReachedError(_) = run.outcome else { return Ok(()) };
+
+        let analyses = Analyses::build(&program);
+        let result = PathSlicer::new(&analyses).slice(&run.path, SliceOptions::default());
+
+        // Structure: kept is an ascending subsequence of the path.
+        prop_assert!(result.kept.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(result.kept.iter().all(|&i| i < run.path.len()));
+        prop_assert_eq!(result.kept.len(), result.edges.len());
+
+        // Soundness: the slice must be satisfiable (the path executed!).
+        let ops: Vec<&pathslicing::cfa::Op> =
+            result.edges.iter().map(|&e| &program.edge(e).op).collect();
+        let (_, verdict, _) = pathslicing::semantics::trace_feasibility(
+            analyses.alias(),
+            ops,
+            &pathslicing::lia::Solver::new(),
+        );
+        prop_assert!(
+            !verdict.is_unsat(),
+            "slice of a feasible path is infeasible!\nprogram:\n{}\nslice: {:?}",
+            p.source,
+            result.kept
+        );
+    }
+
+    /// Slicing is deterministic and idempotent in size under re-slicing
+    /// of contiguous slices.
+    #[test]
+    fn slicing_is_deterministic(p in arb_program(), seed in 0u64..20) {
+        let Ok(program) = pathslicing::compile(&p.source) else { return Ok(()) };
+        let mut oracle = RngOracle::new(seed);
+        let run = Interp::run(&program, State::zeroed(&program), &mut oracle, 50_000);
+        let ExecOutcome::ReachedError(_) = run.outcome else { return Ok(()) };
+        let analyses = Analyses::build(&program);
+        let s1 = PathSlicer::new(&analyses).slice(&run.path, SliceOptions::default());
+        let s2 = PathSlicer::new(&analyses).slice(&run.path, SliceOptions::default());
+        prop_assert_eq!(s1.kept, s2.kept);
+    }
+
+    /// The early-unsat optimization only ever truncates (it never adds).
+    #[test]
+    fn early_unsat_never_grows_the_slice(p in arb_program(), seed in 0u64..20) {
+        let Ok(program) = pathslicing::compile(&p.source) else { return Ok(()) };
+        let mut oracle = RngOracle::new(seed);
+        let run = Interp::run(&program, State::zeroed(&program), &mut oracle, 50_000);
+        let ExecOutcome::ReachedError(_) = run.outcome else { return Ok(()) };
+        let analyses = Analyses::build(&program);
+        let slicer = PathSlicer::new(&analyses);
+        let plain = slicer.slice(&run.path, SliceOptions::default());
+        let early = slicer.slice(
+            &run.path,
+            SliceOptions { early_unsat: true, skip_functions: false },
+        );
+        prop_assert!(early.kept.len() <= plain.kept.len());
+        // On feasible paths the constraints never go unsat, so the
+        // results coincide exactly.
+        prop_assert!(!early.stopped_unsat);
+        prop_assert_eq!(early.kept, plain.kept);
+    }
+
+    /// Metamorphic property: injecting operations on a fresh variable
+    /// that nothing reads must not change the slice's operations. (The
+    /// whole point of path slicing is that irrelevant operations are
+    /// invisible to the result.)
+    #[test]
+    fn noise_injection_preserves_the_slice(
+        p in arb_program(),
+        seed in 0u64..30,
+        positions in proptest::collection::vec(0usize..12, 1..4),
+    ) {
+        let Ok(base_program) = pathslicing::compile(&p.source) else { return Ok(()) };
+        let mut oracle = RngOracle::new(seed);
+        let base_run =
+            Interp::run(&base_program, State::zeroed(&base_program), &mut oracle, 50_000);
+        let ExecOutcome::ReachedError(_) = base_run.outcome else { return Ok(()) };
+        let base_an = Analyses::build(&base_program);
+        let base_slice =
+            PathSlicer::new(&base_an).slice(&base_run.path, SliceOptions::default());
+        let base_ops: Vec<String> = base_slice
+            .edges
+            .iter()
+            .map(|&e| base_program.fmt_op(&base_program.edge(e).op))
+            .collect();
+
+        // Inject `zz = zz + 1;` statements at random line positions of
+        // main's body (zz is fresh: nothing else reads or writes it).
+        let mut lines: Vec<String> = p.source.lines().map(str::to_owned).collect();
+        let body_start = lines
+            .iter()
+            .position(|l| l.contains("fn main()"))
+            .expect("main present") + 1;
+        let body_end = lines.len() - 2; // final "}" and guard line stay put
+        if body_end <= body_start { return Ok(()); }
+        let mut noisy = lines.split_off(body_start);
+        let tail = noisy.split_off(body_end - body_start);
+        for &pos in &positions {
+            let at = pos % (noisy.len() + 1);
+            noisy.insert(at, "    zz = zz + 1;".to_owned());
+        }
+        lines.extend(noisy);
+        lines.extend(tail);
+        let mutated = format!("global zz;\n{}", lines.join("\n"));
+
+        let Ok(program2) = pathslicing::compile(&mutated) else {
+            return Err(TestCaseError::fail(format!("mutant does not compile:\n{mutated}")));
+        };
+        let mut oracle2 = RngOracle::new(seed);
+        let run2 = Interp::run(&program2, State::zeroed(&program2), &mut oracle2, 60_000);
+        let ExecOutcome::ReachedError(_) = run2.outcome else {
+            // Same seed, but the oracle draw sequence is identical and zz
+            // does not affect control flow — this must reach the error.
+            return Err(TestCaseError::fail("mutant diverged from base execution"));
+        };
+        let an2 = Analyses::build(&program2);
+        let slice2 = PathSlicer::new(&an2).slice(&run2.path, SliceOptions::default());
+        let ops2: Vec<String> =
+            slice2.edges.iter().map(|&e| program2.fmt_op(&program2.edge(e).op)).collect();
+        prop_assert_eq!(
+            base_ops,
+            ops2,
+            "noise changed the slice\nbase:\n{}\nmutant:\n{}",
+            p.source,
+            mutated
+        );
+    }
+
+    /// Interprocedural soundness: slices of concretely executed paths
+    /// through function calls stay satisfiable, and the slice respects
+    /// the frame structure (a kept return edge's frame has a kept call).
+    #[test]
+    fn interprocedural_slices_of_feasible_paths_are_feasible(
+        p in arb_interproc_program(),
+        seed in 0u64..40,
+    ) {
+        let Ok(program) = pathslicing::compile(&p.source) else { return Ok(()) };
+        let mut oracle = RngOracle::new(seed);
+        let run = Interp::run(&program, State::zeroed(&program), &mut oracle, 50_000);
+        let ExecOutcome::ReachedError(_) = run.outcome else { return Ok(()) };
+        let analyses = Analyses::build(&program);
+        let result = PathSlicer::new(&analyses).slice(&run.path, SliceOptions::default());
+        // Soundness on the executed (feasible) path.
+        let ops: Vec<&pathslicing::cfa::Op> =
+            result.edges.iter().map(|&e| &program.edge(e).op).collect();
+        let (_, verdict, _) = pathslicing::semantics::trace_feasibility(
+            analyses.alias(),
+            ops,
+            &pathslicing::lia::Solver::new(),
+        );
+        prop_assert!(!verdict.is_unsat(), "program:\n{}", p.source);
+        // Frame discipline: whenever a return edge is kept, the call
+        // edge that opened its frame is kept too (calls are always
+        // taken when the body is walked — §4).
+        let co = run.path.call_origins(&program);
+        for (&idx, _) in result.kept.iter().zip(&result.reasons) {
+            if matches!(program.edge(run.path.edges()[idx]).op, pathslicing::cfa::Op::Return) {
+                let call_pos = co[idx].expect("return has a call origin");
+                prop_assert!(
+                    result.kept.contains(&call_pos),
+                    "kept return at {idx} without its call at {call_pos}\n{}",
+                    p.source
+                );
+            }
+        }
+    }
+
+    /// The dynamic slicer replays any executed trace and returns an
+    /// ascending subsequence (it must never fail to re-execute a path
+    /// the interpreter just produced).
+    #[test]
+    fn dynamic_slicer_replays_all_executed_traces(p in arb_program(), seed in 0u64..20) {
+        let Ok(program) = pathslicing::compile(&p.source) else { return Ok(()) };
+        let init = State::zeroed(&program);
+        let mut oracle = RngOracle::new(seed);
+        let run = Interp::run(&program, init.clone(), &mut oracle, 50_000);
+        let ExecOutcome::ReachedError(_) = run.outcome else { return Ok(()) };
+        let analyses = Analyses::build(&program);
+        let ds = DynamicSlicer::new(&analyses).slice(&run.path, &init, &run.drawn);
+        prop_assert!(ds.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(ds.iter().all(|&i| i < run.path.len()));
+        // The final branch into ERR is always control-relevant.
+        prop_assert!(ds.contains(&(run.path.len() - 1)));
+    }
+}
