@@ -7,8 +7,9 @@
 
 use blastlite::{reach, PredicatePool};
 use dataflow::Analyses;
+use rt::Budget;
 use slicer::{PathSlicer, SliceOptions};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 fn main() {
     let scale = bench::scale_from_args();
@@ -36,7 +37,7 @@ fn main() {
                 &mut pool,
                 cfa.error_locs(),
                 200_000,
-                Instant::now() + Duration::from_secs(20),
+                &Budget::lasting(Duration::from_secs(20)),
                 blastlite::SearchOrder::Dfs,
             );
             let reach::ReachResult::ErrorPath { path, .. } = r else {

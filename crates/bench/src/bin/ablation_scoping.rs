@@ -3,7 +3,7 @@
 //! abstract-state counts and wall time with the global-pool default on
 //! the benchmark suite; verdicts must not change.
 //!
-//! Usage: `ablation_scoping [small|medium|full]`.
+//! Usage: `ablation_scoping [small|medium|full] [--jobs <n>] [--retries <k>]`.
 
 use blastlite::{CheckerConfig, Reducer};
 use std::time::Duration;
@@ -20,6 +20,7 @@ fn main() {
         "program", "global pool", "scoped predicates"
     );
     println!("{}", "-".repeat(88));
+    let driver = bench::driver_from_args();
     for spec in workloads::suite(scale) {
         eprintln!("checking {} ...", spec.name);
         // The identity reducer is where scoping matters: its refinement
@@ -27,15 +28,16 @@ fn main() {
         // which the global pool then drags through the whole exploration.
         // (With path slicing the mined predicates are all protocol
         // globals, and scoping is a no-op by construction.)
-        let base = bench::run_workload(
+        let base = bench::run_workload_driven(
             &spec,
             CheckerConfig {
                 reducer: Reducer::Identity,
                 time_budget: Duration::from_secs(10),
                 ..CheckerConfig::default()
             },
+            &driver,
         );
-        let scoped = bench::run_workload(
+        let scoped = bench::run_workload_driven(
             &spec,
             CheckerConfig {
                 reducer: Reducer::Identity,
@@ -43,6 +45,7 @@ fn main() {
                 scoped_predicates: true,
                 ..CheckerConfig::default()
             },
+            &driver,
         );
         println!(
             "{:<10} | {:>6} {:>4} {:>12} {:>9.2} | {:>6} {:>4} {:>12} {:>9.2}",

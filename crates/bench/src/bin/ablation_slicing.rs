@@ -6,7 +6,7 @@
 //! Runs the same checks with the identity reducer and with path slicing
 //! and prints the outcome matrix side by side.
 //!
-//! Usage: `ablation_slicing [small|medium|full]`.
+//! Usage: `ablation_slicing [small|medium|full] [--jobs <n>] [--retries <k>]`.
 
 use blastlite::{CheckerConfig, Reducer};
 use std::time::Duration;
@@ -24,23 +24,26 @@ fn main() {
         "program", "identity reducer", "path slicing"
     );
     println!("{}", "-".repeat(64));
+    let driver = bench::driver_from_args();
     for spec in workloads::suite(scale) {
         eprintln!("checking {} ...", spec.name);
-        let ident = bench::run_workload(
+        let ident = bench::run_workload_driven(
             &spec,
             CheckerConfig {
                 reducer: Reducer::Identity,
                 time_budget: budget,
                 ..CheckerConfig::default()
             },
+            &driver,
         );
-        let sliced = bench::run_workload(
+        let sliced = bench::run_workload_driven(
             &spec,
             CheckerConfig {
                 reducer: Reducer::path_slice(),
                 time_budget: budget,
                 ..CheckerConfig::default()
             },
+            &driver,
         );
         println!(
             "{:<10} | {:>4} {:>4} {:>4} {:>9.1} | {:>4} {:>4} {:>4} {:>9.1}",

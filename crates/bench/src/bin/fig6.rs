@@ -2,7 +2,7 @@
 //! program. The paper's largest counterexample had 82,695 basic blocks
 //! and sliced to 43 operations; larger counterexamples slice below 0.1 %.
 //!
-//! Usage: `fig6 [small|medium|full]`.
+//! Usage: `fig6 [small|medium|full] [--jobs <n>] [--retries <k>]`.
 
 use blastlite::{CheckerConfig, Reducer, SearchOrder};
 use std::time::Duration;
@@ -20,7 +20,7 @@ fn main() {
         ..CheckerConfig::default()
     };
     eprintln!("collecting checker traces from {} ...", spec.name);
-    let row = bench::run_workload(&spec, config);
+    let row = bench::run_workload_driven(&spec, config, &bench::driver_from_args());
     points.extend(row.traces.iter().map(|t| bench::FigPoint {
         trace_ops: t.trace_ops,
         slice_ops: t.slice_ops,

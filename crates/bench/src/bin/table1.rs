@@ -2,7 +2,8 @@
 //! statistics and check results for the file-handle property, using the
 //! CEGAR checker with path-slicing counterexample reduction.
 //!
-//! Usage: `table1 [small|medium|full]` (default: medium).
+//! Usage: `table1 [small|medium|full] [--jobs <n>] [--retries <k>]`
+//! (default: medium, sequential, no retries).
 
 use blastlite::{CheckerConfig, Reducer};
 use std::time::Duration;
@@ -14,12 +15,13 @@ fn main() {
         time_budget: Duration::from_secs(60),
         ..CheckerConfig::default()
     };
+    let driver = bench::driver_from_args();
     println!("# Table 1 — benchmarks and analysis times (scale: {scale:?})");
     println!("# checker: CEGAR + PathSlice reducer, 60 s/check budget");
     let mut rows = Vec::new();
     for spec in workloads::suite(scale) {
         eprintln!("checking {} ...", spec.name);
-        rows.push(bench::run_workload(&spec, config));
+        rows.push(bench::run_workload_driven(&spec, config, &driver));
     }
     bench::print_table1(&rows);
     // The paper's headline observations, as assertions on the output.

@@ -16,7 +16,7 @@
 //! Criterion benches (`cargo bench -p bench`) cover the Theorem 1
 //! linear-time claim and the supporting analyses.
 
-use blastlite::{check_program, CheckOutcome, CheckerConfig, TraceRecord};
+use blastlite::{run_clusters, CheckOutcome, CheckerConfig, DriverConfig, RetryPolicy, TraceRecord};
 use dataflow::Analyses;
 use semantics::{ExecOutcome, Interp, ReplayOracle, State};
 use slicer::{PathSlicer, SliceOptions};
@@ -35,6 +35,26 @@ pub fn scale_from_args() -> Scale {
 /// Whether `--json` was passed anywhere on the command line.
 pub fn json_requested() -> bool {
     std::env::args().any(|a| a == "--json")
+}
+
+/// Builds a [`DriverConfig`] from the `--jobs <n>` / `--retries <k>`
+/// flags, if present on the command line.
+pub fn driver_from_args() -> DriverConfig {
+    let args: Vec<String> = std::env::args().collect();
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<usize>().ok())
+    };
+    let mut driver = DriverConfig::sequential();
+    if let Some(j) = value("--jobs") {
+        driver.jobs = j;
+    }
+    if let Some(k) = value("--retries") {
+        driver.retry = RetryPolicy::retries(k);
+    }
+    driver
 }
 
 /// The Table 1 row for one benchmark program.
@@ -56,6 +76,8 @@ pub struct ProgramRow {
     pub errors: usize,
     /// Checks that hit a budget.
     pub timeouts: usize,
+    /// Checks the driver isolated after an internal fault (panic).
+    pub internal_errors: usize,
     /// Total time over finished checks.
     pub total_time: Duration,
     /// Maximum single-check time (finished checks).
@@ -68,12 +90,23 @@ pub struct ProgramRow {
     pub traces: Vec<TraceRecord>,
 }
 
-/// Runs the full per-function check battery on one workload.
+/// Runs the full per-function check battery on one workload,
+/// sequentially with no retries. See [`run_workload_driven`].
 pub fn run_workload(spec: &WorkloadSpec, config: CheckerConfig) -> ProgramRow {
+    run_workload_driven(spec, config, &DriverConfig::sequential())
+}
+
+/// Runs the full per-function check battery on one workload through the
+/// fault-tolerant driver (worker threads, retry ladder, panic
+/// isolation).
+pub fn run_workload_driven(
+    spec: &WorkloadSpec,
+    config: CheckerConfig,
+    driver: &DriverConfig,
+) -> ProgramRow {
     let generated = workloads::gen::generate(spec);
     let program = generated.lower();
-    let analyses = Analyses::build(&program);
-    let reports = check_program(&analyses, config);
+    let reports = run_clusters(&program, config, driver).into_cluster_reports();
     let mut row = ProgramRow {
         name: spec.name.clone(),
         loc: generated.loc,
@@ -83,6 +116,7 @@ pub fn run_workload(spec: &WorkloadSpec, config: CheckerConfig) -> ProgramRow {
         safe: 0,
         errors: 0,
         timeouts: 0,
+        internal_errors: 0,
         total_time: Duration::ZERO,
         max_time: Duration::ZERO,
         refinements: 0,
@@ -94,6 +128,7 @@ pub fn run_workload(spec: &WorkloadSpec, config: CheckerConfig) -> ProgramRow {
             CheckOutcome::Safe => row.safe += 1,
             CheckOutcome::Bug { .. } => row.errors += 1,
             CheckOutcome::Timeout(_) => row.timeouts += 1,
+            CheckOutcome::InternalError { .. } => row.internal_errors += 1,
         }
         if !r.report.outcome.is_timeout() {
             row.total_time += r.report.wall;
@@ -128,6 +163,14 @@ pub fn print_table1(rows: &[ProgramRow]) {
             r.max_time.as_secs_f64(),
             r.refinements,
         );
+    }
+    for r in rows {
+        if r.internal_errors > 0 {
+            println!(
+                "# {}: {} check(s) ended in InternalError (isolated by the driver)",
+                r.name, r.internal_errors
+            );
+        }
     }
 }
 

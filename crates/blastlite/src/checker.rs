@@ -6,6 +6,7 @@ use crate::refine::mine_predicates;
 use cfa::{EdgeId, FuncId, Loc, Op, Path};
 use dataflow::Analyses;
 use lia::{Formula, SatResult, Solver};
+use rt::{Budget, Interrupt};
 use semantics::TraceEncoder;
 use slicer::{PathSlicer, SliceOptions};
 use std::time::{Duration, Instant};
@@ -95,6 +96,18 @@ pub enum TimeoutReason {
     /// "the size of trace formulas generated is usually beyond the limit
     /// of current decision procedures").
     SolverGaveUp,
+    /// The run's [`rt::CancelToken`] was cancelled.
+    Cancelled,
+}
+
+impl TimeoutReason {
+    /// The reason corresponding to a budget [`Interrupt`].
+    fn from_interrupt(i: Interrupt) -> TimeoutReason {
+        match i {
+            Interrupt::DeadlineExpired => TimeoutReason::WallClock,
+            Interrupt::Cancelled => TimeoutReason::Cancelled,
+        }
+    }
 }
 
 /// The verdict of one check.
@@ -112,6 +125,17 @@ pub enum CheckOutcome {
     },
     /// The check exhausted a budget.
     Timeout(TimeoutReason),
+    /// The check itself failed — a panic (isolated by the driver) or an
+    /// injected fault. Never produced by [`Checker::check`] directly;
+    /// the driver downgrades caught panics to this so one bad cluster
+    /// cannot kill a suite run.
+    InternalError {
+        /// The rendered panic payload or fault description.
+        payload: String,
+        /// Which phase failed (`"cluster"`, `"reach"`, `"slice"`,
+        /// `"solve"`, …).
+        phase: String,
+    },
 }
 
 impl CheckOutcome {
@@ -128,6 +152,11 @@ impl CheckOutcome {
     /// Whether this outcome is a [`CheckOutcome::Timeout`].
     pub fn is_timeout(&self) -> bool {
         matches!(self, CheckOutcome::Timeout(_))
+    }
+
+    /// Whether this outcome is a [`CheckOutcome::InternalError`].
+    pub fn is_internal_error(&self) -> bool {
+        matches!(self, CheckOutcome::InternalError { .. })
     }
 }
 
@@ -182,9 +211,18 @@ impl<'a> Checker<'a> {
 
     /// Checks whether any of `targets` is reachable.
     pub fn check(&self, targets: &[Loc]) -> CheckReport {
+        self.check_under(targets, &Budget::unlimited())
+    }
+
+    /// [`Checker::check`] under an outer [`Budget`]: the effective
+    /// deadline is `min(outer deadline, now + config.time_budget)`, and
+    /// the outer cancellation token is polled in every layer — the
+    /// solver's inner loops, reachability expansion, and the slicer's
+    /// backward pass.
+    pub fn check_under(&self, targets: &[Loc], outer: &Budget) -> CheckReport {
         let program = self.analyses.program();
         let start = Instant::now();
-        let deadline = start + self.config.time_budget;
+        let budget = outer.child(self.config.time_budget);
         let mut pool = PredicatePool::new();
         let mut traces = Vec::new();
         let mut refinements = 0usize;
@@ -195,6 +233,7 @@ impl<'a> Checker<'a> {
             time_budget: Some((self.config.time_budget / 8).max(Duration::from_millis(500))),
             ..lia::SolverConfig::default()
         });
+        solver.attach_budget(budget.clone());
         let slicer = PathSlicer::new(self.analyses);
 
         let mut abstract_states = 0usize;
@@ -212,9 +251,9 @@ impl<'a> Checker<'a> {
         }
 
         loop {
-            if Instant::now() > deadline {
+            if let Err(i) = budget.check() {
                 return finish!(
-                    CheckOutcome::Timeout(TimeoutReason::WallClock),
+                    CheckOutcome::Timeout(TimeoutReason::from_interrupt(i)),
                     refinements,
                     traces,
                     &pool
@@ -226,7 +265,7 @@ impl<'a> Checker<'a> {
                 &mut pool,
                 targets,
                 self.config.max_states,
-                deadline,
+                &budget,
                 self.config.search_order,
                 self.config.scoped_predicates,
             );
@@ -236,10 +275,9 @@ impl<'a> Checker<'a> {
                     return finish!(CheckOutcome::Safe, refinements, traces, &pool);
                 }
                 ReachResult::BudgetExceeded { .. } => {
-                    let reason = if Instant::now() > deadline {
-                        TimeoutReason::WallClock
-                    } else {
-                        TimeoutReason::StateBudget
+                    let reason = match budget.check() {
+                        Err(i) => TimeoutReason::from_interrupt(i),
+                        Ok(()) => TimeoutReason::StateBudget,
                     };
                     return finish!(CheckOutcome::Timeout(reason), refinements, traces, &pool);
                 }
@@ -250,8 +288,17 @@ impl<'a> Checker<'a> {
             let (slice_edges, already_unsat) = match self.config.reducer {
                 Reducer::Identity => (path.edges().to_vec(), false),
                 Reducer::PathSlice(opts) => {
-                    let r = slicer.slice(&path, opts.into());
-                    (r.edges, r.stopped_unsat)
+                    match slicer.slice_under(&path, opts.into(), &budget) {
+                        Ok(r) => (r.edges, r.stopped_unsat),
+                        Err(i) => {
+                            return finish!(
+                                CheckOutcome::Timeout(TimeoutReason::from_interrupt(i)),
+                                refinements,
+                                traces,
+                                &pool
+                            );
+                        }
+                    }
                 }
             };
             traces.push(TraceRecord {
@@ -304,8 +351,8 @@ impl<'a> Checker<'a> {
                     // set (our stand-in for BLAST's proof-based
                     // predicate discovery), falling back to the whole
                     // reduced trace if the core yields nothing new.
-                    let core = unsat_core(&solver, &parts, deadline);
-                    let core_ops: Vec<&Op> = core.iter().map(|&i| ops[i]).collect();
+                    let core = unsat_core(&solver, &parts, &budget);
+                    let core_ops: Vec<&Op> = core.indices.iter().map(|&i| ops[i]).collect();
                     let mut grew = false;
                     for p in mine_predicates(core_ops) {
                         grew |= pool.add_scoped(program, p);
@@ -338,34 +385,47 @@ impl<'a> Checker<'a> {
     }
 }
 
-/// Deletion-based unsat-core extraction over per-operation constraints:
-/// returns the (ascending) op indices whose constraints form an
-/// unsatisfiable subset. Falls back to the full set when the deadline
-/// hits mid-minimization.
-fn unsat_core(solver: &Solver, parts: &[(usize, Formula)], deadline: Instant) -> Vec<usize> {
+/// The result of [`unsat_core`]: op indices whose constraints are
+/// jointly unsatisfiable, and whether deletion-minimization ran to
+/// completion. When the budget trips mid-minimization, `indices` is the
+/// partial core reached so far — every deletion already performed keeps
+/// the set unsatisfiable, so the partial core is still a sound (just
+/// possibly non-minimal) core — and `complete` is `false` so callers
+/// can tell a minimized core from a truncated one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct UnsatCore {
+    /// Ascending op indices of the core.
+    indices: Vec<usize>,
+    /// Whether every candidate deletion was tried.
+    complete: bool,
+}
+
+/// Deletion-based unsat-core extraction over per-operation constraints.
+fn unsat_core(solver: &Solver, parts: &[(usize, Formula)], budget: &Budget) -> UnsatCore {
     let mut keep: Vec<bool> = vec![true; parts.len()];
     // Deletion minimization is quadratic in the constraint count; on the
     // huge unsliced traces of the identity-reducer ablation it would eat
     // the whole budget, so only attempt it on reducer-sized inputs.
     const MAX_MINIMIZABLE: usize = 600;
-    if parts.len() > MAX_MINIMIZABLE {
-        return parts.iter().map(|(i, _)| *i).collect();
-    }
-    for k in 0..parts.len() {
-        if Instant::now() > deadline {
-            break;
-        }
-        keep[k] = false;
-        let conj = Formula::And(
-            parts
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| keep[*i])
-                .map(|(_, (_, f))| f.clone())
-                .collect(),
-        );
-        if !solver.check(&conj).is_unsat() {
-            keep[k] = true;
+    let mut complete = parts.len() <= MAX_MINIMIZABLE;
+    if complete {
+        for k in 0..parts.len() {
+            if budget.exceeded() {
+                complete = false;
+                break;
+            }
+            keep[k] = false;
+            let conj = Formula::And(
+                parts
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| keep[*i])
+                    .map(|(_, (_, f))| f.clone())
+                    .collect(),
+            );
+            if !solver.check(&conj).is_unsat() {
+                keep[k] = true;
+            }
         }
     }
     let mut idxs: Vec<usize> = parts
@@ -375,7 +435,10 @@ fn unsat_core(solver: &Solver, parts: &[(usize, Formula)], deadline: Instant) ->
         .map(|((i, _), _)| *i)
         .collect();
     idxs.sort_unstable();
-    idxs
+    UnsatCore {
+        indices: idxs,
+        complete,
+    }
 }
 
 /// One per-function cluster of error sites, checked independently
@@ -418,9 +481,76 @@ pub fn check_program(analyses: &Analyses<'_>, config: CheckerConfig) -> Vec<Clus
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lia::{Atom, LinTerm, SymId};
 
     fn setup(src: &str) -> cfa::Program {
         cfa::lower(&imp::parse(src).unwrap()).unwrap()
+    }
+
+    /// `x <= c` / `x >= c` atoms over one symbol, for core tests.
+    fn le_c(c: i128) -> Formula {
+        Formula::Atom(Atom::le(
+            LinTerm::sym(SymId(0)).checked_add_const(-c).unwrap(),
+        ))
+    }
+    fn ge_c(c: i128) -> Formula {
+        Formula::Atom(Atom::le(
+            LinTerm::sym(SymId(0))
+                .checked_scale(-1)
+                .unwrap()
+                .checked_add_const(c)
+                .unwrap(),
+        ))
+    }
+
+    #[test]
+    fn unsat_core_minimizes_under_ample_budget() {
+        // {x <= 0, x >= 1, x <= 5}: the first two alone are unsat; the
+        // third must be deleted from the core.
+        let parts = vec![(0usize, le_c(0)), (1, ge_c(1)), (2, le_c(5))];
+        let core = unsat_core(&Solver::new(), &parts, &Budget::unlimited());
+        assert_eq!(core.indices, vec![0, 1]);
+        assert!(core.complete);
+    }
+
+    #[test]
+    fn unsat_core_reports_partial_when_budget_trips() {
+        let parts = vec![(0usize, le_c(0)), (1, ge_c(1)), (2, le_c(5))];
+        let spent = Budget::until(Instant::now() - Duration::from_millis(1));
+        let core = unsat_core(&Solver::new(), &parts, &spent);
+        // No minimization happened; the partial core is the full (still
+        // unsatisfiable) set, and that truncation is reported, not
+        // silent.
+        assert_eq!(core.indices, vec![0, 1, 2]);
+        assert!(!core.complete);
+    }
+
+    #[test]
+    fn unsat_core_skips_minimization_over_size_cap_and_says_so() {
+        let mut parts: Vec<(usize, Formula)> = (0..601).map(|i| (i, le_c(5))).collect();
+        parts.push((601, ge_c(6)));
+        let core = unsat_core(&Solver::new(), &parts, &Budget::unlimited());
+        assert_eq!(core.indices.len(), parts.len());
+        assert!(!core.complete);
+    }
+
+    #[test]
+    fn cancelled_token_yields_cancelled_timeout() {
+        let p = setup("global a; fn main() { if (a > 0) { error(); } }");
+        let an = Analyses::build(&p);
+        let checker = Checker::new(&an, CheckerConfig::default());
+        let token = rt::CancelToken::new();
+        token.cancel();
+        let outer = Budget::unlimited().with_token(token);
+        let report = checker.check_under(p.cfa(p.main()).error_locs(), &outer);
+        assert!(
+            matches!(
+                report.outcome,
+                CheckOutcome::Timeout(TimeoutReason::Cancelled)
+            ),
+            "{:?}",
+            report.outcome
+        );
     }
 
     fn check_with(src: &str, reducer: Reducer) -> Vec<ClusterReport> {

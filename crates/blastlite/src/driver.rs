@@ -1,0 +1,519 @@
+//! The fault-tolerant verification driver — the batch layer the paper's
+//! §5 protocol implies: hundreds of per-function checks under a global
+//! cap where individual failures are tolerated and *reported*, never
+//! fatal.
+//!
+//! The driver runs check clusters (one per function with error sites, as
+//! in [`crate::check_program`]) on worker threads and adds, on top of
+//! the plain checker:
+//!
+//! * **panic isolation** — each attempt runs inside
+//!   [`rt::catch_unwind_silent`]; a panic anywhere in the stack becomes
+//!   [`CheckOutcome::InternalError`] for that cluster only.
+//! * **cooperative cancellation** — a shared [`CancelToken`] threads
+//!   through every solver inner loop, reachability expansion, and slicer
+//!   pass via the [`rt::Budget`] plumbing.
+//! * **graceful degradation** — a declarative [`RetryPolicy`]: on
+//!   `SolverGaveUp`/`NoProgress`/`InternalError`, re-attempt with a
+//!   capped exponentially escalated budget and a progressively cheaper
+//!   configuration (full slicing → no early-unsat → identity reducer).
+//! * **deterministic fault injection** — an [`rt::FaultPlan`] whose
+//!   decisions depend only on `(seed, site, cluster)`, so chaos runs are
+//!   reproducible at any `jobs` count.
+//!
+//! Verdicts are deterministic across `jobs` counts as long as no check
+//! runs near its wall-clock budget: every cluster is checked in full by
+//! a single worker against one shared [`Analyses`] (whose `By` memo
+//! table is order-independent), and fault decisions ignore scheduling
+//! entirely.
+
+use crate::checker::{
+    CheckOutcome, CheckReport, Checker, CheckerConfig, ClusterReport, Reducer,
+    ReducerSliceOptions, TimeoutReason,
+};
+use cfa::{Loc, Program};
+use dataflow::Analyses;
+use rt::{catch_unwind_silent, panic_payload, Budget, CancelToken, FaultKind, FaultPlan, FaultSite};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The declarative retry/degradation ladder.
+///
+/// Attempt 0 runs the caller's configuration unchanged. Each retry
+/// multiplies the wall-clock budget by [`RetryPolicy::budget_factor`]
+/// (capped at [`RetryPolicy::budget_cap`]) and degrades the reducer one
+/// rung: full slicing → slicing without early-unsat → identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = never retry).
+    pub max_retries: usize,
+    /// Budget multiplier per retry.
+    pub budget_factor: u32,
+    /// Upper bound on the escalated per-attempt budget (never shrinks a
+    /// base budget that already exceeds it).
+    pub budget_cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            budget_factor: 2,
+            budget_cap: Duration::from_secs(600),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy allowing `n` retries with the default escalation.
+    pub fn retries(n: usize) -> Self {
+        RetryPolicy {
+            max_retries: n,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The checker configuration for 0-based `attempt`.
+    pub fn config_for(&self, base: &CheckerConfig, attempt: usize) -> CheckerConfig {
+        let mut cfg = *base;
+        let cap = self.budget_cap.max(base.time_budget);
+        for _ in 0..attempt {
+            cfg.time_budget = cfg.time_budget.saturating_mul(self.budget_factor).min(cap);
+        }
+        cfg.reducer = match (attempt, base.reducer) {
+            (0, r) => r,
+            (1, Reducer::PathSlice(o)) => Reducer::PathSlice(ReducerSliceOptions {
+                early_unsat: false,
+                ..o
+            }),
+            (_, Reducer::PathSlice(_)) => Reducer::Identity,
+            (_, r) => r,
+        };
+        cfg
+    }
+
+    /// Whether `outcome` of 0-based `attempt` warrants another attempt.
+    pub fn should_retry(&self, outcome: &CheckOutcome, attempt: usize) -> bool {
+        attempt < self.max_retries
+            && matches!(
+                outcome,
+                CheckOutcome::Timeout(TimeoutReason::SolverGaveUp | TimeoutReason::NoProgress)
+                    | CheckOutcome::InternalError { .. }
+            )
+    }
+}
+
+/// Driver-level knobs, orthogonal to the per-check [`CheckerConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct DriverConfig {
+    /// Worker threads (0 or 1 = run on the calling thread).
+    pub jobs: usize,
+    /// The retry/degradation ladder.
+    pub retry: RetryPolicy,
+    /// Deterministic fault injection; the default plan injects nothing.
+    pub faults: FaultPlan,
+    /// Cooperative cancellation for the whole run.
+    pub cancel: Option<CancelToken>,
+}
+
+impl DriverConfig {
+    /// A sequential, no-retry, no-fault configuration.
+    pub fn sequential() -> Self {
+        DriverConfig::default()
+    }
+
+    /// Sets the worker count.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Sets the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the fault plan (chaos testing).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+}
+
+/// One driver attempt at a cluster.
+#[derive(Debug, Clone)]
+pub struct Attempt {
+    /// 0-based attempt index.
+    pub attempt: usize,
+    /// The wall-clock budget this attempt ran under.
+    pub time_budget: Duration,
+    /// The reducer this attempt used.
+    pub reducer: Reducer,
+    /// This attempt's outcome.
+    pub outcome: CheckOutcome,
+}
+
+/// A cluster's final report plus the driver's attempt history.
+#[derive(Debug, Clone)]
+pub struct DriverClusterReport {
+    /// The final attempt's report, in [`crate::check_program`] shape.
+    pub cluster: ClusterReport,
+    /// Every attempt, in order; the last one's outcome is the final
+    /// verdict.
+    pub attempts: Vec<Attempt>,
+}
+
+/// The result of one driver run.
+#[derive(Debug)]
+pub struct DriverReport {
+    /// Per-cluster results, in program ([`cfa::FuncId`]) order —
+    /// independent of scheduling.
+    pub clusters: Vec<DriverClusterReport>,
+    /// Wall-clock time for the whole run.
+    pub wall: Duration,
+    /// Worker threads actually used.
+    pub jobs: usize,
+}
+
+impl DriverReport {
+    /// The per-cluster reports, shaped like [`crate::check_program`]'s
+    /// return value.
+    pub fn into_cluster_reports(self) -> Vec<ClusterReport> {
+        self.clusters.into_iter().map(|c| c.cluster).collect()
+    }
+
+    /// Iterates the final verdicts as `(function name, outcome)`.
+    pub fn verdicts(&self) -> impl Iterator<Item = (&str, &CheckOutcome)> {
+        self.clusters
+            .iter()
+            .map(|c| (c.cluster.func_name.as_str(), &c.cluster.report.outcome))
+    }
+}
+
+/// Runs one check per function containing error locations — the same
+/// clustering as [`crate::check_program`] — on `driver.jobs` worker
+/// threads, with panic isolation, retry escalation, and fault injection.
+pub fn run_clusters(
+    program: &Program,
+    config: CheckerConfig,
+    driver: &DriverConfig,
+) -> DriverReport {
+    let t0 = Instant::now();
+    let clusters: Vec<(cfa::FuncId, String, Vec<Loc>)> = program
+        .cfas()
+        .iter()
+        .filter(|c| !c.error_locs().is_empty())
+        .map(|c| (c.func(), c.name().to_owned(), c.error_locs().to_vec()))
+        .collect();
+    let jobs = driver.jobs.max(1).min(clusters.len().max(1));
+
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<DriverClusterReport>>> =
+        clusters.iter().map(|_| Mutex::new(None)).collect();
+    let work = |analyses: &Analyses<'_>| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= clusters.len() {
+            break;
+        }
+        let (func, name, locs) = &clusters[i];
+        let (report, attempts) = run_cluster(analyses, &config, driver, name, locs);
+        *results[i].lock().expect("no poisoned result slot") = Some(DriverClusterReport {
+            cluster: ClusterReport {
+                func: *func,
+                func_name: name.clone(),
+                n_sites: locs.len(),
+                report,
+            },
+            attempts,
+        });
+    };
+
+    // One Analyses serves every worker (its By memo table is behind a
+    // Mutex), so adding jobs never duplicates the dataflow fixpoints.
+    let analyses = Analyses::build(program);
+    if jobs <= 1 {
+        work(&analyses);
+    } else {
+        std::thread::scope(|s| {
+            for _ in 0..jobs {
+                s.spawn(|| work(&analyses));
+            }
+        });
+    }
+
+    DriverReport {
+        clusters: results
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("no poisoned result slot")
+                    .expect("every cluster slot is filled")
+            })
+            .collect(),
+        wall: t0.elapsed(),
+        jobs,
+    }
+}
+
+/// Runs the retry ladder for one cluster.
+fn run_cluster(
+    analyses: &Analyses<'_>,
+    base: &CheckerConfig,
+    driver: &DriverConfig,
+    name: &str,
+    targets: &[Loc],
+) -> (CheckReport, Vec<Attempt>) {
+    let mut attempts = Vec::new();
+    let mut attempt = 0usize;
+    loop {
+        let cfg = driver.retry.config_for(base, attempt);
+        let report = run_attempt(analyses, &cfg, driver, name, targets);
+        attempts.push(Attempt {
+            attempt,
+            time_budget: cfg.time_budget,
+            reducer: cfg.reducer,
+            outcome: report.outcome.clone(),
+        });
+        if !driver.retry.should_retry(&report.outcome, attempt) {
+            return (report, attempts);
+        }
+        attempt += 1;
+    }
+}
+
+/// One isolated attempt: fault-injection gates, then the checker, all
+/// inside a panic-catching region.
+fn run_attempt(
+    analyses: &Analyses<'_>,
+    cfg: &CheckerConfig,
+    driver: &DriverConfig,
+    name: &str,
+    targets: &[Loc],
+) -> CheckReport {
+    let t0 = Instant::now();
+    let outer = match &driver.cancel {
+        Some(token) => Budget::unlimited().with_token(token.clone()),
+        None => Budget::unlimited(),
+    };
+    // Injected faults are modelled at phase boundaries: each site is
+    // consulted (deterministically, keyed by the cluster name) before
+    // the phase it represents would run; `fire` panics for Panic-kind
+    // rules, landing in the catch below with the phase recorded here.
+    let phase = Cell::new("cluster");
+    let forced = |reason: TimeoutReason| CheckReport {
+        outcome: CheckOutcome::Timeout(reason),
+        refinements: 0,
+        traces: Vec::new(),
+        wall: t0.elapsed(),
+        n_predicates: 0,
+        abstract_states: 0,
+    };
+    let result = catch_unwind_silent(|| {
+        const GATES: [(FaultSite, &str); 4] = [
+            (FaultSite::ClusterStart, "cluster"),
+            (FaultSite::ReachStep, "reach"),
+            (FaultSite::SlicePass, "slice"),
+            (FaultSite::SolverCheck, "solve"),
+        ];
+        for (site, ph) in GATES {
+            phase.set(ph);
+            match driver.faults.fire(site, name) {
+                Some(FaultKind::SolverUnknown) => {
+                    return forced(TimeoutReason::SolverGaveUp);
+                }
+                Some(FaultKind::BudgetExhaust) => {
+                    return forced(if site == FaultSite::ReachStep {
+                        TimeoutReason::StateBudget
+                    } else {
+                        TimeoutReason::WallClock
+                    });
+                }
+                Some(FaultKind::Panic) => unreachable!("fire panics for Panic rules"),
+                None => {}
+            }
+        }
+        phase.set("check");
+        Checker::new(analyses, *cfg).check_under(targets, &outer)
+    });
+    match result {
+        Ok(report) => report,
+        Err(payload) => CheckReport {
+            outcome: CheckOutcome::InternalError {
+                payload: panic_payload(&*payload),
+                phase: phase.get().to_owned(),
+            },
+            refinements: 0,
+            traces: Vec::new(),
+            wall: t0.elapsed(),
+            n_predicates: 0,
+            abstract_states: 0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TWO_CLUSTERS: &str = r#"
+        global a, x;
+        fn f() { if (a > 0) { error(); } }
+        fn g() { x = 1; if (x == 2) { error(); } }
+        fn main() { f(); g(); }
+    "#;
+
+    fn setup(src: &str) -> Program {
+        cfa::lower(&imp::parse(src).unwrap()).unwrap()
+    }
+
+    fn verdict_kinds(r: &DriverReport) -> Vec<String> {
+        r.verdicts()
+            .map(|(name, o)| format!("{name}:{}", kind(o)))
+            .collect()
+    }
+
+    fn kind(o: &CheckOutcome) -> &'static str {
+        match o {
+            CheckOutcome::Safe => "safe",
+            CheckOutcome::Bug { .. } => "bug",
+            CheckOutcome::Timeout(_) => "timeout",
+            CheckOutcome::InternalError { .. } => "internal",
+        }
+    }
+
+    #[test]
+    fn driver_matches_sequential_check_program() {
+        let p = setup(TWO_CLUSTERS);
+        let an = Analyses::build(&p);
+        let plain = crate::check_program(&an, CheckerConfig::default());
+        for jobs in [1, 4] {
+            let driven = run_clusters(
+                &p,
+                CheckerConfig::default(),
+                &DriverConfig::sequential().with_jobs(jobs),
+            );
+            assert_eq!(driven.clusters.len(), plain.len());
+            for (d, s) in driven.clusters.iter().zip(&plain) {
+                assert_eq!(d.cluster.func_name, s.func_name);
+                assert_eq!(kind(&d.cluster.report.outcome), kind(&s.report.outcome));
+                assert_eq!(d.attempts.len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_to_its_cluster() {
+        let p = setup(TWO_CLUSTERS);
+        let faults = FaultPlan::new(1).inject(FaultSite::ClusterStart, FaultKind::Panic, 1.0);
+        let only_f = FaultPlan::new(1); // fault-free control
+        let clean = run_clusters(
+            &p,
+            CheckerConfig::default(),
+            &DriverConfig::sequential().with_faults(only_f),
+        );
+        let chaotic = run_clusters(
+            &p,
+            CheckerConfig::default(),
+            &DriverConfig::sequential().with_faults(faults),
+        );
+        assert_eq!(verdict_kinds(&clean), vec!["f:bug", "g:safe"]);
+        // Rate 1.0 faults every cluster; both become InternalError with
+        // the injection payload, and the run still completes.
+        for c in &chaotic.clusters {
+            let CheckOutcome::InternalError { payload, phase } = &c.cluster.report.outcome else {
+                panic!("expected InternalError, got {:?}", c.cluster.report.outcome);
+            };
+            assert!(payload.contains("injected fault"), "{payload}");
+            assert_eq!(phase, "cluster");
+        }
+    }
+
+    #[test]
+    fn retry_ladder_escalates_budget_and_degrades_reducer() {
+        let p = setup(TWO_CLUSTERS);
+        // SolverUnknown at the solver gate fires on every attempt (the
+        // decision is keyed by cluster name only), so the ladder runs to
+        // exhaustion and we can observe every rung.
+        let faults = FaultPlan::new(3).inject(FaultSite::SolverCheck, FaultKind::SolverUnknown, 1.0);
+        let base = CheckerConfig {
+            time_budget: Duration::from_secs(10),
+            ..CheckerConfig::default()
+        };
+        let driver = DriverConfig::sequential()
+            .with_faults(faults)
+            .with_retry(RetryPolicy::retries(2));
+        let r = run_clusters(&p, base, &driver);
+        for c in &r.clusters {
+            assert!(matches!(
+                c.cluster.report.outcome,
+                CheckOutcome::Timeout(TimeoutReason::SolverGaveUp)
+            ));
+            assert_eq!(c.attempts.len(), 3);
+            assert_eq!(c.attempts[0].time_budget, Duration::from_secs(10));
+            assert_eq!(c.attempts[1].time_budget, Duration::from_secs(20));
+            assert_eq!(c.attempts[2].time_budget, Duration::from_secs(40));
+            assert_eq!(c.attempts[0].reducer, Reducer::path_slice());
+            assert!(matches!(
+                c.attempts[1].reducer,
+                Reducer::PathSlice(o) if !o.early_unsat
+            ));
+            assert_eq!(c.attempts[2].reducer, Reducer::Identity);
+        }
+    }
+
+    #[test]
+    fn budget_escalation_is_capped() {
+        let policy = RetryPolicy {
+            max_retries: 10,
+            budget_factor: 10,
+            budget_cap: Duration::from_secs(30),
+        };
+        let base = CheckerConfig {
+            time_budget: Duration::from_secs(4),
+            ..CheckerConfig::default()
+        };
+        assert_eq!(policy.config_for(&base, 1).time_budget, Duration::from_secs(30));
+        assert_eq!(policy.config_for(&base, 9).time_budget, Duration::from_secs(30));
+        // A base budget above the cap is never shrunk.
+        let big = CheckerConfig {
+            time_budget: Duration::from_secs(100),
+            ..CheckerConfig::default()
+        };
+        assert_eq!(policy.config_for(&big, 3).time_budget, Duration::from_secs(100));
+    }
+
+    #[test]
+    fn cancellation_stops_every_cluster() {
+        let p = setup(TWO_CLUSTERS);
+        let token = CancelToken::new();
+        token.cancel();
+        let driver = DriverConfig {
+            cancel: Some(token),
+            ..DriverConfig::default()
+        };
+        let r = run_clusters(&p, CheckerConfig::default(), &driver);
+        for c in &r.clusters {
+            assert!(
+                matches!(
+                    c.cluster.report.outcome,
+                    CheckOutcome::Timeout(TimeoutReason::Cancelled)
+                ),
+                "{:?}",
+                c.cluster.report.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn bug_and_safe_verdicts_never_retry() {
+        let p = setup(TWO_CLUSTERS);
+        let driver = DriverConfig::sequential().with_retry(RetryPolicy::retries(3));
+        let r = run_clusters(&p, CheckerConfig::default(), &driver);
+        for c in &r.clusters {
+            assert_eq!(c.attempts.len(), 1, "{:?}", c.cluster.report.outcome);
+        }
+    }
+}

@@ -45,6 +45,7 @@
 
 pub mod abst;
 pub mod checker;
+pub mod driver;
 pub mod reach;
 pub mod refine;
 
@@ -52,5 +53,8 @@ pub use abst::{PredicatePool, Valuation};
 pub use checker::{
     check_program, CheckOutcome, CheckReport, Checker, CheckerConfig, ClusterReport, Reducer,
     ReducerSliceOptions, TimeoutReason, TraceRecord,
+};
+pub use driver::{
+    run_clusters, Attempt, DriverClusterReport, DriverConfig, DriverReport, RetryPolicy,
 };
 pub use reach::SearchOrder;

@@ -9,8 +9,8 @@
 use crate::abst::{PredicatePool, Valuation};
 use cfa::{EdgeId, Loc, Op, Path, Program};
 use dataflow::Analyses;
+use rt::Budget;
 use std::collections::{HashMap, VecDeque};
-use std::time::Instant;
 
 /// Exploration order for abstract reachability.
 ///
@@ -71,18 +71,19 @@ impl ReachResult {
 
 /// Runs abstract reachability from `main`'s entry toward `targets`.
 ///
-/// `deadline` and `max_states` bound the exploration.
+/// `budget` and `max_states` bound the exploration; the budget's
+/// cancellation token (if any) is polled between expansions.
 pub fn reachable(
     program: &Program,
     analyses: &Analyses<'_>,
     pool: &mut PredicatePool,
     targets: &[Loc],
     max_states: usize,
-    deadline: Instant,
+    budget: &Budget,
     order: SearchOrder,
 ) -> ReachResult {
     reachable_with(
-        program, analyses, pool, targets, max_states, deadline, order, false,
+        program, analyses, pool, targets, max_states, budget, order, false,
     )
 }
 
@@ -96,7 +97,7 @@ pub fn reachable_with(
     pool: &mut PredicatePool,
     targets: &[Loc],
     max_states: usize,
-    deadline: Instant,
+    budget: &Budget,
     order: SearchOrder,
     scoped: bool,
 ) -> ReachResult {
@@ -118,14 +119,11 @@ pub fn reachable_with(
     // exploration (states mostly differ in stack context).
     let mut post_cache: HashMap<(EdgeId, Valuation), Option<Valuation>> = HashMap::new();
 
-    let mut iterations = 0usize;
     while let Some(ni) = match order {
         SearchOrder::Bfs => queue.pop_front(),
         SearchOrder::Dfs => queue.pop_back(),
     } {
-        iterations += 1;
-        if nodes.len() > max_states || (iterations.is_multiple_of(256) && Instant::now() > deadline)
-        {
+        if nodes.len() > max_states || budget.poll().is_err() {
             return ReachResult::BudgetExceeded {
                 explored: nodes.len(),
             };
@@ -244,7 +242,7 @@ mod tests {
             &mut pool,
             &targets,
             100_000,
-            Instant::now() + Duration::from_secs(30),
+            &Budget::lasting(Duration::from_secs(30)),
             SearchOrder::Bfs,
         );
         (p, r)
@@ -306,7 +304,7 @@ mod tests {
             &mut pool,
             &targets,
             100_000,
-            Instant::now() + Duration::from_secs(30),
+            &Budget::lasting(Duration::from_secs(30)),
             SearchOrder::Bfs,
         );
         assert!(
@@ -339,7 +337,7 @@ mod tests {
             &mut pool,
             &targets,
             2,
-            Instant::now() + Duration::from_secs(30),
+            &Budget::lasting(Duration::from_secs(30)),
             SearchOrder::Bfs,
         );
         assert!(matches!(r, ReachResult::BudgetExceeded { .. }));

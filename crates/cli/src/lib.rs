@@ -2,14 +2,16 @@
 //!
 //! ```text
 //! pathslice check <file.imp> [--no-slicing] [--timeout <secs>] [--dfs]
+//!                            [--jobs <n>] [--retries <k>]
 //! pathslice slice <file.imp> [--skip-functions] [--no-early-unsat]
 //! pathslice run   <file.imp> [--input v1,v2,...] [--fuel <n>]
 //! pathslice dot   <file.imp> [<function>]
 //! ```
 //!
 //! * `check` — CEGAR-verify every error cluster (per-function, §5
-//!   methodology) and print verdicts; with a bug, print the witness
-//!   slice.
+//!   methodology) on the fault-tolerant driver and print verdicts; with
+//!   a bug, print the witness slice. `--jobs` parallelizes across
+//!   clusters; `--retries` enables the budget-escalation ladder.
 //! * `slice` — take the first abstract error path the checker's
 //!   reachability produces and print its path slice with reasons.
 //! * `run` — execute the program concretely with the given `nondet()`
@@ -19,8 +21,9 @@
 //! All logic lives here (testable); `main.rs` is a thin shim.
 
 use pathslicing::prelude::*;
+use pathslicing::rt::Budget;
 use std::fmt::Write as _;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Runs one CLI invocation. `args` excludes the binary name. Output is
 /// appended to `out`; the return value is the process exit code.
@@ -50,6 +53,7 @@ pathslice — path slicing (PLDI 2005) toolchain
 
 USAGE:
     pathslice check <file.imp> [--no-slicing] [--timeout <secs>] [--dfs]
+                               [--jobs <n>] [--retries <k>]
     pathslice slice <file.imp> [--skip-functions] [--no-early-unsat]
     pathslice run   <file.imp> [--input v1,v2,...] [--fuel <n>]
     pathslice dot   <file.imp> [<function>]
@@ -67,7 +71,6 @@ fn load(path: &str) -> Result<Program, String> {
 fn cmd_check(args: &[String], out: &mut String) -> Result<i32, String> {
     let (file, flags) = split_flags(args)?;
     let program = load(&file)?;
-    let analyses = Analyses::build(&program);
     let mut config = CheckerConfig {
         reducer: if flags.iter().any(|f| f == "--no-slicing") {
             Reducer::Identity
@@ -85,7 +88,16 @@ fn cmd_check(args: &[String], out: &mut String) -> Result<i32, String> {
     if flags.iter().any(|f| f == "--dfs") {
         config.search_order = SearchOrder::Dfs;
     }
-    let reports = check_program(&analyses, config);
+    let mut driver = DriverConfig::sequential();
+    if let Some(j) = flag_value(&flags, "--jobs")? {
+        driver.jobs = j.parse().map_err(|_| format!("bad --jobs value `{j}`"))?;
+    }
+    if let Some(k) = flag_value(&flags, "--retries")? {
+        driver.retry = RetryPolicy::retries(
+            k.parse().map_err(|_| format!("bad --retries value `{k}`"))?,
+        );
+    }
+    let reports = run_clusters(&program, config, &driver).into_cluster_reports();
     if reports.is_empty() {
         let _ = writeln!(out, "no error locations — nothing to check");
         return Ok(0);
@@ -101,6 +113,10 @@ fn cmd_check(args: &[String], out: &mut String) -> Result<i32, String> {
             CheckOutcome::Timeout(reason) => {
                 worst = worst.max(2);
                 format!("TIMEOUT({reason:?})")
+            }
+            CheckOutcome::InternalError { phase, .. } => {
+                worst = worst.max(2);
+                format!("INTERNAL({phase})")
             }
         };
         let _ = writeln!(
@@ -142,7 +158,7 @@ fn cmd_slice(args: &[String], out: &mut String) -> Result<i32, String> {
         &mut pool,
         &targets,
         1_000_000,
-        Instant::now() + Duration::from_secs(60),
+        &Budget::lasting(Duration::from_secs(60)),
         SearchOrder::Dfs,
     );
     let pathslicing::blastlite::reach::ReachResult::ErrorPath { path, .. } = reach else {
@@ -349,6 +365,58 @@ mod tests {
         assert!(run_command(&["bogus".into()], &mut out).is_err());
         let f = write_temp("bad.imp", "fn main() {");
         assert!(run_command(&["check".into(), f], &mut out).is_err());
+    }
+
+    #[test]
+    fn malformed_flags_error_out_instead_of_panicking() {
+        let f = write_temp("flags.imp", SAFE);
+        let cases: &[&[&str]] = &[
+            &["check", &f, "--timeout", "abc"],
+            &["check", &f, "--timeout"],
+            &["check", &f, "--jobs", "-1"],
+            &["check", &f, "--retries", "many"],
+            &["run", &f, "--fuel", "1e9"],
+            &["run", &f, "--input", "1,x,3"],
+            &["check", "/no/such/file.imp"],
+        ];
+        for case in cases {
+            let args: Vec<String> = case.iter().map(|s| s.to_string()).collect();
+            let mut out = String::new();
+            assert!(run_command(&args, &mut out).is_err(), "{case:?}");
+        }
+    }
+
+    #[test]
+    fn hostile_sources_error_out_instead_of_panicking() {
+        let cases = [
+            ("overflow.imp", "fn main() { local x; x = 99999999999999999999; }"),
+            ("nonascii.imp", "fn mäin() { }"),
+            ("truncated.imp", "fn main() { if (x"),
+            ("empty.imp", ""),
+        ];
+        for (name, src) in cases {
+            let f = write_temp(name, src);
+            let mut out = String::new();
+            assert!(
+                run_command(&["check".into(), f], &mut out).is_err(),
+                "{name} should be a front-end error"
+            );
+        }
+    }
+
+    #[test]
+    fn check_jobs_and_retries_match_sequential_verdicts() {
+        let f = write_temp("par.imp", BUGGY);
+        let (seq_code, seq_out) = run_ok(&["check", &f]);
+        let (par_code, par_out) = run_ok(&["check", &f, "--jobs", "4", "--retries", "2"]);
+        assert_eq!(seq_code, par_code);
+        // Strip the wall-clock column (last field) before comparing.
+        let verdicts = |s: &str| {
+            s.lines()
+                .map(|l| l.rsplit_once("  ").map_or(l.to_owned(), |(v, _)| v.to_owned()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(verdicts(&seq_out), verdicts(&par_out));
     }
 
     #[test]

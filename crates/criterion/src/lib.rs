@@ -1,0 +1,169 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the small API subset the workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`] /
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkId`], [`Throughput`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros — with a
+//! simple median-of-samples wall-clock measurement instead of
+//! criterion's statistical machinery. Good enough to spot order-of-
+//! magnitude regressions offline; not a replacement for real criterion.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Accepted for compatibility; this harness sizes samples itself.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation for a group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter value.
+    pub fn new(function: &str, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// A group of benchmarks sharing throughput annotations.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the throughput for subsequent benchmarks in this group.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Benchmarks `f` with `input`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { spent: Duration::ZERO, iters: 0 };
+        f(&mut b, input);
+        self.report(&id, &b);
+    }
+
+    /// Benchmarks `f` with no input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { spent: Duration::ZERO, iters: 0 };
+        f(&mut b);
+        self.report(&id, &b);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        if b.iters == 0 {
+            println!("  {:<32} (no iterations)", id.name);
+            return;
+        }
+        let per_iter = b.spent / b.iters as u32;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+                format!("  {:>12.0} elem/s", n as f64 / per_iter.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+                format!("  {:>12.0} B/s", n as f64 / per_iter.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!("  {:<32} {:>12.3?}/iter{rate}", id.name, per_iter);
+    }
+}
+
+/// Runs the measured closure.
+#[derive(Debug)]
+pub struct Bencher {
+    spent: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `f`, repeating it enough times to get a stable reading
+    /// (bounded by an overall time cap).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let first = t0.elapsed();
+        // Aim for ~20 measured iterations or ~1 s, whichever is less.
+        let budget = Duration::from_secs(1);
+        let iters = if first > Duration::ZERO {
+            ((budget.as_secs_f64() / first.as_secs_f64()) as u64).clamp(1, 20)
+        } else {
+            20
+        };
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        self.spent = t1.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -5,8 +5,8 @@ use crate::bitset::BitSet;
 use crate::callgraph::CallGraph;
 use crate::reach::EdgeReach;
 use cfa::{CLval, EdgeId, FuncId, Loc, Op, Program};
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// All precomputed relations for one program: alias information, per-CFA
 /// edge reachability, per-edge may-write cell sets, transitive `Mods`,
@@ -26,8 +26,10 @@ pub struct Analyses<'p> {
     /// (call edges carry the callee's `Mods` set).
     edge_writes: Vec<Vec<BitSet>>,
     /// Memoized `By.pc'` sets: locations (of `pc'.func`) that can reach
-    /// the exit without visiting `pc'`.
-    by_cache: RefCell<HashMap<Loc, BitSet>>,
+    /// the exit without visiting `pc'`. A `Mutex` (not `RefCell`) so a
+    /// built `Analyses` is `Sync` and one instance can serve all of the
+    /// driver's worker threads.
+    by_cache: Mutex<HashMap<Loc, BitSet>>,
     n_vars: usize,
 }
 
@@ -84,7 +86,7 @@ impl<'p> Analyses<'p> {
             reach,
             mods,
             edge_writes,
-            by_cache: RefCell::new(HashMap::new()),
+            by_cache: Mutex::new(HashMap::new()),
             n_vars,
         }
     }
@@ -192,9 +194,21 @@ impl<'p> Analyses<'p> {
     /// Panics if `pc` and `avoid` are in different CFAs.
     pub fn can_bypass(&self, pc: Loc, avoid: Loc) -> bool {
         assert_eq!(pc.func, avoid.func, "By query must be intraprocedural");
-        let mut cache = self.by_cache.borrow_mut();
-        let set = cache.entry(avoid).or_insert_with(|| self.compute_by(avoid));
-        set.contains(pc.idx as usize)
+        // A memo table stays consistent even if a (driver-isolated) panic
+        // poisoned the lock, so recover rather than propagate the poison.
+        let lock = || {
+            self.by_cache
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+        };
+        if let Some(set) = lock().get(&avoid) {
+            return set.contains(pc.idx as usize);
+        }
+        // Miss: run the fixpoint *outside* the lock so concurrent driver
+        // workers never stall behind each other's By computations
+        // (compute_by is pure, so a racing duplicate is harmless).
+        let set = self.compute_by(avoid);
+        lock().entry(avoid).or_insert(set).contains(pc.idx as usize)
     }
 
     /// Computes the full `By.avoid` set: least fixpoint of

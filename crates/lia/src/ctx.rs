@@ -55,6 +55,12 @@ impl Ctx {
         }
     }
 
+    /// Attaches a cooperative budget to the underlying solver (see
+    /// [`Solver::attach_budget`]).
+    pub fn attach_budget(&self, budget: rt::Budget) {
+        self.solver.attach_budget(budget);
+    }
+
     /// Asserts a formula (conjoined with everything already asserted).
     pub fn assert(&mut self, f: Formula) {
         self.asserted.push(f);

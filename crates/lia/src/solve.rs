@@ -5,8 +5,9 @@ use crate::formula::{Formula, Model};
 use crate::rat::Rat;
 use crate::simplex::{rational_feasible, SimplexResult};
 use crate::term::{gcd, Atom, LinTerm, Rel, SymId};
-use std::cell::Cell;
-use std::time::{Duration, Instant};
+use rt::Budget;
+use std::cell::RefCell;
+use std::time::Duration;
 
 /// The verdict of a satisfiability check.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,14 +68,17 @@ impl Default for SolverConfig {
 }
 
 /// A satisfiability solver for [`Formula`]s. Stateless between calls
-/// (the deadline cell is reset on every [`Solver::check`]); see
+/// (the in-flight budget is re-derived on every [`Solver::check`]); see
 /// [`crate::Ctx`] for the incremental interface.
 #[derive(Debug, Clone, Default)]
 pub struct Solver {
     cfg: SolverConfig,
-    /// Deadline for the in-flight `check`, derived from
-    /// [`SolverConfig::time_budget`].
-    deadline: Cell<Option<Instant>>,
+    /// Budget attached by the embedding layer (checker/driver): carries
+    /// the whole run's deadline and cancellation token. Per-call
+    /// deadlines from [`SolverConfig::time_budget`] are capped at it.
+    attached: RefCell<Budget>,
+    /// Budget governing the in-flight `check` call.
+    current: RefCell<Budget>,
 }
 
 #[derive(Debug)]
@@ -92,19 +96,40 @@ impl Solver {
     pub fn with_config(cfg: SolverConfig) -> Self {
         Solver {
             cfg,
-            deadline: Cell::new(None),
+            ..Solver::default()
         }
     }
 
-    /// Whether the in-flight check has exceeded its time budget.
+    /// Attaches the cooperative budget subsequent [`Solver::check`]
+    /// calls run under: their [`SolverConfig::time_budget`] deadline is
+    /// capped at the attached deadline, and the attached cancellation
+    /// token is consulted in the solver's inner loops.
+    pub fn attach_budget(&self, budget: Budget) {
+        *self.attached.borrow_mut() = budget;
+    }
+
+    /// Whether the in-flight check has exhausted its budget
+    /// (unconditional clock read).
     fn expired(&self) -> bool {
-        matches!(self.deadline.get(), Some(d) if Instant::now() > d)
+        self.current.borrow().check().is_err()
+    }
+
+    /// Strided variant of [`Solver::expired`] for the hottest inner
+    /// loops: consults the cancellation token every call but reads the
+    /// clock only every few polls.
+    fn expired_fast(&self) -> bool {
+        self.current.borrow().poll().is_err()
     }
 
     /// Decides satisfiability of `f`.
     pub fn check(&self, f: &Formula) -> SatResult {
-        self.deadline
-            .set(self.cfg.time_budget.map(|b| Instant::now() + b));
+        *self.current.borrow_mut() = {
+            let attached = self.attached.borrow();
+            match self.cfg.time_budget {
+                Some(b) => attached.child(b),
+                None => attached.clone(),
+            }
+        };
         let nnf = f.simplify().to_nnf();
         let mut splits = 0usize;
         let result = self.split(&mut Vec::new(), &mut vec![nnf], &mut splits);
@@ -417,6 +442,13 @@ impl Solver {
             let mut new = rest;
             for u in with_x.iter().filter(|t| t.coeff(x) > 0) {
                 for l in with_x.iter().filter(|t| t.coeff(x) < 0) {
+                    // The pairing step is quadratic in the constraint
+                    // count — the one place a single elimination round
+                    // can run for seconds — so it polls the budget and
+                    // bails as soon as the output exceeds the cap.
+                    if self.expired_fast() || new.len() > self.cfg.max_constraints {
+                        return Err(Overflowed);
+                    }
                     let a = u.coeff(x);
                     let b = l.coeff(x); // b < 0
                     let c = u
@@ -826,6 +858,33 @@ mod tests {
         );
         // Either it proved unsat fast or it gave up — never a wrong Sat.
         assert!(!r.is_sat(), "{r:?}");
+    }
+
+    #[test]
+    fn attached_token_cancels_check() {
+        let token = rt::CancelToken::new();
+        let solver = Solver::new();
+        solver.attach_budget(rt::Budget::unlimited().with_token(token.clone()));
+        // Uncancelled: normal verdicts.
+        assert!(solver.check(&le(x())).is_sat());
+        // Cancelled: even a trivial check yields Unknown, immediately.
+        token.cancel();
+        assert_eq!(solver.check(&le(x())), SatResult::Unknown);
+    }
+
+    #[test]
+    fn attached_deadline_caps_config_budget() {
+        use std::time::{Duration, Instant};
+        // Config allows 1 h, but the attached budget is already expired:
+        // the check must give up at once.
+        let solver = Solver::with_config(SolverConfig {
+            time_budget: Some(Duration::from_secs(3600)),
+            ..SolverConfig::default()
+        });
+        solver.attach_budget(rt::Budget::until(
+            Instant::now() - Duration::from_millis(1),
+        ));
+        assert_eq!(solver.check(&le(x())), SatResult::Unknown);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! | IR | [`cfa`] | control flow automata, program paths, `Call.i` |
 //! | analyses | [`dataflow`] | `By`, `WrBt`, `Mods`, alias analysis |
 //! | solver | [`lia`] | linear integer arithmetic decision procedure |
+//! | runtime | [`rt`] | budgets, cancellation, panic isolation, fault injection |
 //! | semantics | [`semantics`] | interpreter, WP, SSA trace encoding |
 //! | **contribution** | [`slicer`] | the `PathSlice` algorithm |
 //! | baselines | [`baselines`] | static (flow-insensitive + PDG) and dynamic slicing |
@@ -41,6 +42,7 @@ pub use cfa;
 pub use dataflow;
 pub use imp;
 pub use lia;
+pub use rt;
 pub use semantics;
 pub use slicer;
 pub use workloads;
@@ -48,7 +50,10 @@ pub use workloads;
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use baselines::{DynamicSlicer, PdgSlicer, StaticSlicer};
-    pub use blastlite::{check_program, CheckOutcome, CheckerConfig, Reducer, SearchOrder};
+    pub use blastlite::{
+        check_program, run_clusters, CheckOutcome, CheckerConfig, DriverConfig, Reducer,
+        RetryPolicy, SearchOrder,
+    };
     pub use cfa::{Path, Program};
     pub use dataflow::Analyses;
     pub use semantics::{

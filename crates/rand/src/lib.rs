@@ -1,0 +1,191 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace must build with no network access (the container has no
+//! crates.io mirror), so this crate vendors the tiny API subset the
+//! workspace actually uses: [`SeedableRng::seed_from_u64`],
+//! [`rngs::StdRng`], and [`Rng::gen_range`] over integer ranges.
+//!
+//! The generator is xoshiro256++ seeded through splitmix64 — fast,
+//! high-quality, and fully deterministic per seed. Streams differ from
+//! upstream `rand`'s ChaCha-based `StdRng`, which is fine: every consumer
+//! in this workspace treats the stream as an arbitrary deterministic
+//! function of the seed, never as a stable cross-version artifact.
+
+/// A seedable random number generator.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling methods over a generator core.
+pub trait Rng {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range` (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: RangeBounds<T>,
+    {
+        let (lo, hi_inclusive) = range.to_inclusive_bounds();
+        T::sample_inclusive(self.next_u64(), lo, hi_inclusive)
+    }
+
+    /// A bernoulli sample with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 / ((1u64 << 53) as f64) < p
+    }
+
+    /// `true` with probability `numerator/denominator`.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(numerator <= denominator && denominator > 0);
+        (self.next_u64() % denominator as u64) < numerator as u64
+    }
+}
+
+/// Integer range bounds accepted by [`Rng::gen_range`].
+pub trait RangeBounds<T> {
+    /// The `(low, high)` pair, high inclusive.
+    fn to_inclusive_bounds(&self) -> (T, T);
+}
+
+impl<T: Copy + Dec> RangeBounds<T> for core::ops::Range<T> {
+    fn to_inclusive_bounds(&self) -> (T, T) {
+        (self.start, self.end.dec())
+    }
+}
+
+impl<T: Copy> RangeBounds<T> for core::ops::RangeInclusive<T> {
+    fn to_inclusive_bounds(&self) -> (T, T) {
+        (*self.start(), *self.end())
+    }
+}
+
+/// Decrement, for converting exclusive to inclusive upper bounds.
+pub trait Dec {
+    /// `self - 1`.
+    fn dec(self) -> Self;
+}
+
+/// Types [`Rng::gen_range`] can sample.
+pub trait SampleUniform: Sized {
+    /// Maps 64 random bits into `[lo, hi]` (inclusive).
+    fn sample_inclusive(bits: u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl Dec for $t {
+            fn dec(self) -> Self {
+                self - 1
+            }
+        }
+        impl SampleUniform for $t {
+            fn sample_inclusive(bits: u64, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64 as u128 + 1;
+                let off = (bits as u128 % span) as $wide;
+                ((lo as $wide).wrapping_add(off)) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+);
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard deterministic generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 expansion, the reference seeding procedure.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: i64 = r.gen_range(-5..5);
+            assert!((-5..5).contains(&v));
+            let w: usize = r.gen_range(1..4);
+            assert!((1..4).contains(&w));
+            let x: i64 = r.gen_range(-3..=3);
+            assert!((-3..=3).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_range() {
+        let mut r = StdRng::seed_from_u64(9);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[r.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_is_biased_correctly() {
+        let mut r = StdRng::seed_from_u64(11);
+        let heads = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((1_800..3_200).contains(&heads), "{heads}");
+    }
+}

@@ -3,6 +3,7 @@
 use cfa::{CLval, EdgeId, Loc, Op, Path};
 use dataflow::Analyses;
 use lia::{Ctx, Formula};
+use rt::{Budget, Interrupt};
 use semantics::TraceEncoder;
 use std::collections::BTreeSet;
 
@@ -138,6 +139,29 @@ impl<'a> PathSlicer<'a> {
     ///
     /// Panics if `path` is empty.
     pub fn slice(&self, path: &Path, options: SliceOptions) -> SliceResult {
+        self.slice_under(path, options, &Budget::unlimited())
+            .expect("unlimited budget never interrupts")
+    }
+
+    /// [`PathSlicer::slice`] under a cooperative budget: the backward
+    /// pass polls `budget` at every edge (and attaches it to the
+    /// early-unsat solver context), returning the interrupt instead of a
+    /// slice when the budget runs out mid-pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Interrupt`] when `budget` expires or is cancelled
+    /// before the pass finishes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is empty.
+    pub fn slice_under(
+        &self,
+        path: &Path,
+        options: SliceOptions,
+        budget: &Budget,
+    ) -> Result<SliceResult, Interrupt> {
         let program = self.analyses.program();
         let edges = path.edges();
         assert!(!edges.is_empty(), "cannot slice an empty path");
@@ -155,9 +179,11 @@ impl<'a> PathSlicer<'a> {
         // Early-unsat machinery (§4.2): encode taken ops backwards.
         let mut encoder = TraceEncoder::new(self.analyses.alias());
         let mut ctx = Ctx::new();
+        ctx.attach_budget(budget.clone());
 
         let mut i = edges.len() as isize - 1;
         while i >= 0 {
+            budget.poll()?;
             let idx = i as usize;
             let edge_id = edges[idx];
             let edge = program.edge(edge_id);
@@ -229,14 +255,14 @@ impl<'a> PathSlicer<'a> {
         kept_rev.reverse();
         reasons_rev.reverse();
         let slice_edges: Vec<EdgeId> = kept_rev.iter().map(|&k| edges[k]).collect();
-        SliceResult {
+        Ok(SliceResult {
             kept: kept_rev,
             edges: slice_edges,
             reasons: reasons_rev,
             stopped_unsat,
             final_live: live.into_iter().collect(),
             final_step: pc_step,
-        }
+        })
     }
 }
 
@@ -746,6 +772,29 @@ mod tests {
             let r2 = PathSlicer::new(&an).slice(&sub, SliceOptions::default());
             assert_eq!(r2.kept.len(), r1.kept.len());
         }
+    }
+
+    #[test]
+    fn expired_budget_interrupts_backward_pass() {
+        let p = setup(EX2_PLAIN);
+        let an = Analyses::build(&p);
+        let path = error_path(&p, &[("a", 1)], vec![]);
+        let spent = Budget::until(std::time::Instant::now() - std::time::Duration::from_millis(1));
+        let r = PathSlicer::new(&an).slice_under(&path, SliceOptions::default(), &spent);
+        assert_eq!(r.unwrap_err(), Interrupt::DeadlineExpired);
+        // A cancelled token interrupts too.
+        let token = rt::CancelToken::new();
+        token.cancel();
+        let cancelled = Budget::unlimited().with_token(token);
+        let r = PathSlicer::new(&an).slice_under(&path, SliceOptions::default(), &cancelled);
+        assert_eq!(r.unwrap_err(), Interrupt::Cancelled);
+        // And an ample budget reproduces the plain result.
+        let ample = Budget::lasting(std::time::Duration::from_secs(60));
+        let r = PathSlicer::new(&an)
+            .slice_under(&path, SliceOptions::default(), &ample)
+            .unwrap();
+        let plain = PathSlicer::new(&an).slice(&path, SliceOptions::default());
+        assert_eq!(r.kept, plain.kept);
     }
 
     #[test]

@@ -41,6 +41,7 @@ fn run(reducer: Reducer, label: &str) -> Result<(), Box<dyn std::error::Error>> 
             CheckOutcome::Safe => "SAFE",
             CheckOutcome::Bug { .. } => "BUG",
             CheckOutcome::Timeout(_) => "TIMEOUT",
+            CheckOutcome::InternalError { .. } => "INTERNAL ERROR",
         },
         r.refinements,
         r.n_predicates,

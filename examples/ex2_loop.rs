@@ -49,7 +49,7 @@ fn slice_of_error_path(src: &str) -> Result<(), Box<dyn std::error::Error>> {
         &mut pool,
         &targets,
         1_000_000,
-        std::time::Instant::now() + std::time::Duration::from_secs(30),
+        &pathslicing::rt::Budget::lasting(std::time::Duration::from_secs(30)),
         SearchOrder::Dfs,
     );
     let pathslicing::blastlite::reach::ReachResult::ErrorPath { path, .. } = reach else {

@@ -27,6 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             CheckOutcome::Safe => "SAFE",
             CheckOutcome::Bug { .. } => "BUG ",
             CheckOutcome::Timeout(_) => "T/O ",
+            CheckOutcome::InternalError { .. } => "ERR ",
         };
         println!(
             "  {:<16} {}  ({} refinement(s))",

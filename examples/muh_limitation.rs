@@ -71,6 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             CheckOutcome::Safe => "SAFE (unexpected!)",
             CheckOutcome::Bug { .. } => "BUG (spurious: heap imprecision)",
             CheckOutcome::Timeout(_) => "CHECK FAILED (no heap predicates available)",
+            CheckOutcome::InternalError { .. } => "INTERNAL ERROR",
         }
     );
     assert!(

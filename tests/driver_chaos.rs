@@ -1,0 +1,196 @@
+//! Chaos tests for the fault-tolerant verification driver: injected
+//! faults (panics, forced solver give-ups, forced budget exhaustion)
+//! must stay contained to the clusters they hit, and must only ever
+//! *degrade* a verdict — a fault can turn Safe into
+//! Timeout/InternalError, but nothing can turn a non-Safe verdict into
+//! Safe. Parallel runs must report exactly the sequential verdicts.
+
+use pathslicing::blastlite::{
+    run_clusters, CheckOutcome, CheckerConfig, DriverConfig, RetryPolicy,
+};
+use pathslicing::rt::{FaultKind, FaultPlan, FaultSite};
+use pathslicing::workloads::{self, Scale};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn config() -> CheckerConfig {
+    CheckerConfig {
+        time_budget: Duration::from_secs(45),
+        ..CheckerConfig::default()
+    }
+}
+
+fn kind(o: &CheckOutcome) -> &'static str {
+    match o {
+        CheckOutcome::Safe => "safe",
+        CheckOutcome::Bug { .. } => "bug",
+        CheckOutcome::Timeout(_) => "timeout",
+        CheckOutcome::InternalError { .. } => "internal",
+    }
+}
+
+/// The acceptance scenario: panics injected into ~10 % of clusters
+/// across the whole small suite. The run must complete, report
+/// `InternalError` for exactly the clusters the plan faulted, and
+/// reproduce the fault-free verdict everywhere else.
+#[test]
+fn injected_panics_isolate_exactly_the_faulted_clusters() {
+    let mut total_faulted = 0usize;
+    for spec in workloads::suite(Scale::Small) {
+        let program = workloads::gen::generate(&spec).lower();
+        let faults =
+            FaultPlan::new(0xC0FFEE).inject(FaultSite::ClusterStart, FaultKind::Panic, 0.10);
+        let cluster_names: Vec<String> = program
+            .cfas()
+            .iter()
+            .filter(|c| !c.error_locs().is_empty())
+            .map(|c| c.name().to_owned())
+            .collect();
+        let expected: Vec<String> = faults.faulted_keys(
+            FaultSite::ClusterStart,
+            cluster_names.iter().map(String::as_str),
+        );
+        total_faulted += expected.len();
+
+        let clean = run_clusters(&program, config(), &DriverConfig::sequential());
+        let chaotic = run_clusters(
+            &program,
+            config(),
+            &DriverConfig::sequential().with_faults(faults),
+        );
+        assert_eq!(clean.clusters.len(), chaotic.clusters.len());
+        for (c, x) in clean.clusters.iter().zip(&chaotic.clusters) {
+            let name = &x.cluster.func_name;
+            assert_eq!(&c.cluster.func_name, name);
+            if expected.contains(name) {
+                assert!(
+                    matches!(
+                        x.cluster.report.outcome,
+                        CheckOutcome::InternalError { .. }
+                    ),
+                    "{}/{name}: faulted cluster must be InternalError, got {:?}",
+                    spec.name,
+                    x.cluster.report.outcome
+                );
+            } else {
+                assert_eq!(
+                    kind(&c.cluster.report.outcome),
+                    kind(&x.cluster.report.outcome),
+                    "{}/{name}: unfaulted cluster must match the fault-free run",
+                    spec.name
+                );
+            }
+        }
+    }
+    // The chosen seed must actually exercise the harness somewhere.
+    assert!(total_faulted > 0, "seed never fired — pick another seed");
+}
+
+/// The acceptance scenario for parallelism: `--jobs 4` on the
+/// openssh-like workload reports verdicts identical to `--jobs 1`.
+#[test]
+fn parallel_verdicts_match_sequential_on_openssh() {
+    let spec = workloads::suite(Scale::Small)
+        .into_iter()
+        .find(|s| s.name == "openssh")
+        .unwrap();
+    let program = workloads::gen::generate(&spec).lower();
+    let seq = run_clusters(&program, config(), &DriverConfig::sequential());
+    let par = run_clusters(
+        &program,
+        config(),
+        &DriverConfig::sequential().with_jobs(4),
+    );
+    assert!(par.jobs > 1, "multiple workers actually ran");
+    let verdicts = |r: &pathslicing::blastlite::DriverReport| {
+        r.verdicts()
+            .map(|(n, o)| (n.to_owned(), kind(o)))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(verdicts(&seq), verdicts(&par));
+}
+
+/// Fault decisions are pure in (seed, site, key), so a chaotic parallel
+/// run is byte-for-byte the chaotic sequential run.
+#[test]
+fn chaos_is_deterministic_across_job_counts() {
+    let spec = workloads::suite(Scale::Small)
+        .into_iter()
+        .find(|s| s.name == "wuftpd")
+        .unwrap();
+    let program = workloads::gen::generate(&spec).lower();
+    let drive = |jobs: usize| {
+        let faults = FaultPlan::new(7)
+            .inject(FaultSite::ClusterStart, FaultKind::Panic, 0.2)
+            .inject(FaultSite::SolverCheck, FaultKind::SolverUnknown, 0.2);
+        let r = run_clusters(
+            &program,
+            config(),
+            &DriverConfig::sequential().with_jobs(jobs).with_faults(faults),
+        );
+        r.verdicts()
+            .map(|(n, o)| format!("{n}:{}", kind(o)))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(drive(1), drive(4));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Verdict monotonicity: under ANY injected fault mix, a cluster's
+    /// verdict either matches the fault-free verdict or degrades to
+    /// Timeout/InternalError. In particular no fault ever turns a
+    /// non-Safe verdict into Safe, and none fabricates a Bug.
+    #[test]
+    fn faults_only_degrade_verdicts(
+        seed in 0u64..1000,
+        rate in prop_oneof![Just(0.1f64), Just(0.3), Just(0.7), Just(1.0)],
+        site_i in 0usize..4,
+        kind_i in 0usize..3,
+        spec_i in 0usize..2,
+        retries in 0usize..3,
+    ) {
+        let site = [
+            FaultSite::ClusterStart,
+            FaultSite::SolverCheck,
+            FaultSite::ReachStep,
+            FaultSite::SlicePass,
+        ][site_i];
+        let fault_kind = [
+            FaultKind::Panic,
+            FaultKind::SolverUnknown,
+            FaultKind::BudgetExhaust,
+        ][kind_i];
+        // wuftpd has planted bugs, fcron is fully safe: both directions
+        // of the monotonicity claim get exercised.
+        let spec = &workloads::suite(Scale::Small)[spec_i];
+        let program = workloads::gen::generate(spec).lower();
+
+        let clean = run_clusters(&program, config(), &DriverConfig::sequential());
+        let faults = FaultPlan::new(seed).inject(site, fault_kind, rate);
+        let driver = DriverConfig::sequential()
+            .with_faults(faults)
+            .with_retry(RetryPolicy::retries(retries));
+        let chaotic = run_clusters(&program, config(), &driver);
+
+        prop_assert_eq!(clean.clusters.len(), chaotic.clusters.len());
+        for (c, x) in clean.clusters.iter().zip(&chaotic.clusters) {
+            let (before, after) = (&c.cluster.report.outcome, &x.cluster.report.outcome);
+            let degraded = matches!(
+                after,
+                CheckOutcome::Timeout(_) | CheckOutcome::InternalError { .. }
+            );
+            prop_assert!(
+                kind(before) == kind(after) || degraded,
+                "{}: fault changed {} into {}", c.cluster.func_name, kind(before), kind(after)
+            );
+            if matches!(after, CheckOutcome::Safe) {
+                prop_assert!(
+                    matches!(before, CheckOutcome::Safe),
+                    "{}: fault fabricated a Safe verdict", c.cluster.func_name
+                );
+            }
+        }
+    }
+}

@@ -163,7 +163,7 @@ fn feasible_slice_model_replays_to_the_error() {
         &mut pool,
         &targets,
         100_000,
-        std::time::Instant::now() + std::time::Duration::from_secs(20),
+        &pathslicing::rt::Budget::lasting(std::time::Duration::from_secs(20)),
         SearchOrder::Bfs,
     );
     let pathslicing::blastlite::reach::ReachResult::ErrorPath { path, .. } = reach else {
