@@ -16,7 +16,9 @@
 //! Criterion benches (`cargo bench -p bench`) cover the Theorem 1
 //! linear-time claim and the supporting analyses.
 
-use blastlite::{run_clusters, CheckOutcome, CheckerConfig, DriverConfig, RetryPolicy, TraceRecord};
+use blastlite::{
+    run_clusters, CheckOutcome, CheckerConfig, DriverConfig, RetryPolicy, TraceRecord,
+};
 use dataflow::Analyses;
 use semantics::{ExecOutcome, Interp, ReplayOracle, State};
 use slicer::{PathSlicer, SliceOptions};
@@ -78,6 +80,9 @@ pub struct ProgramRow {
     pub timeouts: usize,
     /// Checks the driver isolated after an internal fault (panic).
     pub internal_errors: usize,
+    /// Checks whose certificate failed independent validation
+    /// (`--validate` mode).
+    pub mismatches: usize,
     /// Total time over finished checks.
     pub total_time: Duration,
     /// Maximum single-check time (finished checks).
@@ -117,6 +122,7 @@ pub fn run_workload_driven(
         errors: 0,
         timeouts: 0,
         internal_errors: 0,
+        mismatches: 0,
         total_time: Duration::ZERO,
         max_time: Duration::ZERO,
         refinements: 0,
@@ -129,6 +135,7 @@ pub fn run_workload_driven(
             CheckOutcome::Bug { .. } => row.errors += 1,
             CheckOutcome::Timeout(_) => row.timeouts += 1,
             CheckOutcome::InternalError { .. } => row.internal_errors += 1,
+            CheckOutcome::CertificateMismatch { .. } => row.mismatches += 1,
         }
         if !r.report.outcome.is_timeout() {
             row.total_time += r.report.wall;
@@ -169,6 +176,12 @@ pub fn print_table1(rows: &[ProgramRow]) {
             println!(
                 "# {}: {} check(s) ended in InternalError (isolated by the driver)",
                 r.name, r.internal_errors
+            );
+        }
+        if r.mismatches > 0 {
+            println!(
+                "# {}: {} check(s) failed certificate validation (CertificateMismatch)",
+                r.name, r.mismatches
             );
         }
     }

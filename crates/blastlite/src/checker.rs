@@ -136,6 +136,18 @@ pub enum CheckOutcome {
         /// `"solve"`, …).
         phase: String,
     },
+    /// The verdict's certificate failed independent validation
+    /// (`--validate` mode). Never produced by [`Checker::check`]; the
+    /// driver downgrades a verdict to this when the configured validator
+    /// rejects its evidence — a wrong answer is *reported*, never
+    /// silently trusted.
+    CertificateMismatch {
+        /// The verdict the certificate was supposed to support
+        /// (`"Safe"`, `"Bug"`, …).
+        claimed: String,
+        /// Why validation rejected the certificate.
+        reason: String,
+    },
 }
 
 impl CheckOutcome {
@@ -158,6 +170,26 @@ impl CheckOutcome {
     pub fn is_internal_error(&self) -> bool {
         matches!(self, CheckOutcome::InternalError { .. })
     }
+
+    /// Whether this outcome is a [`CheckOutcome::CertificateMismatch`].
+    pub fn is_certificate_mismatch(&self) -> bool {
+        matches!(self, CheckOutcome::CertificateMismatch { .. })
+    }
+
+    /// A short label for the verdict kind (`"Safe"`, `"Bug"`,
+    /// `"Timeout(WallClock)"`, …), used by certificates to record what
+    /// they claim to support.
+    pub fn kind_label(&self) -> String {
+        match self {
+            CheckOutcome::Safe => "Safe".to_owned(),
+            CheckOutcome::Bug { .. } => "Bug".to_owned(),
+            CheckOutcome::Timeout(reason) => format!("Timeout({reason:?})"),
+            CheckOutcome::InternalError { phase, .. } => format!("InternalError({phase})"),
+            CheckOutcome::CertificateMismatch { claimed, .. } => {
+                format!("CertificateMismatch({claimed})")
+            }
+        }
+    }
 }
 
 /// One abstract counterexample and its reduction (a Figure 5/6 point).
@@ -179,6 +211,25 @@ impl TraceRecord {
     }
 }
 
+/// The evidence for one refuted abstract counterexample: the reduced
+/// operation sequence whose constraints were unsatisfiable, and the
+/// unsat core the refinement used. A `Safe` verdict's certificate is the
+/// list of these rounds — each one independently re-checkable by
+/// re-deriving `WP.true` over just the core's operations with a fresh
+/// solver context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefutationRound {
+    /// The reduced (sliced) trace of the refuted counterexample.
+    pub slice: Vec<EdgeId>,
+    /// Ascending indices into `slice` of the operations whose SSA
+    /// constraints are jointly unsatisfiable.
+    pub core: Vec<usize>,
+    /// Whether deletion-minimization of the core ran to completion
+    /// (`false` marks a sound but possibly non-minimal, budget-truncated
+    /// core — validators reject these).
+    pub core_complete: bool,
+}
+
 /// The full record of one check.
 #[derive(Debug, Clone)]
 pub struct CheckReport {
@@ -188,6 +239,10 @@ pub struct CheckReport {
     pub refinements: usize,
     /// Every abstract counterexample seen, with its reduction.
     pub traces: Vec<TraceRecord>,
+    /// Per-round refutation evidence (slice + unsat core) for every
+    /// abstract counterexample proven infeasible — the certificate
+    /// payload of a `Safe` verdict.
+    pub rounds: Vec<RefutationRound>,
     /// Wall-clock time spent.
     pub wall: Duration,
     /// Final predicate-pool size.
@@ -237,12 +292,14 @@ impl<'a> Checker<'a> {
         let slicer = PathSlicer::new(self.analyses);
 
         let mut abstract_states = 0usize;
+        let mut rounds: Vec<RefutationRound> = Vec::new();
         macro_rules! finish {
             ($outcome:expr, $refinements:expr, $traces:expr, $pool:expr) => {
                 CheckReport {
                     outcome: $outcome,
                     refinements: $refinements,
                     traces: $traces,
+                    rounds: std::mem::take(&mut rounds),
                     wall: start.elapsed(),
                     n_predicates: $pool.len(),
                     abstract_states,
@@ -287,19 +344,17 @@ impl<'a> Checker<'a> {
             // Reduce the abstract counterexample.
             let (slice_edges, already_unsat) = match self.config.reducer {
                 Reducer::Identity => (path.edges().to_vec(), false),
-                Reducer::PathSlice(opts) => {
-                    match slicer.slice_under(&path, opts.into(), &budget) {
-                        Ok(r) => (r.edges, r.stopped_unsat),
-                        Err(i) => {
-                            return finish!(
-                                CheckOutcome::Timeout(TimeoutReason::from_interrupt(i)),
-                                refinements,
-                                traces,
-                                &pool
-                            );
-                        }
+                Reducer::PathSlice(opts) => match slicer.slice_under(&path, opts.into(), &budget) {
+                    Ok(r) => (r.edges, r.stopped_unsat),
+                    Err(i) => {
+                        return finish!(
+                            CheckOutcome::Timeout(TimeoutReason::from_interrupt(i)),
+                            refinements,
+                            traces,
+                            &pool
+                        );
                     }
-                }
+                },
             };
             traces.push(TraceRecord {
                 trace_ops: path.len(),
@@ -352,6 +407,11 @@ impl<'a> Checker<'a> {
                     // predicate discovery), falling back to the whole
                     // reduced trace if the core yields nothing new.
                     let core = unsat_core(&solver, &parts, &budget);
+                    rounds.push(RefutationRound {
+                        slice: slice_edges.clone(),
+                        core: core.indices.clone(),
+                        core_complete: core.complete,
+                    });
                     let core_ops: Vec<&Op> = core.indices.iter().map(|&i| ops[i]).collect();
                     let mut grew = false;
                     for p in mine_predicates(core_ops) {

@@ -28,15 +28,18 @@
 //! entirely.
 
 use crate::checker::{
-    CheckOutcome, CheckReport, Checker, CheckerConfig, ClusterReport, Reducer,
-    ReducerSliceOptions, TimeoutReason,
+    CheckOutcome, CheckReport, Checker, CheckerConfig, ClusterReport, Reducer, ReducerSliceOptions,
+    TimeoutReason,
 };
 use cfa::{Loc, Program};
 use dataflow::Analyses;
-use rt::{catch_unwind_silent, panic_payload, Budget, CancelToken, FaultKind, FaultPlan, FaultSite};
+use rt::{
+    catch_unwind_silent, panic_payload, Budget, CancelToken, FaultKind, FaultPlan, FaultSite,
+};
 use std::cell::Cell;
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// The declarative retry/degradation ladder.
@@ -105,6 +108,25 @@ impl RetryPolicy {
     }
 }
 
+/// The validator hook's function signature (see [`ClusterValidator`]).
+pub type ValidatorFn =
+    dyn Fn(&Analyses<'_>, &DriverClusterReport) -> Option<CheckOutcome> + Send + Sync;
+
+/// A certificate validator run on every worker result (`--validate`
+/// mode). Returns `None` when the verdict's evidence checks out, or
+/// `Some(downgraded outcome)` — normally
+/// [`CheckOutcome::CertificateMismatch`] — when it does not. The
+/// concrete validator lives in the `certify` crate (which depends on
+/// this one); the driver only owns the hook.
+#[derive(Clone)]
+pub struct ClusterValidator(pub Arc<ValidatorFn>);
+
+impl fmt::Debug for ClusterValidator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ClusterValidator(..)")
+    }
+}
+
 /// Driver-level knobs, orthogonal to the per-check [`CheckerConfig`].
 #[derive(Debug, Clone, Default)]
 pub struct DriverConfig {
@@ -116,6 +138,10 @@ pub struct DriverConfig {
     pub faults: FaultPlan,
     /// Cooperative cancellation for the whole run.
     pub cancel: Option<CancelToken>,
+    /// When set, every cluster's final verdict is re-checked against its
+    /// certificate and mismatches are downgraded — never silently
+    /// trusted.
+    pub validator: Option<ClusterValidator>,
 }
 
 impl DriverConfig {
@@ -139,6 +165,12 @@ impl DriverConfig {
     /// Sets the fault plan (chaos testing).
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Enables certificate validation of every worker result.
+    pub fn with_validator(mut self, validator: ClusterValidator) -> Self {
+        self.validator = Some(validator);
         self
     }
 }
@@ -220,7 +252,7 @@ pub fn run_clusters(
         }
         let (func, name, locs) = &clusters[i];
         let (report, attempts) = run_cluster(analyses, &config, driver, name, locs);
-        *results[i].lock().expect("no poisoned result slot") = Some(DriverClusterReport {
+        let mut cluster = DriverClusterReport {
             cluster: ClusterReport {
                 func: *func,
                 func_name: name.clone(),
@@ -228,7 +260,14 @@ pub fn run_clusters(
                 report,
             },
             attempts,
-        });
+        };
+        if let Some(downgraded) = validate_cluster(analyses, driver, &cluster) {
+            cluster.cluster.report.outcome = downgraded;
+        }
+        // A poisoned slot only means another worker panicked while
+        // holding this (uncontended, assignment-only) lock; the data is
+        // still a plain `Option` write, so recover rather than cascade.
+        *results[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(cluster);
     };
 
     // One Analyses serves every worker (its By memo table is behind a
@@ -247,14 +286,63 @@ pub fn run_clusters(
     DriverReport {
         clusters: results
             .into_iter()
-            .map(|m| {
+            .enumerate()
+            .map(|(i, m)| {
                 m.into_inner()
-                    .expect("no poisoned result slot")
-                    .expect("every cluster slot is filled")
+                    .unwrap_or_else(|p| p.into_inner())
+                    .unwrap_or_else(|| {
+                        // A slot can only stay empty if a worker died
+                        // outside its panic-catching region; report it
+                        // as the cluster's outcome instead of sinking
+                        // the whole batch.
+                        let (func, name, locs) = &clusters[i];
+                        DriverClusterReport {
+                            cluster: ClusterReport {
+                                func: *func,
+                                func_name: name.clone(),
+                                n_sites: locs.len(),
+                                report: CheckReport {
+                                    outcome: CheckOutcome::InternalError {
+                                        payload: "worker produced no result for this cluster"
+                                            .to_owned(),
+                                        phase: "driver".to_owned(),
+                                    },
+                                    refinements: 0,
+                                    traces: Vec::new(),
+                                    rounds: Vec::new(),
+                                    wall: Duration::ZERO,
+                                    n_predicates: 0,
+                                    abstract_states: 0,
+                                },
+                            },
+                            attempts: Vec::new(),
+                        }
+                    })
             })
             .collect(),
         wall: t0.elapsed(),
         jobs,
+    }
+}
+
+/// Runs the configured validator (if any) on a finished cluster, inside
+/// its own panic-catching region: a validator crash becomes an
+/// `InternalError` in the `validate` phase, so `--validate` mode can
+/// never be killed by its own reporting code. Returns the downgraded
+/// outcome, or `None` when the certificate checks out (or no validator
+/// is configured).
+fn validate_cluster(
+    analyses: &Analyses<'_>,
+    driver: &DriverConfig,
+    cluster: &DriverClusterReport,
+) -> Option<CheckOutcome> {
+    let validator = driver.validator.as_ref()?;
+    match catch_unwind_silent(|| (validator.0)(analyses, cluster)) {
+        Ok(verdict) => verdict,
+        Err(payload) => Some(CheckOutcome::InternalError {
+            payload: panic_payload(&*payload),
+            phase: "validate".to_owned(),
+        }),
     }
 }
 
@@ -307,6 +395,7 @@ fn run_attempt(
         outcome: CheckOutcome::Timeout(reason),
         refinements: 0,
         traces: Vec::new(),
+        rounds: Vec::new(),
         wall: t0.elapsed(),
         n_predicates: 0,
         abstract_states: 0,
@@ -332,7 +421,10 @@ fn run_attempt(
                     });
                 }
                 Some(FaultKind::Panic) => unreachable!("fire panics for Panic rules"),
-                None => {}
+                // Certificate corruption is applied by `certify::corrupt`,
+                // not at the checker gates; a plan that routes it here is
+                // simply inert for this phase.
+                Some(FaultKind::CorruptCertificate) | None => {}
             }
         }
         phase.set("check");
@@ -347,6 +439,7 @@ fn run_attempt(
             },
             refinements: 0,
             traces: Vec::new(),
+            rounds: Vec::new(),
             wall: t0.elapsed(),
             n_predicates: 0,
             abstract_states: 0,
@@ -381,6 +474,7 @@ mod tests {
             CheckOutcome::Bug { .. } => "bug",
             CheckOutcome::Timeout(_) => "timeout",
             CheckOutcome::InternalError { .. } => "internal",
+            CheckOutcome::CertificateMismatch { .. } => "mismatch",
         }
     }
 
@@ -437,7 +531,8 @@ mod tests {
         // SolverUnknown at the solver gate fires on every attempt (the
         // decision is keyed by cluster name only), so the ladder runs to
         // exhaustion and we can observe every rung.
-        let faults = FaultPlan::new(3).inject(FaultSite::SolverCheck, FaultKind::SolverUnknown, 1.0);
+        let faults =
+            FaultPlan::new(3).inject(FaultSite::SolverCheck, FaultKind::SolverUnknown, 1.0);
         let base = CheckerConfig {
             time_budget: Duration::from_secs(10),
             ..CheckerConfig::default()
@@ -475,14 +570,23 @@ mod tests {
             time_budget: Duration::from_secs(4),
             ..CheckerConfig::default()
         };
-        assert_eq!(policy.config_for(&base, 1).time_budget, Duration::from_secs(30));
-        assert_eq!(policy.config_for(&base, 9).time_budget, Duration::from_secs(30));
+        assert_eq!(
+            policy.config_for(&base, 1).time_budget,
+            Duration::from_secs(30)
+        );
+        assert_eq!(
+            policy.config_for(&base, 9).time_budget,
+            Duration::from_secs(30)
+        );
         // A base budget above the cap is never shrunk.
         let big = CheckerConfig {
             time_budget: Duration::from_secs(100),
             ..CheckerConfig::default()
         };
-        assert_eq!(policy.config_for(&big, 3).time_budget, Duration::from_secs(100));
+        assert_eq!(
+            policy.config_for(&big, 3).time_budget,
+            Duration::from_secs(100)
+        );
     }
 
     #[test]
@@ -504,6 +608,49 @@ mod tests {
                 "{:?}",
                 c.cluster.report.outcome
             );
+        }
+    }
+
+    #[test]
+    fn validator_downgrades_mismatches_and_keeps_attempt_history() {
+        let p = setup(TWO_CLUSTERS);
+        let reject_bugs = ClusterValidator(Arc::new(|_an, c: &DriverClusterReport| {
+            if c.cluster.report.outcome.is_bug() {
+                Some(CheckOutcome::CertificateMismatch {
+                    claimed: "Bug".to_owned(),
+                    reason: "rejected by test validator".to_owned(),
+                })
+            } else {
+                None
+            }
+        }));
+        let r = run_clusters(
+            &p,
+            CheckerConfig::default(),
+            &DriverConfig::sequential().with_validator(reject_bugs),
+        );
+        assert_eq!(verdict_kinds(&r), vec!["f:mismatch", "g:safe"]);
+        // The attempt ledger still records what the checker itself said.
+        assert!(r.clusters[0].attempts.last().unwrap().outcome.is_bug());
+    }
+
+    #[test]
+    fn validator_panics_become_internal_errors_in_the_validate_phase() {
+        let p = setup(TWO_CLUSTERS);
+        let panicky = ClusterValidator(Arc::new(|_an, _c: &DriverClusterReport| {
+            panic!("validator exploded")
+        }));
+        let r = run_clusters(
+            &p,
+            CheckerConfig::default(),
+            &DriverConfig::sequential().with_validator(panicky),
+        );
+        for c in &r.clusters {
+            let CheckOutcome::InternalError { payload, phase } = &c.cluster.report.outcome else {
+                panic!("expected InternalError, got {:?}", c.cluster.report.outcome);
+            };
+            assert_eq!(phase, "validate");
+            assert!(payload.contains("validator exploded"), "{payload}");
         }
     }
 

@@ -52,9 +52,10 @@ pub mod refine;
 pub use abst::{PredicatePool, Valuation};
 pub use checker::{
     check_program, CheckOutcome, CheckReport, Checker, CheckerConfig, ClusterReport, Reducer,
-    ReducerSliceOptions, TimeoutReason, TraceRecord,
+    ReducerSliceOptions, RefutationRound, TimeoutReason, TraceRecord,
 };
 pub use driver::{
-    run_clusters, Attempt, DriverClusterReport, DriverConfig, DriverReport, RetryPolicy,
+    run_clusters, Attempt, ClusterValidator, DriverClusterReport, DriverConfig, DriverReport,
+    RetryPolicy,
 };
 pub use reach::SearchOrder;

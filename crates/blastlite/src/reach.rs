@@ -175,11 +175,15 @@ pub fn reachable_with(
                 }
                 op => {
                     let key = (eid, state.vals.clone());
+                    // Non-assume posts are total, so the cached slot is
+                    // always `Some`; if the cache ever held a stale `None`
+                    // (it is shared with the assume arm by key shape),
+                    // recompute rather than panic on the checker path.
                     let vals = post_cache
                         .entry(key)
                         .or_insert_with(|| Some(pool.post_op(analyses, &state.vals, op)))
                         .clone()
-                        .expect("non-assume posts always exist");
+                        .unwrap_or_else(|| pool.post_op(analyses, &state.vals, op));
                     Some(AbsState {
                         loc: edge.dst,
                         stack: state.stack.clone(),

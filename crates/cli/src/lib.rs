@@ -3,20 +3,28 @@
 //! ```text
 //! pathslice check <file.imp> [--no-slicing] [--timeout <secs>] [--dfs]
 //!                            [--jobs <n>] [--retries <k>]
+//!                            [--validate] [--cert <trace.json>]
 //! pathslice slice <file.imp> [--skip-functions] [--no-early-unsat]
 //! pathslice run   <file.imp> [--input v1,v2,...] [--fuel <n>]
 //! pathslice dot   <file.imp> [<function>]
+//! pathslice validate <trace.json>
 //! ```
 //!
 //! * `check` — CEGAR-verify every error cluster (per-function, §5
 //!   methodology) on the fault-tolerant driver and print verdicts; with
 //!   a bug, print the witness slice. `--jobs` parallelizes across
 //!   clusters; `--retries` enables the budget-escalation ladder.
+//!   `--validate` runs the independent certificate validator on every
+//!   verdict and downgrades unconfirmed ones to `MISMATCH`; `--cert`
+//!   writes the certificates (with the source embedded) to a portable
+//!   trace file.
 //! * `slice` — take the first abstract error path the checker's
 //!   reachability produces and print its path slice with reasons.
 //! * `run` — execute the program concretely with the given `nondet()`
 //!   inputs.
 //! * `dot` — emit Graphviz for a function's CFA.
+//! * `validate` — recheck a trace file written by `check --cert`:
+//!   recompile the embedded source and revalidate every certificate.
 //!
 //! All logic lives here (testable); `main.rs` is a thin shim.
 
@@ -40,6 +48,7 @@ pub fn run_command(args: &[String], out: &mut String) -> Result<i32, String> {
         "slice" => cmd_slice(&args[1..], out),
         "run" => cmd_run(&args[1..], out),
         "dot" => cmd_dot(&args[1..], out),
+        "validate" => cmd_validate(&args[1..], out),
         "help" | "--help" | "-h" => {
             out.push_str(USAGE);
             Ok(0)
@@ -54,23 +63,30 @@ pathslice — path slicing (PLDI 2005) toolchain
 USAGE:
     pathslice check <file.imp> [--no-slicing] [--timeout <secs>] [--dfs]
                                [--jobs <n>] [--retries <k>]
+                               [--validate] [--cert <trace.json>]
     pathslice slice <file.imp> [--skip-functions] [--no-early-unsat]
     pathslice run   <file.imp> [--input v1,v2,...] [--fuel <n>]
     pathslice dot   <file.imp> [<function>]
+    pathslice validate <trace.json>
 ";
 
 fn load(path: &str) -> Result<Program, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    compile_source(&src, path).map(|(p, _)| p)
+}
+
+fn compile_source(src: &str, origin: &str) -> Result<(Program, String), String> {
     // Front-end errors render with a source snippet and caret.
-    let ast = pathslicing::imp::parse(&src).map_err(|e| format!("{path}: {}", e.render(&src)))?;
-    let program = pathslicing::cfa::lower(&ast).map_err(|e| format!("{path}: {e}"))?;
-    pathslicing::cfa::validate(&program).map_err(|e| format!("{path}: {e}"))?;
-    Ok(program)
+    let ast = pathslicing::imp::parse(src).map_err(|e| format!("{origin}: {}", e.render(src)))?;
+    let program = pathslicing::cfa::lower(&ast).map_err(|e| format!("{origin}: {e}"))?;
+    pathslicing::cfa::validate(&program).map_err(|e| format!("{origin}: {e}"))?;
+    Ok((program, src.to_owned()))
 }
 
 fn cmd_check(args: &[String], out: &mut String) -> Result<i32, String> {
     let (file, flags) = split_flags(args)?;
-    let program = load(&file)?;
+    let src = std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let (program, src) = compile_source(&src, &file)?;
     let mut config = CheckerConfig {
         reducer: if flags.iter().any(|f| f == "--no-slicing") {
             Reducer::Identity
@@ -94,10 +110,30 @@ fn cmd_check(args: &[String], out: &mut String) -> Result<i32, String> {
     }
     if let Some(k) = flag_value(&flags, "--retries")? {
         driver.retry = RetryPolicy::retries(
-            k.parse().map_err(|_| format!("bad --retries value `{k}`"))?,
+            k.parse()
+                .map_err(|_| format!("bad --retries value `{k}`"))?,
         );
     }
-    let reports = run_clusters(&program, config, &driver).into_cluster_reports();
+    if flags.iter().any(|f| f == "--validate") {
+        // Production validation: an empty fault plan corrupts nothing.
+        driver = driver.with_validator(pathslicing::certify::validator(
+            pathslicing::rt::FaultPlan::default(),
+        ));
+    }
+    let cert_path = flag_value(&flags, "--cert")?;
+    let driver_report = run_clusters(&program, config, &driver);
+    if let Some(path) = cert_path {
+        let analyses = Analyses::build(&program);
+        let trace = pathslicing::certify::certify_report(&analyses, &driver_report, &src);
+        std::fs::write(&path, pathslicing::certify::to_json(&trace))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = writeln!(
+            out,
+            "wrote {} certificate(s) to {path}",
+            trace.clusters.len()
+        );
+    }
+    let reports = driver_report.into_cluster_reports();
     if reports.is_empty() {
         let _ = writeln!(out, "no error locations — nothing to check");
         return Ok(0);
@@ -118,6 +154,10 @@ fn cmd_check(args: &[String], out: &mut String) -> Result<i32, String> {
                 worst = worst.max(2);
                 format!("INTERNAL({phase})")
             }
+            CheckOutcome::CertificateMismatch { claimed, .. } => {
+                worst = worst.max(3);
+                format!("MISMATCH({claimed})")
+            }
         };
         let _ = writeln!(
             out,
@@ -135,6 +175,40 @@ fn cmd_check(args: &[String], out: &mut String) -> Result<i32, String> {
                 );
             }
         }
+        if let CheckOutcome::CertificateMismatch { reason, .. } = &r.report.outcome {
+            let _ = writeln!(out, "    certificate rejected: {reason}");
+        }
+    }
+    Ok(worst)
+}
+
+fn cmd_validate(args: &[String], out: &mut String) -> Result<i32, String> {
+    let (file, _flags) = split_flags(args)?;
+    let text = std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let trace = pathslicing::certify::from_json(&text).map_err(|e| format!("{file}: {e}"))?;
+    let (program, _) = compile_source(&trace.source, &format!("{file} (embedded source)"))?;
+    let analyses = Analyses::build(&program);
+    let mut worst = 0;
+    for c in &trace.clusters {
+        match pathslicing::certify::validate(&analyses, &c.certificate, &c.claimed) {
+            Validation::Confirmed { notes } => {
+                let _ = writeln!(out, "{:<24} {:<24} VALID", c.func_name, c.claimed);
+                for note in notes {
+                    let _ = writeln!(out, "    note: {note}");
+                }
+            }
+            Validation::Mismatch { reason } => {
+                worst = 3;
+                let _ = writeln!(
+                    out,
+                    "{:<24} {:<24} MISMATCH: {reason}",
+                    c.func_name, c.claimed
+                );
+            }
+        }
+    }
+    if trace.clusters.is_empty() {
+        let _ = writeln!(out, "trace file contains no certificates");
     }
     Ok(worst)
 }
@@ -389,7 +463,10 @@ mod tests {
     #[test]
     fn hostile_sources_error_out_instead_of_panicking() {
         let cases = [
-            ("overflow.imp", "fn main() { local x; x = 99999999999999999999; }"),
+            (
+                "overflow.imp",
+                "fn main() { local x; x = 99999999999999999999; }",
+            ),
             ("nonascii.imp", "fn mäin() { }"),
             ("truncated.imp", "fn main() { if (x"),
             ("empty.imp", ""),
@@ -413,10 +490,68 @@ mod tests {
         // Strip the wall-clock column (last field) before comparing.
         let verdicts = |s: &str| {
             s.lines()
-                .map(|l| l.rsplit_once("  ").map_or(l.to_owned(), |(v, _)| v.to_owned()))
+                .map(|l| {
+                    l.rsplit_once("  ")
+                        .map_or(l.to_owned(), |(v, _)| v.to_owned())
+                })
                 .collect::<Vec<_>>()
         };
         assert_eq!(verdicts(&seq_out), verdicts(&par_out));
+    }
+
+    #[test]
+    fn check_validate_confirms_both_verdict_kinds() {
+        let f = write_temp("validated.imp", BUGGY);
+        let (code, out) = run_ok(&["check", &f, "--validate"]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("BUG"), "{out}");
+        assert!(!out.contains("MISMATCH"), "{out}");
+
+        let f = write_temp("validated_safe.imp", SAFE);
+        let (code, out) = run_ok(&["check", &f, "--validate"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("SAFE"), "{out}");
+    }
+
+    #[test]
+    fn cert_roundtrip_through_validate_subcommand() {
+        let f = write_temp("certified.imp", BUGGY);
+        let trace = write_temp("certified.trace.json", "");
+        let (code, out) = run_ok(&["check", &f, "--cert", &trace]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("wrote 1 certificate(s)"), "{out}");
+
+        let (code, out) = run_ok(&["validate", &trace]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("VALID"), "{out}");
+
+        // Tamper with the claimed verdict: the validator must object.
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let tampered = text.replace("\"claimed\":\"Bug\"", "\"claimed\":\"Safe\"");
+        assert_ne!(text, tampered);
+        let t2 = write_temp("tampered.trace.json", &tampered);
+        let (code, out) = run_ok(&["validate", &t2]);
+        assert_eq!(code, 3, "{out}");
+        assert!(out.contains("MISMATCH"), "{out}");
+    }
+
+    #[test]
+    fn validate_rejects_malformed_trace_files() {
+        for (name, text) in [
+            ("empty.trace.json", ""),
+            ("junk.trace.json", "{\"version\":9}"),
+            (
+                "badsrc.trace.json",
+                "{\"version\":1,\"source\":\"fn main() {\",\"clusters\":[]}",
+            ),
+        ] {
+            let f = write_temp(name, text);
+            let mut out = String::new();
+            assert!(
+                run_command(&["validate".into(), f], &mut out).is_err(),
+                "{name}"
+            );
+        }
     }
 
     #[test]

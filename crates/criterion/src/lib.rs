@@ -26,9 +26,7 @@ impl Criterion {
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
         println!("\ngroup {name}");
-        BenchmarkGroup {
-            throughput: None,
-        }
+        BenchmarkGroup { throughput: None }
     }
 }
 
@@ -73,7 +71,10 @@ impl BenchmarkGroup {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher { spent: Duration::ZERO, iters: 0 };
+        let mut b = Bencher {
+            spent: Duration::ZERO,
+            iters: 0,
+        };
         f(&mut b, input);
         self.report(&id, &b);
     }
@@ -83,7 +84,10 @@ impl BenchmarkGroup {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { spent: Duration::ZERO, iters: 0 };
+        let mut b = Bencher {
+            spent: Duration::ZERO,
+            iters: 0,
+        };
         f(&mut b);
         self.report(&id, &b);
     }

@@ -33,6 +33,11 @@ impl SatResult {
     pub fn is_unsat(&self) -> bool {
         matches!(self, SatResult::Unsat)
     }
+
+    /// Whether the result is [`SatResult::Unknown`].
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, SatResult::Unknown)
+    }
 }
 
 /// Resource limits for [`Solver`].
@@ -851,8 +856,11 @@ mod tests {
         });
         let start = Instant::now();
         let r = solver.check(&f);
+        // Generous bound: the budget is wall-clock, so on a loaded
+        // single-core machine the solver thread may be starved well past
+        // its 100ms budget before it gets to observe the deadline.
         assert!(
-            start.elapsed() < Duration::from_secs(5),
+            start.elapsed() < Duration::from_secs(60),
             "budget respected ({:?})",
             start.elapsed()
         );
@@ -881,9 +889,7 @@ mod tests {
             time_budget: Some(Duration::from_secs(3600)),
             ..SolverConfig::default()
         });
-        solver.attach_budget(rt::Budget::until(
-            Instant::now() - Duration::from_millis(1),
-        ));
+        solver.attach_budget(rt::Budget::until(Instant::now() - Duration::from_millis(1)));
         assert_eq!(solver.check(&le(x())), SatResult::Unknown);
     }
 

@@ -38,6 +38,7 @@
 
 pub use baselines;
 pub use blastlite;
+pub use certify;
 pub use cfa;
 pub use dataflow;
 pub use imp;
@@ -51,14 +52,15 @@ pub use workloads;
 pub mod prelude {
     pub use baselines::{DynamicSlicer, PdgSlicer, StaticSlicer};
     pub use blastlite::{
-        check_program, run_clusters, CheckOutcome, CheckerConfig, DriverConfig, Reducer,
-        RetryPolicy, SearchOrder,
+        check_program, run_clusters, CheckOutcome, CheckerConfig, ClusterValidator, DriverConfig,
+        Reducer, RefutationRound, RetryPolicy, SearchOrder,
     };
+    pub use certify::{certify_cluster, certify_report, validate, Certificate, Validation};
     pub use cfa::{Path, Program};
     pub use dataflow::Analyses;
     pub use semantics::{
-        concretize, replay, replay_with_fallback, EdgeOracle, ExecOutcome, Interp, Oracle,
-        ReplayOracle, RngOracle, State, Witness,
+        concretize, replay, replay_with_fallback, ConcretizeError, EdgeOracle, ExecOutcome, Interp,
+        Oracle, ReplayOracle, RngOracle, State, Witness,
     };
     pub use slicer::{render_slice, PathSlicer, SliceOptions, SliceResult};
 }

@@ -265,7 +265,14 @@ macro_rules! impl_tuple_strategy {
     )*};
 }
 
-impl_tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E), (A, B, C, D, E, G));
+impl_tuple_strategy!(
+    (A),
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, G)
+);
 
 /// A `.{lo,hi}`-style pattern strategy: random printable strings with
 /// length in `[lo, hi]`. Patterns that aren't of that shape yield the
@@ -570,9 +577,11 @@ mod tests {
                 T::Node(a, b) => 1 + depth(a).max(depth(b)),
             }
         }
-        let strat = (0u8..4).prop_map(T::Leaf).prop_recursive(3, 16, 2, |inner| {
-            (inner.clone(), inner).prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b)))
-        });
+        let strat = (0u8..4)
+            .prop_map(T::Leaf)
+            .prop_recursive(3, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b)))
+            });
         let mut rng = TestRng::new(5);
         let mut max = 0;
         for _ in 0..200 {

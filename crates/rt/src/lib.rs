@@ -238,6 +238,21 @@ pub enum FaultSite {
     ReachStep,
     /// During the slicer's backward pass.
     SlicePass,
+    /// While building a bug certificate: the concretized witness is
+    /// truncated (last slice edge dropped). Models a lost tail of the
+    /// evidence; the validator must notice the slice no longer ends at
+    /// an error location.
+    CertWitness,
+    /// While building a safety certificate: one atom is dropped from an
+    /// unsat core. Models a corrupted refutation; the remaining core is
+    /// satisfiable (deletion-minimized cores are 1-minimal), so the
+    /// validator's fresh solver context must notice.
+    CertCore,
+    /// While building a bug certificate: the slice's operation order is
+    /// permuted (reversed). Models evidence reassembled in the wrong
+    /// order; the slice stops being a subsequence of the abstract path
+    /// that reaches the target.
+    CertSlice,
 }
 
 impl FaultSite {
@@ -247,6 +262,9 @@ impl FaultSite {
             FaultSite::SolverCheck => 0x22,
             FaultSite::ReachStep => 0x33,
             FaultSite::SlicePass => 0x44,
+            FaultSite::CertWitness => 0x55,
+            FaultSite::CertCore => 0x66,
+            FaultSite::CertSlice => 0x77,
         }
     }
 }
@@ -260,6 +278,10 @@ pub enum FaultKind {
     BudgetExhaust,
     /// A hard panic (exercises panic isolation).
     Panic,
+    /// The certificate under construction is silently corrupted (only
+    /// meaningful at the `Cert*` sites; applied by `certify`, not by
+    /// [`FaultPlan::fire`]).
+    CorruptCertificate,
 }
 
 /// One injection rule: at `site`, inject `kind` for roughly
@@ -339,7 +361,11 @@ impl FaultPlan {
 
     /// The keys from `keys` that would fault at `site` (chaos-test
     /// oracle for "exactly the faulted clusters").
-    pub fn faulted_keys<'k>(&self, site: FaultSite, keys: impl Iterator<Item = &'k str>) -> Vec<String> {
+    pub fn faulted_keys<'k>(
+        &self,
+        site: FaultSite,
+        keys: impl Iterator<Item = &'k str>,
+    ) -> Vec<String> {
         keys.filter(|k| self.decide(site, k).is_some())
             .map(str::to_owned)
             .collect()
@@ -450,6 +476,25 @@ mod tests {
         });
         let payload = panic_payload(&*r.unwrap_err());
         assert!(payload.contains("injected fault"), "{payload}");
+        assert_eq!(plan.fired(), 1);
+    }
+
+    #[test]
+    fn certificate_sites_are_independent_of_check_sites() {
+        let plan = FaultPlan::new(9)
+            .inject(FaultSite::CertWitness, FaultKind::CorruptCertificate, 1.0)
+            .inject(FaultSite::CertCore, FaultKind::CorruptCertificate, 0.5);
+        assert_eq!(
+            plan.decide(FaultSite::CertWitness, "k"),
+            Some(FaultKind::CorruptCertificate)
+        );
+        assert!(plan.decide(FaultSite::ClusterStart, "k").is_none());
+        assert!(plan.decide(FaultSite::CertSlice, "k").is_none());
+        // `fire` records but never panics for corruption faults.
+        assert_eq!(
+            plan.fire(FaultSite::CertWitness, "k"),
+            Some(FaultKind::CorruptCertificate)
+        );
         assert_eq!(plan.fired(), 1);
     }
 

@@ -46,5 +46,5 @@ pub mod wp;
 pub use encode::{trace_feasibility, TraceEncoder};
 pub use interp::{ExecOutcome, Interp, Oracle, ReplayOracle, RngOracle};
 pub use state::State;
-pub use witness::{concretize, replay, replay_with_fallback, EdgeOracle, Witness};
+pub use witness::{concretize, replay, replay_with_fallback, ConcretizeError, EdgeOracle, Witness};
 pub use wp::{wp_bool, wp_trace};

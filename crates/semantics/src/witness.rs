@@ -56,12 +56,53 @@ impl Oracle for EdgeOracle {
     }
 }
 
+/// Why [`concretize`] could not reconstruct a witness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConcretizeError {
+    /// The trace's constraints are unsatisfiable. When the contradiction
+    /// can be localized, `at_edge` names the first edge (in trace order)
+    /// whose constraint makes the accumulated suffix unsatisfiable.
+    Infeasible {
+        /// The edge whose constraint closed the contradiction, if the
+        /// localization pass could pin one down.
+        at_edge: Option<EdgeId>,
+    },
+    /// The solver gave up (budget or arithmetic limits) before deciding
+    /// the trace's constraints.
+    SolverGaveUp,
+}
+
+impl std::fmt::Display for ConcretizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConcretizeError::Infeasible { at_edge: Some(e) } => {
+                write!(f, "trace infeasible (contradiction closed at edge {e:?})")
+            }
+            ConcretizeError::Infeasible { at_edge: None } => f.write_str("trace infeasible"),
+            ConcretizeError::SolverGaveUp => f.write_str("solver gave up on the trace constraints"),
+        }
+    }
+}
+
+impl std::error::Error for ConcretizeError {}
+
 /// Solves the constraints of a (sliced) trace and reconstructs a
-/// [`Witness`]. Returns `None` if the constraints are unsatisfiable or
-/// the solver gives up.
-pub fn concretize(program: &Program, alias: &AliasInfo, edges: &[EdgeId]) -> Option<Witness> {
+/// [`Witness`].
+///
+/// # Errors
+///
+/// [`ConcretizeError::Infeasible`] when the constraints are
+/// unsatisfiable (with the offending edge when it can be localized), and
+/// [`ConcretizeError::SolverGaveUp`] when the solver exhausts its
+/// resources.
+pub fn concretize(
+    program: &Program,
+    alias: &AliasInfo,
+    edges: &[EdgeId],
+) -> Result<Witness, ConcretizeError> {
     let mut enc = TraceEncoder::new(alias);
-    let mut parts = Vec::new();
+    // (edge, constraint) in the backward encoding order.
+    let mut parts: Vec<(EdgeId, Formula)> = Vec::new();
     // (edge, symbol) for each havoc whose value the suffix observed.
     let mut havoc_syms: Vec<(EdgeId, lia::SymId)> = Vec::new();
     for &eid in edges.iter().rev() {
@@ -73,11 +114,19 @@ pub fn concretize(program: &Program, alias: &AliasInfo, edges: &[EdgeId]) -> Opt
             }
         }
         if f != Formula::True {
-            parts.push(f);
+            parts.push((eid, f));
         }
     }
-    let SatResult::Sat(model) = Solver::new().check(&Formula::And(parts)) else {
-        return None;
+    let solver = Solver::new();
+    let conj = Formula::And(parts.iter().map(|(_, f)| f.clone()).collect());
+    let model = match solver.check(&conj) {
+        SatResult::Sat(model) => model,
+        SatResult::Unknown => return Err(ConcretizeError::SolverGaveUp),
+        SatResult::Unsat => {
+            return Err(ConcretizeError::Infeasible {
+                at_edge: localize_contradiction(&solver, &parts),
+            });
+        }
     };
     let mut initial = State::zeroed(program);
     for (cell, sym) in enc.initial_bindings() {
@@ -87,10 +136,27 @@ pub fn concretize(program: &Program, alias: &AliasInfo, edges: &[EdgeId]) -> Opt
         .into_iter()
         .map(|(e, s)| (e, model.get(s)))
         .collect::<HashMap<_, _>>();
-    Some(Witness {
+    Ok(Witness {
         initial,
         havoc_values,
     })
+}
+
+/// Finds the first edge (in *trace* order) whose constraint makes the
+/// already-encoded suffix unsatisfiable. `parts` is in backward encoding
+/// order, so suffixes of the trace are prefixes of `parts`; we grow that
+/// prefix until it goes unsat. `None` if the solver wavers (`Unknown`)
+/// before the contradiction is pinned down.
+fn localize_contradiction(solver: &Solver, parts: &[(EdgeId, Formula)]) -> Option<EdgeId> {
+    for n in 1..=parts.len() {
+        let conj = Formula::And(parts[..n].iter().map(|(_, f)| f.clone()).collect());
+        match solver.check(&conj) {
+            SatResult::Sat(_) => {}
+            SatResult::Unsat => return Some(parts[n - 1].0),
+            SatResult::Unknown => return None,
+        }
+    }
+    None
 }
 
 /// Replays a witness through the interpreter (fallback `nondet()` = 0).
@@ -170,7 +236,7 @@ mod tests {
     }
 
     #[test]
-    fn infeasible_trace_has_no_witness() {
+    fn infeasible_trace_reports_the_contradicting_edge() {
         let (p, alias) = setup("global a; fn main() { assume(a > 0); assume(a < 0); }");
         let edges: Vec<EdgeId> = (0..2)
             .map(|i| EdgeId {
@@ -178,6 +244,38 @@ mod tests {
                 idx: i,
             })
             .collect();
-        assert!(concretize(&p, &alias, &edges).is_none());
+        let err = concretize(&p, &alias, &edges).unwrap_err();
+        // The suffix `assume(a < 0)` is satisfiable alone; adding the
+        // constraint of `assume(a > 0)` (edge 0) closes the
+        // contradiction.
+        assert_eq!(
+            err,
+            ConcretizeError::Infeasible {
+                at_edge: Some(edges[0])
+            },
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn feasible_suffix_localization_names_the_earliest_edge() {
+        // assume(a == 1); assume(a == 2); assume(a == 3): the last two
+        // already contradict, so the localized edge is edge 1 — the
+        // earliest member of the unsat suffix — not edge 0.
+        let (p, alias) =
+            setup("global a; fn main() { assume(a == 1); assume(a == 2); assume(a == 3); }");
+        let edges: Vec<EdgeId> = (0..3)
+            .map(|i| EdgeId {
+                func: p.main(),
+                idx: i,
+            })
+            .collect();
+        let err = concretize(&p, &alias, &edges).unwrap_err();
+        assert_eq!(
+            err,
+            ConcretizeError::Infeasible {
+                at_edge: Some(edges[1])
+            }
+        );
     }
 }

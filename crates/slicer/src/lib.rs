@@ -61,4 +61,4 @@ mod explain;
 mod slice;
 
 pub use explain::render_slice;
-pub use slice::{PathSlicer, SliceOptions, SliceResult, TakeReason};
+pub use slice::{is_subsequence, PathSlicer, SliceOptions, SliceResult, TakeReason};

@@ -28,6 +28,14 @@ pub enum TakeReason {
     ReturnMods,
 }
 
+/// Whether `sub` is a (not necessarily contiguous) subsequence of `of`.
+/// The slicer guarantees its output is one of the input path; validators
+/// use this to check the structural half of a bug certificate.
+pub fn is_subsequence(sub: &[EdgeId], of: &[EdgeId]) -> bool {
+    let mut rest = of.iter();
+    sub.iter().all(|e| rest.any(|o| o == e))
+}
+
 /// Options for [`PathSlicer::slice`] (the §4.2 optimizations).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SliceOptions {
@@ -274,6 +282,21 @@ mod tests {
 
     fn setup(src: &str) -> Program {
         cfa::lower(&imp::parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn subsequence_check() {
+        let p = setup("fn main() { local a; a = 1; a = 2; a = 3; }");
+        let e = |i| EdgeId {
+            func: p.main(),
+            idx: i,
+        };
+        assert!(is_subsequence(&[], &[e(0), e(1)]));
+        assert!(is_subsequence(&[e(0), e(2)], &[e(0), e(1), e(2)]));
+        assert!(is_subsequence(&[e(0), e(1), e(2)], &[e(0), e(1), e(2)]));
+        assert!(!is_subsequence(&[e(1), e(0)], &[e(0), e(1), e(2)]));
+        assert!(!is_subsequence(&[e(0), e(0)], &[e(0), e(1)]));
+        assert!(!is_subsequence(&[e(3)], &[e(0), e(1), e(2)]));
     }
 
     /// Runs the program with the given initial values for the named

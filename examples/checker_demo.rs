@@ -42,6 +42,7 @@ fn run(reducer: Reducer, label: &str) -> Result<(), Box<dyn std::error::Error>> 
             CheckOutcome::Bug { .. } => "BUG",
             CheckOutcome::Timeout(_) => "TIMEOUT",
             CheckOutcome::InternalError { .. } => "INTERNAL ERROR",
+            CheckOutcome::CertificateMismatch { .. } => "MISMATCH",
         },
         r.refinements,
         r.n_predicates,

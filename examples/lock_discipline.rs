@@ -28,6 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             CheckOutcome::Bug { .. } => "BUG ",
             CheckOutcome::Timeout(_) => "T/O ",
             CheckOutcome::InternalError { .. } => "ERR ",
+            CheckOutcome::CertificateMismatch { .. } => "BAD ",
         };
         println!(
             "  {:<16} {}  ({} refinement(s))",

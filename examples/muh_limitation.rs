@@ -72,6 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             CheckOutcome::Bug { .. } => "BUG (spurious: heap imprecision)",
             CheckOutcome::Timeout(_) => "CHECK FAILED (no heap predicates available)",
             CheckOutcome::InternalError { .. } => "INTERNAL ERROR",
+            CheckOutcome::CertificateMismatch { .. } => "CERTIFICATE MISMATCH",
         }
     );
     assert!(

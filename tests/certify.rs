@@ -1,0 +1,242 @@
+//! Integration tests for the certificate layer: witness replay under
+//! fuel starvation, certificate round-trips through the portable trace
+//! format, and the `--validate` acceptance criteria on the Table 1
+//! workload (validation confirms every verdict and costs < 15 %
+//! wall-clock).
+
+use pathslicing::certify::{self, Certificate, Validation};
+use pathslicing::prelude::*;
+use pathslicing::rt::FaultPlan;
+use pathslicing::workloads::{self, Scale};
+use std::time::{Duration, Instant};
+
+fn checker_config() -> CheckerConfig {
+    CheckerConfig {
+        time_budget: Duration::from_secs(45),
+        ..CheckerConfig::default()
+    }
+}
+
+/// A program whose error site sits behind a long-running loop: the
+/// witness is feasible, but replaying it needs thousands of steps.
+const SLOW_BURN: &str = "
+    global n;
+    fn main() {
+        local i;
+        i = 0;
+        while (i < 5000) { i = i + 1; }
+        if (n > 100) { error(); }
+    }
+";
+
+fn slow_burn_witness() -> (Program, Witness) {
+    let program = pathslicing::compile(SLOW_BURN).unwrap();
+    let analyses = Analyses::build(&program);
+    let reports = check_program(&analyses, checker_config());
+    let CheckOutcome::Bug { slice, .. } = &reports[0].report.outcome else {
+        panic!("expected a bug, got {:?}", reports[0].report.outcome);
+    };
+    let witness = concretize(&program, analyses.alias(), slice).expect("feasible slice");
+    (program, witness)
+}
+
+/// Satellite: fuel exhaustion during witness replay must come back as a
+/// distinguishable `OutOfFuel` outcome — not a panic, not a bogus
+/// "stuck", and certainly not a claimed error hit.
+#[test]
+fn witness_replay_out_of_fuel_is_distinguishable() {
+    let (program, witness) = slow_burn_witness();
+
+    // Tiny fuel: the loop alone exceeds it.
+    let starved = replay(&program, &witness, 10);
+    assert_eq!(starved.outcome, ExecOutcome::OutOfFuel, "{starved:?}");
+
+    // Same for the fallback-steered variant.
+    let starved = replay_with_fallback(&program, &witness, 1, 10);
+    assert_eq!(starved.outcome, ExecOutcome::OutOfFuel, "{starved:?}");
+
+    // With ample fuel the same witness reaches the target, proving the
+    // starved outcome was a fuel artifact, not infeasibility.
+    let fed = replay(&program, &witness, 100_000);
+    assert!(
+        matches!(fed.outcome, ExecOutcome::ReachedError(_)),
+        "{fed:?}"
+    );
+}
+
+/// Fuel is accounted identically with and without an edge oracle value:
+/// the boundary where `OutOfFuel` flips to `ReachedError` is sharp.
+#[test]
+fn replay_fuel_boundary_is_sharp() {
+    let (program, witness) = slow_burn_witness();
+    let fed = replay(&program, &witness, 100_000);
+    let used = fed.path.len();
+    assert!(used > 10, "loop program should need real fuel, used {used}");
+    let exact = replay(&program, &witness, used);
+    assert!(
+        matches!(exact.outcome, ExecOutcome::ReachedError(_)),
+        "{exact:?}"
+    );
+    let short = replay(&program, &witness, used - 1);
+    assert_eq!(short.outcome, ExecOutcome::OutOfFuel, "{short:?}");
+}
+
+/// Certificates survive the portable JSON trace format and still
+/// validate after the round-trip (the `pathslice validate` path,
+/// exercised library-side).
+#[test]
+fn certificates_roundtrip_through_trace_files() {
+    let spec = workloads::suite(Scale::Small)
+        .into_iter()
+        .find(|s| s.name == "wuftpd")
+        .unwrap();
+    let generated = workloads::gen::generate(&spec);
+    let program = generated.lower();
+    let report = run_clusters(&program, checker_config(), &DriverConfig::sequential());
+    let analyses = Analyses::build(&program);
+    let source = generated.source.clone();
+    let trace = certify::certify_report(&analyses, &report, &source);
+    assert_eq!(trace.clusters.len(), report.clusters.len());
+
+    let text = certify::to_json(&trace);
+    let back = certify::from_json(&text).expect("roundtrip parses");
+    assert_eq!(back, trace);
+
+    // The embedded source recompiles to the same program shape, and
+    // every certificate validates against it.
+    let reprogram = pathslicing::compile(&back.source).expect("embedded source compiles");
+    let reanalyses = Analyses::build(&reprogram);
+    for c in &back.clusters {
+        let v = certify::validate(&reanalyses, &c.certificate, &c.claimed);
+        assert!(
+            v.is_confirmed(),
+            "{}: {:?} did not validate after roundtrip: {v:?}",
+            c.func_name,
+            c.claimed
+        );
+    }
+}
+
+/// Acceptance criterion: with faults off, validation confirms every
+/// verdict of the Table 1 (small-scale) workload — zero flips — and the
+/// validated run costs < 15 % extra wall-clock over the plain run.
+#[test]
+fn validation_confirms_table1_within_overhead_budget() {
+    let suite = workloads::suite(Scale::Small);
+    let programs: Vec<_> = suite
+        .iter()
+        .map(|s| (s.name.clone(), workloads::gen::generate(s).lower()))
+        .collect();
+
+    // Warm-up pass so allocator/page-cache effects don't pollute the
+    // baseline measurement.
+    for (_, p) in &programs {
+        run_clusters(p, checker_config(), &DriverConfig::sequential());
+    }
+
+    let t0 = Instant::now();
+    let plain: Vec<_> = programs
+        .iter()
+        .map(|(n, p)| {
+            (
+                n,
+                run_clusters(p, checker_config(), &DriverConfig::sequential()),
+            )
+        })
+        .collect();
+    let plain_wall = t0.elapsed();
+
+    let t1 = Instant::now();
+    let validated: Vec<_> = programs
+        .iter()
+        .map(|(n, p)| {
+            let driver =
+                DriverConfig::sequential().with_validator(certify::validator(FaultPlan::default()));
+            (n, run_clusters(p, checker_config(), &driver))
+        })
+        .collect();
+    let validated_wall = t1.elapsed();
+
+    for ((name, base), (_, valid)) in plain.iter().zip(&validated) {
+        for (b, v) in base.clusters.iter().zip(&valid.clusters) {
+            assert_eq!(
+                b.cluster.report.outcome.kind_label(),
+                v.cluster.report.outcome.kind_label(),
+                "{name}/{}: validation flipped a verdict",
+                b.cluster.func_name
+            );
+        }
+    }
+
+    let overhead = validated_wall.as_secs_f64() / plain_wall.as_secs_f64().max(1e-9) - 1.0;
+    assert!(
+        overhead < 0.15,
+        "validation overhead {:.1}% exceeds the 15% budget \
+         (plain {plain_wall:?}, validated {validated_wall:?})",
+        overhead * 100.0
+    );
+}
+
+/// Structured concretization failures: an infeasible hand-made slice is
+/// reported as `Infeasible` with the contradicting edge, never a panic.
+#[test]
+fn infeasible_slices_fail_concretization_with_a_located_reason() {
+    let program =
+        pathslicing::compile("global a; fn main() { assume(a > 5); assume(a < 0); error(); }")
+            .unwrap();
+    let analyses = Analyses::build(&program);
+    let main = program.main();
+    let edges: Vec<_> = (0..2)
+        .map(|i| pathslicing::cfa::EdgeId { func: main, idx: i })
+        .collect();
+    let err = concretize(&program, analyses.alias(), &edges).unwrap_err();
+    let ConcretizeError::Infeasible { at_edge } = err else {
+        panic!("expected Infeasible, got {err:?}");
+    };
+    assert_eq!(at_edge, Some(edges[0]));
+}
+
+/// The validator end-to-end inside the driver: a clean run over a
+/// multi-cluster workload confirms everything (no mismatches), and the
+/// certificates it would emit match what `certify_cluster` builds.
+#[test]
+fn driver_validation_is_clean_on_a_mixed_workload() {
+    // wuftpd has planted bugs; fcron is fully safe — between them both
+    // certificate kinds are exercised end-to-end.
+    let mut kinds = (0usize, 0usize); // (bug, safe)
+    for name in ["wuftpd", "fcron"] {
+        let spec = workloads::suite(Scale::Small)
+            .into_iter()
+            .find(|s| s.name == name)
+            .unwrap();
+        let program = workloads::gen::generate(&spec).lower();
+        let driver =
+            DriverConfig::sequential().with_validator(certify::validator(FaultPlan::default()));
+        let report = run_clusters(&program, checker_config(), &driver);
+        let analyses = Analyses::build(&program);
+        for c in &report.clusters {
+            let outcome = &c.cluster.report.outcome;
+            assert!(
+                !matches!(outcome, CheckOutcome::CertificateMismatch { .. }),
+                "{name}/{}: clean run must not mismatch: {outcome:?}",
+                c.cluster.func_name
+            );
+            match outcome {
+                CheckOutcome::Bug { .. } => kinds.0 += 1,
+                CheckOutcome::Safe => kinds.1 += 1,
+                _ => {}
+            }
+            let cert = certify::certify_cluster(&analyses, c).expect("certifiable");
+            match (&cert, outcome) {
+                (Certificate::Bug(_), CheckOutcome::Bug { .. })
+                | (Certificate::Safe(_), CheckOutcome::Safe)
+                | (Certificate::Degraded(_), _) => {}
+                other => panic!("certificate kind mismatch: {other:?}"),
+            }
+            let v = certify::validate(&analyses, &cert, &outcome.kind_label());
+            assert!(matches!(v, Validation::Confirmed { .. }), "{v:?}");
+        }
+    }
+    assert!(kinds.0 > 0, "suite should have planted bugs");
+    assert!(kinds.1 > 0, "suite should have safe clusters");
+}

@@ -26,6 +26,7 @@ fn kind(o: &CheckOutcome) -> &'static str {
         CheckOutcome::Bug { .. } => "bug",
         CheckOutcome::Timeout(_) => "timeout",
         CheckOutcome::InternalError { .. } => "internal",
+        CheckOutcome::CertificateMismatch { .. } => "mismatch",
     }
 }
 
@@ -64,10 +65,7 @@ fn injected_panics_isolate_exactly_the_faulted_clusters() {
             assert_eq!(&c.cluster.func_name, name);
             if expected.contains(name) {
                 assert!(
-                    matches!(
-                        x.cluster.report.outcome,
-                        CheckOutcome::InternalError { .. }
-                    ),
+                    matches!(x.cluster.report.outcome, CheckOutcome::InternalError { .. }),
                     "{}/{name}: faulted cluster must be InternalError, got {:?}",
                     spec.name,
                     x.cluster.report.outcome
@@ -86,6 +84,78 @@ fn injected_panics_isolate_exactly_the_faulted_clusters() {
     assert!(total_faulted > 0, "seed never fired — pick another seed");
 }
 
+/// The acceptance scenario for `--validate` + certificate corruption:
+/// with corruption faults injected at the three certificate sites, the
+/// validated run must flag exactly the clusters whose certificates the
+/// plan actually changed as `CertificateMismatch`, and must flip zero
+/// uncorrupted verdicts. The expected set is computed outside the
+/// driver with the same deterministic plan (corruption is pure in
+/// (seed, site, cluster name)).
+#[test]
+fn corrupted_certificates_are_flagged_exactly() {
+    use pathslicing::certify;
+    use pathslicing::dataflow::Analyses;
+
+    let corruption_plan = || {
+        FaultPlan::new(0xBADC0DE)
+            .inject(FaultSite::CertWitness, FaultKind::CorruptCertificate, 0.5)
+            .inject(FaultSite::CertCore, FaultKind::CorruptCertificate, 0.5)
+            .inject(FaultSite::CertSlice, FaultKind::CorruptCertificate, 0.5)
+    };
+    let mut total_corrupted = 0usize;
+    for spec in workloads::suite(Scale::Small) {
+        let program = workloads::gen::generate(&spec).lower();
+        let clean = run_clusters(&program, config(), &DriverConfig::sequential());
+
+        // Replay certificate building + corruption outside the driver to
+        // predict which clusters the validator must flag.
+        let analyses = Analyses::build(&program);
+        let plan = corruption_plan();
+        let expected: Vec<String> = clean
+            .clusters
+            .iter()
+            .filter(|c| {
+                certify::certify_cluster(&analyses, c)
+                    .is_ok_and(|mut cert| !certify::corrupt(&mut cert, &plan).is_empty())
+            })
+            .map(|c| c.cluster.func_name.clone())
+            .collect();
+        total_corrupted += expected.len();
+
+        let validated = run_clusters(
+            &program,
+            config(),
+            &DriverConfig::sequential().with_validator(certify::validator(corruption_plan())),
+        );
+        assert_eq!(clean.clusters.len(), validated.clusters.len());
+        for (c, v) in clean.clusters.iter().zip(&validated.clusters) {
+            let name = &v.cluster.func_name;
+            if expected.contains(name) {
+                assert!(
+                    matches!(
+                        v.cluster.report.outcome,
+                        CheckOutcome::CertificateMismatch { .. }
+                    ),
+                    "{}/{name}: corrupted certificate must be flagged, got {:?}",
+                    spec.name,
+                    v.cluster.report.outcome
+                );
+            } else {
+                assert_eq!(
+                    kind(&c.cluster.report.outcome),
+                    kind(&v.cluster.report.outcome),
+                    "{}/{name}: validation flipped an uncorrupted verdict",
+                    spec.name
+                );
+            }
+        }
+    }
+    assert!(
+        total_corrupted > 0,
+        "seed never corrupted — pick another seed"
+    );
+}
+
 /// The acceptance scenario for parallelism: `--jobs 4` on the
 /// openssh-like workload reports verdicts identical to `--jobs 1`.
 #[test]
@@ -96,11 +166,7 @@ fn parallel_verdicts_match_sequential_on_openssh() {
         .unwrap();
     let program = workloads::gen::generate(&spec).lower();
     let seq = run_clusters(&program, config(), &DriverConfig::sequential());
-    let par = run_clusters(
-        &program,
-        config(),
-        &DriverConfig::sequential().with_jobs(4),
-    );
+    let par = run_clusters(&program, config(), &DriverConfig::sequential().with_jobs(4));
     assert!(par.jobs > 1, "multiple workers actually ran");
     let verdicts = |r: &pathslicing::blastlite::DriverReport| {
         r.verdicts()
@@ -126,7 +192,9 @@ fn chaos_is_deterministic_across_job_counts() {
         let r = run_clusters(
             &program,
             config(),
-            &DriverConfig::sequential().with_jobs(jobs).with_faults(faults),
+            &DriverConfig::sequential()
+                .with_jobs(jobs)
+                .with_faults(faults),
         );
         r.verdicts()
             .map(|(n, o)| format!("{n}:{}", kind(o)))
