@@ -3,7 +3,9 @@
 //! unsatisfiable prefix. On infeasible abstract counterexamples the
 //! truncated slice is shorter; on feasible traces it changes nothing.
 //!
-//! Usage: `ablation_earlyunsat [small|medium|full]`.
+//! Usage: `ablation_earlyunsat [small|medium|full] [--json]`. With
+//! `--json`, a `pathslice-bench/v1` report with one row per sliced
+//! counterexample is written to `BENCH_ablation_earlyunsat.json`.
 
 use blastlite::{reach, PredicatePool};
 use dataflow::Analyses;
@@ -13,6 +15,11 @@ use std::time::Duration;
 
 fn main() {
     let scale = bench::scale_from_args();
+    let json = bench::json_requested();
+    if json {
+        obs::set_enabled(true);
+    }
+    let mut rep = bench::BenchReport::new("ablation_earlyunsat", bench::scale_name(scale));
     println!("# A3 — early-unsat optimization (slice sizes on abstract counterexamples)");
     println!(
         "{:<10} {:>12} {:>12} {:>12} {:>10}",
@@ -59,8 +66,23 @@ fn main() {
                 early.kept.len(),
                 early.stopped_unsat,
             );
+            rep.rows.push(bench::Row {
+                name: spec.name.clone(),
+                variant: cfa.name().to_owned(),
+                fields: vec![
+                    ("seed".into(), spec.seed as i64),
+                    ("trace_ops".into(), path.len() as i64),
+                    ("plain".into(), plain.kept.len() as i64),
+                    ("early_stop".into(), early.kept.len() as i64),
+                    ("truncated".into(), i64::from(early.stopped_unsat)),
+                ],
+                ..bench::Row::default()
+            });
             shown += 1;
         }
     }
     println!("# expected shape: early_stop <= plain; truncated=true rows stopped at the core");
+    if json {
+        bench::finish_json_report(rep);
+    }
 }

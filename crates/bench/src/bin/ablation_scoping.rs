@@ -3,13 +3,22 @@
 //! abstract-state counts and wall time with the global-pool default on
 //! the benchmark suite; verdicts must not change.
 //!
-//! Usage: `ablation_scoping [small|medium|full] [--jobs <n>] [--retries <k>]`.
+//! Usage: `ablation_scoping [small|medium|full] [--jobs <n>]
+//! [--retries <k>] [--json]`. With `--json`, a `pathslice-bench/v1`
+//! report with one row per (program, pool) cell is written to
+//! `BENCH_ablation_scoping.json`.
 
 use blastlite::{CheckerConfig, Reducer};
+use obs::json::Json;
 use std::time::Duration;
 
 fn main() {
     let scale = bench::scale_from_args();
+    let json = bench::json_requested();
+    if json {
+        obs::set_enabled(true);
+    }
+    let mut rep = bench::BenchReport::new("ablation_scoping", bench::scale_name(scale));
     println!("# A4 — predicate scoping (lazy-abstraction locality)");
     println!(
         "{:<10} | {:>6} {:>4} {:>12} {:>9} | {:>6} {:>4} {:>12} {:>9}",
@@ -59,6 +68,15 @@ fn main() {
             scoped.abstract_states,
             scoped.total_time.as_secs_f64(),
         );
+        rep.push_program(&base, "global-pool");
+        rep.push_program(&scoped, "scoped");
+    }
+    if json {
+        rep.config("jobs", Json::Num(driver.jobs as i64));
+        rep.config("retries", Json::Num(driver.retry.max_retries as i64));
+        rep.config("time_budget_s", Json::Float(10.0));
+        rep.config("reducer", Json::Str("identity".into()));
+        bench::finish_json_report(rep);
     }
     println!("# expected shape: no spurious errors either way; the scoped column");
     println!("# explores fewer abstract states per time budget (helper-local");

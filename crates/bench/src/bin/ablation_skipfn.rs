@@ -2,7 +2,9 @@
 //! paths with deep call stacks, slices shrink further because the guards
 //! on the way into each frame are dropped (at the cost of completeness).
 //!
-//! Usage: `ablation_skipfn [small|medium|full]`.
+//! Usage: `ablation_skipfn [small|medium|full] [--json]`. With
+//! `--json`, a `pathslice-bench/v1` report with one row per executed
+//! bug trace is written to `BENCH_ablation_skipfn.json`.
 
 use dataflow::Analyses;
 use semantics::{ExecOutcome, Interp, ReplayOracle, State};
@@ -10,6 +12,11 @@ use slicer::{PathSlicer, SliceOptions};
 
 fn main() {
     let scale = bench::scale_from_args();
+    let json = bench::json_requested();
+    if json {
+        obs::set_enabled(true);
+    }
+    let mut rep = bench::BenchReport::new("ablation_skipfn", bench::scale_name(scale));
     println!("# A2 — skip-functions optimization (slice sizes on executed bug traces)");
     println!(
         "{:<10} {:>7} {:>12} {:>12} {:>12} {:>9}",
@@ -58,7 +65,21 @@ fn main() {
                 skip.kept.len(),
                 shrink
             );
+            rep.rows.push(bench::Row {
+                name: spec.name.clone(),
+                variant: format!("module{m}"),
+                fields: vec![
+                    ("seed".into(), spec.seed as i64),
+                    ("trace_ops".into(), run.path.len() as i64),
+                    ("plain".into(), plain.kept.len() as i64),
+                    ("skip_fns".into(), skip.kept.len() as i64),
+                ],
+                ..bench::Row::default()
+            });
         }
     }
     println!("# expected shape: skip_fns <= plain on every row (guards on the stack dropped)");
+    if json {
+        bench::finish_json_report(rep);
+    }
 }

@@ -6,13 +6,22 @@
 //! Runs the same checks with the identity reducer and with path slicing
 //! and prints the outcome matrix side by side.
 //!
-//! Usage: `ablation_slicing [small|medium|full] [--jobs <n>] [--retries <k>]`.
+//! Usage: `ablation_slicing [small|medium|full] [--jobs <n>]
+//! [--retries <k>] [--json]`. With `--json`, a `pathslice-bench/v1`
+//! report with one row per (program, reducer) cell is written to
+//! `BENCH_ablation_slicing.json`.
 
 use blastlite::{CheckerConfig, Reducer};
+use obs::json::Json;
 use std::time::Duration;
 
 fn main() {
     let scale = bench::scale_from_args();
+    let json = bench::json_requested();
+    if json {
+        obs::set_enabled(true);
+    }
+    let mut rep = bench::BenchReport::new("ablation_slicing", bench::scale_name(scale));
     let budget = Duration::from_secs(20);
     println!("# A1 — counterexample reduction ablation ({budget:?}/check)");
     println!(
@@ -57,6 +66,14 @@ fn main() {
             sliced.timeouts,
             sliced.total_time.as_secs_f64(),
         );
+        rep.push_program(&ident, "identity");
+        rep.push_program(&sliced, "path-slice");
     }
     println!("# expected shape: identity column accumulates timeouts; slicing column none");
+    if json {
+        rep.config("jobs", Json::Num(driver.jobs as i64));
+        rep.config("retries", Json::Num(driver.retry.max_retries as i64));
+        rep.config("time_budget_s", Json::Float(budget.as_secs_f64()));
+        bench::finish_json_report(rep);
+    }
 }

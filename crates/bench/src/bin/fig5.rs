@@ -7,13 +7,21 @@
 //! The paper's reading: average slice below 5 % of the trace; traces
 //! over 1000 basic blocks slice below 1 %.
 //!
-//! Usage: `fig5 [small|medium|full]`.
+//! Usage: `fig5 [small|medium|full] [--json]`. With `--json`, the
+//! scatter is printed as JSON lines and a `pathslice-bench/v1` report
+//! is written to `BENCH_fig5.json`.
 
 use blastlite::{CheckerConfig, Reducer, SearchOrder};
+use obs::json::Json;
 use std::time::Duration;
 
 fn main() {
     let scale = bench::scale_from_args();
+    let json = bench::json_requested();
+    if json {
+        obs::set_enabled(true);
+    }
+    let mut rows = Vec::new();
     let mut points = Vec::new();
 
     // 1. Counterexamples from the checker runs (DFS order, like BLAST,
@@ -31,6 +39,7 @@ fn main() {
             trace_ops: t.trace_ops,
             slice_ops: t.slice_ops,
         }));
+        rows.push(row);
     }
 
     // 2. Long feasible traces into the planted bugs, across loop-bound
@@ -50,7 +59,19 @@ fn main() {
     }
 
     bench::maybe_write_svg("Figure 5 - trace projection (application suite)", &points);
-    if bench::json_requested() {
+    if json {
+        let mut rep = bench::BenchReport::new("fig5", bench::scale_name(scale));
+        rep.config("time_budget_s", Json::Float(30.0));
+        rep.config("reducer", Json::Str("path-slice".into()));
+        rep.config("search_order", Json::Str("dfs".into()));
+        for r in &rows {
+            rep.push_program(r, "default");
+        }
+        rep.points = points
+            .iter()
+            .map(|p| (p.trace_ops as u64, p.slice_ops as u64))
+            .collect();
+        bench::finish_json_report(rep);
         bench::print_fig_points_json(&mut points);
         return;
     }

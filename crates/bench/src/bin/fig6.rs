@@ -2,13 +2,20 @@
 //! program. The paper's largest counterexample had 82,695 basic blocks
 //! and sliced to 43 operations; larger counterexamples slice below 0.1 %.
 //!
-//! Usage: `fig6 [small|medium|full] [--jobs <n>] [--retries <k>]`.
+//! Usage: `fig6 [small|medium|full] [--jobs <n>] [--retries <k>]
+//! [--json]`. With `--json`, the scatter is printed as JSON lines and a
+//! `pathslice-bench/v1` report is written to `BENCH_fig6.json`.
 
 use blastlite::{CheckerConfig, Reducer, SearchOrder};
+use obs::json::Json;
 use std::time::Duration;
 
 fn main() {
     let scale = bench::scale_from_args();
+    let json = bench::json_requested();
+    if json {
+        obs::set_enabled(true);
+    }
     let mut points = Vec::new();
 
     // Checker counterexamples on the gcc-like program (DFS).
@@ -37,7 +44,17 @@ fn main() {
     }
 
     bench::maybe_write_svg("Figure 6 - trace projection (gcc)", &points);
-    if bench::json_requested() {
+    if json {
+        let mut rep = bench::BenchReport::new("fig6", bench::scale_name(scale));
+        rep.config("time_budget_s", Json::Float(45.0));
+        rep.config("reducer", Json::Str("path-slice".into()));
+        rep.config("search_order", Json::Str("dfs".into()));
+        rep.push_program(&row, "default");
+        rep.points = points
+            .iter()
+            .map(|p| (p.trace_ops as u64, p.slice_ops as u64))
+            .collect();
+        bench::finish_json_report(rep);
         bench::print_fig_points_json(&mut points);
         return;
     }

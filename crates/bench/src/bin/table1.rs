@@ -2,14 +2,21 @@
 //! statistics and check results for the file-handle property, using the
 //! CEGAR checker with path-slicing counterexample reduction.
 //!
-//! Usage: `table1 [small|medium|full] [--jobs <n>] [--retries <k>]`
-//! (default: medium, sequential, no retries).
+//! Usage: `table1 [small|medium|full] [--jobs <n>] [--retries <k>]
+//! [--json]` (default: medium, sequential, no retries). With `--json`,
+//! tracing is enabled and a `pathslice-bench/v1` report is written to
+//! `BENCH_table1.json` in the current directory.
 
 use blastlite::{CheckerConfig, Reducer};
+use obs::json::Json;
 use std::time::Duration;
 
 fn main() {
     let scale = bench::scale_from_args();
+    let json = bench::json_requested();
+    if json {
+        obs::set_enabled(true);
+    }
     let config = CheckerConfig {
         reducer: Reducer::path_slice(),
         time_budget: Duration::from_secs(60),
@@ -38,4 +45,16 @@ fn main() {
         .map(|n| by_name(n).errors + by_name(n).timeouts)
         .sum();
     println!("# fcron/ijpeg unsafe-or-timeout checks: {clean} (paper: 0)");
+
+    if json {
+        let mut rep = bench::BenchReport::new("table1", bench::scale_name(scale));
+        rep.config("jobs", Json::Num(driver.jobs as i64));
+        rep.config("retries", Json::Num(driver.retry.max_retries as i64));
+        rep.config("time_budget_s", Json::Float(60.0));
+        rep.config("reducer", Json::Str("path-slice".into()));
+        for r in &rows {
+            rep.push_program(r, "default");
+        }
+        bench::finish_json_report(rep);
+    }
 }

@@ -22,8 +22,23 @@ use blastlite::{
 use dataflow::Analyses;
 use semantics::{ExecOutcome, Interp, ReplayOracle, State};
 use slicer::{PathSlicer, SliceOptions};
+use std::collections::BTreeMap;
 use std::time::Duration;
 use workloads::{GeneratedProgram, Scale, WorkloadSpec};
+
+pub mod report;
+
+pub use report::{finish_json_report, BenchReport, PhaseRow, Row};
+
+/// The lowercase scale name as it appears on the command line and in
+/// `BENCH_*.json` reports.
+pub fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Small => "small",
+        Scale::Medium => "medium",
+        Scale::Full => "full",
+    }
+}
 
 /// Parses a scale name from argv (`small` / `medium` / `full`).
 pub fn scale_from_args() -> Scale {
@@ -64,6 +79,9 @@ pub fn driver_from_args() -> DriverConfig {
 pub struct ProgramRow {
     /// Program name.
     pub name: String,
+    /// Generation seed (the workload is fully deterministic given the
+    /// scale and this seed).
+    pub seed: u64,
     /// Non-blank generated source lines.
     pub loc: usize,
     /// Number of procedures.
@@ -91,6 +109,19 @@ pub struct ProgramRow {
     pub refinements: usize,
     /// Total abstract states explored across all checks.
     pub abstract_states: usize,
+    /// Retry attempts beyond each cluster's first (total driver
+    /// re-runs; 0 unless a `RetryPolicy` is active and something
+    /// failed).
+    pub retries: usize,
+    /// Clusters whose final attempt ran under a degraded (retry-ladder)
+    /// configuration rather than the requested one.
+    pub degraded: usize,
+    /// Per-phase wall-time totals for this workload, from the span
+    /// layer. Empty unless `obs` tracing is enabled.
+    pub phases: BTreeMap<String, obs::PhaseStat>,
+    /// Counter deltas attributable to this workload (current minus the
+    /// snapshot taken at entry). Empty unless `obs` is enabled.
+    pub counters: BTreeMap<String, u64>,
     /// Every (trace, slice) size pair seen (for Figure 5).
     pub traces: Vec<TraceRecord>,
 }
@@ -111,9 +142,24 @@ pub fn run_workload_driven(
 ) -> ProgramRow {
     let generated = workloads::gen::generate(spec);
     let program = generated.lower();
-    let reports = run_clusters(&program, config, driver).into_cluster_reports();
+    // Snapshot the metric registry so the row records only this
+    // workload's deltas; drain any spans left over from a previous one.
+    let counters_before = obs::counters();
+    let _ = obs::take_spans();
+    let driven = run_clusters(&program, config, driver);
+    let summary = driven.summary();
+    let reports = driven.into_cluster_reports();
+    let phases = obs::phase_totals(&obs::take_spans());
+    let counters = obs::counters()
+        .into_iter()
+        .filter_map(|(k, v)| {
+            let delta = v - counters_before.get(k).copied().unwrap_or(0);
+            (delta > 0).then(|| (k.to_owned(), delta))
+        })
+        .collect();
     let mut row = ProgramRow {
         name: spec.name.clone(),
+        seed: spec.seed,
         loc: generated.loc,
         procedures: generated.n_functions,
         checks: generated.n_check_clusters,
@@ -127,6 +173,10 @@ pub fn run_workload_driven(
         max_time: Duration::ZERO,
         refinements: 0,
         abstract_states: 0,
+        retries: summary.retries,
+        degraded: summary.degraded_clusters,
+        phases,
+        counters,
         traces: Vec::new(),
     };
     for r in reports {
@@ -182,6 +232,12 @@ pub fn print_table1(rows: &[ProgramRow]) {
             println!(
                 "# {}: {} check(s) failed certificate validation (CertificateMismatch)",
                 r.name, r.mismatches
+            );
+        }
+        if r.retries > 0 {
+            println!(
+                "# {}: {} retry attempt(s), {} cluster(s) finished degraded",
+                r.name, r.retries, r.degraded
             );
         }
     }

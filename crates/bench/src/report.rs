@@ -1,0 +1,411 @@
+//! Machine-readable benchmark reports — the `BENCH_*.json` artifacts.
+//!
+//! Every bench binary accepts `--json`; when passed, the run's rows are
+//! collected into a [`BenchReport`] and written to `BENCH_<bench>.json`
+//! in the current directory (the repo root when launched via `cargo
+//! run` from there). The schema is `pathslice-bench/v1`, documented in
+//! `DESIGN.md` §8 and round-trip tested against the hand-rolled parser
+//! in [`obs::json`]:
+//!
+//! ```json
+//! {
+//!   "schema": "pathslice-bench/v1",
+//!   "bench": "table1",
+//!   "scale": "medium",
+//!   "config": { "jobs": 1, "retries": 0, "time_budget_s": 60.0, ... },
+//!   "rows": [ { "name": "fcron", "variant": "default",
+//!               "fields": { "loc": 1803, "safe": 7, ... },
+//!               "times_s": { "total": 1.9, "max": 0.4 },
+//!               "phases_us": { "reach": { "count": 9, "total_us": ..,
+//!                                         "self_us": .. }, ... },
+//!               "counters": { "lia.checks": 124, ... } }, ... ],
+//!   "points": [ { "trace_ops": 5211, "slice_ops": 12 }, ... ],
+//!   "counters": { ... global end-of-run totals ... }
+//! }
+//! ```
+//!
+//! `fields` holds the bench's integer columns (Table 1 stats, ablation
+//! slice sizes — whatever the binary measures); `phases_us` and
+//! `counters` are filled only when tracing was enabled for the run.
+
+use crate::ProgramRow;
+use obs::json::{Json, JsonError};
+
+/// One phase's aggregated wall time inside a row (mirror of
+/// [`obs::PhaseStat`], keyed by span name).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseRow {
+    /// Span name (`reach`, `slice`, `encode`, `solve`, `refine`, …).
+    pub name: String,
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Total wall time, including children, in microseconds.
+    pub total_us: u64,
+    /// Total *self* time (children subtracted), in microseconds.
+    pub self_us: u64,
+}
+
+/// One measured row — a program, or a (program, variant) cell for
+/// ablations that run the same program under several configurations.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Row {
+    /// Program name (Table 1 row).
+    pub name: String,
+    /// Configuration variant (`"default"`, `"identity"`, `"sliced"`,
+    /// …); distinguishes the columns of an ablation matrix.
+    pub variant: String,
+    /// Integer columns, in display order.
+    pub fields: Vec<(String, i64)>,
+    /// Wall-clock columns, in seconds.
+    pub times_s: Vec<(String, f64)>,
+    /// Per-phase timings (empty when tracing was off).
+    pub phases: Vec<PhaseRow>,
+    /// Counter deltas attributable to this row (empty when off).
+    pub counters: Vec<(String, u64)>,
+}
+
+impl Row {
+    /// Builds a report row from a driven workload result.
+    pub fn from_program(r: &ProgramRow, variant: &str) -> Row {
+        Row {
+            name: r.name.clone(),
+            variant: variant.to_owned(),
+            fields: vec![
+                ("seed".into(), r.seed as i64),
+                ("loc".into(), r.loc as i64),
+                ("procedures".into(), r.procedures as i64),
+                ("checks".into(), r.checks as i64),
+                ("sites".into(), r.sites as i64),
+                ("safe".into(), r.safe as i64),
+                ("errors".into(), r.errors as i64),
+                ("timeouts".into(), r.timeouts as i64),
+                ("internal_errors".into(), r.internal_errors as i64),
+                ("mismatches".into(), r.mismatches as i64),
+                ("retries".into(), r.retries as i64),
+                ("degraded".into(), r.degraded as i64),
+                ("refinements".into(), r.refinements as i64),
+                ("abstract_states".into(), r.abstract_states as i64),
+            ],
+            times_s: vec![
+                ("total".into(), r.total_time.as_secs_f64()),
+                ("max".into(), r.max_time.as_secs_f64()),
+            ],
+            phases: r
+                .phases
+                .iter()
+                .map(|(name, s)| PhaseRow {
+                    name: name.clone(),
+                    count: s.count,
+                    total_us: s.total_us,
+                    self_us: s.self_us,
+                })
+                .collect(),
+            counters: r.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+        }
+    }
+}
+
+/// A complete machine-readable bench run (`pathslice-bench/v1`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BenchReport {
+    /// Bench name (`table1`, `fig6`, `ablation_slicing`, …).
+    pub bench: String,
+    /// Workload scale (`small` / `medium` / `full`).
+    pub scale: String,
+    /// The knobs needed to regenerate the run: jobs, retries, budgets,
+    /// reducer, seeds — whatever the binary deems relevant.
+    pub config: Vec<(String, Json)>,
+    /// Per-program (or per-program-per-variant) measurements.
+    pub rows: Vec<Row>,
+    /// Scatter points for the figure benches: `(trace_ops, slice_ops)`.
+    pub points: Vec<(u64, u64)>,
+    /// Global end-of-run counter totals (all rows summed, including any
+    /// work outside `run_workload_driven`).
+    pub counters: Vec<(String, u64)>,
+}
+
+/// Format marker; bumped on breaking schema changes.
+pub const BENCH_SCHEMA: &str = "pathslice-bench/v1";
+
+impl BenchReport {
+    /// Starts an empty report for `bench` at `scale`.
+    pub fn new(bench: &str, scale: &str) -> BenchReport {
+        BenchReport {
+            bench: bench.to_owned(),
+            scale: scale.to_owned(),
+            ..BenchReport::default()
+        }
+    }
+
+    /// Records a regeneration knob.
+    pub fn config(&mut self, key: &str, value: Json) {
+        self.config.push((key.to_owned(), value));
+    }
+
+    /// Appends a row built from a driven workload.
+    pub fn push_program(&mut self, row: &ProgramRow, variant: &str) {
+        self.rows.push(Row::from_program(row, variant));
+    }
+
+    /// Captures the current global counter totals (call once, at the
+    /// end of the run).
+    pub fn capture_counters(&mut self) {
+        self.counters = obs::counters()
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect();
+    }
+
+    /// Serializes to the `pathslice-bench/v1` JSON document.
+    pub fn to_json(&self) -> Json {
+        let phase_obj = |p: &PhaseRow| {
+            Json::Obj(vec![
+                ("count".into(), Json::Num(p.count as i64)),
+                ("total_us".into(), Json::Num(p.total_us as i64)),
+                ("self_us".into(), Json::Num(p.self_us as i64)),
+            ])
+        };
+        let counters_obj = |cs: &[(String, u64)]| {
+            Json::Obj(
+                cs.iter()
+                    .map(|(k, v)| (k.clone(), Json::Num(*v as i64)))
+                    .collect(),
+            )
+        };
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("name".into(), Json::Str(r.name.clone())),
+                    ("variant".into(), Json::Str(r.variant.clone())),
+                    (
+                        "fields".into(),
+                        Json::Obj(
+                            r.fields
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "times_s".into(),
+                        Json::Obj(
+                            r.times_s
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Json::Float(*v)))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "phases_us".into(),
+                        Json::Obj(
+                            r.phases
+                                .iter()
+                                .map(|p| (p.name.clone(), phase_obj(p)))
+                                .collect(),
+                        ),
+                    ),
+                    ("counters".into(), counters_obj(&r.counters)),
+                ])
+            })
+            .collect();
+        let points = self
+            .points
+            .iter()
+            .map(|&(t, s)| {
+                Json::Obj(vec![
+                    ("trace_ops".into(), Json::Num(t as i64)),
+                    ("slice_ops".into(), Json::Num(s as i64)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(BENCH_SCHEMA.into())),
+            ("bench".into(), Json::Str(self.bench.clone())),
+            ("scale".into(), Json::Str(self.scale.clone())),
+            ("config".into(), Json::Obj(self.config.clone())),
+            ("rows".into(), Json::Arr(rows)),
+            ("points".into(), Json::Arr(points)),
+            ("counters".into(), counters_obj(&self.counters)),
+        ])
+    }
+
+    /// Parses a `pathslice-bench/v1` document back into a report.
+    pub fn from_json(text: &str) -> Result<BenchReport, JsonError> {
+        let bad = |m: &str| JsonError {
+            message: m.to_owned(),
+            at: 0,
+        };
+        let doc = Json::parse(text)?;
+        let str_field = |j: &Json, k: &str| -> Result<String, JsonError> {
+            j.field(k)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| bad(&format!("missing string field `{k}`")))
+        };
+        if str_field(&doc, "schema")? != BENCH_SCHEMA {
+            return Err(bad("not a pathslice-bench/v1 document"));
+        }
+        let obj_pairs = |j: Option<&Json>, what: &str| -> Result<Vec<(String, Json)>, JsonError> {
+            match j {
+                Some(Json::Obj(pairs)) => Ok(pairs.clone()),
+                _ => Err(bad(&format!("`{what}` is not an object"))),
+            }
+        };
+        let u64_pairs = |j: Option<&Json>, what: &str| -> Result<Vec<(String, u64)>, JsonError> {
+            obj_pairs(j, what)?
+                .into_iter()
+                .map(|(k, v)| match v.as_i64() {
+                    Some(n) if n >= 0 => Ok((k, n as u64)),
+                    _ => Err(bad(&format!("`{what}.{k}` is not a non-negative integer"))),
+                })
+                .collect()
+        };
+        let mut report = BenchReport::new(&str_field(&doc, "bench")?, &str_field(&doc, "scale")?);
+        report.config = obj_pairs(doc.field("config"), "config")?;
+        report.counters = u64_pairs(doc.field("counters"), "counters")?;
+        for row in doc
+            .field("rows")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("`rows` is not an array"))?
+        {
+            let mut r = Row {
+                name: str_field(row, "name")?,
+                variant: str_field(row, "variant")?,
+                ..Row::default()
+            };
+            for (k, v) in obj_pairs(row.field("fields"), "fields")? {
+                r.fields
+                    .push((k.clone(), v.as_i64().ok_or_else(|| bad("bad field"))?));
+            }
+            for (k, v) in obj_pairs(row.field("times_s"), "times_s")? {
+                r.times_s
+                    .push((k.clone(), v.as_f64().ok_or_else(|| bad("bad time"))?));
+            }
+            for (name, p) in obj_pairs(row.field("phases_us"), "phases_us")? {
+                let num = |k: &str| -> Result<u64, JsonError> {
+                    match p.field(k).and_then(Json::as_i64) {
+                        Some(n) if n >= 0 => Ok(n as u64),
+                        _ => Err(bad(&format!("phase `{name}` missing `{k}`"))),
+                    }
+                };
+                let (count, total_us, self_us) = (num("count")?, num("total_us")?, num("self_us")?);
+                r.phases.push(PhaseRow {
+                    name,
+                    count,
+                    total_us,
+                    self_us,
+                });
+            }
+            r.counters = u64_pairs(row.field("counters"), "counters")?;
+            report.rows.push(r);
+        }
+        for p in doc
+            .field("points")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("`points` is not an array"))?
+        {
+            let num = |k: &str| -> Result<u64, JsonError> {
+                match p.field(k).and_then(Json::as_i64) {
+                    Some(n) if n >= 0 => Ok(n as u64),
+                    _ => Err(bad(&format!("point missing `{k}`"))),
+                }
+            };
+            report.points.push((num("trace_ops")?, num("slice_ops")?));
+        }
+        Ok(report)
+    }
+
+    /// Writes `BENCH_<bench>.json` into the current directory and
+    /// returns the path written.
+    pub fn write(&self) -> std::io::Result<String> {
+        let path = format!("BENCH_{}.json", self.bench);
+        std::fs::write(&path, self.to_json().to_text() + "\n")?;
+        Ok(path)
+    }
+}
+
+/// The shared `--json` epilogue for bench binaries: capture global
+/// counters, write `BENCH_<bench>.json`, and report on stderr.
+pub fn finish_json_report(mut report: BenchReport) {
+    report.capture_counters();
+    match report.write() {
+        Ok(path) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("cannot write BENCH_{}.json: {e}", report.bench),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        let mut rep = BenchReport::new("table1", "medium");
+        rep.config("jobs", Json::Num(4));
+        rep.config("time_budget_s", Json::Float(60.0));
+        rep.config("reducer", Json::Str("path-slice".into()));
+        rep.rows.push(Row {
+            name: "fcron".into(),
+            variant: "default".into(),
+            fields: vec![("loc".into(), 1803), ("safe".into(), 7)],
+            times_s: vec![("total".into(), 1.25)],
+            phases: vec![PhaseRow {
+                name: "reach".into(),
+                count: 9,
+                total_us: 123_456,
+                self_us: 120_000,
+            }],
+            counters: vec![("lia.checks".into(), 321)],
+        });
+        rep.points.push((5211, 12));
+        rep.counters = vec![("lia.checks".into(), 321), ("slice.edges_kept".into(), 44)];
+        rep
+    }
+
+    #[test]
+    fn report_round_trips_through_parser() {
+        let rep = sample();
+        let text = rep.to_json().to_text();
+        let back = BenchReport::from_json(&text).unwrap();
+        assert_eq!(rep, back);
+        // And the Json tree itself survives a re-parse unchanged.
+        assert_eq!(Json::parse(&text).unwrap(), rep.to_json());
+    }
+
+    #[test]
+    fn schema_marker_is_checked() {
+        let err = BenchReport::from_json("{\"schema\":\"nope\"}").unwrap_err();
+        assert!(err.message.contains("pathslice-bench"), "{err}");
+    }
+
+    #[test]
+    fn row_from_program_carries_retries() {
+        let row = ProgramRow {
+            name: "x".into(),
+            seed: 7,
+            loc: 1,
+            procedures: 1,
+            checks: 1,
+            sites: 1,
+            safe: 1,
+            errors: 0,
+            timeouts: 0,
+            internal_errors: 0,
+            mismatches: 0,
+            total_time: std::time::Duration::from_millis(10),
+            max_time: std::time::Duration::from_millis(10),
+            refinements: 2,
+            abstract_states: 5,
+            retries: 3,
+            degraded: 1,
+            phases: Default::default(),
+            counters: Default::default(),
+            traces: Vec::new(),
+        };
+        let r = Row::from_program(&row, "default");
+        let get = |k: &str| r.fields.iter().find(|(n, _)| n == k).unwrap().1;
+        assert_eq!(get("retries"), 3);
+        assert_eq!(get("degraded"), 1);
+    }
+}

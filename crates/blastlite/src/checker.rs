@@ -316,16 +316,19 @@ impl<'a> Checker<'a> {
                     &pool
                 );
             }
-            let result = reachable_with(
-                program,
-                self.analyses,
-                &mut pool,
-                targets,
-                self.config.max_states,
-                &budget,
-                self.config.search_order,
-                self.config.scoped_predicates,
-            );
+            let result = {
+                let _s = obs::span!("reach", "round {refinements}");
+                reachable_with(
+                    program,
+                    self.analyses,
+                    &mut pool,
+                    targets,
+                    self.config.max_states,
+                    &budget,
+                    self.config.search_order,
+                    self.config.scoped_predicates,
+                )
+            };
             abstract_states += result.explored();
             let path = match result {
                 ReachResult::Safe { .. } => {
@@ -342,19 +345,24 @@ impl<'a> Checker<'a> {
             };
 
             // Reduce the abstract counterexample.
-            let (slice_edges, already_unsat) = match self.config.reducer {
-                Reducer::Identity => (path.edges().to_vec(), false),
-                Reducer::PathSlice(opts) => match slicer.slice_under(&path, opts.into(), &budget) {
-                    Ok(r) => (r.edges, r.stopped_unsat),
-                    Err(i) => {
-                        return finish!(
-                            CheckOutcome::Timeout(TimeoutReason::from_interrupt(i)),
-                            refinements,
-                            traces,
-                            &pool
-                        );
+            let (slice_edges, already_unsat) = {
+                let _s = obs::span!("slice", "round {refinements} ({} ops)", path.len());
+                match self.config.reducer {
+                    Reducer::Identity => (path.edges().to_vec(), false),
+                    Reducer::PathSlice(opts) => {
+                        match slicer.slice_under(&path, opts.into(), &budget) {
+                            Ok(r) => (r.edges, r.stopped_unsat),
+                            Err(i) => {
+                                return finish!(
+                                    CheckOutcome::Timeout(TimeoutReason::from_interrupt(i)),
+                                    refinements,
+                                    traces,
+                                    &pool
+                                );
+                            }
+                        }
                     }
-                },
+                }
             };
             traces.push(TraceRecord {
                 trace_ops: path.len(),
@@ -366,18 +374,23 @@ impl<'a> Checker<'a> {
             // unsat verdict comes with per-operation granularity for
             // core extraction.
             let ops: Vec<&Op> = slice_edges.iter().map(|&e| &program.edge(e).op).collect();
-            let mut enc = TraceEncoder::new(self.analyses.alias());
-            let mut parts: Vec<(usize, Formula)> = Vec::new();
-            for (i, op) in ops.iter().enumerate().rev() {
-                let f = enc.op_backward(op);
-                if f != Formula::True {
-                    parts.push((i, f));
+            let (parts, conj) = {
+                let _s = obs::span!("encode", "round {refinements} ({} ops)", ops.len());
+                let mut enc = TraceEncoder::new(self.analyses.alias());
+                let mut parts: Vec<(usize, Formula)> = Vec::new();
+                for (i, op) in ops.iter().enumerate().rev() {
+                    let f = enc.op_backward(op);
+                    if f != Formula::True {
+                        parts.push((i, f));
+                    }
                 }
-            }
-            let conj = Formula::And(parts.iter().map(|(_, f)| f.clone()).collect());
+                let conj = Formula::And(parts.iter().map(|(_, f)| f.clone()).collect());
+                (parts, conj)
+            };
             let verdict = if already_unsat {
                 SatResult::Unsat
             } else {
+                let _s = obs::span!("solve", "round {refinements} ({} parts)", parts.len());
                 solver.check(&conj)
             };
             match verdict {
@@ -406,6 +419,8 @@ impl<'a> Checker<'a> {
                     // set (our stand-in for BLAST's proof-based
                     // predicate discovery), falling back to the whole
                     // reduced trace if the core yields nothing new.
+                    let _s = obs::span!("refine", "round {refinements}");
+                    obs::counter("checker.rounds").inc();
                     let core = unsat_core(&solver, &parts, &budget);
                     rounds.push(RefutationRound {
                         slice: slice_edges.clone(),
@@ -527,6 +542,7 @@ pub fn check_program(analyses: &Analyses<'_>, config: CheckerConfig) -> Vec<Clus
             continue;
         }
         let checker = Checker::new(analyses, config);
+        let _s = obs::span!("check", "cluster {}", cfa.name());
         let report = checker.check(cfa.error_locs());
         out.push(ClusterReport {
             func: cfa.func(),

@@ -210,6 +210,53 @@ pub struct DriverReport {
     pub jobs: usize,
 }
 
+impl DriverClusterReport {
+    /// Retry attempts beyond the first (0 = the first attempt stood).
+    pub fn retries(&self) -> usize {
+        self.attempts.len().saturating_sub(1)
+    }
+
+    /// Whether the final verdict came from a degraded configuration —
+    /// a retry that swapped the reducer for a cheaper rung of the
+    /// ladder (budget-only escalations do not count).
+    pub fn degraded(&self) -> bool {
+        match (self.attempts.first(), self.attempts.last()) {
+            (Some(first), Some(last)) => last.reducer != first.reducer,
+            _ => false,
+        }
+    }
+}
+
+/// Aggregate attempt accounting for one driver run, so degraded runs
+/// are visible in summaries without parsing `InternalError` payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DriverSummary {
+    /// Clusters checked.
+    pub clusters: usize,
+    /// Retry attempts beyond each cluster's first (total re-runs).
+    pub retries: usize,
+    /// Clusters that needed at least one retry.
+    pub retried_clusters: usize,
+    /// Clusters whose final verdict came from a degraded reducer.
+    pub degraded_clusters: usize,
+    /// Clusters whose final outcome is an `InternalError`.
+    pub internal_errors: usize,
+}
+
+impl fmt::Display for DriverSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cluster(s): {} retry(ies) across {} cluster(s), {} degraded, {} internal error(s)",
+            self.clusters,
+            self.retries,
+            self.retried_clusters,
+            self.degraded_clusters,
+            self.internal_errors
+        )
+    }
+}
+
 impl DriverReport {
     /// The per-cluster reports, shaped like [`crate::check_program`]'s
     /// return value.
@@ -222,6 +269,24 @@ impl DriverReport {
         self.clusters
             .iter()
             .map(|c| (c.cluster.func_name.as_str(), &c.cluster.report.outcome))
+    }
+
+    /// Attempt accounting across the whole run.
+    pub fn summary(&self) -> DriverSummary {
+        let mut s = DriverSummary {
+            clusters: self.clusters.len(),
+            ..DriverSummary::default()
+        };
+        for c in &self.clusters {
+            s.retries += c.retries();
+            s.retried_clusters += usize::from(c.retries() > 0);
+            s.degraded_clusters += usize::from(c.degraded());
+            s.internal_errors += usize::from(matches!(
+                c.cluster.report.outcome,
+                CheckOutcome::InternalError { .. }
+            ));
+        }
+        s
     }
 }
 
@@ -337,6 +402,7 @@ fn validate_cluster(
     cluster: &DriverClusterReport,
 ) -> Option<CheckOutcome> {
     let validator = driver.validator.as_ref()?;
+    let _span = obs::span!("validate", "cluster {}", cluster.cluster.func_name);
     match catch_unwind_silent(|| (validator.0)(analyses, cluster)) {
         Ok(verdict) => verdict,
         Err(payload) => Some(CheckOutcome::InternalError {
@@ -368,6 +434,7 @@ fn run_cluster(
         if !driver.retry.should_retry(&report.outcome, attempt) {
             return (report, attempts);
         }
+        obs::counter("driver.retries").inc();
         attempt += 1;
     }
 }
@@ -381,6 +448,7 @@ fn run_attempt(
     name: &str,
     targets: &[Loc],
 ) -> CheckReport {
+    let _span = obs::span!("attempt", "cluster {name}");
     let t0 = Instant::now();
     let outer = match &driver.cancel {
         Some(token) => Budget::unlimited().with_token(token.clone()),
@@ -411,9 +479,11 @@ fn run_attempt(
             phase.set(ph);
             match driver.faults.fire(site, name) {
                 Some(FaultKind::SolverUnknown) => {
+                    obs::counter("driver.faults_forced").inc();
                     return forced(TimeoutReason::SolverGaveUp);
                 }
                 Some(FaultKind::BudgetExhaust) => {
+                    obs::counter("driver.faults_forced").inc();
                     return forced(if site == FaultSite::ReachStep {
                         TimeoutReason::StateBudget
                     } else {
@@ -432,18 +502,21 @@ fn run_attempt(
     });
     match result {
         Ok(report) => report,
-        Err(payload) => CheckReport {
-            outcome: CheckOutcome::InternalError {
-                payload: panic_payload(&*payload),
-                phase: phase.get().to_owned(),
-            },
-            refinements: 0,
-            traces: Vec::new(),
-            rounds: Vec::new(),
-            wall: t0.elapsed(),
-            n_predicates: 0,
-            abstract_states: 0,
-        },
+        Err(payload) => {
+            obs::counter("driver.panics_isolated").inc();
+            CheckReport {
+                outcome: CheckOutcome::InternalError {
+                    payload: panic_payload(&*payload),
+                    phase: phase.get().to_owned(),
+                },
+                refinements: 0,
+                traces: Vec::new(),
+                rounds: Vec::new(),
+                wall: t0.elapsed(),
+                n_predicates: 0,
+                abstract_states: 0,
+            }
+        }
     }
 }
 

@@ -26,7 +26,6 @@
 //! yields [`CheckOutcome::Timeout`], which is exactly how the paper's
 //! "without path slicing, the analysis does not scale" manifests here
 //! (ablation A1 in `DESIGN.md`).
-
 //!
 //! # Example
 //!
@@ -56,6 +55,6 @@ pub use checker::{
 };
 pub use driver::{
     run_clusters, Attempt, ClusterValidator, DriverClusterReport, DriverConfig, DriverReport,
-    RetryPolicy,
+    DriverSummary, RetryPolicy,
 };
 pub use reach::SearchOrder;

@@ -118,12 +118,16 @@ pub fn reachable_with(
     // call stack — so memoizing them collapses the dominant cost of
     // exploration (states mostly differ in stack context).
     let mut post_cache: HashMap<(EdgeId, Valuation), Option<Valuation>> = HashMap::new();
+    let cache_hits = obs::counter("reach.post_cache_hits");
+    let cache_misses = obs::counter("reach.post_cache_misses");
+    let states = obs::counter("reach.states");
 
     while let Some(ni) = match order {
         SearchOrder::Bfs => queue.pop_front(),
         SearchOrder::Dfs => queue.pop_back(),
     } {
         if nodes.len() > max_states || budget.poll().is_err() {
+            states.add(nodes.len() as u64);
             return ReachResult::BudgetExceeded {
                 explored: nodes.len(),
             };
@@ -131,6 +135,7 @@ pub fn reachable_with(
         let (state, _) = nodes[ni].clone();
         if targets.contains(&state.loc) {
             let explored = nodes.len();
+            states.add(explored as u64);
             return ReachResult::ErrorPath {
                 path: reconstruct(program, &nodes, ni),
                 explored,
@@ -146,10 +151,18 @@ pub fn reachable_with(
             let succ: Option<AbsState> = match &edge.op {
                 Op::Assume(p) => {
                     let key = (eid, state.vals.clone());
-                    let vals = post_cache
-                        .entry(key)
-                        .or_insert_with(|| pool.post_assume(&state.vals, p))
-                        .clone();
+                    let vals = match post_cache.get(&key) {
+                        Some(v) => {
+                            cache_hits.inc();
+                            v.clone()
+                        }
+                        None => {
+                            cache_misses.inc();
+                            let v = pool.post_assume(&state.vals, p);
+                            post_cache.insert(key, v.clone());
+                            v
+                        }
+                    };
                     vals.map(|vals| AbsState {
                         loc: edge.dst,
                         stack: state.stack.clone(),
@@ -179,11 +192,19 @@ pub fn reachable_with(
                     // always `Some`; if the cache ever held a stale `None`
                     // (it is shared with the assume arm by key shape),
                     // recompute rather than panic on the checker path.
-                    let vals = post_cache
-                        .entry(key)
-                        .or_insert_with(|| Some(pool.post_op(analyses, &state.vals, op)))
-                        .clone()
-                        .unwrap_or_else(|| pool.post_op(analyses, &state.vals, op));
+                    let cached = match post_cache.get(&key) {
+                        Some(v) => {
+                            cache_hits.inc();
+                            v.clone()
+                        }
+                        None => {
+                            cache_misses.inc();
+                            let v = Some(pool.post_op(analyses, &state.vals, op));
+                            post_cache.insert(key, v.clone());
+                            v
+                        }
+                    };
+                    let vals = cached.unwrap_or_else(|| pool.post_op(analyses, &state.vals, op));
                     Some(AbsState {
                         loc: edge.dst,
                         stack: state.stack.clone(),
@@ -203,6 +224,7 @@ pub fn reachable_with(
             }
         }
     }
+    states.add(nodes.len() as u64);
     ReachResult::Safe {
         explored: nodes.len(),
     }

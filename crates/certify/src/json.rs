@@ -10,7 +10,8 @@ use crate::{
     BugCertificate, Certificate, DegradedCertificate, LedgerEntry, RoundEvidence, SafeCertificate,
 };
 use cfa::{EdgeId, FuncId, VarId};
-use std::fmt::Write as _;
+use obs::json::Json;
+pub use obs::json::JsonError;
 
 /// One cluster's claimed verdict plus its certificate.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,265 +32,6 @@ pub struct TraceFile {
     pub source: String,
     /// One entry per checked cluster.
     pub clusters: Vec<ClusterCert>,
-}
-
-/// A parse error, with a byte offset into the input.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct JsonError {
-    /// What went wrong.
-    pub message: String,
-    /// Byte offset of the error.
-    pub at: usize,
-}
-
-impl std::fmt::Display for JsonError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} (at byte {})", self.message, self.at)
-    }
-}
-
-impl std::error::Error for JsonError {}
-
-// ---------------------------------------------------------------------
-// Generic JSON value
-// ---------------------------------------------------------------------
-
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum Json {
-    Bool(bool),
-    Num(i64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn emit(&self, out: &mut String) {
-        match self {
-            Json::Bool(b) => {
-                let _ = write!(out, "{b}");
-            }
-            Json::Num(n) => {
-                let _ = write!(out, "{n}");
-            }
-            Json::Str(s) => emit_str(s, out),
-            Json::Arr(items) => {
-                out.push('[');
-                for (i, it) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    it.emit(out);
-                }
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                out.push('{');
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    emit_str(k, out);
-                    out.push(':');
-                    v.emit(out);
-                }
-                out.push('}');
-            }
-        }
-    }
-
-    fn field<'a>(&'a self, name: &str) -> Option<&'a Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-}
-
-fn emit_str(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-struct Parser<'s> {
-    bytes: &'s [u8],
-    pos: usize,
-}
-
-impl<'s> Parser<'s> {
-    fn err<T>(&self, message: impl Into<String>) -> Result<T, JsonError> {
-        Err(JsonError {
-            message: message.into(),
-            at: self.pos,
-        })
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
-        self.skip_ws();
-        if self.bytes.get(self.pos) == Some(&b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            self.err(format!("expected `{}`", b as char))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, JsonError> {
-        self.skip_ws();
-        match self.bytes.get(self.pos) {
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b'[') => {
-                self.pos += 1;
-                let mut items = Vec::new();
-                self.skip_ws();
-                if self.bytes.get(self.pos) == Some(&b']') {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                loop {
-                    items.push(self.value()?);
-                    self.skip_ws();
-                    match self.bytes.get(self.pos) {
-                        Some(b',') => self.pos += 1,
-                        Some(b']') => {
-                            self.pos += 1;
-                            return Ok(Json::Arr(items));
-                        }
-                        _ => return self.err("expected `,` or `]`"),
-                    }
-                }
-            }
-            Some(b'{') => {
-                self.pos += 1;
-                let mut fields = Vec::new();
-                self.skip_ws();
-                if self.bytes.get(self.pos) == Some(&b'}') {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                loop {
-                    self.skip_ws();
-                    let key = self.string()?;
-                    self.expect(b':')?;
-                    fields.push((key, self.value()?));
-                    self.skip_ws();
-                    match self.bytes.get(self.pos) {
-                        Some(b',') => self.pos += 1,
-                        Some(b'}') => {
-                            self.pos += 1;
-                            return Ok(Json::Obj(fields));
-                        }
-                        _ => return self.err("expected `,` or `}`"),
-                    }
-                }
-            }
-            Some(b't') if self.bytes[self.pos..].starts_with(b"true") => {
-                self.pos += 4;
-                Ok(Json::Bool(true))
-            }
-            Some(b'f') if self.bytes[self.pos..].starts_with(b"false") => {
-                self.pos += 5;
-                Ok(Json::Bool(false))
-            }
-            Some(b'-' | b'0'..=b'9') => self.number(),
-            _ => self.err("expected a JSON value"),
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, JsonError> {
-        let start = self.pos;
-        if self.bytes.get(self.pos) == Some(&b'-') {
-            self.pos += 1;
-        }
-        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are UTF-8");
-        match text.parse::<i64>() {
-            Ok(n) => Ok(Json::Num(n)),
-            Err(_) => self.err("integer out of range"),
-        }
-    }
-
-    fn string(&mut self) -> Result<String, JsonError> {
-        self.skip_ws();
-        if self.bytes.get(self.pos) != Some(&b'"') {
-            return self.err("expected a string");
-        }
-        self.pos += 1;
-        let mut out = String::new();
-        loop {
-            match self.bytes.get(self.pos) {
-                None => return self.err("unterminated string"),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.bytes.get(self.pos) {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .and_then(char::from_u32);
-                            match hex {
-                                Some(c) => {
-                                    out.push(c);
-                                    self.pos += 4;
-                                }
-                                None => return self.err("bad \\u escape"),
-                            }
-                        }
-                        _ => return self.err("bad escape"),
-                    }
-                    self.pos += 1;
-                }
-                Some(&b) if b < 0x80 => {
-                    out.push(b as char);
-                    self.pos += 1;
-                }
-                Some(_) => {
-                    // Multi-byte UTF-8: copy the whole scalar.
-                    let rest =
-                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| JsonError {
-                            message: "invalid UTF-8".to_owned(),
-                            at: self.pos,
-                        })?;
-                    let c = rest.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
 }
 
 // ---------------------------------------------------------------------
@@ -565,15 +307,7 @@ fn cert_from(j: &Json) -> Result<Certificate, JsonError> {
 /// the trace-file schema (unknown version, missing fields, wrong
 /// types).
 pub fn from_json(text: &str) -> Result<TraceFile, JsonError> {
-    let mut p = Parser {
-        bytes: text.as_bytes(),
-        pos: 0,
-    };
-    let doc = p.value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return p.err("trailing data after the document");
-    }
+    let doc = Json::parse(text)?;
     match doc.field("version") {
         Some(Json::Num(1)) => {}
         _ => {

@@ -34,6 +34,31 @@
 //! sites ([`FaultSite::CertWitness`], [`FaultSite::CertCore`],
 //! [`FaultSite::CertSlice`]) let the chaos suite prove the validator
 //! catches exactly the corrupted clusters.
+//!
+//! # Worked example
+//!
+//! Check a one-cluster program, certify the verdict, and validate the
+//! certificate independently:
+//!
+//! ```
+//! use blastlite::{run_clusters, CheckerConfig, DriverConfig};
+//! use certify::{certify_cluster, validate};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let src = "global a; fn main() { if (a > 0) { error(); } }";
+//! let program = cfa::lower(&imp::parse(src)?)?;
+//! let analyses = dataflow::Analyses::build(&program);
+//!
+//! let report = run_clusters(&program, CheckerConfig::default(), &DriverConfig::sequential());
+//! let cluster = &report.clusters[0];
+//! assert!(cluster.cluster.report.outcome.is_bug());
+//!
+//! let cert = certify_cluster(&analyses, cluster)?;
+//! let verdict = validate(&analyses, &cert, &cluster.cluster.report.outcome.kind_label());
+//! assert!(verdict.is_confirmed());
+//! # Ok(())
+//! # }
+//! ```
 
 use blastlite::{CheckOutcome, ClusterValidator, DriverClusterReport, DriverReport};
 use cfa::{CBool, CLval, EdgeId, Op, Program, VarId};
@@ -207,6 +232,8 @@ pub fn certify_cluster(
     analyses: &Analyses<'_>,
     cluster: &DriverClusterReport,
 ) -> Result<Certificate, CertifyError> {
+    let _span = obs::span!("certify", "cluster {}", cluster.cluster.func_name);
+    obs::counter("cert.certificates_built").inc();
     let program = analyses.program();
     let func_name = cluster.cluster.func_name.clone();
     match &cluster.cluster.report.outcome {
@@ -298,6 +325,15 @@ pub fn corrupt(cert: &mut Certificate, plan: &FaultPlan) -> Vec<String> {
 /// certificate is supposed to support
 /// ([`CheckOutcome::kind_label`]-style).
 pub fn validate(analyses: &Analyses<'_>, cert: &Certificate, claimed: &str) -> Validation {
+    obs::counter("cert.validations").inc();
+    let v = validate_inner(analyses, cert, claimed);
+    if matches!(v, Validation::Mismatch { .. }) {
+        obs::counter("cert.mismatches").inc();
+    }
+    v
+}
+
+fn validate_inner(analyses: &Analyses<'_>, cert: &Certificate, claimed: &str) -> Validation {
     match cert {
         Certificate::Bug(b) => {
             if claimed != "Bug" {

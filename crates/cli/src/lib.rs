@@ -4,6 +4,7 @@
 //! pathslice check <file.imp> [--no-slicing] [--timeout <secs>] [--dfs]
 //!                            [--jobs <n>] [--retries <k>]
 //!                            [--validate] [--cert <trace.json>]
+//!                            [--stats] [--trace-out <spans.json>]
 //! pathslice slice <file.imp> [--skip-functions] [--no-early-unsat]
 //! pathslice run   <file.imp> [--input v1,v2,...] [--fuel <n>]
 //! pathslice dot   <file.imp> [<function>]
@@ -17,7 +18,9 @@
 //!   `--validate` runs the independent certificate validator on every
 //!   verdict and downgrades unconfirmed ones to `MISMATCH`; `--cert`
 //!   writes the certificates (with the source embedded) to a portable
-//!   trace file.
+//!   trace file. `--stats` enables the observability layer and appends
+//!   a per-phase timing table plus the metric counters; `--trace-out`
+//!   dumps the raw span tree as `pathslice-spans/v1` JSON.
 //! * `slice` — take the first abstract error path the checker's
 //!   reachability produces and print its path slice with reasons.
 //! * `run` — execute the program concretely with the given `nondet()`
@@ -64,6 +67,7 @@ USAGE:
     pathslice check <file.imp> [--no-slicing] [--timeout <secs>] [--dfs]
                                [--jobs <n>] [--retries <k>]
                                [--validate] [--cert <trace.json>]
+                               [--stats] [--trace-out <spans.json>]
     pathslice slice <file.imp> [--skip-functions] [--no-early-unsat]
     pathslice run   <file.imp> [--input v1,v2,...] [--fuel <n>]
     pathslice dot   <file.imp> [<function>]
@@ -85,6 +89,11 @@ fn compile_source(src: &str, origin: &str) -> Result<(Program, String), String> 
 
 fn cmd_check(args: &[String], out: &mut String) -> Result<i32, String> {
     let (file, flags) = split_flags(args)?;
+    let stats = flags.iter().any(|f| f == "--stats");
+    let trace_out = flag_value(&flags, "--trace-out")?;
+    if stats || trace_out.is_some() {
+        pathslicing::obs::set_enabled(true);
+    }
     let src = std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
     let (program, src) = compile_source(&src, &file)?;
     let mut config = CheckerConfig {
@@ -133,9 +142,11 @@ fn cmd_check(args: &[String], out: &mut String) -> Result<i32, String> {
             trace.clusters.len()
         );
     }
+    let summary = driver_report.summary();
     let reports = driver_report.into_cluster_reports();
     if reports.is_empty() {
         let _ = writeln!(out, "no error locations — nothing to check");
+        emit_obs(out, stats, trace_out.as_deref(), &summary)?;
         return Ok(0);
     }
     let mut worst = 0;
@@ -179,7 +190,63 @@ fn cmd_check(args: &[String], out: &mut String) -> Result<i32, String> {
             let _ = writeln!(out, "    certificate rejected: {reason}");
         }
     }
+    emit_obs(out, stats, trace_out.as_deref(), &summary)?;
     Ok(worst)
+}
+
+/// The `check` epilogue for `--stats` / `--trace-out`: drains the span
+/// buffer, optionally dumps it as `pathslice-spans/v1` JSON, and
+/// optionally appends the phase-timing table, the counters, and the
+/// driver's retry summary.
+fn emit_obs(
+    out: &mut String,
+    stats: bool,
+    trace_out: Option<&str>,
+    summary: &pathslicing::blastlite::DriverSummary,
+) -> Result<(), String> {
+    use pathslicing::obs;
+    // Surface retries even without --stats: a silently degraded verdict
+    // is exactly what a per-run summary exists to catch.
+    if summary.retries > 0 && !stats {
+        let _ = writeln!(out, "# driver: {summary}");
+    }
+    if !stats && trace_out.is_none() {
+        return Ok(());
+    }
+    let spans = obs::take_spans();
+    if let Some(path) = trace_out {
+        std::fs::write(path, obs::spans_to_json(&spans))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = writeln!(out, "wrote {} span(s) to {path}", spans.len());
+    }
+    if stats {
+        let _ = writeln!(out, "\n== phases ==");
+        let _ = writeln!(
+            out,
+            "{:<12} {:>7} {:>12} {:>12}",
+            "phase", "count", "total(ms)", "self(ms)"
+        );
+        for (name, s) in obs::phase_totals(&spans) {
+            let _ = writeln!(
+                out,
+                "{:<12} {:>7} {:>12.3} {:>12.3}",
+                name,
+                s.count,
+                s.total_us as f64 / 1000.0,
+                s.self_us as f64 / 1000.0
+            );
+        }
+        let _ = writeln!(out, "\n== counters ==");
+        for (name, v) in obs::counters() {
+            let _ = writeln!(out, "{name:<28} {v:>12}");
+        }
+        for (name, h) in obs::histograms() {
+            let _ = writeln!(out, "{:<28} {:>12} obs, sum {}", name, h.count, h.sum);
+        }
+        let _ = writeln!(out, "\n== driver ==");
+        let _ = writeln!(out, "{summary}");
+    }
+    Ok(())
 }
 
 fn cmd_validate(args: &[String], out: &mut String) -> Result<i32, String> {
@@ -552,6 +619,24 @@ mod tests {
                 "{name}"
             );
         }
+    }
+
+    #[test]
+    fn stats_and_trace_out_report_phases() {
+        let f = write_temp("stats.imp", BUGGY);
+        let spans_path = write_temp("stats.spans.json", "");
+        let (code, out) = run_ok(&["check", &f, "--stats", "--trace-out", &spans_path]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("== phases =="), "{out}");
+        assert!(out.contains("attempt"), "{out}");
+        assert!(out.contains("== counters =="), "{out}");
+        assert!(out.contains("lia.checks"), "{out}");
+        assert!(out.contains("== driver =="), "{out}");
+        // The span dump round-trips through the hand-rolled parser.
+        let text = std::fs::read_to_string(&spans_path).unwrap();
+        let parsed = pathslicing::obs::spans_from_json(&text).unwrap();
+        assert!(!parsed.is_empty(), "{text}");
+        assert!(parsed.iter().any(|s| s.name == "attempt"), "{parsed:?}");
     }
 
     #[test]

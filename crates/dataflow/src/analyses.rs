@@ -202,8 +202,10 @@ impl<'p> Analyses<'p> {
                 .unwrap_or_else(|poisoned| poisoned.into_inner())
         };
         if let Some(set) = lock().get(&avoid) {
+            obs::counter("by.memo_hits").inc();
             return set.contains(pc.idx as usize);
         }
+        obs::counter("by.memo_misses").inc();
         // Miss: run the fixpoint *outside* the lock so concurrent driver
         // workers never stall behind each other's By computations
         // (compute_by is pure, so a racing duplicate is harmless).

@@ -128,6 +128,7 @@ impl Solver {
 
     /// Decides satisfiability of `f`.
     pub fn check(&self, f: &Formula) -> SatResult {
+        obs::counter("lia.checks").inc();
         *self.current.borrow_mut() = {
             let attached = self.attached.borrow();
             match self.cfg.time_budget {
@@ -138,6 +139,7 @@ impl Solver {
         let nnf = f.simplify().to_nnf();
         let mut splits = 0usize;
         let result = self.split(&mut Vec::new(), &mut vec![nnf], &mut splits);
+        obs::counter("lia.splits").add(splits as u64);
         // Verify any model against the *original* formula.
         match result {
             SatResult::Sat(m) => {
@@ -424,6 +426,7 @@ impl Solver {
     /// `None` if the system is unsatisfiable.
     #[allow(clippy::type_complexity)]
     fn fm_eliminate(&self, mut les: Vec<LinTerm>) -> Res<Option<Vec<(SymId, Vec<LinTerm>)>>> {
+        let fm_pairings = obs::counter("lia.fm_pairings");
         let mut elim: Vec<(SymId, Vec<LinTerm>)> = Vec::new();
         loop {
             if self.expired() {
@@ -454,6 +457,7 @@ impl Solver {
                     if self.expired_fast() || new.len() > self.cfg.max_constraints {
                         return Err(Overflowed);
                     }
+                    fm_pairings.inc();
                     let a = u.coeff(x);
                     let b = l.coeff(x); // b < 0
                     let c = u

@@ -43,6 +43,7 @@ pub use cfa;
 pub use dataflow;
 pub use imp;
 pub use lia;
+pub use obs;
 pub use rt;
 pub use semantics;
 pub use slicer;

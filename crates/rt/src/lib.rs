@@ -19,6 +19,41 @@
 //! * [`FaultPlan`] — deterministic, seeded fault injection used by the
 //!   chaos test-suite to prove the driver's invariant that *no injected
 //!   fault can turn a non-Safe verdict into Safe*.
+//!
+//! Budget interrupts are counted into the `obs` metrics registry
+//! (`rt.interrupts_deadline` / `rt.interrupts_cancelled`), so an `obs`
+//! span that ends early shows *why* in the same report.
+//!
+//! # Worked example
+//!
+//! A cancellable, deadline-bounded loop — the pattern every solver and
+//! exploration loop in the workspace follows:
+//!
+//! ```
+//! use rt::{Budget, CancelToken, Interrupt};
+//! use std::time::Duration;
+//!
+//! let token = CancelToken::new();
+//! let budget = Budget::lasting(Duration::from_secs(30)).with_token(token.clone());
+//!
+//! // A worker polls the budget in its hot loop (strided: the clock is
+//! // read only every few polls) …
+//! let mut processed = 0;
+//! let outcome = loop {
+//!     if let Err(i) = budget.poll() {
+//!         break Err(i);
+//!     }
+//!     processed += 1;
+//!     if processed == 10_000 {
+//!         break Ok(processed);
+//!     }
+//!     // … meanwhile any thread may cancel cooperatively:
+//!     if processed == 5_000 {
+//!         token.cancel();
+//!     }
+//! };
+//! assert_eq!(outcome, Err(Interrupt::Cancelled));
+//! ```
 
 use std::any::Any;
 use std::cell::Cell;
@@ -82,7 +117,7 @@ const POLL_STRIDE: u32 = 128;
 pub struct Budget {
     deadline: Option<Instant>,
     token: Option<CancelToken>,
-    /// Strided polling: only read the clock every [`POLL_STRIDE`] polls.
+    /// Strided polling: only read the clock every `POLL_STRIDE` polls.
     polls: Cell<u32>,
 }
 
@@ -152,17 +187,19 @@ impl Budget {
     pub fn check(&self) -> Result<(), Interrupt> {
         if let Some(t) = &self.token {
             if t.is_cancelled() {
+                obs::counter("rt.interrupts_cancelled").inc();
                 return Err(Interrupt::Cancelled);
             }
         }
         if matches!(self.deadline, Some(d) if Instant::now() > d) {
+            obs::counter("rt.interrupts_deadline").inc();
             return Err(Interrupt::DeadlineExpired);
         }
         Ok(())
     }
 
     /// Strided check for hot loops: consults the token every call but
-    /// reads the clock only every [`POLL_STRIDE`] calls.
+    /// reads the clock only every `POLL_STRIDE` calls.
     pub fn poll(&self) -> Result<(), Interrupt> {
         if let Some(t) = &self.token {
             if t.is_cancelled() {
@@ -348,6 +385,7 @@ impl FaultPlan {
     pub fn fire(&self, site: FaultSite, key: &str) -> Option<FaultKind> {
         let kind = self.decide(site, key)?;
         self.fired.fetch_add(1, Ordering::Relaxed);
+        obs::counter("rt.faults_fired").inc();
         if kind == FaultKind::Panic {
             panic!("injected fault: panic at {site:?} for `{key}`");
         }

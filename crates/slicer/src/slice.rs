@@ -262,6 +262,12 @@ impl<'a> PathSlicer<'a> {
 
         kept_rev.reverse();
         reasons_rev.reverse();
+        obs::counter("slice.edges_kept").add(kept_rev.len() as u64);
+        obs::counter("slice.edges_dropped").add((edges.len() - kept_rev.len()) as u64);
+        if stopped_unsat {
+            obs::counter("slice.early_unsat_stops").inc();
+        }
+        obs::histogram("slice.kept_per_pass").observe(kept_rev.len() as u64);
         let slice_edges: Vec<EdgeId> = kept_rev.iter().map(|&k| edges[k]).collect();
         Ok(SliceResult {
             kept: kept_rev,

@@ -11,6 +11,9 @@ use pathslicing::workloads::{self, Scale};
 use std::time::{Duration, Instant};
 
 fn checker_config() -> CheckerConfig {
+    // The whole suite runs with spans + metrics on: tracing must never
+    // change a verdict, and the span buffer grows but stays bounded.
+    pathslicing::obs::set_enabled(true);
     CheckerConfig {
         time_budget: Duration::from_secs(45),
         ..CheckerConfig::default()
@@ -134,28 +137,42 @@ fn validation_confirms_table1_within_overhead_budget() {
         run_clusters(p, checker_config(), &DriverConfig::sequential());
     }
 
-    let t0 = Instant::now();
-    let plain: Vec<_> = programs
-        .iter()
-        .map(|(n, p)| {
-            (
-                n,
-                run_clusters(p, checker_config(), &DriverConfig::sequential()),
-            )
-        })
-        .collect();
-    let plain_wall = t0.elapsed();
+    let run_plain = || {
+        programs
+            .iter()
+            .map(|(n, p)| {
+                (
+                    n,
+                    run_clusters(p, checker_config(), &DriverConfig::sequential()),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let run_validated = || {
+        programs
+            .iter()
+            .map(|(n, p)| {
+                let driver = DriverConfig::sequential()
+                    .with_validator(certify::validator(FaultPlan::default()));
+                (n, run_clusters(p, checker_config(), &driver))
+            })
+            .collect::<Vec<_>>()
+    };
 
-    let t1 = Instant::now();
-    let validated: Vec<_> = programs
-        .iter()
-        .map(|(n, p)| {
-            let driver =
-                DriverConfig::sequential().with_validator(certify::validator(FaultPlan::default()));
-            (n, run_clusters(p, checker_config(), &driver))
-        })
-        .collect();
-    let validated_wall = t1.elapsed();
+    // Single-shot wall-clock is noisy on a contended single-CPU box;
+    // take the best of two passes per configuration (min is the
+    // noise-robust estimator — DESIGN.md §8) before forming the ratio.
+    fn timed<T>(f: impl Fn() -> T) -> (T, std::time::Duration) {
+        let t = Instant::now();
+        let v = f();
+        (v, t.elapsed())
+    }
+    let (_, p1) = timed(run_plain);
+    let (plain, p2) = timed(run_plain);
+    let plain_wall = p1.min(p2);
+    let (_, v1) = timed(run_validated);
+    let (validated, v2) = timed(run_validated);
+    let validated_wall = v1.min(v2);
 
     for ((name, base), (_, valid)) in plain.iter().zip(&validated) {
         for (b, v) in base.clusters.iter().zip(&valid.clusters) {

@@ -14,6 +14,10 @@ use proptest::prelude::*;
 use std::time::Duration;
 
 fn config() -> CheckerConfig {
+    // The whole chaos suite runs with spans + metrics on: injected
+    // panics and forced faults must not leak open spans or change
+    // verdicts while tracing is active.
+    pathslicing::obs::set_enabled(true);
     CheckerConfig {
         time_budget: Duration::from_secs(45),
         ..CheckerConfig::default()
