@@ -1,0 +1,297 @@
+//! Load generator for the `pathslice serve` daemon.
+//!
+//! Starts an in-process [`server::Server`], drives it over real TCP
+//! with a fleet of persistent NDJSON connections, and reports latency
+//! percentiles split by cache outcome — the experiment behind the
+//! analysis cache: repeat submissions of the same (or a reformatted)
+//! program must be measurably cheaper than cold ones.
+//!
+//! Usage:
+//!
+//! ```text
+//! serve_bench [small|medium|full]
+//!             [--requests <n>] [--concurrency <c>] [--repeat-ratio <r>]
+//!             [--rate <req/s>] [--seed <s>] [--server-jobs <n>]
+//!             [--json] [--smoke]
+//! ```
+//!
+//! Each request is a distinct generated workload program (seed-varied)
+//! with probability `1 - r`, or a re-submission of one already sent with
+//! probability `r`. Requests are classified *by the response's*
+//! `cache: hit|miss` field, so the split is ground truth from the
+//! daemon, not a guess from the schedule. With `--rate`, send times are
+//! fixed up front (open-loop: a late response makes the next sends
+//! burst, and the queueing shows up as latency); without it, each
+//! connection issues back-to-back.
+//!
+//! `--json` writes `BENCH_serve.json` (`pathslice-bench/v1`): rows
+//! `all` / `cached` / `cold` with `p50`/`p95`/`p99`/`total` in
+//! `times_s`. `--smoke` is the CI mode: 3 requests on 1 connection
+//! (the third repeats the first → must hit the cache), then asserts a
+//! clean drain and zero leaked threads.
+
+use obs::json::Json;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use server::{wire, Client, Server, ServerConfig};
+use std::time::{Duration, Instant};
+use workloads::gen::generate;
+use workloads::WorkloadSpec;
+
+/// One program per seed: small enough that a check is milliseconds, so
+/// the setup pipeline (parse → lower → analyses) the cache elides is a
+/// visible fraction of cold latency.
+fn spec(seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        name: format!("serve-{seed}"),
+        seed,
+        modules: 2,
+        helpers_per_module: 2,
+        loop_bound: 20,
+        driver_loops: 1,
+        wrapper_depth: 1,
+        buggy_modules: vec![1],
+        multi_site_modules: 1,
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    latency: Duration,
+    cache_hit: bool,
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn flag(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_flag<T: std::str::FromStr>(name: &str, default: T) -> T {
+    match flag(name) {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("bad {name} value `{v}`");
+            std::process::exit(64);
+        }),
+        None => default,
+    }
+}
+
+fn os_threads() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let json = bench::json_requested();
+    if json {
+        obs::set_enabled(true);
+    }
+    let scale = bench::scale_from_args();
+    let requests: usize = if smoke {
+        3
+    } else {
+        parse_flag("--requests", 40)
+    };
+    let concurrency: usize = if smoke {
+        1
+    } else {
+        parse_flag("--concurrency", 4).max(1)
+    };
+    let repeat_ratio: f64 = parse_flag("--repeat-ratio", 0.5);
+    let rate: f64 = parse_flag("--rate", 0.0);
+    let seed: u64 = parse_flag("--seed", 7);
+    let server_jobs: usize = parse_flag("--server-jobs", 4);
+
+    let threads_before = os_threads();
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        jobs: server_jobs,
+        ..ServerConfig::default()
+    })
+    .expect("bind bench server");
+    let addr = server.local_addr();
+    eprintln!(
+        "serve_bench: daemon on {addr}, {requests} request(s), {concurrency} connection(s), \
+         repeat-ratio {repeat_ratio}"
+    );
+
+    // The request schedule, decided up front and deterministic in
+    // --seed: each entry is the generating seed of the program to send.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sent: Vec<u64> = Vec::new();
+    let mut schedule: Vec<u64> = Vec::new();
+    for i in 0..requests {
+        if smoke {
+            // 3-request CI shape: two distinct programs, then repeat
+            // the first — a guaranteed cache hit.
+            schedule.push([seed, seed + 1, seed][i % 3]);
+            continue;
+        }
+        if !sent.is_empty() && rng.gen_bool(repeat_ratio) {
+            let idx: usize = rng.gen_range(0..sent.len());
+            schedule.push(sent[idx]);
+        } else {
+            let fresh = seed + schedule.len() as u64;
+            sent.push(fresh);
+            schedule.push(fresh);
+        }
+    }
+
+    // Fan the schedule out round-robin over the connection fleet.
+    let t0 = Instant::now();
+    let interval = if rate > 0.0 {
+        Some(Duration::from_secs_f64(1.0 / rate))
+    } else {
+        None
+    };
+    let handles: Vec<_> = (0..concurrency)
+        .map(|c| {
+            let mine: Vec<(usize, u64)> = schedule
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % concurrency == c)
+                .map(|(i, &s)| (i, s))
+                .collect();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut samples: Vec<Sample> = Vec::new();
+                let mut failures: Vec<String> = Vec::new();
+                for (i, program_seed) in mine {
+                    if let Some(interval) = interval {
+                        // Open-loop: request i is *due* at t0 + i·Δ; if
+                        // we are behind, send immediately (burst).
+                        let due = t0 + interval * i as u32;
+                        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                            std::thread::sleep(wait);
+                        }
+                    }
+                    let mut request = wire::Request::new(&generate(&spec(program_seed)).source);
+                    request.id = format!("r{i}");
+                    let sent_at = Instant::now();
+                    match client.request(&request) {
+                        Ok(wire::Response::Ok { cache_hit, .. }) => samples.push(Sample {
+                            latency: sent_at.elapsed(),
+                            cache_hit,
+                        }),
+                        Ok(other) => failures.push(format!("r{i}: {other:?}")),
+                        Err(e) => failures.push(format!("r{i}: {e}")),
+                    }
+                }
+                (samples, failures)
+            })
+        })
+        .collect();
+
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    for h in handles {
+        let (s, f) = h.join().expect("client thread");
+        samples.extend(s);
+        failures.extend(f);
+    }
+    let total = t0.elapsed();
+    let stats = server.shutdown();
+
+    for f in &failures {
+        eprintln!("request failed: {f}");
+    }
+
+    let split = |keep: Option<bool>| -> Vec<Duration> {
+        let mut v: Vec<Duration> = samples
+            .iter()
+            .filter(|s| keep.is_none_or(|k| s.cache_hit == k))
+            .map(|s| s.latency)
+            .collect();
+        v.sort();
+        v
+    };
+    let (all, cached, cold) = (split(None), split(Some(true)), split(Some(false)));
+    let throughput = samples.len() as f64 / total.as_secs_f64();
+
+    println!("# serve_bench — daemon latency under load (scale: {scale:?})");
+    println!(
+        "{:<8} {:>6} {:>12} {:>12} {:>12}",
+        "class", "n", "p50(ms)", "p95(ms)", "p99(ms)"
+    );
+    for (name, lat) in [("all", &all), ("cached", &cached), ("cold", &cold)] {
+        println!(
+            "{:<8} {:>6} {:>12.3} {:>12.3} {:>12.3}",
+            name,
+            lat.len(),
+            percentile(lat, 0.50).as_secs_f64() * 1000.0,
+            percentile(lat, 0.95).as_secs_f64() * 1000.0,
+            percentile(lat, 0.99).as_secs_f64() * 1000.0,
+        );
+    }
+    println!(
+        "throughput: {throughput:.1} req/s over {:.2} s | server: {stats}",
+        total.as_secs_f64()
+    );
+
+    if json {
+        let mut rep = bench::BenchReport::new("serve", bench::scale_name(scale));
+        rep.config("requests", Json::Num(requests as i64));
+        rep.config("concurrency", Json::Num(concurrency as i64));
+        rep.config("repeat_ratio", Json::Float(repeat_ratio));
+        rep.config("rate", Json::Float(rate));
+        rep.config("seed", Json::Num(seed as i64));
+        rep.config("server_jobs", Json::Num(server_jobs as i64));
+        for (name, lat) in [("all", &all), ("cached", &cached), ("cold", &cold)] {
+            rep.rows.push(bench::Row {
+                name: name.into(),
+                variant: "default".into(),
+                fields: vec![
+                    ("requests".into(), lat.len() as i64),
+                    ("failures".into(), failures.len() as i64),
+                    ("cache_hits".into(), stats.cache.hits as i64),
+                    ("cache_misses".into(), stats.cache.misses as i64),
+                    ("cache_evictions".into(), stats.cache.evictions as i64),
+                    ("overloaded".into(), stats.overloaded as i64),
+                    ("throughput_rps".into(), throughput.round() as i64),
+                ],
+                times_s: vec![
+                    ("p50".into(), percentile(lat, 0.50).as_secs_f64()),
+                    ("p95".into(), percentile(lat, 0.95).as_secs_f64()),
+                    ("p99".into(), percentile(lat, 0.99).as_secs_f64()),
+                    ("total".into(), total.as_secs_f64()),
+                ],
+                ..bench::Row::default()
+            });
+        }
+        bench::finish_json_report(rep);
+    }
+
+    if smoke {
+        // CI gate: every request answered, the repeat hit the cache,
+        // the drain was clean, and no thread leaked.
+        assert!(failures.is_empty(), "smoke: failures {failures:?}");
+        assert_eq!(samples.len(), 3, "smoke: lost responses");
+        assert_eq!(stats.requests, 3, "smoke: server accounting");
+        assert!(stats.cache.hits >= 1, "smoke: repeat request must hit");
+        assert_eq!(cached.len() as u64, stats.cache.hits, "smoke: hit split");
+        if let (Some(before), Some(after)) = (threads_before, os_threads()) {
+            assert_eq!(before, after, "smoke: leaked OS threads");
+        }
+        println!(
+            "smoke: OK (3 requests, {} cache hit(s), clean drain)",
+            stats.cache.hits
+        );
+    } else if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}

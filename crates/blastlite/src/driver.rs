@@ -138,6 +138,11 @@ pub struct DriverConfig {
     pub faults: FaultPlan,
     /// Cooperative cancellation for the whole run.
     pub cancel: Option<CancelToken>,
+    /// Hard wall-clock deadline for the whole run (request-level, on top
+    /// of each attempt's own `time_budget`). Attempts still running at
+    /// the deadline are interrupted through the same [`Budget`] plumbing
+    /// as cancellation; the server wires per-connection deadlines here.
+    pub deadline: Option<Instant>,
     /// When set, every cluster's final verdict is re-checked against its
     /// certificate and mismatches are downgraded — never silently
     /// trusted.
@@ -171,6 +176,12 @@ impl DriverConfig {
     /// Enables certificate validation of every worker result.
     pub fn with_validator(mut self, validator: ClusterValidator) -> Self {
         self.validator = Some(validator);
+        self
+    }
+
+    /// Sets a hard run-level deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 }
@@ -298,7 +309,23 @@ pub fn run_clusters(
     config: CheckerConfig,
     driver: &DriverConfig,
 ) -> DriverReport {
+    // One Analyses serves every worker (its By memo table is behind a
+    // Mutex), so adding jobs never duplicates the dataflow fixpoints.
+    let analyses = Analyses::build(program);
+    run_clusters_with(&analyses, config, driver)
+}
+
+/// [`run_clusters`] over prebuilt analyses. This is the entry point for
+/// long-lived callers ([`crate::Session`], the server's analysis cache):
+/// the `Analyses` fixpoints — and the `By` memo table they accumulate —
+/// survive across calls instead of being recomputed per run.
+pub fn run_clusters_with(
+    analyses: &Analyses<'_>,
+    config: CheckerConfig,
+    driver: &DriverConfig,
+) -> DriverReport {
     let t0 = Instant::now();
+    let program = analyses.program();
     let clusters: Vec<(cfa::FuncId, String, Vec<Loc>)> = program
         .cfas()
         .iter()
@@ -335,15 +362,12 @@ pub fn run_clusters(
         *results[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(cluster);
     };
 
-    // One Analyses serves every worker (its By memo table is behind a
-    // Mutex), so adding jobs never duplicates the dataflow fixpoints.
-    let analyses = Analyses::build(program);
     if jobs <= 1 {
-        work(&analyses);
+        work(analyses);
     } else {
         std::thread::scope(|s| {
             for _ in 0..jobs {
-                s.spawn(|| work(&analyses));
+                s.spawn(|| work(analyses));
             }
         });
     }
@@ -450,10 +474,13 @@ fn run_attempt(
 ) -> CheckReport {
     let _span = obs::span!("attempt", "cluster {name}");
     let t0 = Instant::now();
-    let outer = match &driver.cancel {
-        Some(token) => Budget::unlimited().with_token(token.clone()),
+    let mut outer = match driver.deadline {
+        Some(deadline) => Budget::until(deadline),
         None => Budget::unlimited(),
     };
+    if let Some(token) = &driver.cancel {
+        outer = outer.with_token(token.clone());
+    }
     // Injected faults are modelled at phase boundaries: each site is
     // consulted (deterministically, keyed by the cluster name) before
     // the phase it represents would run; `fire` panics for Panic-kind

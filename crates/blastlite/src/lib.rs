@@ -47,6 +47,7 @@ pub mod checker;
 pub mod driver;
 pub mod reach;
 pub mod refine;
+pub mod session;
 
 pub use abst::{PredicatePool, Valuation};
 pub use checker::{
@@ -54,7 +55,8 @@ pub use checker::{
     ReducerSliceOptions, RefutationRound, TimeoutReason, TraceRecord,
 };
 pub use driver::{
-    run_clusters, Attempt, ClusterValidator, DriverClusterReport, DriverConfig, DriverReport,
-    DriverSummary, RetryPolicy,
+    run_clusters, run_clusters_with, Attempt, ClusterValidator, DriverClusterReport, DriverConfig,
+    DriverReport, DriverSummary, RetryPolicy,
 };
 pub use reach::SearchOrder;
+pub use session::{render_verdicts, Session};

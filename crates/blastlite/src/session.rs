@@ -1,0 +1,268 @@
+//! A reusable check session: one compiled program plus its cached
+//! dataflow analyses, shareable across many driver runs.
+//!
+//! Every entry point used to redo the same setup per invocation: parse,
+//! lower, validate, `Analyses::build`, then check. A [`Session`] does
+//! that setup once and keeps the [`Analyses`] — including the lazily
+//! memoized `By` relation — alive across calls, so a long-running caller
+//! (the `pathslice serve` daemon, a REPL, a bench harness) pays the
+//! fixpoint cost once per *program*, not once per *request*. The batch
+//! CLI path (`pathslice check`) runs on the same object, so there is
+//! exactly one code path from source text to verdicts.
+//!
+//! Sessions are content-addressed: [`Session::key`] is a 64-bit FNV-1a
+//! hash of the *resolved* program (the parsed AST pretty-printed back to
+//! canonical source), so two requests that differ only in whitespace or
+//! comments share one cache entry.
+
+use crate::checker::{CheckOutcome, CheckerConfig, ClusterReport};
+use crate::driver::{run_clusters_with, DriverConfig, DriverReport};
+use cfa::Program;
+use dataflow::Analyses;
+use std::fmt::Write as _;
+
+/// A compiled program with long-lived analyses.
+///
+/// The struct is self-referential (`analyses` borrows `program`); the
+/// program lives in a `Box`, so its address is stable for the session's
+/// lifetime, and the field order guarantees the analyses drop first.
+#[derive(Debug)]
+pub struct Session {
+    /// Declared before `program`: dropped first, so the borrow it holds
+    /// never dangles.
+    analyses: Analyses<'static>,
+    program: Box<Program>,
+    source: String,
+    key: u64,
+}
+
+impl Session {
+    /// Compiles IMP source into a session. `origin` labels front-end
+    /// errors (a file path, or `"<request>"` for wire traffic) exactly
+    /// like the CLI does, so batch and served checks report identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns the rendered front-end error (with source snippet and
+    /// caret) on parse, lowering, or validation failure.
+    pub fn compile(src: &str, origin: &str) -> Result<Session, String> {
+        let ast = imp::parse(src).map_err(|e| format!("{origin}: {}", e.render(src)))?;
+        let key = fnv64(imp::pretty::program_to_string(&ast).as_bytes());
+        let program = cfa::lower(&ast).map_err(|e| format!("{origin}: {e}"))?;
+        cfa::validate(&program).map_err(|e| format!("{origin}: {e}"))?;
+        Ok(Session::new(program, src, key))
+    }
+
+    /// The content key `compile(src, ..)` would produce, without paying
+    /// for lowering or analysis — what a cache consults before deciding
+    /// whether to build a session at all.
+    ///
+    /// # Errors
+    ///
+    /// The rendered front-end parse error, as in [`Session::compile`].
+    pub fn content_key(src: &str, origin: &str) -> Result<u64, String> {
+        let ast = imp::parse(src).map_err(|e| format!("{origin}: {}", e.render(src)))?;
+        Ok(fnv64(imp::pretty::program_to_string(&ast).as_bytes()))
+    }
+
+    /// Wraps an already-lowered program (keyed by its pretty-printed
+    /// source text) — for callers that generate programs directly.
+    pub fn from_program(program: Program, source: &str) -> Session {
+        let key = fnv64(source.as_bytes());
+        Session::new(program, source, key)
+    }
+
+    fn new(program: Program, source: &str, key: u64) -> Session {
+        let program = Box::new(program);
+        // SAFETY: `pref` points into the boxed program, whose heap
+        // address is stable however the `Session` itself moves, and the
+        // `analyses` field is declared (hence dropped) before `program`.
+        // The `'static` borrow never escapes this struct: every accessor
+        // reborrows it at `&self`'s lifetime.
+        let pref: &'static Program = unsafe { &*(program.as_ref() as *const Program) };
+        let analyses = Analyses::build(pref);
+        Session {
+            analyses,
+            program,
+            source: source.to_owned(),
+            key,
+        }
+    }
+
+    /// The compiled program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The cached analyses (covariance shortens the internal `'static`
+    /// borrow to `&self`'s lifetime).
+    pub fn analyses<'s>(&'s self) -> &'s Analyses<'s> {
+        &self.analyses
+    }
+
+    /// The source text the session was compiled from.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The content key: FNV-1a over the resolved program.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// Runs the fault-tolerant driver over this session's program,
+    /// reusing the cached analyses (and whatever `By` memo entries
+    /// earlier checks populated).
+    pub fn check(&self, config: CheckerConfig, driver: &DriverConfig) -> DriverReport {
+        run_clusters_with(&self.analyses, config, driver)
+    }
+}
+
+/// 64-bit FNV-1a — the workspace's standalone content hash (no std
+/// `Hasher` so the value is stable across Rust releases and platforms).
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Renders cluster verdicts exactly as `pathslice check` prints them and
+/// computes the process exit code (0 safe, 1 bug, 2 timeout/internal,
+/// 3 certificate mismatch). One function so the CLI and the server are
+/// byte-identical by construction.
+pub fn render_verdicts(program: &Program, reports: &[ClusterReport]) -> (String, i32) {
+    let mut out = String::new();
+    let mut worst = 0;
+    for r in reports {
+        let verdict = match &r.report.outcome {
+            CheckOutcome::Safe => "SAFE".to_owned(),
+            CheckOutcome::Bug { .. } => {
+                worst = worst.max(1);
+                "BUG".to_owned()
+            }
+            CheckOutcome::Timeout(reason) => {
+                worst = worst.max(2);
+                format!("TIMEOUT({reason:?})")
+            }
+            CheckOutcome::InternalError { phase, .. } => {
+                worst = worst.max(2);
+                format!("INTERNAL({phase})")
+            }
+            CheckOutcome::CertificateMismatch { claimed, .. } => {
+                worst = worst.max(3);
+                format!("MISMATCH({claimed})")
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{:<24} {:>4} site(s)  {:<18} {:>3} refinement(s)  {:?}",
+            r.func_name, r.n_sites, verdict, r.report.refinements, r.report.wall
+        );
+        if let CheckOutcome::Bug { slice, .. } = &r.report.outcome {
+            for &e in slice {
+                let edge = program.edge(e);
+                let _ = writeln!(
+                    out,
+                    "    {:<16} {}",
+                    program.cfa(e.func).name(),
+                    program.fmt_op(&edge.op)
+                );
+            }
+        }
+        if let CheckOutcome::CertificateMismatch { reason, .. } = &r.report.outcome {
+            let _ = writeln!(out, "    certificate rejected: {reason}");
+        }
+    }
+    (out, worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_clusters;
+
+    const SRC: &str = r#"
+        global a, x;
+        fn f() { if (a > 0) { error(); } }
+        fn g() { x = 1; if (x == 2) { error(); } }
+        fn main() { f(); g(); }
+    "#;
+
+    #[test]
+    fn session_check_matches_run_clusters() {
+        let session = Session::compile(SRC, "<test>").unwrap();
+        let program = cfa::lower(&imp::parse(SRC).unwrap()).unwrap();
+        let plain = run_clusters(
+            &program,
+            CheckerConfig::default(),
+            &DriverConfig::sequential(),
+        );
+        for _ in 0..2 {
+            // Twice: the second run hits the warmed By memo table.
+            let driven = session.check(CheckerConfig::default(), &DriverConfig::sequential());
+            let (a, code_a) = render_verdicts(
+                session.program(),
+                &plain
+                    .clusters
+                    .iter()
+                    .map(|c| c.cluster.clone())
+                    .collect::<Vec<_>>(),
+            );
+            let (b, code_b) = render_verdicts(
+                session.program(),
+                &driven
+                    .clusters
+                    .iter()
+                    .map(|c| c.cluster.clone())
+                    .collect::<Vec<_>>(),
+            );
+            assert_eq!(code_a, code_b);
+            let strip = |s: &str| -> Vec<String> {
+                s.lines()
+                    .map(|l| {
+                        l.rsplit_once("  ")
+                            .map_or(l.to_owned(), |(v, _)| v.to_owned())
+                    })
+                    .collect()
+            };
+            assert_eq!(strip(&a), strip(&b));
+        }
+    }
+
+    #[test]
+    fn content_key_ignores_formatting() {
+        let a = Session::compile("global x;\nfn main() { x = 1; }", "<a>").unwrap();
+        let b = Session::compile("global x;   \n\n fn main() {\n x = 1;\n }", "<b>").unwrap();
+        let c = Session::compile("global x;\nfn main() { x = 2; }", "<c>").unwrap();
+        assert_eq!(a.key(), b.key());
+        assert_ne!(a.key(), c.key());
+    }
+
+    #[test]
+    fn compile_errors_carry_the_origin() {
+        let err = Session::compile("fn main() {", "somefile.imp").unwrap_err();
+        assert!(err.starts_with("somefile.imp:"), "{err}");
+    }
+
+    #[test]
+    fn deadline_in_the_past_times_out_every_cluster() {
+        use crate::checker::TimeoutReason;
+        let session = Session::compile(SRC, "<test>").unwrap();
+        let driver = DriverConfig::sequential()
+            .with_deadline(std::time::Instant::now() - std::time::Duration::from_millis(1));
+        let r = session.check(CheckerConfig::default(), &driver);
+        for c in &r.clusters {
+            assert!(
+                matches!(
+                    c.cluster.report.outcome,
+                    CheckOutcome::Timeout(TimeoutReason::WallClock)
+                ),
+                "{:?}",
+                c.cluster.report.outcome
+            );
+        }
+    }
+}

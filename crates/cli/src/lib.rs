@@ -4,7 +4,11 @@
 //! pathslice check <file.imp> [--no-slicing] [--timeout <secs>] [--dfs]
 //!                            [--jobs <n>] [--retries <k>]
 //!                            [--validate] [--cert <trace.json>]
-//!                            [--stats] [--trace-out <spans.json>]
+//!                            [--stats] [--stats-json <stats.json>]
+//!                            [--trace-out <spans.json>]
+//! pathslice serve [--addr <host:port>] [--jobs <n>] [--queue <n>]
+//!                 [--cache <n>] [--timeout <secs>]
+//!                 [--stats] [--trace-out <spans.json>]
 //! pathslice slice <file.imp> [--skip-functions] [--no-early-unsat]
 //! pathslice run   <file.imp> [--input v1,v2,...] [--fuel <n>]
 //! pathslice dot   <file.imp> [<function>]
@@ -19,8 +23,18 @@
 //!   verdict and downgrades unconfirmed ones to `MISMATCH`; `--cert`
 //!   writes the certificates (with the source embedded) to a portable
 //!   trace file. `--stats` enables the observability layer and appends
-//!   a per-phase timing table plus the metric counters; `--trace-out`
-//!   dumps the raw span tree as `pathslice-spans/v1` JSON.
+//!   a per-phase timing table plus the metric counters; `--stats-json`
+//!   writes the same data machine-readably (`pathslice-stats/v1`, field
+//!   names shared with `pathslice-bench/v1`); `--trace-out` dumps the
+//!   raw span tree as `pathslice-spans/v1` JSON. SIGINT cancels the run
+//!   gracefully: in-flight clusters report `TIMEOUT(Cancelled)` and the
+//!   stats/trace epilogue still runs, so no span data is lost.
+//! * `serve` — run the long-lived verification daemon (`crates/server`):
+//!   newline-delimited `pathslice-wire/v1` JSON over TCP, a bounded
+//!   admission queue that answers `overloaded` under pressure, and a
+//!   content-addressed analysis cache shared across requests. SIGINT
+//!   triggers a graceful drain (finish admitted work, join every
+//!   thread) and then flushes `--stats` / `--trace-out` output.
 //! * `slice` — take the first abstract error path the checker's
 //!   reachability produces and print its path slice with reasons.
 //! * `run` — execute the program concretely with the given `nondet()`
@@ -48,6 +62,7 @@ pub fn run_command(args: &[String], out: &mut String) -> Result<i32, String> {
     let cmd = it.next().map(String::as_str).unwrap_or("help");
     match cmd {
         "check" => cmd_check(&args[1..], out),
+        "serve" => cmd_serve(&args[1..], out),
         "slice" => cmd_slice(&args[1..], out),
         "run" => cmd_run(&args[1..], out),
         "dot" => cmd_dot(&args[1..], out),
@@ -67,7 +82,11 @@ USAGE:
     pathslice check <file.imp> [--no-slicing] [--timeout <secs>] [--dfs]
                                [--jobs <n>] [--retries <k>]
                                [--validate] [--cert <trace.json>]
-                               [--stats] [--trace-out <spans.json>]
+                               [--stats] [--stats-json <stats.json>]
+                               [--trace-out <spans.json>]
+    pathslice serve [--addr <host:port>] [--jobs <n>] [--queue <n>]
+                    [--cache <n>] [--timeout <secs>]
+                    [--stats] [--trace-out <spans.json>]
     pathslice slice <file.imp> [--skip-functions] [--no-early-unsat]
     pathslice run   <file.imp> [--input v1,v2,...] [--fuel <n>]
     pathslice dot   <file.imp> [<function>]
@@ -91,11 +110,14 @@ fn cmd_check(args: &[String], out: &mut String) -> Result<i32, String> {
     let (file, flags) = split_flags(args)?;
     let stats = flags.iter().any(|f| f == "--stats");
     let trace_out = flag_value(&flags, "--trace-out")?;
-    if stats || trace_out.is_some() {
+    let stats_json = flag_value(&flags, "--stats-json")?;
+    if stats || trace_out.is_some() || stats_json.is_some() {
         pathslicing::obs::set_enabled(true);
     }
     let src = std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
-    let (program, src) = compile_source(&src, &file)?;
+    // One code path with the server: the same Session compiles the
+    // program and the same render_verdicts prints the verdicts.
+    let session = pathslicing::blastlite::Session::compile(&src, &file)?;
     let mut config = CheckerConfig {
         reducer: if flags.iter().any(|f| f == "--no-slicing") {
             Reducer::Identity
@@ -114,6 +136,11 @@ fn cmd_check(args: &[String], out: &mut String) -> Result<i32, String> {
         config.search_order = SearchOrder::Dfs;
     }
     let mut driver = DriverConfig::sequential();
+    // Ctrl-C cancels in-flight clusters instead of killing the process:
+    // remaining clusters report TIMEOUT(Cancelled) and the stats/trace
+    // epilogue below still runs, so --trace-out is flushed.
+    pathslicing::rt::install_sigint_handler();
+    driver.cancel = Some(pathslicing::rt::shutdown_token());
     if let Some(j) = flag_value(&flags, "--jobs")? {
         driver.jobs = j.parse().map_err(|_| format!("bad --jobs value `{j}`"))?;
     }
@@ -130,10 +157,15 @@ fn cmd_check(args: &[String], out: &mut String) -> Result<i32, String> {
         ));
     }
     let cert_path = flag_value(&flags, "--cert")?;
-    let driver_report = run_clusters(&program, config, &driver);
+    let t0 = std::time::Instant::now();
+    let driver_report = session.check(config, &driver);
+    let wall = t0.elapsed();
     if let Some(path) = cert_path {
-        let analyses = Analyses::build(&program);
-        let trace = pathslicing::certify::certify_report(&analyses, &driver_report, &src);
+        let trace = pathslicing::certify::certify_report(
+            session.analyses(),
+            &driver_report,
+            session.source(),
+        );
         std::fs::write(&path, pathslicing::certify::to_json(&trace))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         let _ = writeln!(
@@ -144,65 +176,97 @@ fn cmd_check(args: &[String], out: &mut String) -> Result<i32, String> {
     }
     let summary = driver_report.summary();
     let reports = driver_report.into_cluster_reports();
-    if reports.is_empty() {
-        let _ = writeln!(out, "no error locations — nothing to check");
-        emit_obs(out, stats, trace_out.as_deref(), &summary)?;
-        return Ok(0);
-    }
-    let mut worst = 0;
-    for r in &reports {
-        let verdict = match &r.report.outcome {
-            CheckOutcome::Safe => "SAFE".to_owned(),
-            CheckOutcome::Bug { .. } => {
-                worst = worst.max(1);
-                "BUG".to_owned()
-            }
-            CheckOutcome::Timeout(reason) => {
-                worst = worst.max(2);
-                format!("TIMEOUT({reason:?})")
-            }
-            CheckOutcome::InternalError { phase, .. } => {
-                worst = worst.max(2);
-                format!("INTERNAL({phase})")
-            }
-            CheckOutcome::CertificateMismatch { claimed, .. } => {
-                worst = worst.max(3);
-                format!("MISMATCH({claimed})")
-            }
-        };
-        let _ = writeln!(
-            out,
-            "{:<24} {:>4} site(s)  {:<18} {:>3} refinement(s)  {:?}",
-            r.func_name, r.n_sites, verdict, r.report.refinements, r.report.wall
-        );
-        if let CheckOutcome::Bug { slice, .. } = &r.report.outcome {
-            for &e in slice {
-                let edge = program.edge(e);
-                let _ = writeln!(
-                    out,
-                    "    {:<16} {}",
-                    program.cfa(e.func).name(),
-                    program.fmt_op(&edge.op)
-                );
-            }
-        }
-        if let CheckOutcome::CertificateMismatch { reason, .. } = &r.report.outcome {
-            let _ = writeln!(out, "    certificate rejected: {reason}");
-        }
-    }
-    emit_obs(out, stats, trace_out.as_deref(), &summary)?;
+    let (render, worst) = if reports.is_empty() {
+        ("no error locations — nothing to check\n".to_owned(), 0)
+    } else {
+        pathslicing::blastlite::render_verdicts(session.program(), &reports)
+    };
+    out.push_str(&render);
+    // Drain the span buffer once; both epilogues read the same batch.
+    let spans = pathslicing::obs::take_spans();
+    emit_obs(out, stats, trace_out.as_deref(), &summary, &spans)?;
+    write_stats_json(stats_json.as_deref(), worst, wall, &summary, &spans)?;
     Ok(worst)
 }
 
-/// The `check` epilogue for `--stats` / `--trace-out`: drains the span
-/// buffer, optionally dumps it as `pathslice-spans/v1` JSON, and
-/// optionally appends the phase-timing table, the counters, and the
-/// driver's retry summary.
+/// Writes the `--stats-json` document: the `--stats` tables as
+/// machine-readable `pathslice-stats/v1` JSON. Field names (`phases_us`
+/// with `count`/`total_us`/`self_us`, `counters`, `times_s`) match the
+/// `pathslice-bench/v1` row schema so downstream tooling can share
+/// parsers.
+fn write_stats_json(
+    path: Option<&str>,
+    exit: i32,
+    wall: Duration,
+    summary: &pathslicing::blastlite::DriverSummary,
+    spans: &[pathslicing::obs::SpanRecord],
+) -> Result<(), String> {
+    use pathslicing::obs::{self, json::Json};
+    let Some(path) = path else { return Ok(()) };
+    let phases = Json::Obj(
+        obs::phase_totals(spans)
+            .into_iter()
+            .map(|(name, s)| {
+                (
+                    name,
+                    Json::Obj(vec![
+                        ("count".into(), Json::Num(s.count as i64)),
+                        ("total_us".into(), Json::Num(s.total_us as i64)),
+                        ("self_us".into(), Json::Num(s.self_us as i64)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let counters = Json::Obj(
+        obs::counters()
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), Json::Num(v as i64)))
+            .collect(),
+    );
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::Str("pathslice-stats/v1".into())),
+        ("command".into(), Json::Str("check".into())),
+        ("exit".into(), Json::Num(exit as i64)),
+        (
+            "times_s".into(),
+            Json::Obj(vec![("total".into(), Json::Float(wall.as_secs_f64()))]),
+        ),
+        ("phases_us".into(), phases),
+        ("counters".into(), counters),
+        (
+            "driver".into(),
+            Json::Obj(vec![
+                ("clusters".into(), Json::Num(summary.clusters as i64)),
+                ("retries".into(), Json::Num(summary.retries as i64)),
+                (
+                    "retried_clusters".into(),
+                    Json::Num(summary.retried_clusters as i64),
+                ),
+                (
+                    "degraded_clusters".into(),
+                    Json::Num(summary.degraded_clusters as i64),
+                ),
+                (
+                    "internal_errors".into(),
+                    Json::Num(summary.internal_errors as i64),
+                ),
+            ]),
+        ),
+    ]);
+    std::fs::write(path, doc.to_text() + "\n").map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// The `check` epilogue for `--stats` / `--trace-out`: optionally dumps
+/// the drained spans as `pathslice-spans/v1` JSON, and optionally
+/// appends the phase-timing table, the counters, and the driver's retry
+/// summary.
 fn emit_obs(
     out: &mut String,
     stats: bool,
     trace_out: Option<&str>,
     summary: &pathslicing::blastlite::DriverSummary,
+    spans: &[pathslicing::obs::SpanRecord],
 ) -> Result<(), String> {
     use pathslicing::obs;
     // Surface retries even without --stats: a silently degraded verdict
@@ -213,9 +277,8 @@ fn emit_obs(
     if !stats && trace_out.is_none() {
         return Ok(());
     }
-    let spans = obs::take_spans();
     if let Some(path) = trace_out {
-        std::fs::write(path, obs::spans_to_json(&spans))
+        std::fs::write(path, obs::spans_to_json(spans))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         let _ = writeln!(out, "wrote {} span(s) to {path}", spans.len());
     }
@@ -226,7 +289,7 @@ fn emit_obs(
             "{:<12} {:>7} {:>12} {:>12}",
             "phase", "count", "total(ms)", "self(ms)"
         );
-        for (name, s) in obs::phase_totals(&spans) {
+        for (name, s) in obs::phase_totals(spans) {
             let _ = writeln!(
                 out,
                 "{:<12} {:>7} {:>12.3} {:>12.3}",
@@ -247,6 +310,79 @@ fn emit_obs(
         let _ = writeln!(out, "{summary}");
     }
     Ok(())
+}
+
+fn cmd_serve(args: &[String], out: &mut String) -> Result<i32, String> {
+    // SIGINT cancels the process-global token; the wait loop below then
+    // drains the daemon and flushes --stats / --trace-out.
+    pathslicing::rt::install_sigint_handler();
+    serve_until(args, out, &pathslicing::rt::shutdown_token())
+}
+
+/// Runs the `serve` daemon until `stop` is cancelled, then drains it
+/// gracefully and appends the final accounting (and the `--stats` /
+/// `--trace-out` epilogue) to `out`. Factored out of the `serve`
+/// command so embedders and tests control shutdown with their own token
+/// instead of the process-global SIGINT one.
+///
+/// # Errors
+///
+/// Returns a message on flag errors or bind failure.
+pub fn serve_until(
+    args: &[String],
+    out: &mut String,
+    stop: &pathslicing::rt::CancelToken,
+) -> Result<i32, String> {
+    let stats = args.iter().any(|f| f == "--stats");
+    let trace_out = flag_value(args, "--trace-out")?;
+    if stats || trace_out.is_some() {
+        pathslicing::obs::set_enabled(true);
+    }
+    let mut config = server::ServerConfig::default();
+    if let Some(a) = flag_value(args, "--addr")? {
+        config.addr = a;
+    }
+    if let Some(j) = flag_value(args, "--jobs")? {
+        config.jobs = j.parse().map_err(|_| format!("bad --jobs value `{j}`"))?;
+    }
+    if let Some(q) = flag_value(args, "--queue")? {
+        config.queue_capacity = q.parse().map_err(|_| format!("bad --queue value `{q}`"))?;
+    }
+    if let Some(c) = flag_value(args, "--cache")? {
+        config.cache_capacity = c.parse().map_err(|_| format!("bad --cache value `{c}`"))?;
+    }
+    if let Some(t) = flag_value(args, "--timeout")? {
+        config.default_time_budget = Duration::from_secs(
+            t.parse()
+                .map_err(|_| format!("bad --timeout value `{t}`"))?,
+        );
+    }
+    let jobs = config.jobs.max(1);
+    let server = server::Server::start(config).map_err(|e| format!("cannot start server: {e}"))?;
+    // Straight to stderr so it appears while the daemon runs (`out` is
+    // only printed after exit).
+    eprintln!(
+        "pathslice serve: listening on {} with {jobs} worker(s); Ctrl-C drains and exits",
+        server.local_addr()
+    );
+    while !stop.is_cancelled() {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let final_stats = server.shutdown();
+    let _ = writeln!(out, "drained: {final_stats}");
+    let spans = pathslicing::obs::take_spans();
+    if let Some(path) = trace_out {
+        std::fs::write(&path, pathslicing::obs::spans_to_json(&spans))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = writeln!(out, "wrote {} span(s) to {path}", spans.len());
+    }
+    if stats {
+        let _ = writeln!(out, "\n== counters ==");
+        for (name, v) in pathslicing::obs::counters() {
+            let _ = writeln!(out, "{name:<28} {v:>12}");
+        }
+    }
+    Ok(0)
 }
 
 fn cmd_validate(args: &[String], out: &mut String) -> Result<i32, String> {
@@ -637,6 +773,79 @@ mod tests {
         let parsed = pathslicing::obs::spans_from_json(&text).unwrap();
         assert!(!parsed.is_empty(), "{text}");
         assert!(parsed.iter().any(|s| s.name == "attempt"), "{parsed:?}");
+    }
+
+    #[test]
+    fn stats_json_is_machine_readable() {
+        use pathslicing::obs::json::Json;
+        let f = write_temp("statsjson.imp", BUGGY);
+        let path = write_temp("statsjson.stats.json", "");
+        let (code, _out) = run_ok(&["check", &f, "--stats-json", &path]);
+        assert_eq!(code, 1);
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(
+            doc.field("schema").and_then(Json::as_str),
+            Some("pathslice-stats/v1")
+        );
+        assert_eq!(doc.field("exit").and_then(Json::as_i64), Some(1));
+        // Field names shared with pathslice-bench/v1 rows.
+        let attempt = doc
+            .field("phases_us")
+            .and_then(|p| p.field("attempt"))
+            .expect("attempt phase present");
+        for k in ["count", "total_us", "self_us"] {
+            assert!(attempt.field(k).and_then(Json::as_i64).is_some(), "{k}");
+        }
+        assert!(
+            doc.field("counters")
+                .and_then(|c| c.field("lia.checks"))
+                .is_some(),
+            "solver counters present"
+        );
+        assert_eq!(
+            doc.field("driver")
+                .and_then(|d| d.field("clusters"))
+                .and_then(Json::as_i64),
+            Some(1)
+        );
+        assert!(doc
+            .field("times_s")
+            .and_then(|t| t.field("total"))
+            .and_then(Json::as_f64)
+            .is_some());
+    }
+
+    #[test]
+    fn serve_until_drains_on_token_cancel() {
+        let token = pathslicing::rt::CancelToken::new();
+        let trip = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            trip.cancel();
+        });
+        let args: Vec<String> = ["--addr", "127.0.0.1:0", "--jobs", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut out = String::new();
+        let code = serve_until(&args, &mut out, &token).unwrap();
+        assert_eq!(code, 0);
+        assert!(out.contains("drained:"), "{out}");
+    }
+
+    #[test]
+    fn serve_rejects_malformed_flags() {
+        let token = pathslicing::rt::CancelToken::new();
+        token.cancel();
+        for case in [
+            vec!["--jobs", "many"],
+            vec!["--queue", "-3"],
+            vec!["--addr", "not-an-address"],
+        ] {
+            let args: Vec<String> = case.iter().map(|s| s.to_string()).collect();
+            let mut out = String::new();
+            assert!(serve_until(&args, &mut out, &token).is_err(), "{case:?}");
+        }
     }
 
     #[test]

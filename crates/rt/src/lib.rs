@@ -60,7 +60,7 @@ use std::cell::Cell;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
-use std::sync::{Arc, Once};
+use std::sync::{Arc, Once, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Why a cooperative computation was interrupted.
@@ -257,6 +257,66 @@ pub fn panic_payload(e: &(dyn Any + Send)) -> String {
         s.clone()
     } else {
         "<non-string panic payload>".to_owned()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Graceful shutdown (SIGINT → the process-wide cancellation token)
+// ---------------------------------------------------------------------
+
+static SHUTDOWN: OnceLock<CancelToken> = OnceLock::new();
+
+/// The process-wide shutdown token. Long-running entry points (the
+/// `pathslice` CLI's `check` run, the `serve` daemon) attach this token
+/// to their budgets; [`install_sigint_handler`] cancels it on SIGINT, so
+/// interrupted runs unwind through the normal cancellation path — spans
+/// flush, partial results report, nothing is left wedged.
+pub fn shutdown_token() -> CancelToken {
+    SHUTDOWN.get_or_init(CancelToken::new).clone()
+}
+
+/// Whether a process shutdown has been requested (SIGINT received or
+/// [`request_shutdown`] called).
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.get().is_some_and(CancelToken::is_cancelled)
+}
+
+/// Programmatic equivalent of SIGINT: cancels the shutdown token. Used
+/// by tests and by in-process embedders; idempotent.
+pub fn request_shutdown() {
+    shutdown_token().cancel();
+}
+
+#[cfg(unix)]
+extern "C" fn sigint_handler(_sig: i32) {
+    // Async-signal-safe: `OnceLock::get` is a lock-free read (the token
+    // is created before the handler is installed) and `cancel` is one
+    // relaxed atomic store. No allocation, no locks.
+    if let Some(token) = SHUTDOWN.get() {
+        token.flag.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Installs a SIGINT handler that cancels [`shutdown_token`]. Idempotent;
+/// a no-op on non-Unix targets. Call once from a long-running binary's
+/// entry point *before* blocking work starts.
+pub fn install_sigint_handler() {
+    // Create the token first so the handler's lock-free `get` succeeds.
+    let _ = shutdown_token();
+    #[cfg(unix)]
+    {
+        static INSTALLED: Once = Once::new();
+        INSTALLED.call_once(|| {
+            extern "C" {
+                // POSIX `signal(2)`; std links libc on every Unix
+                // target, so no external crate is needed.
+                fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+            }
+            const SIGINT: i32 = 2;
+            unsafe {
+                signal(SIGINT, sigint_handler);
+            }
+        });
     }
 }
 
@@ -534,6 +594,21 @@ mod tests {
             Some(FaultKind::CorruptCertificate)
         );
         assert_eq!(plan.fired(), 1);
+    }
+
+    #[test]
+    fn shutdown_token_cancels_attached_budgets() {
+        // The global token is process-wide and sticky once cancelled, so
+        // this is the only test allowed to trip it.
+        install_sigint_handler(); // exercised for coverage; must not unhook the default flow here
+        assert!(!shutdown_requested());
+        let budget = Budget::unlimited().with_token(shutdown_token());
+        assert!(budget.poll().is_ok());
+        request_shutdown();
+        assert!(shutdown_requested());
+        assert_eq!(budget.poll(), Err(Interrupt::Cancelled));
+        // Later registrants observe the shutdown too.
+        assert!(shutdown_token().is_cancelled());
     }
 
     #[test]

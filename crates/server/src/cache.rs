@@ -1,0 +1,243 @@
+//! The content-addressed analysis cache.
+//!
+//! Requests are keyed by [`Session::content_key`] — a hash of the
+//! *resolved* program, so re-submissions that differ only in formatting
+//! share an entry. A hit skips the whole setup pipeline (parse → lower →
+//! validate → `Analyses::build`) and lands on a [`Session`] whose `By`
+//! memo table earlier requests have already warmed; the check proceeds
+//! straight to reach/slice/solve.
+//!
+//! Entries are `Arc`-shared, so an eviction never invalidates a session
+//! a worker is still checking against — the entry just stops being
+//! findable, and the memory is reclaimed when the last in-flight request
+//! drops its handle. Eviction is least-recently-used with a fixed entry
+//! bound (programs, not bytes: one session's dominant cost is the
+//! analyses, which scale with the program it caches).
+//!
+//! Counters: `server.cache_hits`, `server.cache_misses`,
+//! `server.cache_evictions` (mirrored into `obs` when tracing is on;
+//! always available from [`AnalysisCache::stats`]).
+
+use blastlite::Session;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Point-in-time cache accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+    /// Entries displaced by the LRU bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub len: usize,
+    /// The configured entry bound.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    session: Arc<Session>,
+    last_used: u64,
+}
+
+/// An LRU map from content key to shared [`Session`].
+pub struct AnalysisCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+struct Inner {
+    entries: HashMap<u64, Entry>,
+    tick: u64,
+}
+
+impl AnalysisCache {
+    /// An empty cache bounded to `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> AnalysisCache {
+        AnalysisCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up `source`'s resolved program, compiling a fresh
+    /// [`Session`] on a miss. Returns the session and whether it was a
+    /// hit.
+    ///
+    /// Compilation happens *outside* the cache lock so a large program
+    /// being analysed never stalls other workers' hits; two workers
+    /// racing on the same new key may both compile, and the second
+    /// insert wins (both results are identical, one is briefly
+    /// redundant).
+    ///
+    /// # Errors
+    ///
+    /// The rendered front-end error from [`Session::compile`].
+    pub fn get_or_compile(
+        &self,
+        source: &str,
+        origin: &str,
+    ) -> Result<(Arc<Session>, bool), String> {
+        let key = Session::content_key(source, origin)?;
+        if let Some(session) = self.lookup(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            obs::counter("server.cache_hits").inc();
+            return Ok((session, true));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        obs::counter("server.cache_misses").inc();
+        let session = Arc::new(Session::compile(source, origin)?);
+        self.insert(key, session.clone());
+        Ok((session, false))
+    }
+
+    fn lookup(&self, key: u64) -> Option<Arc<Session>> {
+        let mut inner = lock(&self.inner);
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = inner.entries.get_mut(&key)?;
+        entry.last_used = tick;
+        Some(entry.session.clone())
+    }
+
+    fn insert(&self, key: u64, session: Arc<Session>) {
+        let mut inner = lock(&self.inner);
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.entries.insert(
+            key,
+            Entry {
+                session,
+                last_used: tick,
+            },
+        );
+        while inner.entries.len() > self.capacity {
+            let Some((&oldest, _)) = inner.entries.iter().min_by_key(|(_, e)| e.last_used) else {
+                break;
+            };
+            inner.entries.remove(&oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            obs::counter("server.cache_evictions").inc();
+        }
+    }
+
+    /// Current accounting.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len: lock(&self.inner).entries.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+impl std::fmt::Debug for AnalysisCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        write!(
+            f,
+            "AnalysisCache({}/{} entries, {} hit(s), {} miss(es), {} eviction(s))",
+            s.len, s.capacity, s.hits, s.misses, s.evictions
+        )
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src(n: usize) -> String {
+        format!("global x; fn main() {{ x = {n}; }}")
+    }
+
+    #[test]
+    fn repeat_lookups_hit_and_share_one_session() {
+        let cache = AnalysisCache::new(4);
+        let (a, hit_a) = cache.get_or_compile(&src(1), "<t>").unwrap();
+        let (b, hit_b) = cache.get_or_compile(&src(1), "<t>").unwrap();
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.len), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn formatting_variants_share_an_entry() {
+        let cache = AnalysisCache::new(4);
+        cache
+            .get_or_compile("global x; fn main() { x = 1; }", "<t>")
+            .unwrap();
+        let (_, hit) = cache
+            .get_or_compile("global x;\n\nfn main()   {\n  x = 1;\n}", "<t>")
+            .unwrap();
+        assert!(hit, "whitespace-only variants must share a cache entry");
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let cache = AnalysisCache::new(2);
+        cache.get_or_compile(&src(1), "<t>").unwrap();
+        cache.get_or_compile(&src(2), "<t>").unwrap();
+        cache.get_or_compile(&src(1), "<t>").unwrap(); // touch 1: 2 is now coldest
+        cache.get_or_compile(&src(3), "<t>").unwrap(); // evicts 2
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().len, 2);
+        let (_, hit1) = cache.get_or_compile(&src(1), "<t>").unwrap();
+        assert!(hit1, "recently used entry survived");
+        let (_, hit2) = cache.get_or_compile(&src(2), "<t>").unwrap();
+        assert!(!hit2, "cold entry was evicted");
+    }
+
+    #[test]
+    fn compile_errors_do_not_populate_the_cache() {
+        let cache = AnalysisCache::new(2);
+        assert!(cache.get_or_compile("fn main() {", "<t>").is_err());
+        assert_eq!(cache.stats().len, 0);
+    }
+
+    #[test]
+    fn evicted_sessions_stay_alive_for_inflight_holders() {
+        let cache = AnalysisCache::new(1);
+        let (held, _) = cache.get_or_compile(&src(1), "<t>").unwrap();
+        cache.get_or_compile(&src(2), "<t>").unwrap(); // evicts 1
+                                                       // The held session still answers checks.
+        let report = held.check(
+            blastlite::CheckerConfig::default(),
+            &blastlite::DriverConfig::sequential(),
+        );
+        assert_eq!(report.clusters.len(), 0); // no error sites in src()
+        assert_eq!(cache.stats().evictions, 1);
+    }
+}

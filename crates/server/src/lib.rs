@@ -1,0 +1,850 @@
+//! `server` — the `pathslice serve` daemon: path slicing as a
+//! long-running verification service.
+//!
+//! The paper's point is that path slicing makes counterexample analysis
+//! cheap enough to run *inside* a long-lived CEGAR loop; operationally
+//! that means the slicer is a service component, not a one-shot tool.
+//! This crate turns the batch checker into exactly that:
+//!
+//! * **Wire protocol** ([`wire`]) — newline-delimited JSON over TCP
+//!   (`pathslice-wire/v1`): request = source + per-cluster budget and
+//!   config; response = verdicts (rendered byte-identically to
+//!   `pathslice check`) + optional certificate + stats.
+//! * **Admission control** — a bounded request queue. When it is full
+//!   the daemon answers `overloaded` immediately (HTTP-429 style)
+//!   instead of queuing unboundedly; memory stays bounded under any
+//!   offered load.
+//! * **Analysis cache** ([`cache`]) — content-addressed sessions:
+//!   repeat (or reformatted) programs skip parse/lower/`Analyses::build`
+//!   and land on warmed `By` memo tables, going straight to
+//!   reach/slice/solve.
+//! * **Deadlines** — a request-level `deadline_ms` (measured from
+//!   admission, so queue wait counts) threads through the existing
+//!   [`rt::Budget`] machinery into every solver loop.
+//! * **Graceful drain** — shutdown stops accepting, lets queued and
+//!   in-flight requests finish, then joins every thread the server ever
+//!   spawned: no leaks, no dropped responses.
+//! * **Fault isolation** — each check runs on the PR-1 fault-tolerant
+//!   driver (panic isolation per cluster), and the worker loop itself is
+//!   wrapped in [`rt::catch_unwind_silent`], so a poisoned request
+//!   yields an `error` response, never a dead daemon.
+//!
+//! ```text
+//!             ┌────────────┐   bounded    ┌──────────┐
+//!  TCP ──────▶│ connection │──try_push───▶│  queue   │──pop──▶ workers (N)
+//!  (NDJSON)   │  threads   │◀──response───│ (admis.) │         │ cache lookup
+//!             └────────────┘   channel    └──────────┘         ▼ session.check
+//! ```
+
+pub mod cache;
+pub mod wire;
+
+use blastlite::{render_verdicts, CheckerConfig, DriverConfig, Reducer, RetryPolicy, SearchOrder};
+use cache::{AnalysisCache, CacheStats};
+use obs::json::Json;
+use rt::{catch_unwind_silent, panic_payload, CancelToken, FaultPlan};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long blocking accept/read calls wait before re-checking the
+/// shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:7171`; use port 0 for tests).
+    pub addr: String,
+    /// Worker threads checking requests (each request runs its clusters
+    /// sequentially; concurrency comes from checking *requests* in
+    /// parallel).
+    pub jobs: usize,
+    /// Admission-queue bound; a full queue answers `overloaded`.
+    pub queue_capacity: usize,
+    /// Analysis-cache bound, in programs.
+    pub cache_capacity: usize,
+    /// Largest accepted request frame, in bytes.
+    pub max_frame_bytes: usize,
+    /// Per-cluster wall-clock budget when a request names none.
+    pub default_time_budget: Duration,
+    /// Deterministic fault injection threaded into every check's driver
+    /// (chaos testing; the default plan injects nothing).
+    pub faults: FaultPlan,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7171".into(),
+            jobs: 1,
+            queue_capacity: 64,
+            cache_capacity: 32,
+            max_frame_bytes: 4 << 20,
+            default_time_budget: CheckerConfig::default().time_budget,
+            faults: FaultPlan::default(),
+        }
+    }
+}
+
+/// Point-in-time daemon accounting (`--stats`, smoke tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests admitted and processed to any `ok`/`error` response.
+    pub requests: u64,
+    /// Requests shed by admission control.
+    pub overloaded: u64,
+    /// Frames rejected before admission (malformed, oversized).
+    pub rejected_frames: u64,
+    /// Partial frames abandoned by a closing peer.
+    pub truncated_frames: u64,
+    /// Analysis-cache accounting.
+    pub cache: CacheStats,
+}
+
+impl std::fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} connection(s), {} request(s), {} overloaded, {} rejected frame(s), \
+             cache {}/{} entries: {} hit(s) / {} miss(es) ({:.0}% hit rate), {} eviction(s)",
+            self.connections,
+            self.requests,
+            self.overloaded,
+            self.rejected_frames,
+            self.cache.len,
+            self.cache.capacity,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate() * 100.0,
+            self.cache.evictions,
+        )
+    }
+}
+
+/// One admitted request travelling from a connection thread to a worker.
+struct Job {
+    request: wire::Request,
+    admitted: Instant,
+    deadline: Option<Instant>,
+    reply: SyncSender<wire::Response>,
+}
+
+/// Why [`Queue::try_push`] refused a job. The job rides back boxed so
+/// the error stays pointer-sized on the hot admission path.
+enum PushError {
+    /// At capacity — shed the request.
+    Full(Box<Job>),
+    /// Draining for shutdown — shed the request.
+    Closed(Box<Job>),
+}
+
+/// The bounded admission queue.
+struct Queue {
+    capacity: usize,
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+impl Queue {
+    fn new(capacity: usize) -> Queue {
+        Queue {
+            capacity: capacity.max(1),
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Admits `job`, or returns it with the reason it was shed. Never
+    /// blocks: backpressure is the *caller's* immediate `overloaded`
+    /// response, not a hidden wait.
+    fn try_push(&self, job: Job) -> Result<(), PushError> {
+        let mut state = lock(&self.state);
+        if state.closed {
+            return Err(PushError::Closed(Box::new(job)));
+        }
+        if state.jobs.len() >= self.capacity {
+            return Err(PushError::Full(Box::new(job)));
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once the queue is closed *and*
+    /// drained (workers exit then — graceful drain finishes admitted
+    /// work).
+    fn pop(&self) -> Option<Job> {
+        let mut state = lock(&self.state);
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    fn close(&self) {
+        lock(&self.state).closed = true;
+        self.ready.notify_all();
+    }
+
+    fn len(&self) -> usize {
+        lock(&self.state).jobs.len()
+    }
+}
+
+/// State shared by the acceptor, connection threads, and workers.
+struct Shared {
+    config: ServerConfig,
+    queue: Queue,
+    cache: AnalysisCache,
+    shutdown: CancelToken,
+    connections: AtomicU64,
+    requests: AtomicU64,
+    overloaded: AtomicU64,
+    rejected_frames: AtomicU64,
+    truncated_frames: AtomicU64,
+}
+
+impl Shared {
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            rejected_frames: self.rejected_frames.load(Ordering::Relaxed),
+            truncated_frames: self.truncated_frames.load(Ordering::Relaxed),
+            cache: self.cache.stats(),
+        }
+    }
+}
+
+/// A running daemon. Obtain with [`Server::start`]; stop with
+/// [`Server::shutdown`] (graceful drain) — dropping without shutdown
+/// leaves detached threads running until process exit.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds `config.addr` and starts the acceptor and worker threads.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding the listener.
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let jobs = config.jobs.max(1);
+        let shared = Arc::new(Shared {
+            queue: Queue::new(config.queue_capacity),
+            cache: AnalysisCache::new(config.cache_capacity),
+            shutdown: CancelToken::new(),
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
+            rejected_frames: AtomicU64::new(0),
+            truncated_frames: AtomicU64::new(0),
+            config,
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
+
+        let workers = (0..jobs)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("pathslice-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let acceptor = {
+            let shared = shared.clone();
+            let conns = conns.clone();
+            std::thread::Builder::new()
+                .name("pathslice-acceptor".into())
+                .spawn(move || accept_loop(&listener, &shared, &conns))
+                .expect("spawn acceptor thread")
+        };
+
+        Ok(Server {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            workers,
+            conns,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live accounting.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Requests currently queued (not yet picked up by a worker).
+    pub fn queued(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Graceful drain: stop accepting, let every admitted request finish
+    /// and its response flush, then join all threads. Returns the final
+    /// accounting.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.shared.shutdown.cancel();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Connection threads finish their in-flight request (the worker
+        // round-trip) and exit at the next poll tick; joining them first
+        // guarantees no new pushes after the queue closes.
+        let conns = std::mem::take(&mut *lock(&self.conns));
+        for c in conns {
+            let _ = c.join();
+        }
+        self.shared.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.shared.stats()
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !shared.shutdown.is_cancelled() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.connections.fetch_add(1, Ordering::Relaxed);
+                obs::counter("server.connections").inc();
+                let shared = shared.clone();
+                let handle = std::thread::Builder::new()
+                    .name("pathslice-conn".into())
+                    .spawn(move || connection_loop(stream, &shared))
+                    .expect("spawn connection thread");
+                lock(conns).push(handle);
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+/// Reads newline-delimited frames off one connection until EOF, error,
+/// oversize, or shutdown. Frame-level failures answer an `error`
+/// response and keep the connection (the newline boundary survives);
+/// only oversized frames and I/O errors drop it.
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        match reader.read_until(b'\n', &mut buf) {
+            Ok(0) => {
+                // EOF. A partial frame the peer abandoned is dropped.
+                if !buf.is_empty() {
+                    shared.truncated_frames.fetch_add(1, Ordering::Relaxed);
+                    obs::counter("server.frames_truncated").inc();
+                }
+                return;
+            }
+            Ok(_) if buf.last() != Some(&b'\n') => {
+                // read_until can return early on timeout boundaries;
+                // keep accumulating (size-checked below).
+            }
+            Ok(_) => {
+                let line = std::mem::take(&mut buf);
+                if line.len() > shared.config.max_frame_bytes {
+                    reject_oversized(shared, &mut writer);
+                    return;
+                }
+                if !handle_frame(&line, shared, &mut writer) {
+                    return;
+                }
+                if shared.shutdown.is_cancelled() {
+                    return;
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.shutdown.is_cancelled() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+        if buf.len() > shared.config.max_frame_bytes {
+            // Still mid-frame: we can't resync an unbounded stream.
+            reject_oversized(shared, &mut writer);
+            return;
+        }
+    }
+}
+
+/// Answers an `error` for a frame over the size bound. The connection
+/// closes afterwards in both the complete- and partial-frame cases: a
+/// peer that ignores the bound once will again, and a partial frame has
+/// no boundary to resync on.
+fn reject_oversized(shared: &Shared, writer: &mut TcpStream) {
+    shared.rejected_frames.fetch_add(1, Ordering::Relaxed);
+    obs::counter("server.frames_rejected").inc();
+    let resp = wire::Response::Error {
+        id: String::new(),
+        error: format!(
+            "frame exceeds {} byte(s); connection closed",
+            shared.config.max_frame_bytes
+        ),
+    };
+    let _ = send_response(writer, &resp);
+}
+
+/// Parses, admits, and answers one frame. Returns `false` when the
+/// connection should close.
+fn handle_frame(line: &[u8], shared: &Arc<Shared>, writer: &mut TcpStream) -> bool {
+    let text = match std::str::from_utf8(line) {
+        Ok(t) => t.trim_end_matches(['\n', '\r']).trim(),
+        Err(_) => {
+            shared.rejected_frames.fetch_add(1, Ordering::Relaxed);
+            obs::counter("server.frames_rejected").inc();
+            return send_response(
+                writer,
+                &wire::Response::Error {
+                    id: String::new(),
+                    error: "frame is not UTF-8".into(),
+                },
+            );
+        }
+    };
+    if text.is_empty() {
+        return true; // tolerate blank keep-alive lines
+    }
+    let request = match wire::Request::from_json(text) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.rejected_frames.fetch_add(1, Ordering::Relaxed);
+            obs::counter("server.frames_rejected").inc();
+            return send_response(
+                writer,
+                &wire::Response::Error {
+                    id: String::new(),
+                    error: format!("bad request frame: {e}"),
+                },
+            );
+        }
+    };
+    let id = request.id.clone();
+    let admitted = Instant::now();
+    let deadline = request
+        .deadline_ms
+        .map(|ms| admitted + Duration::from_millis(ms));
+    let (reply_tx, reply_rx) = sync_channel(1);
+    let job = Job {
+        request,
+        admitted,
+        deadline,
+        reply: reply_tx,
+    };
+    match shared.queue.try_push(job) {
+        Ok(()) => {}
+        Err(PushError::Full(job) | PushError::Closed(job)) => {
+            shared.overloaded.fetch_add(1, Ordering::Relaxed);
+            obs::counter("server.overloaded").inc();
+            return send_response(writer, &wire::Response::Overloaded { id: job.request.id });
+        }
+    }
+    // Admitted: graceful drain guarantees a worker answers.
+    let response = reply_rx.recv().unwrap_or(wire::Response::Error {
+        id,
+        error: "worker dropped the request".into(),
+    });
+    send_response(writer, &response)
+}
+
+fn send_response(writer: &mut TcpStream, response: &wire::Response) -> bool {
+    let mut line = response.to_json();
+    line.push('\n');
+    writer.write_all(line.as_bytes()).is_ok()
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let response = match catch_unwind_silent(|| process(&job, shared)) {
+            Ok(response) => response,
+            Err(payload) => wire::Response::Error {
+                id: job.request.id.clone(),
+                error: format!("internal error: {}", panic_payload(&*payload)),
+            },
+        };
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        obs::counter("server.requests").inc();
+        let _ = job.reply.send(response);
+    }
+}
+
+/// Checks one admitted request end to end: cache lookup (or compile),
+/// driver run under the request deadline, render, optional certificate
+/// and stats payloads.
+fn process(job: &Job, shared: &Shared) -> wire::Response {
+    let req = &job.request;
+    let _span = obs::span!("request", "id {}", req.id);
+    let queue_us = job.admitted.elapsed().as_micros() as u64;
+    obs::histogram("server.queue_us").observe(queue_us);
+
+    let (session, cache_hit) = match shared.cache.get_or_compile(&req.source, "<request>") {
+        Ok(found) => found,
+        Err(front_end) => {
+            return wire::Response::Error {
+                id: req.id.clone(),
+                error: front_end,
+            }
+        }
+    };
+
+    let mut config = CheckerConfig {
+        reducer: if req.no_slicing {
+            Reducer::Identity
+        } else {
+            Reducer::path_slice()
+        },
+        time_budget: shared.config.default_time_budget,
+        ..CheckerConfig::default()
+    };
+    if let Some(t) = req.timeout_s {
+        config.time_budget = Duration::from_secs_f64(t);
+    }
+    if req.dfs {
+        config.search_order = SearchOrder::Dfs;
+    }
+    let mut driver = DriverConfig {
+        retry: RetryPolicy::retries(req.retries),
+        faults: shared.config.faults.clone(),
+        deadline: job.deadline,
+        ..DriverConfig::sequential()
+    };
+    if req.validate {
+        driver = driver.with_validator(certify::validator(FaultPlan::default()));
+    }
+
+    let report = session.check(config, &driver);
+    let wall_us = job.admitted.elapsed().as_micros() as u64;
+    obs::histogram("server.request_us").observe(wall_us);
+
+    let certificate = req.want_certificate.then(|| {
+        let trace = certify::certify_report(session.analyses(), &report, session.source());
+        Json::parse(&certify::to_json(&trace)).expect("certify emits valid JSON")
+    });
+
+    let clusters: Vec<wire::ClusterVerdict> = report
+        .clusters
+        .iter()
+        .map(|c| wire::ClusterVerdict {
+            func: c.cluster.func_name.clone(),
+            sites: c.cluster.n_sites as u64,
+            verdict: verdict_label(&c.cluster.report.outcome),
+            refinements: c.cluster.report.refinements as u64,
+            wall_us: c.cluster.report.wall.as_micros() as u64,
+        })
+        .collect();
+
+    let cluster_reports: Vec<blastlite::ClusterReport> =
+        report.clusters.iter().map(|c| c.cluster.clone()).collect();
+    let (render, exit) = render_verdicts(session.program(), &cluster_reports);
+
+    let stats = req.want_stats.then(|| stats_json(shared));
+
+    wire::Response::Ok {
+        id: req.id.clone(),
+        cache_hit,
+        exit,
+        render,
+        clusters,
+        wall_us,
+        queue_us,
+        certificate,
+        stats,
+    }
+}
+
+fn verdict_label(outcome: &blastlite::CheckOutcome) -> String {
+    use blastlite::CheckOutcome;
+    match outcome {
+        CheckOutcome::Safe => "SAFE".into(),
+        CheckOutcome::Bug { .. } => "BUG".into(),
+        CheckOutcome::Timeout(reason) => format!("TIMEOUT({reason:?})"),
+        CheckOutcome::InternalError { phase, .. } => format!("INTERNAL({phase})"),
+        CheckOutcome::CertificateMismatch { claimed, .. } => format!("MISMATCH({claimed})"),
+    }
+}
+
+/// The `stats` payload: server accounting plus the global `obs` counter
+/// snapshot (cumulative process totals; zeros while tracing is off).
+fn stats_json(shared: &Shared) -> Json {
+    let s = shared.stats();
+    Json::Obj(vec![
+        (
+            "server".into(),
+            Json::Obj(vec![
+                ("connections".into(), Json::Num(s.connections as i64)),
+                ("requests".into(), Json::Num(s.requests as i64)),
+                ("overloaded".into(), Json::Num(s.overloaded as i64)),
+                (
+                    "rejected_frames".into(),
+                    Json::Num(s.rejected_frames as i64),
+                ),
+                ("cache_hits".into(), Json::Num(s.cache.hits as i64)),
+                ("cache_misses".into(), Json::Num(s.cache.misses as i64)),
+                (
+                    "cache_evictions".into(),
+                    Json::Num(s.cache.evictions as i64),
+                ),
+                ("cache_len".into(), Json::Num(s.cache.len as i64)),
+                ("cache_hit_rate".into(), Json::Float(s.cache.hit_rate())),
+            ]),
+        ),
+        (
+            "counters".into(),
+            Json::Obj(
+                obs::counters()
+                    .into_iter()
+                    .map(|(k, v)| (k.to_owned(), Json::Num(v as i64)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+// ---------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------
+
+/// A blocking NDJSON client for one daemon connection (tests, the load
+/// generator, scripted drivers).
+#[derive(Debug)]
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the connect.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends one request and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// A message on I/O failure, connection close, or an unparseable
+    /// response.
+    pub fn request(&mut self, request: &wire::Request) -> Result<wire::Response, String> {
+        self.send_raw(&request.to_json())
+    }
+
+    /// Sends one raw frame (malformed-input testing) and blocks for the
+    /// response line.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn send_raw(&mut self, frame: &str) -> Result<wire::Response, String> {
+        let mut line = frame.to_owned();
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .map_err(|e| format!("send: {e}"))?;
+        self.read_response()
+    }
+
+    /// Writes raw bytes without a frame terminator (truncated-frame
+    /// testing).
+    ///
+    /// # Errors
+    ///
+    /// A message on I/O failure.
+    pub fn send_partial(&mut self, bytes: &[u8]) -> Result<(), String> {
+        self.writer
+            .write_all(bytes)
+            .map_err(|e| format!("send: {e}"))
+    }
+
+    /// Blocks for the next response line.
+    ///
+    /// # Errors
+    ///
+    /// A message on I/O failure, connection close, or an unparseable
+    /// response.
+    pub fn read_response(&mut self) -> Result<wire::Response, String> {
+        let mut line = String::new();
+        loop {
+            match self.reader.read_line(&mut line) {
+                Ok(0) => return Err("connection closed".into()),
+                Ok(_) if line.ends_with('\n') => break,
+                Ok(_) => {}
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(format!("recv: {e}")),
+            }
+        }
+        wire::Response::from_json(line.trim_end()).map_err(|e| format!("bad response: {e}"))
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_server(jobs: usize, queue: usize) -> Server {
+        Server::start(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            jobs,
+            queue_capacity: queue,
+            ..ServerConfig::default()
+        })
+        .expect("bind test server")
+    }
+
+    const BUGGY: &str = r#"
+        global limit;
+        fn main() {
+            local amount;
+            amount = nondet();
+            if (amount > limit) { if (limit == 0) { error(); } }
+        }
+    "#;
+
+    #[test]
+    fn round_trip_bug_verdict_and_cache_hit() {
+        let server = test_server(2, 8);
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let mut req = wire::Request::new(BUGGY);
+        req.id = "first".into();
+        let wire::Response::Ok {
+            id,
+            cache_hit,
+            exit,
+            render,
+            clusters,
+            ..
+        } = client.request(&req).unwrap()
+        else {
+            panic!("expected ok");
+        };
+        assert_eq!(id, "first");
+        assert!(!cache_hit);
+        assert_eq!(exit, 1);
+        assert!(render.contains("BUG"), "{render}");
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].verdict, "BUG");
+
+        req.id = "second".into();
+        let wire::Response::Ok { cache_hit, .. } = client.request(&req).unwrap() else {
+            panic!("expected ok");
+        };
+        assert!(cache_hit, "repeat request must hit the analysis cache");
+
+        let stats = server.shutdown();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.cache.misses, 1);
+    }
+
+    #[test]
+    fn malformed_frames_answer_errors_and_daemon_survives() {
+        let server = test_server(1, 4);
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        for frame in ["not json", "{\"schema\":\"wrong/v9\"}", "{}"] {
+            let resp = client.send_raw(frame).unwrap();
+            assert!(
+                matches!(resp, wire::Response::Error { .. }),
+                "{frame} → {resp:?}"
+            );
+        }
+        // The same connection still serves a healthy request.
+        let resp = client
+            .request(&wire::Request::new("global x; fn main() { x = 1; }"))
+            .unwrap();
+        assert!(matches!(resp, wire::Response::Ok { .. }), "{resp:?}");
+        let stats = server.shutdown();
+        assert_eq!(stats.rejected_frames, 3);
+    }
+
+    #[test]
+    fn deadline_in_the_past_times_out_not_hangs() {
+        let server = test_server(1, 4);
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let mut req = wire::Request::new(BUGGY);
+        req.deadline_ms = Some(0);
+        let wire::Response::Ok { clusters, exit, .. } = client.request(&req).unwrap() else {
+            panic!("expected ok");
+        };
+        assert_eq!(exit, 2);
+        assert!(
+            clusters.iter().all(|c| c.verdict.contains("TIMEOUT")),
+            "{clusters:?}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_with_no_traffic_joins_cleanly() {
+        let server = test_server(4, 16);
+        let stats = server.shutdown();
+        assert_eq!(stats.requests, 0);
+    }
+}

@@ -1,0 +1,489 @@
+//! `pathslice-wire/v1` — the daemon's request/response format.
+//!
+//! Framing is newline-delimited JSON over TCP: one request per line, one
+//! response line per request, in order. Both directions are plain
+//! [`obs::json::Json`] documents (the workspace builds offline; there is
+//! no serde), with a `schema` marker checked on parse so foreign traffic
+//! is rejected with an error response instead of undefined behaviour.
+//!
+//! A request carries the source text plus the same knobs as `pathslice
+//! check` (per-cluster budget, reducer, search order, retries,
+//! validation) and two *wants*: the certificate trace and the stats
+//! snapshot. A response is one of three statuses:
+//!
+//! * `ok` — verdicts (structured and rendered exactly as `pathslice
+//!   check` prints them), cache disposition, timings, and the optional
+//!   certificate/stats payloads.
+//! * `overloaded` — the admission queue was full (or draining); the
+//!   request was *not* processed. Clients should back off and retry.
+//! * `error` — malformed request, front-end failure, or an isolated
+//!   internal error; the daemon stays up.
+
+use obs::json::{Json, JsonError};
+
+/// Schema marker; bumped on breaking changes.
+pub const WIRE_SCHEMA: &str = "pathslice-wire/v1";
+
+/// One verification request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: String,
+    /// IMP source text to check.
+    pub source: String,
+    /// Per-cluster wall-clock budget in seconds (`pathslice check
+    /// --timeout`); the server default applies when absent.
+    pub timeout_s: Option<f64>,
+    /// Whole-request deadline in milliseconds, measured from admission —
+    /// queue wait counts against it. Wired through [`rt::Budget`].
+    pub deadline_ms: Option<u64>,
+    /// Disable path slicing (`--no-slicing`).
+    pub no_slicing: bool,
+    /// Depth-first abstract search (`--dfs`).
+    pub dfs: bool,
+    /// Retry-ladder depth (`--retries`).
+    pub retries: usize,
+    /// Independently validate every verdict's certificate
+    /// (`--validate`).
+    pub validate: bool,
+    /// Include the certificate trace (`pathslice-trace/v1` document) in
+    /// the response.
+    pub want_certificate: bool,
+    /// Include the counter/cache stats snapshot in the response.
+    pub want_stats: bool,
+}
+
+impl Request {
+    /// A request for `source` with every knob at its default.
+    pub fn new(source: &str) -> Request {
+        Request {
+            id: String::new(),
+            source: source.to_owned(),
+            timeout_s: None,
+            deadline_ms: None,
+            no_slicing: false,
+            dfs: false,
+            retries: 0,
+            validate: false,
+            want_certificate: false,
+            want_stats: false,
+        }
+    }
+
+    /// Serializes to one wire line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut fields = vec![
+            ("schema".into(), Json::Str(WIRE_SCHEMA.into())),
+            ("id".into(), Json::Str(self.id.clone())),
+            ("source".into(), Json::Str(self.source.clone())),
+        ];
+        if let Some(t) = self.timeout_s {
+            fields.push(("timeout_s".into(), Json::Float(t)));
+        }
+        if let Some(d) = self.deadline_ms {
+            fields.push(("deadline_ms".into(), Json::Num(d as i64)));
+        }
+        if self.no_slicing {
+            fields.push(("no_slicing".into(), Json::Bool(true)));
+        }
+        if self.dfs {
+            fields.push(("dfs".into(), Json::Bool(true)));
+        }
+        if self.retries > 0 {
+            fields.push(("retries".into(), Json::Num(self.retries as i64)));
+        }
+        if self.validate {
+            fields.push(("validate".into(), Json::Bool(true)));
+        }
+        if self.want_certificate {
+            fields.push(("certificate".into(), Json::Bool(true)));
+        }
+        if self.want_stats {
+            fields.push(("stats".into(), Json::Bool(true)));
+        }
+        Json::Obj(fields).to_text()
+    }
+
+    /// Parses one wire line.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] on malformed JSON, a wrong/missing `schema` marker,
+    /// a missing `source`, or an ill-typed field.
+    pub fn from_json(text: &str) -> Result<Request, JsonError> {
+        let bad = |m: &str| JsonError {
+            message: m.to_owned(),
+            at: 0,
+        };
+        let doc = Json::parse(text)?;
+        if doc.field("schema").and_then(Json::as_str) != Some(WIRE_SCHEMA) {
+            return Err(bad("not a pathslice-wire/v1 request"));
+        }
+        let source = doc
+            .field("source")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing string field `source`"))?
+            .to_owned();
+        let flag = |name: &str| -> Result<bool, JsonError> {
+            match doc.field(name) {
+                None | Some(Json::Null) => Ok(false),
+                Some(Json::Bool(b)) => Ok(*b),
+                Some(_) => Err(bad(&format!("`{name}` is not a boolean"))),
+            }
+        };
+        let unsigned = |name: &str| -> Result<Option<u64>, JsonError> {
+            match doc.field(name) {
+                None | Some(Json::Null) => Ok(None),
+                Some(j) => match j.as_i64() {
+                    Some(n) if n >= 0 => Ok(Some(n as u64)),
+                    _ => Err(bad(&format!("`{name}` is not a non-negative integer"))),
+                },
+            }
+        };
+        let timeout_s = match doc.field("timeout_s") {
+            None | Some(Json::Null) => None,
+            Some(j) => match j.as_f64() {
+                Some(f) if f.is_finite() && f >= 0.0 => Some(f),
+                _ => return Err(bad("`timeout_s` is not a non-negative number")),
+            },
+        };
+        Ok(Request {
+            id: doc
+                .field("id")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_owned(),
+            source,
+            timeout_s,
+            deadline_ms: unsigned("deadline_ms")?,
+            no_slicing: flag("no_slicing")?,
+            dfs: flag("dfs")?,
+            retries: unsigned("retries")?.unwrap_or(0) as usize,
+            validate: flag("validate")?,
+            want_certificate: flag("certificate")?,
+            want_stats: flag("stats")?,
+        })
+    }
+}
+
+/// One cluster's verdict, structured (the `render` field carries the
+/// same information formatted exactly as `pathslice check` prints it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterVerdict {
+    /// Function name (the cluster key).
+    pub func: String,
+    /// Error sites in the cluster.
+    pub sites: u64,
+    /// Verdict label: `SAFE`, `BUG`, `TIMEOUT(..)`, `INTERNAL(..)`,
+    /// `MISMATCH(..)`.
+    pub verdict: String,
+    /// CEGAR refinement rounds used.
+    pub refinements: u64,
+    /// Check wall time, microseconds.
+    pub wall_us: u64,
+}
+
+/// One response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The request was processed.
+    Ok {
+        /// Echoed request id.
+        id: String,
+        /// Whether the analysis cache already held the program.
+        cache_hit: bool,
+        /// `pathslice check` exit code for these verdicts.
+        exit: i32,
+        /// Verdicts rendered byte-identically to `pathslice check`.
+        render: String,
+        /// Structured per-cluster verdicts.
+        clusters: Vec<ClusterVerdict>,
+        /// Check wall time (admission to completion), microseconds.
+        wall_us: u64,
+        /// Time spent queued before a worker picked the request up,
+        /// microseconds.
+        queue_us: u64,
+        /// `pathslice-trace/v1` certificate document, when requested.
+        certificate: Option<Json>,
+        /// Counter/cache snapshot, when requested.
+        stats: Option<Json>,
+    },
+    /// Admission control shed the request; it was not processed.
+    Overloaded {
+        /// Echoed request id.
+        id: String,
+    },
+    /// The request failed; the daemon is still healthy.
+    Error {
+        /// Echoed request id (empty when the frame didn't parse).
+        id: String,
+        /// What went wrong.
+        error: String,
+    },
+}
+
+impl Response {
+    /// Echoed request id.
+    pub fn id(&self) -> &str {
+        match self {
+            Response::Ok { id, .. } | Response::Overloaded { id } | Response::Error { id, .. } => {
+                id
+            }
+        }
+    }
+
+    /// Serializes to one wire line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let doc = match self {
+            Response::Ok {
+                id,
+                cache_hit,
+                exit,
+                render,
+                clusters,
+                wall_us,
+                queue_us,
+                certificate,
+                stats,
+            } => {
+                let mut fields = vec![
+                    ("schema".into(), Json::Str(WIRE_SCHEMA.into())),
+                    ("id".into(), Json::Str(id.clone())),
+                    ("status".into(), Json::Str("ok".into())),
+                    (
+                        "cache".into(),
+                        Json::Str(if *cache_hit { "hit" } else { "miss" }.into()),
+                    ),
+                    ("exit".into(), Json::Num(*exit as i64)),
+                    ("render".into(), Json::Str(render.clone())),
+                    (
+                        "clusters".into(),
+                        Json::Arr(
+                            clusters
+                                .iter()
+                                .map(|c| {
+                                    Json::Obj(vec![
+                                        ("func".into(), Json::Str(c.func.clone())),
+                                        ("sites".into(), Json::Num(c.sites as i64)),
+                                        ("verdict".into(), Json::Str(c.verdict.clone())),
+                                        ("refinements".into(), Json::Num(c.refinements as i64)),
+                                        ("wall_us".into(), Json::Num(c.wall_us as i64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    ("wall_us".into(), Json::Num(*wall_us as i64)),
+                    ("queue_us".into(), Json::Num(*queue_us as i64)),
+                ];
+                if let Some(cert) = certificate {
+                    fields.push(("certificate".into(), cert.clone()));
+                }
+                if let Some(stats) = stats {
+                    fields.push(("stats".into(), stats.clone()));
+                }
+                Json::Obj(fields)
+            }
+            Response::Overloaded { id } => Json::Obj(vec![
+                ("schema".into(), Json::Str(WIRE_SCHEMA.into())),
+                ("id".into(), Json::Str(id.clone())),
+                ("status".into(), Json::Str("overloaded".into())),
+            ]),
+            Response::Error { id, error } => Json::Obj(vec![
+                ("schema".into(), Json::Str(WIRE_SCHEMA.into())),
+                ("id".into(), Json::Str(id.clone())),
+                ("status".into(), Json::Str("error".into())),
+                ("error".into(), Json::Str(error.clone())),
+            ]),
+        };
+        doc.to_text()
+    }
+
+    /// Parses one wire line.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] on malformed JSON, a wrong `schema` marker, or an
+    /// unknown `status`.
+    pub fn from_json(text: &str) -> Result<Response, JsonError> {
+        let bad = |m: &str| JsonError {
+            message: m.to_owned(),
+            at: 0,
+        };
+        let doc = Json::parse(text)?;
+        if doc.field("schema").and_then(Json::as_str) != Some(WIRE_SCHEMA) {
+            return Err(bad("not a pathslice-wire/v1 response"));
+        }
+        let id = doc
+            .field("id")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_owned();
+        match doc.field("status").and_then(Json::as_str) {
+            Some("overloaded") => Ok(Response::Overloaded { id }),
+            Some("error") => Ok(Response::Error {
+                id,
+                error: doc
+                    .field("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown error")
+                    .to_owned(),
+            }),
+            Some("ok") => {
+                let num = |name: &str| -> Result<i64, JsonError> {
+                    doc.field(name)
+                        .and_then(Json::as_i64)
+                        .ok_or_else(|| bad(&format!("missing numeric field `{name}`")))
+                };
+                let mut clusters = Vec::new();
+                for c in doc
+                    .field("clusters")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| bad("missing `clusters` array"))?
+                {
+                    let cstr = |name: &str| -> Result<String, JsonError> {
+                        c.field(name)
+                            .and_then(Json::as_str)
+                            .map(str::to_owned)
+                            .ok_or_else(|| bad(&format!("cluster missing `{name}`")))
+                    };
+                    let cnum = |name: &str| -> Result<u64, JsonError> {
+                        match c.field(name).and_then(Json::as_i64) {
+                            Some(n) if n >= 0 => Ok(n as u64),
+                            _ => Err(bad(&format!("cluster missing `{name}`"))),
+                        }
+                    };
+                    clusters.push(ClusterVerdict {
+                        func: cstr("func")?,
+                        sites: cnum("sites")?,
+                        verdict: cstr("verdict")?,
+                        refinements: cnum("refinements")?,
+                        wall_us: cnum("wall_us")?,
+                    });
+                }
+                Ok(Response::Ok {
+                    id,
+                    cache_hit: match doc.field("cache").and_then(Json::as_str) {
+                        Some("hit") => true,
+                        Some("miss") => false,
+                        _ => return Err(bad("missing `cache` disposition")),
+                    },
+                    exit: num("exit")? as i32,
+                    render: doc
+                        .field("render")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| bad("missing `render`"))?
+                        .to_owned(),
+                    clusters,
+                    wall_us: num("wall_us")? as u64,
+                    queue_us: num("queue_us")? as u64,
+                    certificate: doc.field("certificate").cloned(),
+                    stats: doc.field("stats").cloned(),
+                })
+            }
+            _ => Err(bad("unknown response `status`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips_with_all_fields() {
+        let req = Request {
+            id: "req-7".into(),
+            source: "fn main() { }\n\"quoted\"".into(),
+            timeout_s: Some(2.5),
+            deadline_ms: Some(1500),
+            no_slicing: true,
+            dfs: true,
+            retries: 3,
+            validate: true,
+            want_certificate: true,
+            want_stats: true,
+        };
+        assert_eq!(Request::from_json(&req.to_json()).unwrap(), req);
+    }
+
+    #[test]
+    fn request_defaults_roundtrip() {
+        let req = Request::new("global x; fn main() { }");
+        let back = Request::from_json(&req.to_json()).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(back.retries, 0);
+        assert!(!back.validate);
+    }
+
+    #[test]
+    fn request_rejects_bad_frames() {
+        for bad in [
+            "",
+            "{",
+            "{\"schema\":\"other/v1\",\"source\":\"x\"}",
+            "{\"schema\":\"pathslice-wire/v1\"}",
+            "{\"schema\":\"pathslice-wire/v1\",\"source\":5}",
+            "{\"schema\":\"pathslice-wire/v1\",\"source\":\"x\",\"retries\":-1}",
+            "{\"schema\":\"pathslice-wire/v1\",\"source\":\"x\",\"timeout_s\":\"soon\"}",
+        ] {
+            assert!(Request::from_json(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn response_variants_roundtrip() {
+        let ok = Response::Ok {
+            id: "a".into(),
+            cache_hit: true,
+            exit: 1,
+            render: "main  BUG\n".into(),
+            clusters: vec![ClusterVerdict {
+                func: "main".into(),
+                sites: 2,
+                verdict: "BUG".into(),
+                refinements: 4,
+                wall_us: 1234,
+            }],
+            wall_us: 2000,
+            queue_us: 17,
+            certificate: Some(Json::Obj(vec![("version".into(), Json::Num(1))])),
+            stats: None,
+        };
+        for resp in [
+            ok,
+            Response::Overloaded { id: "b".into() },
+            Response::Error {
+                id: String::new(),
+                error: "bad frame".into(),
+            },
+        ] {
+            assert_eq!(
+                Response::from_json(&resp.to_json()).unwrap(),
+                resp,
+                "{resp:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn response_rejects_foreign_documents() {
+        assert!(Response::from_json("{\"schema\":\"pathslice-bench/v1\"}").is_err());
+        assert!(
+            Response::from_json("{\"schema\":\"pathslice-wire/v1\",\"status\":\"nope\"}").is_err()
+        );
+    }
+
+    #[test]
+    fn frames_are_single_line() {
+        // Newline-delimited framing requires emitted frames to never
+        // contain a raw newline, whatever the payload.
+        let req = Request::new("line1\nline2\r\n");
+        assert!(!req.to_json().contains('\n'));
+        let resp = Response::Error {
+            id: "x\ny".into(),
+            error: "multi\nline".into(),
+        };
+        assert!(!resp.to_json().contains('\n'));
+    }
+}
