@@ -81,4 +81,5 @@ fn main() {
     println!("# expected shape: no spurious errors either way; the scoped column");
     println!("# explores fewer abstract states per time budget (helper-local");
     println!("# predicates are not dragged across module boundaries)");
+    bench::flush_trace_out();
 }

@@ -76,4 +76,5 @@ fn main() {
         rep.config("time_budget_s", Json::Float(budget.as_secs_f64()));
         bench::finish_json_report(rep);
     }
+    bench::flush_trace_out();
 }

@@ -1,0 +1,26 @@
+//! The perf-regression gate: compares a fresh `pathslice-bench/v1`
+//! report against a committed baseline (see `bench::diff` for the
+//! metric classification and `results/history/` for the baselines CI
+//! diffs against).
+//!
+//! Usage: `bench_diff <baseline.json|baseline-dir> <current.json>
+//! [--rel-tol <f>] [--abs-slack <n>] [--time-gate]
+//! [--json-out <verdict.json>]`
+//!
+//! Exit code: `0` clean (warnings allowed), `1` regression, `64` usage
+//! or parse error.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::new();
+    match bench::diff::cli_main(&args, &mut out) {
+        Ok(code) => {
+            print!("{out}");
+            std::process::exit(code);
+        }
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            std::process::exit(64);
+        }
+    }
+}

@@ -12,7 +12,8 @@
 //! serve_bench [small|medium|full]
 //!             [--requests <n>] [--concurrency <c>] [--repeat-ratio <r>]
 //!             [--rate <req/s>] [--seed <s>] [--server-jobs <n>]
-//!             [--json] [--smoke]
+//!             [--json] [--smoke] [--metrics-out <metrics.prom>]
+//!             [--trace-out <spans.json>]
 //! ```
 //!
 //! Each request is a distinct generated workload program (seed-varied)
@@ -26,9 +27,15 @@
 //!
 //! `--json` writes `BENCH_serve.json` (`pathslice-bench/v1`): rows
 //! `all` / `cached` / `cold` with `p50`/`p95`/`p99`/`total` in
-//! `times_s`. `--smoke` is the CI mode: 3 requests on 1 connection
-//! (the third repeats the first → must hit the cache), then asserts a
-//! clean drain and zero leaked threads.
+//! `times_s`, plus the full per-verdict latency distribution as an
+//! [`obs::Histogram`] snapshot (`hists.latency_us`, with bucket-exact
+//! `hist_p50_us`/`hist_p95_us`/`hist_p99_us` columns) so regression
+//! diffs can reason about tails, not just three points. `--smoke` is
+//! the CI mode: 3 requests on 1 connection (the third repeats the
+//! first → must hit the cache), then asserts a clean drain and zero
+//! leaked threads. `--metrics-out` fetches the daemon's Prometheus
+//! exposition over the wire (`op: "metrics"`) right before the drain
+//! and writes it to a file; `--trace-out` dumps the run's span trees.
 
 use obs::json::Json;
 use rand::rngs::StdRng;
@@ -205,6 +212,18 @@ fn main() {
         failures.extend(f);
     }
     let total = t0.elapsed();
+    if let Some(path) = flag("--metrics-out") {
+        // Through the wire, not Server::metrics_exposition(): the bench
+        // should exercise the same path an operator's scraper would.
+        let mut scraper = Client::connect(addr).expect("connect for metrics");
+        match scraper.metrics("serve-bench-final") {
+            Ok((exposition, _series)) => match std::fs::write(&path, exposition) {
+                Ok(()) => eprintln!("wrote {path}"),
+                Err(e) => eprintln!("cannot write {path}: {e}"),
+            },
+            Err(e) => eprintln!("metrics request failed: {e}"),
+        }
+    }
     let stats = server.shutdown();
 
     for f in &failures {
@@ -252,6 +271,15 @@ fn main() {
         rep.config("seed", Json::Num(seed as i64));
         rep.config("server_jobs", Json::Num(server_jobs as i64));
         for (name, lat) in [("all", &all), ("cached", &cached), ("cold", &cold)] {
+            // The full distribution, log₂-bucketed: sort-based
+            // percentiles above give exact points for the table, the
+            // histogram snapshot round-trips through the report so
+            // `bench diff` can compare tails bucket-for-bucket.
+            let hist = obs::Histogram::new();
+            for d in lat.iter() {
+                hist.record(d.as_micros() as u64);
+            }
+            let snap = hist.snapshot();
             rep.rows.push(bench::Row {
                 name: name.into(),
                 variant: "default".into(),
@@ -263,6 +291,9 @@ fn main() {
                     ("cache_evictions".into(), stats.cache.evictions as i64),
                     ("overloaded".into(), stats.overloaded as i64),
                     ("throughput_rps".into(), throughput.round() as i64),
+                    ("hist_p50_us".into(), snap.quantile(0.50) as i64),
+                    ("hist_p95_us".into(), snap.quantile(0.95) as i64),
+                    ("hist_p99_us".into(), snap.quantile(0.99) as i64),
                 ],
                 times_s: vec![
                     ("p50".into(), percentile(lat, 0.50).as_secs_f64()),
@@ -270,11 +301,13 @@ fn main() {
                     ("p99".into(), percentile(lat, 0.99).as_secs_f64()),
                     ("total".into(), total.as_secs_f64()),
                 ],
+                hists: vec![("latency_us".into(), snap)],
                 ..bench::Row::default()
             });
         }
         bench::finish_json_report(rep);
     }
+    bench::flush_trace_out();
 
     if smoke {
         // CI gate: every request answered, the repeat hit the cache,

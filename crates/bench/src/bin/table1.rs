@@ -3,9 +3,12 @@
 //! CEGAR checker with path-slicing counterexample reduction.
 //!
 //! Usage: `table1 [small|medium|full] [--jobs <n>] [--retries <k>]
-//! [--json]` (default: medium, sequential, no retries). With `--json`,
-//! tracing is enabled and a `pathslice-bench/v1` report is written to
-//! `BENCH_table1.json` in the current directory.
+//! [--json] [--trace-out <spans.json>]` (default: medium, sequential,
+//! no retries). With `--json`, tracing is enabled and a
+//! `pathslice-bench/v1` report is written to `BENCH_table1.json` in the
+//! current directory; `--trace-out` dumps the run's raw span trees.
+//! SIGINT cancels in-flight clusters gracefully and both epilogues
+//! still run.
 
 use blastlite::{CheckerConfig, Reducer};
 use obs::json::Json;
@@ -57,4 +60,5 @@ fn main() {
         }
         bench::finish_json_report(rep);
     }
+    bench::flush_trace_out();
 }

@@ -1,0 +1,698 @@
+//! `bench diff` — the perf-regression gate: compares two
+//! `pathslice-bench/v1` reports (a fresh run vs. a committed baseline,
+//! typically under `results/history/`) with noise-aware thresholds and
+//! a machine-readable verdict.
+//!
+//! Metrics are classified by what kind of noise they admit:
+//!
+//! * **exact** — deterministic given the workload seed (`loc`,
+//!   `procedures`, `checks`, `sites`, `safe`, `errors`, `mismatches`,
+//!   scatter-point shape). Any drift is a hard failure: either the
+//!   checker's verdicts changed or the workload generator did, and both
+//!   must be deliberate.
+//! * **soft** — deterministic in principle but allowed a small envelope
+//!   (`timeouts`, `retries`, `refinements`, solver counters, phase
+//!   *counts*): a slow CI machine can tip a borderline check over a
+//!   budget. Fails when `|current − baseline|` exceeds
+//!   `max(abs_slack, rel_tol · baseline)`.
+//! * **time** — wall-clock (`times_s.*`, `phases_us.*.total_us`,
+//!   latency quantiles). Advisory by default (a 1-CPU container is not
+//!   a benchmark machine); `--time-gate` upgrades excursions beyond the
+//!   time envelope to failures for dedicated perf hardware.
+//!
+//! The exit contract: `0` when nothing failed (warnings allowed), `1`
+//! on any failure, usage/parse errors reported via `Err`. Re-diffing a
+//! report against itself is always exit `0`.
+
+use crate::report::BenchReport;
+use obs::json::Json;
+use std::collections::BTreeMap;
+
+/// Tolerances for the soft and time envelopes.
+#[derive(Debug, Clone)]
+pub struct DiffConfig {
+    /// Relative envelope for soft metrics (fraction of the baseline).
+    pub rel_tol: f64,
+    /// Absolute slack for soft metrics (covers small-count jitter where
+    /// a relative envelope rounds to zero).
+    pub abs_slack: f64,
+    /// Relative envelope for time metrics.
+    pub time_rel_tol: f64,
+    /// Absolute slack for time metrics, in the metric's own unit
+    /// (seconds for `times_s`, microseconds for `*_us`).
+    pub time_abs_slack: f64,
+    /// Upgrade time excursions from warnings to failures.
+    pub time_gate: bool,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            rel_tol: 0.25,
+            abs_slack: 2.0,
+            time_rel_tol: 0.5,
+            time_abs_slack: 0.1,
+            time_gate: false,
+        }
+    }
+}
+
+/// How a metric is gated (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// Must match the baseline exactly.
+    Exact,
+    /// Gated by the soft envelope.
+    Soft,
+    /// Wall-clock: advisory unless `time_gate`.
+    Time,
+}
+
+impl Class {
+    fn name(self) -> &'static str {
+        match self {
+            Class::Exact => "exact",
+            Class::Soft => "soft",
+            Class::Time => "time",
+        }
+    }
+}
+
+/// One out-of-envelope metric (or shape mismatch).
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// `name/variant` of the row, or `""` for report-level metrics.
+    pub row: String,
+    /// Dotted metric key (`fields.timeouts`, `phases_us.solve.count`).
+    pub metric: String,
+    /// Gate class the metric was compared under.
+    pub class: Class,
+    /// Baseline value (0 for shape findings).
+    pub baseline: f64,
+    /// Current value (0 for shape findings).
+    pub current: f64,
+    /// Whether this finding gates the exit code.
+    pub fail: bool,
+    /// Human-readable explanation.
+    pub note: String,
+}
+
+/// The outcome of one report comparison.
+#[derive(Debug, Clone, Default)]
+pub struct DiffResult {
+    /// Bench name (from the current report).
+    pub bench: String,
+    /// Workload scale (from the current report).
+    pub scale: String,
+    /// Total metrics compared (in-envelope ones are not listed).
+    pub compared: usize,
+    /// Every out-of-envelope metric and shape mismatch.
+    pub findings: Vec<Finding>,
+}
+
+impl DiffResult {
+    /// Whether any finding gates the exit code.
+    pub fn failed(&self) -> bool {
+        self.findings.iter().any(|f| f.fail)
+    }
+
+    /// Renders the `pathslice-benchdiff/v1` verdict document.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::Str("pathslice-benchdiff/v1".into())),
+            ("bench".into(), Json::Str(self.bench.clone())),
+            ("scale".into(), Json::Str(self.scale.clone())),
+            (
+                "verdict".into(),
+                Json::Str(if self.failed() { "regressed" } else { "ok" }.into()),
+            ),
+            ("compared".into(), Json::Num(self.compared as i64)),
+            (
+                "findings".into(),
+                Json::Arr(
+                    self.findings
+                        .iter()
+                        .map(|f| {
+                            Json::Obj(vec![
+                                ("row".into(), Json::Str(f.row.clone())),
+                                ("metric".into(), Json::Str(f.metric.clone())),
+                                ("class".into(), Json::Str(f.class.name().into())),
+                                ("baseline".into(), Json::Float(f.baseline)),
+                                ("current".into(), Json::Float(f.current)),
+                                (
+                                    "severity".into(),
+                                    Json::Str(if f.fail { "fail" } else { "warn" }.into()),
+                                ),
+                                ("note".into(), Json::Str(f.note.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Renders the human-readable summary.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let fails = self.findings.iter().filter(|f| f.fail).count();
+        let warns = self.findings.len() - fails;
+        let _ = writeln!(
+            out,
+            "bench diff: {} ({}) — {} metric(s) compared, {} failure(s), {} warning(s)",
+            self.bench, self.scale, self.compared, fails, warns
+        );
+        for f in &self.findings {
+            let _ = writeln!(
+                out,
+                "  [{}] {:<5} {}{}{}: {} -> {} ({})",
+                if f.fail { "FAIL" } else { "warn" },
+                f.class.name(),
+                f.row,
+                if f.row.is_empty() { "" } else { " " },
+                f.metric,
+                f.baseline,
+                f.current,
+                f.note
+            );
+        }
+        let _ = writeln!(
+            out,
+            "verdict: {}",
+            if self.failed() { "REGRESSED" } else { "OK" }
+        );
+        out
+    }
+}
+
+/// Fields deterministic given the workload seed: the generator's shape
+/// counts and the checker's verdict split. `seed` itself belongs here —
+/// if it moved, the two reports measured different workloads.
+const EXACT_FIELDS: &[&str] = &[
+    "seed",
+    "loc",
+    "procedures",
+    "checks",
+    "sites",
+    "safe",
+    "errors",
+    "mismatches",
+];
+
+fn classify(key: &str) -> Class {
+    if let Some(field) = key.strip_prefix("fields.") {
+        if EXACT_FIELDS.contains(&field) {
+            return Class::Exact;
+        }
+        // Latency/throughput columns (serve_bench) are wall-clock.
+        if field.ends_with("_us") || field.ends_with("_rps") {
+            return Class::Time;
+        }
+        return Class::Soft;
+    }
+    if key.starts_with("times_s.") {
+        return Class::Time;
+    }
+    if key.starts_with("phases_us.") {
+        // Phase *counts* are work, gated softly; phase times are clock.
+        return if key.ends_with(".count") {
+            Class::Soft
+        } else {
+            Class::Time
+        };
+    }
+    if key.starts_with("hists.") {
+        return if key.ends_with(".count") {
+            Class::Soft
+        } else {
+            Class::Time
+        };
+    }
+    if key == "points.len" {
+        return Class::Exact;
+    }
+    // Counters (solver checks, cache hits, …) and anything new.
+    Class::Soft
+}
+
+/// Flattens one row (or the report-level tail) into dotted keys.
+fn metrics_of_row(row: &crate::report::Row) -> BTreeMap<String, f64> {
+    let mut m = BTreeMap::new();
+    for (k, v) in &row.fields {
+        m.insert(format!("fields.{k}"), *v as f64);
+    }
+    for (k, v) in &row.times_s {
+        m.insert(format!("times_s.{k}"), *v);
+    }
+    for p in &row.phases {
+        m.insert(format!("phases_us.{}.count", p.name), p.count as f64);
+        m.insert(format!("phases_us.{}.total_us", p.name), p.total_us as f64);
+        m.insert(format!("phases_us.{}.self_us", p.name), p.self_us as f64);
+    }
+    for (k, v) in &row.counters {
+        m.insert(format!("counters.{k}"), *v as f64);
+    }
+    for (k, h) in &row.hists {
+        m.insert(format!("hists.{k}.count"), h.count as f64);
+        for (q, label) in [(0.50, "p50_us"), (0.95, "p95_us"), (0.99, "p99_us")] {
+            m.insert(format!("hists.{k}.{label}"), h.quantile(q) as f64);
+        }
+    }
+    m
+}
+
+fn metrics_of_report(rep: &BenchReport) -> BTreeMap<String, f64> {
+    let mut m = BTreeMap::new();
+    for (k, v) in &rep.counters {
+        m.insert(format!("counters.{k}"), *v as f64);
+    }
+    m.insert("points.len".into(), rep.points.len() as f64);
+    if !rep.points.is_empty() {
+        let (t, s) = rep
+            .points
+            .iter()
+            .fold((0u64, 0u64), |(t, s), &(a, b)| (t + a, s + b));
+        m.insert("points.trace_ops_sum".into(), t as f64);
+        m.insert("points.slice_ops_sum".into(), s as f64);
+    }
+    m
+}
+
+/// Compares two metric maps for one scope, appending findings.
+fn compare_metrics(
+    scope: &str,
+    current: &BTreeMap<String, f64>,
+    baseline: &BTreeMap<String, f64>,
+    cfg: &DiffConfig,
+    result: &mut DiffResult,
+) {
+    for (key, &base) in baseline {
+        let class = classify(key);
+        let Some(&cur) = current.get(key) else {
+            // A metric the baseline tracked has vanished: for gated
+            // classes that silently blinds the gate, so it is a
+            // failure; losing a clock column is only a warning.
+            result.findings.push(Finding {
+                row: scope.to_owned(),
+                metric: key.clone(),
+                class,
+                baseline: base,
+                current: 0.0,
+                fail: class != Class::Time,
+                note: "metric missing from current report".into(),
+            });
+            continue;
+        };
+        result.compared += 1;
+        let delta = (cur - base).abs();
+        let (violated, fail, envelope) = match class {
+            Class::Exact => (cur != base, true, "exact match required".to_owned()),
+            Class::Soft => {
+                let tol = cfg.abs_slack.max(cfg.rel_tol * base.abs());
+                (delta > tol, true, format!("soft envelope ±{tol:.2}"))
+            }
+            Class::Time => {
+                let tol = cfg.time_abs_slack.max(cfg.time_rel_tol * base.abs());
+                (
+                    delta > tol,
+                    cfg.time_gate,
+                    format!("time envelope ±{tol:.2}"),
+                )
+            }
+        };
+        if violated {
+            result.findings.push(Finding {
+                row: scope.to_owned(),
+                metric: key.clone(),
+                class,
+                baseline: base,
+                current: cur,
+                fail,
+                note: envelope,
+            });
+        }
+    }
+    for (key, &cur) in current {
+        if !baseline.contains_key(key) {
+            // New metrics never gate: adding instrumentation must not
+            // require regenerating every committed baseline first.
+            result.findings.push(Finding {
+                row: scope.to_owned(),
+                metric: key.clone(),
+                class: classify(key),
+                baseline: 0.0,
+                current: cur,
+                fail: false,
+                note: "metric new in current report (not in baseline)".into(),
+            });
+        }
+    }
+}
+
+/// Compares a fresh report against a baseline.
+pub fn diff_reports(current: &BenchReport, baseline: &BenchReport, cfg: &DiffConfig) -> DiffResult {
+    let mut result = DiffResult {
+        bench: current.bench.clone(),
+        scale: current.scale.clone(),
+        ..DiffResult::default()
+    };
+    let shape_fail = |result: &mut DiffResult, metric: &str, note: String| {
+        result.findings.push(Finding {
+            row: String::new(),
+            metric: metric.to_owned(),
+            class: Class::Exact,
+            baseline: 0.0,
+            current: 0.0,
+            fail: true,
+            note,
+        });
+    };
+    if current.bench != baseline.bench {
+        shape_fail(
+            &mut result,
+            "shape.bench",
+            format!(
+                "comparing `{}` against a `{}` baseline",
+                current.bench, baseline.bench
+            ),
+        );
+        return result;
+    }
+    if current.scale != baseline.scale {
+        shape_fail(
+            &mut result,
+            "shape.scale",
+            format!(
+                "scale `{}` vs baseline scale `{}` — different workloads",
+                current.scale, baseline.scale
+            ),
+        );
+        return result;
+    }
+    // Config drift (jobs, budgets, seeds) changes what the numbers
+    // mean; surface it, but let the metric gates decide pass/fail.
+    let config_map = |r: &BenchReport| -> BTreeMap<String, String> {
+        r.config
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_text()))
+            .collect()
+    };
+    let (cur_cfg, base_cfg) = (config_map(current), config_map(baseline));
+    for (k, bv) in &base_cfg {
+        let cv = cur_cfg.get(k);
+        if cv != Some(bv) {
+            result.findings.push(Finding {
+                row: String::new(),
+                metric: format!("config.{k}"),
+                class: Class::Soft,
+                baseline: 0.0,
+                current: 0.0,
+                fail: false,
+                note: format!(
+                    "config drift: baseline {bv}, current {}",
+                    cv.map_or("<absent>".into(), Clone::clone)
+                ),
+            });
+        }
+    }
+    // Rows match by (name, variant); coverage loss is a hard failure
+    // (a vanished row is how a broken bench looks "clean").
+    let row_key = |r: &crate::report::Row| format!("{}/{}", r.name, r.variant);
+    let base_rows: BTreeMap<String, &crate::report::Row> =
+        baseline.rows.iter().map(|r| (row_key(r), r)).collect();
+    let cur_rows: BTreeMap<String, &crate::report::Row> =
+        current.rows.iter().map(|r| (row_key(r), r)).collect();
+    for (key, base_row) in &base_rows {
+        match cur_rows.get(key) {
+            Some(cur_row) => compare_metrics(
+                key,
+                &metrics_of_row(cur_row),
+                &metrics_of_row(base_row),
+                cfg,
+                &mut result,
+            ),
+            None => shape_fail(
+                &mut result,
+                "shape.row",
+                format!("row `{key}` present in baseline but missing from current report"),
+            ),
+        }
+    }
+    for key in cur_rows.keys() {
+        if !base_rows.contains_key(key) {
+            result.findings.push(Finding {
+                row: key.clone(),
+                metric: "shape.row".into(),
+                class: Class::Exact,
+                baseline: 0.0,
+                current: 0.0,
+                fail: false,
+                note: "row new in current report (not in baseline)".into(),
+            });
+        }
+    }
+    compare_metrics(
+        "",
+        &metrics_of_report(current),
+        &metrics_of_report(baseline),
+        cfg,
+        &mut result,
+    );
+    result
+}
+
+/// The shared `bench diff` entry point behind both the `bench_diff`
+/// binary and `pathslice bench diff`:
+///
+/// ```text
+/// bench diff <current.json> <baseline.json|baseline-dir>
+///            [--rel-tol <f>] [--abs-slack <n>] [--time-gate]
+///            [--json-out <verdict.json>]
+/// ```
+///
+/// A directory baseline resolves to `<dir>/BENCH_<bench>.json` using
+/// the current report's bench name, so CI can point every diff at
+/// `results/history/`.
+///
+/// # Errors
+///
+/// Usage, I/O, and parse errors (the caller prints them to stderr and
+/// exits non-zero); a *regression* is not an `Err` but exit code `1`.
+pub fn cli_main(args: &[String], out: &mut String) -> Result<i32, String> {
+    let mut positional = Vec::new();
+    let mut cfg = DiffConfig::default();
+    let mut json_out = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--rel-tol" => {
+                let v = value("--rel-tol")?;
+                cfg.rel_tol = v.parse().map_err(|_| format!("bad --rel-tol `{v}`"))?;
+            }
+            "--abs-slack" => {
+                let v = value("--abs-slack")?;
+                cfg.abs_slack = v.parse().map_err(|_| format!("bad --abs-slack `{v}`"))?;
+            }
+            "--time-gate" => cfg.time_gate = true,
+            "--json-out" => json_out = Some(value("--json-out")?),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            _ => positional.push(a.clone()),
+        }
+    }
+    // Baseline first, current second — the `diff old new` convention.
+    let [baseline_path, current_path] = positional.as_slice() else {
+        return Err(
+            "usage: bench diff <baseline.json|baseline-dir> <current.json> \
+                    [--rel-tol <f>] [--abs-slack <n>] [--time-gate] [--json-out <path>]"
+                .into(),
+        );
+    };
+    let read_report = |path: &str| -> Result<BenchReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        BenchReport::from_json(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let current = read_report(current_path)?;
+    let baseline_path = if std::path::Path::new(baseline_path).is_dir() {
+        format!("{baseline_path}/BENCH_{}.json", current.bench)
+    } else {
+        baseline_path.clone()
+    };
+    let baseline = read_report(&baseline_path)?;
+    let result = diff_reports(&current, &baseline, &cfg);
+    out.push_str(&result.render_text());
+    if let Some(path) = json_out {
+        std::fs::write(&path, result.to_json().to_text() + "\n")
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(if result.failed() { 1 } else { 0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{PhaseRow, Row};
+
+    fn report() -> BenchReport {
+        let mut rep = BenchReport::new("table1", "small");
+        rep.config("jobs", Json::Num(1));
+        rep.rows.push(Row {
+            name: "fcron".into(),
+            variant: "default".into(),
+            fields: vec![
+                ("seed".into(), 11),
+                ("loc".into(), 400),
+                ("safe".into(), 5),
+                ("errors".into(), 0),
+                ("timeouts".into(), 0),
+                ("refinements".into(), 12),
+            ],
+            times_s: vec![("total".into(), 1.0)],
+            phases: vec![PhaseRow {
+                name: "solve".into(),
+                count: 40,
+                total_us: 900_000,
+                self_us: 900_000,
+            }],
+            counters: vec![("lia.checks".into(), 120)],
+            hists: Vec::new(),
+        });
+        rep.counters = vec![("lia.checks".into(), 120)];
+        rep
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let rep = report();
+        let result = diff_reports(&rep, &rep, &DiffConfig::default());
+        assert!(!result.failed(), "{result:?}");
+        assert!(result.findings.is_empty(), "{result:?}");
+        assert!(result.compared > 5);
+    }
+
+    #[test]
+    fn verdict_drift_is_a_hard_failure() {
+        let base = report();
+        let mut cur = report();
+        cur.rows[0].fields[2].1 = 4; // safe: 5 -> 4
+        cur.rows[0].fields[3].1 = 1; // errors: 0 -> 1
+        let result = diff_reports(&cur, &base, &DiffConfig::default());
+        assert!(result.failed());
+        let failed: Vec<&str> = result
+            .findings
+            .iter()
+            .filter(|f| f.fail)
+            .map(|f| f.metric.as_str())
+            .collect();
+        assert_eq!(failed, vec!["fields.errors", "fields.safe"], "{result:?}");
+    }
+
+    #[test]
+    fn soft_envelope_absorbs_jitter_but_not_regressions() {
+        let base = report();
+        let mut cur = report();
+        // +2 refinements on 12: inside max(abs 2, 25% of 12 = 3).
+        cur.rows[0].fields[5].1 = 14;
+        assert!(!diff_reports(&cur, &base, &DiffConfig::default()).failed());
+        // Counter +60% blows the envelope.
+        cur.rows[0].counters[0].1 = 200;
+        let result = diff_reports(&cur, &base, &DiffConfig::default());
+        assert!(result.failed());
+        assert!(result
+            .findings
+            .iter()
+            .any(|f| f.fail && f.metric == "counters.lia.checks"));
+    }
+
+    #[test]
+    fn time_is_advisory_unless_gated() {
+        let base = report();
+        let mut cur = report();
+        cur.rows[0].times_s[0].1 = 3.0; // 3x the baseline wall clock
+        let result = diff_reports(&cur, &base, &DiffConfig::default());
+        assert!(!result.failed(), "{result:?}");
+        assert!(
+            result
+                .findings
+                .iter()
+                .any(|f| !f.fail && f.metric == "times_s.total"),
+            "excursion still surfaces as a warning: {result:?}"
+        );
+        let gated = DiffConfig {
+            time_gate: true,
+            ..DiffConfig::default()
+        };
+        assert!(diff_reports(&cur, &base, &gated).failed());
+    }
+
+    #[test]
+    fn missing_row_and_scale_mismatch_fail() {
+        let base = report();
+        let mut cur = report();
+        cur.rows.clear();
+        let result = diff_reports(&cur, &base, &DiffConfig::default());
+        assert!(result.failed());
+        assert!(result.findings.iter().any(|f| f.metric == "shape.row"));
+
+        let mut med = report();
+        med.scale = "medium".into();
+        let result = diff_reports(&med, &base, &DiffConfig::default());
+        assert!(result.failed());
+        assert_eq!(result.findings[0].metric, "shape.scale");
+    }
+
+    #[test]
+    fn cli_main_round_trips_files_and_exit_codes() {
+        let dir = std::env::temp_dir().join("pathslice-bench-diff-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let write = |name: &str, rep: &BenchReport| {
+            let p = dir.join(name);
+            std::fs::write(&p, rep.to_json().to_text()).unwrap();
+            p.to_string_lossy().into_owned()
+        };
+        let base = report();
+        let baseline = write("BENCH_table1.json", &base);
+        let mut regressed = report();
+        regressed.rows[0].fields[3].1 = 2;
+        let bad = write("current_bad.json", &regressed);
+
+        let mut out = String::new();
+        let code = cli_main(&[baseline.clone(), baseline.clone()], &mut out).unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("verdict: OK"), "{out}");
+
+        // Directory baseline resolves via the bench name.
+        let verdict = dir.join("verdict.json").to_string_lossy().into_owned();
+        let args = [
+            dir.to_string_lossy().into_owned(),
+            bad,
+            "--json-out".into(),
+            verdict.clone(),
+        ];
+        let mut out = String::new();
+        let code = cli_main(&args, &mut out).unwrap();
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("REGRESSED"), "{out}");
+        let doc = Json::parse(&std::fs::read_to_string(&verdict).unwrap()).unwrap();
+        assert_eq!(
+            doc.field("schema").and_then(Json::as_str),
+            Some("pathslice-benchdiff/v1")
+        );
+        assert_eq!(
+            doc.field("verdict").and_then(Json::as_str),
+            Some("regressed")
+        );
+
+        assert!(cli_main(&["one.json".into()], &mut String::new()).is_err());
+        assert!(cli_main(
+            &["a".into(), "b".into(), "--bogus".into()],
+            &mut String::new()
+        )
+        .is_err());
+    }
+}

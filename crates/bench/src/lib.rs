@@ -12,6 +12,10 @@
 //! * `ablation_slicing` — A1: identity reducer vs. path slicing.
 //! * `ablation_skipfn` — A2: the §4.2 skip-functions optimization.
 //! * `ablation_earlyunsat` — A3: the §4.2 early-unsat optimization.
+//! * `serve_bench` — daemon latency under load, split by cache verdict.
+//! * `bench_diff` — the regression gate: diffs a fresh
+//!   `pathslice-bench/v1` report against a committed baseline
+//!   (`results/history/`) with noise-aware thresholds ([`diff`]).
 //!
 //! Criterion benches (`cargo bench -p bench`) cover the Theorem 1
 //! linear-time claim and the supporting analyses.
@@ -23,9 +27,11 @@ use dataflow::Analyses;
 use semantics::{ExecOutcome, Interp, ReplayOracle, State};
 use slicer::{PathSlicer, SliceOptions};
 use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
 use std::time::Duration;
 use workloads::{GeneratedProgram, Scale, WorkloadSpec};
 
+pub mod diff;
 pub mod report;
 
 pub use report::{finish_json_report, BenchReport, PhaseRow, Row};
@@ -55,7 +61,11 @@ pub fn json_requested() -> bool {
 }
 
 /// Builds a [`DriverConfig`] from the `--jobs <n>` / `--retries <k>`
-/// flags, if present on the command line.
+/// flags, if present on the command line. Also wires the process-wide
+/// SIGINT token into the driver, the same way `pathslice check` does:
+/// Ctrl-C cancels in-flight clusters gracefully, the bench's epilogue
+/// (JSON report, [`flush_trace_out`]) still runs, and no span data is
+/// lost.
 pub fn driver_from_args() -> DriverConfig {
     let args: Vec<String> = std::env::args().collect();
     let value = |name: &str| {
@@ -71,7 +81,51 @@ pub fn driver_from_args() -> DriverConfig {
     if let Some(k) = value("--retries") {
         driver.retry = RetryPolicy::retries(k);
     }
+    rt::install_sigint_handler();
+    driver.cancel = Some(rt::shutdown_token());
+    if trace_out_path().is_some() {
+        obs::set_enabled(true);
+    }
     driver
+}
+
+/// The `--trace-out <spans.json>` flag, if present on the command line
+/// (parsed once; bench binaries are single-invocation processes).
+pub fn trace_out_path() -> Option<&'static str> {
+    static PATH: OnceLock<Option<String>> = OnceLock::new();
+    PATH.get_or_init(|| {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--trace-out")
+            .and_then(|i| args.get(i + 1).cloned())
+    })
+    .as_deref()
+}
+
+/// Spans drained by [`run_workload_driven`] (which consumes the global
+/// buffer per workload to compute phase totals), retained for the
+/// end-of-run `--trace-out` dump.
+static TRACE_BUFFER: Mutex<Vec<obs::SpanRecord>> = Mutex::new(Vec::new());
+
+fn lock_trace_buffer() -> std::sync::MutexGuard<'static, Vec<obs::SpanRecord>> {
+    TRACE_BUFFER
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The shared `--trace-out` epilogue for bench binaries: writes every
+/// span recorded during the run (including the tail of a SIGINT-cut
+/// one) as a `pathslice-spans/v1` document, through the same
+/// [`obs::write_spans_to`] path `pathslice check` and `pathslice serve`
+/// use. A no-op without the flag.
+pub fn flush_trace_out() {
+    let Some(path) = trace_out_path() else { return };
+    let mut spans = std::mem::take(&mut *lock_trace_buffer());
+    spans.extend(obs::take_spans());
+    match obs::write_spans_to(path, &spans) {
+        Ok(()) => eprintln!("wrote {} span(s) to {path}", spans.len()),
+        Err(e) => eprintln!("{e}"),
+    }
 }
 
 /// The Table 1 row for one benchmark program.
@@ -149,7 +203,11 @@ pub fn run_workload_driven(
     let driven = run_clusters(&program, config, driver);
     let summary = driven.summary();
     let reports = driven.into_cluster_reports();
-    let phases = obs::phase_totals(&obs::take_spans());
+    let spans = obs::take_spans();
+    let phases = obs::phase_totals(&spans);
+    if trace_out_path().is_some() {
+        lock_trace_buffer().extend(spans);
+    }
     let counters = obs::counters()
         .into_iter()
         .filter_map(|(k, v)| {

@@ -30,6 +30,7 @@
 
 use crate::ProgramRow;
 use obs::json::{Json, JsonError};
+use obs::HistogramSnapshot;
 
 /// One phase's aggregated wall time inside a row (mirror of
 /// [`obs::PhaseStat`], keyed by span name).
@@ -62,6 +63,11 @@ pub struct Row {
     pub phases: Vec<PhaseRow>,
     /// Counter deltas attributable to this row (empty when off).
     pub counters: Vec<(String, u64)>,
+    /// Full latency distributions by name (`latency_us`, …), for rows
+    /// that measure per-request quantiles (serve_bench). Bucket-exact
+    /// round-trip via [`HistogramSnapshot::to_json`]; empty for most
+    /// benches.
+    pub hists: Vec<(String, HistogramSnapshot)>,
 }
 
 impl Row {
@@ -101,6 +107,7 @@ impl Row {
                 })
                 .collect(),
             counters: r.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            hists: Vec::new(),
         }
     }
 }
@@ -207,6 +214,15 @@ impl BenchReport {
                         ),
                     ),
                     ("counters".into(), counters_obj(&r.counters)),
+                    (
+                        "hists".into(),
+                        Json::Obj(
+                            r.hists
+                                .iter()
+                                .map(|(k, h)| (k.clone(), h.to_json()))
+                                .collect(),
+                        ),
+                    ),
                 ])
             })
             .collect();
@@ -299,6 +315,13 @@ impl BenchReport {
                 });
             }
             r.counters = u64_pairs(row.field("counters"), "counters")?;
+            // `hists` is optional: reports written before the telemetry
+            // layer (and most benches) simply omit it.
+            if let Some(Json::Obj(pairs)) = row.field("hists") {
+                for (k, v) in pairs {
+                    r.hists.push((k.clone(), HistogramSnapshot::from_json(v)?));
+                }
+            }
             report.rows.push(r);
         }
         for p in doc
@@ -357,6 +380,14 @@ mod tests {
                 self_us: 120_000,
             }],
             counters: vec![("lia.checks".into(), 321)],
+            hists: vec![(
+                "latency_us".into(),
+                HistogramSnapshot {
+                    count: 3,
+                    sum: 900,
+                    buckets: vec![(255, 1), (511, 2)],
+                },
+            )],
         });
         rep.points.push((5211, 12));
         rep.counters = vec![("lia.checks".into(), 321), ("slice.edges_kept".into(), 44)];

@@ -518,15 +518,18 @@ fn run_attempt(
                     });
                 }
                 Some(FaultKind::Panic) => unreachable!("fire panics for Panic rules"),
+                // A Stall already slept inside `fire`; the phase then
+                // proceeds normally (latency moved, verdict didn't).
                 // Certificate corruption is applied by `certify::corrupt`,
                 // not at the checker gates; a plan that routes it here is
                 // simply inert for this phase.
-                Some(FaultKind::CorruptCertificate) | None => {}
+                Some(FaultKind::Stall) | Some(FaultKind::CorruptCertificate) | None => {}
             }
         }
         phase.set("check");
         Checker::new(analyses, *cfg).check_under(targets, &outer)
     });
+    obs::histogram("driver.attempt_us").observe(t0.elapsed().as_micros() as u64);
     match result {
         Ok(report) => report,
         Err(payload) => {

@@ -9,6 +9,13 @@
 //! pathslice serve [--addr <host:port>] [--jobs <n>] [--queue <n>]
 //!                 [--cache <n>] [--timeout <secs>]
 //!                 [--stats] [--trace-out <spans.json>]
+//!                 [--slow-ms <ms>] [--slow-out <traces.json>]
+//!                 [--metrics-every <ms>]
+//! pathslice metrics [--addr <host:port>] [--json] [--slow]
+//! pathslice flame <spans.json>
+//! pathslice bench diff <baseline.json|dir> <current.json>
+//!                      [--rel-tol <f>] [--abs-slack <n>] [--time-gate]
+//!                      [--json-out <verdict.json>]
 //! pathslice slice <file.imp> [--skip-functions] [--no-early-unsat]
 //! pathslice run   <file.imp> [--input v1,v2,...] [--fuel <n>]
 //! pathslice dot   <file.imp> [<function>]
@@ -35,6 +42,22 @@
 //!   content-addressed analysis cache shared across requests. SIGINT
 //!   triggers a graceful drain (finish admitted work, join every
 //!   thread) and then flushes `--stats` / `--trace-out` output.
+//!   `--slow-ms` sets the tail-sampling latency threshold and
+//!   `--metrics-every` the telemetry snapshot interval; `--slow-out`
+//!   dumps the retained slow-request traces
+//!   (`pathslice-slowtraces/v1`) after the drain.
+//! * `metrics` — scrape a live daemon over the wire (`op: "metrics"`):
+//!   Prometheus text exposition by default, the
+//!   `pathslice-metrics/v1` snapshot/delta time series with `--json`,
+//!   or the slow-trace ring with `--slow`. Read-only and answered
+//!   inline by the daemon's connection thread, so it works even when
+//!   every worker is busy.
+//! * `flame` — fold a `pathslice-spans/v1` dump (from `--trace-out`)
+//!   into collapsed-stack lines for flamegraph tooling.
+//! * `bench diff` — the perf-regression gate: compare a fresh
+//!   `pathslice-bench/v1` report against a baseline file or the
+//!   committed `results/history/` directory (exit 1 on regression;
+//!   see `bench::diff` for the metric classes).
 //! * `slice` — take the first abstract error path the checker's
 //!   reachability produces and print its path slice with reasons.
 //! * `run` — execute the program concretely with the given `nondet()`
@@ -63,6 +86,9 @@ pub fn run_command(args: &[String], out: &mut String) -> Result<i32, String> {
     match cmd {
         "check" => cmd_check(&args[1..], out),
         "serve" => cmd_serve(&args[1..], out),
+        "metrics" => cmd_metrics(&args[1..], out),
+        "flame" => cmd_flame(&args[1..], out),
+        "bench" => cmd_bench(&args[1..], out),
         "slice" => cmd_slice(&args[1..], out),
         "run" => cmd_run(&args[1..], out),
         "dot" => cmd_dot(&args[1..], out),
@@ -87,6 +113,13 @@ USAGE:
     pathslice serve [--addr <host:port>] [--jobs <n>] [--queue <n>]
                     [--cache <n>] [--timeout <secs>]
                     [--stats] [--trace-out <spans.json>]
+                    [--slow-ms <ms>] [--slow-out <traces.json>]
+                    [--metrics-every <ms>]
+    pathslice metrics [--addr <host:port>] [--json] [--slow]
+    pathslice flame <spans.json>
+    pathslice bench diff <baseline.json|dir> <current.json>
+                         [--rel-tol <f>] [--abs-slack <n>] [--time-gate]
+                         [--json-out <verdict.json>]
     pathslice slice <file.imp> [--skip-functions] [--no-early-unsat]
     pathslice run   <file.imp> [--input v1,v2,...] [--fuel <n>]
     pathslice dot   <file.imp> [<function>]
@@ -278,8 +311,7 @@ fn emit_obs(
         return Ok(());
     }
     if let Some(path) = trace_out {
-        std::fs::write(path, obs::spans_to_json(spans))
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        obs::write_spans_to(path, spans)?;
         let _ = writeln!(out, "wrote {} span(s) to {path}", spans.len());
     }
     if stats {
@@ -312,6 +344,55 @@ fn emit_obs(
     Ok(())
 }
 
+/// `pathslice metrics` — scrape a live daemon's telemetry over the
+/// wire. Exposition by default; `--json` for the snapshot/delta time
+/// series; `--slow` for the slow-trace ring.
+fn cmd_metrics(args: &[String], out: &mut String) -> Result<i32, String> {
+    use std::net::ToSocketAddrs as _;
+    let addr_s = flag_value(args, "--addr")?.unwrap_or_else(|| "127.0.0.1:7171".into());
+    let addr = addr_s
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut a| a.next())
+        .ok_or_else(|| format!("bad --addr `{addr_s}`"))?;
+    let mut client =
+        server::Client::connect(addr).map_err(|e| format!("cannot connect to {addr_s}: {e}"))?;
+    if args.iter().any(|f| f == "--slow") {
+        let traces = client.slow_traces("cli-slow")?;
+        out.push_str(&traces.to_text());
+        out.push('\n');
+        return Ok(0);
+    }
+    let (exposition, series) = client.metrics("cli-metrics")?;
+    if args.iter().any(|f| f == "--json") {
+        out.push_str(&series.to_text());
+        out.push('\n');
+    } else {
+        out.push_str(&exposition);
+    }
+    Ok(0)
+}
+
+/// `pathslice flame` — fold a `pathslice-spans/v1` dump into
+/// collapsed-stack lines (`root;child;leaf <self_us>`), ready for
+/// standard flamegraph tooling.
+fn cmd_flame(args: &[String], out: &mut String) -> Result<i32, String> {
+    let (file, _flags) = split_flags(args)?;
+    let text = std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let spans = pathslicing::obs::spans_from_json(&text).map_err(|e| format!("{file}: {e}"))?;
+    out.push_str(&pathslicing::obs::telemetry::spans_to_collapsed(&spans));
+    Ok(0)
+}
+
+/// `pathslice bench diff` — delegate to the shared regression-gate
+/// logic in `bench::diff` (the `bench_diff` binary is the same code).
+fn cmd_bench(args: &[String], out: &mut String) -> Result<i32, String> {
+    match args.first().map(String::as_str) {
+        Some("diff") => bench::diff::cli_main(&args[1..], out),
+        _ => Err(format!("usage: pathslice bench diff <args>\n{USAGE}")),
+    }
+}
+
 fn cmd_serve(args: &[String], out: &mut String) -> Result<i32, String> {
     // SIGINT cancels the process-global token; the wait loop below then
     // drains the daemon and flushes --stats / --trace-out.
@@ -335,12 +416,25 @@ pub fn serve_until(
 ) -> Result<i32, String> {
     let stats = args.iter().any(|f| f == "--stats");
     let trace_out = flag_value(args, "--trace-out")?;
+    let slow_out = flag_value(args, "--slow-out")?;
     if stats || trace_out.is_some() {
         pathslicing::obs::set_enabled(true);
     }
     let mut config = server::ServerConfig::default();
     if let Some(a) = flag_value(args, "--addr")? {
         config.addr = a;
+    }
+    if let Some(ms) = flag_value(args, "--slow-ms")? {
+        config.slow_threshold = Duration::from_millis(
+            ms.parse()
+                .map_err(|_| format!("bad --slow-ms value `{ms}`"))?,
+        );
+    }
+    if let Some(ms) = flag_value(args, "--metrics-every")? {
+        config.snapshot_every = Duration::from_millis(
+            ms.parse()
+                .map_err(|_| format!("bad --metrics-every value `{ms}`"))?,
+        );
     }
     if let Some(j) = flag_value(args, "--jobs")? {
         config.jobs = j.parse().map_err(|_| format!("bad --jobs value `{j}`"))?;
@@ -368,12 +462,16 @@ pub fn serve_until(
     while !stop.is_cancelled() {
         std::thread::sleep(Duration::from_millis(25));
     }
-    let final_stats = server.shutdown();
+    let (final_stats, slow) = server.shutdown_full();
     let _ = writeln!(out, "drained: {final_stats}");
+    if let Some(path) = slow_out {
+        std::fs::write(&path, server::slow_traces_json(&slow).to_text() + "\n")
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = writeln!(out, "wrote {} slow trace(s) to {path}", slow.len());
+    }
     let spans = pathslicing::obs::take_spans();
     if let Some(path) = trace_out {
-        std::fs::write(&path, pathslicing::obs::spans_to_json(&spans))
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        pathslicing::obs::write_spans_to(&path, &spans)?;
         let _ = writeln!(out, "wrote {} span(s) to {path}", spans.len());
     }
     if stats {
@@ -846,6 +944,142 @@ mod tests {
             let mut out = String::new();
             assert!(serve_until(&args, &mut out, &token).is_err(), "{case:?}");
         }
+    }
+
+    #[test]
+    fn metrics_subcommand_scrapes_a_live_daemon() {
+        let server = server::Server::start(server::ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            ..server::ServerConfig::default()
+        })
+        .expect("bind test server");
+        let addr = server.local_addr().to_string();
+
+        let (code, out) = run_ok(&["metrics", "--addr", &addr]);
+        assert_eq!(code, 0);
+        assert!(out.contains("pathslice_server_requests"), "{out}");
+
+        let (code, out) = run_ok(&["metrics", "--addr", &addr, "--json"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("pathslice-metrics/v1"), "{out}");
+
+        let (code, out) = run_ok(&["metrics", "--addr", &addr, "--slow"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("pathslice-slowtraces/v1"), "{out}");
+        server.shutdown();
+
+        let mut sink = String::new();
+        assert!(run_command(
+            &["metrics".into(), "--addr".into(), "not an addr".into()],
+            &mut sink
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn flame_folds_a_span_dump() {
+        use pathslicing::obs::SpanRecord;
+        let spans = vec![
+            SpanRecord {
+                id: 1,
+                parent: None,
+                name: "request".into(),
+                detail: None,
+                depth: 0,
+                start_us: 0,
+                dur_us: 100,
+            },
+            SpanRecord {
+                id: 2,
+                parent: Some(1),
+                name: "attempt".into(),
+                detail: None,
+                depth: 1,
+                start_us: 10,
+                dur_us: 60,
+            },
+        ];
+        let f = write_temp("flame.spans.json", &pathslicing::obs::spans_to_json(&spans));
+        let (code, out) = run_ok(&["flame", &f]);
+        assert_eq!(code, 0);
+        assert_eq!(out, "request 40\nrequest;attempt 60\n");
+
+        let bad = write_temp("flame.bad.json", "{\"schema\":\"nope\"}");
+        let mut sink = String::new();
+        assert!(run_command(&["flame".into(), bad], &mut sink).is_err());
+    }
+
+    #[test]
+    fn bench_diff_subcommand_gates_on_regressions() {
+        use pathslicing::obs::json::Json;
+        let mut rep = bench::BenchReport::new("table1", "small");
+        rep.rows.push(bench::Row {
+            name: "fcron".into(),
+            variant: "default".into(),
+            fields: vec![("safe".into(), 5), ("errors".into(), 0)],
+            ..bench::Row::default()
+        });
+        let baseline = write_temp("diff.base.json", &rep.to_json().to_text());
+        let (code, out) = run_ok(&["bench", "diff", &baseline, &baseline]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("verdict: OK"), "{out}");
+
+        rep.rows[0].fields[1].1 = 1; // errors: 0 -> 1
+        let regressed = write_temp("diff.cur.json", &rep.to_json().to_text());
+        let (code, out) = run_ok(&["bench", "diff", &baseline, &regressed]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("REGRESSED"), "{out}");
+
+        // The verdict document is machine-readable.
+        let verdict = write_temp("diff.verdict.json", "");
+        let (code, _out) = run_ok(&[
+            "bench",
+            "diff",
+            &baseline,
+            &regressed,
+            "--json-out",
+            &verdict,
+        ]);
+        assert_eq!(code, 1);
+        let doc = Json::parse(&std::fs::read_to_string(&verdict).unwrap()).unwrap();
+        assert_eq!(
+            doc.field("schema").and_then(Json::as_str),
+            Some("pathslice-benchdiff/v1")
+        );
+
+        let mut sink = String::new();
+        assert!(run_command(&["bench".into()], &mut sink).is_err());
+        assert!(run_command(&["bench".into(), "bogus".into()], &mut sink).is_err());
+    }
+
+    #[test]
+    fn serve_slow_out_writes_the_trace_ring() {
+        let token = pathslicing::rt::CancelToken::new();
+        let trip = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            trip.cancel();
+        });
+        let slow_path = write_temp("serve.slow.json", "");
+        let args: Vec<String> = [
+            "--addr",
+            "127.0.0.1:0",
+            "--slow-ms",
+            "0",
+            "--metrics-every",
+            "20",
+            "--slow-out",
+            &slow_path,
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let mut out = String::new();
+        let code = serve_until(&args, &mut out, &token).unwrap();
+        assert_eq!(code, 0);
+        assert!(out.contains("slow trace(s)"), "{out}");
+        let text = std::fs::read_to_string(&slow_path).unwrap();
+        assert!(text.contains("pathslice-slowtraces/v1"), "{text}");
     }
 
     #[test]

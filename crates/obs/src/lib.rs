@@ -47,6 +47,7 @@
 //! ```
 
 pub mod json;
+pub mod telemetry;
 
 use json::Json;
 use std::cell::RefCell;
@@ -117,11 +118,18 @@ static COMPLETED: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
 thread_local! {
     static STACK: RefCell<Vec<OpenSpan>> = const { RefCell::new(Vec::new()) };
     static LOCAL_DONE: RefCell<Vec<SpanRecord>> = const { RefCell::new(Vec::new()) };
+    static CAPTURE: RefCell<Option<Vec<SpanRecord>>> = const { RefCell::new(None) };
 }
 
 fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds since the process epoch (the same clock span timestamps
+/// use, so time-series snapshots line up with span `start_us` values).
+pub fn now_us() -> u64 {
+    Instant::now().duration_since(epoch()).as_micros() as u64
 }
 
 /// Closes its span on drop. Obtain via [`span()`] or the [`span!`]
@@ -190,9 +198,62 @@ impl Drop for SpanGuard {
         });
         if root_closed {
             let drained: Vec<SpanRecord> = LOCAL_DONE.with(|d| d.borrow_mut().drain(..).collect());
+            CAPTURE.with(|c| {
+                if let Some(buf) = c.borrow_mut().as_mut() {
+                    buf.extend(drained.iter().cloned());
+                }
+            });
             lock(&COMPLETED).extend(drained);
         }
     }
+}
+
+/// Runs `f` and returns, alongside its result, a copy of every span
+/// tree that *closed at the root* on this thread during the call. The
+/// spans still flow into the process-wide buffer ([`take_spans`] sees
+/// them too) — capture is a tee, not a redirect.
+///
+/// This is how the server retains a single request's span tree for
+/// tail-sampled slow-request tracing: the worker thread has no span
+/// open outside the request, so every root that closes inside `f`
+/// belongs to it. If a span is already open on this thread when
+/// `capture` is called, nothing is captured (the root closes later,
+/// outside the window). Nested captures: the inner capture wins —
+/// roots closing inside it are not also seen by the outer one.
+///
+/// While disabled, no spans are recorded, so the captured vector is
+/// empty. If `f` panics, the capture window is unwound cleanly and the
+/// partial capture is discarded.
+pub fn capture<R>(f: impl FnOnce() -> R) -> (R, Vec<SpanRecord>) {
+    struct Window {
+        prev: Option<Vec<SpanRecord>>,
+    }
+    impl Window {
+        fn open() -> Self {
+            Window {
+                prev: CAPTURE.with(|c| c.borrow_mut().replace(Vec::new())),
+            }
+        }
+        fn close(mut self) -> Vec<SpanRecord> {
+            let captured = CAPTURE.with(|c| {
+                let mut slot = c.borrow_mut();
+                std::mem::replace(&mut *slot, self.prev.take())
+            });
+            std::mem::forget(self); // prev already restored; skip Drop
+            captured.unwrap_or_default()
+        }
+    }
+    impl Drop for Window {
+        fn drop(&mut self) {
+            // Panic unwind: restore the outer window, drop the partial
+            // capture.
+            CAPTURE.with(|c| *c.borrow_mut() = self.prev.take());
+        }
+    }
+    let window = Window::open();
+    let result = f();
+    let captured = window.close();
+    (result, captured)
 }
 
 /// Opens a hierarchical span: `span!("name")` or
@@ -327,6 +388,35 @@ pub fn spans_from_json(text: &str) -> Result<Vec<SpanRecord>, json::JsonError> {
         .collect()
 }
 
+/// Drains every completed span and writes them to `path` as a
+/// `pathslice-spans/v1` document, returning how many were written.
+/// This is the single flush path shared by `pathslice check`,
+/// `pathslice serve`, and the bench binaries (their SIGINT epilogues
+/// all funnel here instead of re-implementing the dump).
+///
+/// # Errors
+///
+/// The I/O error rendered as a string, with the spans lost (they were
+/// already drained) — callers treat this as a warning, not a crash.
+pub fn flush_spans_to(path: &str) -> Result<usize, String> {
+    let spans = take_spans();
+    write_spans_to(path, &spans)?;
+    Ok(spans.len())
+}
+
+/// Writes an already-drained span batch to `path` as a
+/// `pathslice-spans/v1` document. Split out of [`flush_spans_to`] for
+/// callers that drained once and share the batch between several
+/// epilogues (stats table, stats JSON, trace dump).
+///
+/// # Errors
+///
+/// The I/O error rendered as a string.
+pub fn write_spans_to(path: &str, spans: &[SpanRecord]) -> Result<(), String> {
+    std::fs::write(path, spans_to_json(spans))
+        .map_err(|e| format!("cannot write spans to {path}: {e}"))
+}
+
 // ---------------------------------------------------------------------
 // Metrics
 // ---------------------------------------------------------------------
@@ -381,12 +471,33 @@ pub struct HistogramSnapshot {
 }
 
 impl Histogram {
+    /// An unregistered, caller-owned histogram. Unlike [`histogram`]
+    /// handles this is scoped to its owner — a co-resident batch run
+    /// observing into the global registry cannot touch it — which is
+    /// what the server uses for its per-request latency metrics.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
     /// Records one sample (no-op while disabled).
     #[inline]
     pub fn observe(&self, v: u64) {
         if !enabled() {
             return;
         }
+        self.record(v);
+    }
+
+    /// Records one sample regardless of the process-wide switch. Owned
+    /// histograms (telemetry the owner always wants, e.g. the server's
+    /// latency metrics) use this; registered ones go through
+    /// [`Histogram::observe`].
+    #[inline]
+    pub fn record(&self, v: u64) {
         let idx = (64 - v.leading_zeros()) as usize;
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
@@ -405,12 +516,108 @@ impl Histogram {
                 .filter_map(|(k, b)| {
                     let n = b.load(Ordering::Relaxed);
                     (n > 0).then(|| {
-                        let hi = if k == 0 { 0 } else { (1u128 << k) as u64 - 1 };
+                        // Subtract in u128: bucket 64 (samples above
+                        // 2^63) has hi = 2^64 - 1 = u64::MAX, and
+                        // `(1u128 << 64) as u64 - 1` would underflow.
+                        let hi = ((1u128 << k) - 1) as u64;
                         (hi, n)
                     })
                 })
                 .collect(),
         }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HistogramSnapshot {
+    /// An estimate of the `q`-quantile (`0.0 ..= 1.0`): the inclusive
+    /// upper bound of the log₂ bucket holding the `⌈q·count⌉`-th
+    /// smallest sample. Bucket resolution bounds the error — the true
+    /// value lies within a factor of two below the estimate. Returns 0
+    /// for an empty snapshot.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(hi, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return hi;
+            }
+        }
+        self.buckets.last().map_or(0, |&(hi, _)| hi)
+    }
+
+    /// Folds `other` into `self` bucket-by-bucket. Merging is
+    /// commutative and associative, so combining per-worker snapshots
+    /// yields the same result under any job count or merge order.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        let mut merged: BTreeMap<u64, u64> = self.buckets.iter().copied().collect();
+        for &(hi, n) in &other.buckets {
+            *merged.entry(hi).or_default() += n;
+        }
+        self.buckets = merged.into_iter().collect();
+    }
+
+    /// Renders as `{"count":…,"sum":…,"buckets":[[le,n],…]}`.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("count".into(), Json::Num(self.count as i64)),
+            ("sum".into(), Json::Num(self.sum as i64)),
+            (
+                "buckets".into(),
+                Json::Arr(
+                    self.buckets
+                        .iter()
+                        .map(|&(hi, n)| Json::Arr(vec![Json::Num(hi as i64), Json::Num(n as i64)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses the [`HistogramSnapshot::to_json`] shape back.
+    ///
+    /// # Errors
+    ///
+    /// [`json::JsonError`] when a field is missing or mistyped.
+    pub fn from_json(v: &Json) -> Result<HistogramSnapshot, json::JsonError> {
+        let bad = |message: &str| json::JsonError {
+            message: message.to_owned(),
+            at: 0,
+        };
+        let num = |f: &str| {
+            v.field(f)
+                .and_then(Json::as_i64)
+                .ok_or_else(|| bad(&format!("histogram snapshot: missing `{f}`")))
+        };
+        let buckets = v
+            .field("buckets")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("histogram snapshot: missing `buckets`"))?
+            .iter()
+            .map(|pair| match pair.as_arr() {
+                Some([le, n]) => match (le.as_i64(), n.as_i64()) {
+                    (Some(le), Some(n)) => Ok((le as u64, n as u64)),
+                    _ => Err(bad("histogram bucket: non-numeric entry")),
+                },
+                _ => Err(bad("histogram bucket: expected a [le, n] pair")),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(HistogramSnapshot {
+            count: num("count")? as u64,
+            sum: num("sum")? as u64,
+            buckets,
+        })
     }
 }
 
@@ -639,6 +846,70 @@ mod tests {
         set_enabled(false);
         assert_eq!(counters()["test.counter"], 0);
         assert_eq!(histograms()["test.hist"].count, 0);
+    }
+
+    #[test]
+    fn capture_tees_request_trees_without_stealing_them() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        let ((), captured) = capture(|| {
+            let _root = span!("request");
+            let _child = span!("attempt");
+        });
+        assert_eq!(captured.len(), 2);
+        let root = captured.iter().find(|s| s.name == "request").unwrap();
+        let child = captured.iter().find(|s| s.name == "attempt").unwrap();
+        assert_eq!(child.parent, Some(root.id));
+        // Tee, not redirect: the global buffer saw the same spans.
+        assert_eq!(take_spans().len(), 2);
+
+        // A panic inside the window discards the partial capture but
+        // leaves the thread reusable.
+        let _ = std::panic::catch_unwind(|| {
+            capture(|| {
+                let _s = span!("doomed");
+                panic!("boom");
+            })
+        });
+        let ((), after) = capture(|| {
+            let _s = span!("clean");
+        });
+        set_enabled(false);
+        assert_eq!(after.len(), 1);
+        assert_eq!(after[0].name, "clean");
+    }
+
+    #[test]
+    fn quantiles_and_merge_are_bucket_exact() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        // Rank 50 lands in bucket [32,64); rank 95 and 99 in [64,128).
+        assert_eq!(snap.quantile(0.5), 63);
+        assert_eq!(snap.quantile(0.95), 127);
+        assert_eq!(snap.quantile(0.99), 127);
+        assert_eq!(snap.quantile(0.0), 1);
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+
+        let other = Histogram::new();
+        other.record(0);
+        other.record(40);
+        let mut merged = snap.clone();
+        merged.merge(&other.snapshot());
+        assert_eq!(merged.count, 102);
+        assert_eq!(merged.sum, 5050 + 40);
+        let in_bucket = |s: &HistogramSnapshot, hi: u64| {
+            s.buckets.iter().find(|&&(b, _)| b == hi).map(|&(_, n)| n)
+        };
+        assert_eq!(in_bucket(&merged, 0), Some(1));
+        assert_eq!(in_bucket(&merged, 63), Some(33)); // 32..=63 plus the extra 40
+
+        // JSON round-trip.
+        let back = HistogramSnapshot::from_json(&merged.to_json()).unwrap();
+        assert_eq!(back, merged);
     }
 
     #[test]

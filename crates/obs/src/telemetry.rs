@@ -1,0 +1,336 @@
+//! Continuous telemetry: a fixed-size ring of periodic metric
+//! snapshots with derived deltas, a Prometheus-style text renderer,
+//! and a spans→collapsed-stack exporter for flamegraphs.
+//!
+//! The ring is the time-series backbone behind the server's `metrics`
+//! wire request (`DESIGN.md` §10): a sampler pushes a
+//! [`MetricsSnapshot`] every interval, the ring keeps the last `cap`
+//! of them, and [`MetricsRing::deltas`] turns adjacent snapshots into
+//! per-interval rates. Counters here are plain owned maps — nothing in
+//! this module touches the process-global registry, so a co-resident
+//! batch run cannot pollute a server's series.
+
+use crate::json::Json;
+use crate::{HistogramSnapshot, SpanRecord};
+use std::collections::{BTreeMap, VecDeque};
+
+/// One periodic observation: every metric the owner cares about, taken
+/// at a single point in time.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// When the snapshot was taken, microseconds since the process
+    /// epoch (same clock as span `start_us`).
+    pub at_us: u64,
+    /// Monotonic counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// The difference between two adjacent snapshots: what happened during
+/// one sampling interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsDelta {
+    /// Start of the interval (`at_us` of the earlier snapshot).
+    pub from_us: u64,
+    /// End of the interval (`at_us` of the later snapshot).
+    pub to_us: u64,
+    /// Per-counter increase over the interval (saturating: a counter
+    /// reset mid-flight reads as zero, not as a huge unsigned wrap).
+    pub counters: BTreeMap<String, u64>,
+}
+
+/// A bounded ring of [`MetricsSnapshot`]s, oldest evicted first.
+#[derive(Debug)]
+pub struct MetricsRing {
+    cap: usize,
+    ring: VecDeque<MetricsSnapshot>,
+}
+
+impl MetricsRing {
+    /// An empty ring holding at most `cap` snapshots (`cap` ≥ 2 so at
+    /// least one delta is derivable; smaller values are bumped).
+    pub fn new(cap: usize) -> MetricsRing {
+        MetricsRing {
+            cap: cap.max(2),
+            ring: VecDeque::new(),
+        }
+    }
+
+    /// Appends a snapshot, evicting the oldest once full.
+    pub fn push(&mut self, snap: MetricsSnapshot) {
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(snap);
+    }
+
+    /// Number of retained snapshots.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether the ring holds no snapshots yet.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// The retained snapshots, oldest first.
+    pub fn snapshots(&self) -> impl Iterator<Item = &MetricsSnapshot> {
+        self.ring.iter()
+    }
+
+    /// Deltas between each adjacent pair of snapshots, oldest first
+    /// (`len() - 1` of them).
+    pub fn deltas(&self) -> Vec<MetricsDelta> {
+        self.ring
+            .iter()
+            .zip(self.ring.iter().skip(1))
+            .map(|(a, b)| MetricsDelta {
+                from_us: a.at_us,
+                to_us: b.at_us,
+                counters: b
+                    .counters
+                    .iter()
+                    .map(|(k, &v)| {
+                        let before = a.counters.get(k).copied().unwrap_or(0);
+                        (k.clone(), v.saturating_sub(before))
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Renders the whole series as a `pathslice-metrics/v1` document:
+    /// `{"schema":…,"snapshots":[…],"deltas":[…]}`.
+    pub fn to_json(&self) -> Json {
+        let counters_json = |m: &BTreeMap<String, u64>| {
+            Json::Obj(
+                m.iter()
+                    .map(|(k, &v)| (k.clone(), Json::Num(v as i64)))
+                    .collect(),
+            )
+        };
+        Json::Obj(vec![
+            ("schema".into(), Json::Str("pathslice-metrics/v1".into())),
+            (
+                "snapshots".into(),
+                Json::Arr(
+                    self.snapshots()
+                        .map(|s| {
+                            Json::Obj(vec![
+                                ("at_us".into(), Json::Num(s.at_us as i64)),
+                                ("counters".into(), counters_json(&s.counters)),
+                                (
+                                    "histograms".into(),
+                                    Json::Obj(
+                                        s.histograms
+                                            .iter()
+                                            .map(|(k, h)| (k.clone(), h.to_json()))
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "deltas".into(),
+                Json::Arr(
+                    self.deltas()
+                        .iter()
+                        .map(|d| {
+                            Json::Obj(vec![
+                                ("from_us".into(), Json::Num(d.from_us as i64)),
+                                ("to_us".into(), Json::Num(d.to_us as i64)),
+                                ("counters".into(), counters_json(&d.counters)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Maps a dotted metric name onto the Prometheus grammar:
+/// `pathslice_` prefix, every byte outside `[a-zA-Z0-9_]` folded to
+/// `_`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 10);
+    out.push_str("pathslice_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
+}
+
+/// Renders counters and histograms in the Prometheus text exposition
+/// format (one `# TYPE` line per family; histogram buckets cumulative
+/// with a closing `+Inf`). Names are dotted metric names as used in
+/// the rest of the codebase (`server.requests`) and are mangled via
+/// a `pathslice_` prefix plus `_` folding.
+pub fn prometheus_text(
+    counters: &BTreeMap<String, u64>,
+    histograms: &BTreeMap<String, HistogramSnapshot>,
+) -> String {
+    let mut out = String::new();
+    for (name, value) in counters {
+        let p = prom_name(name);
+        out.push_str(&format!("# TYPE {p} counter\n{p} {value}\n"));
+    }
+    for (name, h) in histograms {
+        let p = prom_name(name);
+        out.push_str(&format!("# TYPE {p} histogram\n"));
+        let mut cumulative = 0u64;
+        for &(le, n) in &h.buckets {
+            cumulative += n;
+            out.push_str(&format!("{p}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!(
+            "{p}_bucket{{le=\"+Inf\"}} {c}\n{p}_sum {s}\n{p}_count {c}\n",
+            c = h.count,
+            s = h.sum,
+        ));
+    }
+    out
+}
+
+/// Folds a batch of spans into collapsed-stack lines
+/// (`root;child;leaf <self_us>`), the input format flamegraph tools
+/// eat. Self time (duration minus direct children) is attributed to
+/// each span's full ancestor path; identical paths aggregate. Lines
+/// are sorted (BTreeMap order), so output is deterministic for a given
+/// span batch.
+pub fn spans_to_collapsed(spans: &[SpanRecord]) -> String {
+    let by_id: BTreeMap<u64, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
+    let mut child_time: BTreeMap<u64, u64> = BTreeMap::new();
+    for s in spans {
+        if let Some(p) = s.parent {
+            *child_time.entry(p).or_default() += s.dur_us;
+        }
+    }
+    let clean = |name: &str| name.replace([';', ' '], "_");
+    let mut agg: BTreeMap<String, u64> = BTreeMap::new();
+    for s in spans {
+        let mut stack = vec![clean(&s.name)];
+        let mut cursor = s.parent;
+        while let Some(pid) = cursor {
+            // A parent outside the batch (partial drain) truncates the
+            // path rather than erroring.
+            let Some(parent) = by_id.get(&pid) else { break };
+            stack.push(clean(&parent.name));
+            cursor = parent.parent;
+        }
+        stack.reverse();
+        let self_us = s
+            .dur_us
+            .saturating_sub(child_time.get(&s.id).copied().unwrap_or(0));
+        *agg.entry(stack.join(";")).or_default() += self_us;
+    }
+    let mut out = String::new();
+    for (stack, us) in agg {
+        out.push_str(&format!("{stack} {us}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(at_us: u64, reqs: u64) -> MetricsSnapshot {
+        MetricsSnapshot {
+            at_us,
+            counters: BTreeMap::from([("server.requests".to_owned(), reqs)]),
+            histograms: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_derives_deltas() {
+        let mut ring = MetricsRing::new(3);
+        for (t, v) in [(10, 0), (20, 4), (30, 9), (40, 9)] {
+            ring.push(snap(t, v));
+        }
+        assert_eq!(ring.len(), 3, "cap evicts the oldest");
+        let deltas = ring.deltas();
+        assert_eq!(deltas.len(), 2);
+        assert_eq!(deltas[0].counters["server.requests"], 5);
+        assert_eq!(deltas[1].counters["server.requests"], 0);
+        assert_eq!((deltas[0].from_us, deltas[0].to_us), (20, 30));
+        // A counter that resets mid-series saturates instead of
+        // wrapping.
+        ring.push(snap(50, 2));
+        assert_eq!(ring.deltas().last().unwrap().counters["server.requests"], 0);
+    }
+
+    #[test]
+    fn ring_json_has_schema_and_both_sections() {
+        let mut ring = MetricsRing::new(4);
+        ring.push(snap(1, 1));
+        ring.push(snap(2, 3));
+        let doc = ring.to_json();
+        assert_eq!(
+            doc.field("schema").and_then(Json::as_str),
+            Some("pathslice-metrics/v1")
+        );
+        assert_eq!(
+            doc.field("snapshots").and_then(Json::as_arr).unwrap().len(),
+            2
+        );
+        assert_eq!(doc.field("deltas").and_then(Json::as_arr).unwrap().len(), 1);
+        // The document reparses through the same hand-rolled parser.
+        Json::parse(&doc.to_text()).expect("exposition JSON parses");
+    }
+
+    #[test]
+    fn prometheus_rendering_is_wellformed() {
+        let h = crate::Histogram::new();
+        for v in [0, 3, 3, 900] {
+            h.record(v);
+        }
+        let counters = BTreeMap::from([("server.requests".to_owned(), 7u64)]);
+        let hists = BTreeMap::from([("server.request_us".to_owned(), h.snapshot())]);
+        let text = prometheus_text(&counters, &hists);
+        assert!(text.contains("# TYPE pathslice_server_requests counter"));
+        assert!(text.contains("pathslice_server_requests 7"));
+        assert!(text.contains("# TYPE pathslice_server_request_us histogram"));
+        // Buckets are cumulative and close with +Inf == count.
+        assert!(text.contains("pathslice_server_request_us_bucket{le=\"0\"} 1"));
+        assert!(text.contains("pathslice_server_request_us_bucket{le=\"3\"} 3"));
+        assert!(text.contains("pathslice_server_request_us_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("pathslice_server_request_us_count 4"));
+        assert!(text.contains("pathslice_server_request_us_sum 906"));
+    }
+
+    #[test]
+    fn collapsed_stacks_attribute_self_time_along_paths() {
+        let rec = |id, parent, name: &str, dur_us| SpanRecord {
+            id,
+            parent,
+            name: name.into(),
+            detail: None,
+            depth: 0,
+            start_us: 0,
+            dur_us,
+        };
+        let spans = vec![
+            rec(1, None, "request", 100),
+            rec(2, Some(1), "attempt", 60),
+            rec(3, Some(2), "reach", 25),
+            rec(4, Some(2), "reach", 15),
+        ];
+        let folded = spans_to_collapsed(&spans);
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "request 40",
+                "request;attempt 20",
+                "request;attempt;reach 40",
+            ]
+        );
+    }
+}

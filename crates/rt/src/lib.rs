@@ -379,6 +379,11 @@ pub enum FaultKind {
     /// meaningful at the `Cert*` sites; applied by `certify`, not by
     /// [`FaultPlan::fire`]).
     CorruptCertificate,
+    /// The phase stalls for the plan's configured duration
+    /// ([`FaultPlan::with_stall_ms`]) and then proceeds normally. The
+    /// verdict is unaffected — only latency moves — which is exactly
+    /// what tail-sampled slow-request tracing needs exercised.
+    Stall,
 }
 
 /// One injection rule: at `site`, inject `kind` for roughly
@@ -399,6 +404,8 @@ struct FaultRule {
 pub struct FaultPlan {
     seed: u64,
     rules: Vec<FaultRule>,
+    /// How long a [`FaultKind::Stall`] firing sleeps, in milliseconds.
+    stall_ms: u64,
     /// Count of faults actually fired (observability for chaos tests).
     fired: Arc<AtomicU32>,
 }
@@ -408,8 +415,16 @@ impl FaultPlan {
     pub fn new(seed: u64) -> Self {
         FaultPlan {
             seed,
+            stall_ms: 50,
             ..FaultPlan::default()
         }
+    }
+
+    /// Sets how long each [`FaultKind::Stall`] firing sleeps
+    /// (default 50 ms).
+    pub fn with_stall_ms(mut self, ms: u64) -> Self {
+        self.stall_ms = ms;
+        self
     }
 
     /// Adds a rule injecting `kind` at `site` for a `rate` fraction of
@@ -448,6 +463,9 @@ impl FaultPlan {
         obs::counter("rt.faults_fired").inc();
         if kind == FaultKind::Panic {
             panic!("injected fault: panic at {site:?} for `{key}`");
+        }
+        if kind == FaultKind::Stall {
+            std::thread::sleep(std::time::Duration::from_millis(self.stall_ms));
         }
         Some(kind)
     }

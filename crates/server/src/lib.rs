@@ -28,6 +28,15 @@
 //!   driver (panic isolation per cluster), and the worker loop itself is
 //!   wrapped in [`rt::catch_unwind_silent`], so a poisoned request
 //!   yields an `error` response, never a dead daemon.
+//! * **Continuous telemetry** — a sampler thread pushes periodic metric
+//!   snapshots into a bounded [`obs::telemetry::MetricsRing`]; request
+//!   latency lands in *server-owned* histograms keyed by cache verdict
+//!   (a co-resident batch `check` cannot pollute them); requests that
+//!   run past [`ServerConfig::slow_threshold`] — or end in
+//!   `TIMEOUT`/`INTERNAL`/`MISMATCH` — retain their full span tree in a
+//!   bounded slow-trace ring. Both are served over the wire (`op:
+//!   "metrics"` / `op: "slow_traces"`), answered inline off the
+//!   connection thread so telemetry works even with every worker busy.
 //!
 //! ```text
 //!             ┌────────────┐   bounded    ┌──────────┐
@@ -42,7 +51,10 @@ pub mod wire;
 use blastlite::{render_verdicts, CheckerConfig, DriverConfig, Reducer, RetryPolicy, SearchOrder};
 use cache::{AnalysisCache, CacheStats};
 use obs::json::Json;
+use obs::telemetry::{prometheus_text, MetricsRing, MetricsSnapshot};
+use obs::{Histogram, HistogramSnapshot, SpanRecord};
 use rt::{catch_unwind_silent, panic_payload, CancelToken, FaultPlan};
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -76,6 +88,18 @@ pub struct ServerConfig {
     /// Deterministic fault injection threaded into every check's driver
     /// (chaos testing; the default plan injects nothing).
     pub faults: FaultPlan,
+    /// How often the sampler thread snapshots the metrics into the
+    /// time-series ring.
+    pub snapshot_every: Duration,
+    /// How many periodic snapshots the time-series ring retains.
+    pub ring_capacity: usize,
+    /// Requests slower than this (admission to response) retain their
+    /// span tree in the slow-trace ring, as do requests ending in
+    /// `TIMEOUT`/`INTERNAL`/`MISMATCH` or an `error` response
+    /// regardless of latency (tail sampling).
+    pub slow_threshold: Duration,
+    /// How many slow traces the ring retains (oldest evicted first).
+    pub slow_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +112,10 @@ impl Default for ServerConfig {
             max_frame_bytes: 4 << 20,
             default_time_budget: CheckerConfig::default().time_budget,
             faults: FaultPlan::default(),
+            snapshot_every: Duration::from_secs(1),
+            ring_capacity: 120,
+            slow_threshold: Duration::from_millis(500),
+            slow_capacity: 32,
         }
     }
 }
@@ -126,6 +154,123 @@ impl std::fmt::Display for ServerStats {
             self.cache.hit_rate() * 100.0,
             self.cache.evictions,
         )
+    }
+}
+
+/// One tail-sampled request: a request that ran past the slow
+/// threshold (or ended badly) with its complete span tree retained.
+#[derive(Debug, Clone)]
+pub struct SlowTrace {
+    /// The request's correlation id.
+    pub id: String,
+    /// Why it was retained: `latency`, `verdict:<label>`, or `error`.
+    pub reason: String,
+    /// Admission-to-response wall time, microseconds.
+    pub wall_us: u64,
+    /// Per-cluster verdict labels (empty for `error` responses).
+    pub verdicts: Vec<String>,
+    /// The request's span tree (the `request` root plus everything the
+    /// driver and checker opened under it).
+    pub spans: Vec<SpanRecord>,
+}
+
+/// Renders slow traces as a `pathslice-slowtraces/v1` document.
+pub fn slow_traces_json(traces: &[SlowTrace]) -> Json {
+    Json::Obj(vec![
+        ("schema".into(), Json::Str("pathslice-slowtraces/v1".into())),
+        (
+            "traces".into(),
+            Json::Arr(
+                traces
+                    .iter()
+                    .map(|t| {
+                        // Reuse the canonical span serialization and lift
+                        // its `spans` array into this document.
+                        let spans_doc = Json::parse(&obs::spans_to_json(&t.spans))
+                            .expect("spans_to_json emits valid JSON");
+                        Json::Obj(vec![
+                            ("id".into(), Json::Str(t.id.clone())),
+                            ("reason".into(), Json::Str(t.reason.clone())),
+                            ("wall_us".into(), Json::Num(t.wall_us as i64)),
+                            (
+                                "verdicts".into(),
+                                Json::Arr(
+                                    t.verdicts.iter().map(|v| Json::Str(v.clone())).collect(),
+                                ),
+                            ),
+                            (
+                                "spans".into(),
+                                spans_doc
+                                    .field("spans")
+                                    .cloned()
+                                    .unwrap_or(Json::Arr(vec![])),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Server-owned telemetry: latency histograms keyed by phase and cache
+/// verdict, the periodic snapshot ring, and the slow-trace ring. All of
+/// it is scoped to this server instance — nothing reads the
+/// process-global `obs` registries, so batch work in the same process
+/// (or a second server) cannot pollute what this daemon reports.
+struct Telemetry {
+    /// Queue wait, admission → worker pickup.
+    queue_us: Histogram,
+    /// Full request latency for analysis-cache hits.
+    request_us_hit: Histogram,
+    /// Full request latency for analysis-cache misses.
+    request_us_miss: Histogram,
+    /// Check phase alone (driver run, excluding queue/render).
+    check_us: Histogram,
+    ring: Mutex<MetricsRing>,
+    slow: Mutex<VecDeque<SlowTrace>>,
+    slow_retained: AtomicU64,
+    slow_dropped: AtomicU64,
+}
+
+impl Telemetry {
+    fn new(config: &ServerConfig) -> Telemetry {
+        Telemetry {
+            queue_us: Histogram::new(),
+            request_us_hit: Histogram::new(),
+            request_us_miss: Histogram::new(),
+            check_us: Histogram::new(),
+            ring: Mutex::new(MetricsRing::new(config.ring_capacity)),
+            slow: Mutex::new(VecDeque::new()),
+            slow_retained: AtomicU64::new(0),
+            slow_dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Histogram states, keyed by their metric names.
+    fn histograms(&self) -> BTreeMap<String, HistogramSnapshot> {
+        BTreeMap::from([
+            ("server.queue_us".to_owned(), self.queue_us.snapshot()),
+            (
+                "server.request_us_hit".to_owned(),
+                self.request_us_hit.snapshot(),
+            ),
+            (
+                "server.request_us_miss".to_owned(),
+                self.request_us_miss.snapshot(),
+            ),
+            ("server.check_us".to_owned(), self.check_us.snapshot()),
+        ])
+    }
+
+    fn retain_slow(&self, trace: SlowTrace, capacity: usize) {
+        self.slow_retained.fetch_add(1, Ordering::Relaxed);
+        let mut ring = lock(&self.slow);
+        if ring.len() >= capacity.max(1) {
+            ring.pop_front();
+            self.slow_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(trace);
     }
 }
 
@@ -219,6 +364,7 @@ struct Shared {
     queue: Queue,
     cache: AnalysisCache,
     shutdown: CancelToken,
+    telemetry: Telemetry,
     connections: AtomicU64,
     requests: AtomicU64,
     overloaded: AtomicU64,
@@ -237,6 +383,45 @@ impl Shared {
             cache: self.cache.stats(),
         }
     }
+
+    /// The server-scoped counters, as a name → value map (the basis of
+    /// both the snapshot ring and the Prometheus exposition).
+    fn scoped_counters(&self) -> BTreeMap<String, u64> {
+        let s = self.stats();
+        BTreeMap::from([
+            ("server.connections".to_owned(), s.connections),
+            ("server.requests".to_owned(), s.requests),
+            ("server.overloaded".to_owned(), s.overloaded),
+            ("server.frames_rejected".to_owned(), s.rejected_frames),
+            ("server.frames_truncated".to_owned(), s.truncated_frames),
+            ("server.cache_hits".to_owned(), s.cache.hits),
+            ("server.cache_misses".to_owned(), s.cache.misses),
+            ("server.cache_evictions".to_owned(), s.cache.evictions),
+            ("server.cache_len".to_owned(), s.cache.len as u64),
+            (
+                "server.slow_retained".to_owned(),
+                self.telemetry.slow_retained.load(Ordering::Relaxed),
+            ),
+            (
+                "server.slow_dropped".to_owned(),
+                self.telemetry.slow_dropped.load(Ordering::Relaxed),
+            ),
+        ])
+    }
+
+    /// One periodic observation for the time-series ring.
+    fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            at_us: obs::now_us(),
+            counters: self.scoped_counters(),
+            histograms: self.telemetry.histograms(),
+        }
+    }
+
+    /// The Prometheus text exposition of the scoped metrics.
+    fn exposition(&self) -> String {
+        prometheus_text(&self.scoped_counters(), &self.telemetry.histograms())
+    }
 }
 
 /// A running daemon. Obtain with [`Server::start`]; stop with
@@ -246,6 +431,7 @@ pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
     acceptor: Option<JoinHandle<()>>,
+    sampler: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
@@ -261,10 +447,16 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let jobs = config.jobs.max(1);
+        // The daemon is a telemetry surface: spans must record for the
+        // slow-trace ring to hold anything, so the process-wide switch
+        // goes on for the daemon's lifetime. (Batch tools keep their
+        // off-by-default discipline; this is a serve-only policy.)
+        obs::set_enabled(true);
         let shared = Arc::new(Shared {
             queue: Queue::new(config.queue_capacity),
             cache: AnalysisCache::new(config.cache_capacity),
             shutdown: CancelToken::new(),
+            telemetry: Telemetry::new(&config),
             connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             overloaded: AtomicU64::new(0),
@@ -293,10 +485,19 @@ impl Server {
                 .expect("spawn acceptor thread")
         };
 
+        let sampler = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("pathslice-sampler".into())
+                .spawn(move || sampler_loop(&shared))
+                .expect("spawn sampler thread")
+        };
+
         Ok(Server {
             shared,
             addr,
             acceptor: Some(acceptor),
+            sampler: Some(sampler),
             workers,
             conns,
         })
@@ -317,10 +518,29 @@ impl Server {
         self.shared.queue.len()
     }
 
+    /// The tail-sampled slow-request ring, oldest first (a copy; the
+    /// ring keeps accumulating).
+    pub fn slow_traces(&self) -> Vec<SlowTrace> {
+        lock(&self.shared.telemetry.slow).iter().cloned().collect()
+    }
+
+    /// The Prometheus text exposition of the server-scoped metrics
+    /// (what the `metrics` wire request answers).
+    pub fn metrics_exposition(&self) -> String {
+        self.shared.exposition()
+    }
+
     /// Graceful drain: stop accepting, let every admitted request finish
     /// and its response flush, then join all threads. Returns the final
     /// accounting.
-    pub fn shutdown(mut self) -> ServerStats {
+    pub fn shutdown(self) -> ServerStats {
+        self.shutdown_full().0
+    }
+
+    /// [`Server::shutdown`], also handing back the slow-trace ring (for
+    /// the CLI's SIGINT dump — after the drain, so in-flight requests
+    /// that went slow are included).
+    pub fn shutdown_full(mut self) -> (ServerStats, Vec<SlowTrace>) {
         self.shared.shutdown.cancel();
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
@@ -336,7 +556,31 @@ impl Server {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
-        self.shared.stats()
+        if let Some(sampler) = self.sampler.take() {
+            let _ = sampler.join();
+        }
+        let slow = lock(&self.shared.telemetry.slow).iter().cloned().collect();
+        (self.shared.stats(), slow)
+    }
+}
+
+/// Pushes one metrics snapshot into the ring every
+/// [`ServerConfig::snapshot_every`], polling the shutdown flag between
+/// sleeps. A final snapshot lands on the way out so the series covers
+/// the drain.
+fn sampler_loop(shared: &Arc<Shared>) {
+    loop {
+        lock(&shared.telemetry.ring).push(shared.snapshot());
+        let mut slept = Duration::ZERO;
+        while slept < shared.config.snapshot_every {
+            if shared.shutdown.is_cancelled() {
+                lock(&shared.telemetry.ring).push(shared.snapshot());
+                return;
+            }
+            let step = POLL_INTERVAL.min(shared.config.snapshot_every - slept);
+            std::thread::sleep(step);
+            slept += step;
+        }
     }
 }
 
@@ -459,8 +703,32 @@ fn handle_frame(line: &[u8], shared: &Arc<Shared>, writer: &mut TcpStream) -> bo
     if text.is_empty() {
         return true; // tolerate blank keep-alive lines
     }
-    let request = match wire::Request::from_json(text) {
-        Ok(r) => r,
+    let request = match wire::Incoming::from_json(text) {
+        Ok(wire::Incoming::Check(r)) => r,
+        // Telemetry ops are answered inline by the connection thread —
+        // they bypass the admission queue on purpose, so metrics stay
+        // reachable even when every worker is wedged on slow checks.
+        Ok(wire::Incoming::Metrics { id }) => {
+            let series = lock(&shared.telemetry.ring).to_json();
+            return send_response(
+                writer,
+                &wire::Response::Metrics {
+                    id,
+                    exposition: shared.exposition(),
+                    series,
+                },
+            );
+        }
+        Ok(wire::Incoming::SlowTraces { id }) => {
+            let traces: Vec<SlowTrace> = lock(&shared.telemetry.slow).iter().cloned().collect();
+            return send_response(
+                writer,
+                &wire::Response::SlowTraces {
+                    id,
+                    traces: slow_traces_json(&traces),
+                },
+            );
+        }
         Err(e) => {
             shared.rejected_frames.fetch_add(1, Ordering::Relaxed);
             obs::counter("server.frames_rejected").inc();
@@ -509,16 +777,65 @@ fn send_response(writer: &mut TcpStream, response: &wire::Response) -> bool {
 
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
-        let response = match catch_unwind_silent(|| process(&job, shared)) {
-            Ok(response) => response,
-            Err(payload) => wire::Response::Error {
-                id: job.request.id.clone(),
-                error: format!("internal error: {}", panic_payload(&*payload)),
-            },
+        // Tee the request's span tree out of the thread-local buffers:
+        // the worker has no span open outside `process`, so everything
+        // captured belongs to this request. A panic discards the
+        // partial capture (the trace of a poisoned request is gone, the
+        // daemon is not).
+        let (response, spans) = match catch_unwind_silent(|| obs::capture(|| process(&job, shared)))
+        {
+            Ok((response, spans)) => (response, spans),
+            Err(payload) => (
+                wire::Response::Error {
+                    id: job.request.id.clone(),
+                    error: format!("internal error: {}", panic_payload(&*payload)),
+                },
+                Vec::new(),
+            ),
         };
         shared.requests.fetch_add(1, Ordering::Relaxed);
         obs::counter("server.requests").inc();
+        let wall_us = job.admitted.elapsed().as_micros() as u64;
+        if let Some(reason) = slow_reason(&response, wall_us, shared.config.slow_threshold) {
+            let verdicts = match &response {
+                wire::Response::Ok { clusters, .. } => {
+                    clusters.iter().map(|c| c.verdict.clone()).collect()
+                }
+                _ => Vec::new(),
+            };
+            shared.telemetry.retain_slow(
+                SlowTrace {
+                    id: job.request.id.clone(),
+                    reason,
+                    wall_us,
+                    verdicts,
+                    spans,
+                },
+                shared.config.slow_capacity,
+            );
+        }
         let _ = job.reply.send(response);
+    }
+}
+
+/// Decides whether a finished request is tail-sampled into the
+/// slow-trace ring, and why: over the latency threshold, a bad verdict
+/// (`TIMEOUT`/`INTERNAL`/`MISMATCH`), or an `error` response.
+fn slow_reason(response: &wire::Response, wall_us: u64, threshold: Duration) -> Option<String> {
+    if wall_us > threshold.as_micros() as u64 {
+        return Some("latency".into());
+    }
+    match response {
+        wire::Response::Ok { clusters, .. } => clusters
+            .iter()
+            .find(|c| {
+                c.verdict.starts_with("TIMEOUT")
+                    || c.verdict.starts_with("INTERNAL")
+                    || c.verdict.starts_with("MISMATCH")
+            })
+            .map(|c| format!("verdict:{}", c.verdict)),
+        wire::Response::Error { .. } => Some("error".into()),
+        _ => None,
     }
 }
 
@@ -529,7 +846,7 @@ fn process(job: &Job, shared: &Shared) -> wire::Response {
     let req = &job.request;
     let _span = obs::span!("request", "id {}", req.id);
     let queue_us = job.admitted.elapsed().as_micros() as u64;
-    obs::histogram("server.queue_us").observe(queue_us);
+    shared.telemetry.queue_us.record(queue_us);
 
     let (session, cache_hit) = match shared.cache.get_or_compile(&req.source, "<request>") {
         Ok(found) => found,
@@ -566,9 +883,21 @@ fn process(job: &Job, shared: &Shared) -> wire::Response {
         driver = driver.with_validator(certify::validator(FaultPlan::default()));
     }
 
+    let check_started = Instant::now();
     let report = session.check(config, &driver);
+    shared
+        .telemetry
+        .check_us
+        .record(check_started.elapsed().as_micros() as u64);
     let wall_us = job.admitted.elapsed().as_micros() as u64;
-    obs::histogram("server.request_us").observe(wall_us);
+    // Latency keyed by cache verdict: a hit skips parse/lower/build, so
+    // the two populations have very different shapes — folding them
+    // into one histogram would hide regressions in either.
+    if cache_hit {
+        shared.telemetry.request_us_hit.record(wall_us);
+    } else {
+        shared.telemetry.request_us_miss.record(wall_us);
+    }
 
     let certificate = req.want_certificate.then(|| {
         let trace = certify::certify_report(session.analyses(), &report, session.source());
@@ -617,10 +946,29 @@ fn verdict_label(outcome: &blastlite::CheckOutcome) -> String {
     }
 }
 
-/// The `stats` payload: server accounting plus the global `obs` counter
-/// snapshot (cumulative process totals; zeros while tracing is off).
+/// The `stats` payload: server accounting plus the server-owned latency
+/// histograms. Everything here is scoped to *this* server instance —
+/// the old payload dumped the process-global `obs` counters, which a
+/// co-resident batch `check` (or a second server in the same process,
+/// as every test binary has) silently inflated.
 fn stats_json(shared: &Shared) -> Json {
     let s = shared.stats();
+    let latency = shared
+        .telemetry
+        .histograms()
+        .into_iter()
+        .map(|(name, h)| {
+            (
+                name,
+                Json::Obj(vec![
+                    ("count".into(), Json::Num(h.count as i64)),
+                    ("p50_us".into(), Json::Num(h.quantile(0.50) as i64)),
+                    ("p95_us".into(), Json::Num(h.quantile(0.95) as i64)),
+                    ("p99_us".into(), Json::Num(h.quantile(0.99) as i64)),
+                ]),
+            )
+        })
+        .collect();
     Json::Obj(vec![
         (
             "server".into(),
@@ -640,16 +988,19 @@ fn stats_json(shared: &Shared) -> Json {
                 ),
                 ("cache_len".into(), Json::Num(s.cache.len as i64)),
                 ("cache_hit_rate".into(), Json::Float(s.cache.hit_rate())),
+                (
+                    "slow_retained".into(),
+                    Json::Num(shared.telemetry.slow_retained.load(Ordering::Relaxed) as i64),
+                ),
             ]),
         ),
+        ("latency".into(), Json::Obj(latency)),
         (
-            "counters".into(),
-            Json::Obj(
-                obs::counters()
-                    .into_iter()
-                    .map(|(k, v)| (k.to_owned(), Json::Num(v as i64)))
-                    .collect(),
-            ),
+            "telemetry".into(),
+            Json::Obj(vec![(
+                "snapshots".into(),
+                Json::Num(lock(&shared.telemetry.ring).len() as i64),
+            )]),
         ),
     ])
 }
@@ -690,6 +1041,34 @@ impl Client {
     /// response.
     pub fn request(&mut self, request: &wire::Request) -> Result<wire::Response, String> {
         self.send_raw(&request.to_json())
+    }
+
+    /// Asks the daemon for its metrics (Prometheus exposition + JSON
+    /// time series).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`], plus an unexpected response status.
+    pub fn metrics(&mut self, id: &str) -> Result<(String, Json), String> {
+        match self.send_raw(&wire::metrics_request_json(id))? {
+            wire::Response::Metrics {
+                exposition, series, ..
+            } => Ok((exposition, series)),
+            other => Err(format!("expected metrics response, got {other:?}")),
+        }
+    }
+
+    /// Asks the daemon for its slow-trace ring
+    /// (`pathslice-slowtraces/v1`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`], plus an unexpected response status.
+    pub fn slow_traces(&mut self, id: &str) -> Result<Json, String> {
+        match self.send_raw(&wire::slow_traces_request_json(id))? {
+            wire::Response::SlowTraces { traces, .. } => Ok(traces),
+            other => Err(format!("expected slow_traces response, got {other:?}")),
+        }
     }
 
     /// Sends one raw frame (malformed-input testing) and blocks for the

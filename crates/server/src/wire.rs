@@ -6,10 +6,13 @@
 //! no serde), with a `schema` marker checked on parse so foreign traffic
 //! is rejected with an error response instead of undefined behaviour.
 //!
-//! A request carries the source text plus the same knobs as `pathslice
-//! check` (per-cluster budget, reducer, search order, retries,
-//! validation) and two *wants*: the certificate trace and the stats
-//! snapshot. A response is one of three statuses:
+//! A check request carries the source text plus the same knobs as
+//! `pathslice check` (per-cluster budget, reducer, search order,
+//! retries, validation) and two *wants*: the certificate trace and the
+//! stats snapshot. Telemetry requests carry an `op` marker instead
+//! (`"op":"metrics"` / `"op":"slow_traces"`; a frame without `op` is a
+//! check, so v1 clients keep working unchanged). A response is one of
+//! five statuses:
 //!
 //! * `ok` — verdicts (structured and rendered exactly as `pathslice
 //!   check` prints them), cache disposition, timings, and the optional
@@ -18,11 +21,87 @@
 //!   request was *not* processed. Clients should back off and retry.
 //! * `error` — malformed request, front-end failure, or an isolated
 //!   internal error; the daemon stays up.
+//! * `metrics` — Prometheus-style text exposition plus the
+//!   `pathslice-metrics/v1` JSON time series (answered inline by the
+//!   connection thread, bypassing the admission queue, so telemetry
+//!   stays reachable even when every worker is wedged).
+//! * `slow_traces` — the tail-sampled slow-request ring as a
+//!   `pathslice-slowtraces/v1` document.
 
 use obs::json::{Json, JsonError};
 
 /// Schema marker; bumped on breaking changes.
 pub const WIRE_SCHEMA: &str = "pathslice-wire/v1";
+
+/// Any parsed request frame: a verification check or one of the
+/// telemetry operations. Dispatch happens on the optional `op` field —
+/// absent (or `"check"`) means [`Incoming::Check`], so pre-telemetry
+/// clients are still speaking valid `pathslice-wire/v1`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Incoming {
+    /// A verification request (the admission queue path).
+    Check(Request),
+    /// Ask for the metrics exposition + time series (answered inline).
+    Metrics {
+        /// Client-chosen correlation id.
+        id: String,
+    },
+    /// Ask for the tail-sampled slow-request ring (answered inline).
+    SlowTraces {
+        /// Client-chosen correlation id.
+        id: String,
+    },
+}
+
+impl Incoming {
+    /// Parses one wire line, dispatching on `op`.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] on malformed JSON, a wrong/missing `schema`
+    /// marker, an unknown `op`, or (for checks) the [`Request`] errors.
+    pub fn from_json(text: &str) -> Result<Incoming, JsonError> {
+        let bad = |m: &str| JsonError {
+            message: m.to_owned(),
+            at: 0,
+        };
+        let doc = Json::parse(text)?;
+        if doc.field("schema").and_then(Json::as_str) != Some(WIRE_SCHEMA) {
+            return Err(bad("not a pathslice-wire/v1 request"));
+        }
+        let id = doc
+            .field("id")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_owned();
+        match doc.field("op").and_then(Json::as_str) {
+            None | Some("check") => Request::from_json(text).map(Incoming::Check),
+            Some("metrics") => Ok(Incoming::Metrics { id }),
+            Some("slow_traces") => Ok(Incoming::SlowTraces { id }),
+            Some(other) => Err(bad(&format!("unknown `op` `{other}`"))),
+        }
+    }
+}
+
+/// The frame a [`Incoming::Metrics`] request serializes to.
+pub fn metrics_request_json(id: &str) -> String {
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(WIRE_SCHEMA.into())),
+        ("op".into(), Json::Str("metrics".into())),
+        ("id".into(), Json::Str(id.to_owned())),
+    ])
+    .to_text()
+}
+
+/// The frame a [`Incoming::SlowTraces`] request serializes to.
+pub fn slow_traces_request_json(id: &str) -> String {
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(WIRE_SCHEMA.into())),
+        ("op".into(), Json::Str("slow_traces".into())),
+        ("id".into(), Json::Str(id.to_owned())),
+    ])
+    .to_text()
+}
 
 /// One verification request.
 #[derive(Debug, Clone, PartialEq)]
@@ -220,15 +299,33 @@ pub enum Response {
         /// What went wrong.
         error: String,
     },
+    /// Telemetry: text exposition plus the JSON time series.
+    Metrics {
+        /// Echoed request id.
+        id: String,
+        /// Prometheus text exposition format.
+        exposition: String,
+        /// `pathslice-metrics/v1` document (snapshots + deltas).
+        series: Json,
+    },
+    /// Telemetry: the slow-request ring.
+    SlowTraces {
+        /// Echoed request id.
+        id: String,
+        /// `pathslice-slowtraces/v1` document.
+        traces: Json,
+    },
 }
 
 impl Response {
     /// Echoed request id.
     pub fn id(&self) -> &str {
         match self {
-            Response::Ok { id, .. } | Response::Overloaded { id } | Response::Error { id, .. } => {
-                id
-            }
+            Response::Ok { id, .. }
+            | Response::Overloaded { id }
+            | Response::Error { id, .. }
+            | Response::Metrics { id, .. }
+            | Response::SlowTraces { id, .. } => id,
         }
     }
 
@@ -295,6 +392,23 @@ impl Response {
                 ("status".into(), Json::Str("error".into())),
                 ("error".into(), Json::Str(error.clone())),
             ]),
+            Response::Metrics {
+                id,
+                exposition,
+                series,
+            } => Json::Obj(vec![
+                ("schema".into(), Json::Str(WIRE_SCHEMA.into())),
+                ("id".into(), Json::Str(id.clone())),
+                ("status".into(), Json::Str("metrics".into())),
+                ("exposition".into(), Json::Str(exposition.clone())),
+                ("series".into(), series.clone()),
+            ]),
+            Response::SlowTraces { id, traces } => Json::Obj(vec![
+                ("schema".into(), Json::Str(WIRE_SCHEMA.into())),
+                ("id".into(), Json::Str(id.clone())),
+                ("status".into(), Json::Str("slow_traces".into())),
+                ("traces".into(), traces.clone()),
+            ]),
         };
         doc.to_text()
     }
@@ -321,6 +435,25 @@ impl Response {
             .to_owned();
         match doc.field("status").and_then(Json::as_str) {
             Some("overloaded") => Ok(Response::Overloaded { id }),
+            Some("metrics") => Ok(Response::Metrics {
+                id,
+                exposition: doc
+                    .field("exposition")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("missing `exposition`"))?
+                    .to_owned(),
+                series: doc
+                    .field("series")
+                    .cloned()
+                    .ok_or_else(|| bad("missing `series`"))?,
+            }),
+            Some("slow_traces") => Ok(Response::SlowTraces {
+                id,
+                traces: doc
+                    .field("traces")
+                    .cloned()
+                    .ok_or_else(|| bad("missing `traces`"))?,
+            }),
             Some("error") => Ok(Response::Error {
                 id,
                 error: doc
@@ -463,6 +596,49 @@ mod tests {
                 resp,
                 "{resp:?}"
             );
+        }
+    }
+
+    #[test]
+    fn incoming_dispatches_on_op_and_defaults_to_check() {
+        let check = Incoming::from_json(&Request::new("fn main() { }").to_json()).unwrap();
+        assert!(matches!(check, Incoming::Check(_)), "no `op` means check");
+        assert_eq!(
+            Incoming::from_json(&metrics_request_json("m1")).unwrap(),
+            Incoming::Metrics { id: "m1".into() }
+        );
+        assert_eq!(
+            Incoming::from_json(&slow_traces_request_json("s1")).unwrap(),
+            Incoming::SlowTraces { id: "s1".into() }
+        );
+        assert!(
+            Incoming::from_json("{\"schema\":\"pathslice-wire/v1\",\"op\":\"selfdestruct\"}")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn telemetry_responses_roundtrip() {
+        for resp in [
+            Response::Metrics {
+                id: "m".into(),
+                exposition: "# TYPE pathslice_server_requests counter\n".into(),
+                series: Json::Obj(vec![(
+                    "schema".into(),
+                    Json::Str("pathslice-metrics/v1".into()),
+                )]),
+            },
+            Response::SlowTraces {
+                id: "s".into(),
+                traces: Json::Obj(vec![("traces".into(), Json::Arr(Vec::new()))]),
+            },
+        ] {
+            assert_eq!(
+                Response::from_json(&resp.to_json()).unwrap(),
+                resp,
+                "{resp:?}"
+            );
+            assert!(!resp.to_json().contains('\n'), "frames stay single-line");
         }
     }
 

@@ -163,6 +163,163 @@ fn disabled_tracing_overhead_is_bounded() {
     );
 }
 
+/// The log₂ bucketing at its boundaries: zeros get their own bucket,
+/// each power of two opens the next one, and the top of `u64` still
+/// lands somewhere sane.
+#[test]
+fn histogram_bucket_boundaries_are_exact() {
+    let h = obs::Histogram::new();
+    // (value, inclusive upper bound of the bucket it must land in)
+    let cases: &[(u64, u64)] = &[
+        (0, 0),
+        (1, 1),
+        (2, 3),
+        (3, 3),
+        (4, 7),
+        (7, 7),
+        (8, 15),
+        (1023, 1023),
+        (1024, 2047),
+        (u64::MAX, u64::MAX),
+    ];
+    for &(v, _) in cases {
+        h.record(v);
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.count, cases.len() as u64);
+    let bucket = |hi: u64| {
+        snap.buckets
+            .iter()
+            .find(|&&(b, _)| b == hi)
+            .map(|&(_, n)| n)
+            .unwrap_or(0)
+    };
+    for &(v, hi) in cases {
+        assert!(
+            bucket(hi) > 0,
+            "value {v} missing from bucket ≤{hi}: {snap:?}"
+        );
+    }
+    assert_eq!(bucket(0), 1, "zeros bucket");
+    assert_eq!(bucket(3), 2, "2 and 3 share [2,4)");
+    assert_eq!(bucket(7), 2, "4 and 7 share [4,8)");
+    // Quantiles walk the same buckets.
+    assert_eq!(snap.quantile(0.0), 0);
+    assert_eq!(snap.quantile(1.0), u64::MAX);
+}
+
+/// Snapshots taken while writers are mid-flight must be internally
+/// sane: never more samples than were written, never shrinking, and
+/// exact once the writers join. (The per-field atomics are relaxed, so
+/// the test asserts bounds and the final state, not cross-atomic
+/// ordering.)
+#[test]
+fn histogram_snapshot_during_concurrent_observe_is_consistent() {
+    use std::sync::Arc;
+    const WRITERS: usize = 4;
+    const PER_WRITER: u64 = 50_000;
+    let h = Arc::new(obs::Histogram::new());
+    let total = WRITERS as u64 * PER_WRITER;
+    let workers: Vec<_> = (0..WRITERS)
+        .map(|_| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                for _ in 0..PER_WRITER {
+                    h.record(5);
+                }
+            })
+        })
+        .collect();
+    let mut last_count = 0u64;
+    while workers.iter().any(|w| !w.is_finished()) {
+        let snap = h.snapshot();
+        let bucket_sum: u64 = snap.buckets.iter().map(|&(_, n)| n).sum();
+        assert!(snap.count <= total, "count overshot: {snap:?}");
+        assert!(bucket_sum <= total, "buckets overshot: {snap:?}");
+        assert!(snap.sum <= 5 * total, "sum overshot: {snap:?}");
+        assert!(snap.sum.is_multiple_of(5), "torn sum: {snap:?}");
+        assert!(snap.count >= last_count, "count went backwards");
+        last_count = snap.count;
+    }
+    for w in workers {
+        w.join().unwrap();
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.count, total);
+    assert_eq!(snap.sum, 5 * total);
+    assert_eq!(snap.buckets, vec![(7, total)], "every 5 lands in [4,8)");
+}
+
+/// Merging per-thread snapshots is deterministic in the partitioning:
+/// one writer or four, same final distribution — the histogram
+/// analogue of the counter parity the driver guarantees across
+/// `--jobs` counts.
+#[test]
+fn histogram_merge_is_partition_independent() {
+    let values: Vec<u64> = (0..10_000u64)
+        .map(|i| i.wrapping_mul(2654435761) % 4096)
+        .collect();
+    // Sequential reference: everything through one histogram.
+    let seq = obs::Histogram::new();
+    for &v in &values {
+        seq.record(v);
+    }
+    // Partitioned: four writers with private histograms, merged after.
+    let chunks: Vec<Vec<u64>> = (0..4)
+        .map(|c| values.iter().copied().skip(c).step_by(4).collect())
+        .collect();
+    let handles: Vec<_> = chunks
+        .into_iter()
+        .map(|chunk| {
+            std::thread::spawn(move || {
+                let h = obs::Histogram::new();
+                for v in chunk {
+                    h.record(v);
+                }
+                h.snapshot()
+            })
+        })
+        .collect();
+    let mut merged = obs::HistogramSnapshot::default();
+    for h in handles {
+        merged.merge(&h.join().unwrap());
+    }
+    assert_eq!(merged, seq.snapshot());
+    for q in [0.5, 0.95, 0.99] {
+        assert_eq!(merged.quantile(q), seq.snapshot().quantile(q));
+    }
+}
+
+/// The registered histogram the driver feeds (`driver.attempt_us`)
+/// records one sample per attempt regardless of the worker count —
+/// sample *counts* are part of the `--jobs` parity contract even
+/// though the recorded durations are wall clock.
+#[test]
+fn registered_histogram_counts_match_across_worker_counts() {
+    let _g = lock();
+    obs::set_enabled(true);
+    let attempts_with = |jobs: usize| {
+        let before = obs::histograms()
+            .get("driver.attempt_us")
+            .map(|h| h.count)
+            .unwrap_or(0);
+        let spec = &workloads::suite(Scale::Small)[0];
+        let program = workloads::gen::generate(spec).lower();
+        let _ = run_clusters(
+            &program,
+            CheckerConfig::default(),
+            &DriverConfig::sequential().with_jobs(jobs),
+        );
+        let _ = obs::take_spans();
+        obs::histograms()["driver.attempt_us"].count - before
+    };
+    let seq = attempts_with(1);
+    let par = attempts_with(4);
+    assert!(seq > 0);
+    assert_eq!(seq, par, "attempt count drifted between --jobs 1 and 4");
+    obs::set_enabled(false);
+}
+
 /// End-to-end: a traced check's span dump survives the JSON round trip
 /// byte-for-byte at the record level.
 #[test]

@@ -272,6 +272,159 @@ fn certificates_and_stats_ride_along_when_requested() {
 }
 
 #[test]
+fn metrics_request_exposes_prometheus_text_and_snapshot_deltas() {
+    let server = start(ServerConfig {
+        snapshot_every: Duration::from_millis(20),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let (_, exit, _) = ok_response(client.request(&wire::Request::new(BUGGY)).unwrap());
+    assert_eq!(exit, 1);
+
+    // Poll until the sampler has pushed enough periodic snapshots for
+    // at least two deltas (the acceptance bar), rather than guessing a
+    // sleep that a loaded CI box would miss.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let (exposition, series) = loop {
+        let (exposition, series) = client.metrics("m1").expect("metrics over the wire");
+        let deltas = series
+            .field("deltas")
+            .and_then(|d| d.as_arr())
+            .map_or(0, <[_]>::len);
+        if deltas >= 2 {
+            break (exposition, series);
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "sampler never produced 2 deltas: {}",
+            series.to_text()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+
+    assert_eq!(
+        series.field("schema").and_then(|s| s.as_str()),
+        Some("pathslice-metrics/v1")
+    );
+    // The exposition carries the server-scoped counter families and the
+    // latency histograms in Prometheus text format.
+    assert!(
+        exposition.contains("# TYPE pathslice_server_requests counter"),
+        "{exposition}"
+    );
+    assert!(
+        exposition.contains("pathslice_server_requests 1"),
+        "{exposition}"
+    );
+    assert!(
+        exposition.contains("pathslice_server_request_us_miss_count 1"),
+        "{exposition}"
+    );
+    assert!(exposition.contains("le=\"+Inf\""), "{exposition}");
+    server.shutdown();
+}
+
+#[test]
+fn stalled_requests_are_tail_sampled_with_balanced_span_trees() {
+    // Every cluster start stalls 60ms against a 20ms slow threshold:
+    // the request must land in the slow-trace ring, verdict unchanged.
+    let server = start(ServerConfig {
+        slow_threshold: Duration::from_millis(20),
+        faults: FaultPlan::new(7)
+            .inject(FaultSite::ClusterStart, FaultKind::Stall, 1.0)
+            .with_stall_ms(60),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let (_, exit, _) = ok_response(client.request(&wire::Request::new(BUGGY)).unwrap());
+    assert_eq!(exit, 1, "a stall delays the verdict, it does not change it");
+
+    // The ring is queryable from the live daemon over the wire…
+    let doc = client.slow_traces("s1").expect("slow traces over the wire");
+    assert_eq!(
+        doc.field("schema").and_then(|s| s.as_str()),
+        Some("pathslice-slowtraces/v1")
+    );
+    let wire_traces = doc.field("traces").and_then(|t| t.as_arr()).unwrap();
+    assert_eq!(wire_traces.len(), 1, "{}", doc.to_text());
+
+    // …and handed back on shutdown for the SIGINT dump path.
+    let (_, slow) = server.shutdown_full();
+    assert_eq!(slow.len(), 1);
+    let trace = &slow[0];
+    assert_eq!(trace.reason, "latency");
+    assert!(trace.wall_us >= 20_000, "stalled for {}us", trace.wall_us);
+    assert!(!trace.verdicts.is_empty());
+
+    // The retained span tree is balanced: ids unique, every parent
+    // resolves within the trace, and a single `request` root covers it.
+    let mut ids = std::collections::HashSet::new();
+    for s in &trace.spans {
+        assert!(ids.insert(s.id), "duplicate span id {}", s.id);
+    }
+    let mut roots = 0;
+    for s in &trace.spans {
+        match s.parent {
+            Some(p) => assert!(ids.contains(&p), "dangling parent {p} for span {}", s.name),
+            None => {
+                assert_eq!(s.name, "request");
+                roots += 1;
+            }
+        }
+    }
+    assert_eq!(roots, 1, "exactly one request root");
+    assert!(
+        trace.spans.iter().any(|s| s.name == "attempt"),
+        "driver spans retained: {:?}",
+        trace.spans.iter().map(|s| &s.name).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn server_stats_are_scoped_per_instance_not_process_global() {
+    // Two co-resident daemons, as every test binary has. Traffic into
+    // one must be invisible in the other's metrics — the old stats
+    // payload dumped process-global counters and failed exactly this.
+    let busy = start(ServerConfig::default());
+    let idle = start(ServerConfig::default());
+    let mut client = Client::connect(busy.local_addr()).unwrap();
+    for _ in 0..3 {
+        ok_response(client.request(&wire::Request::new(BUGGY)).unwrap());
+    }
+
+    let expo = idle.metrics_exposition();
+    assert!(expo.contains("pathslice_server_requests 0"), "{expo}");
+    assert!(expo.contains("pathslice_server_cache_misses 0"), "{expo}");
+
+    // A stats-bearing request to the idle server counts only itself.
+    let mut other = Client::connect(idle.local_addr()).unwrap();
+    let mut req = wire::Request::new(SAFE);
+    req.want_stats = true;
+    let resp = other.request(&req).unwrap();
+    let wire::Response::Ok {
+        stats: Some(stats), ..
+    } = resp
+    else {
+        panic!("expected stats: {resp:?}");
+    };
+    let block = stats.field("server").expect("server block");
+    // `requests` counts *completed* requests, so the in-flight one that
+    // carried this payload is not yet included — the point is that the
+    // busy server's 3 are not here either.
+    assert_eq!(block.field("requests").and_then(|v| v.as_i64()), Some(0));
+    assert_eq!(
+        block.field("cache_misses").and_then(|v| v.as_i64()),
+        Some(1)
+    );
+    assert_eq!(block.field("cache_hits").and_then(|v| v.as_i64()), Some(0));
+
+    let busy_stats = busy.shutdown();
+    idle.shutdown();
+    assert_eq!(busy_stats.requests, 3);
+    assert_eq!(busy_stats.cache.hits, 2);
+}
+
+#[test]
 fn cli_serve_drains_and_flushes_spans_on_token_cancel() {
     let spans_path = temp_file("serve.spans.json", "");
     let token = CancelToken::new();
