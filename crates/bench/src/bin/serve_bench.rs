@@ -14,6 +14,8 @@
 //!             [--rate <req/s>] [--seed <s>] [--server-jobs <n>]
 //!             [--json] [--smoke] [--metrics-out <metrics.prom>]
 //!             [--trace-out <spans.json>]
+//!             [--journal <dir>] [--attach <host:port>] [--no-retry]
+//!             [--drill restart]
 //! ```
 //!
 //! Each request is a distinct generated workload program (seed-varied)
@@ -36,11 +38,25 @@
 //! leaked threads. `--metrics-out` fetches the daemon's Prometheus
 //! exposition over the wire (`op: "metrics"`) right before the drain
 //! and writes it to a file; `--trace-out` dumps the run's span trees.
+//!
+//! Robustness knobs: `--journal <dir>` attaches the durable verdict
+//! journal to the in-process daemon; `--attach <host:port>` drives an
+//! externally started daemon instead of spawning one (server-side
+//! accounting is then unavailable, so it composes with neither
+//! `--smoke` nor `--drill`); `--no-retry` disables the client-side
+//! transport retry (default: 3 bounded attempts with backoff).
+//! `--drill restart` runs the kill-and-recover drill instead of a load
+//! run: journaled daemon → half the programs → `SIGKILL`-equivalent
+//! crash (no flush, no compaction) → restart on the same journal →
+//! assert the recovery counters and that every recovered verdict is
+//! served warm, byte-identical to a cold journal-less control.
 
 use obs::json::Json;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use server::{wire, Client, Server, ServerConfig};
+use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 use workloads::gen::generate;
 use workloads::WorkloadSpec;
@@ -102,6 +118,154 @@ fn os_threads() -> Option<u64> {
         .and_then(|v| v.trim().parse().ok())
 }
 
+/// Drops the trailing wall-time column (`...  12.3ms`) from each render
+/// line: it is real elapsed time, the only part of a verdict that may
+/// legitimately differ between a warm replay and a cold re-check.
+fn strip_timing(s: &str) -> Vec<String> {
+    s.lines()
+        .map(|l| {
+            l.rsplit_once("  ")
+                .map_or(l.to_owned(), |(v, _)| v.to_owned())
+        })
+        .collect()
+}
+
+/// `--drill restart`: the kill-and-recover drill.
+///
+/// Phase 1 starts a journaled daemon, checks half the programs, and
+/// crashes it ([`Server::crash`]: the `SIGKILL` shape — no drain, no
+/// journal flush, no compaction). Phase 2 restarts on the same journal
+/// directory and asserts the recovery counters: every journaled verdict
+/// recovered (each re-validated through its certificate before it may
+/// serve), none rejected, no torn tail (the crash landed between
+/// appends, and appends are single `write_all`s). It then resends all
+/// `k` programs: the first half must come back `warm` — served from the
+/// recovered verdict cache without re-running the check — and identical
+/// to the pre-crash verdicts; the second half was never journaled and
+/// must run cold. Phase 3 is the control: a fresh journal-less daemon
+/// checks all `k` programs from scratch, and every phase-2 verdict must
+/// match it byte-for-byte (modulo the wall-time column).
+fn drill_restart(seed: u64, requests: usize, server_jobs: usize, retry: u32) {
+    let k = (requests.clamp(4, 64) + 1) & !1; // even, bounded
+    let half = k / 2;
+    let journal_dir = flag("--journal").map(PathBuf::from).unwrap_or_else(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_nanos());
+        std::env::temp_dir().join(format!("pathslice-drill-{}-{nanos}", std::process::id()))
+    });
+    let config = || ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        jobs: server_jobs,
+        journal_dir: Some(journal_dir.clone()),
+        ..ServerConfig::default()
+    };
+    let programs: Vec<String> = (0..k as u64)
+        .map(|i| generate(&spec(seed + i)).source)
+        .collect();
+    let send = |client: &mut Client, i: usize| -> (bool, i32, Vec<String>) {
+        let mut request = wire::Request::new(&programs[i]);
+        request.id = format!("drill-{i}");
+        match client.request(&request) {
+            Ok(wire::Response::Ok {
+                warm, exit, render, ..
+            }) => (warm, exit, strip_timing(&render)),
+            Ok(other) => panic!("drill request {i}: unexpected response {other:?}"),
+            Err(e) => panic!("drill request {i}: {e}"),
+        }
+    };
+
+    // Phase 1: journaled daemon, half the programs, then the crash.
+    let server = Server::start(config()).expect("bind drill server");
+    let addr = server.local_addr();
+    eprintln!(
+        "drill restart: phase 1 on {addr}, journal {}",
+        journal_dir.display()
+    );
+    let mut client = Client::connect_retrying(addr, retry).expect("connect phase 1");
+    let before: Vec<_> = (0..half).map(|i| send(&mut client, i)).collect();
+    drop(client);
+    let crashed = server.crash();
+    assert_eq!(crashed.requests, half as u64, "drill: phase-1 accounting");
+    for (i, (warm, ..)) in before.iter().enumerate() {
+        assert!(!warm, "drill: phase-1 request {i} cannot be warm");
+    }
+    // The crash leaks its threads instead of joining them; give them a
+    // beat to observe the cancelled token before binding the successor.
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Phase 2: restart on the same journal. Replay must recover every
+    // appended verdict — and nothing else.
+    let server = Server::start(config()).expect("restart drill server");
+    let addr = server.local_addr();
+    let journal = server.stats().journal.expect("journal stats");
+    eprintln!(
+        "drill restart: phase 2 on {addr} — {} recovered, {} rejected, {} torn",
+        journal.recovered, journal.rejected, journal.torn
+    );
+    assert_eq!(journal.recovered, half as u64, "drill: recovery count");
+    assert_eq!(
+        journal.rejected, 0,
+        "drill: no verdict may fail re-validation"
+    );
+    assert_eq!(
+        journal.torn, 0,
+        "drill: crash between appends tears nothing"
+    );
+    let mut client = Client::connect_retrying(addr, retry).expect("connect phase 2");
+    let after: Vec<_> = (0..k).map(|i| send(&mut client, i)).collect();
+    drop(client);
+    let stats = server.shutdown();
+    for (i, (warm, exit, render)) in after.iter().enumerate() {
+        if i < half {
+            assert!(
+                warm,
+                "drill: request {i} must be served warm from the journal"
+            );
+            assert_eq!(
+                (exit, render),
+                (&before[i].1, &before[i].2),
+                "drill: request {i} warm verdict differs from pre-crash"
+            );
+        } else {
+            assert!(
+                !warm,
+                "drill: request {i} was never journaled, cannot be warm"
+            );
+        }
+    }
+    assert_eq!(
+        stats.verdicts.hits, half as u64,
+        "drill: warm-hit accounting"
+    );
+
+    // Phase 3: the cold control — no journal, every program checked
+    // from scratch. Journal-served verdicts must be indistinguishable.
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        jobs: server_jobs,
+        ..ServerConfig::default()
+    })
+    .expect("bind control server");
+    let mut client = Client::connect_retrying(server.local_addr(), retry).expect("connect control");
+    let control: Vec<_> = (0..k).map(|i| send(&mut client, i)).collect();
+    drop(client);
+    server.shutdown();
+    for (i, (_, exit, render)) in control.iter().enumerate() {
+        assert_eq!(
+            (&after[i].1, &after[i].2),
+            (exit, render),
+            "drill: request {i} journal-served verdict differs from cold control"
+        );
+    }
+
+    println!(
+        "drill restart: OK ({half} verdict(s) recovered and re-validated, \
+         {half} warm replay(s) byte-identical to a cold control, journal at {})",
+        journal_dir.display()
+    );
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let json = bench::json_requested();
@@ -123,15 +287,51 @@ fn main() {
     let rate: f64 = parse_flag("--rate", 0.0);
     let seed: u64 = parse_flag("--seed", 7);
     let server_jobs: usize = parse_flag("--server-jobs", 4);
+    let retry: u32 = if std::env::args().any(|a| a == "--no-retry") {
+        0
+    } else {
+        3
+    };
+
+    if let Some(drill) = flag("--drill") {
+        match drill.as_str() {
+            "restart" => {
+                drill_restart(seed, parse_flag("--requests", 8), server_jobs, retry);
+                return;
+            }
+            other => {
+                eprintln!("unknown --drill `{other}` (expected `restart`)");
+                std::process::exit(64);
+            }
+        }
+    }
+
+    let attach: Option<SocketAddr> = flag("--attach").map(|a| {
+        a.parse().unwrap_or_else(|_| {
+            eprintln!("bad --attach value `{a}`");
+            std::process::exit(64);
+        })
+    });
+    if smoke && attach.is_some() {
+        eprintln!("--smoke asserts in-process daemon accounting; drop --attach");
+        std::process::exit(64);
+    }
 
     let threads_before = os_threads();
-    let server = Server::start(ServerConfig {
-        addr: "127.0.0.1:0".into(),
-        jobs: server_jobs,
-        ..ServerConfig::default()
-    })
-    .expect("bind bench server");
-    let addr = server.local_addr();
+    let server = if attach.is_some() {
+        None
+    } else {
+        Some(
+            Server::start(ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                jobs: server_jobs,
+                journal_dir: flag("--journal").map(PathBuf::from),
+                ..ServerConfig::default()
+            })
+            .expect("bind bench server"),
+        )
+    };
+    let addr = attach.unwrap_or_else(|| server.as_ref().expect("in-process server").local_addr());
     eprintln!(
         "serve_bench: daemon on {addr}, {requests} request(s), {concurrency} connection(s), \
          repeat-ratio {repeat_ratio}"
@@ -175,7 +375,7 @@ fn main() {
                 .map(|(i, &s)| (i, s))
                 .collect();
             std::thread::spawn(move || {
-                let mut client = Client::connect(addr).expect("connect");
+                let mut client = Client::connect_retrying(addr, retry).expect("connect");
                 let mut samples: Vec<Sample> = Vec::new();
                 let mut failures: Vec<String> = Vec::new();
                 for (i, program_seed) in mine {
@@ -215,7 +415,7 @@ fn main() {
     if let Some(path) = flag("--metrics-out") {
         // Through the wire, not Server::metrics_exposition(): the bench
         // should exercise the same path an operator's scraper would.
-        let mut scraper = Client::connect(addr).expect("connect for metrics");
+        let mut scraper = Client::connect_retrying(addr, retry).expect("connect for metrics");
         match scraper.metrics("serve-bench-final") {
             Ok((exposition, _series)) => match std::fs::write(&path, exposition) {
                 Ok(()) => eprintln!("wrote {path}"),
@@ -224,7 +424,8 @@ fn main() {
             Err(e) => eprintln!("metrics request failed: {e}"),
         }
     }
-    let stats = server.shutdown();
+    // Attached daemons outlive the bench; their accounting reads zero.
+    let stats = server.map(Server::shutdown).unwrap_or_default();
 
     for f in &failures {
         eprintln!("request failed: {f}");

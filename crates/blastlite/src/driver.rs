@@ -520,10 +520,17 @@ fn run_attempt(
                 Some(FaultKind::Panic) => unreachable!("fire panics for Panic rules"),
                 // A Stall already slept inside `fire`; the phase then
                 // proceeds normally (latency moved, verdict didn't).
-                // Certificate corruption is applied by `certify::corrupt`,
-                // not at the checker gates; a plan that routes it here is
+                // Certificate corruption is applied by `certify::corrupt`
+                // and the I/O kinds by the journal/wire layers, not at
+                // the checker gates; a plan that routes them here is
                 // simply inert for this phase.
-                Some(FaultKind::Stall) | Some(FaultKind::CorruptCertificate) | None => {}
+                Some(
+                    FaultKind::Stall
+                    | FaultKind::CorruptCertificate
+                    | FaultKind::TornWrite
+                    | FaultKind::IoError,
+                )
+                | None => {}
             }
         }
         phase.set("check");

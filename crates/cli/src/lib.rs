@@ -8,6 +8,7 @@
 //!                            [--trace-out <spans.json>]
 //! pathslice serve [--addr <host:port>] [--jobs <n>] [--queue <n>]
 //!                 [--cache <n>] [--timeout <secs>]
+//!                 [--journal <dir>]
 //!                 [--stats] [--trace-out <spans.json>]
 //!                 [--slow-ms <ms>] [--slow-out <traces.json>]
 //!                 [--metrics-every <ms>]
@@ -39,9 +40,13 @@
 //! * `serve` — run the long-lived verification daemon (`crates/server`):
 //!   newline-delimited `pathslice-wire/v1` JSON over TCP, a bounded
 //!   admission queue that answers `overloaded` under pressure, and a
-//!   content-addressed analysis cache shared across requests. SIGINT
-//!   triggers a graceful drain (finish admitted work, join every
-//!   thread) and then flushes `--stats` / `--trace-out` output.
+//!   content-addressed analysis cache shared across requests.
+//!   `--journal` attaches a durable verdict journal: completed verdicts
+//!   are appended (checksummed, fsync-batched) and on restart the
+//!   journal is replayed with every recovered verdict re-validated
+//!   through its certificate before it may serve warm. SIGINT or
+//!   SIGTERM triggers a graceful drain (finish admitted work, join
+//!   every thread) and then flushes `--stats` / `--trace-out` output.
 //!   `--slow-ms` sets the tail-sampling latency threshold and
 //!   `--metrics-every` the telemetry snapshot interval; `--slow-out`
 //!   dumps the retained slow-request traces
@@ -112,6 +117,7 @@ USAGE:
                                [--trace-out <spans.json>]
     pathslice serve [--addr <host:port>] [--jobs <n>] [--queue <n>]
                     [--cache <n>] [--timeout <secs>]
+                    [--journal <dir>]
                     [--stats] [--trace-out <spans.json>]
                     [--slow-ms <ms>] [--slow-out <traces.json>]
                     [--metrics-every <ms>]
@@ -394,9 +400,12 @@ fn cmd_bench(args: &[String], out: &mut String) -> Result<i32, String> {
 }
 
 fn cmd_serve(args: &[String], out: &mut String) -> Result<i32, String> {
-    // SIGINT cancels the process-global token; the wait loop below then
-    // drains the daemon and flushes --stats / --trace-out.
-    pathslicing::rt::install_sigint_handler();
+    // SIGINT or SIGTERM cancels the process-global token; the wait loop
+    // below then drains the daemon and flushes --stats / --trace-out.
+    // (SIGTERM matters in production: process managers send it first,
+    // and a drain beats an abrupt exit — though with --journal even
+    // SIGKILL only costs the unfsynced tail.)
+    pathslicing::rt::install_shutdown_handlers();
     serve_until(args, out, &pathslicing::rt::shutdown_token())
 }
 
@@ -451,10 +460,24 @@ pub fn serve_until(
                 .map_err(|_| format!("bad --timeout value `{t}`"))?,
         );
     }
+    if let Some(dir) = flag_value(args, "--journal")? {
+        config.journal_dir = Some(std::path::PathBuf::from(dir));
+    }
     let jobs = config.jobs.max(1);
+    let journaled = config.journal_dir.is_some();
     let server = server::Server::start(config).map_err(|e| format!("cannot start server: {e}"))?;
     // Straight to stderr so it appears while the daemon runs (`out` is
     // only printed after exit).
+    if journaled {
+        let s = server.stats();
+        let (recovered, rejected, torn) = s
+            .journal
+            .map_or((0, 0, 0), |j| (j.recovered, j.rejected, j.torn));
+        eprintln!(
+            "pathslice serve: journal replayed — {recovered} verdict(s) recovered, \
+             {rejected} rejected, {torn} torn"
+        );
+    }
     eprintln!(
         "pathslice serve: listening on {} with {jobs} worker(s); Ctrl-C drains and exits",
         server.local_addr()

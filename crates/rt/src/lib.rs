@@ -288,7 +288,7 @@ pub fn request_shutdown() {
 }
 
 #[cfg(unix)]
-extern "C" fn sigint_handler(_sig: i32) {
+extern "C" fn shutdown_signal_handler(_sig: i32) {
     // Async-signal-safe: `OnceLock::get` is a lock-free read (the token
     // is created before the handler is installed) and `cancel` is one
     // relaxed atomic store. No allocation, no locks.
@@ -300,23 +300,42 @@ extern "C" fn sigint_handler(_sig: i32) {
 /// Installs a SIGINT handler that cancels [`shutdown_token`]. Idempotent;
 /// a no-op on non-Unix targets. Call once from a long-running binary's
 /// entry point *before* blocking work starts.
+///
+/// Interactive commands keep the SIGINT-only surface; daemons should
+/// call [`install_shutdown_handlers`] so orchestrators' SIGTERM drains
+/// them too.
 pub fn install_sigint_handler() {
+    install_signal(2 /* SIGINT */);
+}
+
+/// Installs SIGINT *and* SIGTERM handlers that cancel
+/// [`shutdown_token`]: the daemon entry point. `kill <pid>` (the default
+/// SIGTERM, what init systems and container runtimes send) then takes
+/// the same graceful-drain path Ctrl-C does — finish admitted work,
+/// flush the journal, join every thread — instead of killing the
+/// process mid-write. Idempotent; a no-op on non-Unix targets.
+pub fn install_shutdown_handlers() {
+    install_signal(2 /* SIGINT */);
+    install_signal(15 /* SIGTERM */);
+}
+
+#[cfg_attr(not(unix), allow(unused_variables))]
+fn install_signal(signum: i32) {
     // Create the token first so the handler's lock-free `get` succeeds.
     let _ = shutdown_token();
     #[cfg(unix)]
     {
-        static INSTALLED: Once = Once::new();
-        INSTALLED.call_once(|| {
-            extern "C" {
-                // POSIX `signal(2)`; std links libc on every Unix
-                // target, so no external crate is needed.
-                fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
-            }
-            const SIGINT: i32 = 2;
-            unsafe {
-                signal(SIGINT, sigint_handler);
-            }
-        });
+        extern "C" {
+            // POSIX `signal(2)`; std links libc on every Unix
+            // target, so no external crate is needed.
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        // Idempotent by construction: re-installing the same handler
+        // for the same signal is a no-op observably, so no `Once` per
+        // signal is needed.
+        unsafe {
+            signal(signum, shutdown_signal_handler);
+        }
     }
 }
 
@@ -350,6 +369,28 @@ pub enum FaultSite {
     /// order; the slice stops being a subsequence of the abstract path
     /// that reaches the target.
     CertSlice,
+    /// While appending a record to the verdict journal. A
+    /// [`FaultKind::TornWrite`] here models a crash mid-`write(2)` (the
+    /// record's tail never reaches the disk); [`FaultKind::IoError`]
+    /// models a full disk or a failing device (the record is lost but
+    /// the daemon keeps serving).
+    JournalAppend,
+    /// While replaying a journal record at startup.
+    /// [`FaultKind::IoError`] makes the record unreadable;
+    /// [`FaultKind::CorruptCertificate`] damages the record's embedded
+    /// certificate so the certificate-gated recovery must reject it.
+    JournalReplay,
+    /// While reading a request frame off a connection.
+    /// [`FaultKind::TornWrite`] truncates the frame mid-line (the parse
+    /// must fail and be counted); [`FaultKind::IoError`] drops the
+    /// connection as a failed `read(2)` would.
+    WireRead,
+    /// While writing a response frame to a connection.
+    /// [`FaultKind::TornWrite`] emits only a prefix of the frame before
+    /// the connection drops; [`FaultKind::IoError`] drops it without
+    /// writing anything. Either way the *daemon* must shrug it off —
+    /// only that one connection is affected.
+    WireWrite,
 }
 
 impl FaultSite {
@@ -362,6 +403,10 @@ impl FaultSite {
             FaultSite::CertWitness => 0x55,
             FaultSite::CertCore => 0x66,
             FaultSite::CertSlice => 0x77,
+            FaultSite::JournalAppend => 0x88,
+            FaultSite::JournalReplay => 0x99,
+            FaultSite::WireRead => 0xAA,
+            FaultSite::WireWrite => 0xBB,
         }
     }
 }
@@ -384,6 +429,15 @@ pub enum FaultKind {
     /// verdict is unaffected — only latency moves — which is exactly
     /// what tail-sampled slow-request tracing needs exercised.
     Stall,
+    /// A write is cut short partway through (a crash mid-`write(2)`, a
+    /// connection dropped mid-frame). The consumer of the data — the
+    /// journal replayer, the frame parser — must detect the damage via
+    /// its checksum or framing and account for it, never trust it.
+    TornWrite,
+    /// The I/O operation fails outright (full disk, failing device,
+    /// reset connection). The affected record/connection is lost; the
+    /// daemon must degrade, count, and keep serving.
+    IoError,
 }
 
 /// One injection rule: at `site`, inject `kind` for roughly

@@ -18,6 +18,7 @@
 //! `server.cache_evictions` (mirrored into `obs` when tracing is on;
 //! always available from [`AnalysisCache::stats`]).
 
+use crate::wire::ClusterVerdict;
 use blastlite::Session;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -145,6 +146,14 @@ impl AnalysisCache {
         }
     }
 
+    /// Inserts an already-compiled session without touching the
+    /// hit/miss accounting — the journal replay path, which warms the
+    /// cache from recovered (and certificate-validated) verdicts before
+    /// the first request arrives. Request-path accounting starts clean.
+    pub fn admit(&self, key: u64, session: Arc<Session>) {
+        self.insert(key, session);
+    }
+
     /// Current accounting.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -163,6 +172,155 @@ impl std::fmt::Debug for AnalysisCache {
         write!(
             f,
             "AnalysisCache({}/{} entries, {} hit(s), {} miss(es), {} eviction(s))",
+            s.len, s.capacity, s.hits, s.misses, s.evictions
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Verdict cache
+// ---------------------------------------------------------------------
+
+/// Point-in-time verdict-cache accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VerdictCacheStats {
+    /// Lookups answered warm (no check ran).
+    pub hits: u64,
+    /// Lookups that fell through to a fresh check.
+    pub misses: u64,
+    /// Entries displaced by the LRU bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub len: usize,
+    /// The configured entry bound.
+    pub capacity: usize,
+}
+
+/// One complete, certificate-backed verdict, exactly as it was served.
+///
+/// Entries exist only for *stable* results — every cluster `SAFE` or
+/// `BUG` (exit ≤ 1). Timeouts, internal errors, and mismatches are
+/// re-checked every time: they are properties of a particular run, not
+/// of the program, and they carry no validatable certificate.
+#[derive(Debug, Clone)]
+pub struct VerdictEntry {
+    /// `pathslice check` exit code (0 or 1 by construction).
+    pub exit: i32,
+    /// Verdicts rendered exactly as they were first served.
+    pub render: String,
+    /// Structured per-cluster verdicts.
+    pub clusters: Vec<ClusterVerdict>,
+    /// The `pathslice-trace/v1` certificate document — what the journal
+    /// persists and what a `certificate`-wanting request is answered
+    /// with.
+    pub trace_json: Arc<String>,
+}
+
+struct VerdictSlot {
+    entry: Arc<VerdictEntry>,
+    last_used: u64,
+}
+
+/// An LRU map from `(content key, config fingerprint)` to a finished
+/// [`VerdictEntry`] — the in-memory face of the verdict journal.
+///
+/// The two-part key matters: the same program checked under different
+/// knobs (slicing off, DFS, a different budget, validation on) can
+/// legitimately produce different evidence, so each configuration gets
+/// its own slot and a warm answer is only ever served to a request that
+/// would have re-derived it.
+pub struct VerdictCache {
+    capacity: usize,
+    inner: Mutex<VerdictInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+struct VerdictInner {
+    entries: HashMap<(u64, u64), VerdictSlot>,
+    tick: u64,
+}
+
+impl VerdictCache {
+    /// An empty cache bounded to `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> VerdictCache {
+        VerdictCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(VerdictInner {
+                entries: HashMap::new(),
+                tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a warm verdict, counting the outcome.
+    pub fn get(&self, key: (u64, u64)) -> Option<Arc<VerdictEntry>> {
+        let mut inner = lock(&self.inner);
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.get_mut(&key) {
+            Some(slot) => {
+                slot.last_used = tick;
+                let entry = slot.entry.clone();
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                obs::counter("server.verdict_hits").inc();
+                Some(entry)
+            }
+            None => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                obs::counter("server.verdict_misses").inc();
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) a verdict, evicting LRU entries past the
+    /// bound.
+    pub fn insert(&self, key: (u64, u64), entry: VerdictEntry) {
+        let mut inner = lock(&self.inner);
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.entries.insert(
+            key,
+            VerdictSlot {
+                entry: Arc::new(entry),
+                last_used: tick,
+            },
+        );
+        while inner.entries.len() > self.capacity {
+            let Some((&oldest, _)) = inner.entries.iter().min_by_key(|(_, s)| s.last_used) else {
+                break;
+            };
+            inner.entries.remove(&oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            obs::counter("server.verdict_evictions").inc();
+        }
+    }
+
+    /// Current accounting.
+    pub fn stats(&self) -> VerdictCacheStats {
+        VerdictCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len: lock(&self.inner).entries.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+impl std::fmt::Debug for VerdictCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        write!(
+            f,
+            "VerdictCache({}/{} entries, {} hit(s), {} miss(es), {} eviction(s))",
             s.len, s.capacity, s.hits, s.misses, s.evictions
         )
     }
@@ -225,6 +383,51 @@ mod tests {
         let cache = AnalysisCache::new(2);
         assert!(cache.get_or_compile("fn main() {", "<t>").is_err());
         assert_eq!(cache.stats().len, 0);
+    }
+
+    fn verdict(exit: i32) -> VerdictEntry {
+        VerdictEntry {
+            exit,
+            render: format!("main  BUG  {exit}\n"),
+            clusters: Vec::new(),
+            trace_json: Arc::new("{}".into()),
+        }
+    }
+
+    #[test]
+    fn verdict_cache_keys_on_config_fingerprint_too() {
+        let cache = VerdictCache::new(4);
+        cache.insert((1, 100), verdict(0));
+        assert!(cache.get((1, 100)).is_some(), "same program, same config");
+        assert!(
+            cache.get((1, 200)).is_none(),
+            "same program under different knobs must re-check"
+        );
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.len), (1, 1, 1));
+    }
+
+    #[test]
+    fn verdict_cache_evicts_lru() {
+        let cache = VerdictCache::new(2);
+        cache.insert((1, 0), verdict(0));
+        cache.insert((2, 0), verdict(0));
+        cache.get((1, 0)); // touch 1: (2,0) is now coldest
+        cache.insert((3, 0), verdict(1));
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.get((1, 0)).is_some());
+        assert!(cache.get((2, 0)).is_none());
+    }
+
+    #[test]
+    fn admit_bypasses_miss_accounting() {
+        let cache = AnalysisCache::new(2);
+        let session = Arc::new(blastlite::Session::compile(&src(1), "<t>").unwrap());
+        cache.admit(session.key(), session.clone());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.len), (0, 0, 1));
+        let (_, hit) = cache.get_or_compile(&src(1), "<t>").unwrap();
+        assert!(hit, "an admitted session answers later lookups warm");
     }
 
     #[test]

@@ -1,0 +1,746 @@
+//! The durable verdict journal (`pathslice-journal/v1`).
+//!
+//! A `kill -9` used to erase every warm verdict: the content-addressed
+//! caches live in memory only. This module gives `pathslice serve` a
+//! crash-tolerant backing store — an **append-only, checksummed,
+//! content-addressed journal** of finished verdicts that the verdict
+//! cache writes through, and that a restarted daemon replays.
+//!
+//! The trust story is deliberately *not* "read it back and believe it".
+//! Every record embeds the verdict's PR-2 certificate trace; on replay
+//! the server recompiles the embedded source and re-validates every
+//! cluster certificate through `crates/certify` before the verdict is
+//! admitted to the warm cache. A record that fails its checksum is
+//! *torn*; a record whose certificate does not re-validate is
+//! *rejected*; both downgrade to a plain cache miss. **No unvalidated
+//! verdict is ever served from a recovered journal.**
+//!
+//! # On-disk format
+//!
+//! A journal is a directory of segment files `seg-<n>.psj`. Each
+//! segment starts with a header line naming the format
+//! (`pathslice-journal/v1`) and then holds one record per line:
+//!
+//! ```text
+//! pathslice-journal/v1
+//! J1 <fnv64-hex> <record-json>
+//! J1 <fnv64-hex> <record-json>
+//! ```
+//!
+//! The 16-hex-digit FNV-1a checksum covers exactly the JSON payload
+//! bytes, so a torn tail (a crash mid-`write(2)`), a truncated line, or
+//! any flipped byte fails closed. Records are single-line JSON (the
+//! workspace's newline-discipline), so the reader can resynchronize at
+//! the next `\n` and recover every undamaged record around a torn one.
+//!
+//! # Write path
+//!
+//! Appends go straight to the segment file (no userspace buffering — a
+//! crash loses nothing that `write(2)` accepted) and are fsynced in
+//! batches: every [`JournalConfig::fsync_every`] records, on segment
+//! rotation, and on graceful shutdown. Segments rotate at
+//! [`JournalConfig::segment_max_bytes`]; startup compacts the survivors
+//! of a replay into a single fresh segment and deletes the rest, so
+//! journal size tracks the *live* verdict set, not serving history.
+//!
+//! # Fault injection
+//!
+//! [`FaultSite::JournalAppend`] and [`FaultSite::JournalReplay`] thread
+//! the PR-1 chaos machinery through both paths, keyed by the record's
+//! content key (hex), so a chaos test can predict exactly which records
+//! are damaged: `TornWrite` writes half the record and rotates (a crash
+//! mid-write never writes again to that segment), `IoError` drops the
+//! append or makes the record unreadable on replay, and
+//! `CorruptCertificate` damages the embedded certificate so the
+//! recovery gate must reject it.
+
+use obs::json::{Json, JsonError};
+use rt::{FaultKind, FaultPlan, FaultSite};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Format marker: first line of every segment file.
+pub const JOURNAL_SCHEMA: &str = "pathslice-journal/v1";
+
+/// Record-line prefix (bumped with the schema).
+const RECORD_TAG: &str = "J1";
+
+/// Journal tuning; defaults are production-shaped, tests shrink them.
+#[derive(Debug, Clone)]
+pub struct JournalConfig {
+    /// Directory holding the segment files (created if absent).
+    pub dir: PathBuf,
+    /// fsync after this many appended records (and always on rotation
+    /// and graceful shutdown). 1 = fsync every record.
+    pub fsync_every: usize,
+    /// Rotate to a fresh segment once the current one exceeds this many
+    /// bytes.
+    pub segment_max_bytes: u64,
+    /// Deterministic fault injection for the append and replay paths.
+    pub faults: FaultPlan,
+}
+
+impl JournalConfig {
+    /// Production-shaped defaults for `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> JournalConfig {
+        JournalConfig {
+            dir: dir.into(),
+            fsync_every: 8,
+            segment_max_bytes: 8 << 20,
+            faults: FaultPlan::default(),
+        }
+    }
+}
+
+/// Point-in-time journal accounting. `recovered`/`rejected`/`torn`
+/// describe the most recent replay; `appended`/`append_faults` the
+/// current serving session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JournalStats {
+    /// Records appended (and fully written) this session.
+    pub appended: u64,
+    /// Appends lost to injected or real I/O failures (the verdict was
+    /// still served; only durability degraded).
+    pub append_faults: u64,
+    /// Replayed records whose certificates re-validated — admitted to
+    /// the warm cache.
+    pub recovered: u64,
+    /// Replayed records whose certificates did *not* re-validate —
+    /// downgraded to a miss.
+    pub rejected: u64,
+    /// Lines that failed the checksum/framing gate (torn tails,
+    /// corrupted or unreadable records).
+    pub torn: u64,
+    /// Segment files currently on disk.
+    pub segments: u64,
+}
+
+/// One journaled verdict: everything needed to serve the request warm
+/// and to re-validate the verdict on replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalRecord {
+    /// Content key of the resolved program ([`blastlite::Session::key`]).
+    pub key: u64,
+    /// Fingerprint of the checker configuration the verdict was
+    /// produced under (reducer, search order, budget, …).
+    pub fingerprint: u64,
+    /// `pathslice check` exit code (0 safe, 1 bug — only complete
+    /// verdicts are journaled).
+    pub exit: i32,
+    /// Verdicts rendered exactly as `pathslice check` prints them.
+    pub render: String,
+    /// Structured per-cluster verdicts, as served on the wire:
+    /// `(func, sites, verdict, refinements, wall_us)`.
+    pub clusters: Vec<(String, u64, String, u64, u64)>,
+    /// The `pathslice-trace/v1` certificate document (embeds the
+    /// source), serialized. This is what the recovery gate validates.
+    pub trace_json: String,
+}
+
+impl JournalRecord {
+    fn to_json(&self) -> Result<String, JsonError> {
+        // The trace is embedded as a JSON object, not a double-encoded
+        // string: records stay greppable and the checksum still covers
+        // every byte of it.
+        let trace = Json::parse(&self.trace_json)?;
+        Ok(Json::Obj(vec![
+            ("key".into(), Json::Str(format!("{:016x}", self.key))),
+            ("fp".into(), Json::Str(format!("{:016x}", self.fingerprint))),
+            ("exit".into(), Json::Num(self.exit as i64)),
+            ("render".into(), Json::Str(self.render.clone())),
+            (
+                "clusters".into(),
+                Json::Arr(
+                    self.clusters
+                        .iter()
+                        .map(|(func, sites, verdict, refinements, wall_us)| {
+                            Json::Obj(vec![
+                                ("func".into(), Json::Str(func.clone())),
+                                ("sites".into(), Json::Num(*sites as i64)),
+                                ("verdict".into(), Json::Str(verdict.clone())),
+                                ("refinements".into(), Json::Num(*refinements as i64)),
+                                ("wall_us".into(), Json::Num(*wall_us as i64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("trace".into(), trace),
+        ])
+        .to_text())
+    }
+
+    fn from_json(text: &str) -> Result<JournalRecord, String> {
+        let doc = Json::parse(text).map_err(|e| format!("record JSON: {e}"))?;
+        let hex = |name: &str| -> Result<u64, String> {
+            doc.field(name)
+                .and_then(Json::as_str)
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+                .ok_or_else(|| format!("missing hex field `{name}`"))
+        };
+        let mut clusters = Vec::new();
+        for c in doc
+            .field("clusters")
+            .and_then(Json::as_arr)
+            .ok_or("missing `clusters`")?
+        {
+            let s = |n: &str| {
+                c.field(n)
+                    .and_then(Json::as_str)
+                    .map(str::to_owned)
+                    .ok_or_else(|| format!("cluster missing `{n}`"))
+            };
+            let u = |n: &str| {
+                c.field(n)
+                    .and_then(Json::as_i64)
+                    .filter(|v| *v >= 0)
+                    .map(|v| v as u64)
+                    .ok_or_else(|| format!("cluster missing `{n}`"))
+            };
+            clusters.push((
+                s("func")?,
+                u("sites")?,
+                s("verdict")?,
+                u("refinements")?,
+                u("wall_us")?,
+            ));
+        }
+        Ok(JournalRecord {
+            key: hex("key")?,
+            fingerprint: hex("fp")?,
+            exit: doc
+                .field("exit")
+                .and_then(Json::as_i64)
+                .ok_or("missing `exit`")? as i32,
+            render: doc
+                .field("render")
+                .and_then(Json::as_str)
+                .ok_or("missing `render`")?
+                .to_owned(),
+            clusters,
+            trace_json: doc.field("trace").ok_or("missing `trace`")?.to_text(),
+        })
+    }
+}
+
+/// The outcome of reading one line back from disk.
+#[derive(Debug)]
+pub enum ReplayItem {
+    /// Checksum and framing held; the certificate gate decides next.
+    Intact(JournalRecord),
+    /// The line failed the checksum/framing gate (torn write, flipped
+    /// byte, unreadable record). Carries a human-readable reason.
+    Torn(String),
+}
+
+/// An open, appendable verdict journal.
+pub struct Journal {
+    config: JournalConfig,
+    /// Current append segment (index, handle, bytes written).
+    seg_index: u64,
+    seg_file: File,
+    seg_bytes: u64,
+    /// Appends since the last fsync.
+    unsynced: usize,
+    appended: AtomicU64,
+    append_faults: AtomicU64,
+    torn: AtomicU64,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Journal({}, seg {}, {} byte(s))",
+            self.config.dir.display(),
+            self.seg_index,
+            self.seg_bytes
+        )
+    }
+}
+
+fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("seg-{index:06}.psj"))
+}
+
+/// Segment indices present in `dir`, ascending.
+fn segment_indices(dir: &Path) -> std::io::Result<Vec<u64>> {
+    let mut indices = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let name = name.to_string_lossy();
+        if let Some(idx) = name
+            .strip_prefix("seg-")
+            .and_then(|s| s.strip_suffix(".psj"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            indices.push(idx);
+        }
+    }
+    indices.sort_unstable();
+    Ok(indices)
+}
+
+impl Journal {
+    /// Opens (creating the directory if needed) and positions the
+    /// journal on a *fresh* segment after any existing ones. Appending
+    /// never touches a segment an earlier process wrote — a crashed
+    /// writer's torn tail stays exactly as the crash left it for the
+    /// replayer to diagnose.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the directory or the segment file.
+    pub fn open(config: JournalConfig) -> std::io::Result<Journal> {
+        std::fs::create_dir_all(&config.dir)?;
+        let next = segment_indices(&config.dir)?
+            .last()
+            .map_or(0, |last| last + 1);
+        let (seg_file, seg_bytes) = Journal::create_segment(&config.dir, next)?;
+        Ok(Journal {
+            config,
+            seg_index: next,
+            seg_file,
+            seg_bytes,
+            unsynced: 0,
+            appended: AtomicU64::new(0),
+            append_faults: AtomicU64::new(0),
+            torn: AtomicU64::new(0),
+        })
+    }
+
+    fn create_segment(dir: &Path, index: u64) -> std::io::Result<(File, u64)> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(segment_path(dir, index))?;
+        let header = format!("{JOURNAL_SCHEMA}\n");
+        file.write_all(header.as_bytes())?;
+        Ok((file, header.len() as u64))
+    }
+
+    /// The journal directory.
+    pub fn dir(&self) -> &Path {
+        &self.config.dir
+    }
+
+    /// Appends one record, honouring the fault plan, the fsync batch,
+    /// and segment rotation. An injected `IoError` (or a real write
+    /// failure) loses only this record — serving already happened; the
+    /// fault is counted and the daemon moves on.
+    ///
+    /// # Errors
+    ///
+    /// The record could not be serialized (a malformed trace — a bug,
+    /// not an I/O condition). Real and injected I/O failures are
+    /// *absorbed* into `append_faults`, not returned: durability
+    /// degrades, serving never does.
+    pub fn append(&mut self, record: &JournalRecord) -> Result<(), String> {
+        let payload = record
+            .to_json()
+            .map_err(|e| format!("unserializable journal record: {e}"))?;
+        let line = format!(
+            "{RECORD_TAG} {:016x} {payload}\n",
+            fnv64(payload.as_bytes())
+        );
+        let key = format!("{:016x}", record.key);
+        match self.config.faults.fire(FaultSite::JournalAppend, &key) {
+            Some(FaultKind::IoError) => {
+                self.append_faults.fetch_add(1, Ordering::Relaxed);
+                obs::counter("journal.append_faults").inc();
+                return Ok(());
+            }
+            Some(FaultKind::TornWrite) => {
+                // A crash mid-write(2): half the line lands, nothing is
+                // ever written to this segment again (rotate), and the
+                // replayer must fail the checksum on the half-line.
+                let half = &line.as_bytes()[..line.len() / 2];
+                let _ = self.seg_file.write_all(half);
+                let _ = self.seg_file.sync_data();
+                self.append_faults.fetch_add(1, Ordering::Relaxed);
+                obs::counter("journal.append_faults").inc();
+                self.rotate();
+                return Ok(());
+            }
+            _ => {}
+        }
+        if self.seg_file.write_all(line.as_bytes()).is_err() {
+            self.append_faults.fetch_add(1, Ordering::Relaxed);
+            obs::counter("journal.append_faults").inc();
+            return Ok(());
+        }
+        self.seg_bytes += line.len() as u64;
+        self.unsynced += 1;
+        self.appended.fetch_add(1, Ordering::Relaxed);
+        obs::counter("journal.appended").inc();
+        if self.unsynced >= self.config.fsync_every.max(1) {
+            self.flush();
+        }
+        if self.seg_bytes > self.config.segment_max_bytes {
+            self.rotate();
+        }
+        Ok(())
+    }
+
+    /// fsyncs any unsynced appends (batch boundary, graceful shutdown).
+    pub fn flush(&mut self) {
+        if self.unsynced > 0 {
+            let _ = self.seg_file.sync_data();
+            self.unsynced = 0;
+        }
+    }
+
+    fn rotate(&mut self) {
+        self.flush();
+        let next = self.seg_index + 1;
+        if let Ok((file, bytes)) = Journal::create_segment(&self.config.dir, next) {
+            self.seg_index = next;
+            self.seg_file = file;
+            self.seg_bytes = bytes;
+        }
+    }
+
+    /// Reads every record line out of every segment *older than the
+    /// current append segment*, oldest first, applying the checksum and
+    /// the replay fault plan. Certificate validation is the caller's
+    /// job (it needs the compile pipeline); this layer only decides
+    /// intact-vs-torn.
+    pub fn replay(&self) -> Vec<ReplayItem> {
+        let mut items = Vec::new();
+        let Ok(indices) = segment_indices(&self.config.dir) else {
+            return items;
+        };
+        for index in indices {
+            if index >= self.seg_index {
+                continue; // the fresh append segment: ours, empty
+            }
+            let path = segment_path(&self.config.dir, index);
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                self.torn.fetch_add(1, Ordering::Relaxed);
+                obs::counter("journal.torn").inc();
+                items.push(ReplayItem::Torn(format!("unreadable segment {index}")));
+                continue;
+            };
+            let mut lines = text.split_inclusive('\n');
+            match lines.next().map(str::trim_end) {
+                Some(JOURNAL_SCHEMA) => {}
+                _ => {
+                    self.torn.fetch_add(1, Ordering::Relaxed);
+                    obs::counter("journal.torn").inc();
+                    items.push(ReplayItem::Torn(format!(
+                        "segment {index} has a foreign or damaged header"
+                    )));
+                    continue;
+                }
+            }
+            for line in lines {
+                match self.replay_line(line) {
+                    Ok(None) => {} // blank line
+                    Ok(Some(record)) => items.push(ReplayItem::Intact(record)),
+                    Err(reason) => {
+                        self.torn.fetch_add(1, Ordering::Relaxed);
+                        obs::counter("journal.torn").inc();
+                        items.push(ReplayItem::Torn(reason));
+                    }
+                }
+            }
+        }
+        items
+    }
+
+    /// Checksum-gates one record line. `Ok(None)` for ignorable blanks.
+    fn replay_line(&self, line: &str) -> Result<Option<JournalRecord>, String> {
+        if line.trim().is_empty() {
+            return Ok(None);
+        }
+        // A torn tail is a line the crash never finished: no newline.
+        let Some(line) = line.strip_suffix('\n') else {
+            return Err("torn tail (record without terminator)".into());
+        };
+        let parts: Option<(&str, &str, &str)> = line
+            .strip_prefix(RECORD_TAG)
+            .and_then(|r| r.strip_prefix(' '))
+            .and_then(|r| r.split_once(' '))
+            .map(|(sum, payload)| (RECORD_TAG, sum, payload));
+        let Some((_, sum_hex, payload)) = parts else {
+            return Err(format!("unframed record line `{}`", truncate(line, 40)));
+        };
+        let Ok(expected) = u64::from_str_radix(sum_hex, 16) else {
+            return Err("unparseable checksum".into());
+        };
+        if fnv64(payload.as_bytes()) != expected {
+            return Err(format!(
+                "checksum mismatch on record `{}`",
+                truncate(payload, 40)
+            ));
+        }
+        let record = JournalRecord::from_json(payload)
+            .map_err(|e| format!("checksummed but unparseable record: {e}"))?;
+        // Injected replay faults, keyed by the record's content key so
+        // chaos tests can predict the damage set exactly.
+        match self
+            .config
+            .faults
+            .fire(FaultSite::JournalReplay, &format!("{:016x}", record.key))
+        {
+            Some(FaultKind::IoError) => Err(format!(
+                "injected read failure on record {:016x}",
+                record.key
+            )),
+            _ => Ok(Some(record)),
+            // CorruptCertificate is applied by the *recovery gate* (it
+            // needs the parsed certificates), not here.
+        }
+    }
+
+    /// Whether the replay fault plan injects certificate corruption for
+    /// this record (the recovery gate consults this before validating).
+    pub fn replay_corrupts(&self, key: u64) -> bool {
+        self.config
+            .faults
+            .decide(FaultSite::JournalReplay, &format!("{key:016x}"))
+            == Some(FaultKind::CorruptCertificate)
+    }
+
+    /// Rewrites `live` (the records that survived recovery) into the
+    /// current append segment and deletes every older segment: replay
+    /// cost and disk usage track the live verdict set. Torn tails and
+    /// rejected records are *not* carried forward — compaction is the
+    /// garbage collector for damage.
+    pub fn compact(&mut self, live: &[JournalRecord]) {
+        for record in live {
+            // Re-appending runs the normal fault plan; a chaos plan
+            // that damages appends damages compaction too, which is the
+            // honest behaviour.
+            let _ = self.append(record);
+        }
+        self.flush();
+        if let Ok(indices) = segment_indices(&self.config.dir) {
+            for index in indices {
+                if index < self.seg_index {
+                    let _ = std::fs::remove_file(segment_path(&self.config.dir, index));
+                }
+            }
+        }
+        obs::counter("journal.compactions").inc();
+    }
+
+    /// Current accounting (replay counters cover torn only; the
+    /// recovery gate owns recovered/rejected).
+    pub fn stats(&self) -> JournalStats {
+        JournalStats {
+            appended: self.appended.load(Ordering::Relaxed),
+            append_faults: self.append_faults.load(Ordering::Relaxed),
+            recovered: 0,
+            rejected: 0,
+            torn: self.torn.load(Ordering::Relaxed),
+            segments: segment_indices(&self.config.dir)
+                .map(|v| v.len() as u64)
+                .unwrap_or(0),
+        }
+    }
+}
+
+impl Drop for Journal {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    match s.char_indices().nth(n) {
+        Some((i, _)) => &s[..i],
+        None => s,
+    }
+}
+
+/// 64-bit FNV-1a over the payload bytes — standalone so the on-disk
+/// checksum is stable across Rust releases and platforms (same
+/// construction as `Session`'s content key). Also used by the server
+/// for configuration fingerprints.
+pub(crate) fn content_hash(bytes: &[u8]) -> u64 {
+    fnv64(bytes)
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("pathslice-journal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn record(key: u64) -> JournalRecord {
+        JournalRecord {
+            key,
+            fingerprint: 0xF00D,
+            exit: 1,
+            render: format!("main BUG {key}\n"),
+            clusters: vec![("main".into(), 1, "BUG".into(), 2, 1234)],
+            trace_json: "{\"schema\":\"pathslice-trace/v1\",\"source\":\"\",\"clusters\":[]}"
+                .into(),
+        }
+    }
+
+    fn intact(items: &[ReplayItem]) -> Vec<&JournalRecord> {
+        items
+            .iter()
+            .filter_map(|i| match i {
+                ReplayItem::Intact(r) => Some(r),
+                ReplayItem::Torn(_) => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn records_roundtrip_across_a_reopen() {
+        let dir = temp_dir("roundtrip");
+        let mut journal = Journal::open(JournalConfig::new(&dir)).unwrap();
+        for k in 0..5 {
+            journal.append(&record(k)).unwrap();
+        }
+        drop(journal);
+        let reopened = Journal::open(JournalConfig::new(&dir)).unwrap();
+        let items = reopened.replay();
+        let live = intact(&items);
+        assert_eq!(live.len(), 5);
+        for (k, r) in live.iter().enumerate() {
+            assert_eq!(**r, record(k as u64));
+        }
+        assert_eq!(reopened.stats().torn, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_the_rest_recovers() {
+        let dir = temp_dir("torn");
+        let mut journal = Journal::open(JournalConfig::new(&dir)).unwrap();
+        for k in 0..4 {
+            journal.append(&record(k)).unwrap();
+        }
+        let seg = segment_path(&dir, 0);
+        drop(journal);
+        // Chop the last record mid-line: a crash mid-write(2).
+        let text = std::fs::read_to_string(&seg).unwrap();
+        std::fs::write(&seg, &text[..text.len() - 20]).unwrap();
+
+        let reopened = Journal::open(JournalConfig::new(&dir)).unwrap();
+        let items = reopened.replay();
+        assert_eq!(intact(&items).len(), 3, "undamaged records recover");
+        assert_eq!(reopened.stats().torn, 1, "exactly the torn tail counted");
+    }
+
+    #[test]
+    fn flipped_byte_fails_the_checksum_but_not_its_neighbours() {
+        let dir = temp_dir("flip");
+        let mut journal = Journal::open(JournalConfig::new(&dir)).unwrap();
+        for k in 0..3 {
+            journal.append(&record(k)).unwrap();
+        }
+        let seg = segment_path(&dir, 0);
+        drop(journal);
+        let mut text = std::fs::read_to_string(&seg).unwrap();
+        // Flip one byte inside the *second* record's payload.
+        let second = text.lines().nth(2).unwrap().to_owned();
+        let damaged = second.replace("BUG 1", "BUG 9");
+        assert_ne!(second, damaged, "the flip must land");
+        text = text.replace(&second, &damaged);
+        std::fs::write(&seg, text).unwrap();
+
+        let reopened = Journal::open(JournalConfig::new(&dir)).unwrap();
+        let items = reopened.replay();
+        let live = intact(&items);
+        assert_eq!(live.len(), 2);
+        assert_eq!(live[0].key, 0);
+        assert_eq!(live[1].key, 2);
+        assert_eq!(reopened.stats().torn, 1);
+    }
+
+    #[test]
+    fn segments_rotate_and_compaction_collapses_them() {
+        let dir = temp_dir("rotate");
+        let mut config = JournalConfig::new(&dir);
+        config.segment_max_bytes = 256; // force rotation almost every append
+        let mut journal = Journal::open(config).unwrap();
+        for k in 0..6 {
+            journal.append(&record(k)).unwrap();
+        }
+        assert!(journal.stats().segments >= 3, "{:?}", journal.stats());
+        drop(journal);
+
+        let mut reopened = Journal::open(JournalConfig::new(&dir)).unwrap();
+        let items = reopened.replay();
+        let live: Vec<JournalRecord> = intact(&items).into_iter().cloned().collect();
+        assert_eq!(live.len(), 6);
+        reopened.compact(&live);
+        assert_eq!(reopened.stats().segments, 1, "old segments deleted");
+        // Everything survives one more reopen+replay.
+        drop(reopened);
+        let again = Journal::open(JournalConfig::new(&dir)).unwrap();
+        assert_eq!(intact(&again.replay()).len(), 6);
+    }
+
+    #[test]
+    fn injected_torn_write_loses_exactly_the_faulted_record() {
+        let dir = temp_dir("fault-torn");
+        let mut config = JournalConfig::new(&dir);
+        // Key 2's hex is deterministic; fault exactly that record.
+        config.faults =
+            FaultPlan::new(0xBEEF).inject(FaultSite::JournalAppend, FaultKind::TornWrite, 1.0);
+        let plan = config.faults.clone();
+        let keys: Vec<String> = (0..4u64).map(|k| format!("{k:016x}")).collect();
+        let faulted = plan.faulted_keys(FaultSite::JournalAppend, keys.iter().map(String::as_str));
+        assert_eq!(faulted.len(), 4, "rate 1.0 faults every key");
+
+        let mut journal = Journal::open(config).unwrap();
+        for k in 0..4 {
+            journal.append(&record(k)).unwrap();
+        }
+        assert_eq!(journal.stats().append_faults, 4);
+        drop(journal);
+
+        let reopened = Journal::open(JournalConfig::new(&dir)).unwrap();
+        let items = reopened.replay();
+        assert_eq!(intact(&items).len(), 0, "every record torn");
+        assert_eq!(reopened.stats().torn, 4, "one torn line per faulted append");
+    }
+
+    #[test]
+    fn injected_append_io_error_drops_the_record_silently() {
+        let dir = temp_dir("fault-io");
+        let mut config = JournalConfig::new(&dir);
+        config.faults = FaultPlan::new(1).inject(FaultSite::JournalAppend, FaultKind::IoError, 1.0);
+        let mut journal = Journal::open(config).unwrap();
+        journal.append(&record(7)).unwrap();
+        assert_eq!(journal.stats().appended, 0);
+        assert_eq!(journal.stats().append_faults, 1);
+        drop(journal);
+        let reopened = Journal::open(JournalConfig::new(&dir)).unwrap();
+        assert_eq!(intact(&reopened.replay()).len(), 0);
+        assert_eq!(reopened.stats().torn, 0, "a dropped append tears nothing");
+    }
+
+    #[test]
+    fn foreign_header_segment_is_quarantined_not_trusted() {
+        let dir = temp_dir("foreign");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(segment_path(&dir, 0), "some-other-format/v9\nJ1 0 {}\n").unwrap();
+        let journal = Journal::open(JournalConfig::new(&dir)).unwrap();
+        let items = journal.replay();
+        assert_eq!(intact(&items).len(), 0);
+        assert_eq!(journal.stats().torn, 1);
+    }
+}

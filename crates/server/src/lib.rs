@@ -46,19 +46,24 @@
 //! ```
 
 pub mod cache;
+pub mod journal;
 pub mod wire;
 
-use blastlite::{render_verdicts, CheckerConfig, DriverConfig, Reducer, RetryPolicy, SearchOrder};
-use cache::{AnalysisCache, CacheStats};
+use blastlite::{
+    render_verdicts, CheckerConfig, DriverConfig, Reducer, RetryPolicy, SearchOrder, Session,
+};
+use cache::{AnalysisCache, CacheStats, VerdictCache, VerdictCacheStats, VerdictEntry};
+use journal::{Journal, JournalConfig, JournalRecord, JournalStats, ReplayItem};
 use obs::json::Json;
 use obs::telemetry::{prometheus_text, MetricsRing, MetricsSnapshot};
 use obs::{Histogram, HistogramSnapshot, SpanRecord};
-use rt::{catch_unwind_silent, panic_payload, CancelToken, FaultPlan};
+use rt::{catch_unwind_silent, panic_payload, CancelToken, FaultKind, FaultPlan, FaultSite};
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -100,6 +105,17 @@ pub struct ServerConfig {
     pub slow_threshold: Duration,
     /// How many slow traces the ring retains (oldest evicted first).
     pub slow_capacity: usize,
+    /// Durable verdict journal directory (`--journal`). `None` keeps
+    /// the daemon memory-only: no verdict cache, no persistence —
+    /// exactly the pre-journal behaviour.
+    pub journal_dir: Option<PathBuf>,
+    /// Journal fsync batch: sync after this many appended records.
+    pub journal_fsync_every: usize,
+    /// Journal segment rotation bound, bytes.
+    pub journal_segment_bytes: u64,
+    /// Verdict-cache bound, entries (only used when a journal is
+    /// attached).
+    pub verdict_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -116,6 +132,10 @@ impl Default for ServerConfig {
             ring_capacity: 120,
             slow_threshold: Duration::from_millis(500),
             slow_capacity: 32,
+            journal_dir: None,
+            journal_fsync_every: 8,
+            journal_segment_bytes: 8 << 20,
+            verdict_capacity: 256,
         }
     }
 }
@@ -133,8 +153,18 @@ pub struct ServerStats {
     pub rejected_frames: u64,
     /// Partial frames abandoned by a closing peer.
     pub truncated_frames: u64,
+    /// Injected wire-level faults that fired (chaos runs only).
+    pub wire_faults: u64,
+    /// Panicked service threads restarted by supervision.
+    pub supervisor_restarts: u64,
+    /// Worker threads currently alive.
+    pub workers_alive: u64,
     /// Analysis-cache accounting.
     pub cache: CacheStats,
+    /// Verdict-cache accounting (all zeros when no journal is attached).
+    pub verdicts: VerdictCacheStats,
+    /// Journal accounting, when a journal is attached.
+    pub journal: Option<JournalStats>,
 }
 
 impl std::fmt::Display for ServerStats {
@@ -153,7 +183,15 @@ impl std::fmt::Display for ServerStats {
             self.cache.misses,
             self.cache.hit_rate() * 100.0,
             self.cache.evictions,
-        )
+        )?;
+        if let Some(j) = &self.journal {
+            write!(
+                f,
+                ", journal {} appended / {} recovered / {} rejected / {} torn ({} warm hit(s))",
+                j.appended, j.recovered, j.rejected, j.torn, self.verdicts.hits,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -225,6 +263,8 @@ struct Telemetry {
     request_us_hit: Histogram,
     /// Full request latency for analysis-cache misses.
     request_us_miss: Histogram,
+    /// Full request latency for warm verdict-cache hits (no check ran).
+    request_us_warm: Histogram,
     /// Check phase alone (driver run, excluding queue/render).
     check_us: Histogram,
     ring: Mutex<MetricsRing>,
@@ -239,6 +279,7 @@ impl Telemetry {
             queue_us: Histogram::new(),
             request_us_hit: Histogram::new(),
             request_us_miss: Histogram::new(),
+            request_us_warm: Histogram::new(),
             check_us: Histogram::new(),
             ring: Mutex::new(MetricsRing::new(config.ring_capacity)),
             slow: Mutex::new(VecDeque::new()),
@@ -258,6 +299,10 @@ impl Telemetry {
             (
                 "server.request_us_miss".to_owned(),
                 self.request_us_miss.snapshot(),
+            ),
+            (
+                "server.request_us_warm".to_owned(),
+                self.request_us_warm.snapshot(),
             ),
             ("server.check_us".to_owned(), self.check_us.snapshot()),
         ])
@@ -363,6 +408,11 @@ struct Shared {
     config: ServerConfig,
     queue: Queue,
     cache: AnalysisCache,
+    verdicts: VerdictCache,
+    /// The attached journal, `None` for memory-only serving. Appends
+    /// are serialized under the mutex; reads never take it (the verdict
+    /// cache is the read path).
+    journal: Option<Mutex<Journal>>,
     shutdown: CancelToken,
     telemetry: Telemetry,
     connections: AtomicU64,
@@ -370,6 +420,15 @@ struct Shared {
     overloaded: AtomicU64,
     rejected_frames: AtomicU64,
     truncated_frames: AtomicU64,
+    wire_faults: AtomicU64,
+    supervisor_restarts: AtomicU64,
+    workers_alive: AtomicUsize,
+    /// Journal replayed (trivially true without one). With
+    /// `workers_alive > 0` this is the `ping` readiness answer.
+    replayed: AtomicBool,
+    journal_recovered: AtomicU64,
+    journal_rejected: AtomicU64,
+    conn_seq: AtomicU64,
 }
 
 impl Shared {
@@ -380,20 +439,48 @@ impl Shared {
             overloaded: self.overloaded.load(Ordering::Relaxed),
             rejected_frames: self.rejected_frames.load(Ordering::Relaxed),
             truncated_frames: self.truncated_frames.load(Ordering::Relaxed),
+            wire_faults: self.wire_faults.load(Ordering::Relaxed),
+            supervisor_restarts: self.supervisor_restarts.load(Ordering::Relaxed),
+            workers_alive: self.workers_alive.load(Ordering::Relaxed) as u64,
             cache: self.cache.stats(),
+            verdicts: self.verdicts.stats(),
+            journal: self.journal_stats(),
         }
+    }
+
+    /// Journal accounting with the recovery-gate counters merged in
+    /// (the journal layer sees torn records; only the gate knows which
+    /// intact ones validated).
+    fn journal_stats(&self) -> Option<JournalStats> {
+        self.journal.as_ref().map(|j| {
+            let mut s = lock(j).stats();
+            s.recovered = self.journal_recovered.load(Ordering::Relaxed);
+            s.rejected = self.journal_rejected.load(Ordering::Relaxed);
+            s
+        })
+    }
+
+    /// `ping` readiness: recovered state replayed and someone to serve.
+    fn ready(&self) -> bool {
+        self.replayed.load(Ordering::Relaxed) && self.workers_alive.load(Ordering::Relaxed) > 0
     }
 
     /// The server-scoped counters, as a name → value map (the basis of
     /// both the snapshot ring and the Prometheus exposition).
     fn scoped_counters(&self) -> BTreeMap<String, u64> {
         let s = self.stats();
-        BTreeMap::from([
+        let mut counters = BTreeMap::from([
             ("server.connections".to_owned(), s.connections),
             ("server.requests".to_owned(), s.requests),
             ("server.overloaded".to_owned(), s.overloaded),
             ("server.frames_rejected".to_owned(), s.rejected_frames),
             ("server.frames_truncated".to_owned(), s.truncated_frames),
+            ("server.wire_faults".to_owned(), s.wire_faults),
+            (
+                "server.supervisor_restarts".to_owned(),
+                s.supervisor_restarts,
+            ),
+            ("server.workers_alive".to_owned(), s.workers_alive),
             ("server.cache_hits".to_owned(), s.cache.hits),
             ("server.cache_misses".to_owned(), s.cache.misses),
             ("server.cache_evictions".to_owned(), s.cache.evictions),
@@ -406,7 +493,20 @@ impl Shared {
                 "server.slow_dropped".to_owned(),
                 self.telemetry.slow_dropped.load(Ordering::Relaxed),
             ),
-        ])
+        ]);
+        if let Some(j) = &s.journal {
+            counters.insert("server.verdict_hits".to_owned(), s.verdicts.hits);
+            counters.insert("server.verdict_misses".to_owned(), s.verdicts.misses);
+            counters.insert("server.verdict_evictions".to_owned(), s.verdicts.evictions);
+            counters.insert("server.verdict_len".to_owned(), s.verdicts.len as u64);
+            counters.insert("server.journal_appended".to_owned(), j.appended);
+            counters.insert("server.journal_append_faults".to_owned(), j.append_faults);
+            counters.insert("server.journal_recovered".to_owned(), j.recovered);
+            counters.insert("server.journal_rejected".to_owned(), j.rejected);
+            counters.insert("server.journal_torn".to_owned(), j.torn);
+            counters.insert("server.journal_segments".to_owned(), j.segments);
+        }
+        counters
     }
 
     /// One periodic observation for the time-series ring.
@@ -437,11 +537,16 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds `config.addr` and starts the acceptor and worker threads.
+    /// Binds `config.addr`, replays and compacts the journal (when one
+    /// is attached) through the certificate-gated recovery, then starts
+    /// the supervised acceptor, sampler, and worker threads.
     ///
     /// # Errors
     ///
-    /// I/O errors from binding the listener.
+    /// I/O errors from binding the listener or opening the journal
+    /// directory, a failure to spawn *any* worker, or a failure to
+    /// spawn the acceptor. (A subset of workers failing, or the sampler
+    /// failing, degrades capacity/telemetry without refusing to start.)
     pub fn start(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
@@ -452,9 +557,36 @@ impl Server {
         // goes on for the daemon's lifetime. (Batch tools keep their
         // off-by-default discipline; this is a serve-only policy.)
         obs::set_enabled(true);
+
+        // Journal recovery runs before the listener starts accepting:
+        // a `ping` can race the very first accept, so readiness is
+        // answered from the `replayed` flag, which is only set once
+        // every recovered verdict has passed the certificate gate.
+        let cache = AnalysisCache::new(config.cache_capacity);
+        let verdicts = VerdictCache::new(config.verdict_capacity);
+        let mut recovered = 0;
+        let mut rejected = 0;
+        let journal = match &config.journal_dir {
+            Some(dir) => {
+                let mut journal = Journal::open(JournalConfig {
+                    dir: dir.clone(),
+                    fsync_every: config.journal_fsync_every,
+                    segment_max_bytes: config.journal_segment_bytes,
+                    // One fault plan per daemon: the serve-level chaos
+                    // plan governs driver, wire, and journal alike.
+                    faults: config.faults.clone(),
+                })?;
+                (recovered, rejected) = recover_journal(&mut journal, &cache, &verdicts);
+                Some(Mutex::new(journal))
+            }
+            None => None,
+        };
+
         let shared = Arc::new(Shared {
             queue: Queue::new(config.queue_capacity),
-            cache: AnalysisCache::new(config.cache_capacity),
+            cache,
+            verdicts,
+            journal,
             shutdown: CancelToken::new(),
             telemetry: Telemetry::new(&config),
             connections: AtomicU64::new(0),
@@ -462,42 +594,65 @@ impl Server {
             overloaded: AtomicU64::new(0),
             rejected_frames: AtomicU64::new(0),
             truncated_frames: AtomicU64::new(0),
+            wire_faults: AtomicU64::new(0),
+            supervisor_restarts: AtomicU64::new(0),
+            workers_alive: AtomicUsize::new(0),
+            replayed: AtomicBool::new(true),
+            journal_recovered: AtomicU64::new(recovered),
+            journal_rejected: AtomicU64::new(rejected),
+            conn_seq: AtomicU64::new(0),
             config,
         });
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
 
-        let workers = (0..jobs)
-            .map(|i| {
+        // Thread exhaustion degrades capacity, it does not kill the
+        // daemon: any worker is enough to serve, and a missing sampler
+        // only loses periodic snapshots. Only zero workers — or no
+        // acceptor — is fatal (nothing would ever be served).
+        let workers: Vec<JoinHandle<()>> = (0..jobs)
+            .filter_map(|i| {
                 let shared = shared.clone();
                 std::thread::Builder::new()
                     .name(format!("pathslice-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker thread")
+                    .spawn(move || supervised(&shared, "worker", || worker_loop(&shared)))
+                    .ok()
             })
             .collect();
+        if workers.is_empty() {
+            shared.queue.close();
+            return Err(std::io::Error::other("could not spawn any worker thread"));
+        }
 
         let acceptor = {
-            let shared = shared.clone();
+            let owned = shared.clone();
             let conns = conns.clone();
             std::thread::Builder::new()
                 .name("pathslice-acceptor".into())
-                .spawn(move || accept_loop(&listener, &shared, &conns))
-                .expect("spawn acceptor thread")
+                .spawn(move || {
+                    supervised(&owned, "acceptor", || {
+                        accept_loop(&listener, &owned, &conns)
+                    })
+                })
+                .map_err(|e| {
+                    shared.shutdown.cancel();
+                    shared.queue.close();
+                    std::io::Error::other(format!("could not spawn the acceptor thread: {e}"))
+                })?
         };
 
         let sampler = {
-            let shared = shared.clone();
+            let owned = shared.clone();
             std::thread::Builder::new()
                 .name("pathslice-sampler".into())
-                .spawn(move || sampler_loop(&shared))
-                .expect("spawn sampler thread")
+                .spawn(move || supervised(&owned, "sampler", || sampler_loop(&owned)))
+                .ok()
         };
 
         Ok(Server {
             shared,
             addr,
             acceptor: Some(acceptor),
-            sampler: Some(sampler),
+            sampler,
             workers,
             conns,
         })
@@ -559,9 +714,184 @@ impl Server {
         if let Some(sampler) = self.sampler.take() {
             let _ = sampler.join();
         }
+        if let Some(j) = &self.shared.journal {
+            lock(j).flush();
+        }
         let slow = lock(&self.shared.telemetry.slow).iter().cloned().collect();
         (self.shared.stats(), slow)
     }
+
+    /// Simulated `kill -9` for restart drills and chaos tests: stops
+    /// the threads at their next poll tick and **abandons** everything
+    /// a real crash would abandon — no drain, no journal flush or
+    /// fsync, no compaction, no joins. In-flight requests get whatever
+    /// the wire had already carried. The final stats snapshot is
+    /// returned for the drill's accounting; the journal directory is
+    /// left exactly as the "crash" found it.
+    pub fn crash(self) -> ServerStats {
+        let stats = self.shared.stats();
+        self.shared.shutdown.cancel();
+        self.shared.queue.close();
+        // Leak the handles and the shared state: nothing gets to run
+        // cleanup, exactly like a SIGKILL. The threads observe the
+        // cancelled token and exit on their own; the leaked `Journal`
+        // never runs its flushing `Drop`.
+        std::mem::forget(self);
+        stats
+    }
+}
+
+/// Runs `body` under supervision: a panic is caught, counted, and the
+/// thread's role restarts after a capped exponential backoff instead of
+/// dying silently. A clean return (graceful drain) ends supervision.
+fn supervised(shared: &Arc<Shared>, role: &str, mut body: impl FnMut()) {
+    let mut backoff = Duration::from_millis(10);
+    loop {
+        match catch_unwind_silent(&mut body) {
+            Ok(()) => return,
+            Err(payload) => {
+                shared.supervisor_restarts.fetch_add(1, Ordering::Relaxed);
+                obs::counter("server.supervisor_restarts").inc();
+                eprintln!(
+                    "pathslice-serve: {role} thread panicked ({}); restarting in {:?}",
+                    panic_payload(&*payload),
+                    backoff
+                );
+                if shared.shutdown.is_cancelled() {
+                    return;
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_secs(1));
+            }
+        }
+    }
+}
+
+/// Replays the journal through the certificate gate and compacts the
+/// survivors. Returns `(recovered, rejected)`; torn-line accounting
+/// lives inside the journal.
+///
+/// **The recovery invariant: no unvalidated verdict is ever served from
+/// a recovered journal.** Every intact record must (1) carry a trace
+/// whose embedded source recompiles, (2) recompile to the *same*
+/// content key the record claims — a journal copied across programs, or
+/// a collision, is rejected wholesale — and (3) have every cluster
+/// certificate re-validate against its claimed verdict through
+/// `certify::validate`. Anything less downgrades to a plain miss: the
+/// verdict is simply re-derived on first request, which costs latency,
+/// never soundness.
+fn recover_journal(
+    journal: &mut Journal,
+    cache: &AnalysisCache,
+    verdicts: &VerdictCache,
+) -> (u64, u64) {
+    let mut recovered = 0;
+    let mut rejected = 0;
+    let mut live: Vec<JournalRecord> = Vec::new();
+    for item in journal.replay() {
+        let record = match item {
+            ReplayItem::Intact(record) => record,
+            ReplayItem::Torn(_) => continue, // counted by the journal
+        };
+        match admit_recovered(&record, journal, cache, verdicts) {
+            Ok(()) => {
+                recovered += 1;
+                obs::counter("journal.recovered").inc();
+                live.push(record);
+            }
+            Err(_reason) => {
+                rejected += 1;
+                obs::counter("journal.rejected").inc();
+            }
+        }
+    }
+    // Compaction garbage-collects damage: only gate-approved records
+    // are carried forward, so a torn tail or poisoned record costs one
+    // recovery, not one per restart forever.
+    journal.compact(&live);
+    (recovered, rejected)
+}
+
+/// The certificate gate for one intact record. On `Ok` the verdict is
+/// warm in both caches; on `Err` it has been admitted nowhere.
+fn admit_recovered(
+    record: &JournalRecord,
+    journal: &Journal,
+    cache: &AnalysisCache,
+    verdicts: &VerdictCache,
+) -> Result<(), String> {
+    let mut trace =
+        certify::from_json(&record.trace_json).map_err(|e| format!("unparseable trace: {e}"))?;
+    let session = Arc::new(
+        Session::compile(&trace.source, "<journal>")
+            .map_err(|e| format!("embedded source does not compile: {e}"))?,
+    );
+    if session.key() != record.key {
+        return Err(format!(
+            "content key mismatch: record says {:016x}, source compiles to {:016x}",
+            record.key,
+            session.key()
+        ));
+    }
+    if trace.clusters.len() != record.clusters.len() {
+        return Err("cluster count disagrees between record and trace".into());
+    }
+    if journal.replay_corrupts(record.key) {
+        // Injected certificate corruption (chaos drills): damage the
+        // evidence with a saturating plan, then push it through the
+        // same validator a real bit-flip would meet. Whatever the
+        // validator says, the record is rejected — the injection
+        // contract is deterministic counters, and a certificate that
+        // happens to be immune to the corruption schedule must not make
+        // the drill flaky.
+        let plan = FaultPlan::new(0)
+            .inject(FaultSite::CertWitness, FaultKind::CorruptCertificate, 1.0)
+            .inject(FaultSite::CertCore, FaultKind::CorruptCertificate, 1.0)
+            .inject(FaultSite::CertSlice, FaultKind::CorruptCertificate, 1.0);
+        for cluster in &mut trace.clusters {
+            certify::corrupt(&mut cluster.certificate, &plan);
+            if let certify::Validation::Mismatch { reason } =
+                certify::validate(session.analyses(), &cluster.certificate, &cluster.claimed)
+            {
+                return Err(format!("injected corruption detected: {reason}"));
+            }
+        }
+        return Err("injected corruption (certificate immune; rejected by policy)".into());
+    }
+    for cluster in &trace.clusters {
+        match certify::validate(session.analyses(), &cluster.certificate, &cluster.claimed) {
+            certify::Validation::Confirmed { .. } => {}
+            certify::Validation::Mismatch { reason } => {
+                return Err(format!(
+                    "certificate for `{}` does not re-validate: {reason}",
+                    cluster.func_name
+                ));
+            }
+        }
+    }
+    cache.admit(record.key, session);
+    verdicts.insert(
+        (record.key, record.fingerprint),
+        VerdictEntry {
+            exit: record.exit,
+            render: record.render.clone(),
+            clusters: record
+                .clusters
+                .iter()
+                .map(
+                    |(func, sites, verdict, refinements, wall_us)| wire::ClusterVerdict {
+                        func: func.clone(),
+                        sites: *sites,
+                        verdict: verdict.clone(),
+                        refinements: *refinements,
+                        wall_us: *wall_us,
+                    },
+                )
+                .collect(),
+            trace_json: Arc::new(record.trace_json.clone()),
+        },
+    );
+    Ok(())
 }
 
 /// Pushes one metrics snapshot into the ring every
@@ -594,12 +924,39 @@ fn accept_loop(
             Ok((stream, _peer)) => {
                 shared.connections.fetch_add(1, Ordering::Relaxed);
                 obs::counter("server.connections").inc();
-                let shared = shared.clone();
-                let handle = std::thread::Builder::new()
-                    .name("pathslice-conn".into())
-                    .spawn(move || connection_loop(stream, &shared))
-                    .expect("spawn connection thread");
-                lock(conns).push(handle);
+                let cid = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
+                // The stream rides in a cell the acceptor can take back:
+                // under thread exhaustion the spawn fails with the
+                // closure (and the cell) intact, the connection is
+                // answered `overloaded` and shed, and the acceptor keeps
+                // accepting — it used to die here and take the whole
+                // daemon's reachability with it.
+                let cell = Arc::new(Mutex::new(Some(stream)));
+                let spawned = {
+                    let shared = shared.clone();
+                    let cell = cell.clone();
+                    std::thread::Builder::new()
+                        .name("pathslice-conn".into())
+                        .spawn(move || {
+                            if let Some(stream) = lock(&cell).take() {
+                                connection_loop(stream, &shared, cid);
+                            }
+                        })
+                };
+                match spawned {
+                    Ok(handle) => lock(conns).push(handle),
+                    Err(_) => {
+                        if let Some(mut stream) = lock(&cell).take() {
+                            shared.overloaded.fetch_add(1, Ordering::Relaxed);
+                            obs::counter("server.overloaded").inc();
+                            let _ = send_response(
+                                &mut stream,
+                                shared,
+                                &wire::Response::Overloaded { id: String::new() },
+                            );
+                        }
+                    }
+                }
             }
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
                 std::thread::sleep(POLL_INTERVAL);
@@ -614,7 +971,11 @@ fn accept_loop(
 /// oversize, or shutdown. Frame-level failures answer an `error`
 /// response and keep the connection (the newline boundary survives);
 /// only oversized frames and I/O errors drop it.
-fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
+///
+/// `cid` keys the [`FaultSite::WireRead`] chaos plan per connection:
+/// frame *n* on connection *c* faults (or not) deterministically, so a
+/// chaos test can predict exactly which frames are damaged.
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, cid: u64) {
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
     let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
@@ -623,6 +984,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
     };
     let mut reader = BufReader::new(stream);
     let mut buf: Vec<u8> = Vec::new();
+    let mut frame_no: u64 = 0;
     loop {
         match reader.read_until(b'\n', &mut buf) {
             Ok(0) => {
@@ -638,10 +1000,29 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
                 // keep accumulating (size-checked below).
             }
             Ok(_) => {
-                let line = std::mem::take(&mut buf);
+                let mut line = std::mem::take(&mut buf);
                 if line.len() > shared.config.max_frame_bytes {
                     reject_oversized(shared, &mut writer);
                     return;
+                }
+                // Injected read-path faults: a torn read truncates the
+                // frame mid-line (the parse rejects it and the counters
+                // account for it); an I/O error drops the connection as
+                // a failing NIC would.
+                let key = format!("conn{cid}:frame{frame_no}");
+                frame_no += 1;
+                match shared.config.faults.fire(FaultSite::WireRead, &key) {
+                    Some(FaultKind::TornWrite) => {
+                        shared.wire_faults.fetch_add(1, Ordering::Relaxed);
+                        obs::counter("server.wire_faults").inc();
+                        line.truncate(line.len() / 2);
+                    }
+                    Some(FaultKind::IoError) => {
+                        shared.wire_faults.fetch_add(1, Ordering::Relaxed);
+                        obs::counter("server.wire_faults").inc();
+                        return;
+                    }
+                    _ => {}
                 }
                 if !handle_frame(&line, shared, &mut writer) {
                     return;
@@ -680,7 +1061,7 @@ fn reject_oversized(shared: &Shared, writer: &mut TcpStream) {
             shared.config.max_frame_bytes
         ),
     };
-    let _ = send_response(writer, &resp);
+    let _ = send_response(writer, shared, &resp);
 }
 
 /// Parses, admits, and answers one frame. Returns `false` when the
@@ -693,6 +1074,7 @@ fn handle_frame(line: &[u8], shared: &Arc<Shared>, writer: &mut TcpStream) -> bo
             obs::counter("server.frames_rejected").inc();
             return send_response(
                 writer,
+                shared,
                 &wire::Response::Error {
                     id: String::new(),
                     error: "frame is not UTF-8".into(),
@@ -712,6 +1094,7 @@ fn handle_frame(line: &[u8], shared: &Arc<Shared>, writer: &mut TcpStream) -> bo
             let series = lock(&shared.telemetry.ring).to_json();
             return send_response(
                 writer,
+                shared,
                 &wire::Response::Metrics {
                     id,
                     exposition: shared.exposition(),
@@ -723,9 +1106,24 @@ fn handle_frame(line: &[u8], shared: &Arc<Shared>, writer: &mut TcpStream) -> bo
             let traces: Vec<SlowTrace> = lock(&shared.telemetry.slow).iter().cloned().collect();
             return send_response(
                 writer,
+                shared,
                 &wire::Response::SlowTraces {
                     id,
                     traces: slow_traces_json(&traces),
+                },
+            );
+        }
+        Ok(wire::Incoming::Ping { id }) => {
+            // Readiness, answered inline like the other telemetry ops:
+            // a load balancer's probe must not queue behind checks.
+            return send_response(
+                writer,
+                shared,
+                &wire::Response::Health {
+                    id,
+                    ready: shared.ready(),
+                    workers_alive: shared.workers_alive.load(Ordering::Relaxed) as u64,
+                    journal: shared.journal_stats().map(|j| journal_stats_json(&j)),
                 },
             );
         }
@@ -734,6 +1132,7 @@ fn handle_frame(line: &[u8], shared: &Arc<Shared>, writer: &mut TcpStream) -> bo
             obs::counter("server.frames_rejected").inc();
             return send_response(
                 writer,
+                shared,
                 &wire::Response::Error {
                     id: String::new(),
                     error: format!("bad request frame: {e}"),
@@ -758,7 +1157,11 @@ fn handle_frame(line: &[u8], shared: &Arc<Shared>, writer: &mut TcpStream) -> bo
         Err(PushError::Full(job) | PushError::Closed(job)) => {
             shared.overloaded.fetch_add(1, Ordering::Relaxed);
             obs::counter("server.overloaded").inc();
-            return send_response(writer, &wire::Response::Overloaded { id: job.request.id });
+            return send_response(
+                writer,
+                shared,
+                &wire::Response::Overloaded { id: job.request.id },
+            );
         }
     }
     // Admitted: graceful drain guarantees a worker answers.
@@ -766,16 +1169,63 @@ fn handle_frame(line: &[u8], shared: &Arc<Shared>, writer: &mut TcpStream) -> bo
         id,
         error: "worker dropped the request".into(),
     });
-    send_response(writer, &response)
+    send_response(writer, shared, &response)
 }
 
-fn send_response(writer: &mut TcpStream, response: &wire::Response) -> bool {
+/// Renders journal accounting for the `health` response and the stats
+/// payload.
+fn journal_stats_json(j: &JournalStats) -> Json {
+    Json::Obj(vec![
+        ("appended".into(), Json::Num(j.appended as i64)),
+        ("append_faults".into(), Json::Num(j.append_faults as i64)),
+        ("recovered".into(), Json::Num(j.recovered as i64)),
+        ("rejected".into(), Json::Num(j.rejected as i64)),
+        ("torn".into(), Json::Num(j.torn as i64)),
+        ("segments".into(), Json::Num(j.segments as i64)),
+    ])
+}
+
+/// Writes one response line, honouring the [`FaultSite::WireWrite`]
+/// chaos plan (keyed by the response's correlation id): a torn write
+/// sends a prefix and drops the connection mid-frame; an I/O error
+/// drops it without writing at all. Returns whether the connection
+/// should stay open.
+fn send_response(writer: &mut TcpStream, shared: &Shared, response: &wire::Response) -> bool {
     let mut line = response.to_json();
     line.push('\n');
+    match shared
+        .config
+        .faults
+        .fire(FaultSite::WireWrite, response.id())
+    {
+        Some(FaultKind::TornWrite) => {
+            shared.wire_faults.fetch_add(1, Ordering::Relaxed);
+            obs::counter("server.wire_faults").inc();
+            let _ = writer.write_all(&line.as_bytes()[..line.len() / 2]);
+            return false;
+        }
+        Some(FaultKind::IoError) => {
+            shared.wire_faults.fetch_add(1, Ordering::Relaxed);
+            obs::counter("server.wire_faults").inc();
+            return false;
+        }
+        _ => {}
+    }
     writer.write_all(line.as_bytes()).is_ok()
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
+    // Liveness accounting survives panics (the guard drops during the
+    // unwind that supervision catches) — `ping` readiness counts actual
+    // workers, not spawned threads.
+    struct Alive<'a>(&'a AtomicUsize);
+    impl Drop for Alive<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    shared.workers_alive.fetch_add(1, Ordering::Relaxed);
+    let _alive = Alive(&shared.workers_alive);
     while let Some(job) = shared.queue.pop() {
         // Tee the request's span tree out of the thread-local buffers:
         // the worker has no span open outside `process`, so everything
@@ -858,6 +1308,37 @@ fn process(job: &Job, shared: &Shared) -> wire::Response {
         }
     };
 
+    // With a journal attached, a completed verdict for this exact
+    // (program, configuration) pair may already be warm — either from
+    // an earlier request this run, or recovered (and certificate-
+    // re-validated) from the journal across a restart. Serve it
+    // verbatim: no check runs, the render is byte-identical to what was
+    // first served.
+    let journaling = shared.journal.is_some();
+    let fingerprint = config_fingerprint(req, shared.config.default_time_budget);
+    if journaling {
+        if let Some(entry) = shared.verdicts.get((session.key(), fingerprint)) {
+            let wall_us = job.admitted.elapsed().as_micros() as u64;
+            shared.telemetry.request_us_warm.record(wall_us);
+            let certificate = req
+                .want_certificate
+                .then(|| Json::parse(&entry.trace_json).expect("journaled traces are valid JSON"));
+            let stats = req.want_stats.then(|| stats_json(shared));
+            return wire::Response::Ok {
+                id: req.id.clone(),
+                cache_hit,
+                warm: true,
+                exit: entry.exit,
+                render: entry.render.clone(),
+                clusters: entry.clusters.clone(),
+                wall_us,
+                queue_us,
+                certificate,
+                stats,
+            };
+        }
+    }
+
     let mut config = CheckerConfig {
         reducer: if req.no_slicing {
             Reducer::Identity
@@ -899,11 +1380,6 @@ fn process(job: &Job, shared: &Shared) -> wire::Response {
         shared.telemetry.request_us_miss.record(wall_us);
     }
 
-    let certificate = req.want_certificate.then(|| {
-        let trace = certify::certify_report(session.analyses(), &report, session.source());
-        Json::parse(&certify::to_json(&trace)).expect("certify emits valid JSON")
-    });
-
     let clusters: Vec<wire::ClusterVerdict> = report
         .clusters
         .iter()
@@ -920,11 +1396,68 @@ fn process(job: &Job, shared: &Shared) -> wire::Response {
         report.clusters.iter().map(|c| c.cluster.clone()).collect();
     let (render, exit) = render_verdicts(session.program(), &cluster_reports);
 
+    // Only *stable* complete verdicts (every cluster SAFE or BUG, i.e.
+    // exit ≤ 1) are cached and journaled: they carry certificates the
+    // recovery gate can re-validate. Timeouts, internal errors, and
+    // mismatches are re-derived every time.
+    let complete = exit <= 1;
+    let trace_json = (req.want_certificate || (journaling && complete)).then(|| {
+        certify::to_json(&certify::certify_report(
+            session.analyses(),
+            &report,
+            session.source(),
+        ))
+    });
+    let certificate = if req.want_certificate {
+        trace_json
+            .as_deref()
+            .map(|t| Json::parse(t).expect("certify emits valid JSON"))
+    } else {
+        None
+    };
+    if journaling && complete {
+        let trace_json = trace_json.expect("trace built for every journaled verdict");
+        let record = JournalRecord {
+            key: session.key(),
+            fingerprint,
+            exit,
+            render: render.clone(),
+            clusters: clusters
+                .iter()
+                .map(|c| {
+                    (
+                        c.func.clone(),
+                        c.sites,
+                        c.verdict.clone(),
+                        c.refinements,
+                        c.wall_us,
+                    )
+                })
+                .collect(),
+            trace_json: trace_json.clone(),
+        };
+        shared.verdicts.insert(
+            (session.key(), fingerprint),
+            VerdictEntry {
+                exit,
+                render: render.clone(),
+                clusters: clusters.clone(),
+                trace_json: Arc::new(trace_json),
+            },
+        );
+        if let Some(j) = &shared.journal {
+            // Append failures (real or injected) degrade durability,
+            // never serving: the response below goes out regardless.
+            let _ = lock(j).append(&record);
+        }
+    }
+
     let stats = req.want_stats.then(|| stats_json(shared));
 
     wire::Response::Ok {
         id: req.id.clone(),
         cache_hit,
+        warm: false,
         exit,
         render,
         clusters,
@@ -933,6 +1466,27 @@ fn process(job: &Job, shared: &Shared) -> wire::Response {
         certificate,
         stats,
     }
+}
+
+/// Fingerprint of the checker configuration a request resolves to —
+/// the second half of the verdict-cache key. Covers every knob that can
+/// change a verdict or its evidence (reducer, search order, budget,
+/// retries, validation); excludes `deadline_ms` (a property of one call,
+/// not of the result) and the `certificate`/`stats` wants (response
+/// shaping, not checking).
+fn config_fingerprint(req: &wire::Request, default_budget: Duration) -> u64 {
+    let budget_us = req
+        .timeout_s
+        .map_or(default_budget.as_micros() as u64, |t| {
+            (t * 1_000_000.0) as u64
+        });
+    journal::content_hash(
+        format!(
+            "slicing={} dfs={} retries={} validate={} budget_us={budget_us}",
+            !req.no_slicing, req.dfs, req.retries, req.validate
+        )
+        .as_bytes(),
+    )
 }
 
 fn verdict_label(outcome: &blastlite::CheckOutcome) -> String {
@@ -992,7 +1546,22 @@ fn stats_json(shared: &Shared) -> Json {
                     "slow_retained".into(),
                     Json::Num(shared.telemetry.slow_retained.load(Ordering::Relaxed) as i64),
                 ),
+                ("wire_faults".into(), Json::Num(s.wire_faults as i64)),
+                (
+                    "supervisor_restarts".into(),
+                    Json::Num(s.supervisor_restarts as i64),
+                ),
+                ("workers_alive".into(), Json::Num(s.workers_alive as i64)),
+                ("verdict_hits".into(), Json::Num(s.verdicts.hits as i64)),
+                ("verdict_misses".into(), Json::Num(s.verdicts.misses as i64)),
             ]),
+        ),
+        (
+            "journal".into(),
+            match &s.journal {
+                Some(j) => journal_stats_json(j),
+                None => Json::Null,
+            },
         ),
         ("latency".into(), Json::Obj(latency)),
         (
@@ -1011,14 +1580,29 @@ fn stats_json(shared: &Shared) -> Json {
 
 /// A blocking NDJSON client for one daemon connection (tests, the load
 /// generator, scripted drivers).
+///
+/// By default every transport failure is surfaced immediately — tests
+/// rely on exact semantics. [`Client::connect_retrying`] (or
+/// [`Client::set_retry`]) opts in to bounded reconnect-and-resend for
+/// transient failures (`ECONNREFUSED` while a daemon restarts, a reset
+/// mid-drill), which is what the serve_bench restart drill rides
+/// through a server crash on. Check requests are idempotent — a resend
+/// at worst re-derives (or re-serves) the same verdict — so resending
+/// after a transport error is safe.
 #[derive(Debug)]
 pub struct Client {
+    addr: SocketAddr,
+    retry: u32,
     writer: TcpStream,
     reader: BufReader<TcpStream>,
 }
 
+/// First reconnect backoff; doubles per attempt, capped at 500ms.
+const RETRY_BACKOFF: Duration = Duration::from_millis(20);
+
 impl Client {
-    /// Connects to a running daemon.
+    /// Connects to a running daemon. No retry: transport failures
+    /// surface immediately.
     ///
     /// # Errors
     ///
@@ -1028,19 +1612,95 @@ impl Client {
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(Client {
+            addr,
+            retry: 0,
             writer,
             reader: BufReader::new(stream),
         })
     }
 
-    /// Sends one request and blocks for its response.
+    /// Connects with up to `attempts` bounded retries on transient
+    /// connect failures (refused/reset while a daemon is restarting),
+    /// backing off exponentially from 20ms (capped at 500ms). The
+    /// returned client keeps the same retry budget for each
+    /// [`Client::request`].
+    ///
+    /// # Errors
+    ///
+    /// The last I/O error once the attempts are exhausted.
+    pub fn connect_retrying(addr: SocketAddr, attempts: u32) -> std::io::Result<Client> {
+        let mut backoff = RETRY_BACKOFF;
+        let mut tried = 0;
+        loop {
+            match Client::connect(addr) {
+                Ok(mut client) => {
+                    client.retry = attempts;
+                    return Ok(client);
+                }
+                Err(e) if tried < attempts && transient(&e) => {
+                    tried += 1;
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_millis(500));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Sets the per-request retry budget (0 disables — the `--no-retry`
+    /// escape hatch).
+    pub fn set_retry(&mut self, attempts: u32) {
+        self.retry = attempts;
+    }
+
+    /// Sends one request and blocks for its response. With a retry
+    /// budget, a transport failure (send error, dropped connection,
+    /// torn response) reconnects and resends, backing off between
+    /// attempts; response *content* (e.g. `overloaded`) is never
+    /// retried — backpressure is the caller's to handle.
     ///
     /// # Errors
     ///
     /// A message on I/O failure, connection close, or an unparseable
-    /// response.
+    /// response, once any retry budget is exhausted.
     pub fn request(&mut self, request: &wire::Request) -> Result<wire::Response, String> {
-        self.send_raw(&request.to_json())
+        let frame = request.to_json();
+        let mut backoff = RETRY_BACKOFF;
+        let mut tried = 0;
+        loop {
+            match self.send_raw(&frame) {
+                Ok(response) => return Ok(response),
+                Err(e) if tried < self.retry => {
+                    tried += 1;
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_millis(500));
+                    // Reconnect; a dead daemon just burns the budget.
+                    if let Ok(fresh) = Client::connect_retrying(self.addr, self.retry - tried) {
+                        self.writer = fresh.writer;
+                        self.reader = fresh.reader;
+                    }
+                    let _ = e;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Probes daemon readiness (`op: "ping"`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`], plus an unexpected response status.
+    pub fn ping(&mut self, id: &str) -> Result<(bool, u64, Option<Json>), String> {
+        match self.send_raw(&wire::ping_request_json(id))? {
+            wire::Response::Health {
+                ready,
+                workers_alive,
+                journal,
+                ..
+            } => Ok((ready, workers_alive, journal)),
+            other => Err(format!("expected health response, got {other:?}")),
+        }
     }
 
     /// Asks the daemon for its metrics (Prometheus exposition + JSON
@@ -1118,6 +1778,20 @@ impl Client {
         }
         wire::Response::from_json(line.trim_end()).map_err(|e| format!("bad response: {e}"))
     }
+}
+
+/// Whether a connect error is worth retrying: the daemon may simply not
+/// be listening *yet* (restart drill) or the old socket is mid-teardown.
+fn transient(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        ErrorKind::ConnectionRefused
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::BrokenPipe
+            | ErrorKind::TimedOut
+            | ErrorKind::Interrupted
+    )
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -1225,5 +1899,32 @@ mod tests {
         let server = test_server(4, 16);
         let stats = server.shutdown();
         assert_eq!(stats.requests, 0);
+    }
+
+    #[test]
+    fn supervised_restarts_a_panicking_body_until_it_returns_cleanly() {
+        let server = test_server(1, 4);
+        let shared = server.shared.clone();
+        let mut panics_left = 2;
+        supervised(&shared, "test-role", move || {
+            if panics_left > 0 {
+                panics_left -= 1;
+                panic!("injected supervision panic");
+            }
+        });
+        assert_eq!(server.stats().supervisor_restarts, 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn supervised_stops_restarting_once_shutdown_is_cancelled() {
+        let server = test_server(1, 4);
+        let shared = server.shared.clone();
+        shared.shutdown.cancel();
+        supervised(&shared, "test-role", || panic!("always"));
+        // One panic, one restart decision — the cancelled token ends
+        // supervision instead of respawning into the drain.
+        assert_eq!(server.stats().supervisor_restarts, 1);
+        server.shutdown();
     }
 }

@@ -51,6 +51,13 @@ pub enum Incoming {
         /// Client-chosen correlation id.
         id: String,
     },
+    /// Readiness probe (`op: "ping"`, alias `"health"`; answered
+    /// inline). Ready means the journal (if any) has been replayed and
+    /// at least one worker is alive.
+    Ping {
+        /// Client-chosen correlation id.
+        id: String,
+    },
 }
 
 impl Incoming {
@@ -78,6 +85,7 @@ impl Incoming {
             None | Some("check") => Request::from_json(text).map(Incoming::Check),
             Some("metrics") => Ok(Incoming::Metrics { id }),
             Some("slow_traces") => Ok(Incoming::SlowTraces { id }),
+            Some("ping" | "health") => Ok(Incoming::Ping { id }),
             Some(other) => Err(bad(&format!("unknown `op` `{other}`"))),
         }
     }
@@ -98,6 +106,16 @@ pub fn slow_traces_request_json(id: &str) -> String {
     Json::Obj(vec![
         ("schema".into(), Json::Str(WIRE_SCHEMA.into())),
         ("op".into(), Json::Str("slow_traces".into())),
+        ("id".into(), Json::Str(id.to_owned())),
+    ])
+    .to_text()
+}
+
+/// The frame a [`Incoming::Ping`] request serializes to.
+pub fn ping_request_json(id: &str) -> String {
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(WIRE_SCHEMA.into())),
+        ("op".into(), Json::Str("ping".into())),
         ("id".into(), Json::Str(id.to_owned())),
     ])
     .to_text()
@@ -271,6 +289,11 @@ pub enum Response {
         id: String,
         /// Whether the analysis cache already held the program.
         cache_hit: bool,
+        /// Whether the verdict was served warm from the verdict cache
+        /// (no check ran) — possibly recovered from the journal across
+        /// a restart. Warm verdicts are always certificate-validated
+        /// before they become servable.
+        warm: bool,
         /// `pathslice check` exit code for these verdicts.
         exit: i32,
         /// Verdicts rendered byte-identically to `pathslice check`.
@@ -315,6 +338,20 @@ pub enum Response {
         /// `pathslice-slowtraces/v1` document.
         traces: Json,
     },
+    /// Readiness probe answer.
+    Health {
+        /// Echoed request id.
+        id: String,
+        /// Journal replayed (or no journal) *and* at least one worker
+        /// alive — the daemon will actually answer check requests.
+        ready: bool,
+        /// Worker threads currently alive (supervision restarts panicked
+        /// ones, so this normally equals `--jobs`).
+        workers_alive: u64,
+        /// Journal accounting (`appended`/`recovered`/`rejected`/
+        /// `torn`/…), when a journal is attached.
+        journal: Option<Json>,
+    },
 }
 
 impl Response {
@@ -325,7 +362,8 @@ impl Response {
             | Response::Overloaded { id }
             | Response::Error { id, .. }
             | Response::Metrics { id, .. }
-            | Response::SlowTraces { id, .. } => id,
+            | Response::SlowTraces { id, .. }
+            | Response::Health { id, .. } => id,
         }
     }
 
@@ -335,6 +373,7 @@ impl Response {
             Response::Ok {
                 id,
                 cache_hit,
+                warm,
                 exit,
                 render,
                 clusters,
@@ -373,6 +412,11 @@ impl Response {
                     ("wall_us".into(), Json::Num(*wall_us as i64)),
                     ("queue_us".into(), Json::Num(*queue_us as i64)),
                 ];
+                if *warm {
+                    // Emitted only when set: pre-journal frames parse
+                    // identically and stay byte-identical.
+                    fields.insert(4, ("warm".into(), Json::Bool(true)));
+                }
                 if let Some(cert) = certificate {
                     fields.push(("certificate".into(), cert.clone()));
                 }
@@ -409,6 +453,24 @@ impl Response {
                 ("status".into(), Json::Str("slow_traces".into())),
                 ("traces".into(), traces.clone()),
             ]),
+            Response::Health {
+                id,
+                ready,
+                workers_alive,
+                journal,
+            } => {
+                let mut fields = vec![
+                    ("schema".into(), Json::Str(WIRE_SCHEMA.into())),
+                    ("id".into(), Json::Str(id.clone())),
+                    ("status".into(), Json::Str("health".into())),
+                    ("ready".into(), Json::Bool(*ready)),
+                    ("workers_alive".into(), Json::Num(*workers_alive as i64)),
+                ];
+                if let Some(j) = journal {
+                    fields.push(("journal".into(), j.clone()));
+                }
+                Json::Obj(fields)
+            }
         };
         doc.to_text()
     }
@@ -453,6 +515,17 @@ impl Response {
                     .field("traces")
                     .cloned()
                     .ok_or_else(|| bad("missing `traces`"))?,
+            }),
+            Some("health") => Ok(Response::Health {
+                id,
+                ready: matches!(doc.field("ready"), Some(Json::Bool(true))),
+                workers_alive: doc
+                    .field("workers_alive")
+                    .and_then(Json::as_i64)
+                    .filter(|n| *n >= 0)
+                    .ok_or_else(|| bad("missing `workers_alive`"))?
+                    as u64,
+                journal: doc.field("journal").cloned(),
             }),
             Some("error") => Ok(Response::Error {
                 id,
@@ -501,6 +574,7 @@ impl Response {
                         Some("miss") => false,
                         _ => return Err(bad("missing `cache` disposition")),
                     },
+                    warm: matches!(doc.field("warm"), Some(Json::Bool(true))),
                     exit: num("exit")? as i32,
                     render: doc
                         .field("render")
@@ -569,6 +643,7 @@ mod tests {
         let ok = Response::Ok {
             id: "a".into(),
             cache_hit: true,
+            warm: true,
             exit: 1,
             render: "main  BUG\n".into(),
             clusters: vec![ClusterVerdict {
@@ -611,6 +686,18 @@ mod tests {
             Incoming::from_json(&slow_traces_request_json("s1")).unwrap(),
             Incoming::SlowTraces { id: "s1".into() }
         );
+        assert_eq!(
+            Incoming::from_json(&ping_request_json("p1")).unwrap(),
+            Incoming::Ping { id: "p1".into() }
+        );
+        assert_eq!(
+            Incoming::from_json(
+                "{\"schema\":\"pathslice-wire/v1\",\"op\":\"health\",\"id\":\"h\"}"
+            )
+            .unwrap(),
+            Incoming::Ping { id: "h".into() },
+            "`health` is an alias for `ping`"
+        );
         assert!(
             Incoming::from_json("{\"schema\":\"pathslice-wire/v1\",\"op\":\"selfdestruct\"}")
                 .is_err()
@@ -640,6 +727,47 @@ mod tests {
             );
             assert!(!resp.to_json().contains('\n'), "frames stay single-line");
         }
+    }
+
+    #[test]
+    fn health_responses_roundtrip_and_warm_defaults_false() {
+        for resp in [
+            Response::Health {
+                id: "h1".into(),
+                ready: true,
+                workers_alive: 4,
+                journal: Some(Json::Obj(vec![("recovered".into(), Json::Num(7))])),
+            },
+            Response::Health {
+                id: "h2".into(),
+                ready: false,
+                workers_alive: 0,
+                journal: None,
+            },
+        ] {
+            assert_eq!(
+                Response::from_json(&resp.to_json()).unwrap(),
+                resp,
+                "{resp:?}"
+            );
+        }
+        // A pre-journal `ok` frame (no `warm` field) parses with
+        // warm=false: the field is backwards-compatible.
+        let cold = Response::Ok {
+            id: "c".into(),
+            cache_hit: false,
+            warm: false,
+            exit: 0,
+            render: String::new(),
+            clusters: Vec::new(),
+            wall_us: 1,
+            queue_us: 1,
+            certificate: None,
+            stats: None,
+        };
+        let frame = cold.to_json();
+        assert!(!frame.contains("warm"), "cold frames omit the field");
+        assert_eq!(Response::from_json(&frame).unwrap(), cold);
     }
 
     #[test]
