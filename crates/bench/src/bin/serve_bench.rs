@@ -15,7 +15,7 @@
 //!             [--json] [--smoke] [--metrics-out <metrics.prom>]
 //!             [--trace-out <spans.json>]
 //!             [--journal <dir>] [--attach <host:port>] [--no-retry]
-//!             [--drill restart]
+//!             [--drill restart] [--fabric <n>]
 //! ```
 //!
 //! Each request is a distinct generated workload program (seed-varied)
@@ -50,6 +50,19 @@
 //! crash (no flush, no compaction) → restart on the same journal →
 //! assert the recovery counters and that every recovered verdict is
 //! served warm, byte-identical to a cold journal-less control.
+//!
+//! `--fabric <n>` runs the multi-node drill instead of a load run:
+//! `n` journaled, peer-enrolled daemons behind a `fabric::Router`,
+//! mixed repeat-heavy load through the router, and a
+//! `SIGKILL`-equivalent crash of the ring owner of the hottest key
+//! mid-drain. Asserts the router sheds to the survivors with **zero**
+//! failed requests after retry and **zero** wrong verdicts — every
+//! response byte-identical to a single-node control — then runs the
+//! corrupt-peer-certificate chaos pass: with every fetched certificate
+//! damaged in flight, `fabric.peer_rejected` must rise and every
+//! rejected key must re-check locally to the correct verdict. With
+//! `--json` the run writes `BENCH_fabric.json` (`fabric` and `control`
+//! rows, same latency columns as the serve report).
 
 use obs::json::Json;
 use rand::rngs::StdRng;
@@ -266,6 +279,389 @@ fn drill_restart(seed: u64, requests: usize, server_jobs: usize, retry: u32) {
     );
 }
 
+/// Knobs for the `--fabric` drill, straight from the command line.
+struct FabricDrill {
+    nodes: usize,
+    seed: u64,
+    requests: usize,
+    concurrency: usize,
+    repeat_ratio: f64,
+    server_jobs: usize,
+    retry: u32,
+    json: bool,
+    scale: workloads::Scale,
+}
+
+/// `--fabric <n>`: the multi-node failover drill.
+///
+/// Phase 1 is the single-node control: every program checked cold on a
+/// plain daemon, verdicts recorded. Phase 2 stands up `n` journaled,
+/// peer-enrolled daemons behind a router and replays a repeat-heavy
+/// schedule through it from `concurrency` client threads; at the
+/// half-way barrier the ring owner of the hottest program is crashed
+/// (`SIGKILL` shape — no drain, no flush) and the load continues.
+/// Every response must be `ok` and byte-identical to the control, the
+/// router must record the failover, and no surviving node may have
+/// accepted an unvalidated peer verdict. Phase 3 re-runs a fleet with
+/// every peer-fetched certificate corrupted in flight: the gate must
+/// reject every fetch (`fabric.peer_rejected` > 0) and each rejected
+/// key must re-check locally to the control verdict.
+fn drill_fabric(opts: FabricDrill) {
+    use fabric::{Router, RouterConfig};
+    use rt::ring::Ring;
+
+    let FabricDrill {
+        nodes,
+        seed,
+        requests,
+        concurrency,
+        repeat_ratio,
+        server_jobs,
+        retry,
+        json,
+        scale,
+    } = opts;
+
+    let nodes = nodes.clamp(2, 8);
+    let k = requests.clamp(4, 64);
+    let distinct = (k / 2).max(2);
+    let programs: Vec<String> = (0..distinct as u64)
+        .map(|i| generate(&spec(seed + i)).source)
+        .collect();
+
+    // Repeat-heavy schedule over the distinct programs, deterministic
+    // in --seed. Program 0 is forced hottest (first and most repeated)
+    // so "crash the owner of the hottest key" always kills a node that
+    // actually holds warm state.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFAB);
+    let schedule: Vec<usize> = (0..k)
+        .map(|i| {
+            if i == 0 || rng.gen_bool(repeat_ratio) {
+                0
+            } else {
+                rng.gen_range(0..distinct)
+            }
+        })
+        .collect();
+
+    let check = |client: &mut Client, program: usize, id: String| -> (i32, Vec<String>) {
+        let mut request = wire::Request::new(&programs[program]);
+        request.id = id;
+        match client.request(&request) {
+            Ok(wire::Response::Ok { exit, render, .. }) => (exit, strip_timing(&render)),
+            Ok(other) => panic!(
+                "fabric drill `{}`: unexpected response {other:?}",
+                request.id
+            ),
+            Err(e) => panic!("fabric drill `{}`: {e}", request.id),
+        }
+    };
+
+    // Phase 1: single-node control. Ground truth for every program.
+    let control_server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        jobs: server_jobs,
+        ..ServerConfig::default()
+    })
+    .expect("bind control server");
+    let mut control_client =
+        Client::connect_retrying(control_server.local_addr(), retry).expect("connect control");
+    let t0 = Instant::now();
+    let control: Vec<(i32, Vec<String>)> = (0..distinct)
+        .map(|p| check(&mut control_client, p, format!("control-{p}")))
+        .collect();
+    let control_elapsed = t0.elapsed();
+    drop(control_client);
+    control_server.shutdown();
+
+    // Phase 2: the fleet — n journaled members, peer-enrolled, router
+    // in front.
+    let journal_root = {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_nanos());
+        std::env::temp_dir().join(format!("pathslice-fabric-{}-{nanos}", std::process::id()))
+    };
+    let start_member = |i: usize, faults: rt::FaultPlan| -> Server {
+        Server::start(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            jobs: server_jobs,
+            journal_dir: Some(journal_root.join(format!("n{i}"))),
+            faults,
+            ..ServerConfig::default()
+        })
+        .expect("bind fabric member")
+    };
+    let mut servers: Vec<Option<Server>> = (0..nodes)
+        .map(|i| Some(start_member(i, rt::FaultPlan::default())))
+        .collect();
+    let members: Vec<(String, String)> = servers
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            (
+                format!("n{i}"),
+                s.as_ref().unwrap().local_addr().to_string(),
+            )
+        })
+        .collect();
+    for (i, s) in servers.iter().enumerate() {
+        s.as_ref().unwrap().set_peers(&format!("n{i}"), &members);
+    }
+    let router = Router::start(RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        members: members.clone(),
+        health_every: Duration::from_millis(100),
+        ..RouterConfig::default()
+    })
+    .expect("bind router");
+    let router_addr = router.local_addr();
+
+    let hot_key = blastlite::Session::content_key(&programs[0], "<drill>").expect("parses");
+    let victim = Ring::new(members.iter().cloned())
+        .owner(hot_key)
+        .expect("all up")
+        .name
+        .clone();
+    let victim_idx: usize = victim[1..].parse().unwrap();
+    eprintln!(
+        "fabric drill: {nodes} member(s) behind {router_addr}; \
+         mid-drain victim is {victim} (owner of the hottest key)"
+    );
+
+    // Clients drain their schedule shares to the half-way barrier; the
+    // main thread crashes the victim there; clients drain the rest.
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(concurrency + 1));
+    let programs_arc = std::sync::Arc::new(programs.clone());
+    let t1 = Instant::now();
+    let handles: Vec<_> = (0..concurrency)
+        .map(|c| {
+            let mine: Vec<(usize, usize)> = schedule
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % concurrency == c)
+                .map(|(i, &p)| (i, p))
+                .collect();
+            let barrier = barrier.clone();
+            let programs = programs_arc.clone();
+            std::thread::spawn(move || {
+                let mut client =
+                    Client::connect_retrying(router_addr, retry).expect("connect router");
+                let mut results: Vec<(usize, usize, i32, Vec<String>, Duration)> = Vec::new();
+                let mut failures: Vec<String> = Vec::new();
+                let half = mine.len() / 2;
+                for (phase, slice) in [(0, &mine[..half]), (1, &mine[half..])] {
+                    if phase == 1 {
+                        barrier.wait();
+                        barrier.wait(); // crash happens between the two
+                    }
+                    for &(i, p) in slice {
+                        let mut request = wire::Request::new(&programs[p]);
+                        request.id = format!("fab-{i}");
+                        let sent_at = Instant::now();
+                        match client.request(&request) {
+                            Ok(wire::Response::Ok { exit, render, .. }) => {
+                                results.push((
+                                    i,
+                                    p,
+                                    exit,
+                                    strip_timing(&render),
+                                    sent_at.elapsed(),
+                                ));
+                            }
+                            Ok(other) => failures.push(format!("fab-{i}: {other:?}")),
+                            Err(e) => failures.push(format!("fab-{i}: {e}")),
+                        }
+                    }
+                }
+                (results, failures)
+            })
+        })
+        .collect();
+
+    barrier.wait(); // every client is parked at the half-way line
+    let crashed = servers[victim_idx].take().unwrap().crash();
+    eprintln!(
+        "fabric drill: crashed {victim} mid-drain after {} request(s) on it",
+        crashed.requests
+    );
+    std::thread::sleep(Duration::from_millis(150));
+    barrier.wait(); // release the second half of the load
+
+    let mut results: Vec<(usize, usize, i32, Vec<String>, Duration)> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    for h in handles {
+        let (r, f) = h.join().expect("client thread");
+        results.extend(r);
+        failures.extend(f);
+    }
+    let fabric_elapsed = t1.elapsed();
+
+    assert!(
+        failures.is_empty(),
+        "fabric drill: {} request(s) failed after retry: {failures:?}",
+        failures.len()
+    );
+    assert_eq!(results.len(), k, "fabric drill: lost responses");
+    let mut wrong = 0usize;
+    for (i, p, exit, render, _) in &results {
+        if (*exit, render) != (control[*p].0, &control[*p].1) {
+            eprintln!("fabric drill: request {i} (program {p}) diverged from control");
+            wrong += 1;
+        }
+    }
+    assert_eq!(wrong, 0, "fabric drill: {wrong} wrong verdict(s) served");
+
+    let router_stats = router.shutdown();
+    assert!(
+        router_stats.failovers + router_stats.down_marks > 0,
+        "fabric drill: the crash must be visible to the router: {router_stats}"
+    );
+    assert_eq!(
+        router_stats.shed, 0,
+        "fabric drill: no request may be shed: {router_stats}"
+    );
+    let mut peer_accepted = 0;
+    let mut peer_rejected = 0;
+    let survivor_stats: Vec<server::ServerStats> = servers
+        .iter_mut()
+        .filter_map(Option::take)
+        .map(Server::shutdown)
+        .collect();
+    for s in &survivor_stats {
+        peer_accepted += s.peer_accepted;
+        peer_rejected += s.peer_rejected;
+    }
+    assert_eq!(
+        peer_rejected, 0,
+        "fabric drill: no healthy peer certificate may fail re-validation"
+    );
+
+    // Phase 3: corrupt-peer chaos. Every fetched certificate is damaged
+    // in flight; the gate must reject each one and re-check locally.
+    let plan = rt::FaultPlan::new(seed ^ 0xC0DE).inject(
+        rt::FaultSite::PeerFetch,
+        rt::FaultKind::CorruptCertificate,
+        1.0,
+    );
+    let chaos_root = journal_root.join("chaos");
+    let chaos: Vec<Server> = (0..3)
+        .map(|i| {
+            Server::start(ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                jobs: server_jobs,
+                journal_dir: Some(chaos_root.join(format!("c{i}"))),
+                faults: plan.clone(),
+                ..ServerConfig::default()
+            })
+            .expect("bind chaos member")
+        })
+        .collect();
+    let chaos_members: Vec<(String, String)> = chaos
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (format!("c{i}"), s.local_addr().to_string()))
+        .collect();
+    for (i, s) in chaos.iter().enumerate() {
+        s.set_peers(&format!("c{i}"), &chaos_members);
+    }
+    let owner = Ring::new(chaos_members.iter().cloned())
+        .owner(hot_key)
+        .expect("all up")
+        .name
+        .clone();
+    let owner_idx: usize = owner[1..].parse().unwrap();
+    let asker_idx = (owner_idx + 1) % 3;
+    let mut to_owner =
+        Client::connect_retrying(chaos[owner_idx].local_addr(), retry).expect("connect owner");
+    check(&mut to_owner, 0, "chaos-journal".into());
+    let mut to_asker =
+        Client::connect_retrying(chaos[asker_idx].local_addr(), retry).expect("connect asker");
+    let (exit, render) = check(&mut to_asker, 0, "chaos-ask".into());
+    assert_eq!(
+        (exit, &render),
+        (control[0].0, &control[0].1),
+        "fabric drill: the rejected key must re-check locally to the control verdict"
+    );
+    drop(to_owner);
+    drop(to_asker);
+    let rejected: u64 = chaos.into_iter().map(|s| s.shutdown().peer_rejected).sum();
+    assert!(
+        rejected > 0,
+        "fabric drill: corrupting every fetched certificate must reject at least one"
+    );
+
+    if json {
+        let mut rep = bench::BenchReport::new("fabric", bench::scale_name(scale));
+        rep.config("nodes", Json::Num(nodes as i64));
+        rep.config("requests", Json::Num(k as i64));
+        rep.config("concurrency", Json::Num(concurrency as i64));
+        rep.config("repeat_ratio", Json::Float(repeat_ratio));
+        rep.config("seed", Json::Num(seed as i64));
+        rep.config("server_jobs", Json::Num(server_jobs as i64));
+        for (name, lats, elapsed, extra) in [
+            (
+                "fabric",
+                results.iter().map(|r| r.4).collect::<Vec<_>>(),
+                fabric_elapsed,
+                vec![
+                    ("failovers".to_owned(), router_stats.failovers as i64),
+                    ("down_marks".to_owned(), router_stats.down_marks as i64),
+                    ("shed".to_owned(), router_stats.shed as i64),
+                    ("peer_accepted".to_owned(), peer_accepted as i64),
+                    ("peer_rejected".to_owned(), peer_rejected as i64),
+                    ("chaos_peer_rejected".to_owned(), rejected as i64),
+                ],
+            ),
+            ("control", Vec::new(), control_elapsed, Vec::new()),
+        ] {
+            let mut sorted = lats.clone();
+            sorted.sort();
+            let hist = obs::Histogram::new();
+            for d in &sorted {
+                hist.record(d.as_micros() as u64);
+            }
+            let snap = hist.snapshot();
+            let mut fields = vec![
+                ("requests".to_owned(), sorted.len() as i64),
+                (
+                    "hist_p50_us".to_owned(),
+                    snap.quantile_interpolated(0.50) as i64,
+                ),
+                (
+                    "hist_p95_us".to_owned(),
+                    snap.quantile_interpolated(0.95) as i64,
+                ),
+                (
+                    "hist_p99_us".to_owned(),
+                    snap.quantile_interpolated(0.99) as i64,
+                ),
+            ];
+            fields.extend(extra);
+            rep.rows.push(bench::Row {
+                name: name.into(),
+                variant: "default".into(),
+                fields,
+                times_s: vec![
+                    ("p50".into(), percentile(&sorted, 0.50).as_secs_f64()),
+                    ("p95".into(), percentile(&sorted, 0.95).as_secs_f64()),
+                    ("total".into(), elapsed.as_secs_f64()),
+                ],
+                hists: vec![("latency_us".into(), snap)],
+                ..bench::Row::default()
+            });
+        }
+        bench::finish_json_report(rep);
+    }
+
+    println!(
+        "fabric drill: OK ({k} request(s) over {nodes} node(s), {victim} crashed mid-drain, \
+         {} failover(s), 0 shed, 0 wrong verdict(s); corrupt-peer pass rejected {rejected} \
+         fetch(es), all re-checked locally)",
+        router_stats.failovers + router_stats.down_marks,
+    );
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let json = bench::json_requested();
@@ -292,6 +688,25 @@ fn main() {
     } else {
         3
     };
+
+    if let Some(n) = flag("--fabric") {
+        let nodes: usize = n.parse().unwrap_or_else(|_| {
+            eprintln!("bad --fabric value `{n}`");
+            std::process::exit(64);
+        });
+        drill_fabric(FabricDrill {
+            nodes,
+            seed,
+            requests: parse_flag("--requests", 24),
+            concurrency,
+            repeat_ratio,
+            server_jobs,
+            retry,
+            json,
+            scale,
+        });
+        return;
+    }
 
     if let Some(drill) = flag("--drill") {
         match drill.as_str() {
@@ -492,9 +907,18 @@ fn main() {
                     ("cache_evictions".into(), stats.cache.evictions as i64),
                     ("overloaded".into(), stats.overloaded as i64),
                     ("throughput_rps".into(), throughput.round() as i64),
-                    ("hist_p50_us".into(), snap.quantile(0.50) as i64),
-                    ("hist_p95_us".into(), snap.quantile(0.95) as i64),
-                    ("hist_p99_us".into(), snap.quantile(0.99) as i64),
+                    (
+                        "hist_p50_us".into(),
+                        snap.quantile_interpolated(0.50) as i64,
+                    ),
+                    (
+                        "hist_p95_us".into(),
+                        snap.quantile_interpolated(0.95) as i64,
+                    ),
+                    (
+                        "hist_p99_us".into(),
+                        snap.quantile_interpolated(0.99) as i64,
+                    ),
                 ],
                 times_s: vec![
                     ("p50".into(), percentile(lat, 0.50).as_secs_f64()),

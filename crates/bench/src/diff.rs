@@ -256,7 +256,13 @@ fn metrics_of_row(row: &crate::report::Row) -> BTreeMap<String, f64> {
     for (k, h) in &row.hists {
         m.insert(format!("hists.{k}.count"), h.count as f64);
         for (q, label) in [(0.50, "p50_us"), (0.95, "p95_us"), (0.99, "p99_us")] {
-            m.insert(format!("hists.{k}.{label}"), h.quantile(q) as f64);
+            // Interpolated, matching serve_bench's hist_p* fields: the
+            // raw buckets are stored, so both sides of a diff use the
+            // same estimator regardless of when they were recorded.
+            m.insert(
+                format!("hists.{k}.{label}"),
+                h.quantile_interpolated(q) as f64,
+            );
         }
     }
     m

@@ -555,6 +555,39 @@ impl HistogramSnapshot {
         self.buckets.last().map_or(0, |&(hi, _)| hi)
     }
 
+    /// An estimate of the `q`-quantile that interpolates *within* the
+    /// log₂ bucket holding the `⌈q·count⌉`-th smallest sample, instead
+    /// of reporting the bucket's upper bound like
+    /// [`HistogramSnapshot::quantile`]. The upper-bound form is an
+    /// honest "no worse than" ceiling, but quoted as a latency
+    /// percentile it reads absurdly — a p50 of `65535` µs when every
+    /// sample sits near the bottom of the `[32768, 65536)` bucket.
+    /// Here the rank's position among the bucket's samples places the
+    /// estimate linearly between the bucket's inclusive bounds, so the
+    /// result is always a value the bucket could actually contain.
+    /// Returns 0 for an empty snapshot.
+    pub fn quantile_interpolated(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(hi, n) in &self.buckets {
+            if seen + n >= rank {
+                // Bucket k ≥ 1 spans [2^(k-1), 2^k): lo = hi/2 + 1.
+                // Bucket 0 holds only zeros (hi = 0, lo = 0). u128
+                // arithmetic keeps the top bucket (hi = u64::MAX) from
+                // overflowing.
+                let lo = if hi == 0 { 0 } else { hi / 2 + 1 };
+                let pos = rank - seen; // 1-based rank within the bucket
+                let span = (hi - lo) as u128;
+                return lo + (span * pos as u128 / n as u128) as u64;
+            }
+            seen += n;
+        }
+        self.buckets.last().map_or(0, |&(hi, _)| hi)
+    }
+
     /// Folds `other` into `self` bucket-by-bucket. Merging is
     /// commutative and associative, so combining per-worker snapshots
     /// yields the same result under any job count or merge order.

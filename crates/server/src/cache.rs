@@ -280,6 +280,15 @@ impl VerdictCache {
         }
     }
 
+    /// Looks up a warm verdict *without* touching the hit/miss
+    /// accounting or the LRU clock — the fabric `peer_get` answer path.
+    /// A peer's probe is not a local request: it must not inflate this
+    /// node's warm-hit rate, and it must not keep an entry hot that no
+    /// local client is asking for.
+    pub fn peek(&self, key: (u64, u64)) -> Option<Arc<VerdictEntry>> {
+        lock(&self.inner).entries.get(&key).map(|s| s.entry.clone())
+    }
+
     /// Inserts (or replaces) a verdict, evicting LRU entries past the
     /// bound.
     pub fn insert(&self, key: (u64, u64), entry: VerdictEntry) {
@@ -417,6 +426,22 @@ mod tests {
         assert_eq!(cache.stats().evictions, 1);
         assert!(cache.get((1, 0)).is_some());
         assert!(cache.get((2, 0)).is_none());
+    }
+
+    #[test]
+    fn peek_bypasses_accounting_and_the_lru_clock() {
+        let cache = VerdictCache::new(2);
+        cache.insert((1, 0), verdict(0));
+        cache.insert((2, 0), verdict(0));
+        assert!(cache.peek((1, 0)).is_some());
+        assert!(cache.peek((9, 9)).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (0, 0), "peek counts nothing");
+        // Peeking (1,0) did not refresh it: it is still the coldest and
+        // the next insert evicts it.
+        cache.insert((3, 0), verdict(1));
+        assert!(cache.peek((1, 0)).is_none());
+        assert!(cache.peek((2, 0)).is_some());
     }
 
     #[test]

@@ -244,6 +244,8 @@ pub struct Journal {
     seg_bytes: u64,
     /// Appends since the last fsync.
     unsynced: usize,
+    /// Whether this `Journal` still holds the directory's `LOCK` file.
+    locked: bool,
     appended: AtomicU64,
     append_faults: AtomicU64,
     torn: AtomicU64,
@@ -263,6 +265,70 @@ impl std::fmt::Debug for Journal {
 
 fn segment_path(dir: &Path, index: u64) -> PathBuf {
     dir.join(format!("seg-{index:06}.psj"))
+}
+
+fn lock_path(dir: &Path) -> PathBuf {
+    dir.join("LOCK")
+}
+
+/// Whether `pid` names a live process on this machine.
+fn pid_alive(pid: u32) -> bool {
+    pid == std::process::id() || Path::new(&format!("/proc/{pid}")).exists()
+}
+
+/// Takes the journal directory's exclusivity lock: a `LOCK` file created
+/// with `O_EXCL`, holding the owner's pid. Two writers interleaving
+/// segments in one directory would corrupt each other's compactions, so
+/// a *live* holder fails this open fast with an error naming the pid. A
+/// lock whose pid is dead (the holder was SIGKILLed — its `Drop` never
+/// ran) is stale and is reclaimed, which is what lets a restarted daemon
+/// reopen its own journal after a crash.
+fn acquire_lock(dir: &Path) -> std::io::Result<()> {
+    let path = lock_path(dir);
+    for _ in 0..2 {
+        match OpenOptions::new().write(true).create_new(true).open(&path) {
+            Ok(mut file) => {
+                let _ = writeln!(file, "{}", std::process::id());
+                let _ = file.sync_data();
+                return Ok(());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                let holder = std::fs::read_to_string(&path)
+                    .ok()
+                    .and_then(|s| s.trim().parse::<u32>().ok());
+                match holder {
+                    Some(pid) if !pid_alive(pid) => {
+                        // Stale: reclaim and retry the O_EXCL create (a
+                        // racing claimant may still beat us — then the
+                        // second iteration reports *that* holder).
+                        let _ = std::fs::remove_file(&path);
+                    }
+                    _ => {
+                        let holder = holder
+                            .map(|pid| format!("process {pid}"))
+                            .unwrap_or_else(|| "an unidentified process".into());
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::WouldBlock,
+                            format!(
+                                "journal directory {} is already open by {holder} \
+                                 (remove {} if that process is gone)",
+                                dir.display(),
+                                path.display()
+                            ),
+                        ));
+                    }
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(std::io::Error::new(
+        std::io::ErrorKind::WouldBlock,
+        format!(
+            "journal directory {} lock contended during stale-lock reclaim",
+            dir.display()
+        ),
+    ))
 }
 
 /// Segment indices present in `dir`, ascending.
@@ -290,25 +356,55 @@ impl Journal {
     /// writer's torn tail stays exactly as the crash left it for the
     /// replayer to diagnose.
     ///
+    /// The directory is exclusively locked (`LOCK` file holding the
+    /// owner's pid) for the lifetime of the `Journal`: a second opener
+    /// fails fast instead of interleaving segments with a live writer. A
+    /// stale lock left by a killed process is reclaimed automatically.
+    ///
     /// # Errors
     ///
-    /// I/O errors creating the directory or the segment file.
+    /// I/O errors creating the directory or the segment file, or
+    /// [`std::io::ErrorKind::WouldBlock`] when another live process
+    /// holds the directory's lock.
     pub fn open(config: JournalConfig) -> std::io::Result<Journal> {
         std::fs::create_dir_all(&config.dir)?;
-        let next = segment_indices(&config.dir)?
-            .last()
-            .map_or(0, |last| last + 1);
-        let (seg_file, seg_bytes) = Journal::create_segment(&config.dir, next)?;
+        acquire_lock(&config.dir)?;
+        let opened = segment_indices(&config.dir).and_then(|indices| {
+            let next = indices.last().map_or(0, |last| last + 1);
+            let (seg_file, seg_bytes) = Journal::create_segment(&config.dir, next)?;
+            Ok((next, seg_file, seg_bytes))
+        });
+        let (next, seg_file, seg_bytes) = match opened {
+            Ok(parts) => parts,
+            Err(e) => {
+                let _ = std::fs::remove_file(lock_path(&config.dir));
+                return Err(e);
+            }
+        };
         Ok(Journal {
             config,
             seg_index: next,
             seg_file,
             seg_bytes,
             unsynced: 0,
+            locked: true,
             appended: AtomicU64::new(0),
             append_faults: AtomicU64::new(0),
             torn: AtomicU64::new(0),
         })
+    }
+
+    /// Releases the directory lock without closing the journal. Normal
+    /// shutdown never needs this ([`Drop`] unlocks); it exists for the
+    /// simulated-crash path, where the `Journal` is deliberately leaked
+    /// (so buffered state dies exactly as `kill -9` would lose it) but
+    /// the lock must still disappear the way the OS reaps it with the
+    /// process.
+    pub fn unlock(&mut self) {
+        if self.locked {
+            self.locked = false;
+            let _ = std::fs::remove_file(lock_path(&self.config.dir));
+        }
     }
 
     fn create_segment(dir: &Path, index: u64) -> std::io::Result<(File, u64)> {
@@ -546,6 +642,7 @@ impl Journal {
 impl Drop for Journal {
     fn drop(&mut self) {
         self.flush();
+        self.unlock();
     }
 }
 
@@ -731,6 +828,50 @@ mod tests {
         let reopened = Journal::open(JournalConfig::new(&dir)).unwrap();
         assert_eq!(intact(&reopened.replay()).len(), 0);
         assert_eq!(reopened.stats().torn, 0, "a dropped append tears nothing");
+    }
+
+    #[test]
+    fn second_opener_fails_fast_while_the_lock_is_held() {
+        let dir = temp_dir("lock-held");
+        let journal = Journal::open(JournalConfig::new(&dir)).unwrap();
+        let err = Journal::open(JournalConfig::new(&dir)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
+        let msg = err.to_string();
+        assert!(
+            msg.contains(&format!("process {}", std::process::id())),
+            "error names the holder: {msg}"
+        );
+        assert!(msg.contains("LOCK"), "error names the lock file: {msg}");
+        drop(journal);
+        assert!(!lock_path(&dir).exists(), "drop releases the lock");
+        // And the directory is reopenable afterwards.
+        Journal::open(JournalConfig::new(&dir)).unwrap();
+    }
+
+    #[test]
+    fn stale_lock_from_a_dead_process_is_reclaimed() {
+        let dir = temp_dir("lock-stale");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Pid u32::MAX is far above any real pid_max: a dead holder.
+        std::fs::write(lock_path(&dir), format!("{}\n", u32::MAX)).unwrap();
+        let journal = Journal::open(JournalConfig::new(&dir)).unwrap();
+        let text = std::fs::read_to_string(lock_path(&dir)).unwrap();
+        assert_eq!(
+            text.trim().parse::<u32>().unwrap(),
+            std::process::id(),
+            "reclaimed lock names the new holder"
+        );
+        drop(journal);
+    }
+
+    #[test]
+    fn unreadable_lock_is_treated_as_held() {
+        let dir = temp_dir("lock-garbage");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(lock_path(&dir), "not-a-pid\n").unwrap();
+        let err = Journal::open(JournalConfig::new(&dir)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
+        assert!(err.to_string().contains("unidentified"), "{err}");
     }
 
     #[test]

@@ -57,11 +57,12 @@ use journal::{Journal, JournalConfig, JournalRecord, JournalStats, ReplayItem};
 use obs::json::Json;
 use obs::telemetry::{prometheus_text, MetricsRing, MetricsSnapshot};
 use obs::{Histogram, HistogramSnapshot, SpanRecord};
+use rt::ring::Ring;
 use rt::{catch_unwind_silent, panic_payload, CancelToken, FaultKind, FaultPlan, FaultSite};
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, ErrorKind, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender};
@@ -116,6 +117,13 @@ pub struct ServerConfig {
     /// Verdict-cache bound, entries (only used when a journal is
     /// attached).
     pub verdict_capacity: usize,
+    /// This node's fabric name (`--name`). `None` keeps the node out of
+    /// any fabric: no peer tier, no `peer_get` traffic generated.
+    pub peer_name: Option<String>,
+    /// Fabric members as `(name, addr)` pairs, this node included
+    /// (`--peers`). Ignored without `peer_name`. For port-0 test fleets,
+    /// use [`Server::set_peers`] after every member has bound.
+    pub peers: Vec<(String, String)>,
 }
 
 impl Default for ServerConfig {
@@ -136,6 +144,8 @@ impl Default for ServerConfig {
             journal_fsync_every: 8,
             journal_segment_bytes: 8 << 20,
             verdict_capacity: 256,
+            peer_name: None,
+            peers: Vec::new(),
         }
     }
 }
@@ -163,6 +173,17 @@ pub struct ServerStats {
     pub cache: CacheStats,
     /// Verdict-cache accounting (all zeros when no journal is attached).
     pub verdicts: VerdictCacheStats,
+    /// `peer_get` probes this node answered with a warm hit.
+    pub peer_served: u64,
+    /// Peer verdicts whose certificates re-validated locally — served
+    /// warm without a check.
+    pub peer_accepted: u64,
+    /// Peer verdicts whose certificates did *not* re-validate —
+    /// downgraded to a local cold check.
+    pub peer_rejected: u64,
+    /// Peer lookups that found nothing (owner had no verdict, or the
+    /// owner was unreachable).
+    pub peer_misses: u64,
     /// Journal accounting, when a journal is attached.
     pub journal: Option<JournalStats>,
 }
@@ -403,6 +424,13 @@ impl Queue {
     }
 }
 
+/// Fabric peer configuration: this node's name plus the consistent-hash
+/// ring every member (and the router) agrees on.
+struct PeerRing {
+    self_name: String,
+    ring: Ring,
+}
+
 /// State shared by the acceptor, connection threads, and workers.
 struct Shared {
     config: ServerConfig,
@@ -413,6 +441,9 @@ struct Shared {
     /// are serialized under the mutex; reads never take it (the verdict
     /// cache is the read path).
     journal: Option<Mutex<Journal>>,
+    /// Fabric membership, `None` for a standalone node. Set at start
+    /// (fixed-port fleets) or via [`Server::set_peers`] (port-0 tests).
+    peers: Mutex<Option<PeerRing>>,
     shutdown: CancelToken,
     telemetry: Telemetry,
     connections: AtomicU64,
@@ -428,6 +459,10 @@ struct Shared {
     replayed: AtomicBool,
     journal_recovered: AtomicU64,
     journal_rejected: AtomicU64,
+    peer_served: AtomicU64,
+    peer_accepted: AtomicU64,
+    peer_rejected: AtomicU64,
+    peer_misses: AtomicU64,
     conn_seq: AtomicU64,
 }
 
@@ -444,6 +479,10 @@ impl Shared {
             workers_alive: self.workers_alive.load(Ordering::Relaxed) as u64,
             cache: self.cache.stats(),
             verdicts: self.verdicts.stats(),
+            peer_served: self.peer_served.load(Ordering::Relaxed),
+            peer_accepted: self.peer_accepted.load(Ordering::Relaxed),
+            peer_rejected: self.peer_rejected.load(Ordering::Relaxed),
+            peer_misses: self.peer_misses.load(Ordering::Relaxed),
             journal: self.journal_stats(),
         }
     }
@@ -494,6 +533,12 @@ impl Shared {
                 self.telemetry.slow_dropped.load(Ordering::Relaxed),
             ),
         ]);
+        if lock(&self.peers).is_some() {
+            counters.insert("fabric.peer_served".to_owned(), s.peer_served);
+            counters.insert("fabric.peer_accepted".to_owned(), s.peer_accepted);
+            counters.insert("fabric.peer_rejected".to_owned(), s.peer_rejected);
+            counters.insert("fabric.peer_misses".to_owned(), s.peer_misses);
+        }
         if let Some(j) = &s.journal {
             counters.insert("server.verdict_hits".to_owned(), s.verdicts.hits);
             counters.insert("server.verdict_misses".to_owned(), s.verdicts.misses);
@@ -582,11 +627,16 @@ impl Server {
             None => None,
         };
 
+        let peers = config.peer_name.as_ref().map(|name| PeerRing {
+            self_name: name.clone(),
+            ring: Ring::new(config.peers.iter().cloned()),
+        });
         let shared = Arc::new(Shared {
             queue: Queue::new(config.queue_capacity),
             cache,
             verdicts,
             journal,
+            peers: Mutex::new(peers),
             shutdown: CancelToken::new(),
             telemetry: Telemetry::new(&config),
             connections: AtomicU64::new(0),
@@ -600,6 +650,10 @@ impl Server {
             replayed: AtomicBool::new(true),
             journal_recovered: AtomicU64::new(recovered),
             journal_rejected: AtomicU64::new(rejected),
+            peer_served: AtomicU64::new(0),
+            peer_accepted: AtomicU64::new(0),
+            peer_rejected: AtomicU64::new(0),
+            peer_misses: AtomicU64::new(0),
             conn_seq: AtomicU64::new(0),
             config,
         });
@@ -661,6 +715,19 @@ impl Server {
     /// The bound address (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Joins (or re-shapes) the fabric after start: this node is
+    /// `self_name`, the full membership — this node included — is
+    /// `members` as `(name, addr)` pairs. Port-0 fleets need this
+    /// (addresses only exist once every member has bound); fixed-port
+    /// deployments can configure [`ServerConfig::peer_name`] /
+    /// [`ServerConfig::peers`] instead.
+    pub fn set_peers(&self, self_name: &str, members: &[(String, String)]) {
+        *lock(&self.shared.peers) = Some(PeerRing {
+            self_name: self_name.to_owned(),
+            ring: Ring::new(members.iter().cloned()),
+        });
     }
 
     /// Live accounting.
@@ -732,6 +799,14 @@ impl Server {
         let stats = self.shared.stats();
         self.shared.shutdown.cancel();
         self.shared.queue.close();
+        // The journal's directory lock must go the way the OS reaps a
+        // real SIGKILL victim's resources: released without any flush.
+        // (A cross-process crash needs no help — the stale-pid reclaim
+        // handles it — but in-process drills restart under the same pid,
+        // where the lock would otherwise read as live.)
+        if let Some(j) = &self.shared.journal {
+            lock(j).unlock();
+        }
         // Leak the handles and the shared state: nothing gets to run
         // cleanup, exactly like a SIGKILL. The threads observe the
         // cancelled token and exit on their own; the leaked `Journal`
@@ -1127,6 +1202,42 @@ fn handle_frame(line: &[u8], shared: &Arc<Shared>, writer: &mut TcpStream) -> bo
                 },
             );
         }
+        Ok(wire::Incoming::PeerGet {
+            id,
+            key,
+            fingerprint,
+        }) => {
+            // Answered inline from the verdict cache (a peek: a peer's
+            // probe is not a local request and must not skew the warm
+            // accounting or the LRU clock). The asking node validates
+            // the certificate — this side only hands over the evidence.
+            let response = match shared.verdicts.peek((key, fingerprint)) {
+                Some(entry) => {
+                    shared.peer_served.fetch_add(1, Ordering::Relaxed);
+                    obs::counter("fabric.peer_served").inc();
+                    wire::Response::PeerVerdict {
+                        id,
+                        hit: true,
+                        exit: entry.exit,
+                        render: entry.render.clone(),
+                        clusters: entry.clusters.clone(),
+                        trace: Some(
+                            Json::parse(&entry.trace_json)
+                                .expect("journaled traces are valid JSON"),
+                        ),
+                    }
+                }
+                None => wire::Response::PeerVerdict {
+                    id,
+                    hit: false,
+                    exit: 0,
+                    render: String::new(),
+                    clusters: Vec::new(),
+                    trace: None,
+                },
+            };
+            return send_response(writer, shared, &response);
+        }
         Err(e) => {
             shared.rejected_frames.fetch_add(1, Ordering::Relaxed);
             obs::counter("server.frames_rejected").inc();
@@ -1337,6 +1448,16 @@ fn process(job: &Job, shared: &Shared) -> wire::Response {
                 stats,
             };
         }
+        // Still a miss locally — but the fabric member that owns this
+        // content key may hold a journaled verdict. Fetching and
+        // re-validating its certificate is far cheaper than a cold
+        // check; a failed fetch (or a failed gate) just falls through
+        // to the cold path below.
+        if let Some(response) =
+            peer_tier(job, shared, session.key(), fingerprint, cache_hit, queue_us)
+        {
+            return response;
+        }
     }
 
     let mut config = CheckerConfig {
@@ -1468,6 +1589,288 @@ fn process(job: &Job, shared: &Shared) -> wire::Response {
     }
 }
 
+/// How long a peer fetch may take end to end (connect, send, read one
+/// line). A slow or dead owner must cost less than the cold check the
+/// fetch is trying to save; past this the node simply checks locally.
+const PEER_FETCH_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// The fabric peer verdict tier: on a local verdict-cache miss, ask the
+/// ring owner of this content key for its journaled verdict, and serve
+/// it warm **only** after the certificate gate passes — the journal
+/// recovery invariant extended across the wire. Anything else (owner is
+/// self, owner unreachable, owner misses, torn frame, failed gate)
+/// returns `None` and the caller runs a local cold check; the tier can
+/// degrade latency, never correctness and never availability.
+fn peer_tier(
+    job: &Job,
+    shared: &Shared,
+    key: u64,
+    fingerprint: u64,
+    cache_hit: bool,
+    queue_us: u64,
+) -> Option<wire::Response> {
+    let req = &job.request;
+    let hex_key = format!("{key:016x}");
+    let owner_addr = {
+        let peers = lock(&shared.peers);
+        let peers = peers.as_ref()?;
+        let owner = peers.ring.owner(key)?;
+        if owner.name == peers.self_name {
+            return None; // this node owns the key: nothing to ask
+        }
+        owner.addr.clone()
+    };
+    // Injected fabric faults, keyed by the program's content key so a
+    // chaos drill can predict exactly which fetches are damaged.
+    let fault = shared.config.faults.fire(FaultSite::PeerFetch, &hex_key);
+    match fault {
+        Some(FaultKind::Stall) => {
+            // A slow peer: burn half the fetch budget before even
+            // connecting. The fetch still has to fit the overall
+            // timeout, so a stalled owner degrades to a miss, bounded.
+            shared.wire_faults.fetch_add(1, Ordering::Relaxed);
+            obs::counter("server.wire_faults").inc();
+            std::thread::sleep(PEER_FETCH_TIMEOUT / 2);
+        }
+        Some(FaultKind::IoError) => {
+            // The fetch fails outright — owner unreachable.
+            shared.wire_faults.fetch_add(1, Ordering::Relaxed);
+            obs::counter("server.wire_faults").inc();
+            shared.peer_misses.fetch_add(1, Ordering::Relaxed);
+            obs::counter("fabric.peer_misses").inc();
+            return None;
+        }
+        Some(FaultKind::TornWrite) => {
+            shared.wire_faults.fetch_add(1, Ordering::Relaxed);
+            obs::counter("server.wire_faults").inc();
+            // Applied to the fetched line below.
+        }
+        _ => {}
+    }
+    let frame = wire::peer_get_request_json(&req.id, key, fingerprint);
+    let line = match fetch_peer_line(&owner_addr, &frame) {
+        Ok(mut line) => {
+            if fault == Some(FaultKind::TornWrite) {
+                // The peer's response is torn mid-frame: the parse
+                // below must fail and downgrade to a miss.
+                line.truncate(line.len() / 2);
+            }
+            line
+        }
+        Err(_) => {
+            shared.peer_misses.fetch_add(1, Ordering::Relaxed);
+            obs::counter("fabric.peer_misses").inc();
+            return None;
+        }
+    };
+    let (exit, render, clusters, trace) = match wire::Response::from_json(line.trim_end()) {
+        Ok(wire::Response::PeerVerdict {
+            hit: true,
+            exit,
+            render,
+            clusters,
+            trace: Some(trace),
+            ..
+        }) => (exit, render, clusters, trace),
+        _ => {
+            // A miss frame, a torn/foreign frame, or a hit without its
+            // trace: nothing servable either way.
+            shared.peer_misses.fetch_add(1, Ordering::Relaxed);
+            obs::counter("fabric.peer_misses").inc();
+            return None;
+        }
+    };
+    let trace_json = trace.to_text();
+    let corrupt = fault == Some(FaultKind::CorruptCertificate);
+    match admit_peer(
+        shared,
+        key,
+        fingerprint,
+        exit,
+        &render,
+        &clusters,
+        &trace_json,
+        corrupt,
+    ) {
+        Ok(()) => {
+            shared.peer_accepted.fetch_add(1, Ordering::Relaxed);
+            obs::counter("fabric.peer_accepted").inc();
+            let wall_us = job.admitted.elapsed().as_micros() as u64;
+            shared.telemetry.request_us_warm.record(wall_us);
+            let certificate = req.want_certificate.then(|| trace.clone());
+            let stats = req.want_stats.then(|| stats_json(shared));
+            Some(wire::Response::Ok {
+                id: req.id.clone(),
+                cache_hit,
+                warm: true,
+                exit,
+                render,
+                clusters,
+                wall_us,
+                queue_us,
+                certificate,
+                stats,
+            })
+        }
+        Err(_reason) => {
+            shared.peer_rejected.fetch_add(1, Ordering::Relaxed);
+            obs::counter("fabric.peer_rejected").inc();
+            None // downgrade: the local cold check derives the truth
+        }
+    }
+}
+
+/// One bounded `peer_get` round trip over a fresh connection: connect,
+/// send, read one line, everything under [`PEER_FETCH_TIMEOUT`]. The
+/// transport is deliberately unpooled and short-deadlined — a dead or
+/// wedged owner costs at most one timeout before the caller downgrades
+/// to a cold check; it can never wedge a worker.
+fn fetch_peer_line(addr: &str, frame: &str) -> Result<String, String> {
+    let sock = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("resolve {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("no address for {addr}"))?;
+    let deadline = Instant::now() + PEER_FETCH_TIMEOUT;
+    let mut stream = TcpStream::connect_timeout(&sock, PEER_FETCH_TIMEOUT)
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(PEER_FETCH_TIMEOUT));
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let mut line = frame.to_owned();
+    line.push('\n');
+    stream
+        .write_all(line.as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    while !buf.ends_with(b"\n") {
+        if Instant::now() > deadline {
+            return Err("peer fetch timed out".into());
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err("peer closed mid-response".into()),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(format!("recv: {e}")),
+        }
+    }
+    String::from_utf8(buf).map_err(|_| "peer response is not UTF-8".into())
+}
+
+/// The certificate gate for a fetched peer verdict — the recovery
+/// invariant extended across the wire. The verdict is served (and made
+/// durable locally) **iff** (1) the trace's embedded source recompiles,
+/// (2) it recompiles to the content key the request resolved to (a
+/// confused or malicious peer answering for a different program is
+/// rejected wholesale), (3) the frame's cluster count matches the
+/// trace's, and (4) every cluster certificate re-validates through
+/// `certify::validate` against the *recompiled* session. Nothing in the
+/// peer's frame is trusted as received.
+#[allow(clippy::too_many_arguments)]
+fn admit_peer(
+    shared: &Shared,
+    key: u64,
+    fingerprint: u64,
+    exit: i32,
+    render: &str,
+    clusters: &[wire::ClusterVerdict],
+    trace_json: &str,
+    corrupt: bool,
+) -> Result<(), String> {
+    if exit > 1 {
+        return Err("peer verdict is not stable (exit > 1)".into());
+    }
+    let mut trace =
+        certify::from_json(trace_json).map_err(|e| format!("unparseable trace: {e}"))?;
+    let session = Arc::new(
+        Session::compile(&trace.source, "<peer>")
+            .map_err(|e| format!("embedded source does not compile: {e}"))?,
+    );
+    if session.key() != key {
+        return Err(format!(
+            "content key mismatch: request resolves to {:016x}, peer's source compiles to {:016x}",
+            key,
+            session.key()
+        ));
+    }
+    if trace.clusters.len() != clusters.len() {
+        return Err("cluster count disagrees between frame and trace".into());
+    }
+    if corrupt {
+        // Injected fabric corruption (chaos drills): damage the fetched
+        // evidence with a saturating plan, push it through the same
+        // validator a real in-flight bit-flip would meet, and reject
+        // regardless — the same deterministic-counters policy as the
+        // journal replay gate.
+        let plan = FaultPlan::new(0)
+            .inject(FaultSite::CertWitness, FaultKind::CorruptCertificate, 1.0)
+            .inject(FaultSite::CertCore, FaultKind::CorruptCertificate, 1.0)
+            .inject(FaultSite::CertSlice, FaultKind::CorruptCertificate, 1.0);
+        for cluster in &mut trace.clusters {
+            certify::corrupt(&mut cluster.certificate, &plan);
+            if let certify::Validation::Mismatch { reason } =
+                certify::validate(session.analyses(), &cluster.certificate, &cluster.claimed)
+            {
+                return Err(format!("injected corruption detected: {reason}"));
+            }
+        }
+        return Err("injected corruption (certificate immune; rejected by policy)".into());
+    }
+    for cluster in &trace.clusters {
+        match certify::validate(session.analyses(), &cluster.certificate, &cluster.claimed) {
+            certify::Validation::Confirmed { .. } => {}
+            certify::Validation::Mismatch { reason } => {
+                return Err(format!(
+                    "certificate for `{}` does not re-validate: {reason}",
+                    cluster.func_name
+                ));
+            }
+        }
+    }
+    // Gate passed: the verdict is as trustworthy as a locally-derived
+    // one. Warm both caches and journal it — the key now survives a
+    // restart of *this* node too, and future peers can fetch it from
+    // here.
+    shared.cache.admit(key, session);
+    shared.verdicts.insert(
+        (key, fingerprint),
+        VerdictEntry {
+            exit,
+            render: render.to_owned(),
+            clusters: clusters.to_vec(),
+            trace_json: Arc::new(trace_json.to_owned()),
+        },
+    );
+    if let Some(j) = &shared.journal {
+        let record = JournalRecord {
+            key,
+            fingerprint,
+            exit,
+            render: render.to_owned(),
+            clusters: clusters
+                .iter()
+                .map(|c| {
+                    (
+                        c.func.clone(),
+                        c.sites,
+                        c.verdict.clone(),
+                        c.refinements,
+                        c.wall_us,
+                    )
+                })
+                .collect(),
+            trace_json: trace_json.to_owned(),
+        };
+        let _ = lock(j).append(&record);
+    }
+    Ok(())
+}
+
 /// Fingerprint of the checker configuration a request resolves to —
 /// the second half of the verdict-cache key. Covers every knob that can
 /// change a verdict or its evidence (reducer, search order, budget,
@@ -1516,9 +1919,18 @@ fn stats_json(shared: &Shared) -> Json {
                 name,
                 Json::Obj(vec![
                     ("count".into(), Json::Num(h.count as i64)),
-                    ("p50_us".into(), Json::Num(h.quantile(0.50) as i64)),
-                    ("p95_us".into(), Json::Num(h.quantile(0.95) as i64)),
-                    ("p99_us".into(), Json::Num(h.quantile(0.99) as i64)),
+                    (
+                        "p50_us".into(),
+                        Json::Num(h.quantile_interpolated(0.50) as i64),
+                    ),
+                    (
+                        "p95_us".into(),
+                        Json::Num(h.quantile_interpolated(0.95) as i64),
+                    ),
+                    (
+                        "p99_us".into(),
+                        Json::Num(h.quantile_interpolated(0.99) as i64),
+                    ),
                 ]),
             )
         })
@@ -1593,12 +2005,42 @@ fn stats_json(shared: &Shared) -> Json {
 pub struct Client {
     addr: SocketAddr,
     retry: u32,
+    /// Seed for this client's deterministic backoff jitter.
+    jitter_seed: u64,
     writer: TcpStream,
     reader: BufReader<TcpStream>,
 }
 
 /// First reconnect backoff; doubles per attempt, capped at 500ms.
 const RETRY_BACKOFF: Duration = Duration::from_millis(20);
+
+/// Per-process client counter: successive clients get distinct jitter
+/// seeds even when they target the same address.
+static CLIENT_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// The jitter seed for the `n`-th client of `addr` in this process.
+fn jitter_seed(addr: SocketAddr) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in addr.to_string().bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ CLIENT_SEQ
+        .fetch_add(1, Ordering::Relaxed)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// `backoff` stretched by a deterministic jitter in [1.0, 1.5), derived
+/// from `(seed, attempt)`. N clients retrying a restarted daemon used
+/// to sleep in lockstep and stampede the fresh listener together; the
+/// seed spreads them out while keeping every drill run reproducible —
+/// no clocks, no global RNG, just the client's identity.
+fn jittered(backoff: Duration, seed: u64, attempt: u32) -> Duration {
+    let mut h = seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    backoff + backoff.mul_f64((h % 1024) as f64 / 2048.0)
+}
 
 impl Client {
     /// Connects to a running daemon. No retry: transport failures
@@ -1614,6 +2056,7 @@ impl Client {
         Ok(Client {
             addr,
             retry: 0,
+            jitter_seed: jitter_seed(addr),
             writer,
             reader: BufReader::new(stream),
         })
@@ -1621,7 +2064,9 @@ impl Client {
 
     /// Connects with up to `attempts` bounded retries on transient
     /// connect failures (refused/reset while a daemon is restarting),
-    /// backing off exponentially from 20ms (capped at 500ms). The
+    /// backing off exponentially from 20ms (capped at 500ms) with
+    /// deterministic per-client jitter — concurrent clients spread out
+    /// instead of stampeding the restarted daemon in lockstep. The
     /// returned client keeps the same retry budget for each
     /// [`Client::request`].
     ///
@@ -1629,17 +2074,19 @@ impl Client {
     ///
     /// The last I/O error once the attempts are exhausted.
     pub fn connect_retrying(addr: SocketAddr, attempts: u32) -> std::io::Result<Client> {
+        let seed = jitter_seed(addr);
         let mut backoff = RETRY_BACKOFF;
         let mut tried = 0;
         loop {
             match Client::connect(addr) {
                 Ok(mut client) => {
                     client.retry = attempts;
+                    client.jitter_seed = seed;
                     return Ok(client);
                 }
                 Err(e) if tried < attempts && transient(&e) => {
                     tried += 1;
-                    std::thread::sleep(backoff);
+                    std::thread::sleep(jittered(backoff, seed, tried));
                     backoff = (backoff * 2).min(Duration::from_millis(500));
                 }
                 Err(e) => return Err(e),
@@ -1672,7 +2119,7 @@ impl Client {
                 Ok(response) => return Ok(response),
                 Err(e) if tried < self.retry => {
                     tried += 1;
-                    std::thread::sleep(backoff);
+                    std::thread::sleep(jittered(backoff, self.jitter_seed, tried));
                     backoff = (backoff * 2).min(Duration::from_millis(500));
                     // Reconnect; a dead daemon just burns the budget.
                     if let Ok(fresh) = Client::connect_retrying(self.addr, self.retry - tried) {

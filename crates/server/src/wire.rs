@@ -58,6 +58,19 @@ pub enum Incoming {
         /// Client-chosen correlation id.
         id: String,
     },
+    /// Fabric peer lookup (`op: "peer_get"`; answered inline): does the
+    /// responder's verdict cache hold a journaled verdict for this
+    /// content key + configuration fingerprint? The answer always
+    /// carries the certificate trace — the asking node re-validates it
+    /// locally before trusting anything in the frame.
+    PeerGet {
+        /// Client-chosen correlation id.
+        id: String,
+        /// Content key of the resolved program.
+        key: u64,
+        /// Fingerprint of the checker configuration.
+        fingerprint: u64,
+    },
 }
 
 impl Incoming {
@@ -86,6 +99,19 @@ impl Incoming {
             Some("metrics") => Ok(Incoming::Metrics { id }),
             Some("slow_traces") => Ok(Incoming::SlowTraces { id }),
             Some("ping" | "health") => Ok(Incoming::Ping { id }),
+            Some("peer_get") => {
+                let hex = |name: &str| -> Result<u64, JsonError> {
+                    doc.field(name)
+                        .and_then(Json::as_str)
+                        .and_then(|s| u64::from_str_radix(s, 16).ok())
+                        .ok_or_else(|| bad(&format!("missing hex field `{name}`")))
+                };
+                Ok(Incoming::PeerGet {
+                    id,
+                    key: hex("key")?,
+                    fingerprint: hex("fp")?,
+                })
+            }
             Some(other) => Err(bad(&format!("unknown `op` `{other}`"))),
         }
     }
@@ -117,6 +143,18 @@ pub fn ping_request_json(id: &str) -> String {
         ("schema".into(), Json::Str(WIRE_SCHEMA.into())),
         ("op".into(), Json::Str("ping".into())),
         ("id".into(), Json::Str(id.to_owned())),
+    ])
+    .to_text()
+}
+
+/// The frame a [`Incoming::PeerGet`] request serializes to.
+pub fn peer_get_request_json(id: &str, key: u64, fingerprint: u64) -> String {
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(WIRE_SCHEMA.into())),
+        ("op".into(), Json::Str("peer_get".into())),
+        ("id".into(), Json::Str(id.to_owned())),
+        ("key".into(), Json::Str(format!("{key:016x}"))),
+        ("fp".into(), Json::Str(format!("{fingerprint:016x}"))),
     ])
     .to_text()
 }
@@ -352,6 +390,26 @@ pub enum Response {
         /// `torn`/…), when a journal is attached.
         journal: Option<Json>,
     },
+    /// Fabric peer lookup answer. On a hit the frame carries the full
+    /// journaled verdict *plus its certificate trace*; the asker must
+    /// recompile the embedded source and re-validate the trace before
+    /// serving any of it (nothing in this frame is trusted as received).
+    PeerVerdict {
+        /// Echoed request id.
+        id: String,
+        /// Whether the responder's verdict cache held `(key, fp)`.
+        hit: bool,
+        /// `pathslice check` exit code (hit only).
+        exit: i32,
+        /// Verdicts rendered exactly as `pathslice check` prints them
+        /// (hit only).
+        render: String,
+        /// Structured per-cluster verdicts (hit only).
+        clusters: Vec<ClusterVerdict>,
+        /// `pathslice-trace/v1` certificate document (hit only) — the
+        /// thing the asker's certificate gate validates.
+        trace: Option<Json>,
+    },
 }
 
 impl Response {
@@ -363,7 +421,8 @@ impl Response {
             | Response::Error { id, .. }
             | Response::Metrics { id, .. }
             | Response::SlowTraces { id, .. }
-            | Response::Health { id, .. } => id,
+            | Response::Health { id, .. }
+            | Response::PeerVerdict { id, .. } => id,
         }
     }
 
@@ -392,23 +451,7 @@ impl Response {
                     ),
                     ("exit".into(), Json::Num(*exit as i64)),
                     ("render".into(), Json::Str(render.clone())),
-                    (
-                        "clusters".into(),
-                        Json::Arr(
-                            clusters
-                                .iter()
-                                .map(|c| {
-                                    Json::Obj(vec![
-                                        ("func".into(), Json::Str(c.func.clone())),
-                                        ("sites".into(), Json::Num(c.sites as i64)),
-                                        ("verdict".into(), Json::Str(c.verdict.clone())),
-                                        ("refinements".into(), Json::Num(c.refinements as i64)),
-                                        ("wall_us".into(), Json::Num(c.wall_us as i64)),
-                                    ])
-                                })
-                                .collect(),
-                        ),
-                    ),
+                    ("clusters".into(), clusters_to_json(clusters)),
                     ("wall_us".into(), Json::Num(*wall_us as i64)),
                     ("queue_us".into(), Json::Num(*queue_us as i64)),
                 ];
@@ -468,6 +511,30 @@ impl Response {
                 ];
                 if let Some(j) = journal {
                     fields.push(("journal".into(), j.clone()));
+                }
+                Json::Obj(fields)
+            }
+            Response::PeerVerdict {
+                id,
+                hit,
+                exit,
+                render,
+                clusters,
+                trace,
+            } => {
+                let mut fields = vec![
+                    ("schema".into(), Json::Str(WIRE_SCHEMA.into())),
+                    ("id".into(), Json::Str(id.clone())),
+                    ("status".into(), Json::Str("peer_verdict".into())),
+                    ("hit".into(), Json::Bool(*hit)),
+                ];
+                if *hit {
+                    fields.push(("exit".into(), Json::Num(*exit as i64)));
+                    fields.push(("render".into(), Json::Str(render.clone())));
+                    fields.push(("clusters".into(), clusters_to_json(clusters)));
+                    if let Some(t) = trace {
+                        fields.push(("trace".into(), t.clone()));
+                    }
                 }
                 Json::Obj(fields)
             }
@@ -535,38 +602,41 @@ impl Response {
                     .unwrap_or("unknown error")
                     .to_owned(),
             }),
+            Some("peer_verdict") => {
+                let hit = matches!(doc.field("hit"), Some(Json::Bool(true)));
+                if !hit {
+                    return Ok(Response::PeerVerdict {
+                        id,
+                        hit: false,
+                        exit: 0,
+                        render: String::new(),
+                        clusters: Vec::new(),
+                        trace: None,
+                    });
+                }
+                Ok(Response::PeerVerdict {
+                    id,
+                    hit: true,
+                    exit: doc
+                        .field("exit")
+                        .and_then(Json::as_i64)
+                        .ok_or_else(|| bad("missing `exit`"))? as i32,
+                    render: doc
+                        .field("render")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| bad("missing `render`"))?
+                        .to_owned(),
+                    clusters: clusters_from_json(&doc)?,
+                    trace: doc.field("trace").cloned(),
+                })
+            }
             Some("ok") => {
                 let num = |name: &str| -> Result<i64, JsonError> {
                     doc.field(name)
                         .and_then(Json::as_i64)
                         .ok_or_else(|| bad(&format!("missing numeric field `{name}`")))
                 };
-                let mut clusters = Vec::new();
-                for c in doc
-                    .field("clusters")
-                    .and_then(Json::as_arr)
-                    .ok_or_else(|| bad("missing `clusters` array"))?
-                {
-                    let cstr = |name: &str| -> Result<String, JsonError> {
-                        c.field(name)
-                            .and_then(Json::as_str)
-                            .map(str::to_owned)
-                            .ok_or_else(|| bad(&format!("cluster missing `{name}`")))
-                    };
-                    let cnum = |name: &str| -> Result<u64, JsonError> {
-                        match c.field(name).and_then(Json::as_i64) {
-                            Some(n) if n >= 0 => Ok(n as u64),
-                            _ => Err(bad(&format!("cluster missing `{name}`"))),
-                        }
-                    };
-                    clusters.push(ClusterVerdict {
-                        func: cstr("func")?,
-                        sites: cnum("sites")?,
-                        verdict: cstr("verdict")?,
-                        refinements: cnum("refinements")?,
-                        wall_us: cnum("wall_us")?,
-                    });
-                }
+                let clusters = clusters_from_json(&doc)?;
                 Ok(Response::Ok {
                     id,
                     cache_hit: match doc.field("cache").and_then(Json::as_str) {
@@ -591,6 +661,57 @@ impl Response {
             _ => Err(bad("unknown response `status`")),
         }
     }
+}
+
+/// Serializes structured cluster verdicts (shared by `ok` and
+/// `peer_verdict` frames, which must agree byte-for-byte on this shape).
+fn clusters_to_json(clusters: &[ClusterVerdict]) -> Json {
+    Json::Arr(
+        clusters
+            .iter()
+            .map(|c| {
+                Json::Obj(vec![
+                    ("func".into(), Json::Str(c.func.clone())),
+                    ("sites".into(), Json::Num(c.sites as i64)),
+                    ("verdict".into(), Json::Str(c.verdict.clone())),
+                    ("refinements".into(), Json::Num(c.refinements as i64)),
+                    ("wall_us".into(), Json::Num(c.wall_us as i64)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Parses the `clusters` array out of a response document.
+fn clusters_from_json(doc: &Json) -> Result<Vec<ClusterVerdict>, JsonError> {
+    let bad = |m: String| JsonError { message: m, at: 0 };
+    let mut clusters = Vec::new();
+    for c in doc
+        .field("clusters")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("missing `clusters` array".into()))?
+    {
+        let cstr = |name: &str| -> Result<String, JsonError> {
+            c.field(name)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| bad(format!("cluster missing `{name}`")))
+        };
+        let cnum = |name: &str| -> Result<u64, JsonError> {
+            match c.field(name).and_then(Json::as_i64) {
+                Some(n) if n >= 0 => Ok(n as u64),
+                _ => Err(bad(format!("cluster missing `{name}`"))),
+            }
+        };
+        clusters.push(ClusterVerdict {
+            func: cstr("func")?,
+            sites: cnum("sites")?,
+            verdict: cstr("verdict")?,
+            refinements: cnum("refinements")?,
+            wall_us: cnum("wall_us")?,
+        });
+    }
+    Ok(clusters)
 }
 
 #[cfg(test)]
@@ -768,6 +889,74 @@ mod tests {
         let frame = cold.to_json();
         assert!(!frame.contains("warm"), "cold frames omit the field");
         assert_eq!(Response::from_json(&frame).unwrap(), cold);
+    }
+
+    #[test]
+    fn peer_get_roundtrips_and_rejects_missing_hex() {
+        let frame = peer_get_request_json("pg-1", 0xDEAD_BEEF, 0xF00D);
+        assert_eq!(
+            Incoming::from_json(&frame).unwrap(),
+            Incoming::PeerGet {
+                id: "pg-1".into(),
+                key: 0xDEAD_BEEF,
+                fingerprint: 0xF00D,
+            }
+        );
+        assert!(!frame.contains('\n'), "frames stay single-line");
+        assert!(
+            Incoming::from_json("{\"schema\":\"pathslice-wire/v1\",\"op\":\"peer_get\"}").is_err(),
+            "key/fp are mandatory"
+        );
+        assert!(Incoming::from_json(
+            "{\"schema\":\"pathslice-wire/v1\",\"op\":\"peer_get\",\"key\":\"zz\",\"fp\":\"1\"}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn peer_verdict_roundtrips_hit_and_miss() {
+        let hit = Response::PeerVerdict {
+            id: "pv".into(),
+            hit: true,
+            exit: 1,
+            render: "main  BUG\n".into(),
+            clusters: vec![ClusterVerdict {
+                func: "main".into(),
+                sites: 1,
+                verdict: "BUG".into(),
+                refinements: 2,
+                wall_us: 99,
+            }],
+            trace: Some(Json::Obj(vec![(
+                "schema".into(),
+                Json::Str("pathslice-trace/v1".into()),
+            )])),
+        };
+        let miss = Response::PeerVerdict {
+            id: "pv2".into(),
+            hit: false,
+            exit: 0,
+            render: String::new(),
+            clusters: Vec::new(),
+            trace: None,
+        };
+        for resp in [hit, miss] {
+            let frame = resp.to_json();
+            assert!(!frame.contains('\n'), "frames stay single-line");
+            assert_eq!(Response::from_json(&frame).unwrap(), resp, "{resp:?}");
+        }
+        // A miss frame carries no verdict material at all.
+        let miss_frame = Response::PeerVerdict {
+            id: "m".into(),
+            hit: false,
+            exit: 0,
+            render: String::new(),
+            clusters: Vec::new(),
+            trace: None,
+        }
+        .to_json();
+        assert!(!miss_frame.contains("render"));
+        assert!(!miss_frame.contains("trace"));
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Property tests for the fabric's consistent-hash ring
+//! (`rt::ring::Ring`): the placement invariants the router's failover
+//! and warm-cache affinity depend on.
+//!
+//! * **Join moves keys only onto the joiner** — every key that does not
+//!   land on the new member keeps its previous owner (exact), and the
+//!   moved fraction is in the ~K/N ballpark, not a reshuffle.
+//! * **Leave moves keys only off the leaver** — a key owned by a
+//!   surviving member never changes hands (exact).
+//! * **Down members are never returned** — `owner`/`successors` skip
+//!   them under any up/down marking, and answer `None`/empty only when
+//!   everyone is down.
+//! * **Placement is name-determined** — join order is irrelevant.
+
+use proptest::prelude::*;
+use rt::ring::Ring;
+
+/// A ring of `n` members named `m0..m{n-1}`.
+fn ring_of(n: usize) -> Ring {
+    Ring::new((0..n).map(|i| (format!("m{i}"), format!("127.0.0.1:{}", 7000 + i))))
+}
+
+/// Deterministic pseudo-random key stream (splitmix64) so every case
+/// probes a spread of ring positions.
+fn keys(seed: u64, count: usize) -> Vec<u64> {
+    let mut state = seed;
+    (0..count)
+        .map(|_| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Joining a member steals keys *only for itself*: any key not owned
+    /// by the joiner afterwards kept its previous owner. The stolen
+    /// share is bounded: roughly K/N, asserted with generous slack
+    /// (never the ~100% a `key % n` scheme would reshuffle).
+    #[test]
+    fn join_moves_keys_only_onto_the_joiner(n in 2usize..8, seed in 0u64..1000) {
+        let sample = keys(seed, 400);
+        let mut ring = ring_of(n);
+        let before: Vec<String> = sample
+            .iter()
+            .map(|&k| ring.owner(k).unwrap().name.clone())
+            .collect();
+        ring.join("joiner", "127.0.0.1:7999");
+        let mut moved = 0usize;
+        for (&k, old) in sample.iter().zip(&before) {
+            let now = ring.owner(k).unwrap().name.clone();
+            if now == "joiner" {
+                moved += 1;
+            } else {
+                prop_assert_eq!(&now, old, "key {:#x} changed owner without moving to the joiner", k);
+            }
+        }
+        // Expected share is K/(n+1); allow 3× for hash variance.
+        let bound = 3 * sample.len() / (n + 1);
+        prop_assert!(moved <= bound, "joiner stole {moved}/{} keys (n={n})", sample.len());
+    }
+
+    /// Removing a member moves only the keys it owned: every key owned
+    /// by a survivor keeps that exact owner.
+    #[test]
+    fn leave_moves_keys_only_off_the_leaver(n in 2usize..8, victim in 0usize..8, seed in 0u64..1000) {
+        let victim = victim % n;
+        let victim_name = format!("m{victim}");
+        let sample = keys(seed, 400);
+        let mut ring = ring_of(n);
+        let before: Vec<String> = sample
+            .iter()
+            .map(|&k| ring.owner(k).unwrap().name.clone())
+            .collect();
+        prop_assert!(ring.leave(&victim_name));
+        for (&k, old) in sample.iter().zip(&before) {
+            let now = ring.owner(k).unwrap().name.clone();
+            prop_assert!(now != victim_name, "owner must not be the removed member");
+            if old != &victim_name {
+                prop_assert_eq!(&now, old, "key {:#x} abandoned a surviving owner", k);
+            }
+        }
+    }
+
+    /// Under any up/down marking, a lookup never returns a down member;
+    /// `successors` lists each up member exactly once; and the answer is
+    /// `None`/empty exactly when everyone is down.
+    #[test]
+    fn lookups_never_return_a_down_member(n in 1usize..8, mask in 0u32..256, seed in 0u64..1000) {
+        let mut ring = ring_of(n);
+        let mut up_names: Vec<String> = Vec::new();
+        for i in 0..n {
+            let up = mask & (1 << i) != 0;
+            ring.set_up(&format!("m{i}"), up);
+            if up {
+                up_names.push(format!("m{i}"));
+            }
+        }
+        for k in keys(seed, 50) {
+            let succ = ring.successors(k);
+            prop_assert_eq!(succ.len(), up_names.len(), "every up member appears exactly once");
+            for m in &succ {
+                prop_assert!(m.up);
+                prop_assert!(up_names.contains(&m.name));
+            }
+            match ring.owner(k) {
+                Some(owner) => prop_assert!(!up_names.is_empty() && owner.up),
+                None => prop_assert!(up_names.is_empty(), "owner may be None only when all are down"),
+            }
+        }
+    }
+
+    /// Placement depends on member *names*, not join order: rotating the
+    /// join order yields identical owners for every key.
+    #[test]
+    fn placement_is_join_order_independent(n in 2usize..8, rot in 1usize..8, seed in 0u64..1000) {
+        let rot = rot % n;
+        let members: Vec<(String, String)> =
+            (0..n).map(|i| (format!("m{i}"), format!("127.0.0.1:{}", 7000 + i))).collect();
+        let ring_a = Ring::new(members.clone());
+        let mut rotated = members;
+        rotated.rotate_left(rot);
+        let ring_b = Ring::new(rotated);
+        for k in keys(seed, 200) {
+            prop_assert_eq!(
+                ring_a.owner(k).unwrap().name.clone(),
+                ring_b.owner(k).unwrap().name.clone()
+            );
+        }
+    }
+}

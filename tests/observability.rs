@@ -208,6 +208,51 @@ fn histogram_bucket_boundaries_are_exact() {
     assert_eq!(snap.quantile(1.0), u64::MAX);
 }
 
+/// `quantile_interpolated` must place its estimate *inside* the rank's
+/// bucket — never quote the bucket ceiling for samples that sit at the
+/// bottom of a wide bucket (the `hist_p50_us: 65535` defect) — while
+/// staying within the same factor-of-two error bound as `quantile`.
+#[test]
+fn interpolated_quantiles_stay_inside_their_bucket() {
+    // 100 identical samples near the bottom of the [32768, 65536)
+    // bucket: the ceiling estimator answers 65535 for every quantile;
+    // the interpolated one must stay in-bucket and, for low ranks,
+    // well below the ceiling.
+    let h = obs::Histogram::new();
+    for _ in 0..100 {
+        h.record(33_000);
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.quantile(0.50), 65_535, "ceiling form is unchanged");
+    let p50 = snap.quantile_interpolated(0.50);
+    assert!(
+        (32_768..=65_535).contains(&p50),
+        "p50 {p50} escaped the samples' bucket"
+    );
+    assert!(p50 < 65_535, "p50 {p50} is still the bucket ceiling");
+    // Monotone in q, and q=1.0 reaches the bucket's top.
+    let p99 = snap.quantile_interpolated(0.99);
+    assert!(p50 <= p99 && p99 <= snap.quantile_interpolated(1.0));
+    assert_eq!(snap.quantile_interpolated(1.0), 65_535);
+
+    // Degenerate shapes: empty, all-zero, and the top bucket must not
+    // overflow or escape their bounds.
+    assert_eq!(
+        obs::HistogramSnapshot::default().quantile_interpolated(0.5),
+        0
+    );
+    let zeros = obs::Histogram::new();
+    zeros.record(0);
+    assert_eq!(zeros.snapshot().quantile_interpolated(0.5), 0);
+    let top = obs::Histogram::new();
+    top.record(u64::MAX);
+    let t = top.snapshot().quantile_interpolated(0.5);
+    assert!(
+        t >= 1 << 63,
+        "top-bucket estimate {t} below the bucket floor"
+    );
+}
+
 /// Snapshots taken while writers are mid-flight must be internally
 /// sane: never more samples than were written, never shrinking, and
 /// exact once the writers join. (The per-field atomics are relaxed, so
