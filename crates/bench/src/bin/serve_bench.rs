@@ -12,10 +12,11 @@
 //! serve_bench [small|medium|full]
 //!             [--requests <n>] [--concurrency <c>] [--repeat-ratio <r>]
 //!             [--rate <req/s>] [--seed <s>] [--server-jobs <n>]
+//!             [--pipeline <depth>] [--connections <n>]
 //!             [--json] [--smoke] [--metrics-out <metrics.prom>]
 //!             [--trace-out <spans.json>]
 //!             [--journal <dir>] [--attach <host:port>] [--no-retry]
-//!             [--drill restart] [--fabric <n>]
+//!             [--drill restart|pipeline] [--fabric <n>]
 //! ```
 //!
 //! Each request is a distinct generated workload program (seed-varied)
@@ -51,6 +52,24 @@
 //! assert the recovery counters and that every recovered verdict is
 //! served warm, byte-identical to a cold journal-less control.
 //!
+//! `--pipeline <depth>` switches the load run's connections to
+//! `pathslice-wire/v2` with up to `depth` requests in flight per
+//! connection (frames are correlated by response id, so completions may
+//! return out of order). Pipelined sends are fire-and-forget — the
+//! transport retry loop does not apply; a torn connection fails its
+//! in-flight window.
+//!
+//! `--drill pipeline` is the high-concurrency drill: `--connections`
+//! (default 1024) persistent sockets are opened *simultaneously*, the
+//! cache is primed with a handful of distinct programs, and every
+//! connection then pipelines its share of `--requests` warm checks as
+//! one v2 burst. Gates (all deterministic): zero failed requests, zero
+//! sheds (`server.overloaded == 0` — warm checks ride the fast lane,
+//! which must absorb the whole burst), every response `cache: hit` and
+//! byte-identical to the batch `pathslice check` verdict for its
+//! program. Cache-hit throughput is printed as an advisory wall-clock
+//! number (CI runs on whatever core count it gets).
+//!
 //! `--fabric <n>` runs the multi-node drill instead of a load run:
 //! `n` journaled, peer-enrolled daemons behind a `fabric::Router`,
 //! mixed repeat-heavy load through the router, and a
@@ -68,6 +87,7 @@ use obs::json::Json;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use server::{wire, Client, Server, ServerConfig};
+use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -276,6 +296,313 @@ fn drill_restart(seed: u64, requests: usize, server_jobs: usize, retry: u32) {
         "drill restart: OK ({half} verdict(s) recovered and re-validated, \
          {half} warm replay(s) byte-identical to a cold control, journal at {})",
         journal_dir.display()
+    );
+}
+
+/// Reads one pipelined response off `client`, resolving it against the
+/// in-flight window by id. Returns `false` when the connection is gone
+/// (the remaining window is charged as failures).
+fn read_pipelined(
+    client: &mut Client,
+    inflight: &mut HashMap<String, Instant>,
+    samples: &mut Vec<Sample>,
+    failures: &mut Vec<String>,
+) -> bool {
+    match client.read_response() {
+        Ok(response) => {
+            let Some(sent_at) = inflight.remove(response.id()) else {
+                failures.push(format!("unsolicited response id `{}`", response.id()));
+                return true;
+            };
+            match response {
+                wire::Response::Ok { cache_hit, .. } => samples.push(Sample {
+                    latency: sent_at.elapsed(),
+                    cache_hit,
+                }),
+                other => failures.push(format!("{}: {other:?}", other.id())),
+            }
+            true
+        }
+        Err(e) => {
+            for id in inflight.drain().map(|(id, _)| id) {
+                failures.push(format!("{id}: connection lost ({e})"));
+            }
+            false
+        }
+    }
+}
+
+/// One connection's share of a pipelined (`--pipeline <depth>`) load
+/// run: `pathslice-wire/v2` frames, a sliding window of `depth` in
+/// flight, completions correlated by id.
+#[allow(clippy::too_many_arguments)]
+fn pipelined_connection(
+    addr: SocketAddr,
+    retry: u32,
+    depth: usize,
+    mine: Vec<(usize, u64)>,
+    t0: Instant,
+    interval: Option<Duration>,
+) -> (Vec<Sample>, Vec<String>) {
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    let mut client = match Client::connect_retrying(addr, retry) {
+        Ok(c) => c,
+        Err(e) => {
+            failures.push(format!("connect: {e}"));
+            return (samples, failures);
+        }
+    };
+    let mut inflight: HashMap<String, Instant> = HashMap::new();
+    for (i, program_seed) in mine {
+        if let Some(interval) = interval {
+            // Open-loop: request i is *due* at t0 + i·Δ; if we are
+            // behind, send immediately (burst).
+            let due = t0 + interval * i as u32;
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+        }
+        while inflight.len() >= depth.max(1) {
+            if !read_pipelined(&mut client, &mut inflight, &mut samples, &mut failures) {
+                return (samples, failures);
+            }
+        }
+        let mut request = wire::Request::new(&generate(&spec(program_seed)).source);
+        request.id = format!("r{i}");
+        let frame = request.to_json_versioned(wire::WireVersion::V2);
+        match client.send_frame(&frame) {
+            Ok(()) => {
+                inflight.insert(request.id, Instant::now());
+            }
+            Err(e) => failures.push(format!("r{i}: {e}")),
+        }
+    }
+    while !inflight.is_empty() {
+        if !read_pipelined(&mut client, &mut inflight, &mut samples, &mut failures) {
+            break;
+        }
+    }
+    (samples, failures)
+}
+
+/// `--drill pipeline`: the high-concurrency pipelining drill.
+///
+/// Opens `connections` persistent sockets *simultaneously* (all are
+/// connected before any frame is sent), primes the daemon's cache with
+/// a handful of distinct programs, then has every connection pipeline
+/// its share of warm checks as one `pathslice-wire/v2` burst and read
+/// the completions back by id. Every gate is deterministic: zero failed
+/// requests, zero sheds (warm checks ride the fast admission lane,
+/// sized here to absorb the whole burst), every response a cache hit
+/// and byte-identical to the batch `pathslice check` verdict for its
+/// program. Throughput is printed but not asserted — wall-clock belongs
+/// to the hardware, the invariants belong to this drill.
+fn drill_pipeline(
+    seed: u64,
+    connections: usize,
+    requests: usize,
+    concurrency: usize,
+    server_jobs: usize,
+    retry: u32,
+) {
+    let connections = connections.max(1);
+    let per_conn = (requests / connections).max(1);
+    let total = per_conn * connections;
+    let distinct = 4usize.min(connections);
+    let programs: Vec<String> = (0..distinct as u64)
+        .map(|i| generate(&spec(seed + i)).source)
+        .collect();
+
+    // Ground truth: the batch path — the same `Session::compile` →
+    // `check` → `render_verdicts` pipeline `pathslice check` runs
+    // (tests/server.rs proves that path byte-identical to the CLI
+    // binary's output; `bench` cannot depend on `cli` directly because
+    // `pathslice bench diff` makes `cli` depend on `bench`).
+    let controls: Vec<(i32, Vec<String>)> = programs
+        .iter()
+        .enumerate()
+        .map(|(i, src)| {
+            let session = blastlite::Session::compile(src, &format!("pipedrill-{i}.imp"))
+                .expect("drill program compiles");
+            let report = session.check(
+                blastlite::CheckerConfig {
+                    reducer: blastlite::Reducer::path_slice(),
+                    ..blastlite::CheckerConfig::default()
+                },
+                &blastlite::DriverConfig::sequential(),
+            );
+            let reports = report.into_cluster_reports();
+            let (render, exit) = blastlite::render_verdicts(session.program(), &reports);
+            (exit, strip_timing(&render))
+        })
+        .collect();
+
+    // A journal makes repeats *verdict*-cache hits: the priming pass
+    // journals each verdict, and every pipelined request is then served
+    // warm — stored render, no re-check — which is the tier this drill
+    // stresses.
+    let journal_dir = flag("--journal").map(PathBuf::from).unwrap_or_else(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_nanos());
+        std::env::temp_dir().join(format!(
+            "pathslice-pipedrill-{}-{nanos}",
+            std::process::id()
+        ))
+    });
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        jobs: server_jobs,
+        journal_dir: Some(journal_dir),
+        // The whole burst must fit the fast lane: a shed here would be
+        // a config artifact, not a scheduling failure.
+        fast_queue_capacity: total.max(4096),
+        ..ServerConfig::default()
+    })
+    .expect("bind drill server");
+    let addr = server.local_addr();
+    eprintln!(
+        "drill pipeline: {connections} connection(s) × {per_conn} warm request(s) \
+         (depth {per_conn}) on {addr}"
+    );
+
+    // Prime: every distinct program once, cold, verdicts checked
+    // against the batch CLI right away.
+    let mut primer = Client::connect_retrying(addr, retry).expect("connect primer");
+    for (i, src) in programs.iter().enumerate() {
+        let mut request = wire::Request::new(src);
+        request.id = format!("prime-{i}");
+        match primer.request(&request) {
+            Ok(wire::Response::Ok { exit, render, .. }) => {
+                assert_eq!(
+                    (exit, strip_timing(&render)),
+                    (controls[i].0, controls[i].1.clone()),
+                    "drill pipeline: prime {i} diverges from batch CLI"
+                );
+            }
+            other => panic!("drill pipeline: prime {i}: {other:?}"),
+        }
+    }
+
+    // Every connection exists before any frame is sent: the daemon
+    // really is holding `connections` sockets at once.
+    let threads = concurrency.clamp(1, connections);
+    let conns_per_thread = connections.div_ceil(threads);
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(threads));
+    let programs = std::sync::Arc::new(programs);
+    let controls = std::sync::Arc::new(controls);
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let barrier = barrier.clone();
+            let programs = programs.clone();
+            let controls = controls.clone();
+            let lo = t * conns_per_thread;
+            let hi = ((t + 1) * conns_per_thread).min(connections);
+            std::thread::spawn(move || {
+                let mut clients: Vec<Client> = (lo..hi)
+                    .map(|_| Client::connect_retrying(addr, retry).expect("connect drill"))
+                    .collect();
+                barrier.wait(); // all sockets open fleet-wide
+                let mut expected: Vec<(usize, usize)> = Vec::new(); // (conn, program)
+                for (ci, client) in clients.iter_mut().enumerate() {
+                    let conn = lo + ci;
+                    for j in 0..per_conn {
+                        let program = (conn + j) % programs.len();
+                        let mut request = wire::Request::new(&programs[program]);
+                        request.id = format!("c{conn}-{j}");
+                        client
+                            .send_frame(&request.to_json_versioned(wire::WireVersion::V2))
+                            .expect("pipeline send");
+                        expected.push((ci, program));
+                    }
+                }
+                // Read every completion back; ids tell us which
+                // program each response answers, order does not matter.
+                let mut failures: Vec<String> = Vec::new();
+                let mut served = 0usize;
+                for (ci, client) in clients.iter_mut().enumerate() {
+                    let conn = lo + ci;
+                    let mut seen: HashMap<String, usize> = (0..per_conn)
+                        .map(|j| (format!("c{conn}-{j}"), (conn + j) % programs.len()))
+                        .collect();
+                    for _ in 0..per_conn {
+                        match client.read_response() {
+                            Ok(wire::Response::Ok {
+                                id,
+                                cache_hit,
+                                warm,
+                                exit,
+                                render,
+                                ..
+                            }) => {
+                                let Some(program) = seen.remove(&id) else {
+                                    failures.push(format!("{id}: duplicate or foreign id"));
+                                    continue;
+                                };
+                                if !cache_hit || !warm {
+                                    failures.push(format!(
+                                        "{id}: expected a warm cache hit (hit={cache_hit}, warm={warm})"
+                                    ));
+                                }
+                                if (exit, strip_timing(&render))
+                                    != (controls[program].0, controls[program].1.clone())
+                                {
+                                    failures.push(format!("{id}: verdict diverges from batch CLI"));
+                                }
+                                served += 1;
+                            }
+                            Ok(other) => failures.push(format!("{other:?}")),
+                            Err(e) => {
+                                failures.push(format!("c{conn}: {e}"));
+                                break;
+                            }
+                        }
+                    }
+                }
+                (served, failures)
+            })
+        })
+        .collect();
+
+    let mut served = 0usize;
+    let mut failures: Vec<String> = Vec::new();
+    for h in handles {
+        let (s, f) = h.join().expect("drill thread");
+        served += s;
+        failures.extend(f);
+    }
+    let elapsed = t0.elapsed();
+    let stats = server.shutdown();
+
+    for f in failures.iter().take(8) {
+        eprintln!("drill pipeline: {f}");
+    }
+    assert!(
+        failures.is_empty(),
+        "drill pipeline: {} failure(s)",
+        failures.len()
+    );
+    assert_eq!(served, total, "drill pipeline: lost responses");
+    assert_eq!(
+        stats.overloaded, 0,
+        "drill pipeline: warm burst must not shed: {stats}"
+    );
+    assert_eq!(
+        stats.requests,
+        (total + distinct) as u64,
+        "drill pipeline: server accounting"
+    );
+    assert!(
+        stats.cache.hits >= total as u64,
+        "drill pipeline: every pipelined check must hit the cache: {stats}"
+    );
+    println!(
+        "drill pipeline: OK ({connections} concurrent connection(s), {total} pipelined \
+         warm request(s), 0 failed, 0 shed, all byte-identical to batch CLI; \
+         {:.0} req/s wall-clock advisory)",
+        total as f64 / elapsed.as_secs_f64()
     );
 }
 
@@ -683,6 +1010,11 @@ fn main() {
     let rate: f64 = parse_flag("--rate", 0.0);
     let seed: u64 = parse_flag("--seed", 7);
     let server_jobs: usize = parse_flag("--server-jobs", 4);
+    let pipeline: usize = if smoke {
+        1
+    } else {
+        parse_flag("--pipeline", 1).max(1)
+    };
     let retry: u32 = if std::env::args().any(|a| a == "--no-retry") {
         0
     } else {
@@ -714,8 +1046,19 @@ fn main() {
                 drill_restart(seed, parse_flag("--requests", 8), server_jobs, retry);
                 return;
             }
+            "pipeline" => {
+                drill_pipeline(
+                    seed,
+                    parse_flag("--connections", 1024),
+                    parse_flag("--requests", 4096),
+                    parse_flag("--concurrency", 8),
+                    server_jobs,
+                    retry,
+                );
+                return;
+            }
             other => {
-                eprintln!("unknown --drill `{other}` (expected `restart`)");
+                eprintln!("unknown --drill `{other}` (expected `restart` or `pipeline`)");
                 std::process::exit(64);
             }
         }
@@ -790,6 +1133,11 @@ fn main() {
                 .map(|(i, &s)| (i, s))
                 .collect();
             std::thread::spawn(move || {
+                if pipeline > 1 {
+                    // v2 pipelined: a sliding window of `pipeline`
+                    // requests in flight per connection.
+                    return pipelined_connection(addr, retry, pipeline, mine, t0, interval);
+                }
                 let mut client = Client::connect_retrying(addr, retry).expect("connect");
                 let mut samples: Vec<Sample> = Vec::new();
                 let mut failures: Vec<String> = Vec::new();
@@ -886,6 +1234,7 @@ fn main() {
         rep.config("rate", Json::Float(rate));
         rep.config("seed", Json::Num(seed as i64));
         rep.config("server_jobs", Json::Num(server_jobs as i64));
+        rep.config("pipeline", Json::Num(pipeline as i64));
         for (name, lat) in [("all", &all), ("cached", &cached), ("cold", &cold)] {
             // The full distribution, log₂-bucketed: sort-based
             // percentiles above give exact points for the table, the

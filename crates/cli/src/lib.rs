@@ -7,7 +7,7 @@
 //!                            [--stats] [--stats-json <stats.json>]
 //!                            [--trace-out <spans.json>]
 //! pathslice serve [--addr <host:port>] [--jobs <n>] [--queue <n>]
-//!                 [--cache <n>] [--timeout <secs>]
+//!                 [--fast-queue <n>] [--cache <n>] [--timeout <secs>]
 //!                 [--journal <dir>]
 //!                 [--name <node>] [--peers <node=addr,...>]
 //!                 [--stats] [--trace-out <spans.json>]
@@ -41,9 +41,12 @@
 //!   gracefully: in-flight clusters report `TIMEOUT(Cancelled)` and the
 //!   stats/trace epilogue still runs, so no span data is lost.
 //! * `serve` — run the long-lived verification daemon (`crates/server`):
-//!   newline-delimited `pathslice-wire/v1` JSON over TCP, a bounded
-//!   admission queue that answers `overloaded` under pressure, and a
-//!   content-addressed analysis cache shared across requests.
+//!   newline-delimited `pathslice-wire/v1` (one request in flight) or
+//!   `/v2` (pipelined, id-correlated) JSON over TCP on an event-driven
+//!   reactor, a bounded two-lane admission pool (`--queue` caps cold
+//!   checks, `--fast-queue` caps warm cache lookups) that answers
+//!   `overloaded` under pressure, and a content-addressed analysis
+//!   cache shared across requests.
 //!   `--journal` attaches a durable verdict journal: completed verdicts
 //!   are appended (checksummed, fsync-batched) and on restart the
 //!   journal is replayed with every recovered verdict re-validated
@@ -132,7 +135,7 @@ USAGE:
                                [--stats] [--stats-json <stats.json>]
                                [--trace-out <spans.json>]
     pathslice serve [--addr <host:port>] [--jobs <n>] [--queue <n>]
-                    [--cache <n>] [--timeout <secs>]
+                    [--fast-queue <n>] [--cache <n>] [--timeout <secs>]
                     [--journal <dir>]
                     [--name <node>] [--peers <node=addr,...>]
                     [--stats] [--trace-out <spans.json>]
@@ -469,6 +472,11 @@ pub fn serve_until(
     }
     if let Some(q) = flag_value(args, "--queue")? {
         config.queue_capacity = q.parse().map_err(|_| format!("bad --queue value `{q}`"))?;
+    }
+    if let Some(q) = flag_value(args, "--fast-queue")? {
+        config.fast_queue_capacity = q
+            .parse()
+            .map_err(|_| format!("bad --fast-queue value `{q}`"))?;
     }
     if let Some(c) = flag_value(args, "--cache")? {
         config.cache_capacity = c.parse().map_err(|_| format!("bad --cache value `{c}`"))?;

@@ -1,15 +1,21 @@
 //! Multi-node verification fabric: a router that places requests on a
 //! fleet of `pathslice serve` nodes by consistent hashing.
 //!
-//! The router speaks `pathslice-wire/v1` on both sides. A client
-//! connects to it exactly as it would to a single daemon; each check
+//! The router accepts both wire revisions downstream and speaks
+//! `pathslice-wire/v2` upstream for its own traffic (health probes). A
+//! client connects to it exactly as it would to a single daemon, under
+//! `pathslice-wire/v1` or `/v2` per frame (`docs/WIRE.md`); each check
 //! frame is parsed just enough to derive the program's *content key*
 //! (the same key the analysis and verdict caches use), then relayed
 //! byte-for-byte to the ring owner of that key — so repeated (or
 //! reformatted) submissions of one program always land on the node
-//! that already holds its warm session and journaled verdict. The
+//! that already holds its warm session and journaled verdict, and the
+//! relayed frame carries the client's own schema marker, so the
+//! backend answers under the revision the client asked for. The
 //! backend's response line is relayed back verbatim: a fabric answer
-//! is byte-identical to the single-node answer.
+//! is byte-identical to the single-node answer. Frames the router
+//! answers itself (telemetry ops, exhaustion sheds) are serialized
+//! under the requesting frame's revision.
 //!
 //! Failure handling is "walk the ring": a member that refuses
 //! connections, dies mid-request, or answers `overloaded` costs one
@@ -350,9 +356,10 @@ fn health_loop(shared: &Arc<RouterShared>) {
 }
 
 /// One wire `ping` against `addr`: true iff it connects, answers within
-/// the timeout, and reports `ready`.
+/// the timeout, and reports `ready`. The probe is the router's own
+/// traffic, so it speaks `pathslice-wire/v2` upstream.
 fn probe(addr: &str, timeout: Duration) -> bool {
-    let frame = wire::ping_request_json("fabric-health") + "\n";
+    let frame = wire::ping_request_json_versioned("fabric-health", wire::WireVersion::V2) + "\n";
     match exchange(addr, frame.as_bytes(), timeout, timeout) {
         Ok(line) => matches!(
             wire::Response::from_json(line.trim_end()),
@@ -466,29 +473,38 @@ fn connection_loop(stream: TcpStream, shared: &Arc<RouterShared>) {
 }
 
 /// Answers one client frame: telemetry ops inline, checks and
-/// `peer_get`s by relay. Always returns a newline-terminated frame.
+/// `peer_get`s by relay. Always returns a newline-terminated frame,
+/// serialized under the requesting frame's wire revision (a frame that
+/// does not parse names no revision and is answered under v1).
 fn handle_frame(
     line: &[u8],
     shared: &Arc<RouterShared>,
     pool: &mut HashMap<String, TcpStream>,
 ) -> Vec<u8> {
     let text = String::from_utf8_lossy(line);
-    let answer = |r: wire::Response| (r.to_json() + "\n").into_bytes();
-    match wire::Incoming::from_json(text.trim_end()) {
-        Err(e) => answer(wire::Response::Error {
-            id: String::new(),
-            error: format!("bad request: {}", e.message),
-        }),
-        Ok(wire::Incoming::Ping { id }) => {
+    let answer =
+        |r: wire::Response, v: wire::WireVersion| (r.to_json_versioned(v) + "\n").into_bytes();
+    match wire::Incoming::parse(text.trim_end()) {
+        Err(e) => answer(
+            wire::Response::Error {
+                id: String::new(),
+                error: format!("bad request: {}", e.message),
+            },
+            wire::WireVersion::V1,
+        ),
+        Ok((wire::Incoming::Ping { id }, version)) => {
             let up = lock(&shared.ring).up_count() as u64;
-            answer(wire::Response::Health {
-                id,
-                ready: up > 0,
-                workers_alive: up,
-                journal: None,
-            })
+            answer(
+                wire::Response::Health {
+                    id,
+                    ready: up > 0,
+                    workers_alive: up,
+                    journal: None,
+                },
+                version,
+            )
         }
-        Ok(wire::Incoming::Metrics { id }) => {
+        Ok((wire::Incoming::Metrics { id }, version)) => {
             let counters = shared.counters();
             let mut hists = BTreeMap::new();
             hists.insert("router.relay_us".to_owned(), shared.relay_us.snapshot());
@@ -498,22 +514,30 @@ fn handle_frame(
                 counters: counters.clone(),
                 histograms: hists.clone(),
             });
-            answer(wire::Response::Metrics {
+            answer(
+                wire::Response::Metrics {
+                    id,
+                    exposition: prometheus_text(&counters, &hists),
+                    series: ring.to_json(),
+                },
+                version,
+            )
+        }
+        Ok((wire::Incoming::SlowTraces { id }, version)) => answer(
+            wire::Response::SlowTraces {
                 id,
-                exposition: prometheus_text(&counters, &hists),
-                series: ring.to_json(),
-            })
+                // The router holds no span trees; slow requests are
+                // traced on the member that ran them.
+                traces: server::slow_traces_json(&[]),
+            },
+            version,
+        ),
+        Ok((wire::Incoming::Check(req), version)) => {
+            forward(line, route_key(&req.source), &req.id, version, shared, pool)
         }
-        Ok(wire::Incoming::SlowTraces { id }) => answer(wire::Response::SlowTraces {
-            id,
-            // The router holds no span trees; slow requests are traced
-            // on the member that ran them.
-            traces: server::slow_traces_json(&[]),
-        }),
-        Ok(wire::Incoming::Check(req)) => {
-            forward(line, route_key(&req.source), &req.id, shared, pool)
+        Ok((wire::Incoming::PeerGet { id, key, .. }, version)) => {
+            forward(line, key, &id, version, shared, pool)
         }
-        Ok(wire::Incoming::PeerGet { id, key, .. }) => forward(line, key, &id, shared, pool),
     }
 }
 
@@ -535,11 +559,13 @@ fn fnv64(bytes: &[u8]) -> u64 {
 
 /// Relays `line` to the ring owner of `key`, walking successors on
 /// failure. Exhaustion answers the client `overloaded` (if any member
-/// shed) or an `error` frame — never silence.
+/// shed) or an `error` frame — never silence — under the client's own
+/// wire revision.
 fn forward(
     line: &[u8],
     key: u64,
     id: &str,
+    version: wire::WireVersion,
     shared: &Arc<RouterShared>,
     pool: &mut HashMap<String, TcpStream>,
 ) -> Vec<u8> {
@@ -614,7 +640,7 @@ fn forward(
             error: format!("fabric: no live member could serve this request ({tried} tried)"),
         }
     };
-    (answer.to_json() + "\n").into_bytes()
+    (answer.to_json_versioned(version) + "\n").into_bytes()
 }
 
 /// One relay over the per-connection pool: reuse the pooled stream to

@@ -19,6 +19,9 @@
 //! * [`FaultPlan`] — deterministic, seeded fault injection used by the
 //!   chaos test-suite to prove the driver's invariant that *no injected
 //!   fault can turn a non-Safe verdict into Safe*.
+//! * [`reactor`] — readiness primitives (level-triggered poller + waker)
+//!   for the server's event loop, and [`ring`] — the consistent-hash
+//!   placement ring for the fabric.
 //!
 //! Budget interrupts are counted into the `obs` metrics registry
 //! (`rt.interrupts_deadline` / `rt.interrupts_cancelled`), so an `obs`
@@ -55,6 +58,7 @@
 //! assert_eq!(outcome, Err(Interrupt::Cancelled));
 //! ```
 
+pub mod reactor;
 pub mod ring;
 
 use std::any::Any;

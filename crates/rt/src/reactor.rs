@@ -1,0 +1,571 @@
+//! Readiness primitives for the event-driven server core: a level-
+//! triggered [`Poller`] over the OS readiness API and a [`Waker`] for
+//! cross-thread wake-ups, with the same zero-dependency discipline as
+//! the rest of the workspace (raw `extern "C"` syscall declarations; std
+//! links libc on every Unix target).
+//!
+//! On Linux the poller is hand-rolled `epoll(7)`; on other Unix targets
+//! it falls back to `poll(2)` rebuilt from a registration table each
+//! wait. Both backends are **level-triggered**: an fd that still has
+//! unread input (or writable space, when write interest is registered)
+//! is reported again on the next [`Poller::wait`], so consumers drain
+//! until `WouldBlock` but never have to fear a lost edge.
+//!
+//! The server's event loop (`server::reactor`) is the only intended
+//! consumer; the API is deliberately minimal — register / reregister /
+//! deregister / wait — and maps one registered fd to one opaque `token`.
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// Readiness interest for a registered fd.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Report when the fd is readable (or peer-closed).
+    pub readable: bool,
+    /// Report when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+
+    /// Read + write interest (used while a write buffer is non-empty).
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+
+    /// Write-only interest (read side paused, flush still pending).
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+
+    /// No interest at all: the fd stays registered but is never
+    /// reported (a v1 connection paused behind an in-flight check).
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token supplied at registration.
+    pub token: u64,
+    /// Input is available (or the peer hung up — a subsequent read
+    /// returns 0, which is how EOF is meant to be observed).
+    pub readable: bool,
+    /// Output space is available.
+    pub writable: bool,
+}
+
+/// A level-triggered readiness poller (epoll on Linux, poll elsewhere).
+pub struct Poller {
+    inner: imp::Poller,
+}
+
+impl Poller {
+    /// Creates a poller.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            inner: imp::Poller::new()?,
+        })
+    }
+
+    /// Registers `fd` with the given `token` and `interest`. The fd must
+    /// stay open until [`Poller::deregister`]; tokens should be unique
+    /// per live fd.
+    pub fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.inner.register(fd, token, interest)
+    }
+
+    /// Replaces the interest set for an already-registered `fd`.
+    pub fn reregister(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.inner.reregister(fd, token, interest)
+    }
+
+    /// Removes `fd` from the poller. Call *before* closing the fd.
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        self.inner.deregister(fd)
+    }
+
+    /// Blocks until at least one registered fd is ready or `timeout`
+    /// elapses; appends events to `events` (cleared first) and returns
+    /// how many arrived. A `None` timeout blocks indefinitely.
+    pub fn wait(
+        &mut self,
+        events: &mut Vec<Event>,
+        timeout: Option<Duration>,
+    ) -> io::Result<usize> {
+        events.clear();
+        self.inner.wait(events, timeout)
+    }
+}
+
+/// A cross-thread wake-up for a [`Poller`] loop: worker threads call
+/// [`WakeHandle::wake`] after publishing a completion, and the event loop —
+/// which registered [`Waker::reader_fd`] for read interest — observes a
+/// readable event and drains both the pipe and the completion queue.
+///
+/// Built on a non-blocking `UnixStream` pair (the portable self-pipe
+/// trick). Wakes coalesce: the pipe holds at most a few bytes and
+/// [`Waker::drain`] empties it, so N wakes cost at most N one-byte
+/// writes and one drain.
+pub struct Waker {
+    tx: UnixStream,
+    rx: UnixStream,
+}
+
+impl Waker {
+    /// Creates a waker pair.
+    pub fn new() -> io::Result<Waker> {
+        let (tx, rx) = UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        Ok(Waker { tx, rx })
+    }
+
+    /// The fd the event loop registers for read interest.
+    pub fn reader_fd(&self) -> RawFd {
+        use std::os::unix::io::AsRawFd;
+        self.rx.as_raw_fd()
+    }
+
+    /// A clonable sending half for worker threads.
+    pub fn handle(&self) -> WakeHandle {
+        WakeHandle {
+            tx: self.tx.try_clone().expect("waker pipe clone"),
+        }
+    }
+
+    /// Empties the pipe after a readable event on [`Waker::reader_fd`].
+    pub fn drain(&self) {
+        use std::io::Read;
+        let mut sink = [0u8; 64];
+        let mut rx = &self.rx;
+        while matches!(rx.read(&mut sink), Ok(n) if n > 0) {}
+    }
+}
+
+/// The sending half of a [`Waker`], one clone per worker thread.
+pub struct WakeHandle {
+    tx: UnixStream,
+}
+
+impl Clone for WakeHandle {
+    fn clone(&self) -> Self {
+        WakeHandle {
+            tx: self.tx.try_clone().expect("waker pipe clone"),
+        }
+    }
+}
+
+impl WakeHandle {
+    /// Wakes the event loop. A full pipe (`WouldBlock`) already implies
+    /// a pending wake, so every error is ignorable by design.
+    pub fn wake(&self) {
+        use std::io::Write;
+        let mut tx = &self.tx;
+        let _ = tx.write(&[1u8]);
+    }
+}
+
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        // Round up so a 1ns timeout still sleeps rather than spins.
+        Some(d) => d.as_millis().min(i32::MAX as u128).max(1) as i32,
+        None => -1,
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    //! epoll backend. The `epoll_event` layout is packed on x86-64 —
+    //! matching the kernel ABI — and natural elsewhere.
+
+    use super::{timeout_ms, Event, Interest};
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        let mut m = 0;
+        if interest.readable {
+            m |= EPOLLIN;
+        }
+        if interest.writable {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+
+    pub(super) struct Poller {
+        epfd: RawFd,
+        buf: Vec<EpollEvent>,
+    }
+
+    impl Poller {
+        pub(super) fn new() -> io::Result<Poller> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller {
+                epfd,
+                buf: vec![EpollEvent { events: 0, data: 0 }; 1024],
+            })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: mask(interest),
+                data: token,
+            };
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                Err(io::Error::last_os_error())
+            } else {
+                Ok(())
+            }
+        }
+
+        pub(super) fn register(&mut self, fd: RawFd, token: u64, i: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, i)
+        }
+
+        pub(super) fn reregister(&mut self, fd: RawFd, token: u64, i: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, i)
+        }
+
+        pub(super) fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, Interest::NONE)
+        }
+
+        pub(super) fn wait(
+            &mut self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            let n = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    self.buf.as_mut_ptr(),
+                    self.buf.len() as i32,
+                    timeout_ms(timeout),
+                )
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(err);
+            }
+            for ev in &self.buf[..n as usize] {
+                let bits = ev.events;
+                events.push(Event {
+                    token: ev.data,
+                    // Errors and hang-ups surface as readability so the
+                    // consumer's next read observes the EOF/error.
+                    readable: bits & (EPOLLIN | EPOLLERR | EPOLLHUP) != 0,
+                    writable: bits & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(n as usize)
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod imp {
+    //! poll(2) fallback: the registration table is kept in a map and a
+    //! `pollfd` array is rebuilt per wait. O(n) per call, which is fine
+    //! for the fallback tier.
+
+    use super::{timeout_ms, Event, Interest};
+    use std::collections::BTreeMap;
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    extern "C" {
+        // `nfds_t` is `unsigned int` on the BSD/mac targets this
+        // fallback compiles for.
+        fn poll(fds: *mut PollFd, nfds: u32, timeout: i32) -> i32;
+    }
+
+    pub(super) struct Poller {
+        table: BTreeMap<RawFd, (u64, Interest)>,
+    }
+
+    impl Poller {
+        pub(super) fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                table: BTreeMap::new(),
+            })
+        }
+
+        pub(super) fn register(&mut self, fd: RawFd, token: u64, i: Interest) -> io::Result<()> {
+            self.table.insert(fd, (token, i));
+            Ok(())
+        }
+
+        pub(super) fn reregister(&mut self, fd: RawFd, token: u64, i: Interest) -> io::Result<()> {
+            self.table.insert(fd, (token, i));
+            Ok(())
+        }
+
+        pub(super) fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            self.table.remove(&fd);
+            Ok(())
+        }
+
+        pub(super) fn wait(
+            &mut self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            let mut fds: Vec<PollFd> = self
+                .table
+                .iter()
+                .map(|(&fd, &(_, i))| PollFd {
+                    fd,
+                    events: if i.readable { POLLIN } else { 0 }
+                        | if i.writable { POLLOUT } else { 0 },
+                    revents: 0,
+                })
+                .collect();
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u32, timeout_ms(timeout)) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(err);
+            }
+            for pfd in &fds {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                if let Some(&(token, _)) = self.table.get(&pfd.fd) {
+                    events.push(Event {
+                        token,
+                        readable: pfd.revents & (POLLIN | POLLERR | POLLHUP) != 0,
+                        writable: pfd.revents & (POLLOUT | POLLERR | POLLHUP) != 0,
+                    });
+                }
+            }
+            Ok(events.len())
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    //! Stub for non-Unix targets: keeps the crate compiling; the server
+    //! refuses to start rather than pretending to poll.
+
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    pub(super) struct Poller;
+
+    impl Poller {
+        pub(super) fn new() -> io::Result<Poller> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "reactor poller is only available on Unix targets",
+            ))
+        }
+
+        pub(super) fn register(&mut self, _: RawFd, _: u64, _: Interest) -> io::Result<()> {
+            unreachable!("stub poller cannot be constructed")
+        }
+
+        pub(super) fn reregister(&mut self, _: RawFd, _: u64, _: Interest) -> io::Result<()> {
+            unreachable!("stub poller cannot be constructed")
+        }
+
+        pub(super) fn deregister(&mut self, _: RawFd) -> io::Result<()> {
+            unreachable!("stub poller cannot be constructed")
+        }
+
+        pub(super) fn wait(
+            &mut self,
+            _: &mut Vec<Event>,
+            _: Option<Duration>,
+        ) -> io::Result<usize> {
+            unreachable!("stub poller cannot be constructed")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn poller_reports_readable_after_write() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.register(b.as_raw_fd(), 7, Interest::READ).unwrap();
+
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0, "no data yet");
+
+        a.write_all(b"hi").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(1000)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+
+        // Level-triggered: still readable until drained.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(1000)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        let mut buf = [0u8; 8];
+        let got = (&b).read(&mut buf).unwrap();
+        assert_eq!(&buf[..got], b"hi");
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0, "drained");
+    }
+
+    #[test]
+    fn interest_can_be_changed_and_removed() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.register(b.as_raw_fd(), 1, Interest::NONE).unwrap();
+        a.write_all(b"x").unwrap();
+
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0, "no interest registered");
+
+        poller
+            .reregister(b.as_raw_fd(), 1, Interest::READ_WRITE)
+            .unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(1000)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].readable && events[0].writable);
+
+        poller.deregister(b.as_raw_fd()).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0, "deregistered fds are silent");
+    }
+
+    #[test]
+    fn waker_wakes_and_coalesces() {
+        let waker = Waker::new().unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller
+            .register(waker.reader_fd(), 99, Interest::READ)
+            .unwrap();
+
+        let handle = waker.handle();
+        let t = std::thread::spawn(move || {
+            for _ in 0..100 {
+                handle.wake();
+            }
+        });
+        t.join().unwrap();
+
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(1000)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 99);
+        waker.drain();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0, "drain empties every coalesced wake");
+    }
+
+    #[test]
+    fn wait_observes_peer_hangup_as_readable() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.register(b.as_raw_fd(), 3, Interest::READ).unwrap();
+        drop(a);
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(1000)))
+            .unwrap();
+        assert!(!events.is_empty());
+        assert!(events[0].readable, "hangup surfaces as readability");
+    }
+}

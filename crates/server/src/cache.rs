@@ -154,6 +154,13 @@ impl AnalysisCache {
         self.insert(key, session);
     }
 
+    /// Whether `key` is resident, without touching the hit/miss
+    /// accounting or the LRU clock — the reactor's admission classifier
+    /// probes with this, and a probe is not a request.
+    pub fn contains(&self, key: u64) -> bool {
+        lock(&self.inner).entries.contains_key(&key)
+    }
+
     /// Current accounting.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -287,6 +294,13 @@ impl VerdictCache {
     /// local client is asking for.
     pub fn peek(&self, key: (u64, u64)) -> Option<Arc<VerdictEntry>> {
         lock(&self.inner).entries.get(&key).map(|s| s.entry.clone())
+    }
+
+    /// Whether a warm verdict is resident, with the same no-accounting
+    /// contract as [`VerdictCache::peek`] — the reactor's admission
+    /// classifier.
+    pub fn contains(&self, key: (u64, u64)) -> bool {
+        lock(&self.inner).entries.contains_key(&key)
     }
 
     /// Inserts (or replaces) a verdict, evicting LRU entries past the

@@ -7,13 +7,23 @@
 //! This crate turns the batch checker into exactly that:
 //!
 //! * **Wire protocol** ([`wire`]) — newline-delimited JSON over TCP
-//!   (`pathslice-wire/v1`): request = source + per-cluster budget and
-//!   config; response = verdicts (rendered byte-identically to
-//!   `pathslice check`) + optional certificate + stats.
-//! * **Admission control** — a bounded request queue. When it is full
-//!   the daemon answers `overloaded` immediately (HTTP-429 style)
-//!   instead of queuing unboundedly; memory stays bounded under any
-//!   offered load.
+//!   (`pathslice-wire/v1` and `/v2`, specified normatively in
+//!   `docs/WIRE.md`): request = source + per-cluster budget and config;
+//!   response = verdicts (rendered byte-identically to `pathslice
+//!   check`) + optional certificate + stats. v2 frames carry mandatory
+//!   request ids, so one connection can pipeline many in-flight checks.
+//! * **Event-driven front half** — a single reactor thread (hand-rolled
+//!   epoll via [`rt::reactor`], poll(2) fallback) owns the non-blocking
+//!   listener and every connection's read/write buffers; inline ops
+//!   (`ping`/`metrics`/`slow_traces`/`peer_get`) are answered directly
+//!   on the event loop, never behind a worker.
+//! * **Admission control** — a sharded two-lane pool with work
+//!   stealing. Cold checks admit against `queue_capacity` and shed
+//!   first; warm (cache-classified) checks admit against the larger
+//!   `fast_queue_capacity`, so cheap lookups are not starved or shed
+//!   behind cold compiles. Past either bound the daemon answers
+//!   `overloaded` immediately (HTTP-429 style) instead of queuing
+//!   unboundedly; memory stays bounded under any offered load.
 //! * **Analysis cache** ([`cache`]) — content-addressed sessions:
 //!   repeat (or reformatted) programs skip parse/lower/`Analyses::build`
 //!   and land on warmed `By` memo tables, going straight to
@@ -39,14 +49,16 @@
 //!   connection thread so telemetry works even with every worker busy.
 //!
 //! ```text
-//!             ┌────────────┐   bounded    ┌──────────┐
-//!  TCP ──────▶│ connection │──try_push───▶│  queue   │──pop──▶ workers (N)
-//!  (NDJSON)   │  threads   │◀──response───│ (admis.) │         │ cache lookup
-//!             └────────────┘   channel    └──────────┘         ▼ session.check
+//!             ┌───────────┐  try_push   ┌───────────────┐
+//!  TCP ──────▶│  reactor  │────────────▶│ shards (N×2)  │──pop/steal──▶ workers (N)
+//!  (NDJSON,   │ epoll loop│             │ fast │ cold   │               │ cache lookup
+//!  pipelined) │ buffers   │◀─completions┴──────┴────────┘               ▼ session.check
+//!             └───────────┘   (+waker)
 //! ```
 
 pub mod cache;
 pub mod journal;
+mod reactor;
 pub mod wire;
 
 use blastlite::{
@@ -57,20 +69,21 @@ use journal::{Journal, JournalConfig, JournalRecord, JournalStats, ReplayItem};
 use obs::json::Json;
 use obs::telemetry::{prometheus_text, MetricsRing, MetricsSnapshot};
 use obs::{Histogram, HistogramSnapshot, SpanRecord};
+use rt::reactor::WakeHandle;
 use rt::ring::Ring;
 use rt::{catch_unwind_silent, panic_payload, CancelToken, FaultKind, FaultPlan, FaultSite};
-use std::collections::BTreeMap;
 use std::collections::VecDeque;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// How long blocking accept/read calls wait before re-checking the
+/// Upper bound on how long the reactor's poll wait (and other periodic
+/// loops — worker condvars, the sampler) sleep before re-checking the
 /// shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
 
@@ -83,8 +96,14 @@ pub struct ServerConfig {
     /// sequentially; concurrency comes from checking *requests* in
     /// parallel).
     pub jobs: usize,
-    /// Admission-queue bound; a full queue answers `overloaded`.
+    /// Admission bound for *cold* checks; past it the daemon answers
+    /// `overloaded`.
     pub queue_capacity: usize,
+    /// Admission bound for the fast lane — checks whose program is
+    /// already warm in the verdict or analysis cache. Sized generously
+    /// (cache hits are cheap and bounded) so pipelined warm traffic is
+    /// never shed behind cold checks contending for `queue_capacity`.
+    pub fast_queue_capacity: usize,
     /// Analysis-cache bound, in programs.
     pub cache_capacity: usize,
     /// Largest accepted request frame, in bytes.
@@ -132,6 +151,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:7171".into(),
             jobs: 1,
             queue_capacity: 64,
+            fast_queue_capacity: 4096,
             cache_capacity: 32,
             max_frame_bytes: 4 << 20,
             default_time_budget: CheckerConfig::default().time_budget,
@@ -340,78 +360,184 @@ impl Telemetry {
     }
 }
 
-/// One admitted request travelling from a connection thread to a worker.
+/// One admitted request travelling from the reactor to a worker. The
+/// response travels back as a [`Completion`] tagged with the reactor
+/// connection token — there is no per-request channel, which is what
+/// lets one connection carry many in-flight checks (wire/v2).
 struct Job {
     request: wire::Request,
     admitted: Instant,
     deadline: Option<Instant>,
-    reply: SyncSender<wire::Response>,
+    /// Reactor token of the connection that admitted this check.
+    conn: u64,
+    /// Wire revision the request arrived under; the response echoes it.
+    version: wire::WireVersion,
 }
 
-/// Why [`Queue::try_push`] refused a job. The job rides back boxed so
-/// the error stays pointer-sized on the hot admission path.
+/// A finished check on its way back from a worker to the reactor.
+struct Completion {
+    conn: u64,
+    version: wire::WireVersion,
+    response: wire::Response,
+}
+
+/// Admission priority of a check (the lane it queues in).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tier {
+    /// Program (and config) already warm in the verdict or analysis
+    /// cache: bounded work, large admission budget.
+    Fast,
+    /// Unknown program: a full parse/analyse/check, shed first.
+    Cold,
+}
+
+/// Why [`Shards::try_push`] refused a job. Either way the caller sheds
+/// the request with `overloaded`; the job itself is consumed.
 enum PushError {
-    /// At capacity — shed the request.
-    Full(Box<Job>),
+    /// The job's lane is at capacity — shed the request.
+    Full,
     /// Draining for shutdown — shed the request.
-    Closed(Box<Job>),
+    Closed,
 }
 
-/// The bounded admission queue.
-struct Queue {
-    capacity: usize,
-    state: Mutex<QueueState>,
+/// The sharded two-lane admission pool: one shard per worker, each with
+/// a fast and a cold deque. A worker pops its own shard front-first and
+/// steals from the *back* of other shards; the fast lane is always
+/// scanned before the cold lane, so warm lookups never starve behind
+/// cold checks — the fairness half of priority-aware shedding (the
+/// other half is the per-lane capacity in [`Shards::try_push`]).
+struct Shards {
+    shards: Vec<ShardLanes>,
+    /// Lane occupancy and the closed flag; per-deque locks stay fine-
+    /// grained so a steal scan never serializes behind a push.
+    state: Mutex<ShardState>,
     ready: Condvar,
+    fast_capacity: usize,
+    cold_capacity: usize,
 }
 
-struct QueueState {
-    jobs: VecDeque<Job>,
+struct ShardLanes {
+    fast: Mutex<VecDeque<Job>>,
+    cold: Mutex<VecDeque<Job>>,
+}
+
+struct ShardState {
+    queued_fast: usize,
+    queued_cold: usize,
     closed: bool,
 }
 
-impl Queue {
-    fn new(capacity: usize) -> Queue {
-        Queue {
-            capacity: capacity.max(1),
-            state: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
+impl Shards {
+    fn new(shards: usize, fast_capacity: usize, cold_capacity: usize) -> Shards {
+        Shards {
+            shards: (0..shards.max(1))
+                .map(|_| ShardLanes {
+                    fast: Mutex::new(VecDeque::new()),
+                    cold: Mutex::new(VecDeque::new()),
+                })
+                .collect(),
+            state: Mutex::new(ShardState {
+                queued_fast: 0,
+                queued_cold: 0,
                 closed: false,
             }),
             ready: Condvar::new(),
+            fast_capacity: fast_capacity.max(1),
+            cold_capacity: cold_capacity.max(1),
         }
     }
 
-    /// Admits `job`, or returns it with the reason it was shed. Never
-    /// blocks: backpressure is the *caller's* immediate `overloaded`
-    /// response, not a hidden wait.
-    fn try_push(&self, job: Job) -> Result<(), PushError> {
-        let mut state = lock(&self.state);
-        if state.closed {
-            return Err(PushError::Closed(Box::new(job)));
+    /// Admits `job` into its lane on the hinted shard, or returns it
+    /// with the reason it was shed. Never blocks: backpressure is the
+    /// *caller's* immediate `overloaded` response, not a hidden wait.
+    fn try_push(&self, job: Job, tier: Tier, hint: usize) -> Result<(), PushError> {
+        {
+            let mut state = lock(&self.state);
+            if state.closed {
+                return Err(PushError::Closed);
+            }
+            match tier {
+                Tier::Fast => {
+                    if state.queued_fast >= self.fast_capacity {
+                        return Err(PushError::Full);
+                    }
+                    state.queued_fast += 1;
+                }
+                Tier::Cold => {
+                    if state.queued_cold >= self.cold_capacity {
+                        return Err(PushError::Full);
+                    }
+                    state.queued_cold += 1;
+                }
+            }
         }
-        if state.jobs.len() >= self.capacity {
-            return Err(PushError::Full(Box::new(job)));
-        }
-        state.jobs.push_back(job);
-        drop(state);
+        let shard = &self.shards[hint % self.shards.len()];
+        let lane = match tier {
+            Tier::Fast => &shard.fast,
+            Tier::Cold => &shard.cold,
+        };
+        lock(lane).push_back(job);
         self.ready.notify_one();
         Ok(())
     }
 
-    /// Blocks for the next job; `None` once the queue is closed *and*
-    /// drained (workers exit then — graceful drain finishes admitted
-    /// work).
-    fn pop(&self) -> Option<Job> {
-        let mut state = lock(&self.state);
+    /// Blocks for the next job for worker `home`: own shard first (FIFO
+    /// front), then a steal sweep over the other shards (LIFO back —
+    /// stolen work is the *coldest* queued, keeping each shard's front
+    /// warm for its owner). `None` once the pool is closed *and*
+    /// drained, so graceful drain finishes admitted work.
+    fn pop(&self, home: usize) -> Option<Job> {
         loop {
-            if let Some(job) = state.jobs.pop_front() {
+            {
+                let state = lock(&self.state);
+                if state.queued_fast == 0 && state.queued_cold == 0 {
+                    if state.closed {
+                        return None;
+                    }
+                    // Occupancy is published before the job lands in
+                    // its deque, so a timed wait (not a bare one)
+                    // guards against the scan racing a push.
+                    let _ = self.ready.wait_timeout(state, POLL_INTERVAL);
+                    continue;
+                }
+            }
+            if let Some(job) = self.scan(home, Tier::Fast) {
                 return Some(job);
             }
-            if state.closed {
-                return None;
+            if let Some(job) = self.scan(home, Tier::Cold) {
+                return Some(job);
             }
-            state = self.ready.wait(state).unwrap_or_else(|p| p.into_inner());
+            // Counted but not yet landed (push in flight): retry.
+            std::thread::yield_now();
         }
+    }
+
+    fn scan(&self, home: usize, tier: Tier) -> Option<Job> {
+        let n = self.shards.len();
+        for i in 0..n {
+            let shard = &self.shards[(home + i) % n];
+            let lane = match tier {
+                Tier::Fast => &shard.fast,
+                Tier::Cold => &shard.cold,
+            };
+            let job = {
+                let mut q = lock(lane);
+                if i == 0 {
+                    q.pop_front()
+                } else {
+                    q.pop_back()
+                }
+            };
+            if let Some(job) = job {
+                let mut state = lock(&self.state);
+                match tier {
+                    Tier::Fast => state.queued_fast -= 1,
+                    Tier::Cold => state.queued_cold -= 1,
+                }
+                return Some(job);
+            }
+        }
+        None
     }
 
     fn close(&self) {
@@ -420,7 +546,8 @@ impl Queue {
     }
 
     fn len(&self) -> usize {
-        lock(&self.state).jobs.len()
+        let state = lock(&self.state);
+        state.queued_fast + state.queued_cold
     }
 }
 
@@ -431,10 +558,22 @@ struct PeerRing {
     ring: Ring,
 }
 
-/// State shared by the acceptor, connection threads, and workers.
+/// State shared by the reactor, the workers, and the sampler.
 struct Shared {
     config: ServerConfig,
-    queue: Queue,
+    shards: Shards,
+    /// Finished checks waiting for the reactor to write them out;
+    /// workers push here and ring `wake`.
+    completions: Mutex<VecDeque<Completion>>,
+    /// Wakes the reactor out of its poll wait when a completion lands.
+    wake: WakeHandle,
+    /// Checks admitted but not yet answered (shed requests never count).
+    /// The drain barrier: the reactor exits only once this is zero.
+    inflight: AtomicUsize,
+    /// Raw request text (hashed) → content key, filled by workers after
+    /// each compile. Lets the reactor classify repeat programs as
+    /// fast-lane without parsing anything on the event loop.
+    key_memo: Mutex<HashMap<u64, u64>>,
     cache: AnalysisCache,
     verdicts: VerdictCache,
     /// The attached journal, `None` for memory-only serving. Appends
@@ -567,6 +706,119 @@ impl Shared {
     fn exposition(&self) -> String {
         prometheus_text(&self.scoped_counters(), &self.telemetry.histograms())
     }
+
+    /// Classifies a check for admission: [`Tier::Fast`] when the raw
+    /// request text maps (via the worker-maintained memo) to a content
+    /// key that is warm in the verdict cache or the analysis cache,
+    /// [`Tier::Cold`] otherwise. Runs on the reactor, so it must not
+    /// parse the program — one hash and two bounded map probes, none of
+    /// which touch cache accounting.
+    fn classify(&self, req: &wire::Request) -> Tier {
+        let raw = journal::content_hash(req.source.as_bytes());
+        let Some(key) = lock(&self.key_memo).get(&raw).copied() else {
+            return Tier::Cold;
+        };
+        if self.journal.is_some() {
+            let fingerprint = config_fingerprint(req, self.config.default_time_budget);
+            if self.verdicts.contains((key, fingerprint)) {
+                return Tier::Fast;
+            }
+        }
+        if self.cache.contains(key) {
+            Tier::Fast
+        } else {
+            Tier::Cold
+        }
+    }
+
+    /// Records `source` → `key` for [`Shared::classify`]. Bounded by
+    /// wholesale reset: the memo is a hint, and a rare refill is
+    /// cheaper than LRU bookkeeping on every request.
+    fn remember_key(&self, source: &str, key: u64) {
+        const MEMO_BOUND: usize = 8192;
+        let raw = journal::content_hash(source.as_bytes());
+        let mut memo = lock(&self.key_memo);
+        if memo.len() >= MEMO_BOUND {
+            memo.clear();
+        }
+        memo.insert(raw, key);
+    }
+
+    /// Hands a finished check back to the reactor.
+    fn complete(&self, completion: Completion) {
+        lock(&self.completions).push_back(completion);
+        self.wake.wake();
+    }
+
+    /// Answers one non-check op. These bypass the admission pool on
+    /// purpose — the reactor answers them inline, so telemetry, health
+    /// probes, and peer fetches stay reachable even with every worker
+    /// wedged on slow checks.
+    fn inline_response(&self, incoming: wire::Incoming) -> wire::Response {
+        match incoming {
+            wire::Incoming::Metrics { id } => {
+                let series = lock(&self.telemetry.ring).to_json();
+                wire::Response::Metrics {
+                    id,
+                    exposition: self.exposition(),
+                    series,
+                }
+            }
+            wire::Incoming::SlowTraces { id } => {
+                let traces: Vec<SlowTrace> = lock(&self.telemetry.slow).iter().cloned().collect();
+                wire::Response::SlowTraces {
+                    id,
+                    traces: slow_traces_json(&traces),
+                }
+            }
+            wire::Incoming::Ping { id } => wire::Response::Health {
+                id,
+                ready: self.ready(),
+                workers_alive: self.workers_alive.load(Ordering::Relaxed) as u64,
+                journal: self.journal_stats().map(|j| journal_stats_json(&j)),
+            },
+            wire::Incoming::PeerGet {
+                id,
+                key,
+                fingerprint,
+            } => {
+                // Answered from the verdict cache with a peek: a peer's
+                // probe is not a local request and must not skew the
+                // warm accounting or the LRU clock. The asking node
+                // validates the certificate — this side only hands over
+                // the evidence.
+                match self.verdicts.peek((key, fingerprint)) {
+                    Some(entry) => {
+                        self.peer_served.fetch_add(1, Ordering::Relaxed);
+                        obs::counter("fabric.peer_served").inc();
+                        wire::Response::PeerVerdict {
+                            id,
+                            hit: true,
+                            exit: entry.exit,
+                            render: entry.render.clone(),
+                            clusters: entry.clusters.clone(),
+                            trace: Some(
+                                Json::parse(&entry.trace_json)
+                                    .expect("journaled traces are valid JSON"),
+                            ),
+                        }
+                    }
+                    None => wire::Response::PeerVerdict {
+                        id,
+                        hit: false,
+                        exit: 0,
+                        render: String::new(),
+                        clusters: Vec::new(),
+                        trace: None,
+                    },
+                }
+            }
+            wire::Incoming::Check(req) => wire::Response::Error {
+                id: req.id,
+                error: "internal: check is not an inline op".into(),
+            },
+        }
+    }
 }
 
 /// A running daemon. Obtain with [`Server::start`]; stop with
@@ -575,27 +827,28 @@ impl Shared {
 pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
-    acceptor: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
     sampler: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl Server {
     /// Binds `config.addr`, replays and compacts the journal (when one
     /// is attached) through the certificate-gated recovery, then starts
-    /// the supervised acceptor, sampler, and worker threads.
+    /// the supervised reactor, sampler, and worker threads.
     ///
     /// # Errors
     ///
-    /// I/O errors from binding the listener or opening the journal
-    /// directory, a failure to spawn *any* worker, or a failure to
-    /// spawn the acceptor. (A subset of workers failing, or the sampler
-    /// failing, degrades capacity/telemetry without refusing to start.)
+    /// I/O errors from binding the listener, building the poller/waker
+    /// pair, or opening the journal directory, a failure to spawn *any*
+    /// worker, or a failure to spawn the reactor. (A subset of workers
+    /// failing, or the sampler failing, degrades capacity/telemetry
+    /// without refusing to start.)
     pub fn start(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let waker = rt::reactor::Waker::new()?;
         let jobs = config.jobs.max(1);
         // The daemon is a telemetry surface: spans must record for the
         // slow-trace ring to hold anything, so the process-wide switch
@@ -632,7 +885,11 @@ impl Server {
             ring: Ring::new(config.peers.iter().cloned()),
         });
         let shared = Arc::new(Shared {
-            queue: Queue::new(config.queue_capacity),
+            shards: Shards::new(jobs, config.fast_queue_capacity, config.queue_capacity),
+            completions: Mutex::new(VecDeque::new()),
+            wake: waker.handle(),
+            inflight: AtomicUsize::new(0),
+            key_memo: Mutex::new(HashMap::new()),
             cache,
             verdicts,
             journal,
@@ -657,40 +914,38 @@ impl Server {
             conn_seq: AtomicU64::new(0),
             config,
         });
-        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
 
         // Thread exhaustion degrades capacity, it does not kill the
         // daemon: any worker is enough to serve, and a missing sampler
         // only loses periodic snapshots. Only zero workers — or no
-        // acceptor — is fatal (nothing would ever be served).
+        // reactor — is fatal (nothing would ever be served).
         let workers: Vec<JoinHandle<()>> = (0..jobs)
             .filter_map(|i| {
                 let shared = shared.clone();
                 std::thread::Builder::new()
                     .name(format!("pathslice-worker-{i}"))
-                    .spawn(move || supervised(&shared, "worker", || worker_loop(&shared)))
+                    .spawn(move || supervised(&shared, "worker", || worker_loop(&shared, i)))
                     .ok()
             })
             .collect();
         if workers.is_empty() {
-            shared.queue.close();
+            shared.shards.close();
             return Err(std::io::Error::other("could not spawn any worker thread"));
         }
 
-        let acceptor = {
+        let reactor = {
             let owned = shared.clone();
-            let conns = conns.clone();
             std::thread::Builder::new()
-                .name("pathslice-acceptor".into())
+                .name("pathslice-reactor".into())
                 .spawn(move || {
-                    supervised(&owned, "acceptor", || {
-                        accept_loop(&listener, &owned, &conns)
+                    supervised(&owned, "reactor", || {
+                        reactor::reactor_loop(&listener, &owned, &waker)
                     })
                 })
                 .map_err(|e| {
                     shared.shutdown.cancel();
-                    shared.queue.close();
-                    std::io::Error::other(format!("could not spawn the acceptor thread: {e}"))
+                    shared.shards.close();
+                    std::io::Error::other(format!("could not spawn the reactor thread: {e}"))
                 })?
         };
 
@@ -705,10 +960,9 @@ impl Server {
         Ok(Server {
             shared,
             addr,
-            acceptor: Some(acceptor),
+            reactor: Some(reactor),
             sampler,
             workers,
-            conns,
         })
     }
 
@@ -737,7 +991,7 @@ impl Server {
 
     /// Requests currently queued (not yet picked up by a worker).
     pub fn queued(&self) -> usize {
-        self.shared.queue.len()
+        self.shared.shards.len()
     }
 
     /// The tail-sampled slow-request ring, oldest first (a copy; the
@@ -764,17 +1018,14 @@ impl Server {
     /// that went slow are included).
     pub fn shutdown_full(mut self) -> (ServerStats, Vec<SlowTrace>) {
         self.shared.shutdown.cancel();
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        self.shared.wake.wake();
+        // The reactor stops accepting and parsing, waits for every
+        // admitted check's completion to flush, then exits; joining it
+        // first guarantees no new pushes after the pool closes.
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
         }
-        // Connection threads finish their in-flight request (the worker
-        // round-trip) and exit at the next poll tick; joining them first
-        // guarantees no new pushes after the queue closes.
-        let conns = std::mem::take(&mut *lock(&self.conns));
-        for c in conns {
-            let _ = c.join();
-        }
-        self.shared.queue.close();
+        self.shared.shards.close();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -798,7 +1049,8 @@ impl Server {
     pub fn crash(self) -> ServerStats {
         let stats = self.shared.stats();
         self.shared.shutdown.cancel();
-        self.shared.queue.close();
+        self.shared.wake.wake();
+        self.shared.shards.close();
         // The journal's directory lock must go the way the OS reaps a
         // real SIGKILL victim's resources: released without any flush.
         // (A cross-process crash needs no help — the stale-pid reclaim
@@ -989,300 +1241,6 @@ fn sampler_loop(shared: &Arc<Shared>) {
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    shared: &Arc<Shared>,
-    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-) {
-    while !shared.shutdown.is_cancelled() {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                shared.connections.fetch_add(1, Ordering::Relaxed);
-                obs::counter("server.connections").inc();
-                let cid = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
-                // The stream rides in a cell the acceptor can take back:
-                // under thread exhaustion the spawn fails with the
-                // closure (and the cell) intact, the connection is
-                // answered `overloaded` and shed, and the acceptor keeps
-                // accepting — it used to die here and take the whole
-                // daemon's reachability with it.
-                let cell = Arc::new(Mutex::new(Some(stream)));
-                let spawned = {
-                    let shared = shared.clone();
-                    let cell = cell.clone();
-                    std::thread::Builder::new()
-                        .name("pathslice-conn".into())
-                        .spawn(move || {
-                            if let Some(stream) = lock(&cell).take() {
-                                connection_loop(stream, &shared, cid);
-                            }
-                        })
-                };
-                match spawned {
-                    Ok(handle) => lock(conns).push(handle),
-                    Err(_) => {
-                        if let Some(mut stream) = lock(&cell).take() {
-                            shared.overloaded.fetch_add(1, Ordering::Relaxed);
-                            obs::counter("server.overloaded").inc();
-                            let _ = send_response(
-                                &mut stream,
-                                shared,
-                                &wire::Response::Overloaded { id: String::new() },
-                            );
-                        }
-                    }
-                }
-            }
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                std::thread::sleep(POLL_INTERVAL);
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => std::thread::sleep(POLL_INTERVAL),
-        }
-    }
-}
-
-/// Reads newline-delimited frames off one connection until EOF, error,
-/// oversize, or shutdown. Frame-level failures answer an `error`
-/// response and keep the connection (the newline boundary survives);
-/// only oversized frames and I/O errors drop it.
-///
-/// `cid` keys the [`FaultSite::WireRead`] chaos plan per connection:
-/// frame *n* on connection *c* faults (or not) deterministically, so a
-/// chaos test can predict exactly which frames are damaged.
-fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, cid: u64) {
-    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-    let _ = stream.set_nodelay(true);
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    let mut buf: Vec<u8> = Vec::new();
-    let mut frame_no: u64 = 0;
-    loop {
-        match reader.read_until(b'\n', &mut buf) {
-            Ok(0) => {
-                // EOF. A partial frame the peer abandoned is dropped.
-                if !buf.is_empty() {
-                    shared.truncated_frames.fetch_add(1, Ordering::Relaxed);
-                    obs::counter("server.frames_truncated").inc();
-                }
-                return;
-            }
-            Ok(_) if buf.last() != Some(&b'\n') => {
-                // read_until can return early on timeout boundaries;
-                // keep accumulating (size-checked below).
-            }
-            Ok(_) => {
-                let mut line = std::mem::take(&mut buf);
-                if line.len() > shared.config.max_frame_bytes {
-                    reject_oversized(shared, &mut writer);
-                    return;
-                }
-                // Injected read-path faults: a torn read truncates the
-                // frame mid-line (the parse rejects it and the counters
-                // account for it); an I/O error drops the connection as
-                // a failing NIC would.
-                let key = format!("conn{cid}:frame{frame_no}");
-                frame_no += 1;
-                match shared.config.faults.fire(FaultSite::WireRead, &key) {
-                    Some(FaultKind::TornWrite) => {
-                        shared.wire_faults.fetch_add(1, Ordering::Relaxed);
-                        obs::counter("server.wire_faults").inc();
-                        line.truncate(line.len() / 2);
-                    }
-                    Some(FaultKind::IoError) => {
-                        shared.wire_faults.fetch_add(1, Ordering::Relaxed);
-                        obs::counter("server.wire_faults").inc();
-                        return;
-                    }
-                    _ => {}
-                }
-                if !handle_frame(&line, shared, &mut writer) {
-                    return;
-                }
-                if shared.shutdown.is_cancelled() {
-                    return;
-                }
-            }
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                if shared.shutdown.is_cancelled() {
-                    return;
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => return,
-        }
-        if buf.len() > shared.config.max_frame_bytes {
-            // Still mid-frame: we can't resync an unbounded stream.
-            reject_oversized(shared, &mut writer);
-            return;
-        }
-    }
-}
-
-/// Answers an `error` for a frame over the size bound. The connection
-/// closes afterwards in both the complete- and partial-frame cases: a
-/// peer that ignores the bound once will again, and a partial frame has
-/// no boundary to resync on.
-fn reject_oversized(shared: &Shared, writer: &mut TcpStream) {
-    shared.rejected_frames.fetch_add(1, Ordering::Relaxed);
-    obs::counter("server.frames_rejected").inc();
-    let resp = wire::Response::Error {
-        id: String::new(),
-        error: format!(
-            "frame exceeds {} byte(s); connection closed",
-            shared.config.max_frame_bytes
-        ),
-    };
-    let _ = send_response(writer, shared, &resp);
-}
-
-/// Parses, admits, and answers one frame. Returns `false` when the
-/// connection should close.
-fn handle_frame(line: &[u8], shared: &Arc<Shared>, writer: &mut TcpStream) -> bool {
-    let text = match std::str::from_utf8(line) {
-        Ok(t) => t.trim_end_matches(['\n', '\r']).trim(),
-        Err(_) => {
-            shared.rejected_frames.fetch_add(1, Ordering::Relaxed);
-            obs::counter("server.frames_rejected").inc();
-            return send_response(
-                writer,
-                shared,
-                &wire::Response::Error {
-                    id: String::new(),
-                    error: "frame is not UTF-8".into(),
-                },
-            );
-        }
-    };
-    if text.is_empty() {
-        return true; // tolerate blank keep-alive lines
-    }
-    let request = match wire::Incoming::from_json(text) {
-        Ok(wire::Incoming::Check(r)) => r,
-        // Telemetry ops are answered inline by the connection thread —
-        // they bypass the admission queue on purpose, so metrics stay
-        // reachable even when every worker is wedged on slow checks.
-        Ok(wire::Incoming::Metrics { id }) => {
-            let series = lock(&shared.telemetry.ring).to_json();
-            return send_response(
-                writer,
-                shared,
-                &wire::Response::Metrics {
-                    id,
-                    exposition: shared.exposition(),
-                    series,
-                },
-            );
-        }
-        Ok(wire::Incoming::SlowTraces { id }) => {
-            let traces: Vec<SlowTrace> = lock(&shared.telemetry.slow).iter().cloned().collect();
-            return send_response(
-                writer,
-                shared,
-                &wire::Response::SlowTraces {
-                    id,
-                    traces: slow_traces_json(&traces),
-                },
-            );
-        }
-        Ok(wire::Incoming::Ping { id }) => {
-            // Readiness, answered inline like the other telemetry ops:
-            // a load balancer's probe must not queue behind checks.
-            return send_response(
-                writer,
-                shared,
-                &wire::Response::Health {
-                    id,
-                    ready: shared.ready(),
-                    workers_alive: shared.workers_alive.load(Ordering::Relaxed) as u64,
-                    journal: shared.journal_stats().map(|j| journal_stats_json(&j)),
-                },
-            );
-        }
-        Ok(wire::Incoming::PeerGet {
-            id,
-            key,
-            fingerprint,
-        }) => {
-            // Answered inline from the verdict cache (a peek: a peer's
-            // probe is not a local request and must not skew the warm
-            // accounting or the LRU clock). The asking node validates
-            // the certificate — this side only hands over the evidence.
-            let response = match shared.verdicts.peek((key, fingerprint)) {
-                Some(entry) => {
-                    shared.peer_served.fetch_add(1, Ordering::Relaxed);
-                    obs::counter("fabric.peer_served").inc();
-                    wire::Response::PeerVerdict {
-                        id,
-                        hit: true,
-                        exit: entry.exit,
-                        render: entry.render.clone(),
-                        clusters: entry.clusters.clone(),
-                        trace: Some(
-                            Json::parse(&entry.trace_json)
-                                .expect("journaled traces are valid JSON"),
-                        ),
-                    }
-                }
-                None => wire::Response::PeerVerdict {
-                    id,
-                    hit: false,
-                    exit: 0,
-                    render: String::new(),
-                    clusters: Vec::new(),
-                    trace: None,
-                },
-            };
-            return send_response(writer, shared, &response);
-        }
-        Err(e) => {
-            shared.rejected_frames.fetch_add(1, Ordering::Relaxed);
-            obs::counter("server.frames_rejected").inc();
-            return send_response(
-                writer,
-                shared,
-                &wire::Response::Error {
-                    id: String::new(),
-                    error: format!("bad request frame: {e}"),
-                },
-            );
-        }
-    };
-    let id = request.id.clone();
-    let admitted = Instant::now();
-    let deadline = request
-        .deadline_ms
-        .map(|ms| admitted + Duration::from_millis(ms));
-    let (reply_tx, reply_rx) = sync_channel(1);
-    let job = Job {
-        request,
-        admitted,
-        deadline,
-        reply: reply_tx,
-    };
-    match shared.queue.try_push(job) {
-        Ok(()) => {}
-        Err(PushError::Full(job) | PushError::Closed(job)) => {
-            shared.overloaded.fetch_add(1, Ordering::Relaxed);
-            obs::counter("server.overloaded").inc();
-            return send_response(
-                writer,
-                shared,
-                &wire::Response::Overloaded { id: job.request.id },
-            );
-        }
-    }
-    // Admitted: graceful drain guarantees a worker answers.
-    let response = reply_rx.recv().unwrap_or(wire::Response::Error {
-        id,
-        error: "worker dropped the request".into(),
-    });
-    send_response(writer, shared, &response)
-}
-
 /// Renders journal accounting for the `health` response and the stats
 /// payload.
 fn journal_stats_json(j: &JournalStats) -> Json {
@@ -1296,36 +1254,7 @@ fn journal_stats_json(j: &JournalStats) -> Json {
     ])
 }
 
-/// Writes one response line, honouring the [`FaultSite::WireWrite`]
-/// chaos plan (keyed by the response's correlation id): a torn write
-/// sends a prefix and drops the connection mid-frame; an I/O error
-/// drops it without writing at all. Returns whether the connection
-/// should stay open.
-fn send_response(writer: &mut TcpStream, shared: &Shared, response: &wire::Response) -> bool {
-    let mut line = response.to_json();
-    line.push('\n');
-    match shared
-        .config
-        .faults
-        .fire(FaultSite::WireWrite, response.id())
-    {
-        Some(FaultKind::TornWrite) => {
-            shared.wire_faults.fetch_add(1, Ordering::Relaxed);
-            obs::counter("server.wire_faults").inc();
-            let _ = writer.write_all(&line.as_bytes()[..line.len() / 2]);
-            return false;
-        }
-        Some(FaultKind::IoError) => {
-            shared.wire_faults.fetch_add(1, Ordering::Relaxed);
-            obs::counter("server.wire_faults").inc();
-            return false;
-        }
-        _ => {}
-    }
-    writer.write_all(line.as_bytes()).is_ok()
-}
-
-fn worker_loop(shared: &Arc<Shared>) {
+fn worker_loop(shared: &Arc<Shared>, home: usize) {
     // Liveness accounting survives panics (the guard drops during the
     // unwind that supervision catches) — `ping` readiness counts actual
     // workers, not spawned threads.
@@ -1337,7 +1266,7 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
     shared.workers_alive.fetch_add(1, Ordering::Relaxed);
     let _alive = Alive(&shared.workers_alive);
-    while let Some(job) = shared.queue.pop() {
+    while let Some(job) = shared.shards.pop(home) {
         // Tee the request's span tree out of the thread-local buffers:
         // the worker has no span open outside `process`, so everything
         // captured belongs to this request. A panic discards the
@@ -1375,7 +1304,11 @@ fn worker_loop(shared: &Arc<Shared>) {
                 shared.config.slow_capacity,
             );
         }
-        let _ = job.reply.send(response);
+        shared.complete(Completion {
+            conn: job.conn,
+            version: job.version,
+            response,
+        });
     }
 }
 
@@ -1418,6 +1351,9 @@ fn process(job: &Job, shared: &Shared) -> wire::Response {
             }
         }
     };
+    // Teach the reactor's admission classifier this program's key: the
+    // next request with these exact bytes rides the fast lane.
+    shared.remember_key(&req.source, session.key());
 
     // With a journal attached, a completed verdict for this exact
     // (program, configuration) pair may already be warm — either from
@@ -2191,6 +2127,23 @@ impl Client {
             .write_all(line.as_bytes())
             .map_err(|e| format!("send: {e}"))?;
         self.read_response()
+    }
+
+    /// Writes one frame **without waiting for the response** — the
+    /// pipelining primitive. Under `pathslice-wire/v2` any number of
+    /// frames may be in flight on one connection; pair each call with a
+    /// later [`Client::read_response`] and correlate by response id
+    /// (completions may arrive out of order).
+    ///
+    /// # Errors
+    ///
+    /// A message on I/O failure.
+    pub fn send_frame(&mut self, frame: &str) -> Result<(), String> {
+        let mut line = frame.to_owned();
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .map_err(|e| format!("send: {e}"))
     }
 
     /// Writes raw bytes without a frame terminator (truncated-frame

@@ -1,37 +1,73 @@
-//! `pathslice-wire/v1` — the daemon's request/response format.
+//! `pathslice-wire` — the daemon's request/response format, v1 and v2.
 //!
-//! Framing is newline-delimited JSON over TCP: one request per line, one
-//! response line per request, in order. Both directions are plain
-//! [`obs::json::Json`] documents (the workspace builds offline; there is
-//! no serde), with a `schema` marker checked on parse so foreign traffic
-//! is rejected with an error response instead of undefined behaviour.
+//! **The normative protocol specification lives in
+//! [`docs/WIRE.md`](https://github.com/path-slicing/path-slicing/blob/main/docs/WIRE.md)**
+//! (framing grammar, every op and response shape, pipelining and
+//! version-negotiation rules, error/overload semantics, worked
+//! byte-level sessions). This module is the reference implementation;
+//! its doc comments describe the Rust surface only and defer protocol
+//! semantics to the spec.
 //!
-//! A check request carries the source text plus the same knobs as
-//! `pathslice check` (per-cluster budget, reducer, search order,
-//! retries, validation) and two *wants*: the certificate trace and the
-//! stats snapshot. Telemetry requests carry an `op` marker instead
-//! (`"op":"metrics"` / `"op":"slow_traces"`; a frame without `op` is a
-//! check, so v1 clients keep working unchanged). A response is one of
-//! five statuses:
-//!
-//! * `ok` — verdicts (structured and rendered exactly as `pathslice
-//!   check` prints them), cache disposition, timings, and the optional
-//!   certificate/stats payloads.
-//! * `overloaded` — the admission queue was full (or draining); the
-//!   request was *not* processed. Clients should back off and retry.
-//! * `error` — malformed request, front-end failure, or an isolated
-//!   internal error; the daemon stays up.
-//! * `metrics` — Prometheus-style text exposition plus the
-//!   `pathslice-metrics/v1` JSON time series (answered inline by the
-//!   connection thread, bypassing the admission queue, so telemetry
-//!   stays reachable even when every worker is wedged).
-//! * `slow_traces` — the tail-sampled slow-request ring as a
-//!   `pathslice-slowtraces/v1` document.
+//! In brief: framing is newline-delimited JSON over TCP. Both directions
+//! are plain [`obs::json::Json`] documents (the workspace builds
+//! offline; there is no serde), with a `schema` marker checked on parse
+//! so foreign traffic is rejected with an error response instead of
+//! undefined behaviour. `pathslice-wire/v1` is strictly sequential per
+//! connection (one request, one response, in order);
+//! `pathslice-wire/v2` is the same vocabulary plus mandatory per-request
+//! ids, which lets one connection pipeline many in-flight checks and
+//! receive completions out of order. The version is negotiated per
+//! *frame* — each response is serialized under the schema its request
+//! arrived with — so v1 and v2 traffic can share a connection.
 
 use obs::json::{Json, JsonError};
 
-/// Schema marker; bumped on breaking changes.
+/// v1 schema marker (sequential per-connection protocol).
 pub const WIRE_SCHEMA: &str = "pathslice-wire/v1";
+
+/// v2 schema marker (pipelined protocol with mandatory request ids).
+pub const WIRE_SCHEMA_V2: &str = "pathslice-wire/v2";
+
+/// Every wire op name this module implements, exactly as spelled on the
+/// wire (plus the implicit `check` default). The spec cross-check test
+/// asserts each of these appears in `docs/WIRE.md`, so adding an op
+/// without documenting it fails CI.
+pub const SPEC_OPS: &[&str] = &[
+    "check",
+    "metrics",
+    "slow_traces",
+    "ping",
+    "health",
+    "peer_get",
+];
+
+/// Which protocol revision a frame was parsed under (see `docs/WIRE.md`
+/// §versioning). Responses must echo the requester's revision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireVersion {
+    /// `pathslice-wire/v1`: sequential, ids optional.
+    V1,
+    /// `pathslice-wire/v2`: pipelined, non-empty ids mandatory.
+    V2,
+}
+
+impl WireVersion {
+    /// The `schema` marker string for this revision.
+    pub fn schema(self) -> &'static str {
+        match self {
+            WireVersion::V1 => WIRE_SCHEMA,
+            WireVersion::V2 => WIRE_SCHEMA_V2,
+        }
+    }
+
+    fn of(doc: &Json) -> Option<WireVersion> {
+        match doc.field("schema").and_then(Json::as_str) {
+            Some(s) if s == WIRE_SCHEMA => Some(WireVersion::V1),
+            Some(s) if s == WIRE_SCHEMA_V2 => Some(WireVersion::V2),
+            _ => None,
+        }
+    }
+}
 
 /// Any parsed request frame: a verification check or one of the
 /// telemetry operations. Dispatch happens on the optional `op` field —
@@ -74,27 +110,43 @@ pub enum Incoming {
 }
 
 impl Incoming {
-    /// Parses one wire line, dispatching on `op`.
+    /// Parses one wire line, dispatching on `op` and accepting either
+    /// protocol revision (see [`Incoming::parse`] to learn which one).
     ///
     /// # Errors
     ///
     /// [`JsonError`] on malformed JSON, a wrong/missing `schema`
     /// marker, an unknown `op`, or (for checks) the [`Request`] errors.
     pub fn from_json(text: &str) -> Result<Incoming, JsonError> {
+        Incoming::parse(text).map(|(incoming, _)| incoming)
+    }
+
+    /// Parses one wire line and reports which revision it spoke, so the
+    /// response can be serialized under the same schema
+    /// ([`Response::to_json_versioned`]).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Incoming::from_json`] rejects, plus v2 frames whose
+    /// `id` is missing or empty (pipelining needs the tag to correlate
+    /// out-of-order completions — see `docs/WIRE.md`).
+    pub fn parse(text: &str) -> Result<(Incoming, WireVersion), JsonError> {
         let bad = |m: &str| JsonError {
             message: m.to_owned(),
             at: 0,
         };
         let doc = Json::parse(text)?;
-        if doc.field("schema").and_then(Json::as_str) != Some(WIRE_SCHEMA) {
-            return Err(bad("not a pathslice-wire/v1 request"));
-        }
+        let version =
+            WireVersion::of(&doc).ok_or_else(|| bad("not a pathslice-wire/v1 or /v2 request"))?;
         let id = doc
             .field("id")
             .and_then(Json::as_str)
             .unwrap_or_default()
             .to_owned();
-        match doc.field("op").and_then(Json::as_str) {
+        if version == WireVersion::V2 && id.is_empty() {
+            return Err(bad("pathslice-wire/v2 frames require a non-empty `id`"));
+        }
+        let incoming = match doc.field("op").and_then(Json::as_str) {
             None | Some("check") => Request::from_json(text).map(Incoming::Check),
             Some("metrics") => Ok(Incoming::Metrics { id }),
             Some("slow_traces") => Ok(Incoming::SlowTraces { id }),
@@ -113,50 +165,58 @@ impl Incoming {
                 })
             }
             Some(other) => Err(bad(&format!("unknown `op` `{other}`"))),
-        }
+        }?;
+        Ok((incoming, version))
     }
 }
 
-/// The frame a [`Incoming::Metrics`] request serializes to.
+fn op_request_frame(
+    op: &str,
+    id: &str,
+    version: WireVersion,
+    extra: Vec<(String, Json)>,
+) -> String {
+    let mut fields = vec![
+        ("schema".into(), Json::Str(version.schema().into())),
+        ("op".into(), Json::Str(op.into())),
+        ("id".into(), Json::Str(id.to_owned())),
+    ];
+    fields.extend(extra);
+    Json::Obj(fields).to_text()
+}
+
+/// The frame a [`Incoming::Metrics`] request serializes to (v1).
 pub fn metrics_request_json(id: &str) -> String {
-    Json::Obj(vec![
-        ("schema".into(), Json::Str(WIRE_SCHEMA.into())),
-        ("op".into(), Json::Str("metrics".into())),
-        ("id".into(), Json::Str(id.to_owned())),
-    ])
-    .to_text()
+    op_request_frame("metrics", id, WireVersion::V1, Vec::new())
 }
 
-/// The frame a [`Incoming::SlowTraces`] request serializes to.
+/// The frame a [`Incoming::SlowTraces`] request serializes to (v1).
 pub fn slow_traces_request_json(id: &str) -> String {
-    Json::Obj(vec![
-        ("schema".into(), Json::Str(WIRE_SCHEMA.into())),
-        ("op".into(), Json::Str("slow_traces".into())),
-        ("id".into(), Json::Str(id.to_owned())),
-    ])
-    .to_text()
+    op_request_frame("slow_traces", id, WireVersion::V1, Vec::new())
 }
 
-/// The frame a [`Incoming::Ping`] request serializes to.
+/// The frame a [`Incoming::Ping`] request serializes to (v1).
 pub fn ping_request_json(id: &str) -> String {
-    Json::Obj(vec![
-        ("schema".into(), Json::Str(WIRE_SCHEMA.into())),
-        ("op".into(), Json::Str("ping".into())),
-        ("id".into(), Json::Str(id.to_owned())),
-    ])
-    .to_text()
+    op_request_frame("ping", id, WireVersion::V1, Vec::new())
 }
 
-/// The frame a [`Incoming::PeerGet`] request serializes to.
+/// The frame a [`Incoming::Ping`] request serializes to under the given
+/// revision (the fabric router probes members with v2 pings).
+pub fn ping_request_json_versioned(id: &str, version: WireVersion) -> String {
+    op_request_frame("ping", id, version, Vec::new())
+}
+
+/// The frame a [`Incoming::PeerGet`] request serializes to (v1).
 pub fn peer_get_request_json(id: &str, key: u64, fingerprint: u64) -> String {
-    Json::Obj(vec![
-        ("schema".into(), Json::Str(WIRE_SCHEMA.into())),
-        ("op".into(), Json::Str("peer_get".into())),
-        ("id".into(), Json::Str(id.to_owned())),
-        ("key".into(), Json::Str(format!("{key:016x}"))),
-        ("fp".into(), Json::Str(format!("{fingerprint:016x}"))),
-    ])
-    .to_text()
+    op_request_frame(
+        "peer_get",
+        id,
+        WireVersion::V1,
+        vec![
+            ("key".into(), Json::Str(format!("{key:016x}"))),
+            ("fp".into(), Json::Str(format!("{fingerprint:016x}"))),
+        ],
+    )
 }
 
 /// One verification request.
@@ -205,10 +265,17 @@ impl Request {
         }
     }
 
-    /// Serializes to one wire line (no trailing newline).
+    /// Serializes to one v1 wire line (no trailing newline).
     pub fn to_json(&self) -> String {
+        self.to_json_versioned(WireVersion::V1)
+    }
+
+    /// Serializes to one wire line under the given revision. The field
+    /// set is identical across revisions; only the `schema` marker
+    /// differs (v2 requesters must set a non-empty [`Request::id`]).
+    pub fn to_json_versioned(&self, version: WireVersion) -> String {
         let mut fields = vec![
-            ("schema".into(), Json::Str(WIRE_SCHEMA.into())),
+            ("schema".into(), Json::Str(version.schema().into())),
             ("id".into(), Json::Str(self.id.clone())),
             ("source".into(), Json::Str(self.source.clone())),
         ];
@@ -251,8 +318,8 @@ impl Request {
             at: 0,
         };
         let doc = Json::parse(text)?;
-        if doc.field("schema").and_then(Json::as_str) != Some(WIRE_SCHEMA) {
-            return Err(bad("not a pathslice-wire/v1 request"));
+        if WireVersion::of(&doc).is_none() {
+            return Err(bad("not a pathslice-wire/v1 or /v2 request"));
         }
         let source = doc
             .field("source")
@@ -426,8 +493,18 @@ impl Response {
         }
     }
 
-    /// Serializes to one wire line (no trailing newline).
+    /// Serializes to one v1 wire line (no trailing newline). Byte-stable:
+    /// the fabric router relays v1 response frames verbatim, so this
+    /// emission must never change shape for a given response.
     pub fn to_json(&self) -> String {
+        self.to_json_versioned(WireVersion::V1)
+    }
+
+    /// Serializes under the given revision: identical field order and
+    /// content, only the `schema` marker differs. Servers answer each
+    /// frame under the revision it arrived with.
+    pub fn to_json_versioned(&self, version: WireVersion) -> String {
+        let schema = || Json::Str(version.schema().into());
         let doc = match self {
             Response::Ok {
                 id,
@@ -442,7 +519,7 @@ impl Response {
                 stats,
             } => {
                 let mut fields = vec![
-                    ("schema".into(), Json::Str(WIRE_SCHEMA.into())),
+                    ("schema".into(), schema()),
                     ("id".into(), Json::Str(id.clone())),
                     ("status".into(), Json::Str("ok".into())),
                     (
@@ -469,12 +546,12 @@ impl Response {
                 Json::Obj(fields)
             }
             Response::Overloaded { id } => Json::Obj(vec![
-                ("schema".into(), Json::Str(WIRE_SCHEMA.into())),
+                ("schema".into(), schema()),
                 ("id".into(), Json::Str(id.clone())),
                 ("status".into(), Json::Str("overloaded".into())),
             ]),
             Response::Error { id, error } => Json::Obj(vec![
-                ("schema".into(), Json::Str(WIRE_SCHEMA.into())),
+                ("schema".into(), schema()),
                 ("id".into(), Json::Str(id.clone())),
                 ("status".into(), Json::Str("error".into())),
                 ("error".into(), Json::Str(error.clone())),
@@ -484,14 +561,14 @@ impl Response {
                 exposition,
                 series,
             } => Json::Obj(vec![
-                ("schema".into(), Json::Str(WIRE_SCHEMA.into())),
+                ("schema".into(), schema()),
                 ("id".into(), Json::Str(id.clone())),
                 ("status".into(), Json::Str("metrics".into())),
                 ("exposition".into(), Json::Str(exposition.clone())),
                 ("series".into(), series.clone()),
             ]),
             Response::SlowTraces { id, traces } => Json::Obj(vec![
-                ("schema".into(), Json::Str(WIRE_SCHEMA.into())),
+                ("schema".into(), schema()),
                 ("id".into(), Json::Str(id.clone())),
                 ("status".into(), Json::Str("slow_traces".into())),
                 ("traces".into(), traces.clone()),
@@ -503,7 +580,7 @@ impl Response {
                 journal,
             } => {
                 let mut fields = vec![
-                    ("schema".into(), Json::Str(WIRE_SCHEMA.into())),
+                    ("schema".into(), schema()),
                     ("id".into(), Json::Str(id.clone())),
                     ("status".into(), Json::Str("health".into())),
                     ("ready".into(), Json::Bool(*ready)),
@@ -523,7 +600,7 @@ impl Response {
                 trace,
             } => {
                 let mut fields = vec![
-                    ("schema".into(), Json::Str(WIRE_SCHEMA.into())),
+                    ("schema".into(), schema()),
                     ("id".into(), Json::Str(id.clone())),
                     ("status".into(), Json::Str("peer_verdict".into())),
                     ("hit".into(), Json::Bool(*hit)),
@@ -554,8 +631,8 @@ impl Response {
             at: 0,
         };
         let doc = Json::parse(text)?;
-        if doc.field("schema").and_then(Json::as_str) != Some(WIRE_SCHEMA) {
-            return Err(bad("not a pathslice-wire/v1 response"));
+        if WireVersion::of(&doc).is_none() {
+            return Err(bad("not a pathslice-wire/v1 or /v2 response"));
         }
         let id = doc
             .field("id")
@@ -957,6 +1034,91 @@ mod tests {
         .to_json();
         assert!(!miss_frame.contains("render"));
         assert!(!miss_frame.contains("trace"));
+    }
+
+    #[test]
+    fn v2_frames_parse_with_version_and_require_ids() {
+        let mut req = Request::new("fn main() { }");
+        req.id = "r1".into();
+        let (incoming, version) = Incoming::parse(&req.to_json_versioned(WireVersion::V2)).unwrap();
+        assert_eq!(version, WireVersion::V2);
+        assert!(matches!(incoming, Incoming::Check(r) if r.id == "r1"));
+
+        // The same frame under v1 parses as v1.
+        let (_, version) = Incoming::parse(&req.to_json()).unwrap();
+        assert_eq!(version, WireVersion::V1);
+
+        // v2 without an id is rejected; v1 without an id is fine.
+        let anon = Request::new("fn main() { }");
+        assert!(Incoming::parse(&anon.to_json_versioned(WireVersion::V2)).is_err());
+        assert!(Incoming::parse(&anon.to_json()).is_ok());
+        assert!(
+            Incoming::parse("{\"schema\":\"pathslice-wire/v2\",\"op\":\"ping\"}").is_err(),
+            "ops need ids under v2 too"
+        );
+        let (ping, version) =
+            Incoming::parse(&ping_request_json_versioned("p", WireVersion::V2)).unwrap();
+        assert_eq!(ping, Incoming::Ping { id: "p".into() });
+        assert_eq!(version, WireVersion::V2);
+    }
+
+    #[test]
+    fn v2_serialization_differs_only_in_schema_marker() {
+        let resp = Response::Ok {
+            id: "x".into(),
+            cache_hit: true,
+            warm: true,
+            exit: 0,
+            render: "main  SAFE\n".into(),
+            clusters: vec![ClusterVerdict {
+                func: "main".into(),
+                sites: 1,
+                verdict: "SAFE".into(),
+                refinements: 0,
+                wall_us: 42,
+            }],
+            wall_us: 99,
+            queue_us: 3,
+            certificate: None,
+            stats: None,
+        };
+        let v1 = resp.to_json();
+        let v2 = resp.to_json_versioned(WireVersion::V2);
+        assert_eq!(
+            v1.replace(WIRE_SCHEMA, WIRE_SCHEMA_V2),
+            v2,
+            "identical bytes modulo the schema marker"
+        );
+        assert_eq!(Response::from_json(&v2).unwrap(), resp, "v2 parses too");
+
+        let mut req = Request::new("x");
+        req.id = "q".into();
+        assert_eq!(
+            req.to_json().replace(WIRE_SCHEMA, WIRE_SCHEMA_V2),
+            req.to_json_versioned(WireVersion::V2)
+        );
+        assert_eq!(
+            Request::from_json(&req.to_json_versioned(WireVersion::V2)).unwrap(),
+            req
+        );
+    }
+
+    #[test]
+    fn spec_ops_cover_every_dispatch_arm() {
+        // Every op the parser accepts must be listed in SPEC_OPS (the
+        // docs/WIRE.md cross-check builds on this list).
+        for op in SPEC_OPS {
+            let frame = format!(
+                "{{\"schema\":\"pathslice-wire/v1\",\"op\":\"{op}\",\"id\":\"i\",\
+                 \"source\":\"fn main() {{ }}\",\"key\":\"1\",\"fp\":\"1\"}}"
+            );
+            assert!(Incoming::from_json(&frame).is_ok(), "op `{op}` must parse");
+        }
+        assert!(
+            Incoming::from_json("{\"schema\":\"pathslice-wire/v1\",\"op\":\"bogus\",\"id\":\"i\"}")
+                .is_err(),
+            "unknown ops stay rejected"
+        );
     }
 
     #[test]
