@@ -16,7 +16,8 @@
 //!             [--json] [--smoke] [--metrics-out <metrics.prom>]
 //!             [--trace-out <spans.json>]
 //!             [--journal <dir>] [--attach <host:port>] [--no-retry]
-//!             [--drill restart|pipeline] [--fabric <n>]
+//!             [--drill restart|pipeline|edit] [--fabric <n>]
+//!             [--functions <n>] [--edits <n>]
 //! ```
 //!
 //! Each request is a distinct generated workload program (seed-varied)
@@ -69,6 +70,18 @@
 //! byte-identical to the batch `pathslice check` verdict for its
 //! program. Cache-hit throughput is printed as an advisory wall-clock
 //! number (CI runs on whatever core count it gets).
+//!
+//! `--drill edit` is the interactive-editing drill for the incremental
+//! derivation graph: a journaled daemon checks a `--functions`-leaf
+//! dispatcher cold, then `--edits` requests each change exactly one
+//! function body. Gates: every edit routes through `Session::update`,
+//! invalidates exactly one cluster, reuses every untouched cluster's
+//! certificate-gated verdict (`incr.verdict_reused`), renders
+//! byte-identical to a cold batch check, and the warm walls total less
+//! than the cold ones; a chaos pass corrupting every `IncrReuse`
+//! candidate must reject them all and still serve correct verdicts.
+//! With `--json` the run writes `BENCH_incr.json` (`warm` / `cold`
+//! rows with the reuse counters).
 //!
 //! `--fabric <n>` runs the multi-node drill instead of a load run:
 //! `n` journaled, peer-enrolled daemons behind a `fabric::Router`,
@@ -606,6 +619,352 @@ fn drill_pipeline(
     );
 }
 
+/// One leaf of the `--drill edit` dispatcher. `version < 100` is the
+/// pristine body; an edit bumps the version past 100 *and* appends a
+/// statement, so the function's edge count changes too — every other
+/// cluster's reused slice still has to resolve its per-function edge
+/// ids against the new program. The appended statement keeps a
+/// constant right-hand side on purpose: an arithmetic RHS (`a + 0`)
+/// taints the variable *wild* in the Andersen pass, which flips the
+/// whole-program alias fingerprint and soundly invalidates every
+/// cluster — a real effect, but not the one this drill measures.
+/// Every fifth leaf harbors a reachable bug so the reused-verdict mix
+/// covers both `SAFE` and `BUG` renders.
+fn edit_leaf(i: usize, version: u64) -> String {
+    let extra = if version >= 100 {
+        format!("a = {version}; ")
+    } else {
+        String::new()
+    };
+    if i.is_multiple_of(5) {
+        format!("fn f{i}() {{ local a; a = {version}; {extra}if (a == {version}) {{ error(); }} }}")
+    } else {
+        format!("fn f{i}() {{ local a; a = {version}; {extra}if (a < 0) {{ error(); }} }}")
+    }
+}
+
+/// Byte-parity modulo *effort* for the edit drill: the wall column is
+/// real elapsed time and the refinement count is CEGAR effort —
+/// predicate seeding exists precisely to lower it for re-checked
+/// clusters — so a verdict line keeps its name, site count, and
+/// verdict class and drops the rest. Witness slice lines (and any
+/// other line) are kept verbatim: a reused `BUG` verdict's slice must
+/// resolve to exactly the cold check's operations.
+fn strip_effort(s: &str) -> Vec<String> {
+    s.lines()
+        .map(|l| match l.find(" site(s)") {
+            Some(p) => {
+                let end = (p + " site(s)  ".len() + 18).min(l.len());
+                l[..end].trim_end().to_owned()
+            }
+            None => l.to_owned(),
+        })
+        .collect()
+}
+
+/// The `--drill edit` program: `n` leaves behind an `else`-nested
+/// dispatcher. The nesting matters — a *sequential* `if` chain would
+/// put every earlier call on the path to every later one, so each
+/// cluster's control-closed dependency set would swallow all earlier
+/// leaves and a single edit would invalidate everything. Nested `else`
+/// keeps each leaf's dependency set at exactly `{main, f_i}`.
+fn edit_program(versions: &[u64]) -> String {
+    let n = versions.len();
+    let mut src = String::from("global s;\n");
+    for (i, &v) in versions.iter().enumerate() {
+        src.push_str(&edit_leaf(i, v));
+        src.push('\n');
+    }
+    src.push_str("fn main() { s = nondet(); ");
+    for i in 0..n {
+        src.push_str(&format!("if (s == {i}) {{ f{i}(); }} else {{ "));
+    }
+    src.push_str("s = 0; ");
+    for _ in 0..n {
+        src.push_str("} ");
+    }
+    src.push_str("}\n");
+    src
+}
+
+/// `--drill edit`: the interactive-editing drill for the incremental
+/// derivation graph.
+///
+/// Phase 1 checks an `n`-function dispatcher cold on a journaled
+/// daemon. Phase 2 slides a single-function edit across the program:
+/// each request differs from its predecessor in exactly one function
+/// body, so the daemon's skeleton index must route it through
+/// `Session::update` and the certificate gate must re-admit every
+/// untouched cluster's stored verdict. Gates, per edit: exactly one
+/// cluster invalidated, `incr.verdict_reused` rises by the unchanged
+/// cluster count, `incr.fn_hits` rises by the unedited function count,
+/// and the render is byte-identical (modulo the wall column) to a cold
+/// batch check of the same edited source. Across the phase, warm
+/// daemon latency must total strictly less than the cold batch walls —
+/// the reuse has to be visible in wall-clock, not just counters.
+/// Phase 3 is the chaos pass: a fresh daemon with every `IncrReuse`
+/// candidate's certificate corrupted in flight must reject them all
+/// (`incr.cert_rejected` > 0, `incr.verdict_reused` == 0), fall back
+/// to cold re-checks, and still serve the correct verdicts.
+fn drill_edit(
+    seed: u64,
+    functions: usize,
+    edits: usize,
+    server_jobs: usize,
+    retry: u32,
+    json: bool,
+    scale: workloads::Scale,
+) {
+    let n = functions.clamp(20, 64);
+    let edits = edits.clamp(2, n);
+    let mut versions: Vec<u64> = (0..n as u64).map(|i| i + 1).collect();
+
+    // Ground truth for one source: the batch `Session::compile` →
+    // `check` → `render_verdicts` pipeline (no store, no gate, no
+    // seeds), timed — the cold wall the warm path must beat.
+    let control = |src: &str| -> (i32, Vec<String>, Duration) {
+        let t = Instant::now();
+        let session =
+            blastlite::Session::compile(src, "editdrill.imp").expect("drill program compiles");
+        let report = session.check(
+            blastlite::CheckerConfig {
+                reducer: blastlite::Reducer::path_slice(),
+                ..blastlite::CheckerConfig::default()
+            },
+            &blastlite::DriverConfig::sequential(),
+        );
+        let wall = t.elapsed();
+        let reports = report.into_cluster_reports();
+        let (render, exit) = blastlite::render_verdicts(session.program(), &reports);
+        (exit, strip_effort(&render), wall)
+    };
+
+    let journal_root = flag("--journal").map(PathBuf::from).unwrap_or_else(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_nanos());
+        std::env::temp_dir().join(format!(
+            "pathslice-editdrill-{}-{nanos}",
+            std::process::id()
+        ))
+    });
+
+    // Phase 1: cold check of the pristine program on a journaled daemon.
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        jobs: server_jobs,
+        journal_dir: Some(journal_root.join("main")),
+        ..ServerConfig::default()
+    })
+    .expect("bind edit-drill server");
+    let addr = server.local_addr();
+    eprintln!("drill edit: {n} function(s), {edits} sliding edit(s) on {addr}");
+    let mut client = Client::connect_retrying(addr, retry).expect("connect edit drill");
+    let send = |client: &mut Client, src: &str, id: String| -> (i32, Vec<String>, Duration) {
+        let mut request = wire::Request::new(src);
+        request.id = id;
+        let sent_at = Instant::now();
+        match client.request(&request) {
+            Ok(wire::Response::Ok { exit, render, .. }) => {
+                (exit, strip_effort(&render), sent_at.elapsed())
+            }
+            Ok(other) => panic!("drill edit `{}`: unexpected response {other:?}", request.id),
+            Err(e) => panic!("drill edit `{}`: {e}", request.id),
+        }
+    };
+    let base_src = edit_program(&versions);
+    let (base_exit, base_render, _) = send(&mut client, &base_src, "edit-base".into());
+    let (ctl_exit, ctl_render, _) = control(&base_src);
+    assert_eq!(
+        (base_exit, &base_render),
+        (ctl_exit, &ctl_render),
+        "drill edit: cold base check diverges from batch CLI"
+    );
+    let base_stats = server.stats().incr;
+    assert_eq!(
+        base_stats.verdict_reused, 0,
+        "drill edit: a cold daemon has nothing to reuse"
+    );
+
+    // Phase 2: slide a single-function edit across the program. Every
+    // request is one function body away from its predecessor.
+    let mut warm_lat: Vec<Duration> = Vec::new();
+    let mut cold_walls: Vec<Duration> = Vec::new();
+    let mut prev = server.stats().incr;
+    for e in 0..edits {
+        versions[e] += 100;
+        let src = edit_program(&versions);
+        let (exit, render, latency) = send(&mut client, &src, format!("edit-{e}"));
+        let (ctl_exit, ctl_render, ctl_wall) = control(&src);
+        assert_eq!(
+            (exit, &render),
+            (ctl_exit, &ctl_render),
+            "drill edit: edit {e} warm verdicts diverge from a cold batch check"
+        );
+        let now = server.stats().incr;
+        assert_eq!(
+            now.invalidated_clusters - prev.invalidated_clusters,
+            1,
+            "drill edit: edit {e} touched one function, must invalidate exactly one cluster"
+        );
+        assert_eq!(
+            now.verdict_reused - prev.verdict_reused,
+            (n - 1) as u64,
+            "drill edit: edit {e} must reuse every untouched cluster's verdict"
+        );
+        assert_eq!(
+            now.fn_hits - prev.fn_hits,
+            n as u64, // n + 1 functions, 1 edited
+            "drill edit: edit {e} must key-match every unedited function"
+        );
+        assert_eq!(
+            now.cert_rejected, 0,
+            "drill edit: no intact certificate may fail the reuse gate"
+        );
+        prev = now;
+        warm_lat.push(latency);
+        cold_walls.push(ctl_wall);
+        eprintln!(
+            "drill edit: edit {e} (f{e}) — {} reused / 1 re-checked, warm {:?} vs cold {:?}",
+            n - 1,
+            latency,
+            ctl_wall
+        );
+    }
+    drop(client);
+    let stats = server.shutdown();
+    let warm_total: Duration = warm_lat.iter().sum();
+    let cold_total: Duration = cold_walls.iter().sum();
+    assert!(
+        warm_total < cold_total,
+        "drill edit: warm re-checks ({warm_total:?}) must beat cold batch walls ({cold_total:?})"
+    );
+    assert_eq!(
+        stats.incr.verdict_reused,
+        (edits * (n - 1)) as u64,
+        "drill edit: total reuse accounting"
+    );
+
+    // Phase 3: chaos. Every reuse candidate's certificate is corrupted
+    // at the IncrReuse site; the gate must reject each one and the
+    // daemon must fall back to cold re-checks — warmth lost, verdicts
+    // intact.
+    let plan = rt::FaultPlan::new(seed ^ 0xED17).inject(
+        rt::FaultSite::IncrReuse,
+        rt::FaultKind::CorruptCertificate,
+        1.0,
+    );
+    let chaos = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        jobs: server_jobs,
+        journal_dir: Some(journal_root.join("chaos")),
+        faults: plan,
+        ..ServerConfig::default()
+    })
+    .expect("bind chaos server");
+    let mut client = Client::connect_retrying(chaos.local_addr(), retry).expect("connect chaos");
+    send(&mut client, &base_src, "chaos-base".into());
+    // One single-function edit against the *pristine* program (the
+    // phase-2 `versions` have drifted `edits` functions away from it).
+    let mut chaos_versions: Vec<u64> = (0..n as u64).map(|i| i + 1).collect();
+    chaos_versions[0] += 100;
+    let chaos_src = edit_program(&chaos_versions);
+    let (exit, render, _) = send(&mut client, &chaos_src, "chaos-edit".into());
+    let (ctl_exit, ctl_render, _) = control(&chaos_src);
+    assert_eq!(
+        (exit, &render),
+        (ctl_exit, &ctl_render),
+        "drill edit: chaos verdicts must still match a cold batch check"
+    );
+    drop(client);
+    let chaos_stats = chaos.shutdown();
+    assert_eq!(
+        chaos_stats.incr.verdict_reused, 0,
+        "drill edit: a corrupted certificate must never be reused"
+    );
+    assert_eq!(
+        chaos_stats.incr.cert_rejected,
+        (n - 1) as u64,
+        "drill edit: every corrupted candidate must be rejected at the gate"
+    );
+
+    if json {
+        let mut rep = bench::BenchReport::new("incr", bench::scale_name(scale));
+        rep.config("functions", Json::Num(n as i64));
+        rep.config("edits", Json::Num(edits as i64));
+        rep.config("seed", Json::Num(seed as i64));
+        rep.config("server_jobs", Json::Num(server_jobs as i64));
+        for (name, lats, extra) in [
+            (
+                "warm",
+                warm_lat.clone(),
+                vec![
+                    ("fn_hits".to_owned(), stats.incr.fn_hits as i64),
+                    ("cfa_reused".to_owned(), stats.incr.cfa_reused as i64),
+                    (
+                        "fixpoint_reused".to_owned(),
+                        stats.incr.fixpoint_reused as i64,
+                    ),
+                    (
+                        "invalidated_clusters".to_owned(),
+                        stats.incr.invalidated_clusters as i64,
+                    ),
+                    (
+                        "verdict_reused".to_owned(),
+                        stats.incr.verdict_reused as i64,
+                    ),
+                    (
+                        "chaos_cert_rejected".to_owned(),
+                        chaos_stats.incr.cert_rejected as i64,
+                    ),
+                ],
+            ),
+            ("cold", cold_walls.clone(), Vec::new()),
+        ] {
+            let mut sorted = lats;
+            sorted.sort();
+            let total: Duration = sorted.iter().sum();
+            let hist = obs::Histogram::new();
+            for d in &sorted {
+                hist.record(d.as_micros() as u64);
+            }
+            let snap = hist.snapshot();
+            let mut fields = vec![
+                ("requests".to_owned(), sorted.len() as i64),
+                (
+                    "hist_p50_us".to_owned(),
+                    snap.quantile_interpolated(0.50) as i64,
+                ),
+                (
+                    "hist_p95_us".to_owned(),
+                    snap.quantile_interpolated(0.95) as i64,
+                ),
+            ];
+            fields.extend(extra);
+            rep.rows.push(bench::Row {
+                name: name.into(),
+                variant: "default".into(),
+                fields,
+                times_s: vec![
+                    ("p50".into(), percentile(&sorted, 0.50).as_secs_f64()),
+                    ("p95".into(), percentile(&sorted, 0.95).as_secs_f64()),
+                    ("total".into(), total.as_secs_f64()),
+                ],
+                hists: vec![("latency_us".into(), snap)],
+                ..bench::Row::default()
+            });
+        }
+        bench::finish_json_report(rep);
+    }
+
+    println!(
+        "drill edit: OK ({edits} single-function edit(s) over {n} function(s), \
+         {} verdict(s) reused, {} invalidated, warm {warm_total:?} vs cold {cold_total:?}; \
+         chaos pass rejected {} corrupted certificate(s), verdicts intact)",
+        stats.incr.verdict_reused, stats.incr.invalidated_clusters, chaos_stats.incr.cert_rejected,
+    );
+}
+
 /// Knobs for the `--fabric` drill, straight from the command line.
 struct FabricDrill {
     nodes: usize,
@@ -1057,8 +1416,20 @@ fn main() {
                 );
                 return;
             }
+            "edit" => {
+                drill_edit(
+                    seed,
+                    parse_flag("--functions", 24),
+                    parse_flag("--edits", 6),
+                    server_jobs,
+                    retry,
+                    json,
+                    scale,
+                );
+                return;
+            }
             other => {
-                eprintln!("unknown --drill `{other}` (expected `restart` or `pipeline`)");
+                eprintln!("unknown --drill `{other}` (expected `restart`, `pipeline`, or `edit`)");
                 std::process::exit(64);
             }
         }

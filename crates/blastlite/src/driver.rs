@@ -31,7 +31,7 @@ use crate::checker::{
     CheckOutcome, CheckReport, Checker, CheckerConfig, ClusterReport, Reducer, ReducerSliceOptions,
     TimeoutReason,
 };
-use cfa::{Loc, Program};
+use cfa::{CBool, FuncId, Loc, Program};
 use dataflow::Analyses;
 use rt::{
     catch_unwind_silent, panic_payload, Budget, CancelToken, FaultKind, FaultPlan, FaultSite,
@@ -324,13 +324,40 @@ pub fn run_clusters_with(
     config: CheckerConfig,
     driver: &DriverConfig,
 ) -> DriverReport {
-    let t0 = Instant::now();
     let program = analyses.program();
-    let clusters: Vec<(cfa::FuncId, String, Vec<Loc>)> = program
+    let subset: Vec<(FuncId, Vec<CBool>)> = program
         .cfas()
         .iter()
         .filter(|c| !c.error_locs().is_empty())
-        .map(|c| (c.func(), c.name().to_owned(), c.error_locs().to_vec()))
+        .map(|c| (c.func(), Vec::new()))
+        .collect();
+    run_clusters_seeded(analyses, config, driver, &subset)
+}
+
+/// [`run_clusters_with`] restricted to an explicit subset of clusters,
+/// each with optional predicate seeds for its CEGAR run
+/// ([`Checker::check_seeded`]). The incremental session uses this to
+/// re-run only the clusters an edit invalidated, warm-started with the
+/// predicates their previous verdicts were refined against.
+///
+/// `subset` entries are `(function, seeds)`; functions without error
+/// locations are skipped (their clusters do not exist). Results come
+/// back in `subset` order.
+pub fn run_clusters_seeded(
+    analyses: &Analyses<'_>,
+    config: CheckerConfig,
+    driver: &DriverConfig,
+    subset: &[(FuncId, Vec<CBool>)],
+) -> DriverReport {
+    let t0 = Instant::now();
+    let program = analyses.program();
+    let clusters: Vec<(FuncId, String, Vec<Loc>, &[CBool])> = subset
+        .iter()
+        .filter(|(f, _)| !program.cfa(*f).error_locs().is_empty())
+        .map(|(f, seeds)| {
+            let c = program.cfa(*f);
+            (*f, c.name().to_owned(), c.error_locs().to_vec(), &seeds[..])
+        })
         .collect();
     let jobs = driver.jobs.max(1).min(clusters.len().max(1));
 
@@ -342,8 +369,8 @@ pub fn run_clusters_with(
         if i >= clusters.len() {
             break;
         }
-        let (func, name, locs) = &clusters[i];
-        let (report, attempts) = run_cluster(analyses, &config, driver, name, locs);
+        let (func, name, locs, seeds) = &clusters[i];
+        let (report, attempts) = run_cluster(analyses, &config, driver, name, locs, seeds);
         let mut cluster = DriverClusterReport {
             cluster: ClusterReport {
                 func: *func,
@@ -384,7 +411,7 @@ pub fn run_clusters_with(
                         // outside its panic-catching region; report it
                         // as the cluster's outcome instead of sinking
                         // the whole batch.
-                        let (func, name, locs) = &clusters[i];
+                        let (func, name, locs, _) = &clusters[i];
                         DriverClusterReport {
                             cluster: ClusterReport {
                                 func: *func,
@@ -402,6 +429,7 @@ pub fn run_clusters_with(
                                     wall: Duration::ZERO,
                                     n_predicates: 0,
                                     abstract_states: 0,
+                                    predicates: Vec::new(),
                                 },
                             },
                             attempts: Vec::new(),
@@ -443,12 +471,13 @@ fn run_cluster(
     driver: &DriverConfig,
     name: &str,
     targets: &[Loc],
+    seeds: &[CBool],
 ) -> (CheckReport, Vec<Attempt>) {
     let mut attempts = Vec::new();
     let mut attempt = 0usize;
     loop {
         let cfg = driver.retry.config_for(base, attempt);
-        let report = run_attempt(analyses, &cfg, driver, name, targets);
+        let report = run_attempt(analyses, &cfg, driver, name, targets, seeds);
         attempts.push(Attempt {
             attempt,
             time_budget: cfg.time_budget,
@@ -471,6 +500,7 @@ fn run_attempt(
     driver: &DriverConfig,
     name: &str,
     targets: &[Loc],
+    seeds: &[CBool],
 ) -> CheckReport {
     let _span = obs::span!("attempt", "cluster {name}");
     let t0 = Instant::now();
@@ -494,6 +524,7 @@ fn run_attempt(
         wall: t0.elapsed(),
         n_predicates: 0,
         abstract_states: 0,
+        predicates: Vec::new(),
     };
     let result = catch_unwind_silent(|| {
         const GATES: [(FaultSite, &str); 4] = [
@@ -534,7 +565,7 @@ fn run_attempt(
             }
         }
         phase.set("check");
-        Checker::new(analyses, *cfg).check_under(targets, &outer)
+        Checker::new(analyses, *cfg).check_seeded(targets, &outer, seeds)
     });
     obs::histogram("driver.attempt_us").observe(t0.elapsed().as_micros() as u64);
     match result {
@@ -552,6 +583,7 @@ fn run_attempt(
                 wall: t0.elapsed(),
                 n_predicates: 0,
                 abstract_states: 0,
+                predicates: Vec::new(),
             }
         }
     }

@@ -55,8 +55,8 @@ pub use checker::{
     ReducerSliceOptions, RefutationRound, TimeoutReason, TraceRecord,
 };
 pub use driver::{
-    run_clusters, run_clusters_with, Attempt, ClusterValidator, DriverClusterReport, DriverConfig,
-    DriverReport, DriverSummary, RetryPolicy,
+    run_clusters, run_clusters_seeded, run_clusters_with, Attempt, ClusterValidator,
+    DriverClusterReport, DriverConfig, DriverReport, DriverSummary, RetryPolicy,
 };
 pub use reach::SearchOrder;
-pub use session::{render_verdicts, Session};
+pub use session::{render_verdicts, ClusterDeps, ReuseOutcome, Session, UpdateReport};

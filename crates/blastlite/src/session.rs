@@ -1,5 +1,7 @@
 //! A reusable check session: one compiled program plus its cached
-//! dataflow analyses, shareable across many driver runs.
+//! dataflow analyses, shareable across many driver runs — and, since
+//! the incremental derivation graph (`incr`) landed, the unit of
+//! *edit-to-edit* reuse.
 //!
 //! Every entry point used to redo the same setup per invocation: parse,
 //! lower, validate, `Analyses::build`, then check. A [`Session`] does
@@ -10,18 +12,99 @@
 //! CLI path (`pathslice check`) runs on the same object, so there is
 //! exactly one code path from source text to verdicts.
 //!
-//! Sessions are content-addressed: [`Session::key`] is a 64-bit FNV-1a
-//! hash of the *resolved* program (the parsed AST pretty-printed back to
-//! canonical source), so two requests that differ only in whitespace or
-//! comments share one cache entry.
+//! Sessions are content-addressed at two granularities:
+//!
+//! * [`Session::key`] — FNV-1a over the whole resolved program
+//!   ([`incr::hash::ast_key`]); two requests that differ only in
+//!   whitespace or comments share one cache entry.
+//! * per-function [`incr::cfa_key`]s plus per-cluster [`incr::dep_key`]s
+//!   — what [`Session::update`] diffs to answer *which clusters did this
+//!   edit invalidate* and what [`Session::check_incremental`] consults
+//!   to reuse a prior cluster verdict without re-running its check.
+//!
+//! Verdict reuse is **certificate-gated**: a stored verdict is
+//! transplanted only when a caller-supplied [`ClusterValidator`]
+//! (normally `certify::validator`) re-validates its evidence against the
+//! *current* analyses. No gate ⇒ no reuse. A stale or corrupt entry
+//! therefore costs warmth (the cluster re-runs cold), never correctness.
 
-use crate::checker::{CheckOutcome, CheckerConfig, ClusterReport};
-use crate::driver::{run_clusters_with, DriverConfig, DriverReport};
-use cfa::Program;
-use dataflow::Analyses;
+use crate::checker::{CheckOutcome, CheckerConfig, ClusterReport, RefutationRound};
+use crate::driver::{
+    run_clusters_seeded, ClusterValidator, DriverClusterReport, DriverConfig, DriverReport,
+};
+use cfa::{CBool, FuncId, Program};
+use dataflow::{Analyses, BuildReuse};
+use rt::{FaultKind, FaultSite};
+use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::Instant;
 
-/// A compiled program with long-lived analyses.
+/// One check cluster's node in the derivation graph: its dependency set
+/// ([`incr::cluster_deps`]) and the memo key ([`incr::dep_key`]) its
+/// stored verdict is addressed by.
+#[derive(Debug, Clone)]
+pub struct ClusterDeps {
+    /// The cluster's root function (the one whose error sites are
+    /// checked).
+    pub func: FuncId,
+    /// Its source name.
+    pub name: String,
+    /// Every function whose body can influence this cluster's verdict,
+    /// sorted by [`FuncId`].
+    pub members: Vec<FuncId>,
+    /// The verdict memo key: member names + their structural
+    /// [`incr::cfa_key`]s + the program's alias fingerprint.
+    pub dep_key: u64,
+}
+
+/// A memoized cluster verdict, addressed by the [`incr::dep_key`] it was
+/// produced under.
+#[derive(Debug, Clone)]
+struct StoredCluster {
+    dep_key: u64,
+    report: DriverClusterReport,
+}
+
+/// What [`Session::update`] reused from the previous session.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateReport {
+    /// The update fell back to a cold compile (first build, a
+    /// declaration-level edit, or a session without a shape).
+    pub cold: bool,
+    /// Functions whose structural [`incr::cfa_key`]s were unchanged by
+    /// the edit (the derivation graph's function-level hit count).
+    pub fn_hits: usize,
+    /// Names of functions whose bodies the edit changed.
+    pub changed_functions: Vec<String>,
+    /// Clusters whose stored verdicts were carried into the new session
+    /// (their `dep_key`s were untouched by the edit).
+    pub carried_clusters: usize,
+    /// Clusters the edit invalidated (their dependency set contains a
+    /// changed function, or they are new).
+    pub invalidated_clusters: usize,
+    /// What `Analyses::build_with_reuse` reused below the verdict layer.
+    pub reuse: BuildReuse,
+}
+
+/// What one [`Session::check_incremental`] run reused.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReuseOutcome {
+    /// Clusters whose stored verdicts passed the certificate gate and
+    /// were transplanted without re-running the check.
+    pub verdict_reused: usize,
+    /// Stored verdicts the gate *rejected* (stale or corrupt evidence);
+    /// each fell back to a cold re-check.
+    pub cert_rejected: usize,
+    /// Clusters actually re-run.
+    pub recomputed: usize,
+    /// Predicate seeds handed to the re-run clusters (union of reused
+    /// clusters' final pools).
+    pub seeds: usize,
+}
+
+/// A compiled program with long-lived analyses and a per-cluster verdict
+/// memo.
 ///
 /// The struct is self-referential (`analyses` borrows `program`); the
 /// program lives in a `Box`, so its address is stable for the session's
@@ -34,6 +117,17 @@ pub struct Session {
     program: Box<Program>,
     source: String,
     key: u64,
+    /// Function-granular content identity; `None` for sessions built
+    /// from an already-lowered program (no AST to diff — `update` falls
+    /// back to a cold compile).
+    shape: Option<incr::Shape>,
+    /// [`incr::cfa_key`] per function, indexed by [`FuncId::index`].
+    fn_keys: Vec<u64>,
+    /// Per-cluster dependency sets and memo keys, in [`FuncId`] order.
+    clusters: Vec<ClusterDeps>,
+    /// Stored verdicts by cluster root, each tagged with the `dep_key`
+    /// it was produced under.
+    store: Mutex<HashMap<FuncId, StoredCluster>>,
 }
 
 impl Session {
@@ -47,32 +141,37 @@ impl Session {
     /// caret) on parse, lowering, or validation failure.
     pub fn compile(src: &str, origin: &str) -> Result<Session, String> {
         let ast = imp::parse(src).map_err(|e| format!("{origin}: {}", e.render(src)))?;
-        let key = fnv64(imp::pretty::program_to_string(&ast).as_bytes());
+        let shape = incr::Shape::of_ast(&ast);
         let program = cfa::lower(&ast).map_err(|e| format!("{origin}: {e}"))?;
         cfa::validate(&program).map_err(|e| format!("{origin}: {e}"))?;
-        Ok(Session::new(program, src, key))
+        let key = shape.key();
+        Ok(Session::cold(program, src, key, Some(shape)))
     }
 
     /// The content key `compile(src, ..)` would produce, without paying
     /// for lowering or analysis — what a cache consults before deciding
-    /// whether to build a session at all.
+    /// whether to build a session at all. Identical to the journal
+    /// record key and the fabric's `peer_get` routing key by
+    /// construction ([`incr::hash::ast_key`]).
     ///
     /// # Errors
     ///
     /// The rendered front-end parse error, as in [`Session::compile`].
     pub fn content_key(src: &str, origin: &str) -> Result<u64, String> {
         let ast = imp::parse(src).map_err(|e| format!("{origin}: {}", e.render(src)))?;
-        Ok(fnv64(imp::pretty::program_to_string(&ast).as_bytes()))
+        Ok(incr::hash::ast_key(&ast))
     }
 
     /// Wraps an already-lowered program (keyed by its pretty-printed
-    /// source text) — for callers that generate programs directly.
+    /// source text) — for callers that generate programs directly. The
+    /// session has no shape, so [`Session::update`] on it always falls
+    /// back to a cold compile.
     pub fn from_program(program: Program, source: &str) -> Session {
-        let key = fnv64(source.as_bytes());
-        Session::new(program, source, key)
+        let key = incr::hash::fnv64(source.as_bytes());
+        Session::cold(program, source, key, None)
     }
 
-    fn new(program: Program, source: &str, key: u64) -> Session {
+    fn cold(program: Program, source: &str, key: u64, shape: Option<incr::Shape>) -> Session {
         let program = Box::new(program);
         // SAFETY: `pref` points into the boxed program, whose heap
         // address is stable however the `Session` itself moves, and the
@@ -81,12 +180,135 @@ impl Session {
         // reborrows it at `&self`'s lifetime.
         let pref: &'static Program = unsafe { &*(program.as_ref() as *const Program) };
         let analyses = Analyses::build(pref);
+        let fn_keys = incr::function_keys(pref);
+        let clusters = derive_clusters(&analyses, &fn_keys);
         Session {
             analyses,
             program,
             source: source.to_owned(),
             key,
+            shape,
+            fn_keys,
+            clusters,
+            store: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Rebuilds the session for an edited source, reusing every
+    /// derivation-graph node the edit did not invalidate: unchanged
+    /// CFAs, their dataflow fixpoints, and the stored verdicts (plus
+    /// refinement predicates) of clusters whose [`incr::dep_key`]s are
+    /// untouched.
+    ///
+    /// Falls back to a cold [`Session::compile`] — reported via
+    /// [`UpdateReport::cold`] — when the old session has no shape or the
+    /// edit changed declarations (globals, arrays, or any function
+    /// signature/locals), where function-granular diffing is not
+    /// meaningful.
+    ///
+    /// # Errors
+    ///
+    /// The rendered front-end error, as in [`Session::compile`].
+    pub fn update(
+        old: &Session,
+        src: &str,
+        origin: &str,
+    ) -> Result<(Session, UpdateReport), String> {
+        let ast = imp::parse(src).map_err(|e| format!("{origin}: {}", e.render(src)))?;
+        let shape = incr::Shape::of_ast(&ast);
+        let changed = old.shape.as_ref().and_then(|o| shape.changed_since(o));
+        let Some(changed) = changed else {
+            let session = Session::compile(src, origin)?;
+            return Ok((
+                session,
+                UpdateReport {
+                    cold: true,
+                    ..UpdateReport::default()
+                },
+            ));
+        };
+        let program = cfa::lower(&ast).map_err(|e| format!("{origin}: {e}"))?;
+        cfa::validate(&program).map_err(|e| format!("{origin}: {e}"))?;
+        let key = shape.key();
+
+        let program = Box::new(program);
+        // SAFETY: as in `Session::cold`.
+        let pref: &'static Program = unsafe { &*(program.as_ref() as *const Program) };
+        let fn_keys = incr::function_keys(pref);
+        // Equal skeletons guarantee the same function list in the same
+        // order, so FuncIds line up index-for-index between versions.
+        let same_cfa: Vec<bool> = fn_keys
+            .iter()
+            .zip(&old.fn_keys)
+            .map(|(n, o)| n == o)
+            .collect();
+        let fn_hits = same_cfa.iter().filter(|&&b| b).count();
+        obs::counter("incr.fn_hits").add(fn_hits as u64);
+        let (analyses, reuse) = Analyses::build_with_reuse(pref, &old.analyses, &same_cfa);
+        obs::counter("incr.cfa_reused").add(reuse.cfa_reused as u64);
+        obs::counter("incr.fixpoint_reused").add(reuse.fixpoint_reused as u64);
+
+        let clusters = derive_clusters(&analyses, &fn_keys);
+        let old_keys: HashMap<FuncId, u64> =
+            old.clusters.iter().map(|c| (c.func, c.dep_key)).collect();
+        let old_store = old.store.lock().unwrap_or_else(|p| p.into_inner());
+        let mut store = HashMap::new();
+        let mut carried = 0usize;
+        let mut invalidated = 0usize;
+        for c in &clusters {
+            if old_keys.get(&c.func) != Some(&c.dep_key) {
+                invalidated += 1;
+                continue;
+            }
+            let Some(s) = old_store.get(&c.func).filter(|s| s.dep_key == c.dep_key) else {
+                continue;
+            };
+            // Equal dep_keys make every member CFA structurally
+            // identical, so the report's locations, edges, and slices
+            // transplant verbatim. Only the predicate pool references
+            // VarIds, which renumber on re-lowering: re-join them by
+            // name, dropping any that no longer resolve (costs warmth,
+            // never correctness — seeds only refine the abstraction).
+            let mut report = s.report.clone();
+            report.cluster.report.predicates = report
+                .cluster
+                .report
+                .predicates
+                .iter()
+                .filter_map(|p| incr::remap_bool(&old.program, pref, p))
+                .collect();
+            store.insert(
+                c.func,
+                StoredCluster {
+                    dep_key: c.dep_key,
+                    report,
+                },
+            );
+            carried += 1;
+        }
+        drop(old_store);
+        obs::counter("incr.invalidated_clusters").add(invalidated as u64);
+
+        Ok((
+            Session {
+                analyses,
+                program,
+                source: src.to_owned(),
+                key,
+                shape: Some(shape),
+                fn_keys,
+                clusters,
+                store: Mutex::new(store),
+            },
+            UpdateReport {
+                cold: false,
+                fn_hits,
+                changed_functions: changed,
+                carried_clusters: carried,
+                invalidated_clusters: invalidated,
+                reuse,
+            },
+        ))
     }
 
     /// The compiled program.
@@ -110,23 +332,213 @@ impl Session {
         self.key
     }
 
+    /// The function-granular content identity, when the session was
+    /// compiled from source.
+    pub fn shape(&self) -> Option<&incr::Shape> {
+        self.shape.as_ref()
+    }
+
+    /// Per-cluster dependency sets and memo keys, in [`FuncId`] order.
+    pub fn cluster_deps(&self) -> &[ClusterDeps] {
+        &self.clusters
+    }
+
     /// Runs the fault-tolerant driver over this session's program,
     /// reusing the cached analyses (and whatever `By` memo entries
-    /// earlier checks populated).
+    /// earlier checks populated). Every cluster re-runs — verdict-level
+    /// reuse requires the certificate gate of
+    /// [`Session::check_incremental`].
     pub fn check(&self, config: CheckerConfig, driver: &DriverConfig) -> DriverReport {
-        run_clusters_with(&self.analyses, config, driver)
+        self.check_incremental(config, driver, None, false).0
+    }
+
+    /// [`Session::check`] with certificate-gated verdict reuse.
+    ///
+    /// For each cluster whose stored verdict's `dep_key` matches the
+    /// current graph, the verdict is a *candidate*: `gate` re-validates
+    /// its evidence against the current analyses (after the
+    /// [`FaultSite::IncrReuse`] chaos hook has had its chance to corrupt
+    /// the candidate), and only a confirmed candidate is transplanted.
+    /// Rejected or unmatched clusters re-run; with `seed_predicates`
+    /// set, their fresh CEGAR runs are warm-started with the union of
+    /// the reused clusters' refinement predicates.
+    ///
+    /// `gate: None` disables reuse entirely (every cluster re-runs),
+    /// keeping the no-gate path byte-identical to the pre-incremental
+    /// driver.
+    pub fn check_incremental(
+        &self,
+        config: CheckerConfig,
+        driver: &DriverConfig,
+        gate: Option<&ClusterValidator>,
+        seed_predicates: bool,
+    ) -> (DriverReport, ReuseOutcome) {
+        let t0 = Instant::now();
+        let mut outcome = ReuseOutcome::default();
+        let mut reused: HashMap<FuncId, DriverClusterReport> = HashMap::new();
+        let mut to_run: Vec<FuncId> = Vec::new();
+        {
+            let store = self.store.lock().unwrap_or_else(|p| p.into_inner());
+            for c in &self.clusters {
+                let stored = store.get(&c.func).filter(|s| {
+                    s.dep_key == c.dep_key
+                        && matches!(
+                            s.report.cluster.report.outcome,
+                            CheckOutcome::Safe | CheckOutcome::Bug { .. }
+                        )
+                });
+                let (Some(gate), Some(stored)) = (gate, stored) else {
+                    to_run.push(c.func);
+                    continue;
+                };
+                let mut candidate = stored.report.clone();
+                if matches!(
+                    driver.faults.fire(FaultSite::IncrReuse, &c.name),
+                    Some(FaultKind::CorruptCertificate)
+                ) {
+                    corrupt_stored(&mut candidate);
+                }
+                // The gate runs arbitrary validator code; treat a panic
+                // as a rejection so one bad certificate cannot kill the
+                // whole check.
+                let verdict = rt::catch_unwind_silent(|| (gate.0)(&self.analyses, &candidate));
+                match verdict {
+                    Ok(None) => {
+                        obs::counter("incr.verdict_reused").inc();
+                        outcome.verdict_reused += 1;
+                        reused.insert(c.func, candidate);
+                    }
+                    Ok(Some(_)) | Err(_) => {
+                        obs::counter("incr.cert_rejected").inc();
+                        outcome.cert_rejected += 1;
+                        to_run.push(c.func);
+                    }
+                }
+            }
+        }
+
+        let seeds: Vec<CBool> = if seed_predicates {
+            let mut seeds: Vec<CBool> = Vec::new();
+            for r in reused.values() {
+                for p in &r.cluster.report.predicates {
+                    if !seeds.contains(p) {
+                        seeds.push(p.clone());
+                    }
+                }
+            }
+            seeds
+        } else {
+            Vec::new()
+        };
+        outcome.seeds = seeds.len();
+        outcome.recomputed = to_run.len();
+
+        let subset: Vec<(FuncId, Vec<CBool>)> =
+            to_run.iter().map(|&f| (f, seeds.clone())).collect();
+        let fresh = run_clusters_seeded(&self.analyses, config, driver, &subset);
+        let jobs = fresh.jobs;
+        let mut fresh_iter = fresh.clusters.into_iter();
+        let clusters: Vec<DriverClusterReport> = self
+            .clusters
+            .iter()
+            .map(|c| match reused.remove(&c.func) {
+                Some(r) => r,
+                None => fresh_iter
+                    .next()
+                    .expect("driver returns one report per requested cluster"),
+            })
+            .collect();
+
+        let mut store = self.store.lock().unwrap_or_else(|p| p.into_inner());
+        for (c, r) in self.clusters.iter().zip(&clusters) {
+            match r.cluster.report.outcome {
+                // Only stable verdicts are memoized: a Timeout or
+                // InternalError might succeed on a re-run, and a
+                // CertificateMismatch is by definition unconfirmed.
+                CheckOutcome::Safe | CheckOutcome::Bug { .. } => {
+                    store.insert(
+                        c.func,
+                        StoredCluster {
+                            dep_key: c.dep_key,
+                            report: r.clone(),
+                        },
+                    );
+                }
+                _ => {
+                    store.remove(&c.func);
+                }
+            }
+        }
+        drop(store);
+
+        (
+            DriverReport {
+                clusters,
+                wall: t0.elapsed(),
+                jobs,
+            },
+            outcome,
+        )
     }
 }
 
-/// 64-bit FNV-1a — the workspace's standalone content hash (no std
-/// `Hasher` so the value is stable across Rust releases and platforms).
-fn fnv64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
+/// Builds the per-cluster dependency sets and memo keys for a freshly
+/// analyzed program.
+fn derive_clusters(analyses: &Analyses<'_>, fn_keys: &[u64]) -> Vec<ClusterDeps> {
+    let program = analyses.program();
+    let alias_fp = incr::alias_fingerprint(analyses);
+    program
+        .cfas()
+        .iter()
+        .filter(|c| !c.error_locs().is_empty())
+        .map(|c| {
+            let members = incr::cluster_deps(analyses, c.func());
+            let dep_key = incr::dep_key(program, fn_keys, &members, alias_fp);
+            ClusterDeps {
+                func: c.func(),
+                name: c.name().to_owned(),
+                members,
+                dep_key,
+            }
+        })
+        .collect()
+}
+
+/// The [`FaultSite::IncrReuse`] corruption: damages a reuse candidate's
+/// evidence in a way the certificate gate is *guaranteed* to detect, so
+/// chaos drills prove the gate is load-bearing.
+///
+/// * `Safe` — pop one atom from the last non-empty refutation core.
+///   Deletion-minimized cores are 1-minimal, so the remainder is
+///   satisfiable and re-refutation fails. A report with no rounds gets a
+///   bogus empty round instead (rejected as an empty core).
+/// * `Bug` — drop the slice's final edge: the slice no longer ends at an
+///   error location (or becomes empty), which replay rejects.
+fn corrupt_stored(report: &mut DriverClusterReport) {
+    let r = &mut report.cluster.report;
+    match &mut r.outcome {
+        CheckOutcome::Safe => {
+            match r
+                .rounds
+                .iter_mut()
+                .rev()
+                .find(|round| !round.core.is_empty())
+            {
+                Some(round) => {
+                    round.core.pop();
+                }
+                None => r.rounds.push(RefutationRound {
+                    slice: Vec::new(),
+                    core: Vec::new(),
+                    core_complete: true,
+                }),
+            }
+        }
+        CheckOutcome::Bug { slice, .. } => {
+            slice.pop();
+        }
+        _ => {}
     }
-    h
 }
 
 /// Renders cluster verdicts exactly as `pathslice check` prints them and
@@ -183,6 +595,7 @@ pub fn render_verdicts(program: &Program, reports: &[ClusterReport]) -> (String,
 mod tests {
     use super::*;
     use crate::driver::run_clusters;
+    use std::sync::Arc;
 
     const SRC: &str = r#"
         global a, x;
@@ -264,5 +677,76 @@ mod tests {
                 c.cluster.report.outcome
             );
         }
+    }
+
+    /// An accept-everything gate: reuse is decided purely by dep_keys.
+    fn accept_all() -> ClusterValidator {
+        ClusterValidator(Arc::new(|_, _| None))
+    }
+
+    #[test]
+    fn update_reuses_untouched_clusters() {
+        let old = Session::compile(SRC, "<old>").unwrap();
+        let _ = old.check(CheckerConfig::default(), &DriverConfig::sequential());
+        // Edit g only: f's cluster dep set is {f, main} and main's body
+        // is untouched, so f's verdict carries.
+        let edited = SRC.replace("x == 2", "x == 1");
+        let (new, up) = Session::update(&old, &edited, "<new>").unwrap();
+        assert!(!up.cold);
+        assert_eq!(up.changed_functions, vec!["g".to_owned()]);
+        assert_eq!(up.carried_clusters, 1);
+        assert_eq!(up.invalidated_clusters, 1);
+        let gate = accept_all();
+        let (report, reuse) = new.check_incremental(
+            CheckerConfig::default(),
+            &DriverConfig::sequential(),
+            Some(&gate),
+            true,
+        );
+        assert_eq!(reuse.verdict_reused, 1);
+        assert_eq!(reuse.recomputed, 1);
+        // g's bug is now real (x == 1 after x = 1).
+        let kinds: Vec<_> = report
+            .verdicts()
+            .map(|(n, o)| format!("{n}:{}", if o.is_bug() { "bug" } else { "safe" }))
+            .collect();
+        assert_eq!(kinds, vec!["f:bug", "g:bug"]);
+    }
+
+    #[test]
+    fn no_gate_means_no_reuse() {
+        let session = Session::compile(SRC, "<test>").unwrap();
+        let _ = session.check(CheckerConfig::default(), &DriverConfig::sequential());
+        let (_, reuse) = session.check_incremental(
+            CheckerConfig::default(),
+            &DriverConfig::sequential(),
+            None,
+            false,
+        );
+        assert_eq!(reuse.verdict_reused, 0);
+        assert_eq!(reuse.recomputed, 2);
+    }
+
+    #[test]
+    fn declaration_edit_falls_back_cold() {
+        let old = Session::compile(SRC, "<old>").unwrap();
+        let (new, up) = Session::update(
+            &old,
+            &SRC.replace("global a, x;", "global a, x, y;"),
+            "<new>",
+        )
+        .unwrap();
+        assert!(up.cold);
+        assert_eq!(up.carried_clusters, 0);
+        assert!(new.shape().is_some());
+    }
+
+    #[test]
+    fn from_program_updates_cold() {
+        let program = cfa::lower(&imp::parse(SRC).unwrap()).unwrap();
+        let old = Session::from_program(program, SRC);
+        assert!(old.shape().is_none());
+        let (_, up) = Session::update(&old, SRC, "<new>").unwrap();
+        assert!(up.cold);
     }
 }

@@ -132,6 +132,7 @@ USAGE:
     pathslice check <file.imp> [--no-slicing] [--timeout <secs>] [--dfs]
                                [--jobs <n>] [--retries <k>]
                                [--validate] [--cert <trace.json>]
+                               [--from <old.imp>]
                                [--stats] [--stats-json <stats.json>]
                                [--trace-out <spans.json>]
     pathslice serve [--addr <host:port>] [--jobs <n>] [--queue <n>]
@@ -176,9 +177,6 @@ fn cmd_check(args: &[String], out: &mut String) -> Result<i32, String> {
         pathslicing::obs::set_enabled(true);
     }
     let src = std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
-    // One code path with the server: the same Session compiles the
-    // program and the same render_verdicts prints the verdicts.
-    let session = pathslicing::blastlite::Session::compile(&src, &file)?;
     let mut config = CheckerConfig {
         reducer: if flags.iter().any(|f| f == "--no-slicing") {
             Reducer::Identity
@@ -218,9 +216,52 @@ fn cmd_check(args: &[String], out: &mut String) -> Result<i32, String> {
         ));
     }
     let cert_path = flag_value(&flags, "--cert")?;
+    // One code path with the server: the same Session compiles the
+    // program and the same render_verdicts prints the verdicts. With
+    // `--from <old.imp>`, the session is built *incrementally* from the
+    // previous version: the old program is checked to warm the
+    // per-cluster verdict memo, the edit is diffed function-by-function,
+    // and only invalidated clusters re-run (reuse gated on each stored
+    // verdict's certificate re-validating).
+    let from = flag_value(&flags, "--from")?;
+    let (session, update) = match &from {
+        Some(old_file) => {
+            let old_src = std::fs::read_to_string(old_file)
+                .map_err(|e| format!("cannot read {old_file}: {e}"))?;
+            let old = pathslicing::blastlite::Session::compile(&old_src, old_file)?;
+            let _ = old.check(config, &driver);
+            let (session, up) = pathslicing::blastlite::Session::update(&old, &src, &file)?;
+            (session, Some(up))
+        }
+        None => (pathslicing::blastlite::Session::compile(&src, &file)?, None),
+    };
     let t0 = std::time::Instant::now();
-    let driver_report = session.check(config, &driver);
+    let (driver_report, reuse) = if update.is_some() {
+        let gate = pathslicing::certify::validator(pathslicing::rt::FaultPlan::default());
+        let (report, reuse) = session.check_incremental(config, &driver, Some(&gate), true);
+        (report, Some(reuse))
+    } else {
+        (session.check(config, &driver), None)
+    };
     let wall = t0.elapsed();
+    if let (Some(up), Some(reuse)) = (&update, &reuse) {
+        if up.cold {
+            let _ = writeln!(
+                out,
+                "incremental: declaration-level change — fell back to a cold check"
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "incremental: {} function(s) edited, {} cluster verdict(s) reused, \
+                 {} re-checked, {} rejected by the certificate gate",
+                up.changed_functions.len(),
+                reuse.verdict_reused,
+                reuse.recomputed,
+                reuse.cert_rejected
+            );
+        }
+    }
     if let Some(path) = cert_path {
         let trace = pathslicing::certify::certify_report(
             session.analyses(),
@@ -826,6 +867,38 @@ mod tests {
         assert_eq!(code, 1);
         assert!(out.contains("BUG"), "{out}");
         assert!(out.contains("assume"), "witness printed: {out}");
+    }
+
+    const DISPATCH_OLD: &str = r#"
+        global s;
+        fn f1() { local a; a = 1; if (a < 1) { error(); } }
+        fn f2() { local b; b = 2; if (b == 2) { error(); } }
+        fn main() { s = nondet(); if (s > 0) { f1(); } else { f2(); } }
+    "#;
+
+    #[test]
+    fn check_from_reuses_untouched_cluster_verdicts() {
+        let old = write_temp("incr-old.imp", DISPATCH_OLD);
+        let new = write_temp("incr-new.imp", &DISPATCH_OLD.replace("b == 2", "b == 3"));
+        let (code, out) = run_ok(&["check", &new, "--from", &old]);
+        assert_eq!(code, 0, "{out}");
+        assert!(
+            out.contains("1 cluster verdict(s) reused, 1 re-checked"),
+            "{out}"
+        );
+        // The verdict lines themselves match a plain cold check.
+        let (cold_code, cold_out) = run_ok(&["check", &new]);
+        assert_eq!(code, cold_code);
+        let verdicts = |s: &str| -> Vec<String> {
+            s.lines()
+                .filter(|l| l.contains("site(s)"))
+                .map(|l| {
+                    l.rsplit_once("  ")
+                        .map_or(l.to_owned(), |(v, _)| v.to_owned())
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(verdicts(&out), verdicts(&cold_out));
     }
 
     #[test]

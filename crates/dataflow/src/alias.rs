@@ -21,7 +21,7 @@ use cfa::{CExpr, CLval, Op, Program, VarId};
 
 /// The result of the pointer analysis. Build once per program with
 /// [`AliasInfo::build`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AliasInfo {
     /// Resolved points-to set per variable (wild pointers already
     /// expanded to the address-taken set).

@@ -33,6 +33,23 @@ pub struct Analyses<'p> {
     n_vars: usize,
 }
 
+/// What [`Analyses::build_with_reuse`] salvaged from the previous
+/// build — the raw material for the `incr.cfa_reused` /
+/// `incr.fixpoint_reused` counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BuildReuse {
+    /// Per-CFA edge-reachability fixpoints cloned instead of rebuilt.
+    pub cfa_reused: usize,
+    /// Per-function `Mods` + per-edge write sets cloned instead of
+    /// rebuilt.
+    pub fixpoint_reused: usize,
+    /// Memoized `By` sets carried into the new memo table.
+    pub by_carried: usize,
+    /// Whether the rebuilt pointer analysis matched the old one (the
+    /// precondition for any `Mods` reuse).
+    pub alias_same: bool,
+}
+
 impl<'p> Analyses<'p> {
     /// Runs every analysis for `program`.
     pub fn build(program: &'p Program) -> Self {
@@ -89,6 +106,150 @@ impl<'p> Analyses<'p> {
             by_cache: Mutex::new(HashMap::new()),
             n_vars,
         }
+    }
+
+    /// Rebuilds the analyses for a new version of a program, salvaging
+    /// every fixpoint whose inputs are unchanged.
+    ///
+    /// `same_cfa[i]` asserts that function `i`'s CFA is *structurally
+    /// identical* between `old.program()` and `program` (same locations,
+    /// edges, operations, and variable identities — the caller derives
+    /// this from `incr::cfa_key` equality under an equal program
+    /// skeleton, which also pins the variable table so bitset indices
+    /// transplant). Reuse is per-node in the derivation graph:
+    ///
+    /// - edge reachability (`Out`/`In`) reads only the CFA ⇒ reused
+    ///   iff `same_cfa[i]`;
+    /// - `Mods` and per-edge write sets read the CFA, the pointer
+    ///   analysis, and every callee's `Mods` ⇒ reused iff all three are
+    ///   unchanged (checked bottom-up in callee-first order);
+    /// - memoized `By` sets read only the CFA ⇒ carried over iff
+    ///   `same_cfa`.
+    ///
+    /// The pointer analysis itself is whole-program and cheap, so it is
+    /// always rebuilt and *compared* — the comparison gates everything
+    /// downstream of it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two programs have different function counts or
+    /// `same_cfa` has the wrong length (the caller must only request
+    /// reuse across skeleton-equal versions).
+    pub fn build_with_reuse(
+        program: &'p Program,
+        old: &Analyses<'_>,
+        same_cfa: &[bool],
+    ) -> (Self, BuildReuse) {
+        let n = program.cfas().len();
+        assert_eq!(
+            n,
+            old.program.cfas().len(),
+            "reuse requires skeleton-equal program versions"
+        );
+        assert_eq!(same_cfa.len(), n, "one same_cfa flag per function");
+
+        let n_vars = program.vars().len();
+        let mut reuse = BuildReuse::default();
+        let alias = AliasInfo::build(program);
+        reuse.alias_same = n_vars == old.n_vars && alias == old.alias;
+        let callgraph = CallGraph::build(program);
+
+        let reach: Vec<EdgeReach> = program
+            .cfas()
+            .iter()
+            .enumerate()
+            .map(|(i, cfa)| {
+                if same_cfa[i] {
+                    reuse.cfa_reused += 1;
+                    old.reach[i].clone()
+                } else {
+                    EdgeReach::build(cfa)
+                }
+            })
+            .collect();
+
+        let mut mods: Vec<BitSet> = vec![BitSet::new(n_vars); n];
+        let mut mods_same: Vec<bool> = vec![false; n];
+        for &f in callgraph.topo_callees_first() {
+            let i = f.index();
+            if reuse.alias_same
+                && same_cfa[i]
+                && callgraph.callees(f).iter().all(|g| mods_same[g.index()])
+            {
+                mods[i] = old.mods[i].clone();
+                mods_same[i] = true;
+                continue;
+            }
+            let mut m = BitSet::new(n_vars);
+            for e in program.cfa(f).edges() {
+                match &e.op {
+                    Op::Call(g) => {
+                        m.union_with(&mods[g.index()]);
+                    }
+                    other => {
+                        if let Some(lv) = other.write() {
+                            m.union_with(&alias.may_write_cells(lv));
+                        }
+                    }
+                }
+            }
+            mods[i] = m;
+        }
+
+        // edge_writes[f] reads exactly the inputs of mods[f], so the
+        // same bottom-up verdict covers it.
+        let edge_writes: Vec<Vec<BitSet>> = program
+            .cfas()
+            .iter()
+            .enumerate()
+            .map(|(i, cfa)| {
+                if mods_same[i] {
+                    reuse.fixpoint_reused += 1;
+                    old.edge_writes[i].clone()
+                } else {
+                    cfa.edges()
+                        .iter()
+                        .map(|e| match &e.op {
+                            Op::Call(g) => mods[g.index()].clone(),
+                            other => match other.write() {
+                                Some(lv) => alias.may_write_cells(lv),
+                                None => BitSet::new(n_vars),
+                            },
+                        })
+                        .collect()
+                }
+            })
+            .collect();
+
+        // Warm the By memo with entries whose CFA did not change
+        // (compute_by reads nothing else).
+        let mut by_cache: HashMap<Loc, BitSet> = HashMap::new();
+        {
+            let old_by = old
+                .by_cache
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            for (loc, set) in old_by.iter() {
+                if same_cfa[loc.func.index()] {
+                    by_cache.insert(*loc, set.clone());
+                    reuse.by_carried += 1;
+                }
+            }
+        }
+
+        (
+            Analyses {
+                program,
+                alias,
+                callgraph,
+                reach,
+                mods,
+                edge_writes,
+                by_cache: Mutex::new(by_cache),
+                n_vars,
+            },
+            reuse,
+        )
     }
 
     /// The program these analyses describe.
@@ -503,6 +664,63 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn build_with_reuse_matches_cold_build() {
+        let old_src = "global g, h;\n\
+             fn leaf() { g = 1; }\n\
+             fn mid() { leaf(); }\n\
+             fn main() { local a; mid(); h = 2; a = 3; if (a > h) { error(); } }\n";
+        let (old_p, _) = build(old_src);
+        let old_a = Analyses::build(&old_p);
+        // Touch the By memo so there is something to carry over.
+        let m = old_p.cfa(old_p.main());
+        let _ = old_a.can_bypass(m.entry(), m.exit());
+        let _ = old_a.can_bypass(m.entry(), m.error_locs()[0]);
+
+        // Edit leaf's body; only leaf and (transitively) its callers'
+        // Mods inputs change — main's CFA and mid's CFA are untouched.
+        let new_src = old_src.replace("g = 1", "g = 7");
+        let (new_p, _) = build(&new_src);
+        let same_cfa: Vec<bool> = (0..new_p.cfas().len())
+            .map(|i| new_p.cfas()[i].name() != "leaf")
+            .collect();
+        let (inc, reuse) = Analyses::build_with_reuse(&new_p, &old_a, &same_cfa);
+        let cold = Analyses::build(&new_p);
+
+        assert!(reuse.alias_same);
+        assert_eq!(reuse.cfa_reused, 2, "mid and main");
+        // leaf changed, so every transitive caller's Mods inputs are
+        // dirty: nothing's write sets are reusable here... except
+        // nothing — leaf is below everyone. Mods reuse requires all
+        // callees clean; only functions not above leaf qualify.
+        assert_eq!(reuse.fixpoint_reused, 0);
+        assert!(reuse.by_carried >= 2, "main's By memo carries over");
+
+        // Equivalence with the cold build, relation by relation.
+        for f in 0..new_p.cfas().len() {
+            let fid = cfa::FuncId(f as u32);
+            assert_eq!(inc.mods(fid), cold.mods(fid));
+            for e in 0..new_p.cfa(fid).edges().len() as u32 {
+                let eid = EdgeId { func: fid, idx: e };
+                assert_eq!(inc.edge_write_cells(eid), cold.edge_write_cells(eid));
+            }
+        }
+        assert_eq!(inc.alias, cold.alias);
+        assert_eq!(inc.reach, cold.reach);
+
+        // An unrelated-function edit reuses the deep fixpoints.
+        let new2 = old_src.replace("a = 3", "a = 4");
+        let (p2, _) = build(&new2);
+        let same2: Vec<bool> = (0..p2.cfas().len())
+            .map(|i| p2.cfas()[i].name() != "main")
+            .collect();
+        let (inc2, reuse2) = Analyses::build_with_reuse(&p2, &old_a, &same2);
+        assert!(reuse2.alias_same);
+        assert_eq!(reuse2.fixpoint_reused, 2, "leaf and mid Mods reused");
+        let cold2 = Analyses::build(&p2);
+        assert_eq!(inc2.mods(p2.main()), cold2.mods(p2.main()));
     }
 
     #[test]

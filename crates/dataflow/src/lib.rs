@@ -46,7 +46,7 @@ pub mod reach;
 pub mod reachdef;
 
 pub use alias::AliasInfo;
-pub use analyses::Analyses;
+pub use analyses::{Analyses, BuildReuse};
 pub use bddreach::BddBy;
 pub use bitset::BitSet;
 pub use callgraph::CallGraph;

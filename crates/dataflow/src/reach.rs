@@ -13,7 +13,7 @@ use crate::bitset::BitSet;
 use cfa::{Cfa, Loc};
 
 /// The `In`/`Out` edge sets of one CFA.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EdgeReach {
     out: Vec<BitSet>,
     inn: Vec<BitSet>,

@@ -546,15 +546,8 @@ fn handle_frame(
 /// over the raw bytes otherwise (the backend will answer the parse
 /// error; routing just has to be deterministic).
 fn route_key(source: &str) -> u64 {
-    blastlite::Session::content_key(source, "<route>").unwrap_or_else(|_| fnv64(source.as_bytes()))
-}
-
-fn fnv64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
-    }
-    h
+    blastlite::Session::content_key(source, "<route>")
+        .unwrap_or_else(|_| incr::hash::fnv64(source.as_bytes()))
 }
 
 /// Relays `line` to the ring owner of `key`, walking successors on

@@ -42,6 +42,7 @@ pub use certify;
 pub use cfa;
 pub use dataflow;
 pub use imp;
+pub use incr;
 pub use lia;
 pub use obs;
 pub use rt;

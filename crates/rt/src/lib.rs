@@ -411,6 +411,12 @@ pub enum FaultSite {
     /// partition: every connection to that member is refused and the
     /// router must reroute to the next ring position.
     Partition,
+    /// While reusing a memoized cluster verdict from the incremental
+    /// derivation graph (keyed by the cluster's function name).
+    /// [`FaultKind::CorruptCertificate`] damages the stored evidence so
+    /// the certificate gate must reject the entry and downgrade that
+    /// cluster to a cold re-check — warmth lost, correctness kept.
+    IncrReuse,
 }
 
 impl FaultSite {
@@ -429,6 +435,7 @@ impl FaultSite {
             FaultSite::WireWrite => 0xBB,
             FaultSite::PeerFetch => 0xCC,
             FaultSite::Partition => 0xDD,
+            FaultSite::IncrReuse => 0xEE,
         }
     }
 }

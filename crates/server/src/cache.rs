@@ -19,7 +19,7 @@
 //! always available from [`AnalysisCache::stats`]).
 
 use crate::wire::ClusterVerdict;
-use blastlite::Session;
+use blastlite::{Session, UpdateReport};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -31,6 +31,10 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that had to compile.
     pub misses: u64,
+    /// Misses served by an incremental [`Session::update`] from a
+    /// skeleton-matched resident session instead of a cold compile (a
+    /// subset of `misses`).
+    pub updates: u64,
     /// Entries displaced by the LRU bound.
     pub evictions: u64,
     /// Entries currently resident.
@@ -56,17 +60,26 @@ struct Entry {
     last_used: u64,
 }
 
-/// An LRU map from content key to shared [`Session`].
+/// An LRU map from content key to shared [`Session`], with a secondary
+/// *skeleton* index (declarations-only hash → most recent program key)
+/// that lets a miss be served by an incremental [`Session::update`]
+/// from a resident predecessor — the derivation graph's program-level
+/// front door.
 pub struct AnalysisCache {
     capacity: usize,
     inner: Mutex<Inner>,
     hits: AtomicU64,
     misses: AtomicU64,
+    updates: AtomicU64,
     evictions: AtomicU64,
 }
 
 struct Inner {
     entries: HashMap<u64, Entry>,
+    /// Skeleton key → the most recently inserted program key with that
+    /// skeleton. A dangling value (entry since evicted) is harmless:
+    /// the predecessor probe just misses.
+    skeletons: HashMap<u64, u64>,
     tick: u64,
 }
 
@@ -77,23 +90,20 @@ impl AnalysisCache {
             capacity: capacity.max(1),
             inner: Mutex::new(Inner {
                 entries: HashMap::new(),
+                skeletons: HashMap::new(),
                 tick: 0,
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            updates: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
     }
 
     /// Looks up `source`'s resolved program, compiling a fresh
     /// [`Session`] on a miss. Returns the session and whether it was a
-    /// hit.
-    ///
-    /// Compilation happens *outside* the cache lock so a large program
-    /// being analysed never stalls other workers' hits; two workers
-    /// racing on the same new key may both compile, and the second
-    /// insert wins (both results are identical, one is briefly
-    /// redundant).
+    /// hit. [`AnalysisCache::get_or_update`] with the update report
+    /// dropped.
     ///
     /// # Errors
     ///
@@ -103,17 +113,65 @@ impl AnalysisCache {
         source: &str,
         origin: &str,
     ) -> Result<(Arc<Session>, bool), String> {
-        let key = Session::content_key(source, origin)?;
+        let (session, hit, _) = self.get_or_update(source, origin)?;
+        Ok((session, hit))
+    }
+
+    /// Looks up `source`'s resolved program; on a miss, first tries to
+    /// build the session *incrementally* from a resident session with
+    /// the same skeleton (same globals, arrays, and function
+    /// signatures — i.e. an edited version of a program this cache has
+    /// seen), falling back to a cold compile. Returns the session,
+    /// whether it was a hit, and the update report when the incremental
+    /// path served the miss.
+    ///
+    /// Compilation happens *outside* the cache lock so a large program
+    /// being analysed never stalls other workers' hits; two workers
+    /// racing on the same new key may both compile, and the second
+    /// insert wins (both results are identical, one is briefly
+    /// redundant).
+    ///
+    /// # Errors
+    ///
+    /// The rendered front-end error from [`Session::compile`] /
+    /// [`Session::update`].
+    pub fn get_or_update(
+        &self,
+        source: &str,
+        origin: &str,
+    ) -> Result<(Arc<Session>, bool, Option<UpdateReport>), String> {
+        let ast = imp::parse(source).map_err(|e| format!("{origin}: {}", e.render(source)))?;
+        let shape = incr::Shape::of_ast(&ast);
+        let key = shape.key();
         if let Some(session) = self.lookup(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             obs::counter("server.cache_hits").inc();
-            return Ok((session, true));
+            return Ok((session, true, None));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         obs::counter("server.cache_misses").inc();
-        let session = Arc::new(Session::compile(source, origin)?);
+        let predecessor = {
+            let inner = lock(&self.inner);
+            inner
+                .skeletons
+                .get(&shape.skeleton())
+                .and_then(|k| inner.entries.get(k))
+                .map(|e| e.session.clone())
+        };
+        let (session, update) = match predecessor {
+            Some(old) => {
+                let (session, up) = Session::update(&old, source, origin)?;
+                let up = (!up.cold).then_some(up);
+                if up.is_some() {
+                    self.updates.fetch_add(1, Ordering::Relaxed);
+                    obs::counter("server.cache_updates").inc();
+                }
+                (Arc::new(session), up)
+            }
+            None => (Arc::new(Session::compile(source, origin)?), None),
+        };
         self.insert(key, session.clone());
-        Ok((session, false))
+        Ok((session, false, update))
     }
 
     fn lookup(&self, key: u64) -> Option<Arc<Session>> {
@@ -129,6 +187,7 @@ impl AnalysisCache {
         let mut inner = lock(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;
+        let skeleton = session.shape().map(|s| s.skeleton());
         inner.entries.insert(
             key,
             Entry {
@@ -136,11 +195,22 @@ impl AnalysisCache {
                 last_used: tick,
             },
         );
+        if let Some(sk) = skeleton {
+            inner.skeletons.insert(sk, key);
+        }
         while inner.entries.len() > self.capacity {
             let Some((&oldest, _)) = inner.entries.iter().min_by_key(|(_, e)| e.last_used) else {
                 break;
             };
-            inner.entries.remove(&oldest);
+            if let Some(e) = inner.entries.remove(&oldest) {
+                // Drop a skeleton-index pointer at the evicted entry so
+                // the predecessor probe never resolves to a dead key.
+                if let Some(sk) = e.session.shape().map(|s| s.skeleton()) {
+                    if inner.skeletons.get(&sk) == Some(&oldest) {
+                        inner.skeletons.remove(&sk);
+                    }
+                }
+            }
             self.evictions.fetch_add(1, Ordering::Relaxed);
             obs::counter("server.cache_evictions").inc();
         }
@@ -166,6 +236,7 @@ impl AnalysisCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            updates: self.updates.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             len: lock(&self.inner).entries.len(),
             capacity: self.capacity,
@@ -399,6 +470,27 @@ mod tests {
         assert!(hit1, "recently used entry survived");
         let (_, hit2) = cache.get_or_compile(&src(2), "<t>").unwrap();
         assert!(!hit2, "cold entry was evicted");
+    }
+
+    #[test]
+    fn skeleton_match_serves_a_miss_incrementally() {
+        let cache = AnalysisCache::new(4);
+        let base = "global s; fn f() { s = 1; if (s < 1) { error(); } } fn main() { f(); }";
+        cache.get_or_update(base, "<t>").unwrap();
+        let edited = base.replace("s < 1", "s < 0");
+        let (session, hit, up) = cache.get_or_update(&edited, "<t>").unwrap();
+        assert!(!hit);
+        let up = up.expect("same-skeleton edit rides the incremental path");
+        assert!(!up.cold);
+        assert_eq!(up.changed_functions, vec!["f".to_owned()]);
+        assert!(session.shape().is_some());
+        assert_eq!(cache.stats().updates, 1);
+        // A declaration-level edit cannot be diffed function-by-function
+        // and falls back to a cold compile.
+        let decl = edited.replace("global s;", "global s, t;");
+        let (_, _, up) = cache.get_or_update(&decl, "<t>").unwrap();
+        assert!(up.is_none());
+        assert_eq!(cache.stats().updates, 1);
     }
 
     #[test]

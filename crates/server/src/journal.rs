@@ -653,22 +653,16 @@ fn truncate(s: &str, n: usize) -> &str {
     }
 }
 
-/// 64-bit FNV-1a over the payload bytes — standalone so the on-disk
-/// checksum is stable across Rust releases and platforms (same
-/// construction as `Session`'s content key). Also used by the server
-/// for configuration fingerprints.
+/// 64-bit FNV-1a over the payload bytes — the workspace's shared
+/// content hash ([`incr::hash::fnv64`]), so the on-disk checksum, the
+/// session content key, the fabric routing key, and the per-function
+/// derivation-graph keys are all one construction. Also used by the
+/// server for configuration fingerprints.
 pub(crate) fn content_hash(bytes: &[u8]) -> u64 {
     fnv64(bytes)
 }
 
-fn fnv64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
-}
+use incr::hash::fnv64;
 
 #[cfg(test)]
 mod tests {

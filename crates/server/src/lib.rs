@@ -206,6 +206,28 @@ pub struct ServerStats {
     pub peer_misses: u64,
     /// Journal accounting, when a journal is attached.
     pub journal: Option<JournalStats>,
+    /// Incremental derivation-graph accounting.
+    pub incr: IncrStats,
+}
+
+/// Point-in-time incremental-reuse accounting — the derivation graph's
+/// hit counters, summed over every `Session::update` and certificate-
+/// gated check this daemon ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IncrStats {
+    /// Functions whose structural keys survived an edit.
+    pub fn_hits: u64,
+    /// Per-function reachability fixpoints reused across updates.
+    pub cfa_reused: u64,
+    /// Per-function mod/write-set fixpoints reused across updates.
+    pub fixpoint_reused: u64,
+    /// Clusters invalidated by edits (their dependency set changed).
+    pub invalidated_clusters: u64,
+    /// Cluster verdicts reused after their certificate re-validated.
+    pub verdict_reused: u64,
+    /// Reuse candidates the certificate gate rejected (each fell back
+    /// to a cold re-check).
+    pub cert_rejected: u64,
 }
 
 impl std::fmt::Display for ServerStats {
@@ -602,6 +624,12 @@ struct Shared {
     peer_accepted: AtomicU64,
     peer_rejected: AtomicU64,
     peer_misses: AtomicU64,
+    incr_fn_hits: AtomicU64,
+    incr_cfa_reused: AtomicU64,
+    incr_fixpoint_reused: AtomicU64,
+    incr_invalidated: AtomicU64,
+    incr_verdict_reused: AtomicU64,
+    incr_cert_rejected: AtomicU64,
     conn_seq: AtomicU64,
 }
 
@@ -623,6 +651,14 @@ impl Shared {
             peer_rejected: self.peer_rejected.load(Ordering::Relaxed),
             peer_misses: self.peer_misses.load(Ordering::Relaxed),
             journal: self.journal_stats(),
+            incr: IncrStats {
+                fn_hits: self.incr_fn_hits.load(Ordering::Relaxed),
+                cfa_reused: self.incr_cfa_reused.load(Ordering::Relaxed),
+                fixpoint_reused: self.incr_fixpoint_reused.load(Ordering::Relaxed),
+                invalidated_clusters: self.incr_invalidated.load(Ordering::Relaxed),
+                verdict_reused: self.incr_verdict_reused.load(Ordering::Relaxed),
+                cert_rejected: self.incr_cert_rejected.load(Ordering::Relaxed),
+            },
         }
     }
 
@@ -661,8 +697,18 @@ impl Shared {
             ("server.workers_alive".to_owned(), s.workers_alive),
             ("server.cache_hits".to_owned(), s.cache.hits),
             ("server.cache_misses".to_owned(), s.cache.misses),
+            ("server.cache_updates".to_owned(), s.cache.updates),
             ("server.cache_evictions".to_owned(), s.cache.evictions),
             ("server.cache_len".to_owned(), s.cache.len as u64),
+            ("incr.fn_hits".to_owned(), s.incr.fn_hits),
+            ("incr.cfa_reused".to_owned(), s.incr.cfa_reused),
+            ("incr.fixpoint_reused".to_owned(), s.incr.fixpoint_reused),
+            (
+                "incr.invalidated_clusters".to_owned(),
+                s.incr.invalidated_clusters,
+            ),
+            ("incr.verdict_reused".to_owned(), s.incr.verdict_reused),
+            ("incr.cert_rejected".to_owned(), s.incr.cert_rejected),
             (
                 "server.slow_retained".to_owned(),
                 self.telemetry.slow_retained.load(Ordering::Relaxed),
@@ -911,6 +957,12 @@ impl Server {
             peer_accepted: AtomicU64::new(0),
             peer_rejected: AtomicU64::new(0),
             peer_misses: AtomicU64::new(0),
+            incr_fn_hits: AtomicU64::new(0),
+            incr_cfa_reused: AtomicU64::new(0),
+            incr_fixpoint_reused: AtomicU64::new(0),
+            incr_invalidated: AtomicU64::new(0),
+            incr_verdict_reused: AtomicU64::new(0),
+            incr_cert_rejected: AtomicU64::new(0),
             conn_seq: AtomicU64::new(0),
             config,
         });
@@ -1342,7 +1394,7 @@ fn process(job: &Job, shared: &Shared) -> wire::Response {
     let queue_us = job.admitted.elapsed().as_micros() as u64;
     shared.telemetry.queue_us.record(queue_us);
 
-    let (session, cache_hit) = match shared.cache.get_or_compile(&req.source, "<request>") {
+    let (session, cache_hit, update) = match shared.cache.get_or_update(&req.source, "<request>") {
         Ok(found) => found,
         Err(front_end) => {
             return wire::Response::Error {
@@ -1351,6 +1403,20 @@ fn process(job: &Job, shared: &Shared) -> wire::Response {
             }
         }
     };
+    if let Some(up) = &update {
+        shared
+            .incr_fn_hits
+            .fetch_add(up.fn_hits as u64, Ordering::Relaxed);
+        shared
+            .incr_cfa_reused
+            .fetch_add(up.reuse.cfa_reused as u64, Ordering::Relaxed);
+        shared
+            .incr_fixpoint_reused
+            .fetch_add(up.reuse.fixpoint_reused as u64, Ordering::Relaxed);
+        shared
+            .incr_invalidated
+            .fetch_add(up.invalidated_clusters as u64, Ordering::Relaxed);
+    }
     // Teach the reactor's admission classifier this program's key: the
     // next request with these exact bytes rides the fast lane.
     shared.remember_key(&req.source, session.key());
@@ -1422,7 +1488,19 @@ fn process(job: &Job, shared: &Shared) -> wire::Response {
     }
 
     let check_started = Instant::now();
-    let report = session.check(config, &driver);
+    // Certificate-gated verdict reuse: clusters whose dependency keys
+    // survived the last edit are served from the session's verdict memo
+    // after their certificates re-validate against the current
+    // analyses; only invalidated (or gate-rejected) clusters re-run,
+    // seeded with the reused clusters' refinement predicates.
+    let reuse_gate = certify::validator(FaultPlan::default());
+    let (report, reuse) = session.check_incremental(config, &driver, Some(&reuse_gate), true);
+    shared
+        .incr_verdict_reused
+        .fetch_add(reuse.verdict_reused as u64, Ordering::Relaxed);
+    shared
+        .incr_cert_rejected
+        .fetch_add(reuse.cert_rejected as u64, Ordering::Relaxed);
     shared
         .telemetry
         .check_us
